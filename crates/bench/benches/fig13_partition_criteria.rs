@@ -1,0 +1,49 @@
+//! Criterion bench for Fig. 13: partitioning criteria (static and dynamic
+//! headline points at minsup 4%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_bench::{
+    bench_config, dataset, incpartminer_time, partminer_state, partminer_time, standard_updates,
+    AdiHarness, Scale, PARTITIONERS,
+};
+use graphmine_datagen::{ufreq_from_updates, UpdateKind};
+use graphmine_graph::update::apply_all;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale { d_div: 100 };
+    let (_, db) = dataset(scale, 50_000, 20, 20, 200, 5);
+    let plan = standard_updates(&db, 0.4, UpdateKind::Mixed, 20);
+    let ufreq = ufreq_from_updates(&db, &plan);
+    let mut updated = db.clone();
+    apply_all(&mut updated, &plan).expect("plan applies");
+    let sup = db.abs_support(0.04);
+
+    let mut g = c.benchmark_group("fig13_static");
+    g.sample_size(10);
+    g.bench_function("ADIMINE", |b| {
+        let adi = AdiHarness::new(&db);
+        b.iter(|| adi.mine_time(sup))
+    });
+    for (label, p) in PARTITIONERS {
+        g.bench_function(label, |b| b.iter(|| partminer_time(&db, &ufreq, bench_config(2, p), sup)));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig13_dynamic");
+    g.sample_size(10);
+    g.bench_function("ADIMINE_refresh", |b| {
+        b.iter(|| AdiHarness::new(&db).refresh_time(&updated, sup))
+    });
+    for (label, p) in PARTITIONERS {
+        g.bench_function(format!("{label}_inc"), |b| {
+            b.iter_with_setup(
+                || partminer_state(&db, &ufreq, bench_config(2, p), sup),
+                |mut state| incpartminer_time(&mut state, &plan),
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

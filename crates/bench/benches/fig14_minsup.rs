@@ -1,0 +1,56 @@
+//! Criterion bench for Fig. 14: runtime vs minimum support (headline
+//! points at 1.5% — near the paper's crossover — and 4%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_bench::{
+    bench_config, dataset, incpartminer_time, partminer_state, partminer_time, standard_updates,
+    AdiHarness, Scale,
+};
+use graphmine_core::PartitionerKind;
+use graphmine_datagen::{ufreq_from_updates, UpdateKind};
+use graphmine_graph::update::apply_all;
+use graphmine_partition::Criteria;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale { d_div: 100 };
+    let (_, db) = dataset(scale, 50_000, 20, 20, 200, 5);
+    let zero: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+    let cfg = bench_config(2, PartitionerKind::GraphPart(Criteria::MIN_CONNECTIVITY));
+
+    let mut g = c.benchmark_group("fig14_static");
+    g.sample_size(10);
+    for rel in [0.015, 0.04] {
+        let sup = db.abs_support(rel);
+        g.bench_function(format!("ADIMINE_{rel}"), |b| {
+            let adi = AdiHarness::new(&db);
+            b.iter(|| adi.mine_time(sup))
+        });
+        g.bench_function(format!("PartMiner_{rel}"), |b| {
+            b.iter(|| partminer_time(&db, &zero, cfg, sup))
+        });
+    }
+    g.finish();
+
+    let plan = standard_updates(&db, 0.4, UpdateKind::Mixed, 20);
+    let ufreq = ufreq_from_updates(&db, &plan);
+    let mut updated = db.clone();
+    apply_all(&mut updated, &plan).expect("plan applies");
+    let sup = db.abs_support(0.04);
+    let dyn_cfg = bench_config(2, PartitionerKind::GraphPart(Criteria::COMBINED));
+
+    let mut g = c.benchmark_group("fig14_dynamic");
+    g.sample_size(10);
+    g.bench_function("ADIMINE_refresh", |b| {
+        b.iter(|| AdiHarness::new(&db).refresh_time(&updated, sup))
+    });
+    g.bench_function("IncPartMiner", |b| {
+        b.iter_with_setup(
+            || partminer_state(&db, &ufreq, dyn_cfg, sup),
+            |mut state| incpartminer_time(&mut state, &plan),
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

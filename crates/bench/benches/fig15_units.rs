@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 15: runtime vs number of units k (static,
+//! serial vs parallel unit mining).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_bench::{bench_config, dataset, Scale};
+use graphmine_core::{PartMiner, PartitionerKind};
+use graphmine_partition::Criteria;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale { d_div: 200 };
+    let (_, db) = dataset(scale, 100_000, 20, 20, 200, 9);
+    let zero: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+    let sup = db.abs_support(0.04);
+
+    let mut g = c.benchmark_group("fig15_units");
+    g.sample_size(10);
+    for k in [2usize, 4, 6] {
+        let cfg = bench_config(k, PartitionerKind::GraphPart(Criteria::MIN_CONNECTIVITY));
+        g.bench_function(format!("serial_k{k}"), |b| {
+            b.iter(|| PartMiner::new(cfg).mine(&db, &zero, sup))
+        });
+        let par = graphmine_core::PartMinerConfig { parallel: true, ..cfg };
+        g.bench_function(format!("parallel_k{k}"), |b| {
+            b.iter(|| PartMiner::new(par).mine(&db, &zero, sup))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Fig. 16: scalability in T and D (headline points).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_bench::{bench_config, dataset, partminer_time, AdiHarness, Scale};
+use graphmine_core::PartitionerKind;
+use graphmine_partition::Criteria;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale { d_div: 200 };
+    let cfg = bench_config(2, PartitionerKind::GraphPart(Criteria::MIN_CONNECTIVITY));
+
+    let mut g = c.benchmark_group("fig16_T");
+    g.sample_size(10);
+    for t in [10usize, 20] {
+        let (_, db) = dataset(scale, 100_000, t, 20, 200, 5);
+        let zero: Vec<Vec<f64>> = db.iter().map(|(_, gr)| vec![0.0; gr.vertex_count()]).collect();
+        let sup = db.abs_support(0.04);
+        g.bench_function(format!("ADIMINE_T{t}"), |b| {
+            let adi = AdiHarness::new(&db);
+            b.iter(|| adi.mine_time(sup))
+        });
+        g.bench_function(format!("PartMiner_T{t}"), |b| {
+            b.iter(|| partminer_time(&db, &zero, cfg, sup))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig16_D");
+    g.sample_size(10);
+    for paper_d in [50_000usize, 200_000] {
+        let (_, db) = dataset(scale, paper_d, 20, 20, 200, 5);
+        let zero: Vec<Vec<f64>> = db.iter().map(|(_, gr)| vec![0.0; gr.vertex_count()]).collect();
+        let sup = db.abs_support(0.04);
+        g.bench_function(format!("PartMiner_D{}", paper_d / 1000), |b| {
+            b.iter(|| partminer_time(&db, &zero, cfg, sup))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

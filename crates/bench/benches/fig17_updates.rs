@@ -1,0 +1,43 @@
+//! Criterion bench for Fig. 17: update types at 20% and 80% amounts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_bench::{
+    bench_config, dataset, incpartminer_time, partminer_state, standard_updates, AdiHarness, Scale,
+};
+use graphmine_core::PartitionerKind;
+use graphmine_datagen::{ufreq_from_updates, UpdateKind};
+use graphmine_graph::update::apply_all;
+use graphmine_partition::Criteria;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale { d_div: 100 };
+    let (_, db) = dataset(scale, 50_000, 20, 20, 200, 5);
+    let sup = db.abs_support(0.04);
+    let cfg = bench_config(2, PartitionerKind::GraphPart(Criteria::COMBINED));
+
+    for (kind, kname) in [(UpdateKind::Relabel, "relabel"), (UpdateKind::AddStructure, "add")] {
+        let mut g = c.benchmark_group(format!("fig17_{kname}"));
+        g.sample_size(10);
+        for frac in [0.2, 0.8] {
+            let plan = standard_updates(&db, frac, kind, 20);
+            let ufreq = ufreq_from_updates(&db, &plan);
+            let mut updated = db.clone();
+            apply_all(&mut updated, &plan).expect("plan applies");
+            g.bench_function(format!("ADIMINE_{}pct", (frac * 100.0) as u32), |b| {
+                b.iter(|| AdiHarness::new(&db).refresh_time(&updated, sup))
+            });
+            let plan2 = plan.clone();
+            let ufreq2 = ufreq.clone();
+            g.bench_function(format!("IncPartMiner_{}pct", (frac * 100.0) as u32), |b| {
+                b.iter_with_setup(
+                    || partminer_state(&db, &ufreq2, cfg, sup),
+                    |mut state| incpartminer_time(&mut state, &plan2),
+                )
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Microbenchmarks for the substrate hot paths: canonical forms, embedding
+//! search, support counting, and the page store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_datagen::{generate, GenParams};
+use graphmine_graph::dfscode::{is_min, min_dfs_code};
+use graphmine_graph::iso::{contains, SupportIndex};
+use graphmine_graph::{Graph, GraphDb};
+use graphmine_storage::GraphStore;
+
+fn patterns_for_bench() -> Vec<Graph> {
+    let mut out = Vec::new();
+    // A path, a tree, a cycle, and a cycle with a chord, sizes 4-8.
+    let mut path = Graph::new();
+    for i in 0..8 {
+        path.add_vertex(i % 3);
+    }
+    for i in 0..7 {
+        path.add_edge(i, i + 1, i % 2).unwrap();
+    }
+    out.push(path);
+    let mut tree = Graph::new();
+    for i in 0..8 {
+        tree.add_vertex(i % 2);
+    }
+    for i in 1..8u32 {
+        tree.add_edge(i, (i - 1) / 2, 0).unwrap();
+    }
+    out.push(tree);
+    let mut cycle = Graph::new();
+    for i in 0..6 {
+        cycle.add_vertex(i % 2);
+    }
+    for i in 0..6u32 {
+        cycle.add_edge(i, (i + 1) % 6, 0).unwrap();
+    }
+    let mut chord = cycle.clone();
+    chord.add_edge(0, 3, 1).unwrap();
+    out.push(cycle);
+    out.push(chord);
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let patterns = patterns_for_bench();
+    let codes: Vec<_> = patterns.iter().map(min_dfs_code).collect();
+    let db: GraphDb = generate(&GenParams::new(200, 20, 5, 20, 5));
+
+    let mut g = c.benchmark_group("canonical");
+    for (i, p) in patterns.iter().enumerate() {
+        g.bench_function(format!("min_dfs_code_{i}"), |b| b.iter(|| min_dfs_code(p)));
+    }
+    g.bench_function("is_min_all", |b| {
+        b.iter(|| codes.iter().filter(|code| is_min(code)).count())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("embedding");
+    let target = db.graph(0);
+    g.bench_function("contains_path_in_t20", |b| b.iter(|| contains(target, &codes[0])));
+    let index = SupportIndex::build(&db);
+    g.bench_function("support_200_graphs", |b| b.iter(|| index.support(&db, &codes[0])));
+    g.finish();
+
+    let mut g = c.benchmark_group("storage");
+    g.bench_function("graphstore_roundtrip_200", |b| {
+        b.iter_with_setup(
+            || {
+                let dir = std::env::temp_dir()
+                    .join(format!("graphmine-micro-{}-{}", std::process::id(), rand_suffix()));
+                std::fs::create_dir_all(&dir).unwrap();
+                dir
+            },
+            |dir| {
+                let store = GraphStore::create(&dir.join("s.db"), &db, 16).unwrap();
+                let n = store.read_all().unwrap().len();
+                std::fs::remove_dir_all(&dir).ok();
+                n
+            },
+        )
+    });
+    g.finish();
+}
+
+fn rand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

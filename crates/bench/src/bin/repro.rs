@@ -1,0 +1,84 @@
+//! `repro` — regenerates the paper's figures as text tables.
+//!
+//! Usage:
+//!   repro [FIG ...] [--scale DIV]
+//!
+//! FIG is any of fig13a fig13b fig14a fig14b fig15a fig15b fig16a fig16b
+//! fig17a fig17b, or `all` (default). `--scale DIV` divides the paper's
+//! database sizes by DIV (default 50; smaller DIV = bigger datasets =
+//! closer to the paper, longer runtime).
+
+use graphmine_bench::{all_figures, Scale};
+
+fn main() {
+    let mut figs: Vec<String> = Vec::new();
+    let mut scale = Scale::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage("--scale needs a positive integer"));
+                if v == 0 {
+                    usage("--scale must be positive");
+                }
+                scale = Scale { d_div: v };
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => figs.push(other.to_string()),
+        }
+    }
+    if figs.is_empty() || figs.iter().any(|f| f == "all") {
+        figs = all_figures().iter().map(|(id, _)| id.to_string()).collect();
+    }
+
+    let registry = all_figures();
+    for want in &figs {
+        if !registry.iter().any(|(id, _)| id == want) {
+            usage(&format!("unknown figure `{want}`"));
+        }
+    }
+
+    // Several figures: run each in a fresh child process so allocator state,
+    // caches and CPU thermals from one figure cannot skew the next.
+    if figs.len() > 1 {
+        println!(
+            "# PartMiner reproduction — paper dataset sizes divided by {} (use --scale to change)\n",
+            scale.d_div
+        );
+        let exe = std::env::current_exe().expect("own executable path");
+        for fig in &figs {
+            let status = std::process::Command::new(&exe)
+                .args([fig.as_str(), "--scale", &scale.d_div.to_string()])
+                .status()
+                .expect("spawn figure child");
+            if !status.success() {
+                eprintln!("error: figure {fig} failed");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let want = &figs[0];
+    let (_, f) = registry.iter().find(|(id, _)| id == want).expect("validated above");
+    let t = std::time::Instant::now();
+    let fig = f(scale);
+    println!("{}", fig.render());
+    println!("(regenerated in {:.1?})\n", t.elapsed());
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [FIG ...] [--scale DIV]\n       FIG in {:?} or `all`",
+        graphmine_bench::all_figures().iter().map(|(id, _)| *id).collect::<Vec<_>>()
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,450 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::time::Instant;
+
+use graphmine_adimine::{AdiConfig, AdiMine};
+use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig, PartitionerKind, UnitMinerKind};
+use graphmine_datagen::{plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams};
+use graphmine_graph::{io as gio, pattern_io, GraphDb, PatternSet};
+use graphmine_miner::{closed_patterns, maximal_patterns, Apriori, Fsg, Gaston, GSpan, MemoryMiner};
+use graphmine_partition::Criteria;
+
+use crate::updates_io;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+graphmine — partition-based (incremental) frequent subgraph mining
+
+USAGE:
+  graphmine generate --d N [--t 20] [--n 20] [--l 200] [--i 5] [--seed S] -o FILE
+      Generate a synthetic database (paper Table 1 parameters) in gSpan
+      text format.
+
+  graphmine mine FILE --minsup FRAC [--algo ALGO] [--k K] [--parallel]
+                 [--criteria 1|2|3|metis] [--unit-miner gspan|gaston]
+                 [--max-edges M] [--closed | --maximal] [-o PATTERNS]
+      Mine frequent subgraphs. ALGO: partminer (default), gspan, gaston,
+      apriori, fsg, adimine. FRAC is relative (0.04 = 4%).
+      --closed/--maximal post-filter to closed or maximal patterns.
+
+  graphmine plan-updates FILE --fraction FRAC [--kind mixed|relabel|add]
+                 [--per-graph 2] [--seed S] -o UPDATES
+      Plan an update workload against a database.
+
+  graphmine incremental FILE UPDATES --minsup FRAC [--k K]
+                 [--criteria 1|2|3|metis]
+      Mine, apply the updates incrementally, and report the UF/FI/IF
+      pattern classes.
+
+  graphmine stats FILE
+      Print database statistics (sizes, labels, connectivity).
+
+  graphmine diff PATTERNS_A PATTERNS_B
+      Compare two pattern files written by `mine -o`.
+";
+
+type CmdResult = Result<(), String>;
+
+/// Simple flag-style argument cursor.
+struct Args<'a> {
+    items: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Args<'a> {
+    fn new(items: &'a [String]) -> Self {
+        Args { items, used: vec![false; items.len()] }
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        for (i, a) in self.items.iter().enumerate() {
+            if !self.used[i] && a == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn value(&mut self, name: &str) -> Option<&'a str> {
+        for (i, a) in self.items.iter().enumerate() {
+            if !self.used[i] && a == name && i + 1 < self.items.len() {
+                self.used[i] = true;
+                self.used[i + 1] = true;
+                return Some(&self.items[i + 1]);
+            }
+        }
+        None
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value `{v}` for {name}")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&mut self, name: &str) -> Result<T, String> {
+        self.parsed(name)?.ok_or_else(|| format!("missing required {name}"))
+    }
+
+    /// Positional (non-flag) arguments, in order.
+    fn positionals(&mut self) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        for (i, a) in self.items.iter().enumerate() {
+            if !self.used[i] && !a.starts_with("--") && a != "-o" {
+                self.used[i] = true;
+                out.push(a.as_str());
+            }
+        }
+        out
+    }
+}
+
+fn load_db(path: &str) -> Result<GraphDb, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    gio::read_db(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn zero_ufreq(db: &GraphDb) -> Vec<Vec<f64>> {
+    db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect()
+}
+
+fn criteria_arg(args: &mut Args<'_>) -> Result<PartitionerKind, String> {
+    Ok(match args.value("--criteria") {
+        None | Some("3") => PartitionerKind::GraphPart(Criteria::COMBINED),
+        Some("1") => PartitionerKind::GraphPart(Criteria::ISOLATE_UPDATES),
+        Some("2") => PartitionerKind::GraphPart(Criteria::MIN_CONNECTIVITY),
+        Some("metis") => PartitionerKind::Metis,
+        Some(other) => return Err(format!("unknown criteria `{other}` (1, 2, 3 or metis)")),
+    })
+}
+
+/// `graphmine generate`
+pub fn generate(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let d: usize = args.require("--d")?;
+    let t: usize = args.parsed("--t")?.unwrap_or(20);
+    let n: u32 = args.parsed("--n")?.unwrap_or(20);
+    let l: usize = args.parsed("--l")?.unwrap_or(200);
+    let i: usize = args.parsed("--i")?.unwrap_or(5);
+    let seed: Option<u64> = args.parsed("--seed")?;
+    let out: String = args.require("-o")?;
+
+    let mut params = GenParams::new(d, t, n, l, i);
+    if let Some(s) = seed {
+        params = params.with_seed(s);
+    }
+    let db = generate_db(&params);
+    let file = File::create(&out).map_err(|e| format!("{out}: {e}"))?;
+    gio::write_db(BufWriter::new(file), &db).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} graphs, {} edges) to {out}",
+        params.name(),
+        db.len(),
+        db.total_edges()
+    );
+    Ok(())
+}
+
+fn generate_db(params: &GenParams) -> GraphDb {
+    graphmine_datagen::generate(params)
+}
+
+fn print_patterns(patterns: &PatternSet, out: Option<&str>) -> CmdResult {
+    match out {
+        Some(path) => {
+            // Machine-readable pattern format (re-loadable by `diff`).
+            let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            pattern_io::write_patterns(BufWriter::new(f), patterns).map_err(|e| e.to_string())?;
+            println!("{} patterns written to {path}", patterns.len());
+        }
+        None => {
+            let mut sorted: Vec<_> = patterns.iter().collect();
+            sorted.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.code.cmp(&b.code)));
+            for p in &sorted {
+                println!("support {:>6}  size {:>2}  {}", p.support, p.size(), p.code);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `graphmine stats`
+pub fn stats(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let pos = args.positionals();
+    let [path] = pos.as_slice() else {
+        return Err("stats needs exactly one database file".into());
+    };
+    let db = load_db(path)?;
+    let n = db.len();
+    if n == 0 {
+        println!("{path}: empty database");
+        return Ok(());
+    }
+    let mut edges = Vec::with_capacity(n);
+    let mut vertices = Vec::with_capacity(n);
+    let mut vlabels = std::collections::BTreeSet::new();
+    let mut elabels = std::collections::BTreeSet::new();
+    let mut max_degree = 0usize;
+    let mut connected = 0usize;
+    for (_, g) in db.iter() {
+        edges.push(g.edge_count());
+        vertices.push(g.vertex_count());
+        for v in 0..g.vertex_count() as u32 {
+            vlabels.insert(g.vlabel(v));
+            max_degree = max_degree.max(g.degree(v));
+        }
+        for (_, _, _, el) in g.edges() {
+            elabels.insert(el);
+        }
+        if g.is_connected() {
+            connected += 1;
+        }
+    }
+    edges.sort_unstable();
+    vertices.sort_unstable();
+    let sum_e: usize = edges.iter().sum();
+    let sum_v: usize = vertices.iter().sum();
+    println!("{path}: {n} graphs");
+    println!(
+        "  edges    total {sum_e}  avg {:.1}  median {}  max {}",
+        sum_e as f64 / n as f64,
+        edges[n / 2],
+        edges.last().unwrap()
+    );
+    println!(
+        "  vertices total {sum_v}  avg {:.1}  median {}  max {}",
+        sum_v as f64 / n as f64,
+        vertices[n / 2],
+        vertices.last().unwrap()
+    );
+    println!("  labels   {} vertex, {} edge", vlabels.len(), elabels.len());
+    println!("  max degree {max_degree}  connected graphs {connected}/{n}");
+    Ok(())
+}
+
+/// `graphmine diff`
+pub fn diff(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let pos = args.positionals();
+    let [a_path, b_path] = pos.as_slice() else {
+        return Err("diff needs exactly two pattern files".into());
+    };
+    let load = |path: &str| -> Result<PatternSet, String> {
+        let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        pattern_io::read_patterns(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    let only_a = a.difference(&b);
+    let only_b = b.difference(&a);
+    let mut support_changed = 0;
+    for p in a.iter() {
+        if let Some(sb) = b.support(&p.code) {
+            if sb != p.support {
+                support_changed += 1;
+                println!("~ support {} -> {}  {}", p.support, sb, p.code);
+            }
+        }
+    }
+    for p in only_a.iter() {
+        println!("- support {:>6}  {}", p.support, p.code);
+    }
+    for p in only_b.iter() {
+        println!("+ support {:>6}  {}", p.support, p.code);
+    }
+    println!(
+        "{}: {} patterns | {}: {} patterns | only in {}: {} | only in {}: {} | support changed: {}",
+        a_path,
+        a.len(),
+        b_path,
+        b.len(),
+        a_path,
+        only_a.len(),
+        b_path,
+        only_b.len(),
+        support_changed
+    );
+    Ok(())
+}
+
+/// `graphmine mine`
+pub fn mine(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let minsup: f64 = args.require("--minsup")?;
+    let algo = args.value("--algo").unwrap_or("partminer").to_string();
+    let k: usize = args.parsed("--k")?.unwrap_or(2);
+    let parallel = args.flag("--parallel");
+    let partitioner = criteria_arg(&mut args)?;
+    let unit_miner = match args.value("--unit-miner") {
+        None | Some("gspan") => UnitMinerKind::GSpan,
+        Some("gaston") => UnitMinerKind::Gaston,
+        Some(other) => return Err(format!("unknown unit miner `{other}`")),
+    };
+    let max_edges: Option<usize> = args.parsed("--max-edges")?;
+    let closed = args.flag("--closed");
+    let maximal = args.flag("--maximal");
+    if closed && maximal {
+        return Err("--closed and --maximal are mutually exclusive".into());
+    }
+    let out: Option<String> = args.parsed("-o")?;
+    let pos = args.positionals();
+    let [path] = pos.as_slice() else {
+        return Err("mine needs exactly one database file".into());
+    };
+
+    let db = load_db(path)?;
+    let sup = db.abs_support(minsup);
+    println!(
+        "{}: {} graphs, minsup {:.2}% => {sup} graphs, algorithm {algo}",
+        path,
+        db.len(),
+        minsup * 100.0
+    );
+    let t = Instant::now();
+    let patterns = match algo.as_str() {
+        "gspan" => GSpan { max_edges }.mine(&db, sup),
+        "gaston" => Gaston { max_edges }.mine(&db, sup),
+        "apriori" => Apriori { max_edges }.mine(&db, sup),
+        "fsg" => Fsg { max_edges }.mine(&db, sup),
+        "adimine" => {
+            let dir = std::env::temp_dir().join(format!("graphmine-cli-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            let adi = AdiMine::build(&dir, &db, AdiConfig::default()).map_err(|e| e.to_string())?;
+            let res = adi.mine_capped(sup, max_edges).map_err(|e| e.to_string())?;
+            std::fs::remove_dir_all(&dir).ok();
+            res
+        }
+        "partminer" => {
+            let cfg = PartMinerConfig {
+                k,
+                partitioner,
+                unit_miner,
+                parallel,
+                max_edges,
+                ..PartMinerConfig::default()
+            };
+            let outcome = PartMiner::new(cfg).mine(&db, &zero_ufreq(&db), sup);
+            println!(
+                "  partition {:.1?} | units {:.1?} | merge {:.1?} ({} candidates, {} counted, {} shortcut)",
+                outcome.stats.partition_time,
+                outcome.stats.unit_times,
+                outcome.stats.merge_time,
+                outcome.stats.merge.candidates,
+                outcome.stats.merge.counted,
+                outcome.stats.merge.shortcut,
+            );
+            outcome.patterns
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    println!("{} frequent subgraphs in {:.1?}", patterns.len(), t.elapsed());
+    let patterns = if closed {
+        let c = closed_patterns(&patterns);
+        println!("{} closed patterns", c.len());
+        c
+    } else if maximal {
+        let m = maximal_patterns(&patterns);
+        println!("{} maximal patterns", m.len());
+        m
+    } else {
+        patterns
+    };
+    print_patterns(&patterns, out.as_deref())
+}
+
+/// `graphmine plan-updates`
+pub fn plan_updates_cmd(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let fraction: f64 = args.require("--fraction")?;
+    let kind = match args.value("--kind") {
+        None | Some("mixed") => UpdateKind::Mixed,
+        Some("relabel") => UpdateKind::Relabel,
+        Some("add") => UpdateKind::AddStructure,
+        Some(other) => return Err(format!("unknown update kind `{other}`")),
+    };
+    let per_graph: usize = args.parsed("--per-graph")?.unwrap_or(2);
+    let seed: Option<u64> = args.parsed("--seed")?;
+    let out: String = args.require("-o")?;
+    let pos = args.positionals();
+    let [path] = pos.as_slice() else {
+        return Err("plan-updates needs exactly one database file".into());
+    };
+
+    let db = load_db(path)?;
+    // Label alphabet: reuse the largest label seen plus one.
+    let n = db
+        .iter()
+        .flat_map(|(_, g)| g.vlabels().iter().copied())
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let mut params = UpdateParams::new(fraction, per_graph, kind, n);
+    if let Some(s) = seed {
+        params = params.with_seed(s);
+    }
+    let plan = plan_updates(&db, &params);
+    let file = File::create(&out).map_err(|e| format!("{out}: {e}"))?;
+    updates_io::write_updates(BufWriter::new(file), &plan).map_err(|e| e.to_string())?;
+    println!("planned {} updates over {:.0}% of {} graphs -> {out}", plan.len(), fraction * 100.0, db.len());
+    Ok(())
+}
+
+/// `graphmine incremental`
+pub fn incremental(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let minsup: f64 = args.require("--minsup")?;
+    let k: usize = args.parsed("--k")?.unwrap_or(2);
+    let partitioner = criteria_arg(&mut args)?;
+    let pos = args.positionals();
+    let [db_path, upd_path] = pos.as_slice() else {
+        return Err("incremental needs a database file and an updates file".into());
+    };
+
+    let db = load_db(db_path)?;
+    let upd_file = File::open(upd_path).map_err(|e| format!("{upd_path}: {e}"))?;
+    let plan = updates_io::read_updates(BufReader::new(upd_file))?;
+    let ufreq = ufreq_from_updates(&db, &plan);
+    let sup = db.abs_support(minsup);
+
+    let cfg = PartMinerConfig { k, partitioner, ..PartMinerConfig::default() };
+    let t = Instant::now();
+    let outcome = PartMiner::new(cfg).mine(&db, &ufreq, sup);
+    println!(
+        "initial mining: {} patterns in {:.1?} ({} units)",
+        outcome.patterns.len(),
+        t.elapsed(),
+        k
+    );
+    let mut state = outcome.state;
+    let t = Instant::now();
+    let inc = IncPartMiner::update(&mut state, &plan).map_err(|e| e.to_string())?;
+    println!(
+        "incremental round: {} updates in {:.1?} — re-mined {}/{} units, prune set {}",
+        plan.len(),
+        t.elapsed(),
+        inc.stats.units_remined,
+        state.partition.unit_count(),
+        inc.stats.prune_set_size,
+    );
+    println!(
+        "UF (unchanged): {}\nIF (newly frequent): {}\nFI (now infrequent): {}",
+        inc.uf.len(),
+        inc.if_new.len(),
+        inc.fi.len()
+    );
+    for p in inc.if_new.iter().take(10) {
+        println!("  IF support {:>5}  {}", p.support, p.code);
+    }
+    for p in inc.fi.iter().take(10) {
+        println!("  FI (was {:>5})  {}", p.support, p.code);
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! `graphmine` — command-line frontend for the PartMiner reproduction.
+
+use std::process::exit;
+
+use graphmine_cli::commands;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => commands::generate(&args[1..]),
+        Some("mine") => commands::mine(&args[1..]),
+        Some("plan-updates") => commands::plan_updates_cmd(&args[1..]),
+        Some("incremental") => commands::incremental(&args[1..]),
+        Some("stats") => commands::stats(&args[1..]),
+        Some("diff") => commands::diff(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    if let Err(e) = code {
+        eprintln!("error: {e}");
+        exit(2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Configuration of the PartMiner pipeline.
+
+use graphmine_graph::{Graph, GraphDb, PatternSet, Support};
+use graphmine_miner::{Gaston, GSpan, MemoryMiner};
+use graphmine_partition::{Bipartitioner, Criteria, GraphPart, MetisLike};
+
+/// Which bi-partitioner Phase 1 uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitionerKind {
+    /// The paper's `GraphPart` with a `(λ1, λ2)` criteria setting.
+    GraphPart(Criteria),
+    /// The METIS-style multilevel baseline (Fig. 13's "METIS" series).
+    Metis,
+}
+
+impl PartitionerKind {
+    pub(crate) fn build(&self) -> Box<dyn Bipartitioner> {
+        match *self {
+            PartitionerKind::GraphPart(c) => Box::new(GraphPart::new(c)),
+            PartitionerKind::Metis => Box::new(MetisLike),
+        }
+    }
+
+    /// Display name for experiment reports.
+    pub fn name(&self) -> &'static str {
+        match *self {
+            PartitionerKind::GraphPart(c) => {
+                if c.lambda2 == 0.0 {
+                    "Partition1"
+                } else if c.lambda1 == 0.0 {
+                    "Partition2"
+                } else {
+                    "Partition3"
+                }
+            }
+            PartitionerKind::Metis => "METIS",
+        }
+    }
+}
+
+/// Which memory-based miner runs inside each unit (Phase 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnitMinerKind {
+    /// gSpan (fast default).
+    #[default]
+    GSpan,
+    /// The Gaston-style trees-first miner the paper uses.
+    Gaston,
+}
+
+impl UnitMinerKind {
+    pub(crate) fn mine(&self, db: &GraphDb, min_support: Support, cap: Option<usize>) -> PatternSet {
+        match self {
+            UnitMinerKind::GSpan => GSpan { max_edges: cap }.mine(db, min_support),
+            UnitMinerKind::Gaston => Gaston { max_edges: cap }.mine(db, min_support),
+        }
+    }
+
+    /// Display name for experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnitMinerKind::GSpan => "gSpan",
+            UnitMinerKind::Gaston => "Gaston",
+        }
+    }
+}
+
+/// How the merge-join generates candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinPolicy {
+    /// One-edge extension of the complete frequent set at each level.
+    /// Provably lossless (FSG downward closure); the default.
+    #[default]
+    Complete,
+    /// The joins exactly as written in Fig. 11: `P^k(S0)×F^k`,
+    /// `P^k(S1)×F^k` and `F^k×F^k` — new candidates grow only from the
+    /// cross-pattern set `F^k`, each needing a second frequent `k`-subgraph.
+    Paper,
+}
+
+/// Full PartMiner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartMinerConfig {
+    /// Number of units `k` (the paper varies 2–6; determined by available
+    /// memory in deployment).
+    pub k: usize,
+    /// Phase-1 partitioner.
+    pub partitioner: PartitionerKind,
+    /// Phase-2 unit miner.
+    pub unit_miner: UnitMinerKind,
+    /// Candidate-generation policy of the merge-join.
+    pub join_policy: JoinPolicy,
+    /// Mine units concurrently (the paper's "parallel mode").
+    pub parallel: bool,
+    /// Optional pattern-size cap (edges).
+    pub max_edges: Option<usize>,
+    /// When `true`, every reported support is recounted exactly; when
+    /// `false`, patterns already frequent inside one unit keep that (lower
+    /// bound) support — the paper's shortcut.
+    pub exact_supports: bool,
+    /// IncPartMiner: when `true` (default), candidates found in the
+    /// pre-update result are re-verified instead of being assumed
+    /// unchanged. `false` reproduces the paper's pruning literally.
+    pub verify_unchanged: bool,
+}
+
+impl Default for PartMinerConfig {
+    fn default() -> Self {
+        PartMinerConfig {
+            k: 2,
+            partitioner: PartitionerKind::GraphPart(Criteria::COMBINED),
+            unit_miner: UnitMinerKind::default(),
+            join_policy: JoinPolicy::default(),
+            parallel: false,
+            max_edges: None,
+            exact_supports: false,
+            verify_unchanged: true,
+        }
+    }
+}
+
+impl PartMinerConfig {
+    /// A configuration with `k` units and defaults elsewhere.
+    pub fn with_k(k: usize) -> Self {
+        PartMinerConfig { k, ..Default::default() }
+    }
+
+    /// The unit-level support threshold for a node at `depth` in the split
+    /// tree: `ceil(minsup / 2^depth)`, clamped to at least 1 — the paper's
+    /// `sup/k` (units) and `sup/2^i` (intermediate merges).
+    pub fn depth_support(min_support: Support, depth: usize) -> Support {
+        let denom = 1u64 << depth.min(31);
+        u64::from(min_support).div_ceil(denom).max(1) as Support
+    }
+}
+
+/// Helper shared by the merge-join and tests: the frequent 1-edge patterns
+/// of a database with exact supports.
+pub(crate) fn frequent_edges(db: &GraphDb, min_support: Support) -> PatternSet {
+    use rustc_hash::{FxHashMap, FxHashSet};
+    let mut counts: FxHashMap<graphmine_graph::DfsCode, Support> = FxHashMap::default();
+    for (_, g) in db.iter() {
+        let mut in_graph: FxHashSet<graphmine_graph::DfsCode> = FxHashSet::default();
+        for (_, u, v, el) in g.edges() {
+            let (la, lb) = if g.vlabel(u) <= g.vlabel(v) {
+                (g.vlabel(u), g.vlabel(v))
+            } else {
+                (g.vlabel(v), g.vlabel(u))
+            };
+            in_graph
+                .insert(graphmine_graph::DfsCode(vec![graphmine_graph::DfsEdge::new(0, 1, la, el, lb)]));
+        }
+        for code in in_graph {
+            *counts.entry(code).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, s)| s >= min_support)
+        .map(|(code, s)| graphmine_graph::Pattern::from_code(code, s))
+        .collect()
+}
+
+/// All connected `(k-1)`-edge subgraphs of `g` obtained by deleting one
+/// edge — the "partner" subgraphs the Paper join policy checks.
+pub(crate) fn one_edge_deletions(g: &Graph) -> Vec<graphmine_graph::DfsCode> {
+    let m = g.edge_count();
+    let mut out = Vec::new();
+    if m < 2 {
+        return out;
+    }
+    for drop in 0..m as u32 {
+        let keep: Vec<u32> = (0..m as u32).filter(|&e| e != drop).collect();
+        let (sub, _) = g.edge_subgraph(&keep).expect("edge ids valid");
+        if sub.is_connected() {
+            out.push(graphmine_graph::dfscode::min_dfs_code(&sub));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_support_matches_paper_scaling() {
+        assert_eq!(PartMinerConfig::depth_support(100, 0), 100);
+        assert_eq!(PartMinerConfig::depth_support(100, 1), 50);
+        assert_eq!(PartMinerConfig::depth_support(100, 2), 25);
+        assert_eq!(PartMinerConfig::depth_support(101, 1), 51, "rounds up");
+        assert_eq!(PartMinerConfig::depth_support(1, 5), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn partitioner_names() {
+        use graphmine_partition::Criteria;
+        assert_eq!(PartitionerKind::GraphPart(Criteria::ISOLATE_UPDATES).name(), "Partition1");
+        assert_eq!(PartitionerKind::GraphPart(Criteria::MIN_CONNECTIVITY).name(), "Partition2");
+        assert_eq!(PartitionerKind::GraphPart(Criteria::COMBINED).name(), "Partition3");
+        assert_eq!(PartitionerKind::Metis.name(), "METIS");
+    }
+
+    #[test]
+    fn frequent_edges_counts_per_graph() {
+        let mut g1 = Graph::new();
+        let a = g1.add_vertex(0);
+        let b = g1.add_vertex(1);
+        let c = g1.add_vertex(1);
+        g1.add_edge(a, b, 3).unwrap();
+        g1.add_edge(a, c, 3).unwrap(); // same triple twice in one graph
+        let mut g2 = Graph::new();
+        let a = g2.add_vertex(0);
+        let b = g2.add_vertex(1);
+        g2.add_edge(a, b, 3).unwrap();
+        let db = GraphDb::from_graphs(vec![g1, g2]);
+        let f = frequent_edges(&db, 2);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.iter().next().unwrap().support, 2);
+    }
+
+    #[test]
+    fn one_edge_deletions_keeps_connected_only() {
+        // Path of 3 edges: deleting the middle edge disconnects.
+        let mut g = Graph::new();
+        for _ in 0..4 {
+            g.add_vertex(0);
+        }
+        g.add_edge(0, 1, 0).unwrap();
+        g.add_edge(1, 2, 0).unwrap();
+        g.add_edge(2, 3, 0).unwrap();
+        let subs = one_edge_deletions(&g);
+        assert_eq!(subs.len(), 2);
+    }
+}

@@ -1,0 +1,401 @@
+//! IncPartMiner (Fig. 12): incremental mining under updates.
+//!
+//! The update batch is propagated through the partition tree; only units
+//! whose pieces changed are re-mined, and only tree nodes on the path from
+//! a changed piece to the root are re-merged — untouched subtrees reuse
+//! their cached results (their databases are bit-identical, so their
+//! results are too). The paper's *prune set* is built from the frequent
+//! 1-edge diff and the re-mined unit diffs; patterns of the pre-update
+//! result that are supergraphs of a pruned pattern become `FI` candidates,
+//! and the remainder can (in paper-faithful mode) skip support counting in
+//! the final recombination (`IncMergeJoin`).
+
+use std::time::{Duration, Instant};
+
+use rustc_hash::FxHashSet;
+
+use graphmine_graph::{iso, DbUpdate, GraphError, PatternSet};
+use graphmine_partition::NodeId;
+
+use crate::config::frequent_edges;
+use crate::merge_join::MergeStats;
+use crate::partminer::{merge_subtree, PartMinerState};
+use crate::PartMinerConfig;
+
+/// Work counters of one incremental update round.
+#[derive(Debug, Clone, Default)]
+pub struct IncStats {
+    /// Units whose pieces changed and were re-mined.
+    pub units_remined: usize,
+    /// Internal tree nodes re-merged.
+    pub nodes_remerged: usize,
+    /// Size of the prune set `P`.
+    pub prune_set_size: usize,
+    /// Time spent re-mining units.
+    pub unit_time: Duration,
+    /// Time spent re-merging.
+    pub merge_time: Duration,
+    /// Total elapsed time.
+    pub wall: Duration,
+    /// Merge-join counters of the re-merged nodes.
+    pub merge: MergeStats,
+}
+
+/// Result of one incremental round: the paper's three pattern classes plus
+/// the full post-update result.
+pub struct IncOutcome {
+    /// `UF` — patterns frequent before and after.
+    pub uf: PatternSet,
+    /// `FI` — previously frequent patterns that became infrequent.
+    pub fi: PatternSet,
+    /// `IF` — previously infrequent patterns that became frequent.
+    pub if_new: PatternSet,
+    /// The complete post-update result `P(D')`.
+    pub patterns: PatternSet,
+    /// Work counters.
+    pub stats: IncStats,
+}
+
+/// The incremental extension of PartMiner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncPartMiner;
+
+impl IncPartMiner {
+    /// Applies `updates` to the state's partitioned database and brings the
+    /// mining result up to date incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first inapplicable update; updates up to that point
+    /// remain applied (mirror the database you feed updates from, or
+    /// validate the batch up front).
+    pub fn update(state: &mut PartMinerState, updates: &[DbUpdate]) -> Result<IncOutcome, GraphError> {
+        let start = Instant::now();
+        let cfg = state.config;
+        let root = state.partition.root_id();
+        let old_pd = state.node_results[&root].clone();
+
+        // 1. Propagate updates, collecting every touched node.
+        let mut touched: FxHashSet<NodeId> = FxHashSet::default();
+        for up in updates {
+            let impact = state.partition.apply_update_impact(*up)?;
+            touched.extend(impact.nodes);
+        }
+
+        // 2. Prune set from the frequent 1-edge diff (Fig. 12 lines 1-2).
+        let p1_new = frequent_edges(&state.partition.root().db, state.min_support);
+        let mut prune = PatternSet::new();
+        for p in old_pd.of_size(1) {
+            if !p1_new.contains(&p.code) {
+                prune.insert(p.clone());
+            }
+        }
+
+        // 3. Re-mine the touched units (lines 3-9), extending the prune set
+        // with patterns that vanished from a unit and exist in no other.
+        let unit_nodes: Vec<(usize, NodeId)> = (0..state.partition.unit_count())
+            .map(|j| {
+                let n = (0..state.partition.node_count())
+                    .find(|&n| state.partition.node(n).unit == Some(j))
+                    .expect("every unit has a node");
+                (j, n)
+            })
+            .collect();
+        let t_units = Instant::now();
+        let touched_units: Vec<graphmine_partition::NodeId> = unit_nodes
+            .iter()
+            .map(|&(_, n)| n)
+            .filter(|n| touched.contains(n))
+            .collect();
+        let units_remined = touched_units.len();
+        // Re-mine the touched units — concurrently in parallel mode, the
+        // same way the initial mining fans out over units.
+        let new_results: Vec<(graphmine_partition::NodeId, PatternSet)> =
+            if cfg.parallel && touched_units.len() > 1 {
+                let partition = &state.partition;
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = touched_units
+                        .iter()
+                        .map(|&n| {
+                            let node = partition.node(n);
+                            let sup = PartMinerConfig::depth_support(state.min_support, node.depth);
+                            scope.spawn(move |_| {
+                                (n, cfg.unit_miner.mine(&node.db, sup, cfg.max_edges))
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("unit re-miner")).collect()
+                })
+                .expect("re-mining scope")
+            } else {
+                touched_units
+                    .iter()
+                    .map(|&n| {
+                        let node = state.partition.node(n);
+                        let sup = PartMinerConfig::depth_support(state.min_support, node.depth);
+                        (n, cfg.unit_miner.mine(&node.db, sup, cfg.max_edges))
+                    })
+                    .collect()
+            };
+        let mut unit_diffs: Vec<PatternSet> = Vec::new();
+        for (n, new_result) in new_results {
+            let old_result = state.node_results.insert(n, new_result).expect("mined before");
+            let new_ref = &state.node_results[&n];
+            unit_diffs.push(old_result.difference(new_ref));
+        }
+        for diff in &unit_diffs {
+            for p in diff.iter() {
+                if prune.contains(&p.code) {
+                    continue;
+                }
+                let elsewhere = unit_nodes
+                    .iter()
+                    .any(|&(_, n)| state.node_results[&n].contains(&p.code));
+                if !elsewhere {
+                    prune.insert(p.clone());
+                }
+            }
+        }
+        let unit_time = t_units.elapsed();
+
+        // 4. Prune the pre-update result: supergraphs of pruned patterns
+        // may have fallen out of the frequent set (line 10). What survives
+        // is the `known` set IncMergeJoin can trust.
+        let known = if prune.is_empty() {
+            old_pd.clone()
+        } else {
+            let mut known = PatternSet::new();
+            for p in old_pd.iter() {
+                let doomed = prune.iter().any(|q| iso::contains(&p.graph, &q.code));
+                if !doomed {
+                    known.insert(p.clone());
+                }
+            }
+            known
+        };
+
+        // 5. Re-merge the touched internal nodes bottom-up (lines 11-12);
+        // untouched subtrees keep their cached results.
+        let t_merge = Instant::now();
+        let mut merge = MergeStats::default();
+        let mut nodes_remerged = 0;
+        for &n in &touched {
+            if state.partition.node(n).children.is_some() {
+                state.node_results.remove(&n);
+                nodes_remerged += 1;
+            }
+        }
+        merge_subtree(
+            &cfg,
+            &state.partition,
+            root,
+            state.min_support,
+            &mut state.node_results,
+            &mut merge,
+            Some(&known),
+        );
+        let merge_time = t_merge.elapsed();
+
+        // 6. Classify (lines 13-15).
+        let new_pd = state.node_results[&root].clone();
+        let if_new = new_pd.difference(&old_pd);
+        let uf = new_pd.difference(&if_new);
+        let fi = old_pd.difference(&new_pd);
+
+        let stats = IncStats {
+            units_remined,
+            nodes_remerged,
+            prune_set_size: prune.len(),
+            unit_time,
+            merge_time,
+            wall: start.elapsed(),
+            merge,
+        };
+        Ok(IncOutcome { uf, fi, if_new, patterns: new_pd, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartMiner, PartMinerConfig};
+    use graphmine_graph::{Graph, GraphDb, GraphUpdate};
+    use graphmine_miner::{GSpan, MemoryMiner};
+
+    fn sample_db() -> (GraphDb, Vec<Vec<f64>>) {
+        let mut graphs = Vec::new();
+        for i in 0..6u32 {
+            let mut g = Graph::new();
+            for j in 0..6 {
+                g.add_vertex(j % 2);
+            }
+            g.add_edge(0, 1, 0).unwrap();
+            g.add_edge(1, 2, 1).unwrap();
+            g.add_edge(2, 3, 0).unwrap();
+            g.add_edge(3, 4, 1).unwrap();
+            g.add_edge(4, 5, 0).unwrap();
+            if i % 2 == 0 {
+                g.add_edge(5, 0, 1).unwrap();
+            }
+            graphs.push(g);
+        }
+        // Vertex 5 of every graph is the hot one.
+        let ufreq = (0..6).map(|_| vec![0.0, 0.0, 0.0, 0.0, 0.0, 3.0]).collect();
+        (GraphDb::from_graphs(graphs), ufreq)
+    }
+
+    #[test]
+    fn incremental_equals_recompute() {
+        let (db, uf) = sample_db();
+        let mut cfg = PartMinerConfig::with_k(3);
+        cfg.exact_supports = true;
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 2);
+        let mut state = outcome.state;
+
+        let updates = vec![
+            DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 5, label: 9 } },
+            DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 1, v: 4, label: 7 } },
+            DbUpdate { gid: 2, update: GraphUpdate::AddVertex { label: 9, attach_to: 5, elabel: 7 } },
+        ];
+        let inc = IncPartMiner::update(&mut state, &updates).unwrap();
+
+        // Recompute from scratch on the updated database.
+        let mut db2 = db.clone();
+        graphmine_graph::update::apply_all(&mut db2, &updates).unwrap();
+        let direct = GSpan::new().mine(&db2, 2);
+        assert!(
+            inc.patterns.same_codes_and_supports(&direct),
+            "incremental {} vs direct {}",
+            inc.patterns.len(),
+            direct.len()
+        );
+        assert!(inc.stats.units_remined >= 1);
+        assert!(inc.stats.units_remined <= 3);
+    }
+
+    #[test]
+    fn classification_is_exhaustive_and_disjoint() {
+        let (db, uf) = sample_db();
+        let mut cfg = PartMinerConfig::with_k(2);
+        cfg.exact_supports = true;
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 3);
+        let old = outcome.patterns.clone();
+        let mut state = outcome.state;
+
+        // Heavy relabeling: many patterns change.
+        let updates: Vec<DbUpdate> = (0..4)
+            .map(|gid| DbUpdate { gid, update: GraphUpdate::RelabelVertex { v: 1, label: 8 } })
+            .collect();
+        let inc = IncPartMiner::update(&mut state, &updates).unwrap();
+
+        // UF ∪ IF = P(D'), disjoint.
+        for p in inc.patterns.iter() {
+            let in_uf = inc.uf.contains(&p.code);
+            let in_if = inc.if_new.contains(&p.code);
+            assert!(in_uf ^ in_if, "{} must be in exactly one of UF/IF", p.code);
+        }
+        // FI = old \ new.
+        for p in old.iter() {
+            assert_eq!(
+                inc.fi.contains(&p.code),
+                !inc.patterns.contains(&p.code),
+                "{}",
+                p.code
+            );
+        }
+        // UF members were frequent before.
+        for p in inc.uf.iter() {
+            assert!(old.contains(&p.code));
+        }
+        // IF members were not.
+        for p in inc.if_new.iter() {
+            assert!(!old.contains(&p.code));
+        }
+    }
+
+    #[test]
+    fn untouched_units_are_not_remined() {
+        let (db, uf) = sample_db();
+        let cfg = PartMinerConfig::with_k(4);
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 2);
+        let mut state = outcome.state;
+        // A single vertex relabel touches at most the units holding it.
+        let owning = state.partition.units_containing_vertex(0, 2);
+        let inc = IncPartMiner::update(
+            &mut state,
+            &[DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 2, label: 9 } }],
+        )
+        .unwrap();
+        assert_eq!(inc.stats.units_remined, owning.len());
+        assert!(inc.stats.units_remined < 4, "not all units re-mined");
+    }
+
+    #[test]
+    fn repeated_update_rounds_stay_consistent() {
+        let (db, uf) = sample_db();
+        let mut cfg = PartMinerConfig::with_k(3);
+        cfg.exact_supports = true;
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 2);
+        let mut state = outcome.state;
+        let mut mirror = db.clone();
+        for round in 0..3u32 {
+            let updates = vec![DbUpdate {
+                gid: round,
+                update: GraphUpdate::AddVertex { label: round + 10, attach_to: 0, elabel: 5 },
+            }];
+            graphmine_graph::update::apply_all(&mut mirror, &updates).unwrap();
+            let inc = IncPartMiner::update(&mut state, &updates).unwrap();
+            let direct = GSpan::new().mine(&mirror, 2);
+            assert!(
+                inc.patterns.same_codes_and_supports(&direct),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_faithful_mode_runs_and_reports_skips() {
+        let (db, uf) = sample_db();
+        let mut cfg = PartMinerConfig::with_k(2);
+        cfg.verify_unchanged = false; // trust the pruned pre-update result
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 2);
+        let mut state = outcome.state;
+        let inc = IncPartMiner::update(
+            &mut state,
+            &[DbUpdate { gid: 5, update: GraphUpdate::RelabelVertex { v: 5, label: 4 } }],
+        )
+        .unwrap();
+        assert!(inc.stats.merge.known_skipped > 0, "{:?}", inc.stats.merge);
+    }
+
+    #[test]
+    fn parallel_incremental_matches_serial() {
+        let (db, uf) = sample_db();
+        let updates: Vec<DbUpdate> = (0..4)
+            .map(|gid| DbUpdate { gid, update: GraphUpdate::RelabelVertex { v: 2, label: 7 } })
+            .collect();
+        let mut results = Vec::new();
+        for parallel in [false, true] {
+            let mut cfg = PartMinerConfig::with_k(4);
+            cfg.exact_supports = true;
+            cfg.parallel = parallel;
+            let outcome = PartMiner::new(cfg).mine(&db, &uf, 2);
+            let mut state = outcome.state;
+            let inc = IncPartMiner::update(&mut state, &updates).unwrap();
+            results.push(inc.patterns);
+        }
+        assert!(results[0].same_codes_and_supports(&results[1]));
+    }
+
+    #[test]
+    fn invalid_update_errors() {
+        let (db, uf) = sample_db();
+        let outcome = PartMiner::new(PartMinerConfig::with_k(2)).mine(&db, &uf, 2);
+        let mut state = outcome.state;
+        let res = IncPartMiner::update(
+            &mut state,
+            &[DbUpdate { gid: 99, update: GraphUpdate::RelabelVertex { v: 0, label: 0 } }],
+        );
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,674 @@
+//! The merge-join operation (Section 4.3, Fig. 11): recovering the frequent
+//! subgraphs of a dataset `S` from the frequent subgraphs of its two pieces
+//! `S0` and `S1`.
+//!
+//! Candidate frequencies are verified against `S` itself (`CheckFrequency`)
+//! through a histogram-screened embedding search. Three optimisations carry
+//! the paper's cost model:
+//!
+//! * **supporter-list restriction** — every accepted pattern carries a
+//!   superset of its supporting gids (exact when it was counted, inherited
+//!   from its parent otherwise); a candidate is only ever tested against
+//!   its parent's supporters, the Apriori TID-list idea;
+//! * **unit-support shortcut** — every occurrence inside a piece is an
+//!   occurrence in the original graph, so a candidate whose support within
+//!   one piece already reaches the threshold is frequent in `S` without
+//!   counting (disabled by `exact_supports`, which recounts everything);
+//! * **known-pattern skip** (`IncMergeJoin`, Fig. 12 lines 14–17) — during
+//!   incremental re-merging, candidates present in the pruned pre-update
+//!   result are moved straight to the frequent set.
+
+use std::sync::Arc;
+
+use rustc_hash::FxHashMap;
+
+use graphmine_graph::iso::SupportIndex;
+use graphmine_graph::{DfsCode, GraphDb, GraphId, Pattern, PatternSet, Support};
+use graphmine_miner::extend::{one_edge_extensions, EdgeVocab};
+
+use crate::config::one_edge_deletions;
+use crate::JoinPolicy;
+
+/// Everything a merge-join invocation needs to know about its node.
+pub struct MergeContext<'a> {
+    /// The recombined dataset `S` at this node of the partition tree.
+    pub db: &'a GraphDb,
+    /// The support threshold `θ` at this node (`sup / 2^depth`).
+    pub min_support: Support,
+    /// Candidate-generation policy.
+    pub policy: JoinPolicy,
+    /// Optional pattern-size cap (edges).
+    pub max_edges: Option<usize>,
+    /// Recount every support exactly (disables the unit-support shortcut).
+    pub exact_supports: bool,
+    /// IncMergeJoin: the pruned pre-update result. When `trust_known` is
+    /// set, members skip support counting entirely.
+    pub known: Option<&'a PatternSet>,
+    /// Whether `known` members may be accepted without recounting.
+    pub trust_known: bool,
+    /// Verify candidates on multiple threads (PartMiner's parallel mode
+    /// extends to `CheckFrequency`: candidate counts are independent).
+    pub parallel: bool,
+}
+
+/// Work counters of one merge-join invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Candidates generated (after canonical dedup).
+    pub candidates: usize,
+    /// Candidates whose support was counted against `S`.
+    pub counted: usize,
+    /// Candidates accepted through the unit-support shortcut.
+    pub shortcut: usize,
+    /// Candidates accepted from the pre-update result without counting.
+    pub known_skipped: usize,
+}
+
+impl MergeStats {
+    /// Accumulates another invocation's counters.
+    pub fn absorb(&mut self, other: MergeStats) {
+        self.candidates += other.candidates;
+        self.counted += other.counted;
+        self.shortcut += other.shortcut;
+        self.known_skipped += other.known_skipped;
+    }
+}
+
+/// A frequent pattern in flight through the level-wise loop, with the
+/// superset of gids a child candidate needs to be tested against.
+#[derive(Clone)]
+struct Live {
+    pattern: Pattern,
+    /// Superset of the supporting gids (`None` = unknown, i.e. all of `S`).
+    supporters: Option<Arc<Vec<GraphId>>>,
+}
+
+/// Combines the frequent-pattern sets of the two pieces of `ctx.db` into
+/// the frequent-pattern set of `ctx.db` itself.
+pub fn merge_join(ctx: &MergeContext<'_>, p0: &PatternSet, p1: &PatternSet) -> (PatternSet, MergeStats) {
+    let mut stats = MergeStats::default();
+    let index = SupportIndex::build(ctx.db);
+
+    // Line 1: frequent 1-edge patterns of S, counted exactly, with their
+    // exact supporter lists.
+    let f1 = frequent_edges_with_gids(ctx.db, ctx.min_support);
+    let vocab = EdgeVocab::from_patterns(&f1.iter().map(|l| l.pattern.clone()).collect());
+
+    // Piece results with max-support union: the tightest available lower
+    // bound on each pattern's support in S.
+    let mut seeds = p0.clone();
+    seeds.union(p1);
+
+    let mut out = PatternSet::new();
+    for l in &f1 {
+        out.insert(l.pattern.clone());
+    }
+
+    match ctx.policy {
+        JoinPolicy::Complete => {
+            complete_levels(ctx, &index, &vocab, &seeds, f1, &mut out, &mut stats)
+        }
+        JoinPolicy::Paper => {
+            paper_levels(ctx, &index, &vocab, p0, p1, &seeds, &mut out, &mut stats)
+        }
+    }
+    (out, stats)
+}
+
+/// Exact frequent single edges with their supporter lists.
+fn frequent_edges_with_gids(db: &GraphDb, min_support: Support) -> Vec<Live> {
+    let mut gids: FxHashMap<DfsCode, Vec<GraphId>> = FxHashMap::default();
+    for (gid, g) in db.iter() {
+        let mut in_graph: rustc_hash::FxHashSet<DfsCode> = rustc_hash::FxHashSet::default();
+        for (_, u, v, el) in g.edges() {
+            let (la, lb) = if g.vlabel(u) <= g.vlabel(v) {
+                (g.vlabel(u), g.vlabel(v))
+            } else {
+                (g.vlabel(v), g.vlabel(u))
+            };
+            in_graph.insert(DfsCode(vec![graphmine_graph::DfsEdge::new(0, 1, la, el, lb)]));
+        }
+        for code in in_graph {
+            gids.entry(code).or_default().push(gid);
+        }
+    }
+    gids.into_iter()
+        .filter(|(_, g)| g.len() as Support >= min_support)
+        .map(|(code, g)| Live {
+            pattern: Pattern::from_code(code, g.len() as Support),
+            supporters: Some(Arc::new(g)),
+        })
+        .collect()
+}
+
+/// Outcome of verifying one candidate.
+enum Verdict {
+    /// Counted exactly; the supporter list is exact.
+    Counted(Support, Arc<Vec<GraphId>>),
+    /// Accepted through a bound (unit shortcut / known skip); the caller
+    /// keeps the parent's superset list.
+    Bound(Support),
+    /// Infrequent.
+    Rejected,
+}
+
+/// Verifies one candidate: known-skip, then unit-support shortcut, then an
+/// exact count restricted to the parent's supporter superset.
+fn verify(
+    ctx: &MergeContext<'_>,
+    index: &SupportIndex,
+    seeds: &PatternSet,
+    code: &DfsCode,
+    restrict: Option<&Arc<Vec<GraphId>>>,
+    stats: &mut MergeStats,
+) -> Verdict {
+    if ctx.trust_known {
+        if let Some(known) = ctx.known {
+            if let Some(sup) = known.support(code) {
+                stats.known_skipped += 1;
+                return Verdict::Bound(sup);
+            }
+        }
+    }
+    if !ctx.exact_supports {
+        if let Some(lb) = seeds.support(code) {
+            if lb >= ctx.min_support {
+                stats.shortcut += 1;
+                return Verdict::Bound(lb);
+            }
+        }
+    }
+    stats.counted += 1;
+    let (sup, gids) = match restrict {
+        Some(list) => index.support_over(ctx.db, list, code, ctx.min_support),
+        None => {
+            let all: Vec<GraphId> = (0..ctx.db.len() as GraphId).collect();
+            index.support_over(ctx.db, &all, code, ctx.min_support)
+        }
+    };
+    if sup >= ctx.min_support {
+        Verdict::Counted(sup, Arc::new(gids))
+    } else {
+        Verdict::Rejected
+    }
+}
+
+fn within_cap(ctx: &MergeContext<'_>, size: usize) -> bool {
+    ctx.max_edges.is_none_or(|cap| size <= cap)
+}
+
+/// Picks the shorter of two optional supporter lists (both are supersets of
+/// the candidate's true supporters, so the shorter bound is tighter).
+fn tighter(
+    a: Option<Arc<Vec<GraphId>>>,
+    b: Option<Arc<Vec<GraphId>>>,
+) -> Option<Arc<Vec<GraphId>>> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.len() <= y.len() { x } else { y }),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+/// `Complete` policy: level-wise one-edge extension of the *entire* exact
+/// frequent set — lossless by the FSG downward-closure argument.
+fn complete_levels(
+    ctx: &MergeContext<'_>,
+    index: &SupportIndex,
+    vocab: &EdgeVocab,
+    seeds: &PatternSet,
+    level1: Vec<Live>,
+    out: &mut PatternSet,
+    stats: &mut MergeStats,
+) {
+    let mut frontier = level1;
+    while !frontier.is_empty() {
+        let next_size = frontier[0].pattern.size() + 1;
+        if !within_cap(ctx, next_size) {
+            break;
+        }
+        // Candidate -> tightest parent supporter list.
+        let mut candidates: FxHashMap<DfsCode, Option<Arc<Vec<GraphId>>>> = FxHashMap::default();
+        for live in &frontier {
+            for code in one_edge_extensions(&live.pattern.graph, vocab) {
+                if out.contains(&code) {
+                    continue;
+                }
+                let entry = candidates.entry(code).or_insert_with(|| live.supporters.clone());
+                *entry = tighter(entry.take(), live.supporters.clone());
+            }
+        }
+        stats.candidates += candidates.len();
+        let work: Vec<CandidateWork> = candidates.into_iter().collect();
+        let verified = verify_batch(ctx, index, seeds, work, stats);
+        let mut next = Vec::new();
+        for (code, restrict, verdict) in verified {
+            match verdict {
+                Verdict::Counted(sup, gids) => {
+                    let p = Pattern::from_code(code, sup);
+                    out.insert(p.clone());
+                    next.push(Live { pattern: p, supporters: Some(gids) });
+                }
+                Verdict::Bound(sup) => {
+                    let p = Pattern::from_code(code, sup);
+                    out.insert(p.clone());
+                    next.push(Live { pattern: p, supporters: restrict });
+                }
+                Verdict::Rejected => {}
+            }
+        }
+        frontier = next;
+    }
+}
+
+/// A candidate with its tightest parent supporter list.
+type CandidateWork = (DfsCode, Option<Arc<Vec<GraphId>>>);
+/// A verified candidate: the work item plus the verdict.
+type VerifiedWork = (DfsCode, Option<Arc<Vec<GraphId>>>, Verdict);
+
+/// Verifies a batch of candidates, fanning out over threads when the
+/// context asks for parallel mode and the batch is worth it.
+fn verify_batch(
+    ctx: &MergeContext<'_>,
+    index: &SupportIndex,
+    seeds: &PatternSet,
+    work: Vec<CandidateWork>,
+    stats: &mut MergeStats,
+) -> Vec<VerifiedWork> {
+    const MIN_PARALLEL_BATCH: usize = 64;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if !ctx.parallel || threads < 2 || work.len() < MIN_PARALLEL_BATCH {
+        return work
+            .into_iter()
+            .map(|(code, restrict)| {
+                let v = verify(ctx, index, seeds, &code, restrict.as_ref(), stats);
+                (code, restrict, v)
+            })
+            .collect();
+    }
+    let chunk = work.len().div_ceil(threads);
+    let results: Vec<(Vec<VerifiedWork>, MergeStats)> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk)
+                .map(|part| {
+                    let part: Vec<_> = part.to_vec();
+                    scope.spawn(move |_| {
+                        let mut local_stats = MergeStats::default();
+                        let out: Vec<_> = part
+                            .into_iter()
+                            .map(|(code, restrict)| {
+                                let v = verify(ctx, index, seeds, &code, restrict.as_ref(), &mut local_stats);
+                                (code, restrict, v)
+                            })
+                            .collect();
+                        (out, local_stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("verify worker")).collect()
+        })
+        .expect("verification scope");
+    let mut out = Vec::with_capacity(work_capacity(&results));
+    for (part, local) in results {
+        stats.absorb(local);
+        out.extend(part);
+    }
+    out
+}
+
+fn work_capacity(results: &[(Vec<VerifiedWork>, MergeStats)]) -> usize {
+    results.iter().map(|(v, _)| v.len()).sum()
+}
+
+/// `Paper` policy: the joins exactly as Fig. 11 writes them. Unit-local
+/// patterns enter `P^k(S)` directly (verified at `θ`); *new* cross patterns
+/// grow only out of the `F^k` chain, seeded by
+/// `C^3 = Join(P^2(S0), P^2(S1))`.
+#[allow(clippy::too_many_arguments)]
+fn paper_levels(
+    ctx: &MergeContext<'_>,
+    index: &SupportIndex,
+    vocab: &EdgeVocab,
+    p0: &PatternSet,
+    p1: &PatternSet,
+    seeds: &PatternSet,
+    out: &mut PatternSet,
+    stats: &mut MergeStats,
+) {
+    let max_piece = p0.max_size().max(p1.max_size());
+
+    // Level 2: P^2(S) = P^2(S0) ∪ P^2(S1), verified against S.
+    if within_cap(ctx, 2) {
+        let mut piece2: Vec<&Pattern> = p0.of_size(2).chain(p1.of_size(2)).collect();
+        piece2.sort_by(|a, b| a.code.cmp(&b.code));
+        piece2.dedup_by(|a, b| a.code == b.code);
+        for p in piece2 {
+            if out.contains(&p.code) {
+                continue;
+            }
+            match verify(ctx, index, seeds, &p.code, None, stats) {
+                Verdict::Counted(sup, _) | Verdict::Bound(sup) => {
+                    out.insert(Pattern::from_code(p.code.clone(), sup));
+                }
+                Verdict::Rejected => {}
+            }
+        }
+    }
+
+    // C^3 = Join(P^2(S0), P^2(S1)): extensions of one side with a partner
+    // (one-edge deletion) on the other side.
+    let mut f_k: Vec<Live> = Vec::new();
+    if within_cap(ctx, 3) {
+        let mut c3: FxHashMap<DfsCode, ()> = FxHashMap::default();
+        let sides: [(&PatternSet, &PatternSet); 2] = [(p0, p1), (p1, p0)];
+        for (mine, other) in sides {
+            for p in mine.of_size(2) {
+                for code in one_edge_extensions(&p.graph, vocab) {
+                    if out.contains(&code) || c3.contains_key(&code) {
+                        continue;
+                    }
+                    let has_partner = one_edge_deletions(&code.to_graph())
+                        .iter()
+                        .any(|d| other.contains(d));
+                    if has_partner {
+                        c3.insert(code, ());
+                    }
+                }
+            }
+        }
+        stats.candidates += c3.len();
+        for (code, ()) in c3 {
+            match verify(ctx, index, seeds, &code, None, stats) {
+                Verdict::Counted(sup, gids) => {
+                    let p = Pattern::from_code(code, sup);
+                    out.insert(p.clone());
+                    f_k.push(Live { pattern: p, supporters: Some(gids) });
+                }
+                Verdict::Bound(sup) => {
+                    let p = Pattern::from_code(code, sup);
+                    out.insert(p.clone());
+                    f_k.push(Live { pattern: p, supporters: None });
+                }
+                Verdict::Rejected => {}
+            }
+        }
+    }
+
+    // Levels k >= 3: P^k(S) = P^k(S0) ∪ P^k(S1) ∪ F^k;
+    // C^{k+1} = Join(P^k(S0), F^k) ∪ Join(P^k(S1), F^k) ∪ Join(F^k, F^k)
+    // — i.e. extensions of the F^k chain only.
+    let mut k = 3usize;
+    loop {
+        if !within_cap(ctx, k) {
+            break;
+        }
+        let mut piece_k: Vec<&Pattern> = p0.of_size(k).chain(p1.of_size(k)).collect();
+        piece_k.sort_by(|a, b| a.code.cmp(&b.code));
+        piece_k.dedup_by(|a, b| a.code == b.code);
+        for p in piece_k {
+            if out.contains(&p.code) {
+                continue;
+            }
+            match verify(ctx, index, seeds, &p.code, None, stats) {
+                Verdict::Counted(sup, _) | Verdict::Bound(sup) => {
+                    out.insert(Pattern::from_code(p.code.clone(), sup));
+                }
+                Verdict::Rejected => {}
+            }
+        }
+
+        if f_k.is_empty() && k > max_piece {
+            break;
+        }
+        if !within_cap(ctx, k + 1) {
+            break;
+        }
+        let mut candidates: FxHashMap<DfsCode, Option<Arc<Vec<GraphId>>>> = FxHashMap::default();
+        for live in &f_k {
+            for code in one_edge_extensions(&live.pattern.graph, vocab) {
+                if out.contains(&code) {
+                    continue;
+                }
+                let entry = candidates.entry(code).or_insert_with(|| live.supporters.clone());
+                *entry = tighter(entry.take(), live.supporters.clone());
+            }
+        }
+        stats.candidates += candidates.len();
+        let mut next_f = Vec::new();
+        for (code, restrict) in candidates {
+            match verify(ctx, index, seeds, &code, restrict.as_ref(), stats) {
+                Verdict::Counted(sup, gids) => {
+                    let p = Pattern::from_code(code, sup);
+                    out.insert(p.clone());
+                    next_f.push(Live { pattern: p, supporters: Some(gids) });
+                }
+                Verdict::Bound(sup) => {
+                    let p = Pattern::from_code(code, sup);
+                    out.insert(p.clone());
+                    next_f.push(Live { pattern: p, supporters: restrict });
+                }
+                Verdict::Rejected => {}
+            }
+        }
+        f_k = next_f;
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmine_graph::Graph;
+    use graphmine_miner::{GSpan, MemoryMiner};
+    use graphmine_partition::{split_by_sides, Bipartitioner, Criteria, GraphPart};
+
+    /// Builds a database, splits every graph in two, and returns the two
+    /// piece databases.
+    fn split_db(db: &GraphDb) -> (GraphDb, GraphDb) {
+        let part = GraphPart::new(Criteria::MIN_CONNECTIVITY);
+        let mut d0 = GraphDb::new();
+        let mut d1 = GraphDb::new();
+        for (_, g) in db.iter() {
+            let uf = vec![0.0; g.vertex_count()];
+            let sides = part.assign(g, &uf);
+            let split = split_by_sides(g, &uf, &sides);
+            d0.push(split.side1.graph);
+            d1.push(split.side2.graph);
+        }
+        (d0, d1)
+    }
+
+    fn sample_db() -> GraphDb {
+        let mut graphs = Vec::new();
+        for i in 0..6u32 {
+            let mut g = Graph::new();
+            for j in 0..6 {
+                g.add_vertex(j % 3);
+            }
+            g.add_edge(0, 1, 0).unwrap();
+            g.add_edge(1, 2, 1).unwrap();
+            g.add_edge(2, 3, 0).unwrap();
+            g.add_edge(3, 4, 1).unwrap();
+            g.add_edge(4, 5, 0).unwrap();
+            if i % 2 == 0 {
+                g.add_edge(5, 0, 1).unwrap();
+            }
+            if i % 3 == 0 {
+                g.add_edge(0, 3, 2).unwrap();
+            }
+            graphs.push(g);
+        }
+        GraphDb::from_graphs(graphs)
+    }
+
+    #[test]
+    fn complete_policy_recovers_gspan_exactly() {
+        let db = sample_db();
+        let (d0, d1) = split_db(&db);
+        for sup in 1..=4u32 {
+            let unit_sup = sup.div_ceil(2).max(1);
+            let p0 = GSpan::new().mine(&d0, unit_sup);
+            let p1 = GSpan::new().mine(&d1, unit_sup);
+            let ctx = MergeContext {
+                db: &db,
+                min_support: sup,
+                policy: JoinPolicy::Complete,
+                max_edges: None,
+                exact_supports: true,
+                known: None,
+                trust_known: false,
+                parallel: false,
+            };
+            let (merged, _) = merge_join(&ctx, &p0, &p1);
+            let direct = GSpan::new().mine(&db, sup);
+            assert!(
+                merged.same_codes_and_supports(&direct),
+                "sup {sup}: merged {} direct {}",
+                merged.len(),
+                direct.len()
+            );
+        }
+    }
+
+    #[test]
+    fn shortcut_mode_finds_same_codes() {
+        let db = sample_db();
+        let (d0, d1) = split_db(&db);
+        let sup = 3u32;
+        let p0 = GSpan::new().mine(&d0, 2);
+        let p1 = GSpan::new().mine(&d1, 2);
+        let ctx = MergeContext {
+            db: &db,
+            min_support: sup,
+            policy: JoinPolicy::Complete,
+            max_edges: None,
+            exact_supports: false,
+            known: None,
+            trust_known: false,
+            parallel: false,
+        };
+        let (merged, stats) = merge_join(&ctx, &p0, &p1);
+        let direct = GSpan::new().mine(&db, sup);
+        assert!(merged.same_codes(&direct));
+        // Shortcut supports are valid lower bounds above the threshold.
+        for p in merged.iter() {
+            assert!(p.support >= sup);
+            assert!(p.support <= direct.support(&p.code).unwrap());
+        }
+        assert!(stats.shortcut > 0, "the unit-support shortcut fired: {stats:?}");
+    }
+
+    #[test]
+    fn paper_policy_is_a_sound_subset() {
+        let db = sample_db();
+        let (d0, d1) = split_db(&db);
+        for sup in 1..=4u32 {
+            let unit_sup = sup.div_ceil(2).max(1);
+            let p0 = GSpan::new().mine(&d0, unit_sup);
+            let p1 = GSpan::new().mine(&d1, unit_sup);
+            let ctx = MergeContext {
+                db: &db,
+                min_support: sup,
+                policy: JoinPolicy::Paper,
+                max_edges: None,
+                exact_supports: true,
+                known: None,
+                trust_known: false,
+                parallel: false,
+            };
+            let (merged, _) = merge_join(&ctx, &p0, &p1);
+            let direct = GSpan::new().mine(&db, sup);
+            for p in merged.iter() {
+                assert_eq!(
+                    direct.support(&p.code),
+                    Some(p.support),
+                    "paper policy reported a non-frequent pattern {}",
+                    p.code
+                );
+            }
+            assert!(merged.len() <= direct.len());
+        }
+    }
+
+    #[test]
+    fn known_skip_moves_patterns_without_counting() {
+        let db = sample_db();
+        let (d0, d1) = split_db(&db);
+        let sup = 2u32;
+        let direct = GSpan::new().mine(&db, sup);
+        let p0 = GSpan::new().mine(&d0, 1);
+        let p1 = GSpan::new().mine(&d1, 1);
+        let ctx = MergeContext {
+            db: &db,
+            min_support: sup,
+            policy: JoinPolicy::Complete,
+            max_edges: None,
+            exact_supports: false,
+            known: Some(&direct),
+            trust_known: true,
+            parallel: false,
+        };
+        let (merged, stats) = merge_join(&ctx, &p0, &p1);
+        assert!(merged.same_codes(&direct));
+        assert!(stats.known_skipped > 0);
+    }
+
+    #[test]
+    fn max_edges_caps_the_merge() {
+        let db = sample_db();
+        let (d0, d1) = split_db(&db);
+        let p0 = GSpan::capped(2).mine(&d0, 1);
+        let p1 = GSpan::capped(2).mine(&d1, 1);
+        let ctx = MergeContext {
+            db: &db,
+            min_support: 2,
+            policy: JoinPolicy::Complete,
+            max_edges: Some(2),
+            exact_supports: true,
+            known: None,
+            trust_known: false,
+            parallel: false,
+        };
+        let (merged, _) = merge_join(&ctx, &p0, &p1);
+        assert!(merged.iter().all(|p| p.size() <= 2));
+        let direct = GSpan::capped(2).mine(&db, 2);
+        assert!(merged.same_codes_and_supports(&direct));
+    }
+
+    #[test]
+    fn supporter_lists_do_not_change_results() {
+        // Equivalence between restricted counting and whole-db counting is
+        // implied by the gSpan comparisons above; this additionally checks
+        // a database where supporter sets differ per pattern.
+        let mut graphs = Vec::new();
+        for i in 0..8u32 {
+            let mut g = Graph::new();
+            let a = g.add_vertex(i % 2);
+            let b = g.add_vertex(1);
+            let c = g.add_vertex(2);
+            g.add_edge(a, b, 0).unwrap();
+            g.add_edge(b, c, i % 3).unwrap();
+            graphs.push(g);
+        }
+        let db = GraphDb::from_graphs(graphs);
+        let (d0, d1) = split_db(&db);
+        for sup in 2..=4 {
+            let p0 = GSpan::new().mine(&d0, 1);
+            let p1 = GSpan::new().mine(&d1, 1);
+            let ctx = MergeContext {
+                db: &db,
+                min_support: sup,
+                policy: JoinPolicy::Complete,
+                max_edges: None,
+                exact_supports: true,
+                known: None,
+                trust_known: false,
+                parallel: false,
+            };
+            let (merged, _) = merge_join(&ctx, &p0, &p1);
+            let direct = GSpan::new().mine(&db, sup);
+            assert!(merged.same_codes_and_supports(&direct), "sup {sup}");
+        }
+    }
+}

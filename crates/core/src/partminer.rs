@@ -1,0 +1,308 @@
+//! The PartMiner algorithm (Fig. 11).
+
+use std::time::{Duration, Instant};
+
+use rustc_hash::FxHashMap;
+
+use graphmine_graph::{GraphDb, PatternSet, Support};
+use graphmine_partition::{DbPartition, NodeId};
+
+use crate::merge_join::{merge_join, MergeContext, MergeStats};
+use crate::{PartMinerConfig};
+
+/// Timings and work counters of one PartMiner run.
+#[derive(Debug, Clone, Default)]
+pub struct MineStats {
+    /// Phase-1 time (building the partition tree).
+    pub partition_time: Duration,
+    /// Per-unit mining times, in unit order.
+    pub unit_times: Vec<Duration>,
+    /// Total merge-join time.
+    pub merge_time: Duration,
+    /// Actual elapsed wall time of the whole run.
+    pub wall: Duration,
+    /// Merge-join work counters, accumulated over all tree nodes.
+    pub merge: MergeStats,
+}
+
+impl MineStats {
+    /// The paper's *serial mode* metric: partitioning plus the **sum** of
+    /// unit times plus merging.
+    pub fn aggregate_time(&self) -> Duration {
+        self.partition_time + self.unit_times.iter().sum::<Duration>() + self.merge_time
+    }
+
+    /// The paper's *parallel mode (1 CPU)* metric: partitioning plus the
+    /// **maximum** unit time plus merging.
+    pub fn parallel_time(&self) -> Duration {
+        self.partition_time
+            + self.unit_times.iter().max().copied().unwrap_or_default()
+            + self.merge_time
+    }
+}
+
+/// The mining state PartMiner leaves behind: the partition tree and the
+/// frequent-pattern set of every tree node. This is exactly what
+/// IncPartMiner needs to process updates incrementally.
+pub struct PartMinerState {
+    /// Configuration the state was produced with.
+    pub config: PartMinerConfig,
+    /// The (evolving) partition tree.
+    pub partition: DbPartition,
+    /// Frequent patterns per tree node (units and internal nodes; the root
+    /// entry is `P(D)`).
+    pub node_results: FxHashMap<NodeId, PatternSet>,
+    /// The absolute support threshold the state is maintained at.
+    pub min_support: Support,
+}
+
+impl PartMinerState {
+    /// The current database-level result `P(D)`.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.node_results[&self.partition.root_id()]
+    }
+}
+
+/// Result of [`PartMiner::mine`].
+pub struct MineOutcome {
+    /// The frequent subgraphs of the database.
+    pub patterns: PatternSet,
+    /// Timings and counters.
+    pub stats: MineStats,
+    /// Reusable state for incremental updates.
+    pub state: PartMinerState,
+}
+
+/// The partition-based miner.
+#[derive(Debug, Clone, Default)]
+pub struct PartMiner {
+    /// Pipeline configuration.
+    pub config: PartMinerConfig,
+}
+
+impl PartMiner {
+    /// A PartMiner with the given configuration.
+    pub fn new(config: PartMinerConfig) -> Self {
+        PartMiner { config }
+    }
+
+    /// Mines all frequent subgraphs of `db` at the absolute threshold
+    /// `min_support`.
+    ///
+    /// `ufreq[gid][v]` is the update frequency of each vertex (zeros for a
+    /// static database).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ufreq` is not shaped like `db` or `config.k == 0`.
+    pub fn mine(&self, db: &GraphDb, ufreq: &[Vec<f64>], min_support: Support) -> MineOutcome {
+        let start = Instant::now();
+        let cfg = &self.config;
+
+        // Phase 1: divide the database into units (Fig. 6).
+        let t = Instant::now();
+        let partitioner = cfg.partitioner.build();
+        let partition = DbPartition::build(db, ufreq, partitioner.as_ref(), cfg.k);
+        let partition_time = t.elapsed();
+
+        // Phase 2a: mine the units at the reduced support sup/2^depth.
+        let unit_nodes: Vec<NodeId> = (0..partition.unit_count())
+            .map(|j| {
+                // Find the node id backing unit j.
+                (0..partition.node_count())
+                    .find(|&n| partition.node(n).unit == Some(j))
+                    .expect("every unit has a node")
+            })
+            .collect();
+        let mut node_results: FxHashMap<NodeId, PatternSet> = FxHashMap::default();
+        let mut unit_times = vec![Duration::default(); unit_nodes.len()];
+
+        if cfg.parallel && unit_nodes.len() > 1 {
+            let results: Vec<(NodeId, PatternSet, Duration)> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = unit_nodes
+                    .iter()
+                    .map(|&n| {
+                        let node = partition.node(n);
+                        let sup = PartMinerConfig::depth_support(min_support, node.depth);
+                        scope.spawn(move |_| {
+                            let t = Instant::now();
+                            let res = cfg.unit_miner.mine(&node.db, sup, cfg.max_edges);
+                            (n, res, t.elapsed())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("unit miner panicked")).collect()
+            })
+            .expect("mining scope");
+            for (n, res, dt) in results {
+                let unit = partition.node(n).unit.expect("leaf");
+                unit_times[unit] = dt;
+                node_results.insert(n, res);
+            }
+        } else {
+            for &n in &unit_nodes {
+                let node = partition.node(n);
+                let sup = PartMinerConfig::depth_support(min_support, node.depth);
+                let t = Instant::now();
+                let res = cfg.unit_miner.mine(&node.db, sup, cfg.max_edges);
+                unit_times[node.unit.expect("leaf")] = t.elapsed();
+                node_results.insert(n, res);
+            }
+        }
+
+        // Phase 2b: combine bottom-up with the merge-join.
+        let t = Instant::now();
+        let mut merge = MergeStats::default();
+        merge_subtree(cfg, &partition, partition.root_id(), min_support, &mut node_results, &mut merge, None);
+        let merge_time = t.elapsed();
+
+        let patterns = node_results[&partition.root_id()].clone();
+        let stats = MineStats {
+            partition_time,
+            unit_times,
+            merge_time,
+            wall: start.elapsed(),
+            merge,
+        };
+        let state = PartMinerState {
+            config: *cfg,
+            partition,
+            node_results,
+            min_support,
+        };
+        MineOutcome { patterns, stats, state }
+    }
+}
+
+/// Post-order merge of a subtree; fills `node_results` for every internal
+/// node that does not already have a result. `known`/trusting is only ever
+/// applied at the root (see IncPartMiner).
+pub(crate) fn merge_subtree(
+    cfg: &PartMinerConfig,
+    partition: &DbPartition,
+    node_id: NodeId,
+    min_support: Support,
+    node_results: &mut FxHashMap<NodeId, PatternSet>,
+    stats: &mut MergeStats,
+    known_at_root: Option<&PatternSet>,
+) {
+    if node_results.contains_key(&node_id) {
+        return;
+    }
+    let (a, b) = partition
+        .node(node_id)
+        .children
+        .expect("leaf results are mined, not merged");
+    merge_subtree(cfg, partition, a, min_support, node_results, stats, known_at_root);
+    merge_subtree(cfg, partition, b, min_support, node_results, stats, known_at_root);
+    let node = partition.node(node_id);
+    let sup = PartMinerConfig::depth_support(min_support, node.depth);
+    let at_root = node_id == partition.root_id();
+    let ctx = MergeContext {
+        db: &node.db,
+        min_support: sup,
+        policy: cfg.join_policy,
+        max_edges: cfg.max_edges,
+        exact_supports: cfg.exact_supports,
+        known: if at_root { known_at_root } else { None },
+        trust_known: at_root && known_at_root.is_some() && !cfg.verify_unchanged,
+        parallel: cfg.parallel,
+    };
+    let (result, mstats) = merge_join(&ctx, &node_results[&a], &node_results[&b]);
+    stats.absorb(mstats);
+    node_results.insert(node_id, result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmine_graph::Graph;
+    use graphmine_miner::{GSpan, MemoryMiner};
+
+    fn sample_db() -> (GraphDb, Vec<Vec<f64>>) {
+        let mut graphs = Vec::new();
+        for i in 0..8u32 {
+            let mut g = Graph::new();
+            for j in 0..6 {
+                g.add_vertex(j % 3);
+            }
+            g.add_edge(0, 1, 0).unwrap();
+            g.add_edge(1, 2, 1).unwrap();
+            g.add_edge(2, 3, 0).unwrap();
+            g.add_edge(3, 4, 1).unwrap();
+            g.add_edge(4, 5, 0).unwrap();
+            if i % 2 == 0 {
+                g.add_edge(5, 0, 2).unwrap();
+            }
+            if i % 4 == 0 {
+                g.add_edge(1, 4, 2).unwrap();
+            }
+            graphs.push(g);
+        }
+        let ufreq = (0..8).map(|_| vec![0.0; 6]).collect();
+        (GraphDb::from_graphs(graphs), ufreq)
+    }
+
+    #[test]
+    fn partminer_equals_gspan_for_all_k() {
+        let (db, uf) = sample_db();
+        for k in 1..=5 {
+            for sup in [2u32, 4] {
+                let mut cfg = PartMinerConfig::with_k(k);
+                cfg.exact_supports = true;
+                let outcome = PartMiner::new(cfg).mine(&db, &uf, sup);
+                let direct = GSpan::new().mine(&db, sup);
+                assert!(
+                    outcome.patterns.same_codes_and_supports(&direct),
+                    "k={k} sup={sup}: {} vs {}",
+                    outcome.patterns.len(),
+                    direct.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shortcut_mode_same_codes() {
+        let (db, uf) = sample_db();
+        let cfg = PartMinerConfig::with_k(3);
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 3);
+        let direct = GSpan::new().mine(&db, 3);
+        assert!(outcome.patterns.same_codes(&direct));
+    }
+
+    #[test]
+    fn parallel_mode_matches_serial() {
+        let (db, uf) = sample_db();
+        let mut cfg = PartMinerConfig::with_k(4);
+        cfg.exact_supports = true;
+        let serial = PartMiner::new(cfg).mine(&db, &uf, 2);
+        cfg.parallel = true;
+        let parallel = PartMiner::new(cfg).mine(&db, &uf, 2);
+        assert!(serial.patterns.same_codes_and_supports(&parallel.patterns));
+        assert_eq!(parallel.stats.unit_times.len(), 4);
+    }
+
+    #[test]
+    fn gaston_unit_miner_matches() {
+        let (db, uf) = sample_db();
+        let mut cfg = PartMinerConfig::with_k(2);
+        cfg.unit_miner = crate::UnitMinerKind::Gaston;
+        cfg.exact_supports = true;
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 2);
+        let direct = GSpan::new().mine(&db, 2);
+        assert!(outcome.patterns.same_codes_and_supports(&direct));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (db, uf) = sample_db();
+        let outcome = PartMiner::new(PartMinerConfig::with_k(3)).mine(&db, &uf, 2);
+        assert_eq!(outcome.stats.unit_times.len(), 3);
+        assert!(outcome.stats.aggregate_time() >= outcome.stats.parallel_time());
+        assert_eq!(outcome.state.partition.unit_count(), 3);
+        // Every tree node has a result.
+        assert_eq!(outcome.state.node_results.len(), outcome.state.partition.node_count());
+        assert!(outcome.state.patterns().same_codes(&outcome.patterns));
+    }
+}

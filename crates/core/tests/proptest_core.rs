@@ -1,0 +1,121 @@
+//! Property tests: PartMiner is lossless and IncPartMiner matches a full
+//! recompute on random databases and random update batches.
+
+use proptest::prelude::*;
+
+use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig};
+use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate};
+use graphmine_miner::{GSpan, MemoryMiner};
+
+fn connected_graph(max_vertices: usize) -> impl Strategy<Value = Graph> {
+    (3..=max_vertices).prop_flat_map(move |n| {
+        let vl = proptest::collection::vec(0..3u32, n);
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
+        let tree_el = proptest::collection::vec(0..2u32, n - 1);
+        let extra = proptest::collection::vec((0..n, 0..n, 0..2u32), 0..=2);
+        (vl, parents, tree_el, extra).prop_map(move |(vl, parents, tree_el, extra)| {
+            let mut g = Graph::new();
+            for &l in &vl {
+                g.add_vertex(l);
+            }
+            for (i, (&p, &el)) in parents.iter().zip(tree_el.iter()).enumerate() {
+                g.add_edge((i + 1) as u32, p as u32, el).unwrap();
+            }
+            for &(u, v, el) in &extra {
+                if u != v {
+                    let _ = g.add_edge(u as u32, v as u32, el);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn db_strategy() -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec(connected_graph(6), 2..6).prop_map(GraphDb::from_graphs)
+}
+
+/// Builds a valid update from a pick value, or `None` if the pick lands on
+/// an inapplicable shape.
+fn decode_update(db: &GraphDb, pick: u64) -> Option<DbUpdate> {
+    let gid = (pick % db.len() as u64) as u32;
+    let g = db.graph(gid);
+    let nv = g.vertex_count() as u32;
+    let ne = g.edge_count() as u32;
+    let p = pick / db.len() as u64;
+    let update = match p % 4 {
+        0 => GraphUpdate::RelabelVertex { v: (p as u32 / 4) % nv, label: (p as u32 / 8) % 5 },
+        1 if ne > 0 => GraphUpdate::RelabelEdge { e: (p as u32 / 4) % ne, label: (p as u32 / 8) % 5 },
+        2 => {
+            let u = (p as u32 / 4) % nv;
+            let v = (p as u32 / 16) % nv;
+            if u == v || g.edge_between(u, v).is_some() {
+                return None;
+            }
+            GraphUpdate::AddEdge { u, v, label: (p as u32 / 32) % 5 }
+        }
+        _ => GraphUpdate::AddVertex {
+            label: (p as u32 / 4) % 5,
+            attach_to: (p as u32 / 8) % nv,
+            elabel: (p as u32 / 16) % 5,
+        },
+    };
+    Some(DbUpdate { gid, update })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partminer_is_lossless_on_random_databases(db in db_strategy(), k in 1usize..5, sup in 1u32..4) {
+        let uf: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+        let mut cfg = PartMinerConfig::with_k(k);
+        cfg.exact_supports = true;
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, sup);
+        let direct = GSpan::new().mine(&db, sup);
+        prop_assert!(
+            outcome.patterns.same_codes_and_supports(&direct),
+            "k={} sup={}: partminer {} direct {}",
+            k, sup, outcome.patterns.len(), direct.len()
+        );
+    }
+
+    #[test]
+    fn incpartminer_matches_recompute_on_random_updates(
+        db in db_strategy(),
+        k in 2usize..4,
+        picks in proptest::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let uf: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+        let mut cfg = PartMinerConfig::with_k(k);
+        cfg.exact_supports = true;
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 2);
+        let mut state = outcome.state;
+
+        // Build a batch of applicable updates against a mirror.
+        let mut mirror = db.clone();
+        let mut batch = Vec::new();
+        for &pick in &picks {
+            if let Some(up) = decode_update(&mirror, pick) {
+                if up.update.apply(mirror.graph_mut(up.gid)).is_ok() {
+                    batch.push(up);
+                }
+            }
+        }
+        prop_assume!(!batch.is_empty());
+
+        let inc = IncPartMiner::update(&mut state, &batch).unwrap();
+        let direct = GSpan::new().mine(&mirror, 2);
+        prop_assert!(
+            inc.patterns.same_codes_and_supports(&direct),
+            "incremental {} direct {}",
+            inc.patterns.len(),
+            direct.len()
+        );
+        // Classification invariants.
+        prop_assert_eq!(inc.uf.len() + inc.if_new.len(), direct.len());
+        for p in inc.fi.iter() {
+            prop_assert!(!direct.contains(&p.code));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic graph-database generator and update workloads (Section 5).
+//!
+//! The paper uses the generator of Wang et al. (SIGKDD 2004), itself in the
+//! Kuramochi–Karypis tradition: `L` *potentially frequent kernels* with an
+//! average of `I` edges are planted into `D` graphs with an average of `T`
+//! edges over `N` possible labels (Table 1). Dataset names follow the
+//! paper's convention, e.g. `D50kT20N20L200I5`.
+//!
+//! The update workload generator extends it "in 3 different ways" exactly as
+//! Section 5 describes: (1) re-labeling vertices/edges with existing or new
+//! labels, (2) adding a new edge between existing vertices, and (3) adding a
+//! new vertex with an edge to an existing vertex. Planned updates also yield
+//! the per-vertex update frequencies (`ufreq`) the partitioning criteria
+//! consume — matching the paper's premise that update-prone vertices are
+//! known to the partitioner.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod gen;
+mod updates;
+
+pub use gen::{generate, GenParams};
+pub use updates::{plan_updates, ufreq_from_updates, UpdateKind, UpdateParams};

@@ -1,0 +1,144 @@
+use crate::{Graph, Support};
+
+/// Graph identifier within a [`GraphDb`]. Graph ids are stable across
+/// partitioning: the `j`-th piece of graph `gid` keeps id `gid` in unit `j`,
+/// which is what lets unit-level supports be compared with database-level
+/// supports.
+pub type GraphId = u32;
+
+/// A transactional graph database: a set of `(gid, G)` tuples.
+///
+/// The *support* of a pattern is the number of member graphs that contain an
+/// isomorphic copy of it (Section 3). Minimum support is usually given as a
+/// fraction; [`GraphDb::abs_support`] converts it to the absolute count used
+/// by the miners.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDb {
+    graphs: Vec<Graph>,
+}
+
+impl GraphDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a database from pre-built graphs; the graph at index `i`
+    /// receives gid `i`.
+    pub fn from_graphs(graphs: Vec<Graph>) -> Self {
+        GraphDb { graphs }
+    }
+
+    /// Appends a graph, returning its gid.
+    pub fn push(&mut self, g: Graph) -> GraphId {
+        let id = self.graphs.len() as GraphId;
+        self.graphs.push(g);
+        id
+    }
+
+    /// Number of graphs in the database.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// `true` when the database holds no graphs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The graph with the given gid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` is out of range.
+    #[inline]
+    pub fn graph(&self, gid: GraphId) -> &Graph {
+        &self.graphs[gid as usize]
+    }
+
+    /// Mutable access to the graph with the given gid (update workloads).
+    #[inline]
+    pub fn graph_mut(&mut self, gid: GraphId) -> &mut Graph {
+        &mut self.graphs[gid as usize]
+    }
+
+    /// Iterates over `(gid, &Graph)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> {
+        self.graphs.iter().enumerate().map(|(i, g)| (i as GraphId, g))
+    }
+
+    /// All graphs as a slice, indexed by gid.
+    #[inline]
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// Converts a relative minimum support (e.g. `0.04` for the paper's 4%)
+    /// into the absolute graph count used by the miners, rounding up and
+    /// clamping to at least 1.
+    pub fn abs_support(&self, min_sup: f64) -> Support {
+        let n = self.graphs.len() as f64;
+        ((min_sup * n).ceil() as Support).max(1)
+    }
+
+    /// Total number of edges across all member graphs.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(Graph::edge_count).sum()
+    }
+}
+
+impl std::ops::Index<GraphId> for GraphDb {
+    type Output = Graph;
+
+    fn index(&self, gid: GraphId) -> &Graph {
+        &self.graphs[gid as usize]
+    }
+}
+
+impl FromIterator<Graph> for GraphDb {
+    fn from_iter<T: IntoIterator<Item = Graph>>(iter: T) -> Self {
+        GraphDb { graphs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_graph(vl: (u32, u32), el: u32) -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_vertex(vl.0);
+        let b = g.add_vertex(vl.1);
+        g.add_edge(a, b, el).unwrap();
+        g
+    }
+
+    #[test]
+    fn push_and_index() {
+        let mut db = GraphDb::new();
+        let id0 = db.push(edge_graph((0, 1), 0));
+        let id1 = db.push(edge_graph((2, 3), 1));
+        assert_eq!((id0, id1), (0, 1));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db[1].vlabel(0), 2);
+        assert_eq!(db.total_edges(), 2);
+    }
+
+    #[test]
+    fn abs_support_rounds_up_and_clamps() {
+        let db: GraphDb = (0..100).map(|i| edge_graph((i, i), 0)).collect();
+        assert_eq!(db.abs_support(0.04), 4);
+        assert_eq!(db.abs_support(0.041), 5);
+        assert_eq!(db.abs_support(0.0), 1);
+        assert_eq!(db.abs_support(1.0), 100);
+    }
+
+    #[test]
+    fn iter_yields_gids_in_order() {
+        let db: GraphDb = (0..3).map(|i| edge_graph((i, i), i)).collect();
+        let gids: Vec<_> = db.iter().map(|(g, _)| g).collect();
+        assert_eq!(gids, vec![0, 1, 2]);
+    }
+}

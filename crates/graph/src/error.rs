@@ -1,0 +1,53 @@
+use std::fmt;
+
+/// Errors raised by graph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex identifier was out of range for the graph it was used with.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// Number of vertices in the graph.
+        len: u32,
+    },
+    /// An edge identifier was out of range for the graph it was used with.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: u32,
+        /// Number of edges in the graph.
+        len: u32,
+    },
+    /// Self-loops are not part of the paper's graph model.
+    SelfLoop {
+        /// The vertex on which a self-loop was attempted.
+        vertex: u32,
+    },
+    /// The graph model is simple: at most one edge per vertex pair.
+    DuplicateEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::VertexOutOfRange { vertex, len } => {
+                write!(f, "vertex id {vertex} out of range (graph has {len} vertices)")
+            }
+            GraphError::EdgeOutOfRange { edge, len } => {
+                write!(f, "edge id {edge} out of range (graph has {len} edges)")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,395 @@
+use crate::GraphError;
+
+/// Vertex identifier, dense in `0..vertex_count()`.
+pub type VertexId = u32;
+/// Edge identifier, dense in `0..edge_count()`, in insertion order.
+pub type EdgeId = u32;
+/// Vertex label. The paper's generator draws labels from `0..N`.
+pub type VLabel = u32;
+/// Edge label.
+pub type ELabel = u32;
+
+/// One adjacency-list entry: the neighbouring vertex, the connecting edge's
+/// label, and the edge id (for constant-time edge lookup during embedding
+/// search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adjacency {
+    /// Neighbour vertex.
+    pub to: VertexId,
+    /// Label of the connecting edge.
+    pub elabel: ELabel,
+    /// Identifier of the connecting edge.
+    pub eid: EdgeId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    u: VertexId,
+    v: VertexId,
+    label: ELabel,
+}
+
+/// An undirected, labeled, simple graph `G = (V, E, L_V, L_E)` (Section 3 of
+/// the paper).
+///
+/// Vertices are added with [`Graph::add_vertex`] and identified by dense
+/// `u32` ids; edges with [`Graph::add_edge`]. The structure is optimised for
+/// the read-mostly access pattern of subgraph mining: adjacency lists are
+/// flat vectors and every accessor is `O(1)` or `O(degree)`.
+///
+/// The *size* of a graph is its number of edges, per the paper.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    vlabels: Vec<VLabel>,
+    edges: Vec<Edge>,
+    adj: Vec<Vec<Adjacency>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `vertices` vertices and `edges`
+    /// edges.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        Graph {
+            vlabels: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            adj: Vec::with_capacity(vertices),
+        }
+    }
+
+    /// Adds a vertex with the given label and returns its id.
+    pub fn add_vertex(&mut self, label: VLabel) -> VertexId {
+        let id = self.vlabels.len() as VertexId;
+        self.vlabels.push(label);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge `(u, v)` with the given label.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of range, if `u == v`
+    /// (self-loop), or if the edge already exists (the model is a simple
+    /// graph).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, label: ELabel) -> Result<EdgeId, GraphError> {
+        let n = self.vlabels.len() as u32;
+        if u >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, len: n });
+        }
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, len: n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if self.edge_between(u, v).is_some() {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        let eid = self.edges.len() as EdgeId;
+        self.edges.push(Edge { u, v, label });
+        self.adj[u as usize].push(Adjacency { to: v, elabel: label, eid });
+        self.adj[v as usize].push(Adjacency { to: u, elabel: label, eid });
+        Ok(eid)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vlabels.len()
+    }
+
+    /// Number of edges (the paper's notion of graph *size*).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vlabels.is_empty()
+    }
+
+    /// Label of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn vlabel(&self, v: VertexId) -> VLabel {
+        self.vlabels[v as usize]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn vlabels(&self) -> &[VLabel] {
+        &self.vlabels
+    }
+
+    /// Re-labels vertex `v` (used by the update workloads).
+    pub fn set_vlabel(&mut self, v: VertexId, label: VLabel) -> Result<(), GraphError> {
+        let n = self.vlabels.len() as u32;
+        let slot = self
+            .vlabels
+            .get_mut(v as usize)
+            .ok_or(GraphError::VertexOutOfRange { vertex: v, len: n })?;
+        *slot = label;
+        Ok(())
+    }
+
+    /// Re-labels edge `e` (used by the update workloads).
+    pub fn set_elabel(&mut self, e: EdgeId, label: ELabel) -> Result<(), GraphError> {
+        let m = self.edges.len() as u32;
+        let edge = self
+            .edges
+            .get_mut(e as usize)
+            .ok_or(GraphError::EdgeOutOfRange { edge: e, len: m })?;
+        edge.label = label;
+        let (u, v) = (edge.u, edge.v);
+        for half in [u, v] {
+            for a in &mut self.adj[half as usize] {
+                if a.eid == e {
+                    a.elabel = label;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Endpoints and label of edge `e` as `(u, v, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> (VertexId, VertexId, ELabel) {
+        let edge = &self.edges[e as usize];
+        (edge.u, edge.v, edge.label)
+    }
+
+    /// Iterates over all edges as `(eid, u, v, label)`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId, ELabel)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i as EdgeId, e.u, e.v, e.label))
+    }
+
+    /// Adjacency list of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[Adjacency] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Looks up the edge between `u` and `v`, if present.
+    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let (probe, other) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adj[probe as usize]
+            .iter()
+            .find(|a| a.to == other)
+            .map(|a| a.eid)
+    }
+
+    /// `true` when a path exists between every pair of vertices (and the
+    /// graph is non-empty).
+    pub fn is_connected(&self) -> bool {
+        if self.vlabels.is_empty() {
+            return false;
+        }
+        let mut seen = vec![false; self.vlabels.len()];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for a in &self.adj[v as usize] {
+                if !seen[a.to as usize] {
+                    seen[a.to as usize] = true;
+                    count += 1;
+                    stack.push(a.to);
+                }
+            }
+        }
+        count == self.vlabels.len()
+    }
+
+    /// Connected components as lists of vertex ids.
+    pub fn connected_components(&self) -> Vec<Vec<VertexId>> {
+        let mut comp = vec![usize::MAX; self.vlabels.len()];
+        let mut out: Vec<Vec<VertexId>> = Vec::new();
+        for start in 0..self.vlabels.len() {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let id = out.len();
+            let mut members = vec![start as VertexId];
+            comp[start] = id;
+            let mut stack = vec![start as VertexId];
+            while let Some(v) = stack.pop() {
+                for a in &self.adj[v as usize] {
+                    if comp[a.to as usize] == usize::MAX {
+                        comp[a.to as usize] = id;
+                        members.push(a.to);
+                        stack.push(a.to);
+                    }
+                }
+            }
+            out.push(members);
+        }
+        out
+    }
+
+    /// Builds the subgraph induced by the given edge ids.
+    ///
+    /// Vertices incident to any selected edge are kept and renumbered
+    /// densely; the returned map gives, for each new vertex id, the original
+    /// vertex id (`new -> old`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any edge id is out of range.
+    pub fn edge_subgraph(&self, edge_ids: &[EdgeId]) -> Result<(Graph, Vec<VertexId>), GraphError> {
+        let m = self.edges.len() as u32;
+        let mut old_to_new = vec![u32::MAX; self.vlabels.len()];
+        let mut new_to_old = Vec::new();
+        let mut g = Graph::new();
+        for &eid in edge_ids {
+            if eid >= m {
+                return Err(GraphError::EdgeOutOfRange { edge: eid, len: m });
+            }
+            let Edge { u, v, label } = self.edges[eid as usize];
+            for w in [u, v] {
+                if old_to_new[w as usize] == u32::MAX {
+                    old_to_new[w as usize] = g.add_vertex(self.vlabels[w as usize]);
+                    new_to_old.push(w);
+                }
+            }
+            g.add_edge(old_to_new[u as usize], old_to_new[v as usize], label)?;
+        }
+        Ok((g, new_to_old))
+    }
+
+    /// A histogram-style summary key used for fast infeasibility pruning in
+    /// subgraph-isomorphism tests: `(vertices, edges)`.
+    #[inline]
+    pub fn size_key(&self) -> (usize, usize) {
+        (self.vertex_count(), self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_vertex(0);
+        let b = g.add_vertex(1);
+        let c = g.add_vertex(2);
+        g.add_edge(a, b, 10).unwrap();
+        g.add_edge(b, c, 11).unwrap();
+        g.add_edge(c, a, 12).unwrap();
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.vlabel(1), 1);
+        assert_eq!(g.edge(1), (1, 2, 11));
+        assert_eq!(g.degree(0), 2);
+        assert!(g.edge_between(0, 2).is_some());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(0);
+        assert_eq!(g.add_edge(a, a, 0), Err(GraphError::SelfLoop { vertex: 0 }));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(0);
+        let b = g.add_vertex(1);
+        g.add_edge(a, b, 0).unwrap();
+        assert_eq!(g.add_edge(b, a, 5), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::new();
+        g.add_vertex(0);
+        assert!(matches!(g.add_edge(0, 7, 0), Err(GraphError::VertexOutOfRange { .. })));
+        assert!(matches!(g.set_elabel(3, 0), Err(GraphError::EdgeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn relabel_vertex_and_edge() {
+        let mut g = triangle();
+        g.set_vlabel(0, 99).unwrap();
+        assert_eq!(g.vlabel(0), 99);
+        g.set_elabel(0, 77).unwrap();
+        assert_eq!(g.edge(0).2, 77);
+        // adjacency mirrors the new label on both endpoints
+        assert!(g.neighbors(0).iter().any(|a| a.eid == 0 && a.elabel == 77));
+        assert!(g.neighbors(1).iter().any(|a| a.eid == 0 && a.elabel == 77));
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(0);
+        let b = g.add_vertex(0);
+        let c = g.add_vertex(0);
+        g.add_vertex(0); // isolated
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, c, 0).unwrap();
+        assert!(!g.is_connected());
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_not_connected() {
+        assert!(!Graph::new().is_connected());
+    }
+
+    #[test]
+    fn edge_subgraph_renumbers_densely() {
+        let g = triangle();
+        let (sub, map) = g.edge_subgraph(&[1]).unwrap();
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(sub.vlabel(0), 1);
+        assert_eq!(sub.vlabel(1), 2);
+        assert_eq!(sub.edge(0).2, 11);
+    }
+
+    #[test]
+    fn edge_subgraph_rejects_bad_edge() {
+        let g = triangle();
+        assert!(g.edge_subgraph(&[9]).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Conversions between [`Graph`](crate::Graph) and
+//! [`petgraph::graph::UnGraph`] (feature `petgraph`).
+//!
+//! The mining representation is deliberately minimal; ecosystems built on
+//! petgraph get lossless conversions in both directions so databases can be
+//! assembled with petgraph's rich construction APIs and handed to the
+//! miners, and mined patterns can flow back out for visualisation or
+//! further analysis.
+
+use petgraph::graph::{NodeIndex, UnGraph};
+
+use crate::{Graph, GraphError, VLabel, ELabel};
+
+/// Converts a mining graph into a petgraph undirected graph with the same
+/// vertex order and `u32` weights carrying the labels.
+pub fn to_petgraph(g: &Graph) -> UnGraph<VLabel, ELabel> {
+    let mut out = UnGraph::with_capacity(g.vertex_count(), g.edge_count());
+    let nodes: Vec<NodeIndex> =
+        (0..g.vertex_count() as u32).map(|v| out.add_node(g.vlabel(v))).collect();
+    for (_, u, v, el) in g.edges() {
+        out.add_edge(nodes[u as usize], nodes[v as usize], el);
+    }
+    out
+}
+
+/// Converts a petgraph undirected graph (with `u32` label weights) into a
+/// mining graph. Node indices map positionally onto vertex ids.
+///
+/// # Errors
+///
+/// Rejects self-loops and parallel edges — the mining model is a simple
+/// graph (Section 3 of the paper).
+pub fn from_petgraph(g: &UnGraph<VLabel, ELabel>) -> Result<Graph, GraphError> {
+    let mut out = Graph::with_capacity(g.node_count(), g.edge_count());
+    for n in g.node_indices() {
+        out.add_vertex(g[n]);
+    }
+    for e in g.edge_indices() {
+        let (a, b) = g.edge_endpoints(e).expect("edge has endpoints");
+        out.add_edge(a.index() as u32, b.index() as u32, g[e])?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_vertex(3);
+        let b = g.add_vertex(5);
+        let c = g.add_vertex(3);
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(b, c, 2).unwrap();
+        g.add_edge(c, a, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_labels() {
+        let g = sample();
+        let pg = to_petgraph(&g);
+        assert_eq!(pg.node_count(), 3);
+        assert_eq!(pg.edge_count(), 3);
+        let back = from_petgraph(&pg).unwrap();
+        assert_eq!(&back, &g);
+        // Canonical forms agree too.
+        assert_eq!(
+            crate::dfscode::min_dfs_code(&back),
+            crate::dfscode::min_dfs_code(&g)
+        );
+    }
+
+    #[test]
+    fn rejects_self_loops_and_multi_edges() {
+        let mut pg: UnGraph<u32, u32> = UnGraph::new_undirected();
+        let a = pg.add_node(0);
+        let b = pg.add_node(1);
+        pg.add_edge(a, b, 0);
+        pg.add_edge(a, b, 1);
+        assert!(matches!(from_petgraph(&pg), Err(GraphError::DuplicateEdge { .. })));
+
+        let mut pg: UnGraph<u32, u32> = UnGraph::new_undirected();
+        let a = pg.add_node(0);
+        pg.add_edge(a, a, 0);
+        assert!(matches!(from_petgraph(&pg), Err(GraphError::SelfLoop { .. })));
+    }
+}

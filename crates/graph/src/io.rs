@@ -1,0 +1,222 @@
+//! Text serialization of graph databases in the de-facto standard gSpan
+//! format, so databases can be exchanged with other miners:
+//!
+//! ```text
+//! t # 0          # graph 0
+//! v 0 3          # vertex 0, label 3
+//! v 1 5
+//! e 0 1 2        # edge between vertices 0 and 1, label 2
+//! t # 1
+//! ...
+//! ```
+//!
+//! Lines starting with `#` (and blank lines) are ignored; a trailing
+//! `t # -1` sentinel (emitted by some tools) ends the stream.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+use crate::{Graph, GraphDb};
+
+/// Errors from parsing the gSpan text format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed { line, what } => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses a graph database from gSpan-format text.
+///
+/// # Errors
+///
+/// I/O failures and malformed lines (unknown record type, bad numbers,
+/// out-of-order vertex ids, invalid edges).
+pub fn read_db(reader: impl BufRead) -> Result<GraphDb, ParseError> {
+    let mut db = GraphDb::new();
+    let mut current: Option<Graph> = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (trimmed.starts_with('#') && !trimmed.starts_with("# ")) {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("t") => {
+                // `t # <id>`; a negative id is the end-of-stream sentinel.
+                let rest: Vec<&str> = parts.collect();
+                let id = rest.last().copied().unwrap_or("");
+                if let Some(g) = current.take() {
+                    db.push(g);
+                }
+                if id.starts_with('-') {
+                    break;
+                }
+                current = Some(Graph::new());
+            }
+            Some("v") => {
+                let g = current.as_mut().ok_or_else(|| ParseError::Malformed {
+                    line: lineno,
+                    what: "vertex before any `t` line".into(),
+                })?;
+                let id: u32 = parse(parts.next(), lineno, "vertex id")?;
+                let label: u32 = parse(parts.next(), lineno, "vertex label")?;
+                if id as usize != g.vertex_count() {
+                    return Err(ParseError::Malformed {
+                        line: lineno,
+                        what: format!("vertex id {id} out of order (expected {})", g.vertex_count()),
+                    });
+                }
+                g.add_vertex(label);
+            }
+            Some("e") => {
+                let g = current.as_mut().ok_or_else(|| ParseError::Malformed {
+                    line: lineno,
+                    what: "edge before any `t` line".into(),
+                })?;
+                let u: u32 = parse(parts.next(), lineno, "edge endpoint")?;
+                let v: u32 = parse(parts.next(), lineno, "edge endpoint")?;
+                let label: u32 = parse(parts.next(), lineno, "edge label")?;
+                g.add_edge(u, v, label).map_err(|e| ParseError::Malformed {
+                    line: lineno,
+                    what: e.to_string(),
+                })?;
+            }
+            Some(other) => {
+                return Err(ParseError::Malformed {
+                    line: lineno,
+                    what: format!("unknown record type `{other}`"),
+                })
+            }
+            None => {}
+        }
+    }
+    if let Some(g) = current.take() {
+        db.push(g);
+    }
+    Ok(db)
+}
+
+/// Writes a graph database in gSpan-format text.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_db(mut writer: impl Write, db: &GraphDb) -> std::io::Result<()> {
+    let mut buf = String::new();
+    for (gid, g) in db.iter() {
+        buf.clear();
+        let _ = writeln!(buf, "t # {gid}");
+        for v in 0..g.vertex_count() as u32 {
+            let _ = writeln!(buf, "v {v} {}", g.vlabel(v));
+        }
+        for (_, u, v, el) in g.edges() {
+            let _ = writeln!(buf, "e {u} {v} {el}");
+        }
+        writer.write_all(buf.as_bytes())?;
+    }
+    writer.write_all(b"t # -1\n")?;
+    Ok(())
+}
+
+fn parse(token: Option<&str>, line: usize, what: &str) -> Result<u32, ParseError> {
+    token
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::Malformed { line, what: format!("missing or invalid {what}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> GraphDb {
+        let mut g1 = Graph::new();
+        let a = g1.add_vertex(3);
+        let b = g1.add_vertex(5);
+        g1.add_edge(a, b, 2).unwrap();
+        let mut g2 = Graph::new();
+        for l in 0..3 {
+            g2.add_vertex(l);
+        }
+        g2.add_edge(0, 1, 0).unwrap();
+        g2.add_edge(1, 2, 1).unwrap();
+        g2.add_edge(2, 0, 0).unwrap();
+        GraphDb::from_graphs(vec![g1, g2])
+    }
+
+    #[test]
+    fn round_trip() {
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        write_db(&mut bytes, &db).unwrap();
+        let back = read_db(&bytes[..]).unwrap();
+        assert_eq!(back.len(), db.len());
+        for gid in 0..db.len() as u32 {
+            assert_eq!(back.graph(gid), db.graph(gid));
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n#comment\nt # 0\nv 0 1\nv 1 2\ne 0 1 7\n\nt # -1\n";
+        let db = read_db(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.graph(0).edge(0), (0, 1, 7));
+    }
+
+    #[test]
+    fn sentinel_ends_stream() {
+        let text = "t # 0\nv 0 1\nt # -1\nt # 1\nv 0 9\n";
+        let db = read_db(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 1, "records after the sentinel are ignored");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(
+            read_db("v 0 1\n".as_bytes()),
+            Err(ParseError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_db("t # 0\nv 1 0\n".as_bytes()),
+            Err(ParseError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_db("t # 0\nv 0 1\ne 0 5 1\n".as_bytes()),
+            Err(ParseError::Malformed { line: 3, .. })
+        ));
+        assert!(matches!(
+            read_db("t # 0\nx what\n".as_bytes()),
+            Err(ParseError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_db("t # 0\ne 0 one 1\n".as_bytes()),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,385 @@
+//! Subgraph isomorphism: embedding search and support counting.
+//!
+//! The paper's `CheckFrequency` step (merge-join, Fig. 11) must decide, for
+//! each candidate pattern, how many database graphs contain it. We embed the
+//! pattern's DFS code edge-by-edge with backtracking; processing edges in
+//! code order keeps the partial image connected, so candidate vertices are
+//! always drawn from the neighbourhood of the current image — the classic
+//! cheap-and-effective search order for sparse labeled graphs.
+//!
+//! [`SupportIndex`] adds a per-graph edge-triple histogram screen so that
+//! candidates are only matched against graphs that contain every edge triple
+//! the pattern needs.
+
+use rustc_hash::FxHashMap;
+
+use crate::{DfsCode, ELabel, Graph, GraphDb, GraphId, Support, VLabel, VertexId};
+
+/// Normalised edge triple `(min label, edge label, max label)` — orientation
+/// independent, used for the pre-match screen.
+#[inline]
+fn edge_triple(lu: VLabel, le: ELabel, lv: VLabel) -> (VLabel, ELabel, VLabel) {
+    if lu <= lv {
+        (lu, le, lv)
+    } else {
+        (lv, le, lu)
+    }
+}
+
+struct MatchState<'a> {
+    target: &'a Graph,
+    code: &'a [crate::DfsEdge],
+    /// code vertex -> target vertex
+    map: Vec<VertexId>,
+    /// target vertex mapped?
+    mapped: Vec<bool>,
+    /// target edge used?
+    used: Vec<bool>,
+}
+
+impl<'a> MatchState<'a> {
+    fn search(&mut self, depth: usize) -> bool {
+        let Some(e) = self.code.get(depth) else {
+            return true;
+        };
+        if e.is_forward() {
+            let gu = self.map[e.from as usize];
+            // Iterate indices to sidestep borrowing `self` across recursion.
+            for ai in 0..self.target.neighbors(gu).len() {
+                let a = self.target.neighbors(gu)[ai];
+                if self.used[a.eid as usize]
+                    || self.mapped[a.to as usize]
+                    || a.elabel != e.edge_label
+                    || self.target.vlabel(a.to) != e.to_label
+                {
+                    continue;
+                }
+                self.map.push(a.to);
+                self.mapped[a.to as usize] = true;
+                self.used[a.eid as usize] = true;
+                if self.search(depth + 1) {
+                    return true;
+                }
+                self.used[a.eid as usize] = false;
+                self.mapped[a.to as usize] = false;
+                self.map.pop();
+            }
+            false
+        } else {
+            let gu = self.map[e.from as usize];
+            let gv = self.map[e.to as usize];
+            let Some(eid) = self.target.edge_between(gu, gv) else {
+                return false;
+            };
+            if self.used[eid as usize] || self.target.edge(eid).2 != e.edge_label {
+                return false;
+            }
+            self.used[eid as usize] = true;
+            if self.search(depth + 1) {
+                return true;
+            }
+            self.used[eid as usize] = false;
+            false
+        }
+    }
+}
+
+/// `true` when `target` contains a subgraph isomorphic to the pattern
+/// encoded by `code`.
+///
+/// The code must be a valid DFS code (as produced by [`crate::dfscode`] or
+/// by rightmost extension); it does not need to be minimal.
+pub fn contains(target: &Graph, code: &DfsCode) -> bool {
+    if code.is_empty() {
+        return target.vertex_count() > 0;
+    }
+    if code.len() > target.edge_count() || code.vertex_count() > target.vertex_count() {
+        return false;
+    }
+    let first = &code.0[0];
+    // One set of scratch buffers reused across seed edges: the recursive
+    // search restores every flag it sets on backtrack, so only the seed
+    // flags need manual reset between attempts.
+    let mut st = MatchState {
+        target,
+        code: &code.0,
+        map: Vec::with_capacity(code.vertex_count()),
+        mapped: vec![false; target.vertex_count()],
+        used: vec![false; target.edge_count()],
+    };
+    for (eid, u, v, el) in target.edges() {
+        if el != first.edge_label {
+            continue;
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            if target.vlabel(a) != first.from_label || target.vlabel(b) != first.to_label {
+                continue;
+            }
+            st.map.clear();
+            st.map.extend_from_slice(&[a, b]);
+            st.mapped[a as usize] = true;
+            st.mapped[b as usize] = true;
+            st.used[eid as usize] = true;
+            let found = st.search(1);
+            st.mapped[a as usize] = false;
+            st.mapped[b as usize] = false;
+            st.used[eid as usize] = false;
+            if found {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// `true` when `target` contains a subgraph isomorphic to `pattern`
+/// (connected, at least one edge).
+pub fn contains_graph(target: &Graph, pattern: &Graph) -> bool {
+    if pattern.edge_count() == 0 {
+        // A single labeled vertex: contained iff some vertex matches.
+        return pattern
+            .vlabels()
+            .first()
+            .is_some_and(|&l| target.vlabels().contains(&l));
+    }
+    contains(target, &crate::dfscode::min_dfs_code(pattern))
+}
+
+/// Counts the support of `code` in `db` by scanning every graph.
+///
+/// For repeated counting over the same database prefer [`SupportIndex`].
+pub fn support(db: &GraphDb, code: &DfsCode) -> Support {
+    db.iter().filter(|(_, g)| contains(g, code)).count() as Support
+}
+
+/// The gids of all graphs in `db` containing `code`.
+pub fn supporting_gids(db: &GraphDb, code: &DfsCode) -> Vec<GraphId> {
+    db.iter()
+        .filter(|(_, g)| contains(g, code))
+        .map(|(gid, _)| gid)
+        .collect()
+}
+
+/// A per-graph edge-triple histogram over a database, used to screen out
+/// graphs that cannot possibly contain a candidate before running the
+/// (much more expensive) embedding search.
+#[derive(Debug, Clone)]
+pub struct SupportIndex {
+    per_graph: Vec<FxHashMap<(VLabel, ELabel, VLabel), u32>>,
+}
+
+impl SupportIndex {
+    /// Builds the histogram index for `db` in one pass.
+    pub fn build(db: &GraphDb) -> Self {
+        let per_graph = db
+            .iter()
+            .map(|(_, g)| {
+                let mut h: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
+                for (_, u, v, el) in g.edges() {
+                    *h.entry(edge_triple(g.vlabel(u), el, g.vlabel(v))).or_insert(0) += 1;
+                }
+                h
+            })
+            .collect();
+        SupportIndex { per_graph }
+    }
+
+    /// Counts the support of `code` in `db` (which must be the database the
+    /// index was built from), with the histogram screen applied first.
+    ///
+    /// `early_abort` stops counting once it is impossible to reach
+    /// `min_needed` (pass `0` to always count exactly).
+    pub fn support_bounded(&self, db: &GraphDb, code: &DfsCode, min_needed: Support) -> Support {
+        debug_assert_eq!(self.per_graph.len(), db.len(), "index built from another database");
+        let mut needed: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
+        for e in &code.0 {
+            *needed.entry(edge_triple(e.from_label, e.edge_label, e.to_label)).or_insert(0) += 1;
+        }
+        let mut count = 0;
+        let mut remaining = db.len() as Support;
+        for (gid, g) in db.iter() {
+            remaining -= 1;
+            let hist = &self.per_graph[gid as usize];
+            let feasible = needed.iter().all(|(t, n)| hist.get(t).copied().unwrap_or(0) >= *n);
+            if feasible && contains(g, code) {
+                count += 1;
+            }
+            if min_needed > 0 && count + remaining < min_needed {
+                break; // cannot reach the threshold any more
+            }
+        }
+        count
+    }
+
+    /// Exact support of `code` in `db`.
+    pub fn support(&self, db: &GraphDb, code: &DfsCode) -> Support {
+        self.support_bounded(db, code, 0)
+    }
+
+    /// Counts the support of `code` over a *candidate list* of graphs — the
+    /// Apriori TID-list optimisation: a pattern can only occur in graphs
+    /// that contain its sub-patterns, so counting is restricted to a known
+    /// superset of the true supporters. Returns the exact supporter list
+    /// when the threshold is reached; aborts early (with a partial list)
+    /// once `min_needed` is provably unreachable.
+    pub fn support_over(
+        &self,
+        db: &GraphDb,
+        candidates: &[GraphId],
+        code: &DfsCode,
+        min_needed: Support,
+    ) -> (Support, Vec<GraphId>) {
+        debug_assert_eq!(self.per_graph.len(), db.len(), "index built from another database");
+        let mut needed: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
+        for e in &code.0 {
+            *needed.entry(edge_triple(e.from_label, e.edge_label, e.to_label)).or_insert(0) += 1;
+        }
+        let mut supporters = Vec::new();
+        let mut remaining = candidates.len() as Support;
+        for &gid in candidates {
+            remaining -= 1;
+            let hist = &self.per_graph[gid as usize];
+            let feasible = needed.iter().all(|(t, n)| hist.get(t).copied().unwrap_or(0) >= *n);
+            if feasible && contains(db.graph(gid), code) {
+                supporters.push(gid);
+            }
+            if min_needed > 0 && supporters.len() as Support + remaining < min_needed {
+                break;
+            }
+        }
+        (supporters.len() as Support, supporters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfscode::min_dfs_code;
+    use crate::DfsEdge;
+
+    fn path3(labels: [u32; 3], elabels: [u32; 2]) -> Graph {
+        let mut g = Graph::new();
+        let v: Vec<_> = labels.iter().map(|&l| g.add_vertex(l)).collect();
+        g.add_edge(v[0], v[1], elabels[0]).unwrap();
+        g.add_edge(v[1], v[2], elabels[1]).unwrap();
+        g
+    }
+
+    #[test]
+    fn contains_single_edge() {
+        let g = path3([0, 1, 2], [5, 6]);
+        let code = DfsCode(vec![DfsEdge::new(0, 1, 0, 5, 1)]);
+        assert!(contains(&g, &code));
+        let missing = DfsCode(vec![DfsEdge::new(0, 1, 0, 9, 1)]);
+        assert!(!contains(&g, &missing));
+    }
+
+    #[test]
+    fn contains_respects_edge_multiplicity() {
+        // Pattern is a 2-edge path with both edges labeled 5; target has only
+        // one edge labeled 5, so the pattern must NOT match even though the
+        // triple exists.
+        let target = path3([0, 0, 0], [5, 6]);
+        let mut pattern = Graph::new();
+        let a = pattern.add_vertex(0);
+        let b = pattern.add_vertex(0);
+        let c = pattern.add_vertex(0);
+        pattern.add_edge(a, b, 5).unwrap();
+        pattern.add_edge(b, c, 5).unwrap();
+        assert!(!contains_graph(&target, &pattern));
+    }
+
+    #[test]
+    fn contains_triangle_in_triangle_not_in_path() {
+        let mut tri = Graph::new();
+        for _ in 0..3 {
+            tri.add_vertex(0);
+        }
+        tri.add_edge(0, 1, 0).unwrap();
+        tri.add_edge(1, 2, 0).unwrap();
+        tri.add_edge(2, 0, 0).unwrap();
+        let code = min_dfs_code(&tri);
+        assert!(contains(&tri, &code));
+        let path = path3([0, 0, 0], [0, 0]);
+        assert!(!contains(&path, &code));
+        // ... but the path IS contained in the triangle.
+        assert!(contains_graph(&tri, &path));
+    }
+
+    #[test]
+    fn support_counts_graphs_not_embeddings() {
+        // The star has many embeddings of an edge pattern but counts once.
+        let mut star = Graph::new();
+        let c = star.add_vertex(0);
+        for _ in 0..4 {
+            let leaf = star.add_vertex(1);
+            star.add_edge(c, leaf, 7).unwrap();
+        }
+        let db = GraphDb::from_graphs(vec![star, path3([0, 1, 2], [7, 8])]);
+        let code = DfsCode(vec![DfsEdge::new(0, 1, 0, 7, 1)]);
+        assert_eq!(support(&db, &code), 2);
+        assert_eq!(supporting_gids(&db, &code), vec![0, 1]);
+    }
+
+    #[test]
+    fn support_index_matches_naive() {
+        let db = GraphDb::from_graphs(vec![
+            path3([0, 1, 0], [3, 3]),
+            path3([0, 1, 2], [3, 4]),
+            path3([1, 1, 1], [3, 3]),
+        ]);
+        let idx = SupportIndex::build(&db);
+        let codes = [
+            DfsCode(vec![DfsEdge::new(0, 1, 0, 3, 1)]),
+            DfsCode(vec![DfsEdge::new(0, 1, 1, 3, 1)]),
+            DfsCode(vec![DfsEdge::new(0, 1, 0, 3, 1), DfsEdge::new(1, 2, 1, 3, 0)]),
+        ];
+        for code in &codes {
+            assert_eq!(idx.support(&db, code), support(&db, code), "code {code}");
+        }
+    }
+
+    #[test]
+    fn support_bounded_early_abort_is_sound() {
+        let db: GraphDb = (0..10).map(|_| path3([0, 1, 2], [3, 4])).collect();
+        let idx = SupportIndex::build(&db);
+        let code = DfsCode(vec![DfsEdge::new(0, 1, 0, 3, 1)]);
+        // Threshold reachable: exact count returned.
+        assert_eq!(idx.support_bounded(&db, &code, 5), 10);
+        let rare = DfsCode(vec![DfsEdge::new(0, 1, 9, 9, 9)]);
+        // Unreachable threshold: may abort early but must stay below it.
+        assert!(idx.support_bounded(&db, &rare, 5) < 5);
+    }
+
+    #[test]
+    fn support_over_restricts_to_candidates() {
+        let db = GraphDb::from_graphs(vec![
+            path3([0, 1, 2], [3, 4]),
+            path3([0, 1, 2], [3, 4]),
+            path3([0, 1, 2], [3, 4]),
+        ]);
+        let idx = SupportIndex::build(&db);
+        let code = DfsCode(vec![DfsEdge::new(0, 1, 0, 3, 1)]);
+        let (sup, gids) = idx.support_over(&db, &[0, 2], &code, 0);
+        assert_eq!(sup, 2);
+        assert_eq!(gids, vec![0, 2]);
+        let (sup, gids) = idx.support_over(&db, &[0, 1, 2], &code, 0);
+        assert_eq!(sup, 3);
+        assert_eq!(gids, vec![0, 1, 2]);
+        // Early abort stays below the threshold.
+        let rare = DfsCode(vec![DfsEdge::new(0, 1, 9, 9, 9)]);
+        let (sup, _) = idx.support_over(&db, &[0, 1, 2], &rare, 2);
+        assert!(sup < 2);
+    }
+
+    #[test]
+    fn single_vertex_pattern_containment() {
+        let g = path3([0, 1, 2], [0, 0]);
+        let mut v = Graph::new();
+        v.add_vertex(1);
+        assert!(contains_graph(&g, &v));
+        let mut w = Graph::new();
+        w.add_vertex(9);
+        assert!(!contains_graph(&g, &w));
+    }
+}

@@ -1,0 +1,76 @@
+//! Labeled-graph substrate for the PartMiner reproduction.
+//!
+//! This crate provides everything the mining layers build on:
+//!
+//! * [`Graph`] — an undirected, vertex- and edge-labeled simple graph with
+//!   adjacency lists, the unit of storage in a transactional graph database;
+//! * [`GraphDb`] — a database of `(gid, Graph)` tuples with support-counting
+//!   helpers;
+//! * [`DfsCode`] / [`dfscode::min_dfs_code`] — the gSpan DFS-code encoding
+//!   and minimum-DFS-code canonical form (Section 3 of the paper), which
+//!   makes graph isomorphism a code-equality test;
+//! * [`iso`] — subgraph-isomorphism (embedding) search used for support
+//!   counting (`CheckFrequency` in the paper's merge-join);
+//! * [`enumerate`] — a brute-force connected-subgraph enumerator used as a
+//!   correctness oracle by the miners' test suites.
+//!
+//! The representation favours the access patterns of frequent-subgraph
+//! mining: transaction graphs are small (tens of edges), immutable during a
+//! mining pass, and probed millions of times by embedding searches, so
+//! adjacency is a flat `Vec<Vec<Adjacency>>` and all identifiers are `u32`
+//! newtypes.
+//!
+//! # Example
+//!
+//! ```
+//! use graphmine_graph::{dfscode, iso, Graph};
+//!
+//! // The graph of the paper's Figure 1.
+//! let mut g = Graph::new();
+//! let v0 = g.add_vertex(0);
+//! let v1 = g.add_vertex(0);
+//! let v2 = g.add_vertex(1);
+//! let v3 = g.add_vertex(2);
+//! g.add_edge(v0, v1, 0).unwrap(); // 'a'
+//! g.add_edge(v1, v2, 0).unwrap(); // 'a'
+//! g.add_edge(v1, v3, 2).unwrap(); // 'c'
+//! g.add_edge(v3, v0, 1).unwrap(); // 'b'
+//!
+//! // Its canonical form is the minimum DFS code of Figure 1(b).
+//! let code = dfscode::min_dfs_code(&g);
+//! assert!(dfscode::is_min(&code));
+//! assert_eq!(code.len(), 4);
+//!
+//! // Subgraph isomorphism drives support counting.
+//! let mut edge = Graph::new();
+//! let a = edge.add_vertex(0);
+//! let b = edge.add_vertex(2);
+//! edge.add_edge(a, b, 2).unwrap();
+//! assert!(iso::contains_graph(&g, &edge));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod database;
+pub mod dfscode;
+pub mod enumerate;
+mod error;
+mod graph;
+#[cfg(feature = "petgraph")]
+pub mod interop;
+pub mod io;
+pub mod iso;
+pub mod pattern;
+pub mod pattern_io;
+pub mod update;
+
+pub use database::{GraphDb, GraphId};
+pub use dfscode::{DfsCode, DfsEdge};
+pub use error::GraphError;
+pub use graph::{Adjacency, EdgeId, ELabel, Graph, VertexId, VLabel};
+pub use pattern::{Pattern, PatternSet};
+pub use update::{DbUpdate, GraphUpdate};
+
+/// Absolute support count (number of database graphs containing a pattern).
+pub type Support = u32;

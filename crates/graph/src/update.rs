@@ -1,0 +1,190 @@
+//! Update vocabulary for dynamic graph databases.
+//!
+//! Section 5 of the paper extends the synthetic generator with three kinds
+//! of updates: (1) re-labeling vertices/edges with existing or new labels,
+//! (2) adding a new edge between existing vertices, and (3) adding a new
+//! vertex together with an edge attaching it. [`GraphUpdate`] models exactly
+//! those three, and is the unit of communication between the update
+//! workload generator, the partition maintenance logic, and IncPartMiner.
+
+use crate::{EdgeId, ELabel, Graph, GraphError, GraphId, VertexId, VLabel};
+
+/// One update to a single graph. Identifiers refer to the graph's state at
+/// the time the update is applied (updates are applied in sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphUpdate {
+    /// Update type 1a: re-label vertex `v`.
+    RelabelVertex {
+        /// Vertex to re-label.
+        v: VertexId,
+        /// New label (existing or new).
+        label: VLabel,
+    },
+    /// Update type 1b: re-label edge `e`.
+    RelabelEdge {
+        /// Edge to re-label.
+        e: EdgeId,
+        /// New label (existing or new).
+        label: ELabel,
+    },
+    /// Update type 2: add an edge between two existing vertices.
+    AddEdge {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+        /// Label of the new edge.
+        label: ELabel,
+    },
+    /// Update type 3: add a new vertex and an edge attaching it.
+    AddVertex {
+        /// Label of the new vertex.
+        label: VLabel,
+        /// Existing vertex the new one attaches to.
+        attach_to: VertexId,
+        /// Label of the attaching edge.
+        elabel: ELabel,
+    },
+}
+
+impl GraphUpdate {
+    /// Applies the update to `g`. For `AddVertex` the new vertex id is
+    /// returned; for `AddEdge` nothing is (the edge id is
+    /// `g.edge_count() - 1` afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for out-of-range ids, self-loops, and
+    /// duplicate edges.
+    pub fn apply(&self, g: &mut Graph) -> Result<Option<VertexId>, GraphError> {
+        match *self {
+            GraphUpdate::RelabelVertex { v, label } => {
+                g.set_vlabel(v, label)?;
+                Ok(None)
+            }
+            GraphUpdate::RelabelEdge { e, label } => {
+                g.set_elabel(e, label)?;
+                Ok(None)
+            }
+            GraphUpdate::AddEdge { u, v, label } => {
+                g.add_edge(u, v, label)?;
+                Ok(None)
+            }
+            GraphUpdate::AddVertex { label, attach_to, elabel } => {
+                if attach_to >= g.vertex_count() as u32 {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: attach_to,
+                        len: g.vertex_count() as u32,
+                    });
+                }
+                let nv = g.add_vertex(label);
+                g.add_edge(attach_to, nv, elabel)?;
+                Ok(Some(nv))
+            }
+        }
+    }
+
+    /// The existing vertices this update touches — the vertices whose
+    /// `ufreq` the paper's partitioning criteria track, and the ones used to
+    /// locate affected units.
+    pub fn touched_vertices(&self) -> Vec<VertexId> {
+        match *self {
+            GraphUpdate::RelabelVertex { v, .. } => vec![v],
+            GraphUpdate::RelabelEdge { .. } => vec![],
+            GraphUpdate::AddEdge { u, v, .. } => vec![u, v],
+            GraphUpdate::AddVertex { attach_to, .. } => vec![attach_to],
+        }
+    }
+}
+
+/// An update addressed to one graph of a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbUpdate {
+    /// Target graph.
+    pub gid: GraphId,
+    /// The update itself.
+    pub update: GraphUpdate,
+}
+
+/// Applies a batch of updates to a database in order.
+///
+/// # Errors
+///
+/// Fails on the first inapplicable update (bad gid or [`GraphError`]).
+pub fn apply_all(db: &mut crate::GraphDb, updates: &[DbUpdate]) -> Result<(), GraphError> {
+    for u in updates {
+        if u.gid as usize >= db.len() {
+            return Err(GraphError::VertexOutOfRange { vertex: u.gid, len: db.len() as u32 });
+        }
+        u.update.apply(db.graph_mut(u.gid))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphDb;
+
+    fn base() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_vertex(0);
+        let b = g.add_vertex(1);
+        g.add_edge(a, b, 5).unwrap();
+        g
+    }
+
+    #[test]
+    fn apply_each_kind() {
+        let mut g = base();
+        GraphUpdate::RelabelVertex { v: 0, label: 9 }.apply(&mut g).unwrap();
+        assert_eq!(g.vlabel(0), 9);
+        GraphUpdate::RelabelEdge { e: 0, label: 6 }.apply(&mut g).unwrap();
+        assert_eq!(g.edge(0).2, 6);
+        let nv = GraphUpdate::AddVertex { label: 2, attach_to: 1, elabel: 7 }
+            .apply(&mut g)
+            .unwrap()
+            .unwrap();
+        assert_eq!(g.vlabel(nv), 2);
+        GraphUpdate::AddEdge { u: 0, v: nv, label: 8 }.apply(&mut g).unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn apply_errors_propagate() {
+        let mut g = base();
+        assert!(GraphUpdate::RelabelVertex { v: 9, label: 0 }.apply(&mut g).is_err());
+        assert!(GraphUpdate::AddEdge { u: 0, v: 1, label: 3 }.apply(&mut g).is_err()); // duplicate
+        assert!(GraphUpdate::AddVertex { label: 0, attach_to: 42, elabel: 0 }
+            .apply(&mut g)
+            .is_err());
+        // Failed updates must not half-apply.
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn touched_vertices_per_kind() {
+        assert_eq!(GraphUpdate::RelabelVertex { v: 3, label: 0 }.touched_vertices(), vec![3]);
+        assert!(GraphUpdate::RelabelEdge { e: 0, label: 0 }.touched_vertices().is_empty());
+        assert_eq!(GraphUpdate::AddEdge { u: 1, v: 2, label: 0 }.touched_vertices(), vec![1, 2]);
+        assert_eq!(
+            GraphUpdate::AddVertex { label: 0, attach_to: 5, elabel: 0 }.touched_vertices(),
+            vec![5]
+        );
+    }
+
+    #[test]
+    fn apply_all_batches() {
+        let mut db = GraphDb::from_graphs(vec![base(), base()]);
+        let updates = [
+            DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } },
+            DbUpdate { gid: 1, update: GraphUpdate::AddVertex { label: 3, attach_to: 0, elabel: 2 } },
+        ];
+        apply_all(&mut db, &updates).unwrap();
+        assert_eq!(db[0].vlabel(0), 7);
+        assert_eq!(db[1].vertex_count(), 3);
+        let bad = [DbUpdate { gid: 9, update: GraphUpdate::RelabelVertex { v: 0, label: 0 } }];
+        assert!(apply_all(&mut db, &bad).is_err());
+    }
+}

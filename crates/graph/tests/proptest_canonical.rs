@@ -1,0 +1,105 @@
+//! Property tests for the canonical-form and isomorphism machinery.
+
+use proptest::prelude::*;
+
+use graphmine_graph::dfscode::{is_min, isomorphic, min_dfs_code};
+use graphmine_graph::enumerate::connected_subgraph_codes;
+use graphmine_graph::{iso, Graph};
+
+/// Strategy: a random connected labeled graph with `n` vertices built from a
+/// random spanning tree plus random extra edges.
+fn connected_graph(max_vertices: usize, vlabels: u32, elabels: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_vertices).prop_flat_map(move |n| {
+        let vl = proptest::collection::vec(0..vlabels, n);
+        // parent[i] < i+1 attaches vertex i+1 to a random earlier vertex.
+        let parents: Vec<BoxedStrategy<usize>> =
+            (1..n).map(|i| (0..i).boxed()).collect();
+        let tree_el = proptest::collection::vec(0..elabels, n - 1);
+        let extra = proptest::collection::vec((0..n, 0..n, 0..elabels), 0..=n);
+        (vl, parents, tree_el, extra).prop_map(move |(vl, parents, tree_el, extra)| {
+            let mut g = Graph::new();
+            for &l in &vl {
+                g.add_vertex(l);
+            }
+            for (i, (&p, &el)) in parents.iter().zip(tree_el.iter()).enumerate() {
+                g.add_edge((i + 1) as u32, p as u32, el).unwrap();
+            }
+            for &(u, v, el) in &extra {
+                if u != v {
+                    let _ = g.add_edge(u as u32, v as u32, el); // duplicates rejected, fine
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Relabels vertex ids by a permutation (graph stays isomorphic).
+fn permute(g: &Graph, perm: &[usize]) -> Graph {
+    let mut out = Graph::new();
+    let mut slots = vec![0u32; g.vertex_count()];
+    // perm[i] = new position of old vertex i
+    for _ in 0..g.vertex_count() {
+        out.add_vertex(0);
+    }
+    for (old, &new) in perm.iter().enumerate() {
+        slots[old] = new as u32;
+        out.set_vlabel(new as u32, g.vlabel(old as u32)).unwrap();
+    }
+    for (_, u, v, el) in g.edges() {
+        out.add_edge(slots[u as usize], slots[v as usize], el).unwrap();
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn min_code_is_min_and_round_trips(g in connected_graph(6, 3, 2)) {
+        let code = min_dfs_code(&g);
+        prop_assert!(is_min(&code));
+        let rebuilt = code.to_graph();
+        prop_assert_eq!(rebuilt.edge_count(), g.edge_count());
+        prop_assert_eq!(rebuilt.vertex_count(), g.vertex_count());
+        prop_assert_eq!(min_dfs_code(&rebuilt), code);
+    }
+
+    #[test]
+    fn canonical_code_is_invariant_under_relabeling(
+        g in connected_graph(6, 3, 2),
+        seed in any::<u64>(),
+    ) {
+        // Derive a permutation from the seed (Fisher-Yates with an LCG).
+        let n = g.vertex_count();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let h = permute(&g, &perm);
+        prop_assert_eq!(min_dfs_code(&g), min_dfs_code(&h));
+        prop_assert!(isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn every_enumerated_subgraph_is_contained(g in connected_graph(5, 2, 2)) {
+        for code in connected_subgraph_codes(&g, 4) {
+            prop_assert!(is_min(&code), "oracle emitted non-canonical code {}", code);
+            prop_assert!(iso::contains(&g, &code), "own subgraph {} not found", code);
+        }
+    }
+
+    #[test]
+    fn containment_is_antisymmetric_on_size(
+        a in connected_graph(5, 2, 2),
+        b in connected_graph(5, 2, 2),
+    ) {
+        // If a ⊆ b and b ⊆ a then they are isomorphic.
+        if iso::contains_graph(&b, &a) && iso::contains_graph(&a, &b) {
+            prop_assert!(isomorphic(&a, &b));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! One-edge pattern extension: the candidate-generation machinery shared by
+//! the [`Apriori`](crate::Apriori) miner and by PartMiner's merge-join
+//! (`Complete` join policy).
+//!
+//! Every connected `(k+1)`-edge graph contains a connected `k`-edge subgraph
+//! obtained by removing either a pendant edge or a cycle edge, so extending
+//! every frequent `k`-edge pattern by one edge — a pendant edge to a new
+//! vertex, or a closing edge between existing vertices — over the *frequent
+//! edge vocabulary* generates a complete candidate set (the FSG downward-
+//! closure argument).
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use graphmine_graph::dfscode::min_dfs_code;
+use graphmine_graph::{DfsCode, ELabel, Graph, GraphDb, PatternSet, Support, VLabel};
+
+/// The frequent-edge vocabulary: which `(l_u, l_e, l_v)` triples are worth
+/// extending with.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeVocab {
+    /// vertex label -> (edge label, opposite vertex label), both directions.
+    by_vlabel: FxHashMap<VLabel, Vec<(ELabel, VLabel)>>,
+    /// (min vlabel, max vlabel) -> edge labels.
+    by_pair: FxHashMap<(VLabel, VLabel), Vec<ELabel>>,
+}
+
+impl EdgeVocab {
+    /// Builds the vocabulary from explicit triples.
+    pub fn from_triples(triples: impl IntoIterator<Item = (VLabel, ELabel, VLabel)>) -> Self {
+        let mut seen: FxHashSet<(VLabel, ELabel, VLabel)> = FxHashSet::default();
+        let mut vocab = EdgeVocab::default();
+        for (lu, le, lv) in triples {
+            let norm = if lu <= lv { (lu, le, lv) } else { (lv, le, lu) };
+            if !seen.insert(norm) {
+                continue;
+            }
+            let (lu, le, lv) = norm;
+            vocab.by_vlabel.entry(lu).or_default().push((le, lv));
+            if lu != lv {
+                vocab.by_vlabel.entry(lv).or_default().push((le, lu));
+            }
+            vocab.by_pair.entry((lu, lv)).or_default().push(le);
+        }
+        vocab
+    }
+
+    /// Builds the vocabulary from the 1-edge patterns of a pattern set.
+    pub fn from_patterns(set: &PatternSet) -> Self {
+        Self::from_triples(
+            set.of_size(1)
+                .map(|p| {
+                    let e = p.code.0[0];
+                    (e.from_label, e.edge_label, e.to_label)
+                }),
+        )
+    }
+
+    /// Builds the vocabulary from the edges with support at least
+    /// `min_support` in `db`.
+    pub fn frequent_in(db: &GraphDb, min_support: Support) -> Self {
+        let mut per_triple: FxHashMap<(VLabel, ELabel, VLabel), Support> = FxHashMap::default();
+        for (_, g) in db.iter() {
+            let mut in_graph: FxHashSet<(VLabel, ELabel, VLabel)> = FxHashSet::default();
+            for (_, u, v, el) in g.edges() {
+                let (a, b) = if g.vlabel(u) <= g.vlabel(v) {
+                    (g.vlabel(u), g.vlabel(v))
+                } else {
+                    (g.vlabel(v), g.vlabel(u))
+                };
+                in_graph.insert((a, el, b));
+            }
+            for t in in_graph {
+                *per_triple.entry(t).or_insert(0) += 1;
+            }
+        }
+        Self::from_triples(
+            per_triple
+                .into_iter()
+                .filter(|&(_, s)| s >= min_support)
+                .map(|(t, _)| t),
+        )
+    }
+
+    /// `(edge label, new vertex label)` pairs attachable to a vertex with
+    /// label `l`.
+    pub fn attachable(&self, l: VLabel) -> &[(ELabel, VLabel)] {
+        self.by_vlabel.get(&l).map_or(&[], Vec::as_slice)
+    }
+
+    /// Edge labels admissible between vertex labels `a` and `b`.
+    pub fn closable(&self, a: VLabel, b: VLabel) -> &[ELabel] {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.by_pair.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.by_pair.values().map(Vec::len).sum()
+    }
+
+    /// `true` when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_pair.is_empty()
+    }
+}
+
+/// All distinct canonical codes obtainable by adding one vocabulary edge to
+/// `g` — a pendant edge to a new vertex, or a closing edge between two
+/// existing non-adjacent vertices.
+pub fn one_edge_extensions(g: &Graph, vocab: &EdgeVocab) -> Vec<DfsCode> {
+    let mut out: FxHashSet<DfsCode> = FxHashSet::default();
+    let n = g.vertex_count() as u32;
+    // Pendant extensions.
+    for u in 0..n {
+        for &(el, vl) in vocab.attachable(g.vlabel(u)) {
+            let mut cand = g.clone();
+            let leaf = cand.add_vertex(vl);
+            cand.add_edge(u, leaf, el).expect("fresh pendant edge");
+            out.insert(min_dfs_code(&cand));
+        }
+    }
+    // Closing extensions.
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if g.edge_between(u, v).is_some() {
+                continue;
+            }
+            for &el in vocab.closable(g.vlabel(u), g.vlabel(v)) {
+                let mut cand = g.clone();
+                cand.add_edge(u, v, el).expect("closing edge is fresh");
+                out.insert(min_dfs_code(&cand));
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_edge(lu: VLabel, le: ELabel, lv: VLabel) -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_vertex(lu);
+        let b = g.add_vertex(lv);
+        g.add_edge(a, b, le).unwrap();
+        g
+    }
+
+    #[test]
+    fn vocab_normalises_orientation() {
+        let v = EdgeVocab::from_triples([(3, 0, 1), (1, 0, 3)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.closable(3, 1), &[0]);
+        assert_eq!(v.closable(1, 3), &[0]);
+        assert_eq!(v.attachable(1), &[(0, 3)]);
+        assert_eq!(v.attachable(3), &[(0, 1)]);
+    }
+
+    #[test]
+    fn extensions_of_an_edge() {
+        let vocab = EdgeVocab::from_triples([(0, 0, 0)]);
+        let g = single_edge(0, 0, 0);
+        let ext = one_edge_extensions(&g, &vocab);
+        // Only the 2-edge path of 0-labeled vertices (pendant from either
+        // endpoint is the same canonical pattern; no closing possible).
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext[0].len(), 2);
+    }
+
+    #[test]
+    fn closing_extension_builds_triangle() {
+        let vocab = EdgeVocab::from_triples([(0, 0, 0)]);
+        let mut path = Graph::new();
+        for _ in 0..3 {
+            path.add_vertex(0);
+        }
+        path.add_edge(0, 1, 0).unwrap();
+        path.add_edge(1, 2, 0).unwrap();
+        let ext = one_edge_extensions(&path, &vocab);
+        // Pendant -> 3-edge path or star; closing -> triangle.
+        assert_eq!(ext.len(), 3);
+        assert!(ext.iter().any(|c| {
+            let g = c.to_graph();
+            g.vertex_count() == 3 && g.edge_count() == 3
+        }));
+    }
+
+    #[test]
+    fn frequent_in_respects_threshold() {
+        let db = GraphDb::from_graphs(vec![
+            single_edge(0, 0, 1),
+            single_edge(0, 0, 1),
+            single_edge(0, 9, 1),
+        ]);
+        let vocab = EdgeVocab::frequent_in(&db, 2);
+        assert_eq!(vocab.len(), 1);
+        assert_eq!(vocab.closable(0, 1), &[0]);
+    }
+
+    #[test]
+    fn empty_vocab_generates_nothing() {
+        let g = single_edge(0, 0, 0);
+        assert!(one_edge_extensions(&g, &EdgeVocab::default()).is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! gSpan: depth-first frequent-subgraph mining by rightmost extension.
+//!
+//! The search grows DFS codes one edge at a time. Every pattern is reported
+//! and expanded only from its *minimum* DFS code
+//! ([`graphmine_graph::dfscode::is_min`]), which makes the search space a
+//! tree: no pattern is enumerated twice. Support counting piggybacks on the
+//! projected embedding lists carried down the search, so no isolated
+//! subgraph-isomorphism test is ever needed.
+
+use rustc_hash::FxHashMap;
+
+use graphmine_graph::dfscode::is_min;
+use graphmine_graph::{
+    DfsCode, DfsEdge, EdgeId, GraphDb, GraphId, Pattern, PatternSet, Support, VertexId,
+};
+
+use crate::{within_cap, MemoryMiner};
+
+/// The gSpan miner.
+///
+/// `max_edges` optionally caps the pattern size (the paper's experiments
+/// mine unbounded; tests use small caps to compare against the brute-force
+/// oracle).
+#[derive(Debug, Clone, Default)]
+pub struct GSpan {
+    /// Optional maximum pattern size in edges.
+    pub max_edges: Option<usize>,
+}
+
+impl GSpan {
+    /// A gSpan miner with no size cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A gSpan miner that stops at patterns of `max_edges` edges.
+    pub fn capped(max_edges: usize) -> Self {
+        GSpan { max_edges: Some(max_edges) }
+    }
+}
+
+impl MemoryMiner for GSpan {
+    fn mine(&self, db: &GraphDb, min_support: Support) -> PatternSet {
+        let mut out = PatternSet::new();
+        if db.is_empty() || min_support == 0 {
+            return out;
+        }
+
+        // Frequent 1-edge patterns, keyed by canonical (l_min, e, l_max).
+        let mut groups: FxHashMap<DfsEdge, Vec<Embedding>> = FxHashMap::default();
+        for (gid, g) in db.iter() {
+            for (eid, u, v, el) in g.edges() {
+                let (a, b) = if g.vlabel(u) <= g.vlabel(v) { (u, v) } else { (v, u) };
+                let edge = DfsEdge::new(0, 1, g.vlabel(a), el, g.vlabel(b));
+                let group = groups.entry(edge).or_default();
+                group.push(Embedding { gid, map: vec![a, b], edges: vec![eid] });
+                if g.vlabel(a) == g.vlabel(b) {
+                    group.push(Embedding { gid, map: vec![b, a], edges: vec![eid] });
+                }
+            }
+        }
+
+        for (edge, embeddings) in groups {
+            if distinct_gids(&embeddings) < min_support {
+                continue;
+            }
+            let mut code = DfsCode(vec![edge]);
+            self.grow(db, &mut code, &embeddings, min_support, &mut out);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "gSpan"
+    }
+}
+
+/// One embedding of the current code: vertex map (code vertex -> graph
+/// vertex) plus the matched graph edges in code order.
+#[derive(Debug, Clone)]
+struct Embedding {
+    gid: GraphId,
+    map: Vec<VertexId>,
+    edges: Vec<EdgeId>,
+}
+
+impl Embedding {
+    #[inline]
+    fn uses_edge(&self, eid: EdgeId) -> bool {
+        self.edges.contains(&eid)
+    }
+
+    #[inline]
+    fn maps_vertex(&self, v: VertexId) -> Option<u32> {
+        self.map.iter().position(|&x| x == v).map(|i| i as u32)
+    }
+}
+
+fn distinct_gids(embeddings: &[Embedding]) -> Support {
+    // Embedding lists are built in gid order, so counting transitions works.
+    let mut count = 0;
+    let mut last = None;
+    for e in embeddings {
+        if last != Some(e.gid) {
+            count += 1;
+            last = Some(e.gid);
+        }
+    }
+    count
+}
+
+impl GSpan {
+    fn grow(
+        &self,
+        db: &GraphDb,
+        code: &mut DfsCode,
+        embeddings: &[Embedding],
+        min_support: Support,
+        out: &mut PatternSet,
+    ) {
+        if !is_min(code) {
+            return;
+        }
+        out.insert(Pattern::from_code(code.clone(), distinct_gids(embeddings)));
+        if !within_cap(self.max_edges, code.len() + 1) {
+            return;
+        }
+
+        let path = code.rightmost_path();
+        let rightmost = *path.last().expect("non-empty code");
+        // Backward edges from the same source must appear in increasing
+        // target order; track the last backward target emitted from the
+        // rightmost vertex so extensions keep the code valid.
+        let min_backward_target = code
+            .0
+            .iter()
+            .rev()
+            .take_while(|e| !e.is_forward())
+            .filter(|e| e.from == rightmost)
+            .map(|e| e.to + 1)
+            .max()
+            .unwrap_or(0);
+
+        let mut extensions: FxHashMap<DfsEdge, Vec<Embedding>> = FxHashMap::default();
+        for emb in embeddings {
+            let g = db.graph(emb.gid);
+            let g_rm = emb.map[rightmost as usize];
+
+            // Backward extensions: rightmost vertex -> rightmost-path vertex.
+            for &pv in &path[..path.len() - 1] {
+                if pv < min_backward_target {
+                    continue;
+                }
+                let g_pv = emb.map[pv as usize];
+                if let Some(eid) = g.edge_between(g_rm, g_pv) {
+                    if !emb.uses_edge(eid) {
+                        let edge = DfsEdge::new(
+                            rightmost,
+                            pv,
+                            g.vlabel(g_rm),
+                            g.edge(eid).2,
+                            g.vlabel(g_pv),
+                        );
+                        let mut next = emb.clone();
+                        next.edges.push(eid);
+                        extensions.entry(edge).or_default().push(next);
+                    }
+                }
+            }
+
+            // Forward extensions from every rightmost-path vertex.
+            let new_vertex = emb.map.len() as u32;
+            for &pv in path.iter().rev() {
+                let g_pv = emb.map[pv as usize];
+                for a in g.neighbors(g_pv) {
+                    if emb.uses_edge(a.eid) || emb.maps_vertex(a.to).is_some() {
+                        continue;
+                    }
+                    let edge =
+                        DfsEdge::new(pv, new_vertex, g.vlabel(g_pv), a.elabel, g.vlabel(a.to));
+                    let mut next = emb.clone();
+                    next.map.push(a.to);
+                    next.edges.push(a.eid);
+                    extensions.entry(edge).or_default().push(next);
+                }
+            }
+        }
+
+        let mut ordered: Vec<(DfsEdge, Vec<Embedding>)> = extensions.into_iter().collect();
+        ordered.sort_by(|(a, _), (b, _)| a.dfs_cmp(b));
+        for (edge, embs) in ordered {
+            if distinct_gids(&embs) < min_support {
+                continue;
+            }
+            code.push(edge);
+            self.grow(db, code, &embs, min_support, out);
+            code.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmine_graph::enumerate::frequent_bruteforce;
+    use graphmine_graph::Graph;
+
+    fn tiny_db() -> GraphDb {
+        // Three graphs sharing a labeled path 0-(5)-1-(6)-2; one also has a
+        // triangle.
+        let mut graphs = Vec::new();
+        for extra in 0..3 {
+            let mut g = Graph::new();
+            let a = g.add_vertex(0);
+            let b = g.add_vertex(1);
+            let c = g.add_vertex(2);
+            g.add_edge(a, b, 5).unwrap();
+            g.add_edge(b, c, 6).unwrap();
+            if extra == 2 {
+                g.add_edge(c, a, 7).unwrap();
+            }
+            graphs.push(g);
+        }
+        GraphDb::from_graphs(graphs)
+    }
+
+    #[test]
+    fn mines_shared_path() {
+        let db = tiny_db();
+        let result = GSpan::new().mine(&db, 3);
+        // Frequent at support 3: both single edges and the 2-edge path.
+        assert_eq!(result.len(), 3);
+        for p in result.iter() {
+            assert_eq!(p.support, 3);
+        }
+    }
+
+    #[test]
+    fn support_one_includes_triangle() {
+        let db = tiny_db();
+        let result = GSpan::new().mine(&db, 1);
+        let oracle = frequent_bruteforce(&db, 1, 10);
+        assert!(result.same_codes_and_supports(&oracle));
+    }
+
+    #[test]
+    fn matches_bruteforce_on_overlapping_squares() {
+        let mut graphs = Vec::new();
+        for i in 0..4 {
+            let mut g = Graph::new();
+            for j in 0..4 {
+                g.add_vertex((i + j) % 2);
+            }
+            g.add_edge(0, 1, 0).unwrap();
+            g.add_edge(1, 2, 0).unwrap();
+            g.add_edge(2, 3, 0).unwrap();
+            g.add_edge(3, 0, 0).unwrap();
+            if i % 2 == 0 {
+                g.add_edge(0, 2, 1).unwrap();
+            }
+            graphs.push(g);
+        }
+        let db = GraphDb::from_graphs(graphs);
+        for sup in 1..=4 {
+            let mined = GSpan::new().mine(&db, sup);
+            let oracle = frequent_bruteforce(&db, sup, 10);
+            assert!(
+                mined.same_codes_and_supports(&oracle),
+                "support {sup}: mined {} vs oracle {}",
+                mined.len(),
+                oracle.len()
+            );
+        }
+    }
+
+    #[test]
+    fn size_cap_is_respected() {
+        let db = tiny_db();
+        let result = GSpan::capped(1).mine(&db, 1);
+        assert!(result.iter().all(|p| p.size() == 1));
+        let oracle = frequent_bruteforce(&db, 1, 1);
+        assert!(result.same_codes_and_supports(&oracle));
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        assert!(GSpan::new().mine(&GraphDb::new(), 1).is_empty());
+    }
+
+    #[test]
+    fn threshold_above_database_size_yields_nothing() {
+        let db = tiny_db();
+        assert!(GSpan::new().mine(&db, 10).is_empty());
+    }
+}

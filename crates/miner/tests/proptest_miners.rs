@@ -1,0 +1,81 @@
+//! Cross-validation: gSpan, Gaston and Apriori must return identical
+//! pattern sets, equal to the brute-force oracle, on random databases.
+
+use proptest::prelude::*;
+
+use graphmine_graph::enumerate::frequent_bruteforce;
+use graphmine_graph::{Graph, GraphDb};
+use graphmine_miner::{Apriori, Fsg, Gaston, GSpan, MemoryMiner};
+
+fn random_connected_graph(max_vertices: usize, vlabels: u32, elabels: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_vertices).prop_flat_map(move |n| {
+        let vl = proptest::collection::vec(0..vlabels, n);
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
+        let tree_el = proptest::collection::vec(0..elabels, n - 1);
+        let extra = proptest::collection::vec((0..n, 0..n, 0..elabels), 0..=2);
+        (vl, parents, tree_el, extra).prop_map(move |(vl, parents, tree_el, extra)| {
+            let mut g = Graph::new();
+            for &l in &vl {
+                g.add_vertex(l);
+            }
+            for (i, (&p, &el)) in parents.iter().zip(tree_el.iter()).enumerate() {
+                g.add_edge((i + 1) as u32, p as u32, el).unwrap();
+            }
+            for &(u, v, el) in &extra {
+                if u != v {
+                    let _ = g.add_edge(u as u32, v as u32, el);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn random_db() -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec(random_connected_graph(5, 2, 2), 1..6).prop_map(GraphDb::from_graphs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_miners_agree_with_bruteforce(db in random_db(), sup in 1u32..4) {
+        let cap = 8usize; // brute-force tractability bound
+        let oracle = frequent_bruteforce(&db, sup, cap);
+        let gspan = GSpan::capped(cap).mine(&db, sup);
+        prop_assert!(
+            gspan.same_codes_and_supports(&oracle),
+            "gSpan {} vs oracle {}", gspan.len(), oracle.len()
+        );
+        let gaston = Gaston::capped(cap).mine(&db, sup);
+        prop_assert!(
+            gaston.same_codes_and_supports(&oracle),
+            "Gaston {} vs oracle {}", gaston.len(), oracle.len()
+        );
+        let apriori = Apriori::capped(cap).mine(&db, sup);
+        prop_assert!(
+            apriori.same_codes_and_supports(&oracle),
+            "Apriori {} vs oracle {}", apriori.len(), oracle.len()
+        );
+        let fsg = Fsg::capped(cap).mine(&db, sup);
+        prop_assert!(
+            fsg.same_codes_and_supports(&oracle),
+            "FSG {} vs oracle {}", fsg.len(), oracle.len()
+        );
+    }
+
+    #[test]
+    fn support_is_antitone_in_threshold(db in random_db()) {
+        let low = GSpan::capped(6).mine(&db, 1);
+        let n = db.len() as u32;
+        for sup in 2..=n {
+            let high = GSpan::capped(6).mine(&db, sup);
+            // Every pattern frequent at the higher threshold is frequent at 1
+            // with the same support.
+            for p in high.iter() {
+                prop_assert_eq!(low.support(&p.code), Some(p.support));
+                prop_assert!(p.support >= sup);
+            }
+        }
+    }
+}

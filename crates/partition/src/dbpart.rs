@@ -1,0 +1,689 @@
+//! `DBPartition` (Fig. 6): recursively dividing a graph database into units.
+//!
+//! The database is split by a binary tree of bi-partitions: the root holds
+//! the original database; each internal node's two children hold the two
+//! pieces of every graph (gid-aligned, connective edges in both); the `k`
+//! leaves are the mining units `U_1..U_k`. Splits are performed level by
+//! level, left to right, exactly like the paper's loop (`l = ⌊log2 k⌋` full
+//! levels, then the first `k − 2^l` nodes of the last level are split once
+//! more).
+//!
+//! The tree also supports **incremental maintenance** under the paper's
+//! three update types ([`DbPartition::apply_update`]): an update is applied
+//! to the root database and propagated down to exactly the pieces that
+//! contain the touched vertices/edges — new cross edges become connective
+//! edges (present in both children), new vertices grow the single piece
+//! their attachment point lives in. The method reports which units were
+//! touched, which is the `set` word IncPartMiner uses to decide what to
+//! re-mine (Fig. 12, line 4).
+
+use std::collections::VecDeque;
+
+use graphmine_graph::{DbUpdate, EdgeId, ELabel, Graph, GraphDb, GraphError, GraphId, GraphUpdate, VertexId, VLabel};
+
+use crate::split::split_by_sides;
+use crate::Bipartitioner;
+
+/// Index of a node in the partition tree.
+pub type NodeId = usize;
+
+/// What one update touched: the units whose pieces changed, and every tree
+/// node (including internal nodes and the root) whose piece changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateImpact {
+    /// Affected unit indices, sorted.
+    pub units: Vec<usize>,
+    /// Affected node ids, sorted (always includes the root).
+    pub nodes: Vec<NodeId>,
+}
+
+/// One node of the partition tree: a gid-aligned database of (sub)graphs
+/// plus provenance maps back to the *original* database.
+#[derive(Debug, Clone)]
+pub struct PartNode {
+    /// The (sub)graph of every original graph at this node, gid-aligned.
+    pub db: GraphDb,
+    /// Per gid: node vertex -> original vertex.
+    pub vertex_maps: Vec<Vec<VertexId>>,
+    /// Per gid: node edge -> original edge.
+    pub edge_maps: Vec<Vec<EdgeId>>,
+    /// Per gid: update frequency of each node vertex.
+    pub ufreq: Vec<Vec<f64>>,
+    /// Children in the split tree (`None` for unit leaves).
+    pub children: Option<(NodeId, NodeId)>,
+    /// Unit index for leaves.
+    pub unit: Option<usize>,
+    /// Distance from the root.
+    pub depth: usize,
+}
+
+impl PartNode {
+    fn position_of_vertex(&self, gid: GraphId, orig_v: VertexId) -> Option<VertexId> {
+        self.vertex_maps[gid as usize]
+            .iter()
+            .position(|&v| v == orig_v)
+            .map(|i| i as VertexId)
+    }
+
+    fn position_of_edge(&self, gid: GraphId, orig_e: EdgeId) -> Option<EdgeId> {
+        self.edge_maps[gid as usize]
+            .iter()
+            .position(|&e| e == orig_e)
+            .map(|i| i as EdgeId)
+    }
+}
+
+/// The recursive database partition: a binary split tree with `k` unit
+/// leaves.
+#[derive(Debug, Clone)]
+pub struct DbPartition {
+    nodes: Vec<PartNode>,
+    root: NodeId,
+    unit_nodes: Vec<NodeId>,
+}
+
+impl DbPartition {
+    /// Partitions `db` into `k >= 1` units with the given bi-partitioner.
+    ///
+    /// `ufreq[gid][v]` is the update frequency of vertex `v` of graph `gid`
+    /// (the workload knowledge the paper's criteria consume); pass zeros for
+    /// a static database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or if `ufreq` is not shaped like `db`.
+    pub fn build(db: &GraphDb, ufreq: &[Vec<f64>], partitioner: &dyn Bipartitioner, k: usize) -> Self {
+        assert!(k >= 1, "at least one unit");
+        assert_eq!(ufreq.len(), db.len(), "one ufreq vector per graph");
+        for (gid, g) in db.iter() {
+            assert_eq!(
+                ufreq[gid as usize].len(),
+                g.vertex_count(),
+                "one ufreq entry per vertex of graph {gid}"
+            );
+        }
+        let root = PartNode {
+            db: db.clone(),
+            vertex_maps: db.iter().map(|(_, g)| (0..g.vertex_count() as u32).collect()).collect(),
+            edge_maps: db.iter().map(|(_, g)| (0..g.edge_count() as u32).collect()).collect(),
+            ufreq: ufreq.to_vec(),
+            children: None,
+            unit: None,
+            depth: 0,
+        };
+        let mut part = DbPartition { nodes: vec![root], root: 0, unit_nodes: Vec::new() };
+
+        // Level-by-level, left-to-right splitting (Fig. 6).
+        let mut leaves: VecDeque<NodeId> = VecDeque::from([0]);
+        while leaves.len() < k {
+            let node_id = leaves.pop_front().expect("non-empty leaf queue");
+            let (a, b) = part.split_node(node_id, partitioner);
+            leaves.push_back(a);
+            leaves.push_back(b);
+        }
+        for (unit, &node_id) in leaves.iter().enumerate() {
+            part.nodes[node_id].unit = Some(unit);
+            part.unit_nodes.push(node_id);
+        }
+        part
+    }
+
+    fn split_node(&mut self, node_id: NodeId, partitioner: &dyn Bipartitioner) -> (NodeId, NodeId) {
+        let n_graphs = self.nodes[node_id].db.len();
+        let depth = self.nodes[node_id].depth;
+        let mut child1 = PartNode {
+            db: GraphDb::new(),
+            vertex_maps: Vec::with_capacity(n_graphs),
+            edge_maps: Vec::with_capacity(n_graphs),
+            ufreq: Vec::with_capacity(n_graphs),
+            children: None,
+            unit: None,
+            depth: depth + 1,
+        };
+        let mut child2 = child1.clone();
+        for gid in 0..n_graphs as GraphId {
+            let node = &self.nodes[node_id];
+            let g = node.db.graph(gid);
+            let uf = &node.ufreq[gid as usize];
+            let sides = partitioner.assign(g, uf);
+            let split = split_by_sides(g, uf, &sides);
+            for (child, piece) in [(&mut child1, split.side1), (&mut child2, split.side2)] {
+                // Compose piece->node maps with node->original maps.
+                child.vertex_maps.push(
+                    piece.vertex_map.iter().map(|&v| node.vertex_maps[gid as usize][v as usize]).collect(),
+                );
+                child.edge_maps.push(
+                    piece.edge_map.iter().map(|&e| node.edge_maps[gid as usize][e as usize]).collect(),
+                );
+                child.ufreq.push(piece.ufreq);
+                child.db.push(piece.graph);
+            }
+        }
+        let a = self.nodes.len();
+        self.nodes.push(child1);
+        let b = self.nodes.len();
+        self.nodes.push(child2);
+        self.nodes[node_id].children = Some((a, b));
+        (a, b)
+    }
+
+    /// Number of units.
+    pub fn unit_count(&self) -> usize {
+        self.unit_nodes.len()
+    }
+
+    /// The root node (holds the evolving original database).
+    pub fn root(&self) -> &PartNode {
+        &self.nodes[self.root]
+    }
+
+    /// Root node id.
+    pub fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &PartNode {
+        &self.nodes[id]
+    }
+
+    /// Total number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node backing unit `j`.
+    pub fn unit_node(&self, j: usize) -> &PartNode {
+        &self.nodes[self.unit_nodes[j]]
+    }
+
+    /// The databases of all units, in unit order.
+    pub fn unit_dbs(&self) -> Vec<&GraphDb> {
+        self.unit_nodes.iter().map(|&n| &self.nodes[n].db).collect()
+    }
+
+    /// Units whose piece of `gid` contains original vertex `orig_v`.
+    pub fn units_containing_vertex(&self, gid: GraphId, orig_v: VertexId) -> Vec<usize> {
+        self.unit_nodes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| self.nodes[n].position_of_vertex(gid, orig_v).is_some())
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Reassembles graph `gid` from its unit pieces (edge union by original
+    /// edge id) — used to verify lossless recovery.
+    pub fn recovered_graph(&self, gid: GraphId) -> Graph {
+        let root_g = self.nodes[self.root].db.graph(gid);
+        let mut g = Graph::with_capacity(root_g.vertex_count(), root_g.edge_count());
+        for _ in 0..root_g.vertex_count() {
+            g.add_vertex(u32::MAX); // placeholder, filled from pieces
+        }
+        // Collect labels and edges keyed by their *original* ids so the
+        // recovered graph is structurally identical, not just isomorphic.
+        let mut edges: Vec<Option<(VertexId, VertexId, ELabel)>> = vec![None; root_g.edge_count()];
+        for &n in &self.unit_nodes {
+            let node = &self.nodes[n];
+            let pg = node.db.graph(gid);
+            for (pv, &ov) in node.vertex_maps[gid as usize].iter().enumerate() {
+                g.set_vlabel(ov, pg.vlabel(pv as u32)).expect("original vertex in range");
+            }
+            for (pe, &oe) in node.edge_maps[gid as usize].iter().enumerate() {
+                let (u, v, el) = pg.edge(pe as u32);
+                let ou = node.vertex_maps[gid as usize][u as usize];
+                let ov = node.vertex_maps[gid as usize][v as usize];
+                edges[oe as usize] = Some((ou, ov, el));
+            }
+        }
+        for e in edges.into_iter().flatten() {
+            g.add_edge(e.0, e.1, e.2).expect("unique original edges");
+        }
+        g
+    }
+
+    /// Applies one update to the partitioned database: the root database
+    /// and every affected piece are updated in place. Returns the sorted
+    /// list of units whose pieces changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] (and changes nothing) if the update is not
+    /// applicable to the current root database.
+    pub fn apply_update(&mut self, up: DbUpdate) -> Result<Vec<usize>, GraphError> {
+        Ok(self.apply_update_impact(up)?.units)
+    }
+
+    /// Like [`DbPartition::apply_update`], additionally reporting every
+    /// tree *node* whose piece changed — what incremental re-merging needs
+    /// to invalidate cached per-node results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] (and changes nothing) if the update is not
+    /// applicable to the current root database.
+    pub fn apply_update_impact(&mut self, up: DbUpdate) -> Result<UpdateImpact, GraphError> {
+        let gid = up.gid;
+        if gid as usize >= self.nodes[self.root].db.len() {
+            return Err(GraphError::VertexOutOfRange { vertex: gid, len: self.nodes[self.root].db.len() as u32 });
+        }
+        self.validate(gid, &up.update)?;
+
+        let mut touched: Vec<NodeId> = Vec::new();
+        match up.update {
+            GraphUpdate::RelabelVertex { v, label } => {
+                self.relabel_vertex_rec(self.root, gid, v, label, &mut touched);
+            }
+            GraphUpdate::RelabelEdge { e, label } => {
+                self.relabel_edge_rec(self.root, gid, e, label, &mut touched);
+            }
+            GraphUpdate::AddEdge { u, v, label } => {
+                let root_g = self.nodes[self.root].db.graph(gid);
+                let orig_e = root_g.edge_count() as EdgeId;
+                let lu = root_g.vlabel(u);
+                let lv = root_g.vlabel(v);
+                let uf_u = self.ufreq_of(gid, u);
+                let uf_v = self.ufreq_of(gid, v);
+                self.add_edge_rec(self.root, gid, (u, lu, uf_u), (v, lv, uf_v), label, orig_e, &mut touched);
+            }
+            GraphUpdate::AddVertex { label, attach_to, elabel } => {
+                let root_g = self.nodes[self.root].db.graph(gid);
+                let new_orig_v = root_g.vertex_count() as VertexId;
+                let orig_e = root_g.edge_count() as EdgeId;
+                let l_at = root_g.vlabel(attach_to);
+                let uf_at = self.ufreq_of(gid, attach_to);
+                self.add_vertex_rec(
+                    self.root,
+                    gid,
+                    (attach_to, l_at, uf_at),
+                    (new_orig_v, label),
+                    elabel,
+                    orig_e,
+                    &mut touched,
+                );
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let units: Vec<usize> = touched
+            .iter()
+            .filter_map(|&n| self.nodes[n].unit)
+            .collect();
+        Ok(UpdateImpact { units, nodes: touched })
+    }
+
+    fn ufreq_of(&self, gid: GraphId, orig_v: VertexId) -> f64 {
+        let root = &self.nodes[self.root];
+        root.ufreq[gid as usize][orig_v as usize]
+    }
+
+    fn validate(&self, gid: GraphId, update: &GraphUpdate) -> Result<(), GraphError> {
+        let g = self.nodes[self.root].db.graph(gid);
+        let n = g.vertex_count() as u32;
+        match *update {
+            GraphUpdate::RelabelVertex { v, .. } => {
+                if v >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, len: n });
+                }
+            }
+            GraphUpdate::RelabelEdge { e, .. } => {
+                if e >= g.edge_count() as u32 {
+                    return Err(GraphError::EdgeOutOfRange { edge: e, len: g.edge_count() as u32 });
+                }
+            }
+            GraphUpdate::AddEdge { u, v, .. } => {
+                if u >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: u, len: n });
+                }
+                if v >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, len: n });
+                }
+                if u == v {
+                    return Err(GraphError::SelfLoop { vertex: u });
+                }
+                if g.edge_between(u, v).is_some() {
+                    return Err(GraphError::DuplicateEdge { u, v });
+                }
+            }
+            GraphUpdate::AddVertex { attach_to, .. } => {
+                if attach_to >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: attach_to, len: n });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn mark(&self, node_id: NodeId, touched: &mut Vec<NodeId>) {
+        touched.push(node_id);
+    }
+
+    fn relabel_vertex_rec(
+        &mut self,
+        node_id: NodeId,
+        gid: GraphId,
+        orig_v: VertexId,
+        label: VLabel,
+        touched: &mut Vec<NodeId>,
+    ) {
+        let Some(pv) = self.nodes[node_id].position_of_vertex(gid, orig_v) else {
+            return;
+        };
+        self.nodes[node_id]
+            .db
+            .graph_mut(gid)
+            .set_vlabel(pv, label)
+            .expect("mapped vertex in range");
+        self.mark(node_id, touched);
+        if let Some((a, b)) = self.nodes[node_id].children {
+            self.relabel_vertex_rec(a, gid, orig_v, label, touched);
+            self.relabel_vertex_rec(b, gid, orig_v, label, touched);
+        }
+    }
+
+    fn relabel_edge_rec(
+        &mut self,
+        node_id: NodeId,
+        gid: GraphId,
+        orig_e: EdgeId,
+        label: ELabel,
+        touched: &mut Vec<NodeId>,
+    ) {
+        let Some(pe) = self.nodes[node_id].position_of_edge(gid, orig_e) else {
+            return;
+        };
+        self.nodes[node_id]
+            .db
+            .graph_mut(gid)
+            .set_elabel(pe, label)
+            .expect("mapped edge in range");
+        self.mark(node_id, touched);
+        if let Some((a, b)) = self.nodes[node_id].children {
+            self.relabel_edge_rec(a, gid, orig_e, label, touched);
+            self.relabel_edge_rec(b, gid, orig_e, label, touched);
+        }
+    }
+
+    /// Ensures `orig_v` (with `label` and `ufreq`) exists in the node's
+    /// piece of `gid`, returning its piece id.
+    fn ensure_vertex(
+        &mut self,
+        node_id: NodeId,
+        gid: GraphId,
+        orig_v: VertexId,
+        label: VLabel,
+        ufreq: f64,
+    ) -> VertexId {
+        if let Some(pv) = self.nodes[node_id].position_of_vertex(gid, orig_v) {
+            return pv;
+        }
+        let node = &mut self.nodes[node_id];
+        let pv = node.db.graph_mut(gid).add_vertex(label);
+        node.vertex_maps[gid as usize].push(orig_v);
+        node.ufreq[gid as usize].push(ufreq);
+        pv
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_edge_rec(
+        &mut self,
+        node_id: NodeId,
+        gid: GraphId,
+        u: (VertexId, VLabel, f64),
+        v: (VertexId, VLabel, f64),
+        label: ELabel,
+        orig_e: EdgeId,
+        touched: &mut Vec<NodeId>,
+    ) {
+        let pu = self.ensure_vertex(node_id, gid, u.0, u.1, u.2);
+        let pv = self.ensure_vertex(node_id, gid, v.0, v.1, v.2);
+        let node = &mut self.nodes[node_id];
+        node.db
+            .graph_mut(gid)
+            .add_edge(pu, pv, label)
+            .expect("validated: edge not present");
+        node.edge_maps[gid as usize].push(orig_e);
+        self.mark(node_id, touched);
+
+        let Some((a, b)) = self.nodes[node_id].children else {
+            return;
+        };
+        let has = |n: NodeId, ov: VertexId| self.nodes[n].position_of_vertex(gid, ov).is_some();
+        let (au, av) = (has(a, u.0), has(a, v.0));
+        let (bu, bv) = (has(b, u.0), has(b, v.0));
+        let targets: Vec<NodeId> = if au && av || bu && bv {
+            // Internal to one (or both, if all endpoints are boundary) side.
+            let mut t = Vec::new();
+            if au && av {
+                t.push(a);
+            }
+            if bu && bv {
+                t.push(b);
+            }
+            t
+        } else if (au || av) && (bu || bv) {
+            // Cross edge: becomes a new connective edge, in both pieces.
+            vec![a, b]
+        } else if au || av {
+            vec![a]
+        } else if bu || bv {
+            vec![b]
+        } else {
+            // Both endpoints were isolated (dropped everywhere): grow the
+            // left piece.
+            vec![a]
+        };
+        for t in targets {
+            self.add_edge_rec(t, gid, u, v, label, orig_e, touched);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_vertex_rec(
+        &mut self,
+        node_id: NodeId,
+        gid: GraphId,
+        attach: (VertexId, VLabel, f64),
+        new_v: (VertexId, VLabel),
+        elabel: ELabel,
+        orig_e: EdgeId,
+        touched: &mut Vec<NodeId>,
+    ) {
+        let pa = self.ensure_vertex(node_id, gid, attach.0, attach.1, attach.2);
+        // New vertices start with ufreq 0 (no further planned updates).
+        let pn = self.ensure_vertex(node_id, gid, new_v.0, new_v.1, 0.0);
+        let node = &mut self.nodes[node_id];
+        node.db
+            .graph_mut(gid)
+            .add_edge(pa, pn, elabel)
+            .expect("attaching edge is fresh");
+        node.edge_maps[gid as usize].push(orig_e);
+        self.mark(node_id, touched);
+
+        let Some((a, b)) = self.nodes[node_id].children else {
+            return;
+        };
+        // Grow exactly one side: the first child containing the attachment
+        // point (left child if it was isolated everywhere) — this is what
+        // keeps vertex additions localised to a single unit.
+        let target = if self.nodes[a].position_of_vertex(gid, attach.0).is_some() {
+            a
+        } else if self.nodes[b].position_of_vertex(gid, attach.0).is_some() {
+            b
+        } else {
+            a
+        };
+        self.add_vertex_rec(target, gid, attach, new_v, elabel, orig_e, touched);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Criteria, GraphPart};
+
+    fn sample_db() -> (GraphDb, Vec<Vec<f64>>) {
+        let mut graphs = Vec::new();
+        let mut ufreq = Vec::new();
+        for i in 0..4u32 {
+            let mut g = Graph::new();
+            for l in 0..6 {
+                g.add_vertex((l + i) % 3);
+            }
+            g.add_edge(0, 1, 0).unwrap();
+            g.add_edge(1, 2, 1).unwrap();
+            g.add_edge(2, 0, 0).unwrap();
+            g.add_edge(2, 3, 2).unwrap();
+            g.add_edge(3, 4, 0).unwrap();
+            g.add_edge(4, 5, 1).unwrap();
+            g.add_edge(5, 3, 0).unwrap();
+            graphs.push(g);
+            ufreq.push(vec![0.0, 0.0, 0.0, 1.0, 2.0, 3.0]);
+        }
+        (GraphDb::from_graphs(graphs), ufreq)
+    }
+
+    fn build_k(k: usize) -> DbPartition {
+        let (db, uf) = sample_db();
+        DbPartition::build(&db, &uf, &GraphPart::new(Criteria::COMBINED), k)
+    }
+
+    #[test]
+    fn builds_k_units_gid_aligned() {
+        for k in 1..=6 {
+            let part = build_k(k);
+            assert_eq!(part.unit_count(), k);
+            for j in 0..k {
+                assert_eq!(part.unit_node(j).db.len(), 4, "unit {j} gid-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_is_lossless() {
+        for k in [1, 2, 3, 4, 5] {
+            let part = build_k(k);
+            let (db, _) = sample_db();
+            for gid in 0..db.len() as u32 {
+                let rec = part.recovered_graph(gid);
+                let orig = db.graph(gid);
+                assert_eq!(rec.edge_count(), orig.edge_count(), "k={k} gid={gid}");
+                for (e, u, v, el) in orig.edges() {
+                    let (ru, rv, rel) = rec.edge(e);
+                    assert_eq!((ru, rv, rel), (u, v, el), "k={k} gid={gid} edge {e}");
+                }
+                for v in 0..orig.vertex_count() as u32 {
+                    // Isolated vertices may be dropped; all others keep labels.
+                    if orig.degree(v) > 0 {
+                        assert_eq!(rec.vlabel(v), orig.vlabel(v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_vertex_touches_only_owning_units() {
+        let mut part = build_k(4);
+        let expected = part.units_containing_vertex(0, 5);
+        let touched = part
+            .apply_update(DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 5, label: 9 } })
+            .unwrap();
+        assert_eq!(touched, expected);
+        assert!(!touched.is_empty());
+        assert_eq!(part.root().db.graph(0).vlabel(5), 9);
+        // The piece graph also shows the new label.
+        for &j in &touched {
+            let node = part.unit_node(j);
+            let pv = node.position_of_vertex(0, 5).unwrap();
+            assert_eq!(node.db.graph(0).vlabel(pv), 9);
+        }
+    }
+
+    #[test]
+    fn add_edge_keeps_recovery_lossless() {
+        let mut part = build_k(4);
+        let touched = part
+            .apply_update(DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 0, v: 3, label: 7 } })
+            .unwrap();
+        assert!(!touched.is_empty());
+        let root_g = part.root().db.graph(1).clone();
+        assert_eq!(root_g.edge_count(), 8);
+        let rec = part.recovered_graph(1);
+        assert_eq!(rec.edge_count(), root_g.edge_count());
+        for (e, u, v, el) in root_g.edges() {
+            assert_eq!(rec.edge(e), (u, v, el));
+        }
+    }
+
+    #[test]
+    fn add_vertex_touches_single_unit() {
+        let mut part = build_k(4);
+        let touched = part
+            .apply_update(DbUpdate {
+                gid: 2,
+                update: GraphUpdate::AddVertex { label: 8, attach_to: 4, elabel: 3 },
+            })
+            .unwrap();
+        assert_eq!(touched.len(), 1, "vertex growth is localised: {touched:?}");
+        let rec = part.recovered_graph(2);
+        let root_g = part.root().db.graph(2);
+        assert_eq!(rec.edge_count(), root_g.edge_count());
+        assert_eq!(root_g.vertex_count(), 7);
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected_atomically() {
+        let mut part = build_k(2);
+        let before = part.root().db.graph(0).clone();
+        assert!(part
+            .apply_update(DbUpdate { gid: 0, update: GraphUpdate::AddEdge { u: 0, v: 1, label: 5 } })
+            .is_err()); // duplicate
+        assert!(part
+            .apply_update(DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 99, label: 0 } })
+            .is_err());
+        assert!(part
+            .apply_update(DbUpdate { gid: 9, update: GraphUpdate::RelabelVertex { v: 0, label: 0 } })
+            .is_err());
+        assert_eq!(part.root().db.graph(0), &before);
+    }
+
+    #[test]
+    fn chained_updates_stay_consistent() {
+        let mut part = build_k(3);
+        let ups = [
+            GraphUpdate::AddVertex { label: 5, attach_to: 0, elabel: 9 }, // new vertex 6
+            GraphUpdate::AddEdge { u: 6, v: 4, label: 9 },
+            GraphUpdate::RelabelVertex { v: 6, label: 7 },
+            GraphUpdate::RelabelEdge { e: 7, label: 1 }, // the vertex-6 attach edge
+        ];
+        for u in ups {
+            part.apply_update(DbUpdate { gid: 3, update: u }).unwrap();
+        }
+        let root_g = part.root().db.graph(3).clone();
+        assert_eq!(root_g.vertex_count(), 7);
+        assert_eq!(root_g.edge_count(), 9);
+        assert_eq!(root_g.vlabel(6), 7);
+        assert_eq!(root_g.edge(7).2, 1);
+        let rec = part.recovered_graph(3);
+        for (e, u, v, el) in root_g.edges() {
+            assert_eq!(rec.edge(e), (u, v, el), "edge {e}");
+        }
+        for v in 0..root_g.vertex_count() as u32 {
+            if root_g.degree(v) > 0 {
+                assert_eq!(rec.vlabel(v), root_g.vlabel(v), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn metis_partitioner_also_builds() {
+        let (db, uf) = sample_db();
+        let part = DbPartition::build(&db, &uf, &crate::MetisLike, 4);
+        assert_eq!(part.unit_count(), 4);
+        for gid in 0..db.len() as u32 {
+            let rec = part.recovered_graph(gid);
+            assert_eq!(rec.edge_count(), db.graph(gid).edge_count());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! `GraphPart` — the paper's bi-partitioning algorithm (Fig. 5).
+
+use graphmine_graph::Graph;
+
+use crate::Bipartitioner;
+
+/// The `(λ1, λ2)` weights of equation (1), controlling the trade-off between
+/// isolating frequently-updated vertices (first term) and minimising the
+/// connectivity between the two sides (second term).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Criteria {
+    /// Weight of the average-update-frequency term.
+    pub lambda1: f64,
+    /// Weight of the connective-edge-count term.
+    pub lambda2: f64,
+}
+
+impl Criteria {
+    /// *Partition1* (Section 5.1.1): isolate the updated vertices,
+    /// `λ1 = 1, λ2 = 0`.
+    pub const ISOLATE_UPDATES: Criteria = Criteria { lambda1: 1.0, lambda2: 0.0 };
+    /// *Partition2*: minimise the connectivity between the subgraphs,
+    /// `λ1 = 0, λ2 = 1`.
+    pub const MIN_CONNECTIVITY: Criteria = Criteria { lambda1: 0.0, lambda2: 1.0 };
+    /// *Partition3*: both criteria, `λ1 = 1, λ2 = 1` — the paper's best
+    /// setting for dynamic databases.
+    pub const COMBINED: Criteria = Criteria { lambda1: 1.0, lambda2: 1.0 };
+}
+
+impl Default for Criteria {
+    fn default() -> Self {
+        Criteria::COMBINED
+    }
+}
+
+/// The `GraphPart` bi-partitioner.
+///
+/// Vertices are sorted by descending update frequency; a greedy DFS is
+/// started from each vertex in the upper half of that order, collecting up
+/// to `|V|/2` vertices and always visiting the unvisited neighbour with the
+/// highest update frequency first (line 21 of Fig. 5). Each candidate
+/// subset is scored with equation (1) and the best one becomes `V*`.
+///
+/// One deliberate deviation from the pseudo-code: Fig. 5's `DFSScan` pushes
+/// only the single best neighbour per visited vertex, so its "scan" can die
+/// on a dead end before reaching `|V|/2` vertices. We push *all* unvisited
+/// neighbours (best on top), i.e. a genuine depth-first traversal, which is
+/// what the prose describes ("we traverse the graph G in depth-first
+/// manner").
+#[derive(Debug, Clone, Default)]
+pub struct GraphPart {
+    /// The weight-function setting.
+    pub criteria: Criteria,
+}
+
+impl GraphPart {
+    /// A `GraphPart` with the given criteria.
+    pub fn new(criteria: Criteria) -> Self {
+        GraphPart { criteria }
+    }
+
+    /// Equation (1), with both terms normalised to `[0, 1]` (average update
+    /// frequency by the graph's maximum ufreq, connectivity by the edge
+    /// count) so that `λ1 = λ2 = 1` genuinely weighs them equally — with
+    /// raw counts the cut term numerically swamps the ufreq term and
+    /// Partition3 degenerates into Partition2, contradicting the behaviour
+    /// the paper's Fig. 13 reports.
+    fn weight(&self, g: &Graph, ufreq: &[f64], subset: &[bool], size: usize) -> f64 {
+        if size == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let max_uf = ufreq.iter().copied().fold(0.0_f64, f64::max);
+        let uf_term = if max_uf > 0.0 {
+            let sum: f64 = (0..g.vertex_count())
+                .filter(|&v| subset[v])
+                .map(|v| ufreq[v])
+                .sum();
+            (sum / size as f64) / max_uf
+        } else {
+            0.0
+        };
+        let cut_term = if g.edge_count() > 0 {
+            let cut = g
+                .edges()
+                .filter(|&(_, u, v, _)| subset[u as usize] != subset[v as usize])
+                .count();
+            cut as f64 / g.edge_count() as f64
+        } else {
+            0.0
+        };
+        self.criteria.lambda1 * uf_term - self.criteria.lambda2 * cut_term
+    }
+}
+
+impl Bipartitioner for GraphPart {
+    fn assign(&self, g: &Graph, ufreq: &[f64]) -> Vec<bool> {
+        let n = g.vertex_count();
+        assert_eq!(ufreq.len(), n, "one update frequency per vertex");
+        if n < 2 {
+            return vec![true; n];
+        }
+        // Line 1: vertices sorted by descending update frequency
+        // (ties broken by id for determinism).
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| {
+            ufreq[b as usize]
+                .partial_cmp(&ufreq[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+
+        let half = (n / 2).max(1);
+        let mut best: Option<(f64, Vec<bool>)> = None;
+
+        // Lines 4-12: one greedy DFS per candidate start vertex in the
+        // upper (high-ufreq) half of the order.
+        for &start in order.iter().take(half) {
+            let mut in_subset = vec![false; n];
+            let mut visited = vec![false; n];
+            let mut stack = vec![start];
+            visited[start as usize] = true;
+            let mut size = 0usize;
+            while let Some(v) = stack.pop() {
+                if size >= half {
+                    break;
+                }
+                in_subset[v as usize] = true;
+                size += 1;
+                // Push unvisited neighbours, highest ufreq on top (line 21).
+                let mut nbrs: Vec<u32> = g
+                    .neighbors(v)
+                    .iter()
+                    .map(|a| a.to)
+                    .filter(|&w| !visited[w as usize])
+                    .collect();
+                nbrs.sort_by(|&a, &b| {
+                    ufreq[a as usize]
+                        .partial_cmp(&ufreq[b as usize])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.cmp(&a))
+                });
+                for w in nbrs {
+                    visited[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+            let w = self.weight(g, ufreq, &in_subset, size);
+            if best.as_ref().is_none_or(|(bw, _)| w > *bw) {
+                best = Some((w, in_subset));
+            }
+        }
+        let (mut best_w, mut sides) = best.expect("at least one candidate subset");
+
+        // Local refinement: greedily flip single vertices while that
+        // improves the same objective w, keeping both sides within
+        // [1/4, 3/4] of the graph. The greedy DFS prefixes above fix the
+        // structure of equation (1)'s optimum; this polishes its value —
+        // on dense graphs a raw DFS prefix can leave an unnecessarily
+        // large cut.
+        let lo = (n / 4).max(1);
+        let hi = n - lo;
+        let mut locked = vec![false; n];
+        loop {
+            let mut step: Option<(f64, usize)> = None;
+            let current_size = sides.iter().filter(|&&s| s).count();
+            for v in 0..n {
+                if locked[v] {
+                    continue;
+                }
+                let new_size = if sides[v] {
+                    current_size.saturating_sub(1)
+                } else {
+                    current_size + 1
+                };
+                if new_size < lo || new_size > hi {
+                    continue;
+                }
+                sides[v] = !sides[v];
+                let w = self.weight(g, ufreq, &sides, new_size);
+                sides[v] = !sides[v];
+                if w > best_w && step.is_none_or(|(sw, _)| w > sw) {
+                    step = Some((w, v));
+                }
+            }
+            let Some((w, v)) = step else { break };
+            sides[v] = !sides[v];
+            locked[v] = true;
+            best_w = w;
+        }
+        sides
+    }
+
+    fn name(&self) -> &'static str {
+        "GraphPart"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut_size;
+
+    /// Two triangles joined by a single bridge edge; the obvious minimum
+    /// cut separates the triangles.
+    fn barbell() -> Graph {
+        let mut g = Graph::new();
+        for _ in 0..6 {
+            g.add_vertex(0);
+        }
+        g.add_edge(0, 1, 0).unwrap();
+        g.add_edge(1, 2, 0).unwrap();
+        g.add_edge(2, 0, 0).unwrap();
+        g.add_edge(3, 4, 0).unwrap();
+        g.add_edge(4, 5, 0).unwrap();
+        g.add_edge(5, 3, 0).unwrap();
+        g.add_edge(2, 3, 0).unwrap(); // bridge
+        g
+    }
+
+    #[test]
+    fn min_connectivity_finds_the_bridge() {
+        let g = barbell();
+        let sides = GraphPart::new(Criteria::MIN_CONNECTIVITY).assign(&g, &[0.0; 6]);
+        assert_eq!(cut_size(&g, &sides), 1, "sides: {sides:?}");
+        // Each triangle lands on one side.
+        assert_eq!(sides[0], sides[1]);
+        assert_eq!(sides[1], sides[2]);
+        assert_eq!(sides[3], sides[4]);
+        assert_eq!(sides[4], sides[5]);
+        assert_ne!(sides[0], sides[3]);
+    }
+
+    #[test]
+    fn isolate_updates_groups_hot_vertices() {
+        // A 4-path where the two hot vertices are adjacent; Partition1 puts
+        // them together in V*.
+        let mut g = Graph::new();
+        for _ in 0..4 {
+            g.add_vertex(0);
+        }
+        g.add_edge(0, 1, 0).unwrap();
+        g.add_edge(1, 2, 0).unwrap();
+        g.add_edge(2, 3, 0).unwrap();
+        let ufreq = [0.0, 5.0, 5.0, 0.0];
+        let sides = GraphPart::new(Criteria::ISOLATE_UPDATES).assign(&g, &ufreq);
+        assert!(sides[1] && sides[2], "hot vertices in V*: {sides:?}");
+        assert!(!sides[0] || !sides[3], "some cold vertex outside V*");
+    }
+
+    #[test]
+    fn combined_criteria_balances_both() {
+        let g = barbell();
+        // Hot vertices are one triangle; combined criteria should isolate
+        // that triangle AND cut only the bridge.
+        let ufreq = [3.0, 3.0, 3.0, 0.0, 0.0, 0.0];
+        let sides = GraphPart::new(Criteria::COMBINED).assign(&g, &ufreq);
+        assert_eq!(cut_size(&g, &sides), 1);
+        assert!(sides[0] && sides[1] && sides[2]);
+        assert!(!sides[3] && !sides[4] && !sides[5]);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let mut g = Graph::new();
+        g.add_vertex(0);
+        assert_eq!(GraphPart::default().assign(&g, &[1.0]), vec![true]);
+        let empty = Graph::new();
+        assert!(GraphPart::default().assign(&empty, &[]).is_empty());
+    }
+
+    #[test]
+    fn subset_size_is_at_most_half() {
+        let g = barbell();
+        let sides = GraphPart::default().assign(&g, &[1.0; 6]);
+        let side1 = sides.iter().filter(|&&s| s).count();
+        assert!((1..=3).contains(&side1), "side1 size {side1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one update frequency per vertex")]
+    fn ufreq_length_mismatch_panics() {
+        let g = barbell();
+        GraphPart::default().assign(&g, &[0.0; 2]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Graph and database partitioning (Phase 1 of PartMiner).
+//!
+//! * [`GraphPart`] — the paper's bi-partitioning algorithm (Fig. 5): a
+//!   greedy ufreq-ordered DFS grows candidate vertex subsets, scored with
+//!   the weight function `w(V1) = λ1·avg_ufreq(V1) − λ2·|E(V1,V2)|`
+//!   (equation 1), trading off isolation of frequently-updated vertices
+//!   against cut size. The three λ settings of Section 5.1.1 are provided
+//!   as [`Criteria`] constants.
+//! * [`MetisLike`] — the METIS baseline: multilevel bisection with
+//!   heavy-edge-matching coarsening, greedy region-growing initial
+//!   partition, and FM-style boundary refinement.
+//! * [`split_by_sides`] — turns a side assignment into two *pieces*, each
+//!   keeping the connective (cut) edges so the original graph can be
+//!   recovered (Fig. 4), together with vertex/edge maps back to the parent.
+//! * [`DbPartition`] — the recursive database partition of Fig. 6
+//!   (`DBPartition`): a binary tree whose `k` leaves are the mining units,
+//!   gid-aligned with the original database, with incremental update
+//!   propagation ([`DbPartition::apply_update`]) that reports which units
+//!   an update actually touched — the input IncPartMiner needs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dbpart;
+mod graphpart;
+mod metis;
+mod split;
+
+pub use dbpart::{DbPartition, NodeId, PartNode, UpdateImpact};
+pub use graphpart::{Criteria, GraphPart};
+pub use metis::MetisLike;
+pub use split::{split_by_sides, Piece, Split};
+
+use graphmine_graph::Graph;
+
+/// A graph bi-partitioner: assigns every vertex to side 1 (`true`, the
+/// paper's `V*`) or side 2 (`false`).
+pub trait Bipartitioner {
+    /// Computes the side assignment for `g`; `ufreq[v]` is the update
+    /// frequency of vertex `v` (ignored by partitioners that do not use it).
+    fn assign(&self, g: &Graph, ufreq: &[f64]) -> Vec<bool>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Number of connective (cut) edges under a side assignment.
+pub fn cut_size(g: &Graph, sides: &[bool]) -> usize {
+    g.edges()
+        .filter(|&(_, u, v, _)| sides[u as usize] != sides[v as usize])
+        .count()
+}

@@ -1,0 +1,200 @@
+//! Splitting a graph into two pieces along a side assignment.
+//!
+//! Following Section 4.1 (Fig. 4), each piece keeps the *connective edges*
+//! (edges with one endpoint on each side) so the original graph can be
+//! recovered: piece 1 holds the edges inside `V*` plus the connective
+//! edges, piece 2 the edges outside `V*` plus the connective edges.
+//!
+//! Vertices that end up with no incident edge in a piece are dropped from
+//! it (patterns have at least one edge, so isolated vertices carry no
+//! mining information); the vertex/edge maps record where every piece
+//! element came from.
+
+use graphmine_graph::{EdgeId, Graph, VertexId};
+
+/// One piece of a split graph, with provenance maps back to the parent.
+#[derive(Debug, Clone, Default)]
+pub struct Piece {
+    /// The piece graph.
+    pub graph: Graph,
+    /// piece vertex -> parent vertex.
+    pub vertex_map: Vec<VertexId>,
+    /// piece edge -> parent edge.
+    pub edge_map: Vec<EdgeId>,
+    /// Update frequency of each piece vertex (inherited from the parent).
+    pub ufreq: Vec<f64>,
+}
+
+impl Piece {
+    /// Finds the piece vertex corresponding to a parent vertex.
+    pub fn vertex_of(&self, parent_vertex: VertexId) -> Option<VertexId> {
+        self.vertex_map
+            .iter()
+            .position(|&v| v == parent_vertex)
+            .map(|i| i as VertexId)
+    }
+
+    /// Finds the piece edge corresponding to a parent edge.
+    pub fn edge_of(&self, parent_edge: EdgeId) -> Option<EdgeId> {
+        self.edge_map
+            .iter()
+            .position(|&e| e == parent_edge)
+            .map(|i| i as EdgeId)
+    }
+}
+
+/// Result of bi-partitioning one graph.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Piece 1 (the side of `V*`), including connective edges.
+    pub side1: Piece,
+    /// Piece 2, including connective edges.
+    pub side2: Piece,
+    /// The connective edges, as parent edge ids.
+    pub connective: Vec<EdgeId>,
+}
+
+/// Splits `g` along `sides` (`true` = `V*`), keeping connective edges in
+/// both pieces.
+pub fn split_by_sides(g: &Graph, ufreq: &[f64], sides: &[bool]) -> Split {
+    assert_eq!(sides.len(), g.vertex_count());
+    assert_eq!(ufreq.len(), g.vertex_count());
+    let mut side1 = PieceBuilder::new(g, ufreq);
+    let mut side2 = PieceBuilder::new(g, ufreq);
+    let mut connective = Vec::new();
+    for (eid, u, v, el) in g.edges() {
+        match (sides[u as usize], sides[v as usize]) {
+            (true, true) => side1.add_edge(eid, u, v, el),
+            (false, false) => side2.add_edge(eid, u, v, el),
+            _ => {
+                connective.push(eid);
+                side1.add_edge(eid, u, v, el);
+                side2.add_edge(eid, u, v, el);
+            }
+        }
+    }
+    Split { side1: side1.finish(), side2: side2.finish(), connective }
+}
+
+struct PieceBuilder<'a> {
+    parent: &'a Graph,
+    parent_ufreq: &'a [f64],
+    piece: Piece,
+    /// parent vertex -> piece vertex (or MAX)
+    lookup: Vec<u32>,
+}
+
+impl<'a> PieceBuilder<'a> {
+    fn new(parent: &'a Graph, parent_ufreq: &'a [f64]) -> Self {
+        PieceBuilder {
+            parent,
+            parent_ufreq,
+            piece: Piece::default(),
+            lookup: vec![u32::MAX; parent.vertex_count()],
+        }
+    }
+
+    fn vertex(&mut self, parent_v: VertexId) -> VertexId {
+        let slot = &mut self.lookup[parent_v as usize];
+        if *slot == u32::MAX {
+            *slot = self.piece.graph.add_vertex(self.parent.vlabel(parent_v));
+            self.piece.vertex_map.push(parent_v);
+            self.piece.ufreq.push(self.parent_ufreq[parent_v as usize]);
+        }
+        *slot
+    }
+
+    fn add_edge(&mut self, parent_e: EdgeId, u: VertexId, v: VertexId, label: u32) {
+        let pu = self.vertex(u);
+        let pv = self.vertex(v);
+        self.piece
+            .graph
+            .add_edge(pu, pv, label)
+            .expect("parent edges are unique");
+        self.piece.edge_map.push(parent_e);
+    }
+
+    fn finish(self) -> Piece {
+        self.piece
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-path 0-1-2-3 with distinct labels.
+    fn path4() -> (Graph, Vec<f64>) {
+        let mut g = Graph::new();
+        for l in 0..4 {
+            g.add_vertex(l);
+        }
+        g.add_edge(0, 1, 10).unwrap();
+        g.add_edge(1, 2, 11).unwrap();
+        g.add_edge(2, 3, 12).unwrap();
+        (g, vec![0.5, 1.5, 2.5, 3.5])
+    }
+
+    #[test]
+    fn connective_edge_lands_in_both_pieces() {
+        let (g, uf) = path4();
+        let split = split_by_sides(&g, &uf, &[true, true, false, false]);
+        assert_eq!(split.connective, vec![1]); // edge 1-2
+        assert_eq!(split.side1.graph.edge_count(), 2); // 0-1 and 1-2
+        assert_eq!(split.side2.graph.edge_count(), 2); // 1-2 and 2-3
+        // Edge maps point at the parent edges.
+        assert_eq!(split.side1.edge_map, vec![0, 1]);
+        assert_eq!(split.side2.edge_map, vec![1, 2]);
+        // Both pieces carry the boundary vertices of the connective edge.
+        assert!(split.side1.vertex_map.contains(&2));
+        assert!(split.side2.vertex_map.contains(&1));
+    }
+
+    #[test]
+    fn labels_and_ufreq_are_inherited() {
+        let (g, uf) = path4();
+        let split = split_by_sides(&g, &uf, &[true, false, false, false]);
+        let s2 = &split.side2;
+        for (pv, &parent) in s2.vertex_map.iter().enumerate() {
+            assert_eq!(s2.graph.vlabel(pv as u32), g.vlabel(parent));
+            assert_eq!(s2.ufreq[pv], uf[parent as usize]);
+        }
+    }
+
+    #[test]
+    fn union_of_pieces_recovers_all_edges() {
+        let (g, uf) = path4();
+        let split = split_by_sides(&g, &uf, &[true, false, true, false]);
+        let mut covered: Vec<EdgeId> = split
+            .side1
+            .edge_map
+            .iter()
+            .chain(split.side2.edge_map.iter())
+            .copied()
+            .collect();
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(covered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_on_one_side_leaves_other_empty() {
+        let (g, uf) = path4();
+        let split = split_by_sides(&g, &uf, &[true; 4]);
+        assert_eq!(split.side1.graph.edge_count(), 3);
+        assert!(split.side2.graph.is_empty());
+        assert!(split.connective.is_empty());
+    }
+
+    #[test]
+    fn piece_lookup_helpers() {
+        let (g, uf) = path4();
+        let split = split_by_sides(&g, &uf, &[true, true, false, false]);
+        let s1 = &split.side1;
+        let pv = s1.vertex_of(1).unwrap();
+        assert_eq!(s1.graph.vlabel(pv), 1);
+        assert!(s1.vertex_of(3).is_none());
+        assert_eq!(s1.edge_of(0), Some(0));
+        assert!(s1.edge_of(2).is_none());
+    }
+}

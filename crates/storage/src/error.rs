@@ -1,0 +1,55 @@
+use std::fmt;
+use std::io;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A page id beyond the allocated range.
+    PageOutOfRange {
+        /// The offending page id.
+        page: u64,
+        /// Number of allocated pages.
+        len: u64,
+    },
+    /// A serialized record did not decode (truncated or corrupt).
+    Corrupt(String),
+    /// A graph id beyond the stored database.
+    GraphOutOfRange {
+        /// The offending graph id.
+        gid: u32,
+        /// Number of stored graphs.
+        len: u32,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::PageOutOfRange { page, len } => {
+                write!(f, "page {page} out of range ({len} allocated)")
+            }
+            StorageError::Corrupt(what) => write!(f, "corrupt record: {what}"),
+            StorageError::GraphOutOfRange { gid, len } => {
+                write!(f, "graph {gid} out of range ({len} stored)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

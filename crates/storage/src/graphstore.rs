@@ -1,0 +1,238 @@
+//! Serialized graph databases over pages.
+//!
+//! Graphs are encoded as little-endian `u32` records —
+//! `[nv, vlabel*nv, ne, (u, v, elabel)*ne]` — packed contiguously into a
+//! byte stream laid out across pages. The per-graph offset directory stays
+//! in memory (it is `O(|D|)`, the part of an index that fits in RAM);
+//! everything else is read through the buffer pool, so per-graph random
+//! access — the access pattern of index-backed mining — is properly charged
+//! page faults.
+
+use std::path::Path;
+use std::time::Duration;
+
+use graphmine_graph::{Graph, GraphDb};
+
+use crate::bytestore::{read_stream, write_stream};
+use crate::{BufferPool, PageFile, PoolStats, StorageError};
+
+/// A read-mostly, page-resident graph database.
+pub struct GraphStore {
+    pool: BufferPool,
+    offsets: Vec<u64>,
+    lens: Vec<u32>,
+}
+
+impl GraphStore {
+    /// Serializes `db` into a fresh page file at `path`, buffered by a pool
+    /// of `pool_pages` pages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn create(path: &Path, db: &GraphDb, pool_pages: usize) -> Result<Self, StorageError> {
+        Self::create_with_latency(path, db, pool_pages, Duration::ZERO)
+    }
+
+    /// Like [`GraphStore::create`] with a simulated per-page I/O latency
+    /// (see [`PageFile::set_io_latency`]); the serialization pass itself is
+    /// charged for its writes, as building a disk-resident index would be.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn create_with_latency(
+        path: &Path,
+        db: &GraphDb,
+        pool_pages: usize,
+        io_latency: Duration,
+    ) -> Result<Self, StorageError> {
+        let mut file = PageFile::create(path)?;
+        file.set_io_latency(io_latency);
+        let pool = BufferPool::new(file, pool_pages);
+        let mut offsets = Vec::with_capacity(db.len());
+        let mut lens = Vec::with_capacity(db.len());
+        let mut cursor = 0u64;
+        for (_, g) in db.iter() {
+            let bytes = encode(g);
+            offsets.push(cursor);
+            lens.push(bytes.len() as u32);
+            write_stream(&pool, cursor, &bytes)?;
+            cursor += bytes.len() as u64;
+        }
+        pool.flush()?;
+        let store = GraphStore { pool, offsets, lens };
+        Ok(store)
+    }
+
+    /// Number of stored graphs.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `true` when no graphs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Reads and decodes graph `gid` through the buffer pool.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range gids, I/O failures, and corrupt records.
+    pub fn read_graph(&self, gid: u32) -> Result<Graph, StorageError> {
+        let idx = gid as usize;
+        if idx >= self.offsets.len() {
+            return Err(StorageError::GraphOutOfRange { gid, len: self.offsets.len() as u32 });
+        }
+        let mut bytes = vec![0u8; self.lens[idx] as usize];
+        read_stream(&self.pool, self.offsets[idx], &mut bytes)?;
+        decode(&bytes)
+    }
+
+    /// Reads the whole database back (a full scan).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-graph read failures.
+    pub fn read_all(&self) -> Result<GraphDb, StorageError> {
+        (0..self.len() as u32).map(|gid| self.read_graph(gid)).collect::<Result<GraphDb, _>>()
+    }
+
+    /// I/O counters of the underlying pool.
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_stats(&self) {
+        self.pool.reset_stats()
+    }
+
+    /// Total pages backing the store.
+    pub fn page_count(&self) -> u64 {
+        self.pool.page_count()
+    }
+}
+
+fn encode(g: &Graph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 * (g.vertex_count() + 3 * g.edge_count()));
+    push_u32(&mut out, g.vertex_count() as u32);
+    for v in 0..g.vertex_count() as u32 {
+        push_u32(&mut out, g.vlabel(v));
+    }
+    push_u32(&mut out, g.edge_count() as u32);
+    for (_, u, v, el) in g.edges() {
+        push_u32(&mut out, u);
+        push_u32(&mut out, v);
+        push_u32(&mut out, el);
+    }
+    out
+}
+
+fn decode(bytes: &[u8]) -> Result<Graph, StorageError> {
+    let mut pos = 0usize;
+    let nv = take_u32(bytes, &mut pos)?;
+    let mut g = Graph::with_capacity(nv as usize, 0);
+    for _ in 0..nv {
+        let l = take_u32(bytes, &mut pos)?;
+        g.add_vertex(l);
+    }
+    let ne = take_u32(bytes, &mut pos)?;
+    for _ in 0..ne {
+        let u = take_u32(bytes, &mut pos)?;
+        let v = take_u32(bytes, &mut pos)?;
+        let el = take_u32(bytes, &mut pos)?;
+        g.add_edge(u, v, el)
+            .map_err(|e| StorageError::Corrupt(format!("bad edge record: {e}")))?;
+    }
+    Ok(g)
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, StorageError> {
+    let end = *pos + 4;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or_else(|| StorageError::Corrupt("truncated u32".into()))?;
+    *pos = end;
+    Ok(u32::from_le_bytes(slice.try_into().expect("4-byte slice")))
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db(n: usize) -> GraphDb {
+        let mut graphs = Vec::new();
+        for i in 0..n {
+            let mut g = Graph::new();
+            let k = 3 + (i % 5);
+            for j in 0..k {
+                g.add_vertex((i + j) as u32 % 7);
+            }
+            for j in 1..k {
+                g.add_edge(j as u32, (j - 1) as u32, (i % 3) as u32).unwrap();
+            }
+            graphs.push(g);
+        }
+        GraphDb::from_graphs(graphs)
+    }
+
+    #[test]
+    fn round_trip_every_graph() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = sample_db(50);
+        let store = GraphStore::create(&dir.path().join("g.db"), &db, 8).unwrap();
+        assert_eq!(store.len(), 50);
+        for gid in 0..50u32 {
+            let g = store.read_graph(gid).unwrap();
+            assert_eq!(&g, db.graph(gid), "gid {gid}");
+        }
+    }
+
+    #[test]
+    fn read_all_round_trips() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = sample_db(20);
+        let store = GraphStore::create(&dir.path().join("g.db"), &db, 4).unwrap();
+        let back = store.read_all().unwrap();
+        assert_eq!(back.len(), db.len());
+        for gid in 0..20u32 {
+            assert_eq!(back.graph(gid), db.graph(gid));
+        }
+    }
+
+    #[test]
+    fn small_pool_faults_pages() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = sample_db(200);
+        let store = GraphStore::create(&dir.path().join("g.db"), &db, 1).unwrap();
+        store.reset_stats();
+        for gid in (0..200u32).rev() {
+            store.read_graph(gid).unwrap();
+        }
+        let s = store.stats();
+        assert!(s.disk_reads > 0, "reads go through the (tiny) pool: {s:?}");
+    }
+
+    #[test]
+    fn bad_gid_is_an_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = sample_db(3);
+        let store = GraphStore::create(&dir.path().join("g.db"), &db, 4).unwrap();
+        assert!(matches!(store.read_graph(9), Err(StorageError::GraphOutOfRange { .. })));
+    }
+
+    #[test]
+    fn empty_database() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = GraphStore::create(&dir.path().join("g.db"), &GraphDb::new(), 4).unwrap();
+        assert!(store.is_empty());
+        assert!(store.read_all().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: the page store and buffer pool behave like an in-memory
+//! mirror under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use graphmine_storage::{BufferPool, ByteStore, PageFile, PAGE_SIZE};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate,
+    Write { page: usize, at: usize, byte: u8 },
+    Read { page: usize, at: usize },
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Allocate),
+        4 => (0..8usize, 0..PAGE_SIZE, any::<u8>()).prop_map(|(page, at, byte)| Op::Write { page, at, byte }),
+        4 => (0..8usize, 0..PAGE_SIZE).prop_map(|(page, at)| Op::Read { page, at }),
+        1 => Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_matches_in_memory_mirror(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        capacity in 1usize..5,
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let file = PageFile::create(&dir.path().join("p.db")).unwrap();
+        let pool = BufferPool::new(file, capacity);
+        let mut mirror: Vec<[u8; PAGE_SIZE]> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Allocate => {
+                    let pid = pool.allocate().unwrap();
+                    prop_assert_eq!(pid as usize, mirror.len());
+                    mirror.push([0u8; PAGE_SIZE]);
+                }
+                Op::Write { page, at, byte } => {
+                    if page < mirror.len() {
+                        pool.with_page_mut(page as u64, |pg| pg[at] = byte).unwrap();
+                        mirror[page][at] = byte;
+                    } else {
+                        prop_assert!(pool.with_page_mut(page as u64, |_| ()).is_err());
+                    }
+                }
+                Op::Read { page, at } => {
+                    if page < mirror.len() {
+                        let v = pool.with_page(page as u64, |pg| pg[at]).unwrap();
+                        prop_assert_eq!(v, mirror[page][at]);
+                    } else {
+                        prop_assert!(pool.with_page(page as u64, |_| ()).is_err());
+                    }
+                }
+                Op::Flush => pool.flush().unwrap(),
+            }
+        }
+        // Final full comparison.
+        for (pid, expect) in mirror.iter().enumerate() {
+            let ok = pool.with_page(pid as u64, |pg| pg == expect).unwrap();
+            prop_assert!(ok, "page {} diverged", pid);
+        }
+    }
+
+    #[test]
+    fn bytestore_round_trips_random_records(
+        records in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..2000), 1..20),
+        capacity in 1usize..4,
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let mut store = ByteStore::create(&dir.path().join("b.db"), capacity, std::time::Duration::ZERO).unwrap();
+        let ids: Vec<_> = records.iter().map(|r| store.append(r).unwrap()).collect();
+        for (id, expect) in ids.iter().zip(records.iter()) {
+            prop_assert_eq!(&store.read(*id).unwrap(), expect);
+        }
+    }
+}
