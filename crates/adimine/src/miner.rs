@@ -11,6 +11,7 @@ use graphmine_graph::{
     DfsCode, DfsEdge, EdgeId, Graph, GraphDb, GraphId, Pattern, PatternSet, Support, VertexId,
 };
 use graphmine_storage::{GraphStore, PoolStats, StorageError};
+use graphmine_telemetry::{Counter, Counters};
 
 use crate::{AdiIndex, EdgePostings};
 
@@ -30,11 +31,7 @@ pub struct AdiConfig {
 
 impl Default for AdiConfig {
     fn default() -> Self {
-        AdiConfig {
-            pool_pages: 256,
-            decoded_cache: 512,
-            io_latency: std::time::Duration::ZERO,
-        }
+        AdiConfig { pool_pages: 256, decoded_cache: 512, io_latency: std::time::Duration::ZERO }
     }
 }
 
@@ -134,6 +131,22 @@ impl AdiMine {
         min_support: Support,
         max_edges: Option<usize>,
     ) -> Result<PatternSet, StorageError> {
+        self.mine_counted(min_support, max_edges, Counters::noop())
+    }
+
+    /// Like [`AdiMine::mine_capped`] while tallying miner telemetry counters
+    /// (extensions generated, support tests, patterns emitted) so baseline
+    /// runs report the same statistics the PartMiner pipeline does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page faults from the store.
+    pub fn mine_counted(
+        &self,
+        min_support: Support,
+        max_edges: Option<usize>,
+        counters: &Counters,
+    ) -> Result<PatternSet, StorageError> {
         let mut out = PatternSet::new();
         if min_support == 0 || self.store.is_empty() {
             return Ok(out);
@@ -148,15 +161,21 @@ impl AdiMine {
                 .postings
                 .read(lu, le, lv)?
                 .into_iter()
-                .map(|inst| Embedding { gid: inst.gid, map: vec![inst.u, inst.v], edges: vec![inst.eid] })
+                .map(|inst| Embedding {
+                    gid: inst.gid,
+                    map: vec![inst.u, inst.v],
+                    edges: vec![inst.eid],
+                })
                 .collect();
             debug_assert!(embeddings.windows(2).all(|w| w[0].gid <= w[1].gid));
             let mut code = DfsCode(vec![DfsEdge::new(0, 1, lu, le, lv)]);
-            self.grow(&cache, &mut code, &embeddings, min_support, max_edges, &mut out)?;
+            self.grow(&cache, &mut code, &embeddings, min_support, max_edges, &mut out, counters)?;
         }
+        counters.add(Counter::MinerPatterns, out.len() as u64);
         Ok(out)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grow(
         &self,
         cache: &Cache<'_>,
@@ -165,6 +184,7 @@ impl AdiMine {
         min_support: Support,
         max_edges: Option<usize>,
         out: &mut PatternSet,
+        counters: &Counters,
     ) -> Result<(), StorageError> {
         if !is_min(code) {
             return Ok(());
@@ -231,12 +251,15 @@ impl AdiMine {
 
         let mut ordered: Vec<(DfsEdge, Vec<Embedding>)> = extensions.into_iter().collect();
         ordered.sort_by(|(a, _), (b, _)| a.dfs_cmp(b));
+        counters.add(Counter::MinerExtensions, ordered.len() as u64);
         for (edge, embs) in ordered {
             if distinct_gids(&embs) < min_support {
+                counters.bump(Counter::VerifiedInfrequent);
                 continue;
             }
+            counters.bump(Counter::VerifiedFrequent);
             code.push(edge);
-            self.grow(cache, code, &embs, min_support, max_edges, out)?;
+            self.grow(cache, code, &embs, min_support, max_edges, out, counters)?;
             code.pop();
         }
         Ok(())
@@ -335,8 +358,12 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let db = tiny_db();
         // Pathologically small memory: 1 pool page, 2 decoded graphs.
-        let adi =
-            AdiMine::build(dir.path(), &db, AdiConfig { pool_pages: 1, decoded_cache: 2, ..AdiConfig::default() }).unwrap();
+        let adi = AdiMine::build(
+            dir.path(),
+            &db,
+            AdiConfig { pool_pages: 1, decoded_cache: 2, ..AdiConfig::default() },
+        )
+        .unwrap();
         let disk = adi.mine_capped(5, Some(4)).unwrap();
         let oracle = frequent_bruteforce(&db, 5, 4);
         assert!(disk.same_codes_and_supports(&oracle));
@@ -347,8 +374,12 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         // Big enough to span several pages (~300 graphs of ~10 edges).
         let db = generate(&GenParams::new(300, 10, 4, 6, 3));
-        let adi =
-            AdiMine::build(dir.path(), &db, AdiConfig { pool_pages: 1, decoded_cache: 2, ..AdiConfig::default() }).unwrap();
+        let adi = AdiMine::build(
+            dir.path(),
+            &db,
+            AdiConfig { pool_pages: 1, decoded_cache: 2, ..AdiConfig::default() },
+        )
+        .unwrap();
         adi.reset_io_stats();
         adi.mine_capped(db.abs_support(0.3), Some(2)).unwrap();
         let s = adi.io_stats();

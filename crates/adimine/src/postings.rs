@@ -11,7 +11,7 @@
 
 use rustc_hash::FxHashMap;
 
-use graphmine_graph::{EdgeId, ELabel, GraphDb, GraphId, VertexId, VLabel};
+use graphmine_graph::{ELabel, EdgeId, GraphDb, GraphId, VLabel, VertexId};
 use graphmine_storage::{ByteStore, PoolStats, RecordId, StorageError};
 
 /// One occurrence of an edge triple, oriented so that
@@ -48,7 +48,8 @@ impl EdgePostings {
         pool_pages: usize,
         io_latency: std::time::Duration,
     ) -> Result<Self, StorageError> {
-        let mut lists: FxHashMap<(VLabel, ELabel, VLabel), Vec<EdgeInstance>> = FxHashMap::default();
+        let mut lists: FxHashMap<(VLabel, ELabel, VLabel), Vec<EdgeInstance>> =
+            FxHashMap::default();
         for (gid, g) in db.iter() {
             for (eid, u, v, el) in g.edges() {
                 // Store oriented instances under the normalised key: one
@@ -57,10 +58,12 @@ impl EdgePostings {
                 for (a, b) in [(u, v), (v, u)] {
                     let (la, lb) = (g.vlabel(a), g.vlabel(b));
                     if la <= lb {
-                        lists
-                            .entry((la, el, lb))
-                            .or_default()
-                            .push(EdgeInstance { gid, u: a, v: b, eid });
+                        lists.entry((la, el, lb)).or_default().push(EdgeInstance {
+                            gid,
+                            u: a,
+                            v: b,
+                            eid,
+                        });
                     }
                 }
             }
@@ -93,7 +96,12 @@ impl EdgePostings {
     /// # Errors
     ///
     /// Propagates page faults.
-    pub fn read(&self, lu: VLabel, le: ELabel, lv: VLabel) -> Result<Vec<EdgeInstance>, StorageError> {
+    pub fn read(
+        &self,
+        lu: VLabel,
+        le: ELabel,
+        lv: VLabel,
+    ) -> Result<Vec<EdgeInstance>, StorageError> {
         let key = if lu <= lv { (lu, le, lv) } else { (lv, le, lu) };
         let Some(&id) = self.directory.get(&key) else {
             return Ok(Vec::new());

@@ -25,7 +25,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| adi.mine_time(sup))
     });
     for (label, p) in PARTITIONERS {
-        g.bench_function(label, |b| b.iter(|| partminer_time(&db, &ufreq, bench_config(2, p), sup)));
+        g.bench_function(label, |b| {
+            b.iter(|| partminer_time(&db, &ufreq, bench_config(2, p), sup))
+        });
     }
     g.finish();
 

@@ -50,9 +50,7 @@ fn bench(c: &mut Criterion) {
     for (i, p) in patterns.iter().enumerate() {
         g.bench_function(format!("min_dfs_code_{i}"), |b| b.iter(|| min_dfs_code(p)));
     }
-    g.bench_function("is_min_all", |b| {
-        b.iter(|| codes.iter().filter(|code| is_min(code)).count())
-    });
+    g.bench_function("is_min_all", |b| b.iter(|| codes.iter().filter(|code| is_min(code)).count()));
     g.finish();
 
     let mut g = c.benchmark_group("embedding");
@@ -66,8 +64,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("graphstore_roundtrip_200", |b| {
         b.iter_with_setup(
             || {
-                let dir = std::env::temp_dir()
-                    .join(format!("graphmine-micro-{}-{}", std::process::id(), rand_suffix()));
+                let dir = std::env::temp_dir().join(format!(
+                    "graphmine-micro-{}-{}",
+                    std::process::id(),
+                    rand_suffix()
+                ));
                 std::fs::create_dir_all(&dir).unwrap();
                 dir
             },

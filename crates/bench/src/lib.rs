@@ -18,10 +18,10 @@
 use std::time::{Duration, Instant};
 
 use graphmine_adimine::{AdiConfig, AdiMine};
-use graphmine_core::{
-    IncPartMiner, PartMiner, PartMinerConfig, PartMinerState, PartitionerKind,
+use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig, PartMinerState, PartitionerKind};
+use graphmine_datagen::{
+    generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams,
 };
-use graphmine_datagen::{generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams};
 use graphmine_graph::update::apply_all;
 use graphmine_graph::{DbUpdate, GraphDb, Support};
 use graphmine_partition::Criteria;
@@ -113,7 +113,14 @@ fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
 }
 
 /// A dataset in the paper's naming scheme, already scaled.
-pub fn dataset(scale: Scale, paper_d: usize, t: usize, n: u32, l: usize, i: usize) -> (GenParams, GraphDb) {
+pub fn dataset(
+    scale: Scale,
+    paper_d: usize,
+    t: usize,
+    n: u32,
+    l: usize,
+    i: usize,
+) -> (GenParams, GraphDb) {
     let params = GenParams::new(scale.d(paper_d), t, n, l, i);
     let db = generate(&params);
     (params, db)
@@ -142,7 +149,8 @@ impl AdiHarness {
     /// would degenerate into an in-memory gSpan.
     pub fn new(db: &GraphDb) -> Self {
         let seq = HARNESS_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!("graphmine-bench-{}-{seq}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("graphmine-bench-{}-{seq}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create bench dir");
         // ~15-25 serialized graphs fit a 4 KiB page at T≈20; hold ~10% of
         // the pages and ~6% of the decoded graphs. The simulated disk
@@ -185,13 +193,23 @@ impl Drop for AdiHarness {
 }
 
 /// Times a static PartMiner run (partition + unit mining + merge), serial.
-pub fn partminer_time(db: &GraphDb, ufreq: &[Vec<f64>], cfg: PartMinerConfig, sup: Support) -> Duration {
+pub fn partminer_time(
+    db: &GraphDb,
+    ufreq: &[Vec<f64>],
+    cfg: PartMinerConfig,
+    sup: Support,
+) -> Duration {
     time(|| PartMiner::new(cfg).mine(db, ufreq, sup)).1
 }
 
 /// Runs PartMiner and returns its state (untimed setup for incremental
 /// experiments).
-pub fn partminer_state(db: &GraphDb, ufreq: &[Vec<f64>], cfg: PartMinerConfig, sup: Support) -> PartMinerState {
+pub fn partminer_state(
+    db: &GraphDb,
+    ufreq: &[Vec<f64>],
+    cfg: PartMinerConfig,
+    sup: Support,
+) -> PartMinerState {
     PartMiner::new(cfg).mine(db, ufreq, sup).state
 }
 
@@ -208,11 +226,7 @@ pub fn standard_updates(db: &GraphDb, fraction: f64, kind: UpdateKind, n: u32) -
 /// Paper-mode PartMiner configuration used by the performance figures
 /// (support shortcut on, paper-style trust of unchanged patterns).
 pub fn bench_config(k: usize, partitioner: PartitionerKind) -> PartMinerConfig {
-    PartMinerConfig {
-        partitioner,
-        verify_unchanged: false,
-        ..PartMinerConfig::with_k(k)
-    }
+    PartMinerConfig { partitioner, verify_unchanged: false, ..PartMinerConfig::with_k(k) }
 }
 
 // ---------------------------------------------------------------------------
@@ -562,10 +576,7 @@ pub fn ablation(scale: Scale) -> FigureResult {
         series.push(Series { label: label.into(), points: vec![(0.0, ms(dt))] });
     };
     static_variant("shortcut+Complete", base);
-    static_variant(
-        "exact+Complete",
-        PartMinerConfig { exact_supports: true, ..base },
-    );
+    static_variant("exact+Complete", PartMinerConfig { exact_supports: true, ..base });
     static_variant(
         "shortcut+Paper",
         PartMinerConfig { join_policy: graphmine_core::JoinPolicy::Paper, ..base },

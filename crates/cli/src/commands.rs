@@ -8,8 +8,11 @@ use graphmine_adimine::{AdiConfig, AdiMine};
 use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig, PartitionerKind, UnitMinerKind};
 use graphmine_datagen::{plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams};
 use graphmine_graph::{io as gio, pattern_io, GraphDb, PatternSet};
-use graphmine_miner::{closed_patterns, maximal_patterns, Apriori, Fsg, Gaston, GSpan, MemoryMiner};
+use graphmine_miner::{
+    closed_patterns, maximal_patterns, Apriori, Fsg, GSpan, Gaston, MemoryMiner,
+};
 use graphmine_partition::Criteria;
+use graphmine_telemetry::{RunReport, Telemetry};
 
 use crate::updates_io;
 
@@ -25,18 +28,22 @@ USAGE:
   graphmine mine FILE --minsup FRAC [--algo ALGO] [--k K] [--parallel]
                  [--criteria 1|2|3|metis] [--unit-miner gspan|gaston]
                  [--max-edges M] [--closed | --maximal] [-o PATTERNS]
+                 [--report REPORT]
       Mine frequent subgraphs. ALGO: partminer (default), gspan, gaston,
       apriori, fsg, adimine. FRAC is relative (0.04 = 4%).
       --closed/--maximal post-filter to closed or maximal patterns.
+      --report writes a machine-readable run report (stage wall times,
+      pipeline counters, span log) as JSON.
 
   graphmine plan-updates FILE --fraction FRAC [--kind mixed|relabel|add]
                  [--per-graph 2] [--seed S] -o UPDATES
       Plan an update workload against a database.
 
   graphmine incremental FILE UPDATES --minsup FRAC [--k K]
-                 [--criteria 1|2|3|metis]
+                 [--criteria 1|2|3|metis] [--report REPORT]
       Mine, apply the updates incrementally, and report the UF/FI/IF
-      pattern classes.
+      pattern classes. --report writes the incremental round's run
+      report as JSON.
 
   graphmine stats FILE
       Print database statistics (sizes, labels, connectivity).
@@ -70,7 +77,7 @@ impl<'a> Args<'a> {
 
     fn value(&mut self, name: &str) -> Option<&'a str> {
         for (i, a) in self.items.iter().enumerate() {
-            if !self.used[i] && a == name && i + 1 < self.items.len() {
+            if !self.used[i] && a == name && i + 1 < self.items.len() && !self.used[i + 1] {
                 self.used[i] = true;
                 self.used[i + 1] = true;
                 return Some(&self.items[i + 1]);
@@ -82,10 +89,7 @@ impl<'a> Args<'a> {
     fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
         match self.value(name) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("invalid value `{v}` for {name}")),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("invalid value `{v}` for {name}")),
         }
     }
 
@@ -143,12 +147,7 @@ pub fn generate(raw: &[String]) -> CmdResult {
     let db = generate_db(&params);
     let file = File::create(&out).map_err(|e| format!("{out}: {e}"))?;
     gio::write_db(BufWriter::new(file), &db).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {} ({} graphs, {} edges) to {out}",
-        params.name(),
-        db.len(),
-        db.total_edges()
-    );
+    println!("wrote {} ({} graphs, {} edges) to {out}", params.name(), db.len(), db.total_edges());
     Ok(())
 }
 
@@ -295,6 +294,7 @@ pub fn mine(raw: &[String]) -> CmdResult {
         return Err("--closed and --maximal are mutually exclusive".into());
     }
     let out: Option<String> = args.parsed("-o")?;
+    let report_path: Option<String> = args.parsed("--report")?;
     let pos = args.positionals();
     let [path] = pos.as_slice() else {
         return Err("mine needs exactly one database file".into());
@@ -308,17 +308,36 @@ pub fn mine(raw: &[String]) -> CmdResult {
         db.len(),
         minsup * 100.0
     );
+    let tel = Telemetry::new();
     let t = Instant::now();
     let patterns = match algo.as_str() {
-        "gspan" => GSpan { max_edges }.mine(&db, sup),
-        "gaston" => Gaston { max_edges }.mine(&db, sup),
-        "apriori" => Apriori { max_edges }.mine(&db, sup),
-        "fsg" => Fsg { max_edges }.mine(&db, sup),
+        "gspan" => {
+            let _span = tel.span("mine");
+            GSpan { max_edges }.mine_counted(&db, sup, tel.counters())
+        }
+        "gaston" => {
+            let _span = tel.span("mine");
+            Gaston { max_edges }.mine_counted(&db, sup, tel.counters())
+        }
+        "apriori" => {
+            let _span = tel.span("mine");
+            Apriori { max_edges }.mine_counted(&db, sup, tel.counters())
+        }
+        "fsg" => {
+            let _span = tel.span("mine");
+            Fsg { max_edges }.mine_counted(&db, sup, tel.counters())
+        }
         "adimine" => {
             let dir = std::env::temp_dir().join(format!("graphmine-cli-{}", std::process::id()));
             std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
-            let adi = AdiMine::build(&dir, &db, AdiConfig::default()).map_err(|e| e.to_string())?;
-            let res = adi.mine_capped(sup, max_edges).map_err(|e| e.to_string())?;
+            let adi = {
+                let _span = tel.span("build_index");
+                AdiMine::build(&dir, &db, AdiConfig::default()).map_err(|e| e.to_string())?
+            };
+            let res = {
+                let _span = tel.span("mine");
+                adi.mine_counted(sup, max_edges, tel.counters()).map_err(|e| e.to_string())?
+            };
             std::fs::remove_dir_all(&dir).ok();
             res
         }
@@ -331,7 +350,7 @@ pub fn mine(raw: &[String]) -> CmdResult {
                 max_edges,
                 ..PartMinerConfig::default()
             };
-            let outcome = PartMiner::new(cfg).mine(&db, &zero_ufreq(&db), sup);
+            let outcome = PartMiner::new(cfg).mine_instrumented(&db, &zero_ufreq(&db), sup, &tel);
             println!(
                 "  partition {:.1?} | units {:.1?} | merge {:.1?} ({} candidates, {} counted, {} shortcut)",
                 outcome.stats.partition_time,
@@ -346,6 +365,11 @@ pub fn mine(raw: &[String]) -> CmdResult {
         other => return Err(format!("unknown algorithm `{other}`")),
     };
     println!("{} frequent subgraphs in {:.1?}", patterns.len(), t.elapsed());
+    if let Some(rp) = &report_path {
+        let report = RunReport::capture(&algo, &tel);
+        std::fs::write(rp, report.to_json()).map_err(|e| format!("{rp}: {e}"))?;
+        println!("run report written to {rp}");
+    }
     let patterns = if closed {
         let c = closed_patterns(&patterns);
         println!("{} closed patterns", c.len());
@@ -380,12 +404,7 @@ pub fn plan_updates_cmd(raw: &[String]) -> CmdResult {
 
     let db = load_db(path)?;
     // Label alphabet: reuse the largest label seen plus one.
-    let n = db
-        .iter()
-        .flat_map(|(_, g)| g.vlabels().iter().copied())
-        .max()
-        .unwrap_or(0)
-        + 1;
+    let n = db.iter().flat_map(|(_, g)| g.vlabels().iter().copied()).max().unwrap_or(0) + 1;
     let mut params = UpdateParams::new(fraction, per_graph, kind, n);
     if let Some(s) = seed {
         params = params.with_seed(s);
@@ -393,7 +412,12 @@ pub fn plan_updates_cmd(raw: &[String]) -> CmdResult {
     let plan = plan_updates(&db, &params);
     let file = File::create(&out).map_err(|e| format!("{out}: {e}"))?;
     updates_io::write_updates(BufWriter::new(file), &plan).map_err(|e| e.to_string())?;
-    println!("planned {} updates over {:.0}% of {} graphs -> {out}", plan.len(), fraction * 100.0, db.len());
+    println!(
+        "planned {} updates over {:.0}% of {} graphs -> {out}",
+        plan.len(),
+        fraction * 100.0,
+        db.len()
+    );
     Ok(())
 }
 
@@ -403,6 +427,7 @@ pub fn incremental(raw: &[String]) -> CmdResult {
     let minsup: f64 = args.require("--minsup")?;
     let k: usize = args.parsed("--k")?.unwrap_or(2);
     let partitioner = criteria_arg(&mut args)?;
+    let report_path: Option<String> = args.parsed("--report")?;
     let pos = args.positionals();
     let [db_path, upd_path] = pos.as_slice() else {
         return Err("incremental needs a database file and an updates file".into());
@@ -424,8 +449,10 @@ pub fn incremental(raw: &[String]) -> CmdResult {
         k
     );
     let mut state = outcome.state;
+    let tel = Telemetry::new();
     let t = Instant::now();
-    let inc = IncPartMiner::update(&mut state, &plan).map_err(|e| e.to_string())?;
+    let inc =
+        IncPartMiner::update_instrumented(&mut state, &plan, &tel).map_err(|e| e.to_string())?;
     println!(
         "incremental round: {} updates in {:.1?} — re-mined {}/{} units, prune set {}",
         plan.len(),
@@ -445,6 +472,11 @@ pub fn incremental(raw: &[String]) -> CmdResult {
     }
     for p in inc.fi.iter().take(10) {
         println!("  FI (was {:>5})  {}", p.support, p.code);
+    }
+    if let Some(rp) = &report_path {
+        let report = RunReport::capture("incpartminer", &tel);
+        std::fs::write(rp, report.to_json()).map_err(|e| format!("{rp}: {e}"))?;
+        println!("run report written to {rp}");
     }
     Ok(())
 }

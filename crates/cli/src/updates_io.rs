@@ -38,7 +38,9 @@ pub fn read_updates(reader: impl BufRead) -> Result<Vec<DbUpdate>, String> {
                 .ok_or_else(|| format!("line {}: missing or invalid {what}", i + 1))
         };
         let update = match kind.as_str() {
-            "relabel-vertex" => GraphUpdate::RelabelVertex { v: num("vertex")?, label: num("label")? },
+            "relabel-vertex" => {
+                GraphUpdate::RelabelVertex { v: num("vertex")?, label: num("label")? }
+            }
             "relabel-edge" => GraphUpdate::RelabelEdge { e: num("edge")?, label: num("label")? },
             "add-edge" => GraphUpdate::AddEdge { u: num("u")?, v: num("v")?, label: num("label")? },
             "add-vertex" => GraphUpdate::AddVertex {
@@ -84,7 +86,10 @@ mod tests {
             DbUpdate { gid: 3, update: GraphUpdate::RelabelVertex { v: 5, label: 9 } },
             DbUpdate { gid: 3, update: GraphUpdate::RelabelEdge { e: 2, label: 7 } },
             DbUpdate { gid: 4, update: GraphUpdate::AddEdge { u: 0, v: 6, label: 2 } },
-            DbUpdate { gid: 4, update: GraphUpdate::AddVertex { label: 1, attach_to: 0, elabel: 3 } },
+            DbUpdate {
+                gid: 4,
+                update: GraphUpdate::AddVertex { label: 1, attach_to: 0, elabel: 3 },
+            },
         ];
         let mut bytes = Vec::new();
         write_updates(&mut bytes, &updates).unwrap();
@@ -101,9 +106,7 @@ mod tests {
 
     #[test]
     fn malformed_lines_error_with_position() {
-        assert!(read_updates("1 relabel-vertex x 2\n".as_bytes())
-            .unwrap_err()
-            .contains("line 1"));
+        assert!(read_updates("1 relabel-vertex x 2\n".as_bytes()).unwrap_err().contains("line 1"));
         assert!(read_updates("1 explode 1 2\n".as_bytes()).unwrap_err().contains("explode"));
         assert!(read_updates("1\n".as_bytes()).unwrap_err().contains("kind"));
     }

@@ -34,18 +34,16 @@ fn full_workflow_through_files() {
 
     // Closed / maximal post-filters.
     commands::mine(&s(&[db_s, "--minsup", "0.25", "--algo", "gspan", "--closed"])).expect("closed");
-    commands::mine(&s(&[db_s, "--minsup", "0.25", "--algo", "gspan", "--maximal"])).expect("maximal");
+    commands::mine(&s(&[db_s, "--minsup", "0.25", "--algo", "gspan", "--maximal"]))
+        .expect("maximal");
     assert!(commands::mine(&s(&[db_s, "--minsup", "0.25", "--closed", "--maximal"])).is_err());
 
-    commands::plan_updates_cmd(&s(&[
-        db_s, "--fraction", "0.3", "--kind", "mixed", "-o", upd_s,
-    ]))
-    .expect("plan-updates");
+    commands::plan_updates_cmd(&s(&[db_s, "--fraction", "0.3", "--kind", "mixed", "-o", upd_s]))
+        .expect("plan-updates");
     let plan_text = std::fs::read_to_string(&upd_path).unwrap();
     assert!(!plan_text.trim().is_empty());
 
-    commands::incremental(&s(&[db_s, upd_s, "--minsup", "0.10", "--k", "3"]))
-        .expect("incremental");
+    commands::incremental(&s(&[db_s, upd_s, "--minsup", "0.10", "--k", "3"])).expect("incremental");
 
     // Stats over the database.
     commands::stats(&s(&[db_s])).expect("stats");

@@ -1,8 +1,9 @@
 //! Configuration of the PartMiner pipeline.
 
 use graphmine_graph::{Graph, GraphDb, PatternSet, Support};
-use graphmine_miner::{Gaston, GSpan, MemoryMiner};
+use graphmine_miner::{GSpan, Gaston, MemoryMiner};
 use graphmine_partition::{Bipartitioner, Criteria, GraphPart, MetisLike};
+use graphmine_telemetry::Counters;
 
 /// Which bi-partitioner Phase 1 uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,10 +50,20 @@ pub enum UnitMinerKind {
 }
 
 impl UnitMinerKind {
-    pub(crate) fn mine(&self, db: &GraphDb, min_support: Support, cap: Option<usize>) -> PatternSet {
+    pub(crate) fn mine_counted(
+        &self,
+        db: &GraphDb,
+        min_support: Support,
+        cap: Option<usize>,
+        counters: &Counters,
+    ) -> PatternSet {
         match self {
-            UnitMinerKind::GSpan => GSpan { max_edges: cap }.mine(db, min_support),
-            UnitMinerKind::Gaston => Gaston { max_edges: cap }.mine(db, min_support),
+            UnitMinerKind::GSpan => {
+                GSpan { max_edges: cap }.mine_counted(db, min_support, counters)
+            }
+            UnitMinerKind::Gaston => {
+                Gaston { max_edges: cap }.mine_counted(db, min_support, counters)
+            }
         }
     }
 
@@ -147,8 +158,9 @@ pub(crate) fn frequent_edges(db: &GraphDb, min_support: Support) -> PatternSet {
             } else {
                 (g.vlabel(v), g.vlabel(u))
             };
-            in_graph
-                .insert(graphmine_graph::DfsCode(vec![graphmine_graph::DfsEdge::new(0, 1, la, el, lb)]));
+            in_graph.insert(graphmine_graph::DfsCode(vec![graphmine_graph::DfsEdge::new(
+                0, 1, la, el, lb,
+            )]));
         }
         for code in in_graph {
             *counts.entry(code).or_insert(0) += 1;

@@ -16,6 +16,7 @@ use rustc_hash::FxHashSet;
 
 use graphmine_graph::{iso, DbUpdate, GraphError, PatternSet};
 use graphmine_partition::NodeId;
+use graphmine_telemetry::{Counter, ReportSource, StageTotal, Telemetry};
 
 use crate::config::frequent_edges;
 use crate::merge_join::MergeStats;
@@ -39,6 +40,29 @@ pub struct IncStats {
     pub wall: Duration,
     /// Merge-join counters of the re-merged nodes.
     pub merge: MergeStats,
+}
+
+impl ReportSource for IncStats {
+    fn stage_totals(&self) -> Vec<StageTotal> {
+        vec![
+            StageTotal {
+                name: "inc_remine".into(),
+                total_ns: self.unit_time.as_nanos() as u64,
+                count: self.units_remined as u64,
+            },
+            StageTotal {
+                name: "merge_join".into(),
+                total_ns: self.merge_time.as_nanos() as u64,
+                count: self.nodes_remerged as u64,
+            },
+        ]
+    }
+
+    fn counter_totals(&self) -> Vec<(&'static str, u64)> {
+        let mut out = self.merge.counter_totals();
+        out.push((Counter::UnitsMined.name(), self.units_remined as u64));
+        out
+    }
 }
 
 /// Result of one incremental round: the paper's three pattern classes plus
@@ -69,7 +93,21 @@ impl IncPartMiner {
     /// Fails on the first inapplicable update; updates up to that point
     /// remain applied (mirror the database you feed updates from, or
     /// validate the batch up front).
-    pub fn update(state: &mut PartMinerState, updates: &[DbUpdate]) -> Result<IncOutcome, GraphError> {
+    pub fn update(
+        state: &mut PartMinerState,
+        updates: &[DbUpdate],
+    ) -> Result<IncOutcome, GraphError> {
+        IncPartMiner::update_instrumented(state, updates, &Telemetry::new())
+    }
+
+    /// [`IncPartMiner::update`] recording spans and counters into `tel`:
+    /// one `inc_remine` span per re-mined unit, `merge_join` spans for the
+    /// re-merged nodes, prune-set hits, and the UF/FI/IF tallies.
+    pub fn update_instrumented(
+        state: &mut PartMinerState,
+        updates: &[DbUpdate],
+        tel: &Telemetry,
+    ) -> Result<IncOutcome, GraphError> {
         let start = Instant::now();
         let cfg = state.config;
         let root = state.partition.root_id();
@@ -102,41 +140,53 @@ impl IncPartMiner {
             })
             .collect();
         let t_units = Instant::now();
-        let touched_units: Vec<graphmine_partition::NodeId> = unit_nodes
-            .iter()
-            .map(|&(_, n)| n)
-            .filter(|n| touched.contains(n))
-            .collect();
+        let touched_units: Vec<graphmine_partition::NodeId> =
+            unit_nodes.iter().map(|&(_, n)| n).filter(|n| touched.contains(n)).collect();
         let units_remined = touched_units.len();
         // Re-mine the touched units — concurrently in parallel mode, the
         // same way the initial mining fans out over units.
-        let new_results: Vec<(graphmine_partition::NodeId, PatternSet)> =
-            if cfg.parallel && touched_units.len() > 1 {
-                let partition = &state.partition;
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = touched_units
-                        .iter()
-                        .map(|&n| {
-                            let node = partition.node(n);
-                            let sup = PartMinerConfig::depth_support(state.min_support, node.depth);
-                            scope.spawn(move |_| {
-                                (n, cfg.unit_miner.mine(&node.db, sup, cfg.max_edges))
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("unit re-miner")).collect()
-                })
-                .expect("re-mining scope")
-            } else {
-                touched_units
+        let new_results: Vec<(graphmine_partition::NodeId, PatternSet)> = if cfg.parallel
+            && touched_units.len() > 1
+        {
+            let partition = &state.partition;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = touched_units
                     .iter()
                     .map(|&n| {
-                        let node = state.partition.node(n);
+                        let node = partition.node(n);
                         let sup = PartMinerConfig::depth_support(state.min_support, node.depth);
-                        (n, cfg.unit_miner.mine(&node.db, sup, cfg.max_edges))
+                        scope.spawn(move |_| {
+                            let span = tel.span_node("inc_remine", n as u64);
+                            let res = cfg.unit_miner.mine_counted(
+                                &node.db,
+                                sup,
+                                cfg.max_edges,
+                                tel.counters(),
+                            );
+                            drop(span);
+                            tel.counters().bump(Counter::UnitsMined);
+                            (n, res)
+                        })
                     })
-                    .collect()
-            };
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("unit re-miner")).collect()
+            })
+            .expect("re-mining scope")
+        } else {
+            touched_units
+                .iter()
+                .map(|&n| {
+                    let node = state.partition.node(n);
+                    let sup = PartMinerConfig::depth_support(state.min_support, node.depth);
+                    let span = tel.span_node("inc_remine", n as u64);
+                    let res =
+                        cfg.unit_miner.mine_counted(&node.db, sup, cfg.max_edges, tel.counters());
+                    drop(span);
+                    tel.counters().bump(Counter::UnitsMined);
+                    (n, res)
+                })
+                .collect()
+        };
         let mut unit_diffs: Vec<PatternSet> = Vec::new();
         for (n, new_result) in new_results {
             let old_result = state.node_results.insert(n, new_result).expect("mined before");
@@ -148,9 +198,8 @@ impl IncPartMiner {
                 if prune.contains(&p.code) {
                     continue;
                 }
-                let elsewhere = unit_nodes
-                    .iter()
-                    .any(|&(_, n)| state.node_results[&n].contains(&p.code));
+                let elsewhere =
+                    unit_nodes.iter().any(|&(_, n)| state.node_results[&n].contains(&p.code));
                 if !elsewhere {
                     prune.insert(p.clone());
                 }
@@ -169,6 +218,8 @@ impl IncPartMiner {
                 let doomed = prune.iter().any(|q| iso::contains(&p.graph, &q.code));
                 if !doomed {
                     known.insert(p.clone());
+                } else {
+                    tel.counters().bump(Counter::PruneSetHits);
                 }
             }
             known
@@ -193,6 +244,7 @@ impl IncPartMiner {
             &mut state.node_results,
             &mut merge,
             Some(&known),
+            tel,
         );
         let merge_time = t_merge.elapsed();
 
@@ -201,6 +253,9 @@ impl IncPartMiner {
         let if_new = new_pd.difference(&old_pd);
         let uf = new_pd.difference(&if_new);
         let fi = old_pd.difference(&new_pd);
+        tel.counters().add(Counter::IncUnchangedFrequent, uf.len() as u64);
+        tel.counters().add(Counter::IncFrequentToInfrequent, fi.len() as u64);
+        tel.counters().add(Counter::IncInfrequentToFrequent, if_new.len() as u64);
 
         let stats = IncStats {
             units_remined,
@@ -255,7 +310,10 @@ mod tests {
         let updates = vec![
             DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 5, label: 9 } },
             DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 1, v: 4, label: 7 } },
-            DbUpdate { gid: 2, update: GraphUpdate::AddVertex { label: 9, attach_to: 5, elabel: 7 } },
+            DbUpdate {
+                gid: 2,
+                update: GraphUpdate::AddVertex { label: 9, attach_to: 5, elabel: 7 },
+            },
         ];
         let inc = IncPartMiner::update(&mut state, &updates).unwrap();
 
@@ -296,12 +354,7 @@ mod tests {
         }
         // FI = old \ new.
         for p in old.iter() {
-            assert_eq!(
-                inc.fi.contains(&p.code),
-                !inc.patterns.contains(&p.code),
-                "{}",
-                p.code
-            );
+            assert_eq!(inc.fi.contains(&p.code), !inc.patterns.contains(&p.code), "{}", p.code);
         }
         // UF members were frequent before.
         for p in inc.uf.iter() {
@@ -346,10 +399,7 @@ mod tests {
             graphmine_graph::update::apply_all(&mut mirror, &updates).unwrap();
             let inc = IncPartMiner::update(&mut state, &updates).unwrap();
             let direct = GSpan::new().mine(&mirror, 2);
-            assert!(
-                inc.patterns.same_codes_and_supports(&direct),
-                "round {round}"
-            );
+            assert!(inc.patterns.same_codes_and_supports(&direct), "round {round}");
         }
     }
 

@@ -25,6 +25,7 @@ use rustc_hash::FxHashMap;
 use graphmine_graph::iso::SupportIndex;
 use graphmine_graph::{DfsCode, GraphDb, GraphId, Pattern, PatternSet, Support};
 use graphmine_miner::extend::{one_edge_extensions, EdgeVocab};
+use graphmine_telemetry::{Counter, Counters, ReportSource, Telemetry};
 
 use crate::config::one_edge_deletions;
 use crate::JoinPolicy;
@@ -49,6 +50,16 @@ pub struct MergeContext<'a> {
     /// Verify candidates on multiple threads (PartMiner's parallel mode
     /// extends to `CheckFrequency`: candidate counts are independent).
     pub parallel: bool,
+    /// Optional telemetry sink: counters mirror [`MergeStats`] and a
+    /// `check_frequency` span wraps each verification batch.
+    pub telemetry: Option<&'a Telemetry>,
+}
+
+impl MergeContext<'_> {
+    /// The telemetry counter table, or the shared no-op sink.
+    pub fn counters(&self) -> &Counters {
+        self.telemetry.map_or(Counters::noop(), Telemetry::counters)
+    }
 }
 
 /// Work counters of one merge-join invocation.
@@ -74,6 +85,17 @@ impl MergeStats {
     }
 }
 
+impl ReportSource for MergeStats {
+    fn counter_totals(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (Counter::CandidatesGenerated.name(), self.candidates as u64),
+            (Counter::BoundShortcut.name(), self.shortcut as u64),
+            (Counter::KnownSkipped.name(), self.known_skipped as u64),
+            ("support_counts", self.counted as u64),
+        ]
+    }
+}
+
 /// A frequent pattern in flight through the level-wise loop, with the
 /// superset of gids a child candidate needs to be tested against.
 #[derive(Clone)]
@@ -85,7 +107,11 @@ struct Live {
 
 /// Combines the frequent-pattern sets of the two pieces of `ctx.db` into
 /// the frequent-pattern set of `ctx.db` itself.
-pub fn merge_join(ctx: &MergeContext<'_>, p0: &PatternSet, p1: &PatternSet) -> (PatternSet, MergeStats) {
+pub fn merge_join(
+    ctx: &MergeContext<'_>,
+    p0: &PatternSet,
+    p1: &PatternSet,
+) -> (PatternSet, MergeStats) {
     let mut stats = MergeStats::default();
     let index = SupportIndex::build(ctx.db);
 
@@ -103,6 +129,9 @@ pub fn merge_join(ctx: &MergeContext<'_>, p0: &PatternSet, p1: &PatternSet) -> (
     for l in &f1 {
         out.insert(l.pattern.clone());
     }
+    // The exact 1-edge base is frequent by construction; tally it so the
+    // verified_frequent counter accounts for every pattern in the output.
+    ctx.counters().add(Counter::VerifiedFrequent, f1.len() as u64);
 
     match ctx.policy {
         JoinPolicy::Complete => {
@@ -162,10 +191,13 @@ fn verify(
     restrict: Option<&Arc<Vec<GraphId>>>,
     stats: &mut MergeStats,
 ) -> Verdict {
+    let counters = ctx.counters();
     if ctx.trust_known {
         if let Some(known) = ctx.known {
             if let Some(sup) = known.support(code) {
                 stats.known_skipped += 1;
+                counters.bump(Counter::KnownSkipped);
+                counters.bump(Counter::VerifiedFrequent);
                 return Verdict::Bound(sup);
             }
         }
@@ -174,21 +206,25 @@ fn verify(
         if let Some(lb) = seeds.support(code) {
             if lb >= ctx.min_support {
                 stats.shortcut += 1;
+                counters.bump(Counter::BoundShortcut);
+                counters.bump(Counter::VerifiedFrequent);
                 return Verdict::Bound(lb);
             }
         }
     }
     stats.counted += 1;
     let (sup, gids) = match restrict {
-        Some(list) => index.support_over(ctx.db, list, code, ctx.min_support),
+        Some(list) => index.support_over_counted(ctx.db, list, code, ctx.min_support, counters),
         None => {
             let all: Vec<GraphId> = (0..ctx.db.len() as GraphId).collect();
-            index.support_over(ctx.db, &all, code, ctx.min_support)
+            index.support_over_counted(ctx.db, &all, code, ctx.min_support, counters)
         }
     };
     if sup >= ctx.min_support {
+        counters.bump(Counter::VerifiedFrequent);
         Verdict::Counted(sup, Arc::new(gids))
     } else {
+        counters.bump(Counter::VerifiedInfrequent);
         Verdict::Rejected
     }
 }
@@ -239,6 +275,7 @@ fn complete_levels(
             }
         }
         stats.candidates += candidates.len();
+        ctx.counters().add(Counter::CandidatesGenerated, candidates.len() as u64);
         let work: Vec<CandidateWork> = candidates.into_iter().collect();
         let verified = verify_batch(ctx, index, seeds, work, stats);
         let mut next = Vec::new();
@@ -276,6 +313,7 @@ fn verify_batch(
     stats: &mut MergeStats,
 ) -> Vec<VerifiedWork> {
     const MIN_PARALLEL_BATCH: usize = 64;
+    let _check_span = ctx.telemetry.map(|t| t.span("check_frequency"));
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     if !ctx.parallel || threads < 2 || work.len() < MIN_PARALLEL_BATCH {
         return work
@@ -287,28 +325,34 @@ fn verify_batch(
             .collect();
     }
     let chunk = work.len().div_ceil(threads);
-    let results: Vec<(Vec<VerifiedWork>, MergeStats)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .chunks(chunk)
-                .map(|part| {
-                    let part: Vec<_> = part.to_vec();
-                    scope.spawn(move |_| {
-                        let mut local_stats = MergeStats::default();
-                        let out: Vec<_> = part
-                            .into_iter()
-                            .map(|(code, restrict)| {
-                                let v = verify(ctx, index, seeds, &code, restrict.as_ref(), &mut local_stats);
-                                (code, restrict, v)
-                            })
-                            .collect();
-                        (out, local_stats)
-                    })
+    let results: Vec<(Vec<VerifiedWork>, MergeStats)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .chunks(chunk)
+            .map(|part| {
+                let part: Vec<_> = part.to_vec();
+                scope.spawn(move |_| {
+                    let mut local_stats = MergeStats::default();
+                    let out: Vec<_> = part
+                        .into_iter()
+                        .map(|(code, restrict)| {
+                            let v = verify(
+                                ctx,
+                                index,
+                                seeds,
+                                &code,
+                                restrict.as_ref(),
+                                &mut local_stats,
+                            );
+                            (code, restrict, v)
+                        })
+                        .collect();
+                    (out, local_stats)
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("verify worker")).collect()
-        })
-        .expect("verification scope");
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("verify worker")).collect()
+    })
+    .expect("verification scope");
     let mut out = Vec::with_capacity(work_capacity(&results));
     for (part, local) in results {
         stats.absorb(local);
@@ -340,6 +384,7 @@ fn paper_levels(
 
     // Level 2: P^2(S) = P^2(S0) ∪ P^2(S1), verified against S.
     if within_cap(ctx, 2) {
+        let _check_span = ctx.telemetry.map(|t| t.span("check_frequency"));
         let mut piece2: Vec<&Pattern> = p0.of_size(2).chain(p1.of_size(2)).collect();
         piece2.sort_by(|a, b| a.code.cmp(&b.code));
         piece2.dedup_by(|a, b| a.code == b.code);
@@ -368,9 +413,8 @@ fn paper_levels(
                     if out.contains(&code) || c3.contains_key(&code) {
                         continue;
                     }
-                    let has_partner = one_edge_deletions(&code.to_graph())
-                        .iter()
-                        .any(|d| other.contains(d));
+                    let has_partner =
+                        one_edge_deletions(&code.to_graph()).iter().any(|d| other.contains(d));
                     if has_partner {
                         c3.insert(code, ());
                     }
@@ -378,6 +422,8 @@ fn paper_levels(
             }
         }
         stats.candidates += c3.len();
+        ctx.counters().add(Counter::CandidatesGenerated, c3.len() as u64);
+        let _check_span = ctx.telemetry.map(|t| t.span("check_frequency"));
         for (code, ()) in c3 {
             match verify(ctx, index, seeds, &code, None, stats) {
                 Verdict::Counted(sup, gids) => {
@@ -406,6 +452,7 @@ fn paper_levels(
         let mut piece_k: Vec<&Pattern> = p0.of_size(k).chain(p1.of_size(k)).collect();
         piece_k.sort_by(|a, b| a.code.cmp(&b.code));
         piece_k.dedup_by(|a, b| a.code == b.code);
+        let piece_span = ctx.telemetry.map(|t| t.span("check_frequency"));
         for p in piece_k {
             if out.contains(&p.code) {
                 continue;
@@ -417,6 +464,7 @@ fn paper_levels(
                 Verdict::Rejected => {}
             }
         }
+        drop(piece_span);
 
         if f_k.is_empty() && k > max_piece {
             break;
@@ -435,6 +483,8 @@ fn paper_levels(
             }
         }
         stats.candidates += candidates.len();
+        ctx.counters().add(Counter::CandidatesGenerated, candidates.len() as u64);
+        let _check_span = ctx.telemetry.map(|t| t.span("check_frequency"));
         let mut next_f = Vec::new();
         for (code, restrict) in candidates {
             match verify(ctx, index, seeds, &code, restrict.as_ref(), stats) {
@@ -519,6 +569,7 @@ mod tests {
                 known: None,
                 trust_known: false,
                 parallel: false,
+                telemetry: None,
             };
             let (merged, _) = merge_join(&ctx, &p0, &p1);
             let direct = GSpan::new().mine(&db, sup);
@@ -547,6 +598,7 @@ mod tests {
             known: None,
             trust_known: false,
             parallel: false,
+            telemetry: None,
         };
         let (merged, stats) = merge_join(&ctx, &p0, &p1);
         let direct = GSpan::new().mine(&db, sup);
@@ -576,6 +628,7 @@ mod tests {
                 known: None,
                 trust_known: false,
                 parallel: false,
+                telemetry: None,
             };
             let (merged, _) = merge_join(&ctx, &p0, &p1);
             let direct = GSpan::new().mine(&db, sup);
@@ -608,6 +661,7 @@ mod tests {
             known: Some(&direct),
             trust_known: true,
             parallel: false,
+            telemetry: None,
         };
         let (merged, stats) = merge_join(&ctx, &p0, &p1);
         assert!(merged.same_codes(&direct));
@@ -629,6 +683,7 @@ mod tests {
             known: None,
             trust_known: false,
             parallel: false,
+            telemetry: None,
         };
         let (merged, _) = merge_join(&ctx, &p0, &p1);
         assert!(merged.iter().all(|p| p.size() <= 2));
@@ -665,6 +720,7 @@ mod tests {
                 known: None,
                 trust_known: false,
                 parallel: false,
+                telemetry: None,
             };
             let (merged, _) = merge_join(&ctx, &p0, &p1);
             let direct = GSpan::new().mine(&db, sup);

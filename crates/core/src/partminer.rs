@@ -6,9 +6,10 @@ use rustc_hash::FxHashMap;
 
 use graphmine_graph::{GraphDb, PatternSet, Support};
 use graphmine_partition::{DbPartition, NodeId};
+use graphmine_telemetry::{Counter, ReportSource, StageTotal, Telemetry};
 
 use crate::merge_join::{merge_join, MergeContext, MergeStats};
-use crate::{PartMinerConfig};
+use crate::PartMinerConfig;
 
 /// Timings and work counters of one PartMiner run.
 #[derive(Debug, Clone, Default)]
@@ -38,6 +39,32 @@ impl MineStats {
         self.partition_time
             + self.unit_times.iter().max().copied().unwrap_or_default()
             + self.merge_time
+    }
+}
+
+impl ReportSource for MineStats {
+    fn stage_totals(&self) -> Vec<StageTotal> {
+        vec![
+            StageTotal {
+                name: "partition".into(),
+                total_ns: self.partition_time.as_nanos() as u64,
+                count: 1,
+            },
+            StageTotal {
+                name: "unit_mine".into(),
+                total_ns: self.unit_times.iter().sum::<Duration>().as_nanos() as u64,
+                count: self.unit_times.len() as u64,
+            },
+            StageTotal {
+                name: "merge_join".into(),
+                total_ns: self.merge_time.as_nanos() as u64,
+                count: 1,
+            },
+        ]
+    }
+
+    fn counter_totals(&self) -> Vec<(&'static str, u64)> {
+        self.merge.counter_totals()
     }
 }
 
@@ -96,13 +123,29 @@ impl PartMiner {
     ///
     /// Panics if `ufreq` is not shaped like `db` or `config.k == 0`.
     pub fn mine(&self, db: &GraphDb, ufreq: &[Vec<f64>], min_support: Support) -> MineOutcome {
+        self.mine_instrumented(db, ufreq, min_support, &Telemetry::new())
+    }
+
+    /// [`PartMiner::mine`] recording spans and counters into `tel`:
+    /// `partition`, one `unit_mine` span per unit, a `merge_join` span per
+    /// tree node, and the merge/miner work counters.
+    pub fn mine_instrumented(
+        &self,
+        db: &GraphDb,
+        ufreq: &[Vec<f64>],
+        min_support: Support,
+        tel: &Telemetry,
+    ) -> MineOutcome {
         let start = Instant::now();
         let cfg = &self.config;
 
         // Phase 1: divide the database into units (Fig. 6).
         let t = Instant::now();
+        let span = tel.span("partition");
         let partitioner = cfg.partitioner.build();
-        let partition = DbPartition::build(db, ufreq, partitioner.as_ref(), cfg.k);
+        let partition =
+            DbPartition::build_instrumented(db, ufreq, partitioner.as_ref(), cfg.k, tel);
+        drop(span);
         let partition_time = t.elapsed();
 
         // Phase 2a: mine the units at the reduced support sup/2^depth.
@@ -126,7 +169,15 @@ impl PartMiner {
                         let sup = PartMinerConfig::depth_support(min_support, node.depth);
                         scope.spawn(move |_| {
                             let t = Instant::now();
-                            let res = cfg.unit_miner.mine(&node.db, sup, cfg.max_edges);
+                            let span = tel.span_node("unit_mine", n as u64);
+                            let res = cfg.unit_miner.mine_counted(
+                                &node.db,
+                                sup,
+                                cfg.max_edges,
+                                tel.counters(),
+                            );
+                            drop(span);
+                            tel.counters().bump(Counter::UnitsMined);
                             (n, res, t.elapsed())
                         })
                     })
@@ -144,7 +195,10 @@ impl PartMiner {
                 let node = partition.node(n);
                 let sup = PartMinerConfig::depth_support(min_support, node.depth);
                 let t = Instant::now();
-                let res = cfg.unit_miner.mine(&node.db, sup, cfg.max_edges);
+                let span = tel.span_node("unit_mine", n as u64);
+                let res = cfg.unit_miner.mine_counted(&node.db, sup, cfg.max_edges, tel.counters());
+                drop(span);
+                tel.counters().bump(Counter::UnitsMined);
                 unit_times[node.unit.expect("leaf")] = t.elapsed();
                 node_results.insert(n, res);
             }
@@ -153,23 +207,22 @@ impl PartMiner {
         // Phase 2b: combine bottom-up with the merge-join.
         let t = Instant::now();
         let mut merge = MergeStats::default();
-        merge_subtree(cfg, &partition, partition.root_id(), min_support, &mut node_results, &mut merge, None);
+        merge_subtree(
+            cfg,
+            &partition,
+            partition.root_id(),
+            min_support,
+            &mut node_results,
+            &mut merge,
+            None,
+            tel,
+        );
         let merge_time = t.elapsed();
 
         let patterns = node_results[&partition.root_id()].clone();
-        let stats = MineStats {
-            partition_time,
-            unit_times,
-            merge_time,
-            wall: start.elapsed(),
-            merge,
-        };
-        let state = PartMinerState {
-            config: *cfg,
-            partition,
-            node_results,
-            min_support,
-        };
+        let stats =
+            MineStats { partition_time, unit_times, merge_time, wall: start.elapsed(), merge };
+        let state = PartMinerState { config: *cfg, partition, node_results, min_support };
         MineOutcome { patterns, stats, state }
     }
 }
@@ -177,6 +230,7 @@ impl PartMiner {
 /// Post-order merge of a subtree; fills `node_results` for every internal
 /// node that does not already have a result. `known`/trusting is only ever
 /// applied at the root (see IncPartMiner).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn merge_subtree(
     cfg: &PartMinerConfig,
     partition: &DbPartition,
@@ -185,16 +239,15 @@ pub(crate) fn merge_subtree(
     node_results: &mut FxHashMap<NodeId, PatternSet>,
     stats: &mut MergeStats,
     known_at_root: Option<&PatternSet>,
+    tel: &Telemetry,
 ) {
     if node_results.contains_key(&node_id) {
         return;
     }
-    let (a, b) = partition
-        .node(node_id)
-        .children
-        .expect("leaf results are mined, not merged");
-    merge_subtree(cfg, partition, a, min_support, node_results, stats, known_at_root);
-    merge_subtree(cfg, partition, b, min_support, node_results, stats, known_at_root);
+    let _span = tel.span_node("merge_join", node_id as u64);
+    let (a, b) = partition.node(node_id).children.expect("leaf results are mined, not merged");
+    merge_subtree(cfg, partition, a, min_support, node_results, stats, known_at_root, tel);
+    merge_subtree(cfg, partition, b, min_support, node_results, stats, known_at_root, tel);
     let node = partition.node(node_id);
     let sup = PartMinerConfig::depth_support(min_support, node.depth);
     let at_root = node_id == partition.root_id();
@@ -207,8 +260,10 @@ pub(crate) fn merge_subtree(
         known: if at_root { known_at_root } else { None },
         trust_known: at_root && known_at_root.is_some() && !cfg.verify_unchanged,
         parallel: cfg.parallel,
+        telemetry: Some(tel),
     };
     let (result, mstats) = merge_join(&ctx, &node_results[&a], &node_results[&b]);
+    tel.counters().bump(Counter::NodesMerged);
     stats.absorb(mstats);
     node_results.insert(node_id, result);
 }

@@ -3,9 +3,13 @@
 
 use proptest::prelude::*;
 
-use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig};
-use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate};
+use graphmine_core::{
+    merge_join, IncPartMiner, JoinPolicy, MergeContext, PartMiner, PartMinerConfig,
+};
+use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate, PatternSet};
 use graphmine_miner::{GSpan, MemoryMiner};
+use graphmine_partition::{split_by_sides, Bipartitioner, Criteria, GraphPart};
+use graphmine_telemetry::Telemetry;
 
 fn connected_graph(max_vertices: usize) -> impl Strategy<Value = Graph> {
     (3..=max_vertices).prop_flat_map(move |n| {
@@ -45,7 +49,9 @@ fn decode_update(db: &GraphDb, pick: u64) -> Option<DbUpdate> {
     let p = pick / db.len() as u64;
     let update = match p % 4 {
         0 => GraphUpdate::RelabelVertex { v: (p as u32 / 4) % nv, label: (p as u32 / 8) % 5 },
-        1 if ne > 0 => GraphUpdate::RelabelEdge { e: (p as u32 / 4) % ne, label: (p as u32 / 8) % 5 },
+        1 if ne > 0 => {
+            GraphUpdate::RelabelEdge { e: (p as u32 / 4) % ne, label: (p as u32 / 8) % 5 }
+        }
         2 => {
             let u = (p as u32 / 4) % nv;
             let v = (p as u32 / 16) % nv;
@@ -63,8 +69,65 @@ fn decode_update(db: &GraphDb, pick: u64) -> Option<DbUpdate> {
     Some(DbUpdate { gid, update })
 }
 
+/// Splits every graph of `db` in two with the paper's partitioner,
+/// producing the two piece databases a 2-unit PartMiner would mine.
+fn split_db(db: &GraphDb) -> (GraphDb, GraphDb) {
+    let part = GraphPart::new(Criteria::MIN_CONNECTIVITY);
+    let mut d0 = GraphDb::new();
+    let mut d1 = GraphDb::new();
+    for (_, g) in db.iter() {
+        let uf = vec![0.0; g.vertex_count()];
+        let sides = part.assign(g, &uf);
+        let split = split_by_sides(g, &uf, &sides);
+        d0.push(split.side1.graph);
+        d1.push(split.side2.graph);
+    }
+    (d0, d1)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The parallel merge-join is a pure scheduling change: it must produce
+    /// the same pattern set *and* the same telemetry counter totals as the
+    /// serial run.
+    #[test]
+    fn parallel_merge_join_matches_serial(
+        db in db_strategy(),
+        sup in 1u32..4,
+        exact in any::<bool>(),
+        paper_policy in any::<bool>(),
+    ) {
+        let (d0, d1) = split_db(&db);
+        let unit_sup = sup.div_ceil(2).max(1);
+        let p0 = GSpan::new().mine(&d0, unit_sup);
+        let p1 = GSpan::new().mine(&d1, unit_sup);
+        let policy = if paper_policy { JoinPolicy::Paper } else { JoinPolicy::Complete };
+        let run = |parallel: bool| -> (PatternSet, Vec<(&'static str, u64)>) {
+            let tel = Telemetry::new();
+            let ctx = MergeContext {
+                db: &db,
+                min_support: sup,
+                policy,
+                max_edges: None,
+                exact_supports: exact,
+                known: None,
+                trust_known: false,
+                parallel,
+                telemetry: Some(&tel),
+            };
+            let (merged, _) = merge_join(&ctx, &p0, &p1);
+            (merged, tel.counters().snapshot())
+        };
+        let (serial, serial_counts) = run(false);
+        let (parallel, parallel_counts) = run(true);
+        prop_assert!(
+            serial.same_codes_and_supports(&parallel),
+            "sup={} exact={} policy={:?}: serial {} parallel {}",
+            sup, exact, policy, serial.len(), parallel.len()
+        );
+        prop_assert_eq!(serial_counts, parallel_counts);
+    }
 
     #[test]
     fn partminer_is_lossless_on_random_databases(db in db_strategy(), k in 1usize..5, sup in 1u32..4) {

@@ -220,10 +220,7 @@ fn plan_structural(
 /// isolates the edge), resolved against a scratch copy that replays the
 /// plan so evolving edge ids stay meaningful.
 pub fn ufreq_from_updates(db: &GraphDb, plan: &[DbUpdate]) -> Vec<Vec<f64>> {
-    let mut ufreq: Vec<Vec<f64>> = db
-        .iter()
-        .map(|(_, g)| vec![0.0; g.vertex_count()])
-        .collect();
+    let mut ufreq: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
     let mut scratch = db.clone();
     for up in plan {
         let per_graph = &mut ufreq[up.gid as usize];
@@ -250,8 +247,8 @@ pub fn ufreq_from_updates(db: &GraphDb, plan: &[DbUpdate]) -> Vec<Vec<f64>> {
 mod tests {
     use super::*;
     use crate::{generate, GenParams};
-    use graphmine_graph::Graph;
     use graphmine_graph::update::apply_all;
+    use graphmine_graph::Graph;
 
     fn small_db() -> GraphDb {
         generate(&GenParams::new(40, 8, 6, 8, 3))
@@ -303,7 +300,8 @@ mod tests {
         let plan = plan_updates(&db, &params);
         for u in &plan {
             match u.update {
-                GraphUpdate::RelabelVertex { label, .. } | GraphUpdate::RelabelEdge { label, .. } => {
+                GraphUpdate::RelabelVertex { label, .. }
+                | GraphUpdate::RelabelEdge { label, .. } => {
                     assert!(label >= 6);
                 }
                 _ => unreachable!(),

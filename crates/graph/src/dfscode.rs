@@ -43,7 +43,13 @@ pub struct DfsEdge {
 
 impl DfsEdge {
     /// Creates a code edge.
-    pub fn new(from: u32, to: u32, from_label: VLabel, edge_label: ELabel, to_label: VLabel) -> Self {
+    pub fn new(
+        from: u32,
+        to: u32,
+        from_label: VLabel,
+        edge_label: ELabel,
+        to_label: VLabel,
+    ) -> Self {
         DfsEdge { from, to, from_label, edge_label, to_label }
     }
 
@@ -130,11 +136,7 @@ impl DfsCode {
 
     /// Number of vertices in the encoded pattern.
     pub fn vertex_count(&self) -> usize {
-        self.0
-            .iter()
-            .map(|e| e.from.max(e.to) + 1)
-            .max()
-            .unwrap_or(0) as usize
+        self.0.iter().map(|e| e.from.max(e.to) + 1).max().unwrap_or(0) as usize
     }
 
     /// Appends an entry (used by the miners' rightmost extension).
@@ -158,10 +160,18 @@ impl DfsCode {
         for e in &self.0 {
             if e.is_forward() {
                 if e.from as usize >= g.vertex_count() {
-                    assert_eq!(e.from as usize, g.vertex_count(), "invalid DFS code: gap before {e}");
+                    assert_eq!(
+                        e.from as usize,
+                        g.vertex_count(),
+                        "invalid DFS code: gap before {e}"
+                    );
                     g.add_vertex(e.from_label);
                 }
-                assert_eq!(e.to as usize, g.vertex_count(), "invalid DFS code: forward edge {e} out of order");
+                assert_eq!(
+                    e.to as usize,
+                    g.vertex_count(),
+                    "invalid DFS code: forward edge {e} out of order"
+                );
                 g.add_vertex(e.to_label);
                 g.add_edge(e.from, e.to, e.edge_label).expect("invalid DFS code");
             } else {
@@ -445,7 +455,8 @@ fn search(g: &Graph, reference: Option<&DfsCode>) -> SearchOutcome {
         embs = next_embs;
 
         if min_edge.is_forward() {
-            let keep = path.iter().position(|&p| p == min_edge.from).expect("forward source on path");
+            let keep =
+                path.iter().position(|&p| p == min_edge.from).expect("forward source on path");
             path.truncate(keep + 1);
             path.push(min_edge.to);
         }
@@ -494,7 +505,8 @@ pub fn isomorphic(a: &Graph, b: &Graph) -> bool {
     }
     if a.edge_count() == 0 {
         // Both graphs are single (or zero) vertices with no edges.
-        return a.vlabels().iter().min() == b.vlabels().iter().min() && a.vertex_count() == b.vertex_count();
+        return a.vlabels().iter().min() == b.vlabels().iter().min()
+            && a.vertex_count() == b.vertex_count();
     }
     min_dfs_code(a) == min_dfs_code(b)
 }

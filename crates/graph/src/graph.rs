@@ -76,7 +76,12 @@ impl Graph {
     /// Returns an error if either endpoint is out of range, if `u == v`
     /// (self-loop), or if the edge already exists (the model is a simple
     /// graph).
-    pub fn add_edge(&mut self, u: VertexId, v: VertexId, label: ELabel) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        label: ELabel,
+    ) -> Result<EdgeId, GraphError> {
         let n = self.vlabels.len() as u32;
         if u >= n {
             return Err(GraphError::VertexOutOfRange { vertex: u, len: n });
@@ -145,10 +150,8 @@ impl Graph {
     /// Re-labels edge `e` (used by the update workloads).
     pub fn set_elabel(&mut self, e: EdgeId, label: ELabel) -> Result<(), GraphError> {
         let m = self.edges.len() as u32;
-        let edge = self
-            .edges
-            .get_mut(e as usize)
-            .ok_or(GraphError::EdgeOutOfRange { edge: e, len: m })?;
+        let edge =
+            self.edges.get_mut(e as usize).ok_or(GraphError::EdgeOutOfRange { edge: e, len: m })?;
         edge.label = label;
         let (u, v) = (edge.u, edge.v);
         for half in [u, v] {
@@ -174,10 +177,7 @@ impl Graph {
 
     /// Iterates over all edges as `(eid, u, v, label)`.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId, ELabel)> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (i as EdgeId, e.u, e.v, e.label))
+        self.edges.iter().enumerate().map(|(i, e)| (i as EdgeId, e.u, e.v, e.label))
     }
 
     /// Adjacency list of vertex `v`.
@@ -199,10 +199,7 @@ impl Graph {
     /// Looks up the edge between `u` and `v`, if present.
     pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
         let (probe, other) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.adj[probe as usize]
-            .iter()
-            .find(|a| a.to == other)
-            .map(|a| a.eid)
+        self.adj[probe as usize].iter().find(|a| a.to == other).map(|a| a.eid)
     }
 
     /// `true` when a path exists between every pair of vertices (and the

@@ -9,7 +9,7 @@
 
 use petgraph::graph::{NodeIndex, UnGraph};
 
-use crate::{Graph, GraphError, VLabel, ELabel};
+use crate::{ELabel, Graph, GraphError, VLabel};
 
 /// Converts a mining graph into a petgraph undirected graph with the same
 /// vertex order and `u32` weights carrying the labels.
@@ -66,10 +66,7 @@ mod tests {
         let back = from_petgraph(&pg).unwrap();
         assert_eq!(&back, &g);
         // Canonical forms agree too.
-        assert_eq!(
-            crate::dfscode::min_dfs_code(&back),
-            crate::dfscode::min_dfs_code(&g)
-        );
+        assert_eq!(crate::dfscode::min_dfs_code(&back), crate::dfscode::min_dfs_code(&g));
     }
 
     #[test]

@@ -89,7 +89,10 @@ pub fn read_db(reader: impl BufRead) -> Result<GraphDb, ParseError> {
                 if id as usize != g.vertex_count() {
                     return Err(ParseError::Malformed {
                         line: lineno,
-                        what: format!("vertex id {id} out of order (expected {})", g.vertex_count()),
+                        what: format!(
+                            "vertex id {id} out of order (expected {})",
+                            g.vertex_count()
+                        ),
                     });
                 }
                 g.add_vertex(label);
@@ -102,10 +105,8 @@ pub fn read_db(reader: impl BufRead) -> Result<GraphDb, ParseError> {
                 let u: u32 = parse(parts.next(), lineno, "edge endpoint")?;
                 let v: u32 = parse(parts.next(), lineno, "edge endpoint")?;
                 let label: u32 = parse(parts.next(), lineno, "edge label")?;
-                g.add_edge(u, v, label).map_err(|e| ParseError::Malformed {
-                    line: lineno,
-                    what: e.to_string(),
-                })?;
+                g.add_edge(u, v, label)
+                    .map_err(|e| ParseError::Malformed { line: lineno, what: e.to_string() })?;
             }
             Some(other) => {
                 return Err(ParseError::Malformed {

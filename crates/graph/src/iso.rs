@@ -11,6 +11,7 @@
 //! candidates are only matched against graphs that contain every edge triple
 //! the pattern needs.
 
+use graphmine_telemetry::{Counter, Counters};
 use rustc_hash::FxHashMap;
 
 use crate::{DfsCode, ELabel, Graph, GraphDb, GraphId, Support, VLabel, VertexId};
@@ -137,10 +138,7 @@ pub fn contains(target: &Graph, code: &DfsCode) -> bool {
 pub fn contains_graph(target: &Graph, pattern: &Graph) -> bool {
     if pattern.edge_count() == 0 {
         // A single labeled vertex: contained iff some vertex matches.
-        return pattern
-            .vlabels()
-            .first()
-            .is_some_and(|&l| target.vlabels().contains(&l));
+        return pattern.vlabels().first().is_some_and(|&l| target.vlabels().contains(&l));
     }
     contains(target, &crate::dfscode::min_dfs_code(pattern))
 }
@@ -154,10 +152,7 @@ pub fn support(db: &GraphDb, code: &DfsCode) -> Support {
 
 /// The gids of all graphs in `db` containing `code`.
 pub fn supporting_gids(db: &GraphDb, code: &DfsCode) -> Vec<GraphId> {
-    db.iter()
-        .filter(|(_, g)| contains(g, code))
-        .map(|(gid, _)| gid)
-        .collect()
+    db.iter().filter(|(_, g)| contains(g, code)).map(|(gid, _)| gid).collect()
 }
 
 /// A per-graph edge-triple histogram over a database, used to screen out
@@ -190,6 +185,19 @@ impl SupportIndex {
     /// `early_abort` stops counting once it is impossible to reach
     /// `min_needed` (pass `0` to always count exactly).
     pub fn support_bounded(&self, db: &GraphDb, code: &DfsCode, min_needed: Support) -> Support {
+        self.support_bounded_counted(db, code, min_needed, Counters::noop())
+    }
+
+    /// [`SupportIndex::support_bounded`] with telemetry: tallies
+    /// [`Counter::IsoTestsRun`] per embedding search executed and
+    /// [`Counter::IsoTestsPruned`] per graph screened out by the histogram.
+    pub fn support_bounded_counted(
+        &self,
+        db: &GraphDb,
+        code: &DfsCode,
+        min_needed: Support,
+        counters: &Counters,
+    ) -> Support {
         debug_assert_eq!(self.per_graph.len(), db.len(), "index built from another database");
         let mut needed: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
         for e in &code.0 {
@@ -201,8 +209,13 @@ impl SupportIndex {
             remaining -= 1;
             let hist = &self.per_graph[gid as usize];
             let feasible = needed.iter().all(|(t, n)| hist.get(t).copied().unwrap_or(0) >= *n);
-            if feasible && contains(g, code) {
-                count += 1;
+            if feasible {
+                counters.bump(Counter::IsoTestsRun);
+                if contains(g, code) {
+                    count += 1;
+                }
+            } else {
+                counters.bump(Counter::IsoTestsPruned);
             }
             if min_needed > 0 && count + remaining < min_needed {
                 break; // cannot reach the threshold any more
@@ -229,6 +242,21 @@ impl SupportIndex {
         code: &DfsCode,
         min_needed: Support,
     ) -> (Support, Vec<GraphId>) {
+        self.support_over_counted(db, candidates, code, min_needed, Counters::noop())
+    }
+
+    /// [`SupportIndex::support_over`] with telemetry: tallies
+    /// [`Counter::IsoTestsRun`] per embedding search executed and
+    /// [`Counter::IsoTestsPruned`] per candidate screened out by the
+    /// histogram.
+    pub fn support_over_counted(
+        &self,
+        db: &GraphDb,
+        candidates: &[GraphId],
+        code: &DfsCode,
+        min_needed: Support,
+        counters: &Counters,
+    ) -> (Support, Vec<GraphId>) {
         debug_assert_eq!(self.per_graph.len(), db.len(), "index built from another database");
         let mut needed: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
         for e in &code.0 {
@@ -240,8 +268,13 @@ impl SupportIndex {
             remaining -= 1;
             let hist = &self.per_graph[gid as usize];
             let feasible = needed.iter().all(|(t, n)| hist.get(t).copied().unwrap_or(0) >= *n);
-            if feasible && contains(db.graph(gid), code) {
-                supporters.push(gid);
+            if feasible {
+                counters.bump(Counter::IsoTestsRun);
+                if contains(db.graph(gid), code) {
+                    supporters.push(gid);
+                }
+            } else {
+                counters.bump(Counter::IsoTestsPruned);
             }
             if min_needed > 0 && supporters.len() as Support + remaining < min_needed {
                 break;

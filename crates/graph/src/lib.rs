@@ -68,7 +68,7 @@ pub mod update;
 pub use database::{GraphDb, GraphId};
 pub use dfscode::{DfsCode, DfsEdge};
 pub use error::GraphError;
-pub use graph::{Adjacency, EdgeId, ELabel, Graph, VertexId, VLabel};
+pub use graph::{Adjacency, ELabel, EdgeId, Graph, VLabel, VertexId};
 pub use pattern::{Pattern, PatternSet};
 pub use update::{DbUpdate, GraphUpdate};
 

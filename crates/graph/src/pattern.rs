@@ -160,10 +160,7 @@ impl PatternSet {
     /// `true` when both sets contain the same codes *and* supports.
     pub fn same_codes_and_supports(&self, other: &PatternSet) -> bool {
         self.len() == other.len()
-            && self
-                .map
-                .iter()
-                .all(|(c, p)| other.support(c) == Some(p.support))
+            && self.map.iter().all(|(c, p)| other.support(c) == Some(p.support))
     }
 }
 
@@ -197,10 +194,7 @@ mod tests {
 
     fn pat2(label: u32, support: Support) -> Pattern {
         Pattern::from_code(
-            DfsCode(vec![
-                DfsEdge::new(0, 1, label, 0, label),
-                DfsEdge::new(1, 2, label, 0, label),
-            ]),
+            DfsCode(vec![DfsEdge::new(0, 1, label, 0, label), DfsEdge::new(1, 2, label, 0, label)]),
             support,
         )
     }

@@ -59,7 +59,11 @@ pub fn write_patterns(mut writer: impl Write, set: &PatternSet) -> std::io::Resu
     for p in sorted {
         write!(writer, "{}", p.support)?;
         for e in &p.code.0 {
-            write!(writer, "  {} {} {} {} {}", e.from, e.to, e.from_label, e.edge_label, e.to_label)?;
+            write!(
+                writer,
+                "  {} {} {} {} {}",
+                e.from, e.to, e.from_label, e.edge_label, e.to_label
+            )?;
         }
         writeln!(writer)?;
     }
@@ -143,12 +147,9 @@ mod tests {
         let mut g2 = g1.clone();
         let c = g2.add_vertex(2);
         g2.add_edge(1, c, 6).unwrap();
-        vec![
-            Pattern::from_code(min_dfs_code(&g1), 412),
-            Pattern::from_code(min_dfs_code(&g2), 230),
-        ]
-        .into_iter()
-        .collect()
+        vec![Pattern::from_code(min_dfs_code(&g1), 412), Pattern::from_code(min_dfs_code(&g2), 230)]
+            .into_iter()
+            .collect()
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! those three, and is the unit of communication between the update
 //! workload generator, the partition maintenance logic, and IncPartMiner.
 
-use crate::{EdgeId, ELabel, Graph, GraphError, GraphId, VertexId, VLabel};
+use crate::{ELabel, EdgeId, Graph, GraphError, GraphId, VLabel, VertexId};
 
 /// One update to a single graph. Identifiers refer to the graph's state at
 /// the time the update is applied (updates are applied in sequence).
@@ -179,7 +179,10 @@ mod tests {
         let mut db = GraphDb::from_graphs(vec![base(), base()]);
         let updates = [
             DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } },
-            DbUpdate { gid: 1, update: GraphUpdate::AddVertex { label: 3, attach_to: 0, elabel: 2 } },
+            DbUpdate {
+                gid: 1,
+                update: GraphUpdate::AddVertex { label: 3, attach_to: 0, elabel: 2 },
+            },
         ];
         apply_all(&mut db, &updates).unwrap();
         assert_eq!(db[0].vlabel(0), 7);

@@ -8,12 +8,15 @@ use graphmine_graph::{iso, Graph};
 
 /// Strategy: a random connected labeled graph with `n` vertices built from a
 /// random spanning tree plus random extra edges.
-fn connected_graph(max_vertices: usize, vlabels: u32, elabels: u32) -> impl Strategy<Value = Graph> {
+fn connected_graph(
+    max_vertices: usize,
+    vlabels: u32,
+    elabels: u32,
+) -> impl Strategy<Value = Graph> {
     (2..=max_vertices).prop_flat_map(move |n| {
         let vl = proptest::collection::vec(0..vlabels, n);
         // parent[i] < i+1 attaches vertex i+1 to a random earlier vertex.
-        let parents: Vec<BoxedStrategy<usize>> =
-            (1..n).map(|i| (0..i).boxed()).collect();
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
         let tree_el = proptest::collection::vec(0..elabels, n - 1);
         let extra = proptest::collection::vec((0..n, 0..n, 0..elabels), 0..=n);
         (vl, parents, tree_el, extra).prop_map(move |(vl, parents, tree_el, extra)| {

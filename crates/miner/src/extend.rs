@@ -46,13 +46,10 @@ impl EdgeVocab {
 
     /// Builds the vocabulary from the 1-edge patterns of a pattern set.
     pub fn from_patterns(set: &PatternSet) -> Self {
-        Self::from_triples(
-            set.of_size(1)
-                .map(|p| {
-                    let e = p.code.0[0];
-                    (e.from_label, e.edge_label, e.to_label)
-                }),
-        )
+        Self::from_triples(set.of_size(1).map(|p| {
+            let e = p.code.0[0];
+            (e.from_label, e.edge_label, e.to_label)
+        }))
     }
 
     /// Builds the vocabulary from the edges with support at least
@@ -74,10 +71,7 @@ impl EdgeVocab {
             }
         }
         Self::from_triples(
-            per_triple
-                .into_iter()
-                .filter(|&(_, s)| s >= min_support)
-                .map(|(t, _)| t),
+            per_triple.into_iter().filter(|&(_, s)| s >= min_support).map(|(t, _)| t),
         )
     }
 

@@ -83,8 +83,7 @@ impl MemoryMiner for Fsg {
                 } else {
                     (g.vlabel(v), g.vlabel(u))
                 };
-                in_graph
-                    .insert(DfsCode(vec![graphmine_graph::DfsEdge::new(0, 1, la, el, lb)]));
+                in_graph.insert(DfsCode(vec![graphmine_graph::DfsEdge::new(0, 1, la, el, lb)]));
             }
             for code in in_graph {
                 tids.entry(code).or_default().push(gid);

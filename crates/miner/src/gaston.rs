@@ -28,9 +28,11 @@ use rustc_hash::{FxHashMap, FxHashSet};
 
 use graphmine_graph::dfscode::min_dfs_code;
 use graphmine_graph::{
-    DfsCode, EdgeId, ELabel, Graph, GraphDb, GraphId, Pattern, PatternSet, Support, VertexId,
-    VLabel,
+    DfsCode, ELabel, EdgeId, Graph, GraphDb, GraphId, Pattern, PatternSet, Support, VLabel,
+    VertexId,
 };
+
+use graphmine_telemetry::{Counter, Counters};
 
 use crate::{within_cap, MemoryMiner};
 
@@ -95,14 +97,27 @@ struct Node {
 
 impl MemoryMiner for Gaston {
     fn mine(&self, db: &GraphDb, min_support: Support) -> PatternSet {
+        self.mine_with(db, min_support, Counters::noop())
+    }
+
+    fn mine_counted(&self, db: &GraphDb, min_support: Support, counters: &Counters) -> PatternSet {
+        self.mine_with(db, min_support, counters)
+    }
+
+    fn name(&self) -> &'static str {
+        "Gaston"
+    }
+}
+
+impl Gaston {
+    fn mine_with(&self, db: &GraphDb, min_support: Support, counters: &Counters) -> PatternSet {
         let mut out = PatternSet::new();
         if db.is_empty() || min_support == 0 {
             return out;
         }
 
         // ---- level 1: frequent edges --------------------------------------
-        let mut groups: FxHashMap<(VLabel, ELabel, VLabel), Vec<Occurrence>> =
-            FxHashMap::default();
+        let mut groups: FxHashMap<(VLabel, ELabel, VLabel), Vec<Occurrence>> = FxHashMap::default();
         for (gid, g) in db.iter() {
             for (eid, u, v, el) in g.edges() {
                 let (a, b) = if g.vlabel(u) <= g.vlabel(v) { (u, v) } else { (v, u) };
@@ -114,6 +129,7 @@ impl MemoryMiner for Gaston {
                 }
             }
         }
+        counters.add(Counter::MinerExtensions, groups.len() as u64);
         let mut level: Vec<Node> = Vec::new();
         for ((la, el, lb), occs) in groups {
             if distinct_gids(&occs) < min_support {
@@ -157,6 +173,7 @@ impl MemoryMiner for Gaston {
                         }
                     }
                 }
+                counters.add(Counter::MinerExtensions, ext.len() as u64);
                 for ((pos, el, vl), occs) in ext {
                     if distinct_gids(&occs) < min_support {
                         continue;
@@ -213,6 +230,7 @@ impl MemoryMiner for Gaston {
                     }
                 }
             }
+            counters.add(Counter::MinerExtensions, ext.len() as u64);
             for ((pu, pv, el), occs) in ext {
                 if distinct_gids(&occs) < min_support {
                     continue;
@@ -228,11 +246,8 @@ impl MemoryMiner for Gaston {
             }
         }
 
+        counters.add(Counter::MinerPatterns, out.len() as u64);
         out
-    }
-
-    fn name(&self) -> &'static str {
-        "Gaston"
     }
 }
 
@@ -278,8 +293,7 @@ fn tree_centers(g: &Graph) -> Vec<VertexId> {
     }
     let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as u32)).collect();
     let mut removed = vec![false; n];
-    let mut leaves: Vec<VertexId> =
-        (0..n as u32).filter(|&v| degree[v as usize] <= 1).collect();
+    let mut leaves: Vec<VertexId> = (0..n as u32).filter(|&v| degree[v as usize] <= 1).collect();
     let mut remaining = n;
     while remaining > 2 {
         let mut next = Vec::new();
@@ -344,11 +358,8 @@ fn canonical_parent_encoding(g: &Graph) -> Vec<u64> {
         if g.degree(v) != 1 {
             continue;
         }
-        let keep: Vec<EdgeId> = g
-            .edges()
-            .filter(|&(_, u, w, _)| u != v && w != v)
-            .map(|(eid, _, _, _)| eid)
-            .collect();
+        let keep: Vec<EdgeId> =
+            g.edges().filter(|&(_, u, w, _)| u != v && w != v).map(|(eid, _, _, _)| eid).collect();
         let (parent, _) = g.edge_subgraph(&keep).expect("edge ids from this graph");
         let enc = tree_encoding(&parent);
         if best.as_ref().is_none_or(|b| enc < *b) {

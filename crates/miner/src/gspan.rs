@@ -13,6 +13,7 @@ use graphmine_graph::dfscode::is_min;
 use graphmine_graph::{
     DfsCode, DfsEdge, EdgeId, GraphDb, GraphId, Pattern, PatternSet, Support, VertexId,
 };
+use graphmine_telemetry::{Counter, Counters};
 
 use crate::{within_cap, MemoryMiner};
 
@@ -41,6 +42,20 @@ impl GSpan {
 
 impl MemoryMiner for GSpan {
     fn mine(&self, db: &GraphDb, min_support: Support) -> PatternSet {
+        self.mine_with(db, min_support, Counters::noop())
+    }
+
+    fn mine_counted(&self, db: &GraphDb, min_support: Support, counters: &Counters) -> PatternSet {
+        self.mine_with(db, min_support, counters)
+    }
+
+    fn name(&self) -> &'static str {
+        "gSpan"
+    }
+}
+
+impl GSpan {
+    fn mine_with(&self, db: &GraphDb, min_support: Support, counters: &Counters) -> PatternSet {
         let mut out = PatternSet::new();
         if db.is_empty() || min_support == 0 {
             return out;
@@ -59,19 +74,17 @@ impl MemoryMiner for GSpan {
                 }
             }
         }
+        counters.add(Counter::MinerExtensions, groups.len() as u64);
 
         for (edge, embeddings) in groups {
             if distinct_gids(&embeddings) < min_support {
                 continue;
             }
             let mut code = DfsCode(vec![edge]);
-            self.grow(db, &mut code, &embeddings, min_support, &mut out);
+            self.grow(db, &mut code, &embeddings, min_support, &mut out, counters);
         }
+        counters.add(Counter::MinerPatterns, out.len() as u64);
         out
-    }
-
-    fn name(&self) -> &'static str {
-        "gSpan"
     }
 }
 
@@ -117,6 +130,7 @@ impl GSpan {
         embeddings: &[Embedding],
         min_support: Support,
         out: &mut PatternSet,
+        counters: &Counters,
     ) {
         if !is_min(code) {
             return;
@@ -188,12 +202,13 @@ impl GSpan {
 
         let mut ordered: Vec<(DfsEdge, Vec<Embedding>)> = extensions.into_iter().collect();
         ordered.sort_by(|(a, _), (b, _)| a.dfs_cmp(b));
+        counters.add(Counter::MinerExtensions, ordered.len() as u64);
         for (edge, embs) in ordered {
             if distinct_gids(&embs) < min_support {
                 continue;
             }
             code.push(edge);
-            self.grow(db, code, &embs, min_support, out);
+            self.grow(db, code, &embs, min_support, out, counters);
             code.pop();
         }
     }

@@ -59,6 +59,7 @@ pub use gspan::GSpan;
 pub use postprocess::{closed_patterns, maximal_patterns};
 
 use graphmine_graph::{GraphDb, PatternSet, Support};
+use graphmine_telemetry::{Counter, Counters};
 
 /// A frequent-subgraph miner that operates on an in-memory database — the
 /// role Gaston plays in the paper's Phase 2.
@@ -66,6 +67,16 @@ pub trait MemoryMiner {
     /// Mines all frequent connected subgraphs (with at least one edge) whose
     /// support in `db` is at least `min_support` (absolute count).
     fn mine(&self, db: &GraphDb, min_support: Support) -> PatternSet;
+
+    /// [`MemoryMiner::mine`] with telemetry. The default implementation
+    /// tallies only [`Counter::MinerPatterns`]; miners that track their
+    /// search internally ([`GSpan`], [`Gaston`]) also tally
+    /// [`Counter::MinerExtensions`].
+    fn mine_counted(&self, db: &GraphDb, min_support: Support, counters: &Counters) -> PatternSet {
+        let patterns = self.mine(db, min_support);
+        counters.add(Counter::MinerPatterns, patterns.len() as u64);
+        patterns
+    }
 
     /// Human-readable algorithm name for reports.
     fn name(&self) -> &'static str;

@@ -29,10 +29,7 @@ pub fn maximal_patterns(all: &PatternSet) -> PatternSet {
 
 /// Keeps patterns not subsumed by any *relevant* (per `relevant`) strictly
 /// larger pattern containing them.
-fn filter_subsumed(
-    all: &PatternSet,
-    relevant: impl Fn(&Pattern, &Pattern) -> bool,
-) -> PatternSet {
+fn filter_subsumed(all: &PatternSet, relevant: impl Fn(&Pattern, &Pattern) -> bool) -> PatternSet {
     // Stratify by size once; supergraphs are strictly larger.
     let max_size = all.max_size();
     let mut by_size: Vec<Vec<&Pattern>> = vec![Vec::new(); max_size + 1];
@@ -157,9 +154,7 @@ mod tests {
         // Definition check against brute force for every pattern.
         for p in all.iter() {
             let has_equal_super = all.iter().any(|q| {
-                q.size() > p.size()
-                    && q.support == p.support
-                    && iso::contains(&q.graph, &p.code)
+                q.size() > p.size() && q.support == p.support && iso::contains(&q.graph, &p.code)
             });
             assert_eq!(closed.contains(&p.code), !has_equal_super, "{}", p.code);
             let has_any_super =

@@ -5,9 +5,13 @@ use proptest::prelude::*;
 
 use graphmine_graph::enumerate::frequent_bruteforce;
 use graphmine_graph::{Graph, GraphDb};
-use graphmine_miner::{Apriori, Fsg, Gaston, GSpan, MemoryMiner};
+use graphmine_miner::{Apriori, Fsg, GSpan, Gaston, MemoryMiner};
 
-fn random_connected_graph(max_vertices: usize, vlabels: u32, elabels: u32) -> impl Strategy<Value = Graph> {
+fn random_connected_graph(
+    max_vertices: usize,
+    vlabels: u32,
+    elabels: u32,
+) -> impl Strategy<Value = Graph> {
     (2..=max_vertices).prop_flat_map(move |n| {
         let vl = proptest::collection::vec(0..vlabels, n);
         let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();

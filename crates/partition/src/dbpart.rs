@@ -19,7 +19,10 @@
 
 use std::collections::VecDeque;
 
-use graphmine_graph::{DbUpdate, EdgeId, ELabel, Graph, GraphDb, GraphError, GraphId, GraphUpdate, VertexId, VLabel};
+use graphmine_graph::{
+    DbUpdate, ELabel, EdgeId, Graph, GraphDb, GraphError, GraphId, GraphUpdate, VLabel, VertexId,
+};
+use graphmine_telemetry::Telemetry;
 
 use crate::split::split_by_sides;
 use crate::Bipartitioner;
@@ -59,17 +62,11 @@ pub struct PartNode {
 
 impl PartNode {
     fn position_of_vertex(&self, gid: GraphId, orig_v: VertexId) -> Option<VertexId> {
-        self.vertex_maps[gid as usize]
-            .iter()
-            .position(|&v| v == orig_v)
-            .map(|i| i as VertexId)
+        self.vertex_maps[gid as usize].iter().position(|&v| v == orig_v).map(|i| i as VertexId)
     }
 
     fn position_of_edge(&self, gid: GraphId, orig_e: EdgeId) -> Option<EdgeId> {
-        self.edge_maps[gid as usize]
-            .iter()
-            .position(|&e| e == orig_e)
-            .map(|i| i as EdgeId)
+        self.edge_maps[gid as usize].iter().position(|&e| e == orig_e).map(|i| i as EdgeId)
     }
 }
 
@@ -92,7 +89,25 @@ impl DbPartition {
     /// # Panics
     ///
     /// Panics if `k == 0` or if `ufreq` is not shaped like `db`.
-    pub fn build(db: &GraphDb, ufreq: &[Vec<f64>], partitioner: &dyn Bipartitioner, k: usize) -> Self {
+    pub fn build(
+        db: &GraphDb,
+        ufreq: &[Vec<f64>],
+        partitioner: &dyn Bipartitioner,
+        k: usize,
+    ) -> Self {
+        Self::build_instrumented(db, ufreq, partitioner, k, &Telemetry::new())
+    }
+
+    /// [`DbPartition::build`] with telemetry: records one `partition_split`
+    /// span per bi-partitioned tree node (these nest under the caller's
+    /// `partition` span when one is open).
+    pub fn build_instrumented(
+        db: &GraphDb,
+        ufreq: &[Vec<f64>],
+        partitioner: &dyn Bipartitioner,
+        k: usize,
+        tel: &Telemetry,
+    ) -> Self {
         assert!(k >= 1, "at least one unit");
         assert_eq!(ufreq.len(), db.len(), "one ufreq vector per graph");
         for (gid, g) in db.iter() {
@@ -117,6 +132,7 @@ impl DbPartition {
         let mut leaves: VecDeque<NodeId> = VecDeque::from([0]);
         while leaves.len() < k {
             let node_id = leaves.pop_front().expect("non-empty leaf queue");
+            let _span = tel.span_node("partition_split", node_id as u64);
             let (a, b) = part.split_node(node_id, partitioner);
             leaves.push_back(a);
             leaves.push_back(b);
@@ -150,10 +166,18 @@ impl DbPartition {
             for (child, piece) in [(&mut child1, split.side1), (&mut child2, split.side2)] {
                 // Compose piece->node maps with node->original maps.
                 child.vertex_maps.push(
-                    piece.vertex_map.iter().map(|&v| node.vertex_maps[gid as usize][v as usize]).collect(),
+                    piece
+                        .vertex_map
+                        .iter()
+                        .map(|&v| node.vertex_maps[gid as usize][v as usize])
+                        .collect(),
                 );
                 child.edge_maps.push(
-                    piece.edge_map.iter().map(|&e| node.edge_maps[gid as usize][e as usize]).collect(),
+                    piece
+                        .edge_map
+                        .iter()
+                        .map(|&e| node.edge_maps[gid as usize][e as usize])
+                        .collect(),
                 );
                 child.ufreq.push(piece.ufreq);
                 child.db.push(piece.graph);
@@ -265,7 +289,10 @@ impl DbPartition {
     pub fn apply_update_impact(&mut self, up: DbUpdate) -> Result<UpdateImpact, GraphError> {
         let gid = up.gid;
         if gid as usize >= self.nodes[self.root].db.len() {
-            return Err(GraphError::VertexOutOfRange { vertex: gid, len: self.nodes[self.root].db.len() as u32 });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: gid,
+                len: self.nodes[self.root].db.len() as u32,
+            });
         }
         self.validate(gid, &up.update)?;
 
@@ -284,7 +311,15 @@ impl DbPartition {
                 let lv = root_g.vlabel(v);
                 let uf_u = self.ufreq_of(gid, u);
                 let uf_v = self.ufreq_of(gid, v);
-                self.add_edge_rec(self.root, gid, (u, lu, uf_u), (v, lv, uf_v), label, orig_e, &mut touched);
+                self.add_edge_rec(
+                    self.root,
+                    gid,
+                    (u, lu, uf_u),
+                    (v, lv, uf_v),
+                    label,
+                    orig_e,
+                    &mut touched,
+                );
             }
             GraphUpdate::AddVertex { label, attach_to, elabel } => {
                 let root_g = self.nodes[self.root].db.graph(gid);
@@ -305,10 +340,7 @@ impl DbPartition {
         }
         touched.sort_unstable();
         touched.dedup();
-        let units: Vec<usize> = touched
-            .iter()
-            .filter_map(|&n| self.nodes[n].unit)
-            .collect();
+        let units: Vec<usize> = touched.iter().filter_map(|&n| self.nodes[n].unit).collect();
         Ok(UpdateImpact { units, nodes: touched })
     }
 
@@ -392,11 +424,7 @@ impl DbPartition {
         let Some(pe) = self.nodes[node_id].position_of_edge(gid, orig_e) else {
             return;
         };
-        self.nodes[node_id]
-            .db
-            .graph_mut(gid)
-            .set_elabel(pe, label)
-            .expect("mapped edge in range");
+        self.nodes[node_id].db.graph_mut(gid).set_elabel(pe, label).expect("mapped edge in range");
         self.mark(node_id, touched);
         if let Some((a, b)) = self.nodes[node_id].children {
             self.relabel_edge_rec(a, gid, orig_e, label, touched);
@@ -438,10 +466,7 @@ impl DbPartition {
         let pu = self.ensure_vertex(node_id, gid, u.0, u.1, u.2);
         let pv = self.ensure_vertex(node_id, gid, v.0, v.1, v.2);
         let node = &mut self.nodes[node_id];
-        node.db
-            .graph_mut(gid)
-            .add_edge(pu, pv, label)
-            .expect("validated: edge not present");
+        node.db.graph_mut(gid).add_edge(pu, pv, label).expect("validated: edge not present");
         node.edge_maps[gid as usize].push(orig_e);
         self.mark(node_id, touched);
 
@@ -493,10 +518,7 @@ impl DbPartition {
         // New vertices start with ufreq 0 (no further planned updates).
         let pn = self.ensure_vertex(node_id, gid, new_v.0, new_v.1, 0.0);
         let node = &mut self.nodes[node_id];
-        node.db
-            .graph_mut(gid)
-            .add_edge(pa, pn, elabel)
-            .expect("attaching edge is fresh");
+        node.db.graph_mut(gid).add_edge(pa, pn, elabel).expect("attaching edge is fresh");
         node.edge_maps[gid as usize].push(orig_e);
         self.mark(node_id, touched);
 
@@ -587,7 +609,10 @@ mod tests {
         let mut part = build_k(4);
         let expected = part.units_containing_vertex(0, 5);
         let touched = part
-            .apply_update(DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 5, label: 9 } })
+            .apply_update(DbUpdate {
+                gid: 0,
+                update: GraphUpdate::RelabelVertex { v: 5, label: 9 },
+            })
             .unwrap();
         assert_eq!(touched, expected);
         assert!(!touched.is_empty());
@@ -604,7 +629,10 @@ mod tests {
     fn add_edge_keeps_recovery_lossless() {
         let mut part = build_k(4);
         let touched = part
-            .apply_update(DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 0, v: 3, label: 7 } })
+            .apply_update(DbUpdate {
+                gid: 1,
+                update: GraphUpdate::AddEdge { u: 0, v: 3, label: 7 },
+            })
             .unwrap();
         assert!(!touched.is_empty());
         let root_g = part.root().db.graph(1).clone();
@@ -637,13 +665,22 @@ mod tests {
         let mut part = build_k(2);
         let before = part.root().db.graph(0).clone();
         assert!(part
-            .apply_update(DbUpdate { gid: 0, update: GraphUpdate::AddEdge { u: 0, v: 1, label: 5 } })
+            .apply_update(DbUpdate {
+                gid: 0,
+                update: GraphUpdate::AddEdge { u: 0, v: 1, label: 5 }
+            })
             .is_err()); // duplicate
         assert!(part
-            .apply_update(DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 99, label: 0 } })
+            .apply_update(DbUpdate {
+                gid: 0,
+                update: GraphUpdate::RelabelVertex { v: 99, label: 0 }
+            })
             .is_err());
         assert!(part
-            .apply_update(DbUpdate { gid: 9, update: GraphUpdate::RelabelVertex { v: 0, label: 0 } })
+            .apply_update(DbUpdate {
+                gid: 9,
+                update: GraphUpdate::RelabelVertex { v: 0, label: 0 }
+            })
             .is_err());
         assert_eq!(part.root().db.graph(0), &before);
     }

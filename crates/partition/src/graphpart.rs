@@ -71,19 +71,14 @@ impl GraphPart {
         }
         let max_uf = ufreq.iter().copied().fold(0.0_f64, f64::max);
         let uf_term = if max_uf > 0.0 {
-            let sum: f64 = (0..g.vertex_count())
-                .filter(|&v| subset[v])
-                .map(|v| ufreq[v])
-                .sum();
+            let sum: f64 = (0..g.vertex_count()).filter(|&v| subset[v]).map(|v| ufreq[v]).sum();
             (sum / size as f64) / max_uf
         } else {
             0.0
         };
         let cut_term = if g.edge_count() > 0 {
-            let cut = g
-                .edges()
-                .filter(|&(_, u, v, _)| subset[u as usize] != subset[v as usize])
-                .count();
+            let cut =
+                g.edges().filter(|&(_, u, v, _)| subset[u as usize] != subset[v as usize]).count();
             cut as f64 / g.edge_count() as f64
         } else {
             0.0
@@ -127,12 +122,8 @@ impl Bipartitioner for GraphPart {
                 in_subset[v as usize] = true;
                 size += 1;
                 // Push unvisited neighbours, highest ufreq on top (line 21).
-                let mut nbrs: Vec<u32> = g
-                    .neighbors(v)
-                    .iter()
-                    .map(|a| a.to)
-                    .filter(|&w| !visited[w as usize])
-                    .collect();
+                let mut nbrs: Vec<u32> =
+                    g.neighbors(v).iter().map(|a| a.to).filter(|&w| !visited[w as usize]).collect();
                 nbrs.sort_by(|&a, &b| {
                     ufreq[a as usize]
                         .partial_cmp(&ufreq[b as usize])
@@ -167,11 +158,8 @@ impl Bipartitioner for GraphPart {
                 if locked[v] {
                     continue;
                 }
-                let new_size = if sides[v] {
-                    current_size.saturating_sub(1)
-                } else {
-                    current_size + 1
-                };
+                let new_size =
+                    if sides[v] { current_size.saturating_sub(1) } else { current_size + 1 };
                 if new_size < lo || new_size > hi {
                     continue;
                 }

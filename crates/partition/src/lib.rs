@@ -46,7 +46,5 @@ pub trait Bipartitioner {
 
 /// Number of connective (cut) edges under a side assignment.
 pub fn cut_size(g: &Graph, sides: &[bool]) -> usize {
-    g.edges()
-        .filter(|&(_, u, v, _)| sides[u as usize] != sides[v as usize])
-        .count()
+    g.edges().filter(|&(_, u, v, _)| sides[u as usize] != sides[v as usize]).count()
 }

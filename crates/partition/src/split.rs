@@ -28,18 +28,12 @@ pub struct Piece {
 impl Piece {
     /// Finds the piece vertex corresponding to a parent vertex.
     pub fn vertex_of(&self, parent_vertex: VertexId) -> Option<VertexId> {
-        self.vertex_map
-            .iter()
-            .position(|&v| v == parent_vertex)
-            .map(|i| i as VertexId)
+        self.vertex_map.iter().position(|&v| v == parent_vertex).map(|i| i as VertexId)
     }
 
     /// Finds the piece edge corresponding to a parent edge.
     pub fn edge_of(&self, parent_edge: EdgeId) -> Option<EdgeId> {
-        self.edge_map
-            .iter()
-            .position(|&e| e == parent_edge)
-            .map(|i| i as EdgeId)
+        self.edge_map.iter().position(|&e| e == parent_edge).map(|i| i as EdgeId)
     }
 }
 
@@ -107,10 +101,7 @@ impl<'a> PieceBuilder<'a> {
     fn add_edge(&mut self, parent_e: EdgeId, u: VertexId, v: VertexId, label: u32) {
         let pu = self.vertex(u);
         let pv = self.vertex(v);
-        self.piece
-            .graph
-            .add_edge(pu, pv, label)
-            .expect("parent edges are unique");
+        self.piece.graph.add_edge(pu, pv, label).expect("parent edges are unique");
         self.piece.edge_map.push(parent_e);
     }
 
@@ -142,7 +133,7 @@ mod tests {
         assert_eq!(split.connective, vec![1]); // edge 1-2
         assert_eq!(split.side1.graph.edge_count(), 2); // 0-1 and 1-2
         assert_eq!(split.side2.graph.edge_count(), 2); // 1-2 and 2-3
-        // Edge maps point at the parent edges.
+                                                       // Edge maps point at the parent edges.
         assert_eq!(split.side1.edge_map, vec![0, 1]);
         assert_eq!(split.side2.edge_map, vec![1, 2]);
         // Both pieces carry the boundary vertices of the connective edge.
@@ -165,13 +156,8 @@ mod tests {
     fn union_of_pieces_recovers_all_edges() {
         let (g, uf) = path4();
         let split = split_by_sides(&g, &uf, &[true, false, true, false]);
-        let mut covered: Vec<EdgeId> = split
-            .side1
-            .edge_map
-            .iter()
-            .chain(split.side2.edge_map.iter())
-            .copied()
-            .collect();
+        let mut covered: Vec<EdgeId> =
+            split.side1.edge_map.iter().chain(split.side2.edge_map.iter()).copied().collect();
         covered.sort_unstable();
         covered.dedup();
         assert_eq!(covered, vec![0, 1, 2]);

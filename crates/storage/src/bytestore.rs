@@ -32,7 +32,11 @@ impl ByteStore {
     /// # Errors
     ///
     /// Propagates file-system failures.
-    pub fn create(path: &Path, pool_pages: usize, io_latency: Duration) -> Result<Self, StorageError> {
+    pub fn create(
+        path: &Path,
+        pool_pages: usize,
+        io_latency: Duration,
+    ) -> Result<Self, StorageError> {
         let mut file = PageFile::create(path)?;
         file.set_io_latency(io_latency);
         Ok(ByteStore { pool: BufferPool::new(file, pool_pages), cursor: 0 })

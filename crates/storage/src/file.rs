@@ -29,12 +29,8 @@ impl PageFile {
     ///
     /// Any file-system error opening the file.
     pub fn create(path: &Path) -> Result<Self, StorageError> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(PageFile { file, pages: 0, io_latency: Duration::ZERO })
     }
 
@@ -105,7 +101,11 @@ impl PageFile {
     /// # Errors
     ///
     /// Out-of-range page ids and read failures.
-    pub fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+    pub fn read_page(
+        &mut self,
+        pid: PageId,
+        buf: &mut [u8; PAGE_SIZE],
+    ) -> Result<(), StorageError> {
         if pid >= self.pages {
             return Err(StorageError::PageOutOfRange { page: pid, len: self.pages });
         }

@@ -143,8 +143,7 @@ fn decode(bytes: &[u8]) -> Result<Graph, StorageError> {
         let u = take_u32(bytes, &mut pos)?;
         let v = take_u32(bytes, &mut pos)?;
         let el = take_u32(bytes, &mut pos)?;
-        g.add_edge(u, v, el)
-            .map_err(|e| StorageError::Corrupt(format!("bad edge record: {e}")))?;
+        g.add_edge(u, v, el).map_err(|e| StorageError::Corrupt(format!("bad edge record: {e}")))?;
     }
     Ok(g)
 }
@@ -155,13 +154,11 @@ fn push_u32(out: &mut Vec<u8>, v: u32) {
 
 fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, StorageError> {
     let end = *pos + 4;
-    let slice = bytes
-        .get(*pos..end)
-        .ok_or_else(|| StorageError::Corrupt("truncated u32".into()))?;
+    let slice =
+        bytes.get(*pos..end).ok_or_else(|| StorageError::Corrupt("truncated u32".into()))?;
     *pos = end;
     Ok(u32::from_le_bytes(slice.try_into().expect("4-byte slice")))
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -75,7 +75,11 @@ impl BufferPool {
     /// # Errors
     ///
     /// Propagates faults from reading the page in.
-    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R, StorageError> {
+    pub fn with_page<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, StorageError> {
         let mut inner = self.inner.lock();
         inner.fault_in(pid)?;
         let frame = inner.frames.get(&pid).expect("faulted in");
@@ -106,12 +110,8 @@ impl BufferPool {
     /// Propagates write failures.
     pub fn flush(&self) -> Result<(), StorageError> {
         let mut inner = self.inner.lock();
-        let dirty: Vec<PageId> = inner
-            .frames
-            .iter()
-            .filter(|(_, fr)| fr.dirty)
-            .map(|(&pid, _)| pid)
-            .collect();
+        let dirty: Vec<PageId> =
+            inner.frames.iter().filter(|(_, fr)| fr.dirty).map(|(&pid, _)| pid).collect();
         for pid in dirty {
             let frame = inner.frames.get(&pid).expect("listed above");
             let data = *frame.data;

@@ -1,0 +1,184 @@
+//! Relaxed-atomic event counters.
+//!
+//! A [`Counters`] table is a fixed array of `AtomicU64`s indexed by
+//! [`Counter`]; every increment is a single relaxed `fetch_add`, cheap
+//! enough to leave enabled in release builds and safe to bump from any
+//! number of worker threads concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Names for the counter slots tracked across the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Join candidates generated during merge-join (both policies).
+    CandidatesGenerated,
+    /// Exact subgraph-isomorphism support counts actually executed.
+    IsoTestsRun,
+    /// Isomorphism tests skipped by the edge-histogram screen.
+    IsoTestsPruned,
+    /// Candidates verified frequent by CheckFrequency.
+    VerifiedFrequent,
+    /// Candidates verified infrequent by CheckFrequency.
+    VerifiedInfrequent,
+    /// Candidates skipped because the known (pre-update) set answered.
+    KnownSkipped,
+    /// Candidates resolved by the support upper bound without counting.
+    BoundShortcut,
+    /// Patterns dropped from the pre-update result via the prune set.
+    PruneSetHits,
+    /// Incremental classification: unchanged-frequent patterns (UF).
+    IncUnchangedFrequent,
+    /// Incremental classification: frequent-to-infrequent patterns (FI).
+    IncFrequentToInfrequent,
+    /// Incremental classification: infrequent-to-frequent patterns (IF).
+    IncInfrequentToFrequent,
+    /// Mining units processed (initial mine + incremental re-mines).
+    UnitsMined,
+    /// Partition-tree nodes merged bottom-up.
+    NodesMerged,
+    /// Pattern extensions generated inside the unit miners (gSpan/Gaston).
+    MinerExtensions,
+    /// Frequent patterns emitted by the unit miners.
+    MinerPatterns,
+}
+
+impl Counter {
+    /// Every counter, in slot order.
+    pub const ALL: [Counter; 15] = [
+        Counter::CandidatesGenerated,
+        Counter::IsoTestsRun,
+        Counter::IsoTestsPruned,
+        Counter::VerifiedFrequent,
+        Counter::VerifiedInfrequent,
+        Counter::KnownSkipped,
+        Counter::BoundShortcut,
+        Counter::PruneSetHits,
+        Counter::IncUnchangedFrequent,
+        Counter::IncFrequentToInfrequent,
+        Counter::IncInfrequentToFrequent,
+        Counter::UnitsMined,
+        Counter::NodesMerged,
+        Counter::MinerExtensions,
+        Counter::MinerPatterns,
+    ];
+
+    /// Stable snake_case identifier used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::CandidatesGenerated => "candidates_generated",
+            Counter::IsoTestsRun => "iso_tests_run",
+            Counter::IsoTestsPruned => "iso_tests_pruned",
+            Counter::VerifiedFrequent => "verified_frequent",
+            Counter::VerifiedInfrequent => "verified_infrequent",
+            Counter::KnownSkipped => "known_skipped",
+            Counter::BoundShortcut => "bound_shortcut",
+            Counter::PruneSetHits => "prune_set_hits",
+            Counter::IncUnchangedFrequent => "inc_unchanged_frequent",
+            Counter::IncFrequentToInfrequent => "inc_frequent_to_infrequent",
+            Counter::IncInfrequentToFrequent => "inc_infrequent_to_frequent",
+            Counter::UnitsMined => "units_mined",
+            Counter::NodesMerged => "nodes_merged",
+            Counter::MinerExtensions => "miner_extensions",
+            Counter::MinerPatterns => "miner_patterns",
+        }
+    }
+
+    /// Looks a counter up by its report identifier.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+/// A fixed table of relaxed atomic event counters.
+#[derive(Debug, Default)]
+pub struct Counters {
+    slots: [AtomicU64; Counter::ALL.len()],
+}
+
+/// A point-in-time copy of a [`Counters`] table.
+pub type CounterSnapshot = Vec<(&'static str, u64)>;
+
+impl Counters {
+    /// A zeroed counter table.
+    pub const fn new() -> Self {
+        Counters { slots: [const { AtomicU64::new(0) }; Counter::ALL.len()] }
+    }
+
+    /// A shared sink that accepts increments and is never read.
+    ///
+    /// Un-instrumented call paths count into this so the counted and
+    /// uncounted variants of a function can share one implementation.
+    pub fn noop() -> &'static Counters {
+        static NOOP: Counters = Counters::new();
+        &NOOP
+    }
+
+    /// Adds `n` to a counter (relaxed).
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        self.slots[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one (relaxed).
+    #[inline]
+    pub fn bump(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Reads a counter (relaxed).
+    pub fn get(&self, c: Counter) -> u64 {
+        self.slots[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Adds every value from `other` into this table.
+    pub fn absorb(&self, other: &Counters) {
+        for c in Counter::ALL {
+            self.add(c, other.get(c));
+        }
+    }
+
+    /// Copies the current values out, in slot order.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        Counter::ALL.iter().map(|&c| (c.name(), self.get(c))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Counter::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn add_get_snapshot() {
+        let t = Counters::new();
+        t.bump(Counter::IsoTestsRun);
+        t.add(Counter::IsoTestsRun, 4);
+        t.add(Counter::PruneSetHits, 2);
+        assert_eq!(t.get(Counter::IsoTestsRun), 5);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), Counter::ALL.len());
+        assert!(snap.contains(&("iso_tests_run", 5)));
+        assert!(snap.contains(&("prune_set_hits", 2)));
+        assert!(snap.contains(&("candidates_generated", 0)));
+    }
+
+    #[test]
+    fn absorb_sums_tables() {
+        let a = Counters::new();
+        let b = Counters::new();
+        a.add(Counter::UnitsMined, 3);
+        b.add(Counter::UnitsMined, 4);
+        b.add(Counter::NodesMerged, 1);
+        a.absorb(&b);
+        assert_eq!(a.get(Counter::UnitsMined), 7);
+        assert_eq!(a.get(Counter::NodesMerged), 1);
+    }
+}

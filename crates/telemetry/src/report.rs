@@ -1,0 +1,282 @@
+//! Machine-readable run reports.
+
+use crate::counters::Counter;
+use crate::json::{JsonError, JsonValue};
+use crate::spans::{SpanRecord, Telemetry};
+
+/// Aggregated wall time for one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTotal {
+    /// Stage name (matches the span name, e.g. `unit_mine`).
+    pub name: String,
+    /// Summed wall time across the stage's spans, in nanoseconds.
+    pub total_ns: u64,
+    /// Number of spans contributing to the total.
+    pub count: u64,
+}
+
+/// A source of per-stage timings and counter totals — the common face of
+/// the pipeline's ad-hoc stats structs (`MineStats`, `IncStats`, …).
+pub trait ReportSource {
+    /// Stage wall-time totals this source can vouch for.
+    fn stage_totals(&self) -> Vec<StageTotal> {
+        Vec::new()
+    }
+
+    /// Counter totals this source can vouch for, by report name.
+    fn counter_totals(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
+/// A serializable summary of one mining run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Which algorithm produced the run (e.g. `partminer`).
+    pub algo: String,
+    /// Wall time from telemetry creation to report capture, nanoseconds.
+    pub total_ns: u64,
+    /// Per-stage totals, aggregated from top-level spans by name.
+    pub stages: Vec<StageTotal>,
+    /// Final counter table, in slot order.
+    pub counters: Vec<(String, u64)>,
+    /// The raw span log.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl RunReport {
+    /// Captures a report from a live telemetry handle.
+    ///
+    /// Stage totals come from *top-level* spans (no parent) grouped by
+    /// name, so on a serial run they partition the total wall time.
+    pub fn capture(algo: &str, tel: &Telemetry) -> RunReport {
+        let spans = tel.spans();
+        let mut stages: Vec<StageTotal> = Vec::new();
+        for s in spans.iter().filter(|s| s.parent.is_none()) {
+            match stages.iter_mut().find(|st| st.name == s.name) {
+                Some(st) => {
+                    st.total_ns += s.dur_ns;
+                    st.count += 1;
+                }
+                None => {
+                    stages.push(StageTotal { name: s.name.clone(), total_ns: s.dur_ns, count: 1 })
+                }
+            }
+        }
+        RunReport {
+            algo: algo.to_string(),
+            total_ns: tel.elapsed_ns(),
+            stages,
+            counters: tel
+                .counters()
+                .snapshot()
+                .into_iter()
+                .map(|(name, v)| (name.to_string(), v))
+                .collect(),
+            spans,
+        }
+    }
+
+    /// Folds a stats struct's totals in: stages merge by name, counters
+    /// add by name (unknown counter names are appended verbatim).
+    pub fn absorb(&mut self, src: &dyn ReportSource) {
+        for st in src.stage_totals() {
+            match self.stages.iter_mut().find(|s| s.name == st.name) {
+                Some(existing) => {
+                    existing.total_ns += st.total_ns;
+                    existing.count += st.count;
+                }
+                None => self.stages.push(st),
+            }
+        }
+        for (name, v) in src.counter_totals() {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, existing)) => *existing += v,
+                None => self.counters.push((name.to_string(), v)),
+            }
+        }
+    }
+
+    /// The value of a counter by report name (0 when absent).
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.iter().find(|(n, _)| n == c.name()).map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    /// Summed wall time of one stage (0 when absent).
+    pub fn stage_ns(&self, name: &str) -> u64 {
+        self.stages.iter().find(|s| s.name == name).map(|s| s.total_ns).unwrap_or(0)
+    }
+
+    /// Serializes the report as a single JSON document.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<u64>| match v {
+            Some(n) => JsonValue::Num(n),
+            None => JsonValue::Null,
+        };
+        JsonValue::Obj(vec![
+            ("algo".into(), JsonValue::Str(self.algo.clone())),
+            ("total_ns".into(), JsonValue::Num(self.total_ns)),
+            (
+                "stages".into(),
+                JsonValue::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            JsonValue::Obj(vec![
+                                ("name".into(), JsonValue::Str(s.name.clone())),
+                                ("total_ns".into(), JsonValue::Num(s.total_ns)),
+                                ("count".into(), JsonValue::Num(s.count)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".into(),
+                JsonValue::Obj(
+                    self.counters.iter().map(|(n, v)| (n.clone(), JsonValue::Num(*v))).collect(),
+                ),
+            ),
+            (
+                "spans".into(),
+                JsonValue::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            JsonValue::Obj(vec![
+                                ("id".into(), JsonValue::Num(s.id)),
+                                ("parent".into(), opt(s.parent)),
+                                ("name".into(), JsonValue::Str(s.name.clone())),
+                                ("node".into(), opt(s.node)),
+                                ("thread".into(), JsonValue::Str(s.thread.clone())),
+                                ("start_ns".into(), JsonValue::Num(s.start_ns)),
+                                ("dur_ns".into(), JsonValue::Num(s.dur_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parses a report previously produced by [`RunReport::to_json`].
+    pub fn from_json(text: &str) -> Result<RunReport, JsonError> {
+        let bad = |msg: &'static str| JsonError { at: 0, msg };
+        let v = JsonValue::parse(text)?;
+        let num = |v: Option<&JsonValue>, msg| v.and_then(JsonValue::as_num).ok_or(bad(msg));
+        let opt_num = |v: Option<&JsonValue>, msg: &'static str| match v {
+            Some(JsonValue::Null) | None => Ok(None),
+            Some(other) => other.as_num().map(Some).ok_or(bad(msg)),
+        };
+        let text_of = |v: Option<&JsonValue>, msg| {
+            v.and_then(JsonValue::as_str).map(str::to_string).ok_or(bad(msg))
+        };
+
+        let mut stages = Vec::new();
+        for s in v.field("stages").and_then(JsonValue::as_arr).ok_or(bad("missing stages"))? {
+            stages.push(StageTotal {
+                name: text_of(s.field("name"), "stage name")?,
+                total_ns: num(s.field("total_ns"), "stage total_ns")?,
+                count: num(s.field("count"), "stage count")?,
+            });
+        }
+        let counters = v
+            .field("counters")
+            .and_then(JsonValue::as_obj)
+            .ok_or(bad("missing counters"))?
+            .iter()
+            .map(|(n, v)| Ok((n.clone(), v.as_num().ok_or(bad("counter value"))?)))
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let mut spans = Vec::new();
+        for s in v.field("spans").and_then(JsonValue::as_arr).ok_or(bad("missing spans"))? {
+            spans.push(SpanRecord {
+                id: num(s.field("id"), "span id")?,
+                parent: opt_num(s.field("parent"), "span parent")?,
+                name: text_of(s.field("name"), "span name")?,
+                node: opt_num(s.field("node"), "span node")?,
+                thread: text_of(s.field("thread"), "span thread")?,
+                start_ns: num(s.field("start_ns"), "span start_ns")?,
+                dur_ns: num(s.field("dur_ns"), "span dur_ns")?,
+            });
+        }
+        Ok(RunReport {
+            algo: text_of(v.field("algo"), "missing algo")?,
+            total_ns: num(v.field("total_ns"), "missing total_ns")?,
+            stages,
+            counters,
+            spans,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Counter;
+
+    #[test]
+    fn capture_groups_top_level_spans() {
+        let tel = Telemetry::new();
+        {
+            let _p = tel.span("partition");
+        }
+        for node in 0..3 {
+            let _u = tel.span_node("unit_mine", node);
+        }
+        {
+            let _m = tel.span("merge_join");
+            let _inner = tel.span("check_frequency"); // nested: not a stage
+        }
+        tel.counters().add(Counter::CandidatesGenerated, 7);
+        let report = RunReport::capture("partminer", &tel);
+        assert_eq!(report.algo, "partminer");
+        let unit = report.stages.iter().find(|s| s.name == "unit_mine").unwrap();
+        assert_eq!(unit.count, 3);
+        assert!(report.stages.iter().all(|s| s.name != "check_frequency"));
+        assert_eq!(report.counter(Counter::CandidatesGenerated), 7);
+        assert_eq!(report.spans.len(), 6);
+        // Top-level stages partition the run: their sum cannot exceed the
+        // total wall time on a serial run.
+        let staged: u64 = report.stages.iter().map(|s| s.total_ns).sum();
+        assert!(staged <= report.total_ns);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_report() {
+        let tel = Telemetry::new();
+        {
+            let _p = tel.span("partition");
+            let _u = tel.span_node("unit_mine", 2);
+        }
+        tel.counters().add(Counter::IsoTestsRun, 11);
+        tel.counters().add(Counter::VerifiedFrequent, 3);
+        let report = RunReport::capture("incpartminer", &tel);
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn absorb_merges_stats() {
+        struct Fake;
+        impl ReportSource for Fake {
+            fn stage_totals(&self) -> Vec<StageTotal> {
+                vec![StageTotal { name: "partition".into(), total_ns: 50, count: 1 }]
+            }
+            fn counter_totals(&self) -> Vec<(&'static str, u64)> {
+                vec![(Counter::CandidatesGenerated.name(), 5), ("custom_total", 2)]
+            }
+        }
+        let tel = Telemetry::new();
+        {
+            let _p = tel.span("partition");
+        }
+        tel.counters().add(Counter::CandidatesGenerated, 1);
+        let mut report = RunReport::capture("partminer", &tel);
+        let base_partition = report.stage_ns("partition");
+        report.absorb(&Fake);
+        assert_eq!(report.stage_ns("partition"), base_partition + 50);
+        assert_eq!(report.counter(Counter::CandidatesGenerated), 6);
+        assert!(report.counters.iter().any(|(n, v)| n == "custom_total" && *v == 2));
+    }
+}

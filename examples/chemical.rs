@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example chemical`
 
 use graphmine_graph::{Graph, GraphDb};
-use graphmine_miner::{closed_patterns, maximal_patterns, Gaston, GSpan, MemoryMiner};
+use graphmine_miner::{closed_patterns, maximal_patterns, GSpan, Gaston, MemoryMiner};
 
 // Atom labels.
 const C: u32 = 0;

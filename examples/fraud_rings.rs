@@ -45,14 +45,8 @@ fn ring(seed: u32) -> Graph {
 
 fn main() {
     // 300 neighbourhoods, 12% of which carry the ring motif.
-    let db: GraphDb = (0..300u32)
-        .map(|i| if i % 8 == 0 { ring(i) } else { ordinary(i) })
-        .collect();
-    println!(
-        "transaction neighbourhoods: {} graphs, {} transfers",
-        db.len(),
-        db.total_edges()
-    );
+    let db: GraphDb = (0..300u32).map(|i| if i % 8 == 0 { ring(i) } else { ordinary(i) }).collect();
+    println!("transaction neighbourhoods: {} graphs, {} transfers", db.len(), db.total_edges());
 
     // Motifs present in at least 10% of neighbourhoods.
     let sup = db.abs_support(0.10);
@@ -61,22 +55,14 @@ fn main() {
     assert!(fsg.same_codes_and_supports(&gspan), "FSG and gSpan agree");
 
     let closed = closed_patterns(&fsg);
-    println!(
-        "{} frequent motifs, {} closed — reporting the closed ones:",
-        fsg.len(),
-        closed.len()
-    );
+    println!("{} frequent motifs, {} closed — reporting the closed ones:", fsg.len(), closed.len());
     let mut sorted: Vec<_> = closed.iter().collect();
     sorted.sort_by(|a, b| b.size().cmp(&a.size()).then(b.support.cmp(&a.support)));
     for p in &sorted {
         let g = &p.graph;
         let mules = (0..g.vertex_count() as u32).filter(|&v| g.vlabel(v) == MULE).count();
         let cyclic = g.edge_count() >= g.vertex_count();
-        let tag = if cyclic && mules >= 2 {
-            "  <-- RING: cycle through mule accounts"
-        } else {
-            ""
-        };
+        let tag = if cyclic && mules >= 2 { "  <-- RING: cycle through mule accounts" } else { "" };
         println!(
             "  support {:>4}  {} parties / {} transfers{}",
             p.support,
@@ -89,7 +75,8 @@ fn main() {
     // The planted ring must surface as a closed cyclic motif.
     let found_ring = closed.iter().any(|p| {
         p.graph.edge_count() >= p.graph.vertex_count()
-            && (0..p.graph.vertex_count() as u32).filter(|&v| p.graph.vlabel(v) == MULE).count() >= 2
+            && (0..p.graph.vertex_count() as u32).filter(|&v| p.graph.vlabel(v) == MULE).count()
+                >= 2
     });
     assert!(found_ring, "ring motif detected");
     println!("\nring motif detected in {:.0}% of neighbourhoods", 100.0 / 8.0);

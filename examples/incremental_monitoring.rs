@@ -9,7 +9,9 @@ use std::time::Instant;
 
 use graphmine_adimine::{AdiConfig, AdiMine};
 use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig, PartitionerKind};
-use graphmine_datagen::{generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams};
+use graphmine_datagen::{
+    generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams,
+};
 use graphmine_graph::update::apply_all;
 use graphmine_partition::Criteria;
 

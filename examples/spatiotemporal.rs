@@ -74,7 +74,10 @@ fn tick_updates(db: &GraphDb, tick: u32) -> Vec<DbUpdate> {
         if gid % 7 == tick % 7 {
             let (a, b) = (MOBILES[tick as usize % 3], MOBILES[(tick as usize + 1) % 3]);
             if g.edge_between(a, b).is_none() {
-                plan.push(DbUpdate { gid, update: GraphUpdate::AddEdge { u: a, v: b, label: NEAR } });
+                plan.push(DbUpdate {
+                    gid,
+                    update: GraphUpdate::AddEdge { u: a, v: b, label: NEAR },
+                });
             }
         }
     }

@@ -4,7 +4,9 @@
 
 use graphmine_adimine::{AdiConfig, AdiMine};
 use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig};
-use graphmine_datagen::{generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams};
+use graphmine_datagen::{
+    generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams,
+};
 use graphmine_graph::update::apply_all;
 use graphmine_miner::{GSpan, MemoryMiner};
 
@@ -17,8 +19,7 @@ fn dynamic_lifecycle_stays_consistent_across_batches() {
     let mut mirror = db0.clone();
     let mut batches = Vec::new();
     for round in 0..3u64 {
-        let params =
-            UpdateParams::new(0.3, 2, UpdateKind::Mixed, 4).with_seed(round * 7919 + 13);
+        let params = UpdateParams::new(0.3, 2, UpdateKind::Mixed, 4).with_seed(round * 7919 + 13);
         let plan = plan_updates(&mirror, &params);
         apply_all(&mut mirror, &plan).unwrap();
         batches.push(plan);

@@ -2,7 +2,9 @@
 //! update workloads (Section 5's three update types, 20%–80% amounts).
 
 use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig};
-use graphmine_datagen::{generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams};
+use graphmine_datagen::{
+    generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams,
+};
 use graphmine_graph::update::apply_all;
 use graphmine_graph::GraphDb;
 use graphmine_miner::{GSpan, MemoryMiner};
@@ -91,10 +93,7 @@ fn incremental_work_scales_with_update_amount() {
         let inc = IncPartMiner::update(&mut state, &plan).unwrap();
         remined.push(inc.stats.units_remined);
     }
-    assert!(
-        remined[0] <= remined[1],
-        "more updates should not touch fewer units: {remined:?}"
-    );
+    assert!(remined[0] <= remined[1], "more updates should not touch fewer units: {remined:?}");
 }
 
 #[test]

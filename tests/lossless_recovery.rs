@@ -7,7 +7,9 @@
 //!   the paper evaluates (Theorem 3).
 
 use graphmine_core::{JoinPolicy, PartMiner, PartMinerConfig, PartitionerKind};
-use graphmine_datagen::{generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams};
+use graphmine_datagen::{
+    generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams,
+};
 use graphmine_graph::GraphDb;
 use graphmine_miner::{GSpan, MemoryMiner};
 use graphmine_partition::{Criteria, DbPartition, GraphPart, MetisLike};
@@ -36,12 +38,7 @@ fn partition_tree_recovers_graphs_for_every_partitioner() {
             for gid in 0..db.len() as u32 {
                 let rec = part.recovered_graph(gid);
                 let orig = db.graph(gid);
-                assert_eq!(
-                    rec.edge_count(),
-                    orig.edge_count(),
-                    "{} k={k} gid={gid}",
-                    p.name()
-                );
+                assert_eq!(rec.edge_count(), orig.edge_count(), "{} k={k} gid={gid}", p.name());
                 for (e, u, v, el) in orig.edges() {
                     assert_eq!(rec.edge(e), (u, v, el), "{} k={k} gid={gid}", p.name());
                 }
@@ -101,8 +98,12 @@ fn paper_join_policy_is_sound_and_near_complete() {
     }
     // The paper policy may miss cross-only patterns, but must find at least
     // all single edges and the overwhelming majority of the set.
-    assert!(outcome.patterns.len() * 10 >= reference.len() * 9,
-        "paper policy recovered {} of {}", outcome.patterns.len(), reference.len());
+    assert!(
+        outcome.patterns.len() * 10 >= reference.len() * 9,
+        "paper policy recovered {} of {}",
+        outcome.patterns.len(),
+        reference.len()
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@ use graphmine_adimine::{AdiConfig, AdiMine};
 use graphmine_core::{PartMiner, PartMinerConfig};
 use graphmine_datagen::{generate, GenParams};
 use graphmine_graph::GraphDb;
-use graphmine_miner::{Apriori, Gaston, GSpan, MemoryMiner};
+use graphmine_miner::{Apriori, GSpan, Gaston, MemoryMiner};
 
 fn synthetic_db() -> GraphDb {
     generate(&GenParams::new(60, 8, 5, 10, 3))

@@ -1,0 +1,103 @@
+//! Integration: the telemetry `RunReport` must reconcile with the pattern
+//! sets and ad-hoc stats the pipeline returns — counters are not decorative.
+
+use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig};
+use graphmine_datagen::{
+    generate, plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams,
+};
+use graphmine_graph::GraphDb;
+use graphmine_telemetry::{Counter, RunReport, Telemetry};
+
+fn synthetic_db() -> GraphDb {
+    generate(&GenParams::new(60, 10, 5, 10, 4))
+}
+
+fn zero_ufreq(db: &GraphDb) -> Vec<Vec<f64>> {
+    db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect()
+}
+
+/// With `k = 2` exactly one merge-join runs and its output *is* the final
+/// pattern set, so `verified_frequent` must equal `patterns.len()`.
+fn check_partminer(exact_supports: bool) {
+    let db = synthetic_db();
+    let sup = db.abs_support(0.1);
+    let mut cfg = PartMinerConfig::with_k(2);
+    cfg.exact_supports = exact_supports;
+
+    let tel = Telemetry::new();
+    let outcome = PartMiner::new(cfg).mine_instrumented(&db, &zero_ufreq(&db), sup, &tel);
+    let report = RunReport::capture("partminer", &tel);
+
+    assert_eq!(
+        report.counter(Counter::VerifiedFrequent),
+        outcome.patterns.len() as u64,
+        "exact_supports={exact_supports}: every reported pattern was verified exactly once"
+    );
+    assert_eq!(report.counter(Counter::UnitsMined), 2);
+    assert_eq!(report.counter(Counter::NodesMerged), 1);
+
+    // The ad-hoc MergeStats and the telemetry counters tally the same events.
+    assert_eq!(report.counter(Counter::CandidatesGenerated), outcome.stats.merge.candidates as u64);
+    assert_eq!(report.counter(Counter::BoundShortcut), outcome.stats.merge.shortcut as u64);
+    assert_eq!(report.counter(Counter::KnownSkipped), outcome.stats.merge.known_skipped as u64);
+
+    // Serial run: the top-level stages partition the wall time.
+    for stage in ["partition", "unit_mine", "merge_join"] {
+        assert!(report.stage_ns(stage) > 0, "stage {stage} missing");
+    }
+    let staged: u64 = report.stages.iter().map(|s| s.total_ns).sum();
+    assert!(staged <= report.total_ns, "stages exceed total on a serial run");
+    assert!(
+        staged * 100 >= report.total_ns * 95,
+        "stages cover <95% of the run: {staged} of {}",
+        report.total_ns
+    );
+
+    // The JSON form is lossless.
+    let parsed = RunReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn partminer_report_reconciles_exact() {
+    check_partminer(true);
+}
+
+#[test]
+fn partminer_report_reconciles_shortcut() {
+    check_partminer(false);
+}
+
+#[test]
+fn incpartminer_report_reconciles() {
+    let db = synthetic_db();
+    let plan = plan_updates(&db, &UpdateParams::new(0.3, 2, UpdateKind::Mixed, 5));
+    let ufreq = ufreq_from_updates(&db, &plan);
+    let sup = db.abs_support(0.1);
+    let mut cfg = PartMinerConfig::with_k(2);
+    cfg.exact_supports = true;
+
+    let outcome = PartMiner::new(cfg).mine(&db, &ufreq, sup);
+    let mut state = outcome.state;
+    let tel = Telemetry::new();
+    let inc = IncPartMiner::update_instrumented(&mut state, &plan, &tel).unwrap();
+    let report = RunReport::capture("incpartminer", &tel);
+
+    // The UF/FI/IF classification tallies match the returned sets.
+    assert_eq!(report.counter(Counter::IncUnchangedFrequent), inc.uf.len() as u64);
+    assert_eq!(report.counter(Counter::IncFrequentToInfrequent), inc.fi.len() as u64);
+    assert_eq!(report.counter(Counter::IncInfrequentToFrequent), inc.if_new.len() as u64);
+    assert_eq!(report.counter(Counter::UnitsMined), inc.stats.units_remined as u64);
+
+    // Re-merging at the root verifies exactly the final pattern set.
+    assert_eq!(report.counter(Counter::VerifiedFrequent), inc.patterns.len() as u64);
+
+    // Stage accounting: one inc_remine span per re-mined unit, and the
+    // re-merge appears as the single top-level merge_join span.
+    let remine = report.stages.iter().find(|s| s.name == "inc_remine").unwrap();
+    assert_eq!(remine.count, inc.stats.units_remined as u64);
+    assert_eq!(report.stages.iter().find(|s| s.name == "merge_join").unwrap().count, 1);
+
+    let parsed = RunReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+}

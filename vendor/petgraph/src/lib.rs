@@ -1,0 +1,155 @@
+//! Offline shim for `petgraph`: just the undirected `UnGraph` surface the
+//! interop layer uses — adjacency-list construction, positional indices,
+//! weight lookup by index, and edge-endpoint queries.
+
+/// Graph types and indices.
+pub mod graph {
+    use std::ops::{Index, IndexMut};
+
+    /// Positional node index.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct NodeIndex(pub u32);
+
+    impl NodeIndex {
+        /// Builds an index from a position.
+        pub fn new(i: usize) -> Self {
+            NodeIndex(i as u32)
+        }
+
+        /// The underlying position.
+        pub fn index(self) -> usize {
+            self.0 as usize
+        }
+    }
+
+    /// Positional edge index.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct EdgeIndex(pub u32);
+
+    impl EdgeIndex {
+        /// Builds an index from a position.
+        pub fn new(i: usize) -> Self {
+            EdgeIndex(i as u32)
+        }
+
+        /// The underlying position.
+        pub fn index(self) -> usize {
+            self.0 as usize
+        }
+    }
+
+    /// An undirected graph with node weights `N` and edge weights `E`.
+    #[derive(Debug, Clone, Default)]
+    pub struct UnGraph<N, E> {
+        nodes: Vec<N>,
+        edges: Vec<(NodeIndex, NodeIndex, E)>,
+    }
+
+    impl<N, E> UnGraph<N, E> {
+        /// An empty undirected graph.
+        pub fn new_undirected() -> Self {
+            UnGraph { nodes: Vec::new(), edges: Vec::new() }
+        }
+
+        /// An empty graph with reserved capacity.
+        pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+            UnGraph { nodes: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
+        }
+
+        /// Adds a node, returning its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            NodeIndex((self.nodes.len() - 1) as u32)
+        }
+
+        /// Adds an edge (parallel edges and self-loops are representable,
+        /// as in upstream petgraph), returning its index.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(a.index() < self.nodes.len() && b.index() < self.nodes.len());
+            self.edges.push((a, b, weight));
+            EdgeIndex((self.edges.len() - 1) as u32)
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// All node indices in insertion order.
+        pub fn node_indices(&self) -> impl Iterator<Item = NodeIndex> {
+            (0..self.nodes.len() as u32).map(NodeIndex)
+        }
+
+        /// All edge indices in insertion order.
+        pub fn edge_indices(&self) -> impl Iterator<Item = EdgeIndex> {
+            (0..self.edges.len() as u32).map(EdgeIndex)
+        }
+
+        /// The endpoints of an edge.
+        pub fn edge_endpoints(&self, e: EdgeIndex) -> Option<(NodeIndex, NodeIndex)> {
+            self.edges.get(e.index()).map(|&(a, b, _)| (a, b))
+        }
+
+        /// A node's weight.
+        pub fn node_weight(&self, n: NodeIndex) -> Option<&N> {
+            self.nodes.get(n.index())
+        }
+
+        /// An edge's weight.
+        pub fn edge_weight(&self, e: EdgeIndex) -> Option<&E> {
+            self.edges.get(e.index()).map(|(_, _, w)| w)
+        }
+    }
+
+    impl<N, E> Index<NodeIndex> for UnGraph<N, E> {
+        type Output = N;
+
+        fn index(&self, n: NodeIndex) -> &N {
+            &self.nodes[n.index()]
+        }
+    }
+
+    impl<N, E> IndexMut<NodeIndex> for UnGraph<N, E> {
+        fn index_mut(&mut self, n: NodeIndex) -> &mut N {
+            &mut self.nodes[n.index()]
+        }
+    }
+
+    impl<N, E> Index<EdgeIndex> for UnGraph<N, E> {
+        type Output = E;
+
+        fn index(&self, e: EdgeIndex) -> &E {
+            &self.edges[e.index()].2
+        }
+    }
+
+    impl<N, E> IndexMut<EdgeIndex> for UnGraph<N, E> {
+        fn index_mut(&mut self, e: EdgeIndex) -> &mut E {
+            &mut self.edges[e.index()].2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::graph::UnGraph;
+
+    #[test]
+    fn build_and_query() {
+        let mut g: UnGraph<u32, u32> = UnGraph::new_undirected();
+        let a = g.add_node(5);
+        let b = g.add_node(7);
+        let e = g.add_edge(a, b, 11);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g[a], 5);
+        assert_eq!(g[e], 11);
+        assert_eq!(g.edge_endpoints(e), Some((a, b)));
+        assert_eq!(g.node_indices().count(), 2);
+    }
+}

@@ -1,0 +1,542 @@
+//! Offline shim for `proptest`: the strategy combinators and macros this
+//! workspace's property tests use, backed by deterministic randomized
+//! generation.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case number and seed instead of a minimized input), and generation is
+//! seeded from the test name so runs are reproducible; set
+//! `PROPTEST_SEED=<u64>` to explore a different stream.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The deterministic generator behind every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a test name (stable FNV-1a), XORed with
+    /// `PROPTEST_SEED` when set.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Some(extra) = std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse::<u64>().ok())
+        {
+            h ^= extra;
+        }
+        TestRng { state: h }
+    }
+
+    /// The seed the generator started from (for failure reports).
+    pub fn seed(&self) -> u64 {
+        self.state
+    }
+
+    /// Next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (`bound > 0`).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values (upstream's `Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe strategy view used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws a uniform value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategy generating any value of `T` (upstream `any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add((((rng.next_u64() as u128) * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// A fixed-shape vector of independent strategies (upstream implements
+/// `Strategy` for `Vec<S>` the same way).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Weighted choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// A union of `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights summed")
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// Sentinel payload thrown by [`prop_assume!`]; the `proptest!` runner
+/// treats a case that unwinds with this as rejected, not failed.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct CaseRejected;
+
+/// Installs (once) a panic hook that stays silent for [`CaseRejected`]
+/// unwinds and defers to the previous hook for everything else.
+#[doc(hidden)]
+pub fn install_quiet_reject_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CaseRejected>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            std::panic::panic_any($crate::CaseRejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Property assertion (plain `assert!` semantics in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares `#[test]` functions that run their body over random inputs
+/// drawn from the named strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::install_quiet_reject_hook();
+                let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let initial_seed = rng.seed();
+                $(let $arg = $strat;)+
+                for case in 0..config.cases {
+                    let case_seed = rng.seed();
+                    let result = {
+                        $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || { $body }))
+                    };
+                    if let Err(payload) = result {
+                        if payload.downcast_ref::<$crate::CaseRejected>().is_some() {
+                            continue; // prop_assume! rejected the case
+                        }
+                        eprintln!(
+                            "proptest {}: case {}/{} failed (block seed {:#x}, case seed {:#x}); \
+                             rerun with PROPTEST_SEED to vary the stream",
+                            stringify!($name), case + 1, config.cases, initial_seed, case_seed,
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        let s = crate::collection::vec(3u32..9, 2..=5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|x| (3..9).contains(x)));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::for_test("combinators");
+        let s = (1usize..4)
+            .prop_flat_map(|n| {
+                let parts: Vec<BoxedStrategy<usize>> = (0..n).map(|i| (0..i + 1).boxed()).collect();
+                (Just(n), parts)
+            })
+            .prop_map(|(n, parts)| (n, parts.len()));
+        for _ in 0..100 {
+            let (n, len) = s.generate(&mut rng);
+            assert_eq!(n, len);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::for_test("oneof");
+        let s = prop_oneof![
+            2 => Just(0u8),
+            1 => (1u8..3).prop_map(|x| x),
+        ];
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 0u32..10, ys in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(ys.len() < 4, "len {}", ys.len());
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

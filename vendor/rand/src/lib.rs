@@ -1,0 +1,208 @@
+//! Offline shim for `rand` 0.9: the `Rng`/`SeedableRng` surface this
+//! workspace uses (`random`, `random_range`, `random_bool`) backed by a
+//! SplitMix64 generator. Deterministic per seed; the stream differs from
+//! upstream `StdRng` (ChaCha12), which no caller here depends on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable constructors.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types samplable uniformly from the full value domain via `Rng::random`.
+pub trait Random {
+    /// Draws a uniform value.
+    fn random_from(rng: &mut impl RngCore) -> Self;
+}
+
+impl Random for u8 {
+    fn random_from(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Random for u32 {
+    fn random_from(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for u64 {
+    fn random_from(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for usize {
+    fn random_from(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for bool {
+    fn random_from(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn random_from(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable with `Rng::random_range`.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform draw from `[low, high]`, both bounds inclusive.
+    fn sample_inclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high)`; callers guarantee `low < high`.
+    fn sample_exclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_inclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                let span = (high as i128 - low as i128) as u128 + 1;
+                // Multiply-shift mapping (Lemire); the bias per draw is
+                // below 2^-64, irrelevant for synthetic data.
+                let x = rng.next_u64() as u128;
+                low.wrapping_add(((x * span) >> 64) as $t)
+            }
+
+            #[inline]
+            fn sample_exclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+                debug_assert!(low < high);
+                let span = (high as i128 - low as i128) as u128;
+                let x = rng.next_u64() as u128;
+                low.wrapping_add(((x * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by `Rng::random_range`.
+pub trait SampleRange<T> {
+    /// Draws a value from the range; panics if it is empty.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// High-level convenience methods; blanket-implemented for every core
+/// generator.
+pub trait Rng: RngCore + Sized {
+    /// A uniform value over the type's natural domain (`[0,1)` for `f64`).
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// A uniform value from `range`; panics on empty ranges.
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = rng.random_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: usize = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_values_cover_the_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

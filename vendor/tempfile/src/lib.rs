@@ -1,0 +1,85 @@
+//! Offline shim for `tempfile`: unique temporary directories with
+//! best-effort recursive cleanup on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{fs, io};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root, removed recursively on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persists the directory (disables cleanup) and returns its path.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+
+    /// Removes the directory now, reporting errors instead of ignoring
+    /// them as the `Drop` impl does.
+    pub fn close(self) -> io::Result<()> {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        fs::remove_dir_all(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh directory under [`std::env::temp_dir`].
+pub fn tempdir() -> io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    // Process id + monotonic counter + a time component make collisions
+    // with concurrent test processes practically impossible; loop anyway.
+    for _ in 0..64 {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let name = format!(
+            ".tmp-{}-{}-{nanos:x}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        );
+        let path = base.join(name);
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(io::ErrorKind::AlreadyExists, "could not create unique temp dir"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        fs::write(kept.join("x"), b"hello").unwrap();
+        drop(a);
+        assert!(!kept.exists(), "dropped TempDir removes its tree");
+        assert!(b.path().is_dir());
+    }
+}
