@@ -1,0 +1,131 @@
+//! Benchmark: list-based vs search-based candidate counting.
+//!
+//! Compares PartMiner's merge-join and the Apriori miner with the embedding-
+//! list support engine on and off, on a paper-style synthetic database. In
+//! addition to the usual criterion console output, the run writes a
+//! machine-readable summary — median wall times plus the engine's telemetry
+//! counters — to `BENCH_embeddings.json` (override the path with the
+//! `BENCH_EMBEDDINGS_OUT` environment variable; set `BENCH_QUICK=1` for the
+//! CI smoke configuration, which shrinks the database and sample count).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_core::{PartMiner, PartMinerConfig};
+use graphmine_datagen::{generate, GenParams};
+use graphmine_graph::{EmbeddingMode, GraphDb};
+use graphmine_miner::{Apriori, MemoryMiner};
+use graphmine_telemetry::{Counter, JsonValue, Telemetry};
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+fn bench_db() -> GraphDb {
+    let d = if quick() { 80 } else { 400 };
+    generate(&GenParams::new(d, 12, 6, 20, 5).with_seed(2006))
+}
+
+fn partminer_run(db: &GraphDb, mode: EmbeddingMode, tel: &Telemetry) -> Duration {
+    let ufreq: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+    let mut cfg = PartMinerConfig::with_k(2);
+    cfg.exact_supports = true;
+    cfg.embedding_lists = mode;
+    let sup = db.abs_support(0.08);
+    let t = Instant::now();
+    let outcome = PartMiner::new(cfg).mine_instrumented(db, &ufreq, sup, tel);
+    let dt = t.elapsed();
+    assert!(!outcome.patterns.is_empty());
+    dt
+}
+
+fn apriori_run(db: &GraphDb, mode: EmbeddingMode, tel: &Telemetry) -> Duration {
+    let miner = Apriori { max_edges: Some(4), embedding_lists: mode };
+    let sup = db.abs_support(0.08);
+    let t = Instant::now();
+    let patterns = miner.mine_counted(db, sup, tel.counters());
+    let dt = t.elapsed();
+    assert!(!patterns.is_empty());
+    dt
+}
+
+/// Runs `f` several times, returning the median wall time and the counter
+/// totals of one representative (final) run.
+fn measure(
+    db: &GraphDb,
+    mode: EmbeddingMode,
+    f: fn(&GraphDb, EmbeddingMode, &Telemetry) -> Duration,
+) -> (Duration, Vec<(&'static str, u64)>) {
+    let samples = if quick() { 3 } else { 7 };
+    let mut times = Vec::with_capacity(samples);
+    let mut counters = Vec::new();
+    for _ in 0..samples {
+        let tel = Telemetry::new();
+        times.push(f(db, mode, &tel));
+        counters = tel.counters().snapshot();
+    }
+    times.sort();
+    (times[times.len() / 2], counters)
+}
+
+fn engine_counters(snapshot: &[(&'static str, u64)]) -> Vec<(String, JsonValue)> {
+    [
+        Counter::SearchCalls,
+        Counter::SearchCallsAvoided,
+        Counter::EmbeddingsExtended,
+        Counter::EmbeddingsSpilled,
+        Counter::IsoTestsRun,
+    ]
+    .iter()
+    .map(|c| {
+        let v = snapshot.iter().find(|(n, _)| *n == c.name()).map_or(0, |&(_, v)| v);
+        (c.name().to_string(), JsonValue::Num(v))
+    })
+    .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let db = bench_db();
+
+    // Criterion console comparison (one timed sample per iteration).
+    let mut g = c.benchmark_group("embedding_lists");
+    g.sample_size(if quick() { 2 } else { 10 });
+    for (label, mode) in [("off", EmbeddingMode::Off), ("on", EmbeddingMode::On)] {
+        g.bench_function(format!("partminer_lists_{label}"), |b| {
+            b.iter(|| partminer_run(&db, mode, &Telemetry::new()))
+        });
+        g.bench_function(format!("apriori_lists_{label}"), |b| {
+            b.iter(|| apriori_run(&db, mode, &Telemetry::new()))
+        });
+    }
+    g.finish();
+
+    // Machine-readable summary for CI artifacts and regression tracking.
+    let mut entries = Vec::new();
+    for (name, f) in [
+        ("partminer", partminer_run as fn(&GraphDb, EmbeddingMode, &Telemetry) -> Duration),
+        ("apriori", apriori_run),
+    ] {
+        for (label, mode) in [("off", EmbeddingMode::Off), ("on", EmbeddingMode::On)] {
+            let (median, counters) = measure(&db, mode, f);
+            entries.push(JsonValue::Obj(vec![
+                ("bench".into(), JsonValue::Str(format!("{name}_lists_{label}"))),
+                ("median_ns".into(), JsonValue::Num(median.as_nanos() as u64)),
+                ("counters".into(), JsonValue::Obj(engine_counters(&counters))),
+            ]));
+        }
+    }
+    let doc = JsonValue::Obj(vec![
+        ("suite".into(), JsonValue::Str("embedding_lists".into())),
+        ("quick".into(), JsonValue::Str(quick().to_string())),
+        ("graphs".into(), JsonValue::Num(db.len() as u64)),
+        ("results".into(), JsonValue::Arr(entries)),
+    ]);
+    let out = std::env::var("BENCH_EMBEDDINGS_OUT")
+        .unwrap_or_else(|_| "BENCH_embeddings.json".to_string());
+    std::fs::write(&out, doc.to_json()).expect("write bench summary");
+    println!("bench summary written to {out}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

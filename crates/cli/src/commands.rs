@@ -7,7 +7,7 @@ use std::time::Instant;
 use graphmine_adimine::{AdiConfig, AdiMine};
 use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig, PartitionerKind, UnitMinerKind};
 use graphmine_datagen::{plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams};
-use graphmine_graph::{io as gio, pattern_io, GraphDb, PatternSet};
+use graphmine_graph::{io as gio, pattern_io, EmbeddingMode, GraphDb, PatternSet};
 use graphmine_miner::{
     closed_patterns, maximal_patterns, Apriori, Fsg, GSpan, Gaston, MemoryMiner,
 };
@@ -27,10 +27,15 @@ USAGE:
 
   graphmine mine FILE --minsup FRAC [--algo ALGO] [--k K] [--parallel]
                  [--criteria 1|2|3|metis] [--unit-miner gspan|gaston]
-                 [--max-edges M] [--closed | --maximal] [-o PATTERNS]
-                 [--report REPORT]
+                 [--max-edges M] [--embedding-lists on|off|auto]
+                 [--embedding-budget BYTES] [--closed | --maximal]
+                 [-o PATTERNS] [--report REPORT]
       Mine frequent subgraphs. ALGO: partminer (default), gspan, gaston,
       apriori, fsg, adimine. FRAC is relative (0.04 = 4%).
+      --embedding-lists controls the embedding-list support engine in
+      candidate counting (partminer merge-join and apriori); `auto`
+      (default) sizes its cache from the database, `off` always
+      re-searches. --embedding-budget caps the list cache in bytes.
       --closed/--maximal post-filter to closed or maximal patterns.
       --report writes a machine-readable run report (stage wall times,
       pipeline counters, span log) as JSON.
@@ -40,7 +45,8 @@ USAGE:
       Plan an update workload against a database.
 
   graphmine incremental FILE UPDATES --minsup FRAC [--k K]
-                 [--criteria 1|2|3|metis] [--report REPORT]
+                 [--criteria 1|2|3|metis] [--embedding-lists on|off|auto]
+                 [--embedding-budget BYTES] [--report REPORT]
       Mine, apply the updates incrementally, and report the UF/FI/IF
       pattern classes. --report writes the incremental round's run
       report as JSON.
@@ -117,6 +123,15 @@ fn load_db(path: &str) -> Result<GraphDb, String> {
 
 fn zero_ufreq(db: &GraphDb) -> Vec<Vec<f64>> {
     db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect()
+}
+
+/// Parses `--embedding-lists` / `--embedding-budget` into (mode, budget),
+/// defaulting to the config defaults when absent.
+fn embedding_args(args: &mut Args<'_>) -> Result<(EmbeddingMode, usize), String> {
+    let mode: EmbeddingMode = args.parsed("--embedding-lists")?.unwrap_or_default();
+    let budget: usize =
+        args.parsed("--embedding-budget")?.unwrap_or(graphmine_graph::DEFAULT_EMBEDDING_BUDGET);
+    Ok((mode, budget))
 }
 
 fn criteria_arg(args: &mut Args<'_>) -> Result<PartitionerKind, String> {
@@ -288,6 +303,7 @@ pub fn mine(raw: &[String]) -> CmdResult {
         Some(other) => return Err(format!("unknown unit miner `{other}`")),
     };
     let max_edges: Option<usize> = args.parsed("--max-edges")?;
+    let (embedding_lists, embedding_budget_bytes) = embedding_args(&mut args)?;
     let closed = args.flag("--closed");
     let maximal = args.flag("--maximal");
     if closed && maximal {
@@ -321,7 +337,7 @@ pub fn mine(raw: &[String]) -> CmdResult {
         }
         "apriori" => {
             let _span = tel.span("mine");
-            Apriori { max_edges }.mine_counted(&db, sup, tel.counters())
+            Apriori { max_edges, embedding_lists }.mine_counted(&db, sup, tel.counters())
         }
         "fsg" => {
             let _span = tel.span("mine");
@@ -348,6 +364,8 @@ pub fn mine(raw: &[String]) -> CmdResult {
                 unit_miner,
                 parallel,
                 max_edges,
+                embedding_lists,
+                embedding_budget_bytes,
                 ..PartMinerConfig::default()
             };
             let outcome = PartMiner::new(cfg).mine_instrumented(&db, &zero_ufreq(&db), sup, &tel);
@@ -427,6 +445,7 @@ pub fn incremental(raw: &[String]) -> CmdResult {
     let minsup: f64 = args.require("--minsup")?;
     let k: usize = args.parsed("--k")?.unwrap_or(2);
     let partitioner = criteria_arg(&mut args)?;
+    let (embedding_lists, embedding_budget_bytes) = embedding_args(&mut args)?;
     let report_path: Option<String> = args.parsed("--report")?;
     let pos = args.positionals();
     let [db_path, upd_path] = pos.as_slice() else {
@@ -439,7 +458,13 @@ pub fn incremental(raw: &[String]) -> CmdResult {
     let ufreq = ufreq_from_updates(&db, &plan);
     let sup = db.abs_support(minsup);
 
-    let cfg = PartMinerConfig { k, partitioner, ..PartMinerConfig::default() };
+    let cfg = PartMinerConfig {
+        k,
+        partitioner,
+        embedding_lists,
+        embedding_budget_bytes,
+        ..PartMinerConfig::default()
+    };
     let t = Instant::now();
     let outcome = PartMiner::new(cfg).mine(&db, &ufreq, sup);
     println!(

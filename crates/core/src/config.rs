@@ -1,6 +1,8 @@
 //! Configuration of the PartMiner pipeline.
 
-use graphmine_graph::{Graph, GraphDb, PatternSet, Support};
+use graphmine_graph::{
+    EmbeddingMode, Graph, GraphDb, PatternSet, Support, DEFAULT_EMBEDDING_BUDGET,
+};
 use graphmine_miner::{GSpan, Gaston, MemoryMiner};
 use graphmine_partition::{Bipartitioner, Criteria, GraphPart, MetisLike};
 use graphmine_telemetry::Counters;
@@ -113,6 +115,13 @@ pub struct PartMinerConfig {
     /// pre-update result are re-verified instead of being assumed
     /// unchanged. `false` reproduces the paper's pruning literally.
     pub verify_unchanged: bool,
+    /// Whether the merge-join's `CheckFrequency` keeps embedding lists
+    /// (incremental occurrence filtering) instead of re-searching every
+    /// candidate from scratch.
+    pub embedding_lists: EmbeddingMode,
+    /// Memory budget (bytes) for cached embedding lists; lists that would
+    /// exceed it spill and their candidates fall back to the search path.
+    pub embedding_budget_bytes: usize,
 }
 
 impl Default for PartMinerConfig {
@@ -126,6 +135,8 @@ impl Default for PartMinerConfig {
             max_edges: None,
             exact_supports: false,
             verify_unchanged: true,
+            embedding_lists: EmbeddingMode::default(),
+            embedding_budget_bytes: DEFAULT_EMBEDDING_BUDGET,
         }
     }
 }

@@ -18,12 +18,14 @@
 //!   incremental re-merging, candidates present in the pruned pre-update
 //!   result are moved straight to the frequent set.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rustc_hash::FxHashMap;
 
 use graphmine_graph::iso::SupportIndex;
-use graphmine_graph::{DfsCode, GraphDb, GraphId, Pattern, PatternSet, Support};
+use graphmine_graph::{
+    DfsCode, EmbeddingMode, EmbeddingStore, GraphDb, GraphId, Pattern, PatternSet, Support,
+};
 use graphmine_miner::extend::{one_edge_extensions, EdgeVocab};
 use graphmine_telemetry::{Counter, Counters, ReportSource, Telemetry};
 
@@ -50,6 +52,13 @@ pub struct MergeContext<'a> {
     /// Verify candidates on multiple threads (PartMiner's parallel mode
     /// extends to `CheckFrequency`: candidate counts are independent).
     pub parallel: bool,
+    /// Whether `CheckFrequency` keeps embedding lists: candidates are then
+    /// resolved by extending their parent's occurrence list instead of
+    /// re-running the embedding search per graph.
+    pub embedding_lists: EmbeddingMode,
+    /// Byte budget for cached embedding lists; a list pushing the cache over
+    /// this cap is spilled and its candidate falls back to the search path.
+    pub embedding_budget: usize,
     /// Optional telemetry sink: counters mirror [`MergeStats`] and a
     /// `check_frequency` span wraps each verification batch.
     pub telemetry: Option<&'a Telemetry>,
@@ -114,6 +123,14 @@ pub fn merge_join(
 ) -> (PatternSet, MergeStats) {
     let mut stats = MergeStats::default();
     let index = SupportIndex::build(ctx.db);
+    // The embedding-list engine for this node. Shared behind a mutex so the
+    // parallel verify path can build lists too; the lock only covers list
+    // construction — spill fallbacks search outside it.
+    let estore: Option<Mutex<EmbeddingStore<'_>>> = ctx.embedding_lists.enabled().then(|| {
+        let budget = ctx.embedding_lists.effective_budget(ctx.db, ctx.embedding_budget);
+        Mutex::new(EmbeddingStore::new(ctx.db, budget))
+    });
+    let estore = estore.as_ref();
 
     // Line 1: frequent 1-edge patterns of S, counted exactly, with their
     // exact supporter lists.
@@ -135,14 +152,17 @@ pub fn merge_join(
 
     match ctx.policy {
         JoinPolicy::Complete => {
-            complete_levels(ctx, &index, &vocab, &seeds, f1, &mut out, &mut stats)
+            complete_levels(ctx, &index, estore, &vocab, &seeds, f1, &mut out, &mut stats)
         }
         JoinPolicy::Paper => {
-            paper_levels(ctx, &index, &vocab, p0, p1, &seeds, &mut out, &mut stats)
+            paper_levels(ctx, &index, estore, &vocab, p0, p1, &seeds, &mut out, &mut stats)
         }
     }
     (out, stats)
 }
+
+/// The shared embedding-list store of one merge-join invocation.
+type SharedStore<'s, 'a> = Option<&'s Mutex<EmbeddingStore<'a>>>;
 
 /// Exact frequent single edges with their supporter lists.
 fn frequent_edges_with_gids(db: &GraphDb, min_support: Support) -> Vec<Live> {
@@ -182,10 +202,13 @@ enum Verdict {
 }
 
 /// Verifies one candidate: known-skip, then unit-support shortcut, then an
-/// exact count restricted to the parent's supporter superset.
+/// exact count — answered from the embedding-list engine when a list is
+/// available, falling back to the histogram-screened search restricted to
+/// the parent's supporter superset when the list spilled (or lists are off).
 fn verify(
     ctx: &MergeContext<'_>,
     index: &SupportIndex,
+    estore: SharedStore<'_, '_>,
     seeds: &PatternSet,
     code: &DfsCode,
     restrict: Option<&Arc<Vec<GraphId>>>,
@@ -213,6 +236,23 @@ fn verify(
         }
     }
     stats.counted += 1;
+    if let Some(store) = estore {
+        let answer = store.lock().expect("embedding store lock").support(code, counters);
+        if let Some((sup, gids)) = answer {
+            // The list answered: no per-graph search runs for this
+            // candidate. The supporter list is exact — tighter than the
+            // parent superset the search path would have scanned.
+            let replaced = restrict.map_or(ctx.db.len(), |l| l.len());
+            counters.add(Counter::SearchCallsAvoided, replaced as u64);
+            return if sup >= ctx.min_support {
+                counters.bump(Counter::VerifiedFrequent);
+                Verdict::Counted(sup, Arc::new(gids))
+            } else {
+                counters.bump(Counter::VerifiedInfrequent);
+                Verdict::Rejected
+            };
+        }
+    }
     let (sup, gids) = match restrict {
         Some(list) => index.support_over_counted(ctx.db, list, code, ctx.min_support, counters),
         None => {
@@ -248,9 +288,11 @@ fn tighter(
 
 /// `Complete` policy: level-wise one-edge extension of the *entire* exact
 /// frequent set — lossless by the FSG downward-closure argument.
+#[allow(clippy::too_many_arguments)]
 fn complete_levels(
     ctx: &MergeContext<'_>,
     index: &SupportIndex,
+    estore: SharedStore<'_, '_>,
     vocab: &EdgeVocab,
     seeds: &PatternSet,
     level1: Vec<Live>,
@@ -262,6 +304,11 @@ fn complete_levels(
         let next_size = frontier[0].pattern.size() + 1;
         if !within_cap(ctx, next_size) {
             break;
+        }
+        // Lists for patterns two levels back can no longer be prefixes of
+        // any remaining candidate; reclaim their budget.
+        if let Some(store) = estore {
+            store.lock().expect("embedding store lock").evict_below(next_size - 1);
         }
         // Candidate -> tightest parent supporter list.
         let mut candidates: FxHashMap<DfsCode, Option<Arc<Vec<GraphId>>>> = FxHashMap::default();
@@ -277,7 +324,7 @@ fn complete_levels(
         stats.candidates += candidates.len();
         ctx.counters().add(Counter::CandidatesGenerated, candidates.len() as u64);
         let work: Vec<CandidateWork> = candidates.into_iter().collect();
-        let verified = verify_batch(ctx, index, seeds, work, stats);
+        let verified = verify_batch(ctx, index, estore, seeds, work, stats);
         let mut next = Vec::new();
         for (code, restrict, verdict) in verified {
             match verdict {
@@ -308,6 +355,7 @@ type VerifiedWork = (DfsCode, Option<Arc<Vec<GraphId>>>, Verdict);
 fn verify_batch(
     ctx: &MergeContext<'_>,
     index: &SupportIndex,
+    estore: SharedStore<'_, '_>,
     seeds: &PatternSet,
     work: Vec<CandidateWork>,
     stats: &mut MergeStats,
@@ -319,7 +367,7 @@ fn verify_batch(
         return work
             .into_iter()
             .map(|(code, restrict)| {
-                let v = verify(ctx, index, seeds, &code, restrict.as_ref(), stats);
+                let v = verify(ctx, index, estore, seeds, &code, restrict.as_ref(), stats);
                 (code, restrict, v)
             })
             .collect();
@@ -338,6 +386,7 @@ fn verify_batch(
                             let v = verify(
                                 ctx,
                                 index,
+                                estore,
                                 seeds,
                                 &code,
                                 restrict.as_ref(),
@@ -373,6 +422,7 @@ fn work_capacity(results: &[(Vec<VerifiedWork>, MergeStats)]) -> usize {
 fn paper_levels(
     ctx: &MergeContext<'_>,
     index: &SupportIndex,
+    estore: SharedStore<'_, '_>,
     vocab: &EdgeVocab,
     p0: &PatternSet,
     p1: &PatternSet,
@@ -392,7 +442,7 @@ fn paper_levels(
             if out.contains(&p.code) {
                 continue;
             }
-            match verify(ctx, index, seeds, &p.code, None, stats) {
+            match verify(ctx, index, estore, seeds, &p.code, None, stats) {
                 Verdict::Counted(sup, _) | Verdict::Bound(sup) => {
                     out.insert(Pattern::from_code(p.code.clone(), sup));
                 }
@@ -425,7 +475,7 @@ fn paper_levels(
         ctx.counters().add(Counter::CandidatesGenerated, c3.len() as u64);
         let _check_span = ctx.telemetry.map(|t| t.span("check_frequency"));
         for (code, ()) in c3 {
-            match verify(ctx, index, seeds, &code, None, stats) {
+            match verify(ctx, index, estore, seeds, &code, None, stats) {
                 Verdict::Counted(sup, gids) => {
                     let p = Pattern::from_code(code, sup);
                     out.insert(p.clone());
@@ -457,7 +507,7 @@ fn paper_levels(
             if out.contains(&p.code) {
                 continue;
             }
-            match verify(ctx, index, seeds, &p.code, None, stats) {
+            match verify(ctx, index, estore, seeds, &p.code, None, stats) {
                 Verdict::Counted(sup, _) | Verdict::Bound(sup) => {
                     out.insert(Pattern::from_code(p.code.clone(), sup));
                 }
@@ -487,7 +537,7 @@ fn paper_levels(
         let _check_span = ctx.telemetry.map(|t| t.span("check_frequency"));
         let mut next_f = Vec::new();
         for (code, restrict) in candidates {
-            match verify(ctx, index, seeds, &code, restrict.as_ref(), stats) {
+            match verify(ctx, index, estore, seeds, &code, restrict.as_ref(), stats) {
                 Verdict::Counted(sup, gids) => {
                     let p = Pattern::from_code(code, sup);
                     out.insert(p.clone());
@@ -569,6 +619,8 @@ mod tests {
                 known: None,
                 trust_known: false,
                 parallel: false,
+                embedding_lists: graphmine_graph::EmbeddingMode::Auto,
+                embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
                 telemetry: None,
             };
             let (merged, _) = merge_join(&ctx, &p0, &p1);
@@ -598,6 +650,8 @@ mod tests {
             known: None,
             trust_known: false,
             parallel: false,
+            embedding_lists: graphmine_graph::EmbeddingMode::Auto,
+            embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
             telemetry: None,
         };
         let (merged, stats) = merge_join(&ctx, &p0, &p1);
@@ -628,6 +682,8 @@ mod tests {
                 known: None,
                 trust_known: false,
                 parallel: false,
+                embedding_lists: graphmine_graph::EmbeddingMode::Auto,
+                embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
                 telemetry: None,
             };
             let (merged, _) = merge_join(&ctx, &p0, &p1);
@@ -661,6 +717,8 @@ mod tests {
             known: Some(&direct),
             trust_known: true,
             parallel: false,
+            embedding_lists: graphmine_graph::EmbeddingMode::Auto,
+            embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
             telemetry: None,
         };
         let (merged, stats) = merge_join(&ctx, &p0, &p1);
@@ -683,6 +741,8 @@ mod tests {
             known: None,
             trust_known: false,
             parallel: false,
+            embedding_lists: graphmine_graph::EmbeddingMode::Auto,
+            embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
             telemetry: None,
         };
         let (merged, _) = merge_join(&ctx, &p0, &p1);
@@ -720,6 +780,8 @@ mod tests {
                 known: None,
                 trust_known: false,
                 parallel: false,
+                embedding_lists: graphmine_graph::EmbeddingMode::Auto,
+                embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
                 telemetry: None,
             };
             let (merged, _) = merge_join(&ctx, &p0, &p1);

@@ -260,6 +260,8 @@ pub(crate) fn merge_subtree(
         known: if at_root { known_at_root } else { None },
         trust_known: at_root && known_at_root.is_some() && !cfg.verify_unchanged,
         parallel: cfg.parallel,
+        embedding_lists: cfg.embedding_lists,
+        embedding_budget: cfg.embedding_budget_bytes,
         telemetry: Some(tel),
     };
     let (result, mstats) = merge_join(&ctx, &node_results[&a], &node_results[&b]);

@@ -97,6 +97,7 @@ proptest! {
         sup in 1u32..4,
         exact in any::<bool>(),
         paper_policy in any::<bool>(),
+        lists in any::<bool>(),
     ) {
         let (d0, d1) = split_db(&db);
         let unit_sup = sup.div_ceil(2).max(1);
@@ -114,6 +115,12 @@ proptest! {
                 known: None,
                 trust_known: false,
                 parallel,
+                embedding_lists: if lists {
+                    graphmine_graph::EmbeddingMode::Auto
+                } else {
+                    graphmine_graph::EmbeddingMode::Off
+                },
+                embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
                 telemetry: Some(&tel),
             };
             let (merged, _) = merge_join(&ctx, &p0, &p1);

@@ -91,6 +91,12 @@ impl<'a> MatchState<'a> {
 /// The code must be a valid DFS code (as produced by [`crate::dfscode`] or
 /// by rightmost extension); it does not need to be minimal.
 pub fn contains(target: &Graph, code: &DfsCode) -> bool {
+    contains_counted(target, code, Counters::noop())
+}
+
+/// [`contains`] with telemetry: tallies [`Counter::SearchCalls`] once per
+/// seeded backtracking search attempt (each `MatchState::search` entry).
+pub fn contains_counted(target: &Graph, code: &DfsCode, counters: &Counters) -> bool {
     if code.is_empty() {
         return target.vertex_count() > 0;
     }
@@ -121,6 +127,7 @@ pub fn contains(target: &Graph, code: &DfsCode) -> bool {
             st.mapped[a as usize] = true;
             st.mapped[b as usize] = true;
             st.used[eid as usize] = true;
+            counters.bump(Counter::SearchCalls);
             let found = st.search(1);
             st.mapped[a as usize] = false;
             st.mapped[b as usize] = false;
@@ -198,30 +205,7 @@ impl SupportIndex {
         min_needed: Support,
         counters: &Counters,
     ) -> Support {
-        debug_assert_eq!(self.per_graph.len(), db.len(), "index built from another database");
-        let mut needed: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
-        for e in &code.0 {
-            *needed.entry(edge_triple(e.from_label, e.edge_label, e.to_label)).or_insert(0) += 1;
-        }
-        let mut count = 0;
-        let mut remaining = db.len() as Support;
-        for (gid, g) in db.iter() {
-            remaining -= 1;
-            let hist = &self.per_graph[gid as usize];
-            let feasible = needed.iter().all(|(t, n)| hist.get(t).copied().unwrap_or(0) >= *n);
-            if feasible {
-                counters.bump(Counter::IsoTestsRun);
-                if contains(g, code) {
-                    count += 1;
-                }
-            } else {
-                counters.bump(Counter::IsoTestsPruned);
-            }
-            if min_needed > 0 && count + remaining < min_needed {
-                break; // cannot reach the threshold any more
-            }
-        }
-        count
+        self.support_core(db, 0..db.len() as GraphId, code, min_needed, counters).0
     }
 
     /// Exact support of `code` in `db`.
@@ -257,20 +241,37 @@ impl SupportIndex {
         min_needed: Support,
         counters: &Counters,
     ) -> (Support, Vec<GraphId>) {
+        self.support_core(db, candidates.iter().copied(), code, min_needed, counters)
+    }
+
+    /// The one counted implementation behind every `support_*` variant:
+    /// histogram screen, embedding search, and threshold early-abort over an
+    /// arbitrary gid sequence. Returns the supporters seen before any abort.
+    fn support_core<I>(
+        &self,
+        db: &GraphDb,
+        gids: I,
+        code: &DfsCode,
+        min_needed: Support,
+        counters: &Counters,
+    ) -> (Support, Vec<GraphId>)
+    where
+        I: ExactSizeIterator<Item = GraphId>,
+    {
         debug_assert_eq!(self.per_graph.len(), db.len(), "index built from another database");
         let mut needed: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
         for e in &code.0 {
             *needed.entry(edge_triple(e.from_label, e.edge_label, e.to_label)).or_insert(0) += 1;
         }
         let mut supporters = Vec::new();
-        let mut remaining = candidates.len() as Support;
-        for &gid in candidates {
+        let mut remaining = gids.len() as Support;
+        for gid in gids {
             remaining -= 1;
             let hist = &self.per_graph[gid as usize];
             let feasible = needed.iter().all(|(t, n)| hist.get(t).copied().unwrap_or(0) >= *n);
             if feasible {
                 counters.bump(Counter::IsoTestsRun);
-                if contains(db.graph(gid), code) {
+                if contains_counted(db.graph(gid), code, counters) {
                     supporters.push(gid);
                 }
             } else {

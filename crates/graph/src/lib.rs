@@ -11,6 +11,9 @@
 //!   makes graph isomorphism a code-equality test;
 //! * [`iso`] — subgraph-isomorphism (embedding) search used for support
 //!   counting (`CheckFrequency` in the paper's merge-join);
+//! * [`embeddings`] — the embedding-list support engine: per-pattern
+//!   occurrence lists extended one DFS edge at a time, replacing repeated
+//!   embedding searches with incremental list filtering;
 //! * [`enumerate`] — a brute-force connected-subgraph enumerator used as a
 //!   correctness oracle by the miners' test suites.
 //!
@@ -54,6 +57,7 @@
 
 mod database;
 pub mod dfscode;
+pub mod embeddings;
 pub mod enumerate;
 mod error;
 mod graph;
@@ -67,6 +71,7 @@ pub mod update;
 
 pub use database::{GraphDb, GraphId};
 pub use dfscode::{DfsCode, DfsEdge};
+pub use embeddings::{EmbeddingList, EmbeddingMode, EmbeddingStore, DEFAULT_EMBEDDING_BUDGET};
 pub use error::GraphError;
 pub use graph::{Adjacency, ELabel, EdgeId, Graph, VLabel, VertexId};
 pub use pattern::{Pattern, PatternSet};

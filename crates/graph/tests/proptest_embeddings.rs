@@ -1,0 +1,109 @@
+//! Property tests for the embedding-list support engine: on random
+//! databases, incremental occurrence filtering must agree exactly with the
+//! backtracking embedding search — including graphs that embed a pattern
+//! through several overlapping images (edge multiplicity), and the
+//! spill/fallback path of the budgeted store.
+
+use proptest::prelude::*;
+
+use graphmine_graph::enumerate::connected_subgraph_codes;
+use graphmine_graph::{iso, DfsCode, EmbeddingList, EmbeddingStore, Graph, GraphDb};
+use graphmine_telemetry::Counters;
+
+/// Strategy: a random connected labeled graph (spanning tree + extra edges).
+/// Small label alphabets force label collisions, which is what stresses
+/// multiplicity handling: the same pattern embeds many ways per graph.
+fn connected_graph(max_vertices: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_vertices).prop_flat_map(move |n| {
+        let vl = proptest::collection::vec(0..2u32, n);
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
+        let tree_el = proptest::collection::vec(0..2u32, n - 1);
+        let extra = proptest::collection::vec((0..n, 0..n, 0..2u32), 0..=n);
+        (vl, parents, tree_el, extra).prop_map(move |(vl, parents, tree_el, extra)| {
+            let mut g = Graph::new();
+            for &l in &vl {
+                g.add_vertex(l);
+            }
+            for (i, (&p, &el)) in parents.iter().zip(tree_el.iter()).enumerate() {
+                g.add_edge((i + 1) as u32, p as u32, el).unwrap();
+            }
+            for &(u, v, el) in &extra {
+                if u != v {
+                    let _ = g.add_edge(u as u32, v as u32, el);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn db_strategy() -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec(connected_graph(6), 1..5).prop_map(GraphDb::from_graphs)
+}
+
+/// Patterns guaranteed to occur somewhere: the connected subgraphs of the
+/// database's first graph, in a deterministic order so `pick` selects one.
+fn patterns_of(db: &GraphDb, max_edges: usize) -> Vec<DfsCode> {
+    let mut codes: Vec<DfsCode> =
+        connected_subgraph_codes(db.graph(0), max_edges).into_iter().collect();
+    codes.sort();
+    codes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `EmbeddingList::from_code` (root list + one `extend` per further
+    /// edge) reports exactly the supporting graphs the embedding search
+    /// finds — same support, same gids.
+    #[test]
+    fn list_agrees_with_search(db in db_strategy(), pick in any::<usize>()) {
+        let codes = patterns_of(&db, 4);
+        prop_assume!(!codes.is_empty());
+        let code = &codes[pick % codes.len()];
+        let list = EmbeddingList::from_code(&db, code);
+        let searched = iso::supporting_gids(&db, code);
+        prop_assert_eq!(
+            list.supporting_gids(), searched.clone(),
+            "pattern {} on {} graphs: list support {} vs search {}",
+            code, db.len(), list.support(), searched.len()
+        );
+    }
+
+    /// The budgeted store answers every query it accepts identically to the
+    /// search, and every list it caches is a true prefix product (querying
+    /// twice returns the same answer from cache).
+    #[test]
+    fn store_agrees_with_search(db in db_strategy(), pick in any::<usize>()) {
+        let codes = patterns_of(&db, 4);
+        prop_assume!(!codes.is_empty());
+        let code = &codes[pick % codes.len()];
+        let counters = Counters::new();
+        let mut store = EmbeddingStore::new(&db, 1 << 20);
+        let first = store.support(code, &counters);
+        let searched = iso::supporting_gids(&db, code);
+        prop_assert_eq!(first, Some((searched.len() as u32, searched)));
+        // Second query is served from cache and must not change the answer.
+        prop_assert_eq!(store.support(code, &counters), first);
+    }
+
+    /// A zero-budget store spills everything: every query falls back to
+    /// `None` (the caller then re-searches) and never returns a wrong
+    /// support instead.
+    #[test]
+    fn zero_budget_store_always_falls_back(
+        db in db_strategy(),
+        pick in any::<usize>(),
+    ) {
+        let codes = patterns_of(&db, 4);
+        prop_assume!(!codes.is_empty());
+        let code = &codes[pick % codes.len()];
+        let counters = Counters::new();
+        let mut store = EmbeddingStore::new(&db, 0);
+        prop_assert_eq!(store.support(code, &counters), None);
+        prop_assert_eq!(store.cached_bytes(), 0);
+        // The fallback the callers use stays exact.
+        let list = EmbeddingList::from_code(&db, code);
+        prop_assert_eq!(list.supporting_gids(), iso::supporting_gids(&db, code));
+    }
+}

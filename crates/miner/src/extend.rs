@@ -12,7 +12,11 @@
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use graphmine_graph::dfscode::min_dfs_code;
-use graphmine_graph::{DfsCode, ELabel, Graph, GraphDb, PatternSet, Support, VLabel};
+use graphmine_graph::iso::SupportIndex;
+use graphmine_graph::{
+    DfsCode, ELabel, EmbeddingStore, Graph, GraphDb, PatternSet, Support, VLabel,
+};
+use graphmine_telemetry::{Counter, Counters};
 
 /// The frequent-edge vocabulary: which `(l_u, l_e, l_v)` triples are worth
 /// extending with.
@@ -127,6 +131,33 @@ pub fn one_edge_extensions(g: &Graph, vocab: &EdgeVocab) -> Vec<DfsCode> {
         }
     }
     out.into_iter().collect()
+}
+
+/// Counts one candidate's support, preferring the embedding-list engine and
+/// falling back to the histogram-screened search when no store is supplied
+/// or the candidate's list spilled over budget.
+///
+/// This is the counting kernel of every extend-and-count loop (the
+/// [`Apriori`](crate::Apriori) miner, and structurally the same decision the
+/// merge-join's `CheckFrequency` makes). A list answer is exact; the search
+/// answer may early-abort once `min_support` is provably unreachable.
+/// Tallies [`Counter::SearchCallsAvoided`] with the number of per-graph
+/// searches a list answer replaced.
+pub fn count_candidate(
+    db: &GraphDb,
+    index: &SupportIndex,
+    store: Option<&mut EmbeddingStore<'_>>,
+    code: &DfsCode,
+    min_support: Support,
+    counters: &Counters,
+) -> Support {
+    if let Some(store) = store {
+        if let Some((sup, _)) = store.support(code, counters) {
+            counters.add(Counter::SearchCallsAvoided, db.len() as u64);
+            return sup;
+        }
+    }
+    index.support_bounded_counted(db, code, min_support, counters)
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ use rustc_hash::{FxHashMap, FxHashSet};
 
 use graphmine_graph::dfscode::min_dfs_code;
 use graphmine_graph::{
-    DfsCode, ELabel, EdgeId, Graph, GraphDb, GraphId, Pattern, PatternSet, Support, VLabel,
+    DfsCode, ELabel, EdgeId, EmbeddingList, Graph, GraphDb, Pattern, PatternSet, Support, VLabel,
     VertexId,
 };
 
@@ -55,44 +55,12 @@ impl Gaston {
     }
 }
 
-/// One occurrence of the current pattern: pattern vertex -> graph vertex,
-/// plus the matched graph edges (pattern edge id -> graph edge id).
-#[derive(Debug, Clone)]
-struct Occurrence {
-    gid: GraphId,
-    map: Vec<VertexId>,
-    edges: Vec<EdgeId>,
-}
-
-impl Occurrence {
-    #[inline]
-    fn uses_edge(&self, eid: EdgeId) -> bool {
-        self.edges.contains(&eid)
-    }
-
-    #[inline]
-    fn maps_vertex(&self, v: VertexId) -> bool {
-        self.map.contains(&v)
-    }
-}
-
-fn distinct_gids(occs: &[Occurrence]) -> Support {
-    let mut count = 0;
-    let mut last = None;
-    for o in occs {
-        if last != Some(o.gid) {
-            count += 1;
-            last = Some(o.gid);
-        }
-    }
-    count
-}
-
-/// A frequent pattern in flight: its graph, its occurrence list, and its
-/// canonical tree encoding (tree phase only).
+/// A frequent pattern in flight: its graph plus its occurrence list — the
+/// shared flat-arena [`EmbeddingList`] (pattern vertex -> graph vertex, and
+/// pattern edge -> graph edge, per row), Gaston's leg-list analogue.
 struct Node {
     graph: Graph,
-    occs: Vec<Occurrence>,
+    occs: EmbeddingList,
 }
 
 impl MemoryMiner for Gaston {
@@ -117,29 +85,29 @@ impl Gaston {
         }
 
         // ---- level 1: frequent edges --------------------------------------
-        let mut groups: FxHashMap<(VLabel, ELabel, VLabel), Vec<Occurrence>> = FxHashMap::default();
+        let mut groups: FxHashMap<(VLabel, ELabel, VLabel), EmbeddingList> = FxHashMap::default();
         for (gid, g) in db.iter() {
             for (eid, u, v, el) in g.edges() {
                 let (a, b) = if g.vlabel(u) <= g.vlabel(v) { (u, v) } else { (v, u) };
                 let key = (g.vlabel(a), el, g.vlabel(b));
-                let group = groups.entry(key).or_default();
-                group.push(Occurrence { gid, map: vec![a, b], edges: vec![eid] });
+                let group = groups.entry(key).or_insert_with(|| EmbeddingList::empty(2, 1));
+                group.push(gid, &[a, b], &[eid]);
                 if g.vlabel(a) == g.vlabel(b) {
-                    group.push(Occurrence { gid, map: vec![b, a], edges: vec![eid] });
+                    group.push(gid, &[b, a], &[eid]);
                 }
             }
         }
         counters.add(Counter::MinerExtensions, groups.len() as u64);
         let mut level: Vec<Node> = Vec::new();
         for ((la, el, lb), occs) in groups {
-            if distinct_gids(&occs) < min_support {
+            if occs.support() < min_support {
                 continue;
             }
             let mut g = Graph::new();
             let a = g.add_vertex(la);
             let b = g.add_vertex(lb);
             g.add_edge(a, b, el).expect("fresh edge");
-            out.insert(Pattern::from_code(min_dfs_code(&g), distinct_gids(&occs)));
+            out.insert(Pattern::from_code(min_dfs_code(&g), occs.support()));
             level.push(Node { graph: g, occs });
         }
 
@@ -154,28 +122,31 @@ impl Gaston {
                 let parent_enc = tree_encoding(&node.graph);
                 // Group leaf extensions by (attach position, edge label,
                 // new vertex label).
-                let mut ext: FxHashMap<(u32, ELabel, VLabel), Vec<Occurrence>> =
-                    FxHashMap::default();
+                let mut ext: FxHashMap<(u32, ELabel, VLabel), EmbeddingList> = FxHashMap::default();
+                let vs = node.occs.vertex_stride();
+                let es = node.occs.edge_stride();
                 if within_cap(self.max_edges, node.graph.edge_count() + 1) {
-                    for occ in &node.occs {
-                        let g = db.graph(occ.gid);
-                        for (pos, &gv) in occ.map.iter().enumerate() {
+                    for row in 0..node.occs.len() {
+                        let g = db.graph(node.occs.gid(row));
+                        let map = node.occs.vertices(row);
+                        for (pos, &gv) in map.iter().enumerate() {
                             for a in g.neighbors(gv) {
-                                if occ.uses_edge(a.eid) || occ.maps_vertex(a.to) {
+                                if node.occs.uses_edge(row, a.eid) || map.contains(&a.to) {
                                     continue;
                                 }
                                 let key = (pos as u32, a.elabel, g.vlabel(a.to));
-                                let mut nocc = occ.clone();
-                                nocc.map.push(a.to);
-                                nocc.edges.push(a.eid);
-                                ext.entry(key).or_default().push(nocc);
+                                ext.entry(key)
+                                    .or_insert_with(|| EmbeddingList::empty(vs + 1, es + 1))
+                                    .push_extended(&node.occs, row, Some(a.to), a.eid);
                             }
                         }
                     }
                 }
                 counters.add(Counter::MinerExtensions, ext.len() as u64);
+                counters
+                    .add(Counter::EmbeddingsExtended, ext.values().map(|l| l.len() as u64).sum());
                 for ((pos, el, vl), occs) in ext {
-                    if distinct_gids(&occs) < min_support {
+                    if occs.support() < min_support {
                         continue;
                     }
                     let mut candidate = node.graph.clone();
@@ -188,7 +159,7 @@ impl Gaston {
                     if !seen_this_level.insert(code.clone()) {
                         continue; // automorphic duplicate within this level
                     }
-                    out.insert(Pattern::from_code(code, distinct_gids(&occs)));
+                    out.insert(Pattern::from_code(code, occs.support()));
                     next.push(Node { graph: candidate, occs });
                 }
             }
@@ -206,15 +177,18 @@ impl Gaston {
             if !within_cap(self.max_edges, node.graph.edge_count() + 1) {
                 continue;
             }
-            let mut ext: FxHashMap<(u32, u32, ELabel), Vec<Occurrence>> = FxHashMap::default();
-            for occ in &node.occs {
-                let g = db.graph(occ.gid);
-                for (pu, &gu) in occ.map.iter().enumerate() {
+            let mut ext: FxHashMap<(u32, u32, ELabel), EmbeddingList> = FxHashMap::default();
+            let vs = node.occs.vertex_stride();
+            let es = node.occs.edge_stride();
+            for row in 0..node.occs.len() {
+                let g = db.graph(node.occs.gid(row));
+                let map = node.occs.vertices(row);
+                for (pu, &gu) in map.iter().enumerate() {
                     for a in g.neighbors(gu) {
-                        if occ.uses_edge(a.eid) {
+                        if node.occs.uses_edge(row, a.eid) {
                             continue;
                         }
-                        let Some(pv) = occ.map.iter().position(|&x| x == a.to) else {
+                        let Some(pv) = map.iter().position(|&x| x == a.to) else {
                             continue;
                         };
                         if pv <= pu {
@@ -224,15 +198,16 @@ impl Gaston {
                         if node.graph.edge_between(pu as u32, pv as u32).is_some() {
                             continue;
                         }
-                        let mut nocc = occ.clone();
-                        nocc.edges.push(a.eid);
-                        ext.entry((pu as u32, pv as u32, a.elabel)).or_default().push(nocc);
+                        ext.entry((pu as u32, pv as u32, a.elabel))
+                            .or_insert_with(|| EmbeddingList::empty(vs, es + 1))
+                            .push_extended(&node.occs, row, None, a.eid);
                     }
                 }
             }
             counters.add(Counter::MinerExtensions, ext.len() as u64);
+            counters.add(Counter::EmbeddingsExtended, ext.values().map(|l| l.len() as u64).sum());
             for ((pu, pv, el), occs) in ext {
-                if distinct_gids(&occs) < min_support {
+                if occs.support() < min_support {
                     continue;
                 }
                 let mut candidate = node.graph.clone();
@@ -241,7 +216,7 @@ impl Gaston {
                 if !seen_cyclic.insert(code.clone()) {
                     continue;
                 }
-                out.insert(Pattern::from_code(code, distinct_gids(&occs)));
+                out.insert(Pattern::from_code(code, occs.support()));
                 cycle_queue.push_back(Node { graph: candidate, occs });
             }
         }

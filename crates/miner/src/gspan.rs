@@ -4,15 +4,14 @@
 //! and expanded only from its *minimum* DFS code
 //! ([`graphmine_graph::dfscode::is_min`]), which makes the search space a
 //! tree: no pattern is enumerated twice. Support counting piggybacks on the
-//! projected embedding lists carried down the search, so no isolated
-//! subgraph-isomorphism test is ever needed.
+//! projected [`EmbeddingList`]s carried down the search — the shared
+//! flat-arena occurrence store from [`graphmine_graph::embeddings`] — so no
+//! isolated subgraph-isomorphism test is ever needed.
 
 use rustc_hash::FxHashMap;
 
 use graphmine_graph::dfscode::is_min;
-use graphmine_graph::{
-    DfsCode, DfsEdge, EdgeId, GraphDb, GraphId, Pattern, PatternSet, Support, VertexId,
-};
+use graphmine_graph::{DfsCode, DfsEdge, EmbeddingList, GraphDb, Pattern, PatternSet, Support};
 use graphmine_telemetry::{Counter, Counters};
 
 use crate::{within_cap, MemoryMiner};
@@ -62,22 +61,23 @@ impl GSpan {
         }
 
         // Frequent 1-edge patterns, keyed by canonical (l_min, e, l_max).
-        let mut groups: FxHashMap<DfsEdge, Vec<Embedding>> = FxHashMap::default();
+        // Scanning gids in order keeps every group's arena gid-sorted.
+        let mut groups: FxHashMap<DfsEdge, EmbeddingList> = FxHashMap::default();
         for (gid, g) in db.iter() {
             for (eid, u, v, el) in g.edges() {
                 let (a, b) = if g.vlabel(u) <= g.vlabel(v) { (u, v) } else { (v, u) };
                 let edge = DfsEdge::new(0, 1, g.vlabel(a), el, g.vlabel(b));
-                let group = groups.entry(edge).or_default();
-                group.push(Embedding { gid, map: vec![a, b], edges: vec![eid] });
+                let group = groups.entry(edge).or_insert_with(|| EmbeddingList::empty(2, 1));
+                group.push(gid, &[a, b], &[eid]);
                 if g.vlabel(a) == g.vlabel(b) {
-                    group.push(Embedding { gid, map: vec![b, a], edges: vec![eid] });
+                    group.push(gid, &[b, a], &[eid]);
                 }
             }
         }
         counters.add(Counter::MinerExtensions, groups.len() as u64);
 
         for (edge, embeddings) in groups {
-            if distinct_gids(&embeddings) < min_support {
+            if embeddings.support() < min_support {
                 continue;
             }
             let mut code = DfsCode(vec![edge]);
@@ -88,46 +88,12 @@ impl GSpan {
     }
 }
 
-/// One embedding of the current code: vertex map (code vertex -> graph
-/// vertex) plus the matched graph edges in code order.
-#[derive(Debug, Clone)]
-struct Embedding {
-    gid: GraphId,
-    map: Vec<VertexId>,
-    edges: Vec<EdgeId>,
-}
-
-impl Embedding {
-    #[inline]
-    fn uses_edge(&self, eid: EdgeId) -> bool {
-        self.edges.contains(&eid)
-    }
-
-    #[inline]
-    fn maps_vertex(&self, v: VertexId) -> Option<u32> {
-        self.map.iter().position(|&x| x == v).map(|i| i as u32)
-    }
-}
-
-fn distinct_gids(embeddings: &[Embedding]) -> Support {
-    // Embedding lists are built in gid order, so counting transitions works.
-    let mut count = 0;
-    let mut last = None;
-    for e in embeddings {
-        if last != Some(e.gid) {
-            count += 1;
-            last = Some(e.gid);
-        }
-    }
-    count
-}
-
 impl GSpan {
     fn grow(
         &self,
         db: &GraphDb,
         code: &mut DfsCode,
-        embeddings: &[Embedding],
+        embeddings: &EmbeddingList,
         min_support: Support,
         out: &mut PatternSet,
         counters: &Counters,
@@ -135,7 +101,7 @@ impl GSpan {
         if !is_min(code) {
             return;
         }
-        out.insert(Pattern::from_code(code.clone(), distinct_gids(embeddings)));
+        out.insert(Pattern::from_code(code.clone(), embeddings.support()));
         if !within_cap(self.max_edges, code.len() + 1) {
             return;
         }
@@ -155,19 +121,22 @@ impl GSpan {
             .max()
             .unwrap_or(0);
 
-        let mut extensions: FxHashMap<DfsEdge, Vec<Embedding>> = FxHashMap::default();
-        for emb in embeddings {
-            let g = db.graph(emb.gid);
-            let g_rm = emb.map[rightmost as usize];
+        let mut extensions: FxHashMap<DfsEdge, EmbeddingList> = FxHashMap::default();
+        let vs_stride = embeddings.vertex_stride();
+        let es_stride = embeddings.edge_stride();
+        for row in 0..embeddings.len() {
+            let g = db.graph(embeddings.gid(row));
+            let map = embeddings.vertices(row);
+            let g_rm = map[rightmost as usize];
 
             // Backward extensions: rightmost vertex -> rightmost-path vertex.
             for &pv in &path[..path.len() - 1] {
                 if pv < min_backward_target {
                     continue;
                 }
-                let g_pv = emb.map[pv as usize];
+                let g_pv = map[pv as usize];
                 if let Some(eid) = g.edge_between(g_rm, g_pv) {
-                    if !emb.uses_edge(eid) {
+                    if !embeddings.uses_edge(row, eid) {
                         let edge = DfsEdge::new(
                             rightmost,
                             pv,
@@ -175,36 +144,39 @@ impl GSpan {
                             g.edge(eid).2,
                             g.vlabel(g_pv),
                         );
-                        let mut next = emb.clone();
-                        next.edges.push(eid);
-                        extensions.entry(edge).or_default().push(next);
+                        extensions
+                            .entry(edge)
+                            .or_insert_with(|| EmbeddingList::empty(vs_stride, es_stride + 1))
+                            .push_extended(embeddings, row, None, eid);
                     }
                 }
             }
 
             // Forward extensions from every rightmost-path vertex.
-            let new_vertex = emb.map.len() as u32;
+            let new_vertex = vs_stride as u32;
             for &pv in path.iter().rev() {
-                let g_pv = emb.map[pv as usize];
+                let g_pv = map[pv as usize];
                 for a in g.neighbors(g_pv) {
-                    if emb.uses_edge(a.eid) || emb.maps_vertex(a.to).is_some() {
+                    if embeddings.uses_edge(row, a.eid) || map.contains(&a.to) {
                         continue;
                     }
                     let edge =
                         DfsEdge::new(pv, new_vertex, g.vlabel(g_pv), a.elabel, g.vlabel(a.to));
-                    let mut next = emb.clone();
-                    next.map.push(a.to);
-                    next.edges.push(a.eid);
-                    extensions.entry(edge).or_default().push(next);
+                    extensions
+                        .entry(edge)
+                        .or_insert_with(|| EmbeddingList::empty(vs_stride + 1, es_stride + 1))
+                        .push_extended(embeddings, row, Some(a.to), a.eid);
                 }
             }
         }
 
-        let mut ordered: Vec<(DfsEdge, Vec<Embedding>)> = extensions.into_iter().collect();
+        let mut ordered: Vec<(DfsEdge, EmbeddingList)> = extensions.into_iter().collect();
         ordered.sort_by(|(a, _), (b, _)| a.dfs_cmp(b));
         counters.add(Counter::MinerExtensions, ordered.len() as u64);
+        counters
+            .add(Counter::EmbeddingsExtended, ordered.iter().map(|(_, l)| l.len() as u64).sum());
         for (edge, embs) in ordered {
-            if distinct_gids(&embs) < min_support {
+            if embs.support() < min_support {
                 continue;
             }
             code.push(edge);

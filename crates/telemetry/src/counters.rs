@@ -41,11 +41,21 @@ pub enum Counter {
     MinerExtensions,
     /// Frequent patterns emitted by the unit miners.
     MinerPatterns,
+    /// Occurrence rows produced by embedding-list extension.
+    EmbeddingsExtended,
+    /// Embedding lists dropped because they exceeded the memory budget.
+    EmbeddingsSpilled,
+    /// Backtracking embedding searches actually executed (seeded
+    /// `MatchState::search` invocations).
+    SearchCalls,
+    /// Per-graph embedding searches skipped because an embedding list
+    /// answered the support query instead.
+    SearchCallsAvoided,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 19] = [
         Counter::CandidatesGenerated,
         Counter::IsoTestsRun,
         Counter::IsoTestsPruned,
@@ -61,6 +71,10 @@ impl Counter {
         Counter::NodesMerged,
         Counter::MinerExtensions,
         Counter::MinerPatterns,
+        Counter::EmbeddingsExtended,
+        Counter::EmbeddingsSpilled,
+        Counter::SearchCalls,
+        Counter::SearchCallsAvoided,
     ];
 
     /// Stable snake_case identifier used in reports.
@@ -81,6 +95,10 @@ impl Counter {
             Counter::NodesMerged => "nodes_merged",
             Counter::MinerExtensions => "miner_extensions",
             Counter::MinerPatterns => "miner_patterns",
+            Counter::EmbeddingsExtended => "embeddings_extended",
+            Counter::EmbeddingsSpilled => "embeddings_spilled",
+            Counter::SearchCalls => "search_calls",
+            Counter::SearchCallsAvoided => "search_calls_avoided",
         }
     }
 

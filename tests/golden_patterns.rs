@@ -1,0 +1,72 @@
+//! Golden regression: frequent-pattern sets pinned as files under
+//! `tests/golden/`. Any change to canonical forms, support counting, or the
+//! embedding-list engine that alters a mined pattern set fails here with a
+//! concrete diff target.
+//!
+//! To re-bless after an intentional change:
+//! `GOLDEN_BLESS=1 cargo test -p graphmine-core --test golden_patterns`
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+
+use graphmine_datagen::{generate, GenParams};
+use graphmine_graph::{pattern_io, Graph, GraphDb, PatternSet};
+use graphmine_miner::{GSpan, MemoryMiner};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden").join(name)
+}
+
+fn check_golden(name: &str, mined: &PatternSet) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let f = File::create(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        pattern_io::write_patterns(BufWriter::new(f), mined).unwrap();
+        return;
+    }
+    let f = File::open(&path).unwrap_or_else(|e| {
+        panic!("{}: {e} — run with GOLDEN_BLESS=1 to create it", path.display())
+    });
+    let golden = pattern_io::read_patterns(BufReader::new(f)).unwrap();
+    assert!(
+        mined.same_codes_and_supports(&golden),
+        "{name}: mined {} patterns, golden {} — canonical forms or support \
+         counting changed; inspect with `graphmine diff`, re-bless with \
+         GOLDEN_BLESS=1 only if the change is intended",
+        mined.len(),
+        golden.len()
+    );
+}
+
+/// The labeled graph of the paper's Fig. 1 (the running example `G`).
+fn fig1_graph() -> Graph {
+    let mut g = Graph::new();
+    let v0 = g.add_vertex(0);
+    let v1 = g.add_vertex(0);
+    let v2 = g.add_vertex(1);
+    let v3 = g.add_vertex(2);
+    g.add_edge(v0, v1, 0).unwrap();
+    g.add_edge(v1, v2, 0).unwrap();
+    g.add_edge(v1, v3, 2).unwrap();
+    g.add_edge(v3, v0, 1).unwrap();
+    g
+}
+
+#[test]
+fn fig1_example_patterns_are_pinned() {
+    let db = GraphDb::from_graphs(vec![fig1_graph()]);
+    // Support 1 on a single graph: every connected subgraph, canonical.
+    let mined = GSpan::new().mine(&db, 1);
+    check_golden("fig1.patterns", &mined);
+}
+
+#[test]
+fn synthetic_seed7_patterns_are_pinned() {
+    let db = generate(&GenParams::new(40, 8, 5, 12, 3).with_seed(7));
+    let sup = db.abs_support(0.2);
+    let mined = GSpan::new().mine(&db, sup);
+    assert!(!mined.is_empty(), "degenerate golden input: no frequent patterns");
+    check_golden("synthetic_d40_seed7.patterns", &mined);
+}

@@ -5,7 +5,7 @@
 use graphmine_adimine::{AdiConfig, AdiMine};
 use graphmine_core::{PartMiner, PartMinerConfig};
 use graphmine_datagen::{generate, GenParams};
-use graphmine_graph::GraphDb;
+use graphmine_graph::{EmbeddingMode, GraphDb};
 use graphmine_miner::{Apriori, GSpan, Gaston, MemoryMiner};
 
 fn synthetic_db() -> GraphDb {
@@ -47,6 +47,62 @@ fn all_systems_agree_on_synthetic_data() {
                 pm.patterns.len(),
                 reference.len()
             );
+        }
+    }
+}
+
+/// Differential matrix for the embedding-list support engine: every
+/// counting configuration — embedding lists {off, on} × merge scheduling
+/// {serial, parallel} — must produce the exact pattern sets and supports of
+/// the reference miner, across several randomized databases. A failure
+/// message carries the datagen parameters so the offending database can be
+/// regenerated in isolation.
+#[test]
+fn embedding_list_matrix_is_exact() {
+    for seed in [3u64, 41, 977] {
+        let params = GenParams::new(40, 8, 5, 12, 3).with_seed(seed);
+        let db = generate(&params);
+        let ufreq: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+        let sup = db.abs_support(0.15);
+        let reference = GSpan::new().mine(&db, sup);
+        let repro = format!(
+            "repro: let db = generate(&GenParams::new(40, 8, 5, 12, 3).with_seed({seed})); \
+             let sup = {sup};"
+        );
+
+        let gaston = Gaston::new().mine(&db, sup);
+        assert!(gaston.same_codes_and_supports(&reference), "Gaston vs gSpan — {repro}");
+
+        for lists in [EmbeddingMode::Off, EmbeddingMode::On] {
+            let apriori = Apriori { max_edges: None, embedding_lists: lists }.mine(&db, sup);
+            assert!(
+                apriori.same_codes_and_supports(&reference),
+                "Apriori (lists {lists}) vs gSpan: {} vs {} — {repro}",
+                apriori.len(),
+                reference.len()
+            );
+
+            for parallel in [false, true] {
+                for exact in [false, true] {
+                    let mut cfg = PartMinerConfig::with_k(2);
+                    cfg.exact_supports = exact;
+                    cfg.parallel = parallel;
+                    cfg.embedding_lists = lists;
+                    let pm = PartMiner::new(cfg).mine(&db, &ufreq, sup);
+                    let same = if exact {
+                        pm.patterns.same_codes_and_supports(&reference)
+                    } else {
+                        pm.patterns.same_codes(&reference)
+                    };
+                    assert!(
+                        same,
+                        "PartMiner (lists {lists}, parallel {parallel}, exact {exact}) \
+                         vs gSpan: {} vs {} — {repro}",
+                        pm.patterns.len(),
+                        reference.len()
+                    );
+                }
+            }
         }
     }
 }
