@@ -2,16 +2,21 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use graphmine_adimine::{AdiConfig, AdiMine};
 use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig, PartitionerKind, UnitMinerKind};
 use graphmine_datagen::{plan_updates, ufreq_from_updates, GenParams, UpdateKind, UpdateParams};
-use graphmine_graph::{io as gio, pattern_io, EmbeddingMode, GraphDb, PatternSet};
+use graphmine_graph::{
+    io as gio, pattern_io, DbUpdate, DfsCode, DfsEdge, EmbeddingMode, GraphDb, PatternSet, Support,
+};
 use graphmine_miner::{
     closed_patterns, maximal_patterns, Apriori, Fsg, GSpan, Gaston, MemoryMiner,
 };
 use graphmine_partition::Criteria;
+use graphmine_serve::{Client, EngineConfig, ServeEngine, ServerConfig};
 use graphmine_telemetry::{RunReport, Telemetry};
 
 use crate::updates_io;
@@ -50,6 +55,25 @@ USAGE:
       Mine, apply the updates incrementally, and report the UF/FI/IF
       pattern classes. --report writes the incremental round's run
       report as JSON.
+
+  graphmine serve FILE --minsup FRAC [--data-dir DIR] [--addr 127.0.0.1:7878]
+                 [--k K] [--workers W] [--queue-depth Q] [--parallel]
+      Run the resident pattern-serving daemon on FILE. Mines at boot,
+      keeps P(D) warm, and answers queries over a newline-delimited JSON
+      protocol while `update` batches stream in (journaled and fsynced
+      before each ack). --data-dir holds the snapshot, journal and meta
+      (default: FILE + \".serve\"); on restart the snapshot pins
+      minsup/k and the journal is replayed. See docs/SERVICE.md.
+
+  graphmine client [--addr 127.0.0.1:7878] COMMAND
+      Talk to a running daemon. COMMAND is one of:
+        status [--report]                    server and counter snapshot
+        patterns [--top K] [--min-support S] top patterns by support
+        support --code \"f t fl el tl ...\"    support of one DFS code
+        update UPDATES_FILE                  apply a planned update batch
+        shutdown                             stop the daemon cleanly
+        raw JSON_LINE                        send one raw request line
+      Prints the server's JSON response.
 
   graphmine stats FILE
       Print database statistics (sizes, labels, connectivity).
@@ -231,13 +255,13 @@ pub fn stats(raw: &[String]) -> CmdResult {
         "  edges    total {sum_e}  avg {:.1}  median {}  max {}",
         sum_e as f64 / n as f64,
         edges[n / 2],
-        edges.last().unwrap()
+        edges.last().copied().unwrap_or(0)
     );
     println!(
         "  vertices total {sum_v}  avg {:.1}  median {}  max {}",
         sum_v as f64 / n as f64,
         vertices[n / 2],
-        vertices.last().unwrap()
+        vertices.last().copied().unwrap_or(0)
     );
     println!("  labels   {} vertex, {} edge", vlabels.len(), elabels.len());
     println!("  max degree {max_degree}  connected graphs {connected}/{n}");
@@ -436,6 +460,121 @@ pub fn plan_updates_cmd(raw: &[String]) -> CmdResult {
         fraction * 100.0,
         db.len()
     );
+    Ok(())
+}
+
+/// `graphmine serve`
+pub fn serve(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let minsup: f64 = args.require("--minsup")?;
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:7878").to_string();
+    let k: usize = args.parsed("--k")?.unwrap_or(4);
+    let parallel = args.flag("--parallel");
+    let data_dir: Option<String> = args.parsed("--data-dir")?;
+    let mut server_cfg = ServerConfig { addr, ..ServerConfig::default() };
+    if let Some(w) = args.parsed("--workers")? {
+        server_cfg.workers = w;
+    }
+    if let Some(q) = args.parsed("--queue-depth")? {
+        server_cfg.queue_depth = q;
+    }
+    let pos = args.positionals();
+    let [path] = pos.as_slice() else {
+        return Err("serve needs exactly one database file".into());
+    };
+
+    let db = load_db(path)?;
+    let dir = data_dir.unwrap_or_else(|| format!("{path}.serve"));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
+    let cfg = EngineConfig {
+        min_support: db.abs_support(minsup),
+        k,
+        parallel,
+        ..EngineConfig::default()
+    };
+    let (engine, boot) = ServeEngine::boot(Some(&db), Path::new(&dir), &cfg)?;
+    println!(
+        "booted epoch {} from {} ({} journal batches replayed): {} patterns at minsup {}",
+        boot.epoch,
+        if boot.from_snapshot { "warm snapshot" } else { "cold mine" },
+        boot.replayed,
+        engine.current().patterns.len(),
+        engine.min_support(),
+    );
+    let handle = graphmine_serve::start(Arc::new(engine), &server_cfg)?;
+    println!("serving on {}", handle.addr());
+    handle.wait()
+}
+
+/// What a `client` invocation will send, resolved from local arguments
+/// *before* connecting so file and syntax errors fail fast.
+enum ClientCmd {
+    Status { report: bool },
+    Patterns { top: Option<usize>, min_support: Option<Support> },
+    Support(DfsCode),
+    Update(Vec<DbUpdate>),
+    Shutdown,
+    Raw(String),
+}
+
+/// Parses a whitespace-separated DFS code: 5-tuples of
+/// `from to from_label edge_label to_label`.
+fn parse_code(text: &str) -> Result<DfsCode, String> {
+    let nums: Vec<u32> = text
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| format!("invalid code token `{t}`")))
+        .collect::<Result<_, _>>()?;
+    if nums.is_empty() || nums.len() % 5 != 0 {
+        return Err(
+            "--code needs whitespace-separated 5-tuples: from to from_label edge_label to_label"
+                .into(),
+        );
+    }
+    Ok(DfsCode(nums.chunks(5).map(|c| DfsEdge::new(c[0], c[1], c[2], c[3], c[4])).collect()))
+}
+
+/// `graphmine client`
+pub fn client(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:7878").to_string();
+    let report = args.flag("--report");
+    let top: Option<usize> = args.parsed("--top")?;
+    let min_support: Option<Support> = args.parsed("--min-support")?;
+    let code_arg = args.value("--code").map(str::to_string);
+    let pos = args.positionals();
+    let cmd =
+        match pos.as_slice() {
+            ["status"] => ClientCmd::Status { report },
+            ["patterns"] => ClientCmd::Patterns { top, min_support },
+            ["support"] => {
+                let text = code_arg
+                    .ok_or_else(|| "support needs --code \"f t fl el tl ...\"".to_string())?;
+                ClientCmd::Support(parse_code(&text)?)
+            }
+            ["update", file] => {
+                let f = File::open(file).map_err(|e| format!("{file}: {e}"))?;
+                let ops = updates_io::read_updates(BufReader::new(f))
+                    .map_err(|e| format!("{file}: {e}"))?;
+                ClientCmd::Update(ops)
+            }
+            ["shutdown"] => ClientCmd::Shutdown,
+            ["raw", line] => ClientCmd::Raw((*line).to_string()),
+            _ => return Err(
+                "client needs one of: status, patterns, support, update FILE, shutdown, raw JSON"
+                    .into(),
+            ),
+        };
+
+    let mut client = Client::connect(addr.as_str())?;
+    let resp = match cmd {
+        ClientCmd::Status { report } => client.status(report)?,
+        ClientCmd::Patterns { top, min_support } => client.patterns(top, min_support)?,
+        ClientCmd::Support(code) => client.support(&code)?,
+        ClientCmd::Update(ops) => client.update(&ops)?,
+        ClientCmd::Shutdown => client.shutdown()?,
+        ClientCmd::Raw(line) => client.request_line(&line)?,
+    };
+    println!("{}", resp.to_json());
     Ok(())
 }
 

@@ -11,6 +11,8 @@ fn main() {
         Some("mine") => commands::mine(&args[1..]),
         Some("plan-updates") => commands::plan_updates_cmd(&args[1..]),
         Some("incremental") => commands::incremental(&args[1..]),
+        Some("serve") => commands::serve(&args[1..]),
+        Some("client") => commands::client(&args[1..]),
         Some("stats") => commands::stats(&args[1..]),
         Some("diff") => commands::diff(&args[1..]),
         Some("--help") | Some("-h") | None => {

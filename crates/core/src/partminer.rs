@@ -136,6 +136,24 @@ impl PartMiner {
         min_support: Support,
         tel: &Telemetry,
     ) -> MineOutcome {
+        self.mine_with_known(db, ufreq, min_support, None, tel)
+    }
+
+    /// [`PartMiner::mine_instrumented`] seeded with a prior result for the
+    /// same database and threshold. `known` is passed to the root
+    /// merge-join the way IncPartMiner passes the pre-update `P(D)`:
+    /// candidates found in it skip re-counting (or are merely re-verified
+    /// when `verify_unchanged` is set). This is the warm-restart entry the
+    /// serving daemon uses to reload a persisted pattern set without paying
+    /// a cold root merge.
+    pub fn mine_with_known(
+        &self,
+        db: &GraphDb,
+        ufreq: &[Vec<f64>],
+        min_support: Support,
+        known: Option<&PatternSet>,
+        tel: &Telemetry,
+    ) -> MineOutcome {
         let start = Instant::now();
         let cfg = &self.config;
 
@@ -214,7 +232,7 @@ impl PartMiner {
             min_support,
             &mut node_results,
             &mut merge,
-            None,
+            known,
             tel,
         );
         let merge_time = t.elapsed();
@@ -349,6 +367,30 @@ mod tests {
         let outcome = PartMiner::new(cfg).mine(&db, &uf, 2);
         let direct = GSpan::new().mine(&db, 2);
         assert!(outcome.patterns.same_codes_and_supports(&direct));
+    }
+
+    #[test]
+    fn mine_with_known_matches_cold_mine() {
+        let (db, uf) = sample_db();
+        let mut cfg = PartMinerConfig::with_k(3);
+        cfg.exact_supports = true;
+        let miner = PartMiner::new(cfg);
+        let cold = miner.mine(&db, &uf, 2);
+        let tel = graphmine_telemetry::Telemetry::new();
+        let warm = miner.mine_with_known(&db, &uf, 2, Some(&cold.patterns), &tel);
+        assert!(warm.patterns.same_codes_and_supports(&cold.patterns));
+        // With verify_unchanged=false the prior set short-circuits root
+        // verification entirely (the paper's literal pruning).
+        let mut trusting = cfg;
+        trusting.verify_unchanged = false;
+        let tel2 = graphmine_telemetry::Telemetry::new();
+        let warm2 =
+            PartMiner::new(trusting).mine_with_known(&db, &uf, 2, Some(&cold.patterns), &tel2);
+        assert!(warm2.patterns.same_codes(&cold.patterns));
+        assert!(
+            tel2.counters().get(Counter::KnownSkipped) > 0,
+            "warm restart reuses the known set"
+        );
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! A small blocking client for the daemon's NDJSON protocol — used by
+//! the `graphmine client` subcommand, the CI smoke test, and the
+//! integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use graphmine_graph::{DbUpdate, DfsCode, Support};
+use graphmine_telemetry::JsonValue;
+
+use crate::protocol::{code_to_json, ops_to_json};
+
+/// One connection to a serving daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address does not resolve or the connection is
+    /// refused.
+    pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<Client, String> {
+        let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr:?}: {e}"))?;
+        let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Client { reader: BufReader::new(read_half), writer: stream })
+    }
+
+    /// Sends one raw request line and returns the parsed response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, an unparsable response, or a response whose
+    /// `status` is not `"ok"` (the server's `error` message is returned).
+    pub fn request_line(&mut self, line: &str) -> Result<JsonValue, String> {
+        writeln!(self.writer, "{}", line.trim_end()).map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        let value = JsonValue::parse(reply.trim_end()).map_err(|e| format!("recv: {e}"))?;
+        match value.field("status").and_then(JsonValue::as_str) {
+            Some("ok") => Ok(value),
+            Some("error") => Err(value
+                .field("error")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unspecified server error")
+                .to_string()),
+            _ => Err(format!("malformed response: {}", value.to_json())),
+        }
+    }
+
+    /// Sends a request value and returns the parsed response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn request(&mut self, req: &JsonValue) -> Result<JsonValue, String> {
+        self.request_line(&req.to_json())
+    }
+
+    /// A `status` request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn status(&mut self, report: bool) -> Result<JsonValue, String> {
+        let mut fields = vec![("cmd".to_string(), JsonValue::Str("status".to_string()))];
+        if report {
+            fields.push(("report".to_string(), JsonValue::Num(1)));
+        }
+        self.request(&JsonValue::Obj(fields))
+    }
+
+    /// A `patterns` request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn patterns(
+        &mut self,
+        top: Option<usize>,
+        min_support: Option<Support>,
+    ) -> Result<JsonValue, String> {
+        let mut fields = vec![("cmd".to_string(), JsonValue::Str("patterns".to_string()))];
+        if let Some(top) = top {
+            fields.push(("top".to_string(), JsonValue::Num(top as u64)));
+        }
+        if let Some(ms) = min_support {
+            fields.push(("min_support".to_string(), JsonValue::Num(u64::from(ms))));
+        }
+        self.request(&JsonValue::Obj(fields))
+    }
+
+    /// A `support` request for a DFS code.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn support(&mut self, code: &DfsCode) -> Result<JsonValue, String> {
+        self.request(&JsonValue::Obj(vec![
+            ("cmd".to_string(), JsonValue::Str("support".to_string())),
+            ("code".to_string(), code_to_json(code)),
+        ]))
+    }
+
+    /// An `update` request; `Ok` means the batch is durable and served.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn update(&mut self, ops: &[DbUpdate]) -> Result<JsonValue, String> {
+        self.request(&JsonValue::Obj(vec![
+            ("cmd".to_string(), JsonValue::Str("update".to_string())),
+            ("ops".to_string(), ops_to_json(ops)),
+        ]))
+    }
+
+    /// A `shutdown` request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn shutdown(&mut self) -> Result<JsonValue, String> {
+        self.request(&JsonValue::Obj(vec![(
+            "cmd".to_string(),
+            JsonValue::Str("shutdown".to_string()),
+        )]))
+    }
+}

@@ -1,0 +1,694 @@
+//! The serving engine: durable state, epoch-swapped results, and request
+//! handling — everything except sockets.
+//!
+//! # Data directory
+//!
+//! ```text
+//! <dir>/snapshot.<E>.gs    GraphDb snapshot at epoch E (GraphStore)
+//! <dir>/patterns.<E>.pat   P(D) at epoch E, for warm restarts
+//! <dir>/journal.wal        fsync-before-ack update journal (UpdateJournal)
+//! <dir>/meta.json          commit record naming the current pair
+//! ```
+//!
+//! The **epoch** of a result is the sequence number of the last update
+//! batch folded into it; epoch 0 is the freshly mined snapshot. On boot
+//! the engine mines the snapshot (warm-started from its pattern file),
+//! replays the journal, and serves from an [`Arc`]-swapped
+//! [`ResultEpoch`] — readers grab the current `Arc` and never block
+//! behind a writer. An update is acknowledged only after its batch is
+//! fsynced to the journal; a crash (or [`kill -9`]) at any point
+//! recovers to exactly the acknowledged prefix.
+//!
+//! A clean stop folds the journal into a fresh snapshot. The snapshot
+//! and pattern files are epoch-named and `meta.json` — renamed into
+//! place — is the commit point, so a crash *during* the stop leaves
+//! either the old consistent pair or the new one. Journal batches with
+//! `seq <= base_epoch` are already folded into the committed snapshot
+//! and are skipped on replay, which makes the journal truncation pure
+//! garbage collection.
+//!
+//! [`kill -9`]: crate::ServerHandle::abort
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig, PartMinerState};
+use graphmine_graph::dfscode::min_dfs_code;
+use graphmine_graph::pattern_io::{read_patterns, write_patterns};
+use graphmine_graph::{
+    DbUpdate, DfsCode, EmbeddingStore, Graph, GraphDb, GraphId, PatternSet, Support,
+    DEFAULT_EMBEDDING_BUDGET,
+};
+use graphmine_storage::{GraphStore, UpdateJournal};
+use graphmine_telemetry::{Counter, JsonValue, RunReport, Telemetry};
+use parking_lot::{Mutex, RwLock};
+use rustc_hash::FxHashMap;
+
+use crate::protocol::{error_response, ok_response, pattern_to_json, Request};
+
+/// Engine configuration. `min_support` and `k` are only honored when the
+/// data directory is fresh; an existing snapshot pins both (a serving
+/// result is only incremental against the threshold it was mined at).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Absolute minimum support of the maintained result.
+    pub min_support: Support,
+    /// Number of partition units (PartMiner `k`).
+    pub k: usize,
+    /// Mine units on threads during boot/update re-mines.
+    pub parallel: bool,
+    /// Buffer-pool pages for the snapshot store and the journal.
+    pub pool_pages: usize,
+    /// Byte budget for per-query embedding lists on the support path.
+    pub embedding_budget: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            min_support: 2,
+            k: 4,
+            parallel: false,
+            pool_pages: 64,
+            embedding_budget: DEFAULT_EMBEDDING_BUDGET,
+        }
+    }
+}
+
+/// How a `support` query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportSource {
+    /// The pattern is frequent: answered from the warm result `P(D)`.
+    Patterns,
+    /// Counted exactly by the embedding-list engine.
+    Embeddings,
+    /// Counted exactly by backtracking isomorphism search.
+    Search,
+}
+
+impl SupportSource {
+    /// Stable identifier used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            SupportSource::Patterns => "patterns",
+            SupportSource::Embeddings => "embeddings",
+            SupportSource::Search => "search",
+        }
+    }
+
+    fn counter(self) -> Counter {
+        match self {
+            SupportSource::Patterns => Counter::SupportFromPatterns,
+            SupportSource::Embeddings => Counter::SupportFromEmbeddings,
+            SupportSource::Search => Counter::SupportFromSearch,
+        }
+    }
+}
+
+/// One immutable generation of serving state. Readers hold an `Arc` to
+/// it for the duration of a request, so an update installing the next
+/// epoch never invalidates an answer in flight.
+pub struct ResultEpoch {
+    /// Journal sequence number of the last batch folded in (0 = snapshot).
+    pub epoch: u64,
+    /// The database at this epoch.
+    pub db: Arc<GraphDb>,
+    /// `P(D)` at this epoch.
+    pub patterns: Arc<PatternSet>,
+    /// Memoized exact supports of infrequent query patterns.
+    cache: Mutex<FxHashMap<DfsCode, (Support, SupportSource)>>,
+}
+
+impl ResultEpoch {
+    fn new(epoch: u64, db: GraphDb, patterns: PatternSet) -> Self {
+        ResultEpoch {
+            epoch,
+            db: Arc::new(db),
+            patterns: Arc::new(patterns),
+            cache: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Exact support of `pattern` in this epoch's database, cheapest
+    /// source first: the frequent set, then embedding lists, then plain
+    /// isomorphism search. Repeated queries hit a per-epoch memo.
+    pub fn support_of(
+        &self,
+        pattern: &Graph,
+        tel: &Telemetry,
+        budget: usize,
+    ) -> (Support, SupportSource) {
+        let code = min_dfs_code(pattern);
+        if let Some(s) = self.patterns.support(&code) {
+            tel.counters().bump(SupportSource::Patterns.counter());
+            return (s, SupportSource::Patterns);
+        }
+        let cached = self.cache.lock().get(&code).copied();
+        if let Some((s, src)) = cached {
+            tel.counters().bump(src.counter());
+            return (s, src);
+        }
+        let (support, source) =
+            match EmbeddingStore::new(&self.db, budget).support(&code, tel.counters()) {
+                Some((s, _gids)) => (s, SupportSource::Embeddings),
+                None => (graphmine_graph::iso::support(&self.db, &code), SupportSource::Search),
+            };
+        self.cache.lock().insert(code, (support, source));
+        tel.counters().bump(source.counter());
+        (support, source)
+    }
+}
+
+/// What an acknowledged update batch did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateSummary {
+    /// Durable journal sequence number (= the new epoch).
+    pub seq: u64,
+    /// Patterns that stayed frequent.
+    pub uf: usize,
+    /// Patterns that fell out of the frequent set.
+    pub fi: usize,
+    /// Patterns that became frequent.
+    pub if_new: usize,
+    /// Size of the new `P(D)`.
+    pub pattern_count: usize,
+}
+
+/// What [`ServeEngine::boot`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootReport {
+    /// Whether an existing snapshot was loaded (vs a fresh directory).
+    pub from_snapshot: bool,
+    /// Journal batches replayed on top of the snapshot.
+    pub replayed: usize,
+    /// The epoch the engine is serving after recovery.
+    pub epoch: u64,
+}
+
+struct EngineInner {
+    state: PartMinerState,
+    journal: UpdateJournal,
+}
+
+/// The socket-free core of the daemon: owns the mining state, the
+/// journal, and the current [`ResultEpoch`]; thread-safe throughout.
+pub struct ServeEngine {
+    tel: Telemetry,
+    started: Instant,
+    dir: PathBuf,
+    min_support: Support,
+    k: usize,
+    embedding_budget: usize,
+    pool_pages: usize,
+    current: RwLock<Arc<ResultEpoch>>,
+    inner: Mutex<EngineInner>,
+}
+
+impl ServeEngine {
+    /// Boots from `dir`, creating it from `initial` on first run.
+    ///
+    /// With an existing snapshot, `initial` is ignored: the database is
+    /// the snapshot plus the replayed journal, and `cfg.min_support` /
+    /// `cfg.k` are overridden by the persisted metadata. The snapshot is
+    /// re-mined warm-started from the persisted pattern set.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, corrupt metadata, or a fresh directory
+    /// without `initial`.
+    pub fn boot(
+        initial: Option<&GraphDb>,
+        dir: &Path,
+        cfg: &EngineConfig,
+    ) -> Result<(ServeEngine, BootReport), String> {
+        let tel = Telemetry::new();
+        let meta_path = dir.join("meta.json");
+
+        let from_snapshot = meta_path.exists();
+        let (db, min_support, k, base_epoch, known) = if from_snapshot {
+            let meta = std::fs::read_to_string(&meta_path).map_err(|e| format!("meta: {e}"))?;
+            let meta = JsonValue::parse(&meta).map_err(|e| format!("meta: {e}"))?;
+            let num = |key: &str| {
+                meta.field(key)
+                    .and_then(JsonValue::as_num)
+                    .ok_or_else(|| format!("meta: missing numeric field `{key}`"))
+            };
+            let snap_name = meta
+                .field("snapshot")
+                .and_then(JsonValue::as_str)
+                .ok_or("meta: missing string field `snapshot`")?;
+            let store = GraphStore::open(&dir.join(snap_name), cfg.pool_pages)
+                .map_err(|e| format!("snapshot: {e}"))?;
+            let db = store.read_all().map_err(|e| format!("snapshot: {e}"))?;
+            let known = match meta.field("patterns").and_then(JsonValue::as_str) {
+                Some(name) => {
+                    let file = std::fs::File::open(dir.join(name))
+                        .map_err(|e| format!("patterns: {e}"))?;
+                    Some(
+                        read_patterns(std::io::BufReader::new(file))
+                            .map_err(|e| format!("patterns: {e}"))?,
+                    )
+                }
+                None => None,
+            };
+            (db, num("min_support")? as Support, num("k")? as usize, num("base_epoch")?, known)
+        } else {
+            let db = initial.cloned().ok_or_else(|| {
+                format!("no snapshot in {} and no initial database", dir.display())
+            })?;
+            GraphStore::create(&dir.join("snapshot.0.gs"), &db, cfg.pool_pages)
+                .map_err(|e| format!("snapshot: {e}"))?;
+            write_meta(&meta_path, cfg.min_support, cfg.k, 0, None)?;
+            (db, cfg.min_support, cfg.k, 0, None)
+        };
+
+        let mut mining = PartMinerConfig::with_k(k);
+        mining.parallel = cfg.parallel;
+        // Serving hands out supports; approximate ones would poison both
+        // the `patterns` listing and the warm `support` path.
+        mining.exact_supports = true;
+        mining.embedding_budget_bytes = cfg.embedding_budget;
+
+        let ufreq: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+        // The persisted pattern set is P(D) of this very snapshot, so the
+        // boot mine may trust it outright; updates re-verify as usual.
+        let mut boot_mining = mining;
+        boot_mining.verify_unchanged = false;
+        let outcome = PartMiner::new(boot_mining).mine_with_known(
+            &db,
+            &ufreq,
+            min_support,
+            known.as_ref(),
+            &tel,
+        );
+        let mut state = outcome.state;
+        state.config = mining;
+
+        let (mut journal, batches) =
+            UpdateJournal::recover(&dir.join("journal.wal"), cfg.pool_pages)
+                .map_err(|e| format!("journal: {e}"))?;
+        let mut replayed = 0usize;
+        for batch in &batches {
+            // Batches at or below the committed base epoch are already
+            // folded into the snapshot (the journal outlived a clean
+            // stop's truncation step); replaying them would double-apply.
+            if batch.seq <= base_epoch {
+                continue;
+            }
+            IncPartMiner::update_instrumented(&mut state, &batch.updates, &tel)
+                .map_err(|e| format!("journal replay (batch {}): {e}", batch.seq))?;
+            tel.counters().bump(Counter::WalBatchesReplayed);
+            replayed += 1;
+        }
+        // After a clean stop the journal is empty but the numbering must
+        // continue where the snapshot left off.
+        journal.set_next_seq(base_epoch + 1);
+        let epoch = journal.next_seq() - 1;
+
+        let current =
+            ResultEpoch::new(epoch, state.partition.root().db.clone(), state.patterns().clone());
+        let engine = ServeEngine {
+            tel,
+            started: Instant::now(),
+            dir: dir.to_path_buf(),
+            min_support,
+            k,
+            embedding_budget: cfg.embedding_budget,
+            pool_pages: cfg.pool_pages,
+            current: RwLock::new(Arc::new(current)),
+            inner: Mutex::new(EngineInner { state, journal }),
+        };
+        Ok((engine, BootReport { from_snapshot, replayed, epoch }))
+    }
+
+    /// The epoch currently being served.
+    pub fn current(&self) -> Arc<ResultEpoch> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The engine's telemetry (request counters, mining spans).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// The absolute support threshold the result is maintained at.
+    pub fn min_support(&self) -> Support {
+        self.min_support
+    }
+
+    /// Validates, journals (fsync), applies, and publishes an update
+    /// batch. On success the returned sequence number is durable *and*
+    /// the new epoch is visible to readers.
+    ///
+    /// # Errors
+    ///
+    /// An invalid batch (bad gid, duplicate edge, …) is rejected as a
+    /// whole — nothing is journaled and the served state is unchanged.
+    pub fn apply_update(&self, ops: &[DbUpdate]) -> Result<UpdateSummary, String> {
+        let mut inner = self.inner.lock();
+        validate_batch(&inner.state.partition.root().db, ops)?;
+        let seq = inner.journal.append_batch(ops).map_err(|e| format!("journal: {e}"))?;
+        self.tel.counters().bump(Counter::WalBatchesAppended);
+        let inc = IncPartMiner::update_instrumented(&mut inner.state, ops, &self.tel)
+            .map_err(|e| format!("apply: {e}"))?;
+        let next = ResultEpoch::new(
+            seq,
+            inner.state.partition.root().db.clone(),
+            inner.state.patterns().clone(),
+        );
+        *self.current.write() = Arc::new(next);
+        self.tel.counters().bump(Counter::EpochSwaps);
+        Ok(UpdateSummary {
+            seq,
+            uf: inc.uf.len(),
+            fi: inc.fi.len(),
+            if_new: inc.if_new.len(),
+            pattern_count: inc.patterns.len(),
+        })
+    }
+
+    /// Folds the journal into a fresh snapshot and truncates it. The
+    /// next boot warm-starts from the persisted `P(D)`.
+    ///
+    /// Crash-safe: the new snapshot and pattern files are written under
+    /// epoch-suffixed names, then `meta.json` is atomically renamed to
+    /// point at them. A crash before the rename boots from the old pair
+    /// (re-replaying the journal); a crash after it boots from the new
+    /// pair (skipping the already-folded batches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn clean_stop(&self) -> Result<(), String> {
+        let mut inner = self.inner.lock();
+        let base_epoch = inner.journal.next_seq() - 1;
+        let snap_name = format!("snapshot.{base_epoch}.gs");
+        let pat_name = format!("patterns.{base_epoch}.pat");
+
+        let db = inner.state.partition.root().db.clone();
+        GraphStore::create(&self.dir.join(&snap_name), &db, self.pool_pages)
+            .map_err(|e| format!("snapshot: {e}"))?;
+        let mut buf = Vec::new();
+        write_patterns(&mut buf, inner.state.patterns()).map_err(|e| format!("patterns: {e}"))?;
+        write_durable(&self.dir.join(&pat_name), &buf).map_err(|e| format!("patterns: {e}"))?;
+        // Commit point: once the rename lands, boots use the new pair.
+        write_meta(
+            &self.dir.join("meta.json"),
+            self.min_support,
+            self.k,
+            base_epoch,
+            Some((&snap_name, &pat_name)),
+        )?;
+
+        // Everything below is garbage collection; the directory is
+        // already consistent.
+        inner.journal.reset().map_err(|e| format!("journal: {e}"))?;
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let stale = (name.starts_with("snapshot.") && name.ends_with(".gs")
+                    || name.starts_with("patterns.") && name.ends_with(".pat"))
+                    && name != snap_name
+                    && name != pat_name;
+                if stale {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles one non-`shutdown` request and builds its response.
+    /// `shutdown` is the server loop's business (it must stop threads).
+    pub fn handle(&self, req: &Request) -> JsonValue {
+        match req {
+            Request::Status { report } => self.handle_status(*report),
+            Request::Patterns { top, min_support } => self.handle_patterns(*top, *min_support),
+            Request::Support { graph } => self.handle_support(graph),
+            Request::Update { ops } => match self.apply_update(ops) {
+                Ok(s) => {
+                    self.tel.counters().bump(Counter::ReqUpdate);
+                    ok_response(vec![
+                        ("epoch", JsonValue::Num(s.seq)),
+                        ("seq", JsonValue::Num(s.seq)),
+                        ("uf", JsonValue::Num(s.uf as u64)),
+                        ("fi", JsonValue::Num(s.fi as u64)),
+                        ("if", JsonValue::Num(s.if_new as u64)),
+                        ("pattern_count", JsonValue::Num(s.pattern_count as u64)),
+                    ])
+                }
+                Err(e) => {
+                    self.tel.counters().bump(Counter::ReqErrors);
+                    error_response(&e)
+                }
+            },
+            Request::Shutdown => {
+                self.tel.counters().bump(Counter::ReqShutdown);
+                ok_response(vec![("stopping", JsonValue::Num(1))])
+            }
+        }
+    }
+
+    fn handle_status(&self, report: bool) -> JsonValue {
+        self.tel.counters().bump(Counter::ReqStatus);
+        let ep = self.current();
+        let counters = JsonValue::Obj(
+            self.tel
+                .counters()
+                .snapshot()
+                .into_iter()
+                .map(|(name, v)| (name.to_string(), JsonValue::Num(v)))
+                .collect(),
+        );
+        let mut fields = vec![
+            ("epoch", JsonValue::Num(ep.epoch)),
+            ("uptime_ms", JsonValue::Num(self.started.elapsed().as_millis() as u64)),
+            ("db_graphs", JsonValue::Num(ep.db.len() as u64)),
+            ("db_edges", JsonValue::Num(ep.db.total_edges() as u64)),
+            ("pattern_count", JsonValue::Num(ep.patterns.len() as u64)),
+            ("min_support", JsonValue::Num(u64::from(self.min_support))),
+            ("counters", counters),
+        ];
+        if report {
+            let dump = RunReport::capture("serve", &self.tel).to_json();
+            let parsed = JsonValue::parse(&dump).unwrap_or(JsonValue::Null);
+            fields.push(("report", parsed));
+        }
+        ok_response(fields)
+    }
+
+    fn handle_patterns(&self, top: usize, min_support: Option<Support>) -> JsonValue {
+        self.tel.counters().bump(Counter::ReqPatterns);
+        let ep = self.current();
+        let floor = min_support.unwrap_or(0);
+        let mut hits: Vec<_> = ep.patterns.iter().filter(|p| p.support >= floor).collect();
+        hits.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.code.cmp(&b.code)));
+        let total = hits.len();
+        hits.truncate(top);
+        ok_response(vec![
+            ("epoch", JsonValue::Num(ep.epoch)),
+            ("total", JsonValue::Num(total as u64)),
+            ("returned", JsonValue::Num(hits.len() as u64)),
+            ("patterns", JsonValue::Arr(hits.into_iter().map(pattern_to_json).collect())),
+        ])
+    }
+
+    fn handle_support(&self, pattern: &Graph) -> JsonValue {
+        self.tel.counters().bump(Counter::ReqSupport);
+        let ep = self.current();
+        let (support, source) = ep.support_of(pattern, &self.tel, self.embedding_budget);
+        ok_response(vec![
+            ("epoch", JsonValue::Num(ep.epoch)),
+            ("support", JsonValue::Num(u64::from(support))),
+            ("source", JsonValue::Str(source.name().to_string())),
+        ])
+    }
+}
+
+/// Rejects a batch that would fail mid-application: the incremental
+/// miner applies updates one by one and an error would leave it half
+/// applied, so the whole batch is dry-run against clones of the touched
+/// graphs first.
+fn validate_batch(db: &GraphDb, ops: &[DbUpdate]) -> Result<(), String> {
+    let mut scratch: FxHashMap<GraphId, Graph> = FxHashMap::default();
+    for (i, up) in ops.iter().enumerate() {
+        if (up.gid as usize) >= db.len() {
+            return Err(format!("op {i}: graph {} out of range ({} graphs)", up.gid, db.len()));
+        }
+        let g = scratch.entry(up.gid).or_insert_with(|| db.graph(up.gid).clone());
+        up.update.apply(g).map_err(|e| format!("op {i}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Writes `bytes` to `path` and fsyncs before returning.
+fn write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+/// Writes the commit record: threshold, unit count, folded epoch, and —
+/// after the first clean stop — the snapshot/pattern pair to boot from.
+/// Written to a temp file and renamed so the swap is atomic.
+fn write_meta(
+    path: &Path,
+    min_support: Support,
+    k: usize,
+    base_epoch: u64,
+    files: Option<(&str, &str)>,
+) -> Result<(), String> {
+    let mut fields = vec![
+        ("min_support".to_string(), JsonValue::Num(u64::from(min_support))),
+        ("k".to_string(), JsonValue::Num(k as u64)),
+        ("base_epoch".to_string(), JsonValue::Num(base_epoch)),
+        ("snapshot".to_string(), JsonValue::Str("snapshot.0.gs".to_string())),
+    ];
+    if let Some((snap, pats)) = files {
+        fields[3].1 = JsonValue::Str(snap.to_string());
+        fields.push(("patterns".to_string(), JsonValue::Str(pats.to_string())));
+    }
+    let tmp = path.with_extension("json.tmp");
+    write_durable(&tmp, JsonValue::Obj(fields).to_json().as_bytes())
+        .map_err(|e| format!("meta: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("meta: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmine_graph::GraphUpdate;
+
+    fn small_db() -> GraphDb {
+        (0..4)
+            .map(|i| {
+                let mut g = Graph::new();
+                let a = g.add_vertex(0);
+                let b = g.add_vertex(1);
+                let c = g.add_vertex(2);
+                g.add_edge(a, b, 10).unwrap();
+                g.add_edge(b, c, 11).unwrap();
+                if i % 2 == 0 {
+                    g.add_edge(c, a, 12).unwrap();
+                }
+                g
+            })
+            .collect()
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig { min_support: 4, k: 2, ..EngineConfig::default() }
+    }
+
+    #[test]
+    fn boot_serves_the_cold_mine_result() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let (engine, boot) = ServeEngine::boot(Some(&db), dir.path(), &cfg()).unwrap();
+        assert!(!boot.from_snapshot);
+        assert_eq!(boot.epoch, 0);
+        let ep = engine.current();
+        assert_eq!(ep.epoch, 0);
+        // Two edges + the 2-edge path appear in all four graphs.
+        assert_eq!(ep.patterns.len(), 3);
+    }
+
+    #[test]
+    fn update_swaps_the_epoch_and_bad_batches_are_atomic() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &cfg()).unwrap();
+        // Invalid second op: the whole batch must be rejected untouched.
+        let bad = vec![
+            DbUpdate { gid: 1, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } },
+            DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 0, v: 99, label: 1 } },
+        ];
+        assert!(engine.apply_update(&bad).is_err());
+        assert_eq!(engine.current().epoch, 0);
+        assert_eq!(engine.telemetry().counters().get(Counter::WalBatchesAppended), 0);
+
+        let good = vec![DbUpdate { gid: 1, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } }];
+        let summary = engine.apply_update(&good).unwrap();
+        assert_eq!(summary.seq, 1);
+        let ep = engine.current();
+        assert_eq!(ep.epoch, 1);
+        assert_eq!(ep.patterns.len(), summary.pattern_count);
+        assert!(summary.fi > 0, "relabeling a shared vertex demotes patterns");
+    }
+
+    #[test]
+    fn support_path_covers_all_three_sources() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &cfg()).unwrap();
+        let ep = engine.current();
+        let tel = engine.telemetry();
+
+        // Frequent pattern: answered from P(D).
+        let mut frequent = Graph::new();
+        let a = frequent.add_vertex(0);
+        let b = frequent.add_vertex(1);
+        frequent.add_edge(a, b, 10).unwrap();
+        let (s, src) = ep.support_of(&frequent, tel, DEFAULT_EMBEDDING_BUDGET);
+        assert_eq!((s, src), (4, SupportSource::Patterns));
+
+        // Infrequent but present: the triangle edge, in graphs 0 and 2.
+        let mut rare = Graph::new();
+        let a = rare.add_vertex(2);
+        let b = rare.add_vertex(0);
+        rare.add_edge(a, b, 12).unwrap();
+        let (s, src) = ep.support_of(&rare, tel, DEFAULT_EMBEDDING_BUDGET);
+        assert_eq!(s, 2);
+        assert_eq!(src, SupportSource::Embeddings);
+        // Second ask hits the memo but reports the same source.
+        assert_eq!(ep.support_of(&rare, tel, DEFAULT_EMBEDDING_BUDGET), (2, src));
+
+        // Zero embedding budget: the triangle's root edge list has
+        // occurrences, so it cannot be admitted and the query falls back
+        // to isomorphism search. (An *absent* pattern would not do — its
+        // empty list costs zero bytes and fits any budget.)
+        let mut tri = Graph::new();
+        let a = tri.add_vertex(0);
+        let b = tri.add_vertex(1);
+        let c = tri.add_vertex(2);
+        tri.add_edge(a, b, 10).unwrap();
+        tri.add_edge(b, c, 11).unwrap();
+        tri.add_edge(c, a, 12).unwrap();
+        let (s, src) = ep.support_of(&tri, tel, 0);
+        assert_eq!(s, 2);
+        assert_eq!(src, SupportSource::Search);
+    }
+
+    #[test]
+    fn clean_stop_then_boot_resumes_epoch_and_patterns() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &cfg()).unwrap();
+        // Close the triangle everywhere so multi-edge patterns stay
+        // frequent — the warm-restart skip below only triggers for
+        // generated (size >= 2) candidates found in the known set.
+        let up = vec![
+            DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 2, v: 0, label: 12 } },
+            DbUpdate { gid: 3, update: GraphUpdate::AddEdge { u: 2, v: 0, label: 12 } },
+        ];
+        engine.apply_update(&up).unwrap();
+        let served = engine.current();
+        engine.clean_stop().unwrap();
+        drop(engine);
+
+        // min_support/k in the boot config are deliberately wrong; the
+        // persisted metadata must win.
+        let stale = EngineConfig { min_support: 999, k: 7, ..EngineConfig::default() };
+        let (engine, boot) = ServeEngine::boot(None, dir.path(), &stale).unwrap();
+        assert!(boot.from_snapshot);
+        assert_eq!(boot.replayed, 0, "clean stop folded the journal away");
+        assert_eq!(boot.epoch, 1, "numbering continues from the snapshot");
+        assert_eq!(engine.min_support(), 4);
+        assert!(engine.current().patterns.same_codes_and_supports(&served.patterns));
+        // Warm restart actually consumed the persisted pattern set.
+        assert!(engine.telemetry().counters().get(Counter::KnownSkipped) > 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! A resident pattern-serving daemon for the partition-based miner.
+//!
+//! The paper's IncPartMiner is built for a *standing* database: mine
+//! once, then fold update batches in incrementally. This crate turns
+//! that into a long-lived service — mine at boot, keep `P(D)` warm in
+//! memory, and answer pattern/support queries over a newline-delimited
+//! JSON protocol while updates stream in:
+//!
+//! * [`ServeEngine`] — durable state machine: snapshot + write-ahead
+//!   journal on `graphmine-storage`, warm-restart mining, and
+//!   epoch-swapped immutable results ([`ResultEpoch`]) so readers never
+//!   block behind an update;
+//! * [`start`] / [`ServerHandle`] — the TCP front end: accept thread,
+//!   bounded connection queue with explicit `overloaded` shedding, and
+//!   a fixed worker pool (std threads only — no async runtime);
+//! * [`protocol`] — the wire format;
+//! * [`Client`] — a small blocking client for tools and tests.
+//!
+//! An `update` is acknowledged only after its batch is fsynced to the
+//! journal, so `kill -9` after an ack never loses it: the next boot
+//! replays the journal on top of the snapshot. See `docs/SERVICE.md`
+//! for the protocol and operational details.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod client;
+mod engine;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use engine::{
+    BootReport, EngineConfig, ResultEpoch, ServeEngine, SupportSource, UpdateSummary,
+};
+pub use protocol::Request;
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,445 @@
+//! Wire protocol of the serving daemon: newline-delimited JSON.
+//!
+//! Every request is one JSON object on one line with a `"cmd"` field;
+//! every response is one JSON object on one line with a `"status"` field
+//! (`"ok"` or `"error"`). The JSON dialect is the telemetry crate's
+//! subset — unsigned integers, strings, arrays, objects, `null`; no
+//! floats or booleans — so flags are encoded as `0`/`1` integers.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"cmd":"status"}                   // add "report":1 for the full RunReport
+//! {"cmd":"patterns","top":10,"min_support":3}      // both fields optional
+//! {"cmd":"support","code":[[0,1,0,5,1],[1,2,1,5,0]]}
+//! {"cmd":"support","graph":{"vertices":[0,1,0],"edges":[[0,1,5],[1,2,5]]}}
+//! {"cmd":"update","ops":[{"gid":3,"op":"add-edge","u":0,"v":6,"label":2}]}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! A `code` is a list of DFS-code edges `[from, to, from_label,
+//! edge_label, to_label]`; it does not have to be minimal — the server
+//! canonicalizes. Update ops mirror the CLI text format
+//! (`relabel-vertex`, `relabel-edge`, `add-edge`, `add-vertex`).
+
+use graphmine_graph::{DbUpdate, DfsCode, Graph, GraphUpdate, Pattern, VLabel};
+use graphmine_telemetry::JsonValue;
+
+/// Patterns returned by a `patterns` request when `top` is omitted.
+pub const DEFAULT_TOP: usize = 50;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Daemon and database overview, counters, optionally a full report.
+    Status {
+        /// Include the JSON [`graphmine_telemetry::RunReport`] dump.
+        report: bool,
+    },
+    /// The current frequent patterns, most supported first.
+    Patterns {
+        /// Maximum number of patterns returned.
+        top: usize,
+        /// Only return patterns with at least this support.
+        min_support: Option<u32>,
+    },
+    /// Exact support of a client-supplied pattern graph.
+    Support {
+        /// The pattern, already materialized and validated.
+        graph: Graph,
+    },
+    /// Apply an update batch through the incremental miner.
+    Update {
+        /// The updates, in application order.
+        ops: Vec<DbUpdate>,
+    },
+    /// Stop the daemon (snapshot + journal truncation on the way out).
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, unknown commands,
+/// or structurally invalid patterns/updates.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = JsonValue::parse(line).map_err(|e| format!("bad json: {e}"))?;
+    let cmd = value
+        .field("cmd")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing string field `cmd`".to_string())?;
+    match cmd {
+        "status" => {
+            let report = matches!(value.field("report"), Some(JsonValue::Num(n)) if *n != 0);
+            Ok(Request::Status { report })
+        }
+        "patterns" => {
+            let top = match value.field("top") {
+                None | Some(JsonValue::Null) => DEFAULT_TOP,
+                Some(v) => v.as_num().ok_or("field `top` must be an integer")? as usize,
+            };
+            let min_support = match value.field("min_support") {
+                None | Some(JsonValue::Null) => None,
+                Some(v) => Some(v.as_num().ok_or("field `min_support` must be an integer")? as u32),
+            };
+            Ok(Request::Patterns { top, min_support })
+        }
+        "support" => {
+            let graph = match (value.field("code"), value.field("graph")) {
+                (Some(code), None) => pattern_from_code_json(code)?,
+                (None, Some(spec)) => pattern_from_graph_json(spec)?,
+                _ => return Err("`support` needs exactly one of `code` or `graph`".to_string()),
+            };
+            Ok(Request::Support { graph })
+        }
+        "update" => {
+            let ops = value.field("ops").ok_or("missing field `ops`")?;
+            Ok(Request::Update { ops: ops_from_json(ops)? })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// An `{"status":"ok", ...fields}` response.
+pub fn ok_response(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    let mut obj = vec![("status".to_string(), JsonValue::Str("ok".to_string()))];
+    obj.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    JsonValue::Obj(obj)
+}
+
+/// An `{"status":"error","error":msg}` response.
+pub fn error_response(msg: &str) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("status".to_string(), JsonValue::Str("error".to_string())),
+        ("error".to_string(), JsonValue::Str(msg.to_string())),
+    ])
+}
+
+/// Serializes a DFS code as the wire's list of 5-tuples.
+pub fn code_to_json(code: &DfsCode) -> JsonValue {
+    JsonValue::Arr(
+        code.0
+            .iter()
+            .map(|e| {
+                JsonValue::Arr(vec![
+                    JsonValue::Num(u64::from(e.from)),
+                    JsonValue::Num(u64::from(e.to)),
+                    JsonValue::Num(u64::from(e.from_label)),
+                    JsonValue::Num(u64::from(e.edge_label)),
+                    JsonValue::Num(u64::from(e.to_label)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Serializes a pattern as `{"support":s,"size":edges,"code":[...]}`.
+pub fn pattern_to_json(p: &Pattern) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("support".to_string(), JsonValue::Num(u64::from(p.support))),
+        ("size".to_string(), JsonValue::Num(p.size() as u64)),
+        ("code".to_string(), code_to_json(&p.code)),
+    ])
+}
+
+/// Serializes an update batch as the wire's `ops` array (the client side
+/// of [`ops_from_json`]).
+pub fn ops_to_json(ops: &[DbUpdate]) -> JsonValue {
+    let num = |n: u32| JsonValue::Num(u64::from(n));
+    JsonValue::Arr(
+        ops.iter()
+            .map(|u| {
+                let mut obj = vec![("gid".to_string(), num(u.gid))];
+                let mut put = |k: &str, v: JsonValue| obj.push((k.to_string(), v));
+                match u.update {
+                    GraphUpdate::RelabelVertex { v, label } => {
+                        put("op", JsonValue::Str("relabel-vertex".to_string()));
+                        put("v", num(v));
+                        put("label", num(label));
+                    }
+                    GraphUpdate::RelabelEdge { e, label } => {
+                        put("op", JsonValue::Str("relabel-edge".to_string()));
+                        put("e", num(e));
+                        put("label", num(label));
+                    }
+                    GraphUpdate::AddEdge { u, v, label } => {
+                        put("op", JsonValue::Str("add-edge".to_string()));
+                        put("u", num(u));
+                        put("v", num(v));
+                        put("label", num(label));
+                    }
+                    GraphUpdate::AddVertex { label, attach_to, elabel } => {
+                        put("op", JsonValue::Str("add-vertex".to_string()));
+                        put("label", num(label));
+                        put("attach_to", num(attach_to));
+                        put("elabel", num(elabel));
+                    }
+                }
+                JsonValue::Obj(obj)
+            })
+            .collect(),
+    )
+}
+
+/// Materializes and validates the `code` form of a `support` request.
+///
+/// Unlike [`DfsCode::to_graph`] — which asserts canonical gSpan ordering
+/// and panics on anything else — this accepts edges in any order and
+/// turns every malformed input into an error: the daemon must never
+/// panic on untrusted bytes. The resulting graph is canonicalized by the
+/// caller via [`min_dfs_code`], so non-minimal codes are fine.
+fn pattern_from_code_json(value: &JsonValue) -> Result<Graph, String> {
+    let edges = value.as_arr().ok_or("`code` must be an array of 5-tuples")?;
+    if edges.is_empty() {
+        return Err("`code` must contain at least one edge".to_string());
+    }
+    let mut labels: Vec<Option<VLabel>> = Vec::new();
+    let mut tuples = Vec::with_capacity(edges.len());
+    for (i, e) in edges.iter().enumerate() {
+        let t = e.as_arr().filter(|t| t.len() == 5).ok_or_else(|| {
+            format!("code edge {i}: expected [from, to, from_label, edge_label, to_label]")
+        })?;
+        let mut nums = [0u32; 5];
+        for (j, v) in t.iter().enumerate() {
+            nums[j] = v
+                .as_num()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("code edge {i}: field {j} is not a u32"))?;
+        }
+        let [from, to, from_label, edge_label, to_label] = nums;
+        if from == to {
+            return Err(format!("code edge {i}: self-loop on vertex {from}"));
+        }
+        for (v, l) in [(from, from_label), (to, to_label)] {
+            let idx = v as usize;
+            if idx >= labels.len() {
+                labels.resize(idx + 1, None);
+            }
+            match labels[idx] {
+                None => labels[idx] = Some(l),
+                Some(prev) if prev == l => {}
+                Some(prev) => {
+                    return Err(format!("vertex {v} labeled both {prev} and {l}"));
+                }
+            }
+        }
+        tuples.push((from, to, edge_label));
+    }
+    let mut g = Graph::with_capacity(labels.len(), tuples.len());
+    for (v, label) in labels.iter().enumerate() {
+        let label = label.ok_or_else(|| format!("vertex {v} never appears in an edge"))?;
+        g.add_vertex(label);
+    }
+    for (i, (from, to, elabel)) in tuples.into_iter().enumerate() {
+        g.add_edge(from, to, elabel).map_err(|e| format!("code edge {i}: {e}"))?;
+    }
+    if !g.is_connected() {
+        return Err("pattern is not connected".to_string());
+    }
+    Ok(g)
+}
+
+/// Materializes and validates the `graph` form of a `support` request:
+/// `{"vertices":[label,...],"edges":[[u,v,label],...]}`.
+fn pattern_from_graph_json(value: &JsonValue) -> Result<Graph, String> {
+    let vertices = value
+        .field("vertices")
+        .and_then(JsonValue::as_arr)
+        .ok_or("`graph` needs an array field `vertices`")?;
+    let edges = value
+        .field("edges")
+        .and_then(JsonValue::as_arr)
+        .ok_or("`graph` needs an array field `edges`")?;
+    if vertices.is_empty() || edges.is_empty() {
+        return Err("pattern must have at least one vertex and one edge".to_string());
+    }
+    let mut g = Graph::with_capacity(vertices.len(), edges.len());
+    for (i, v) in vertices.iter().enumerate() {
+        let label = v
+            .as_num()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| format!("vertex {i}: label is not a u32"))?;
+        g.add_vertex(label);
+    }
+    for (i, e) in edges.iter().enumerate() {
+        let t = e
+            .as_arr()
+            .filter(|t| t.len() == 3)
+            .ok_or_else(|| format!("edge {i}: expected [u, v, label]"))?;
+        let mut nums = [0u32; 3];
+        for (j, v) in t.iter().enumerate() {
+            nums[j] = v
+                .as_num()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("edge {i}: field {j} is not a u32"))?;
+        }
+        g.add_edge(nums[0], nums[1], nums[2]).map_err(|e| format!("edge {i}: {e}"))?;
+    }
+    if !g.is_connected() {
+        return Err("pattern is not connected".to_string());
+    }
+    Ok(g)
+}
+
+/// Decodes the `ops` array of an `update` request.
+fn ops_from_json(value: &JsonValue) -> Result<Vec<DbUpdate>, String> {
+    let items = value.as_arr().ok_or("`ops` must be an array")?;
+    if items.is_empty() {
+        return Err("`ops` must contain at least one update".to_string());
+    }
+    let mut ops = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let num = |key: &str| -> Result<u32, String> {
+            item.field(key)
+                .and_then(JsonValue::as_num)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("op {i}: missing or invalid u32 field `{key}`"))
+        };
+        let gid = num("gid")?;
+        let op = item
+            .field("op")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("op {i}: missing string field `op`"))?;
+        let update = match op {
+            "relabel-vertex" => GraphUpdate::RelabelVertex { v: num("v")?, label: num("label")? },
+            "relabel-edge" => GraphUpdate::RelabelEdge { e: num("e")?, label: num("label")? },
+            "add-edge" => GraphUpdate::AddEdge { u: num("u")?, v: num("v")?, label: num("label")? },
+            "add-vertex" => GraphUpdate::AddVertex {
+                label: num("label")?,
+                attach_to: num("attach_to")?,
+                elabel: num("elabel")?,
+            },
+            other => return Err(format!("op {i}: unknown op `{other}`")),
+        };
+        ops.push(DbUpdate { gid, update });
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmine_graph::dfscode::min_dfs_code;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"status"}"#).unwrap(),
+            Request::Status { report: false }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"status","report":1}"#).unwrap(),
+            Request::Status { report: true }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"patterns","top":3,"min_support":2}"#).unwrap(),
+            Request::Patterns { top: 3, min_support: Some(2) }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"patterns"}"#).unwrap(),
+            Request::Patterns { top: DEFAULT_TOP, min_support: None }
+        );
+        assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
+        let up = parse_request(
+            r#"{"cmd":"update","ops":[{"gid":3,"op":"add-edge","u":0,"v":6,"label":2}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            up,
+            Request::Update {
+                ops: vec![DbUpdate {
+                    gid: 3,
+                    update: GraphUpdate::AddEdge { u: 0, v: 6, label: 2 }
+                }]
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"cmd":"nope"}"#).is_err());
+        assert!(parse_request(r#"{"no":"cmd"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"update","ops":[]}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"update","ops":[{"gid":0,"op":"warp"}]}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"support"}"#).is_err());
+    }
+
+    #[test]
+    fn support_code_round_trips_through_min_code() {
+        // A labeled path 0-1-2; the wire code is NOT minimal (edges reversed).
+        let req = parse_request(r#"{"cmd":"support","code":[[1,2,1,11,2],[0,1,0,10,1]]}"#).unwrap();
+        let Request::Support { graph } = req else { panic!("not a support request") };
+        assert_eq!(graph.vertex_count(), 3);
+        assert_eq!(graph.edge_count(), 2);
+        let code = min_dfs_code(&graph);
+        // The minimal code of the same path, built the canonical way.
+        let mut canonical = Graph::new();
+        let a = canonical.add_vertex(0);
+        let b = canonical.add_vertex(1);
+        let c = canonical.add_vertex(2);
+        canonical.add_edge(a, b, 10).unwrap();
+        canonical.add_edge(b, c, 11).unwrap();
+        assert_eq!(code, min_dfs_code(&canonical));
+    }
+
+    #[test]
+    fn support_code_rejects_untrusted_garbage() {
+        // These would all panic inside DfsCode::to_graph.
+        for bad in [
+            r#"{"cmd":"support","code":[]}"#,
+            r#"{"cmd":"support","code":[[0,0,1,1,1]]}"#, // self-loop
+            r#"{"cmd":"support","code":[[0,1,2,3]]}"#,   // short tuple
+            r#"{"cmd":"support","code":[[0,3,1,1,1]]}"#, // gap: vertex 1,2 missing
+            r#"{"cmd":"support","code":[[0,1,5,1,6],[0,1,7,1,6]]}"#, // label conflict
+            r#"{"cmd":"support","code":[[0,1,5,1,6],[0,1,5,2,6]]}"#, // duplicate edge
+            r#"{"cmd":"support","code":[[0,1,1,1,1],[2,3,1,1,1]]}"#, // disconnected
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn support_graph_spec_builds_the_graph() {
+        let req = parse_request(
+            r#"{"cmd":"support","graph":{"vertices":[0,1,0],"edges":[[0,1,5],[1,2,5]]}}"#,
+        )
+        .unwrap();
+        let Request::Support { graph } = req else { panic!("not a support request") };
+        assert_eq!(graph.vertex_count(), 3);
+        assert_eq!(graph.vlabel(2), 0);
+        assert!(parse_request(r#"{"cmd":"support","graph":{"vertices":[0,1],"edges":[[0,5,1]]}}"#)
+            .is_err());
+    }
+
+    #[test]
+    fn ops_json_round_trips() {
+        let ops = vec![
+            DbUpdate { gid: 3, update: GraphUpdate::RelabelVertex { v: 1, label: 9 } },
+            DbUpdate { gid: 0, update: GraphUpdate::RelabelEdge { e: 2, label: 4 } },
+            DbUpdate { gid: 7, update: GraphUpdate::AddEdge { u: 0, v: 5, label: 2 } },
+            DbUpdate {
+                gid: 1,
+                update: GraphUpdate::AddVertex { label: 6, attach_to: 2, elabel: 1 },
+            },
+        ];
+        let line = JsonValue::Obj(vec![
+            ("cmd".to_string(), JsonValue::Str("update".to_string())),
+            ("ops".to_string(), ops_to_json(&ops)),
+        ])
+        .to_json();
+        assert_eq!(parse_request(&line).unwrap(), Request::Update { ops });
+    }
+
+    #[test]
+    fn responses_have_a_status() {
+        let ok = ok_response(vec![("epoch", JsonValue::Num(4))]);
+        assert_eq!(ok.field("status").and_then(JsonValue::as_str), Some("ok"));
+        assert_eq!(ok.field("epoch").and_then(JsonValue::as_num), Some(4));
+        let err = error_response("boom");
+        assert_eq!(err.field("status").and_then(JsonValue::as_str), Some("error"));
+        assert_eq!(err.field("error").and_then(JsonValue::as_str), Some("boom"));
+    }
+}

@@ -1,0 +1,297 @@
+//! The TCP front end: an accept thread, a bounded connection queue, and
+//! a fixed worker pool.
+//!
+//! Load shedding is explicit: when the queue is full the accept thread
+//! immediately writes an `overloaded` error on the new connection and
+//! closes it rather than letting requests pile up unboundedly. Workers
+//! serve a connection until the client closes it, handling any number
+//! of newline-delimited requests.
+//!
+//! Shutdown has two flavors. A client `shutdown` request (or
+//! [`ServerHandle::wait`] returning) stops the threads and runs
+//! [`ServeEngine::clean_stop`] — snapshot, persist patterns, truncate
+//! the journal. [`ServerHandle::abort`] stops the threads *without* the
+//! clean stop, leaving the data directory exactly as a `kill -9` would;
+//! tests use it to exercise journal recovery.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use graphmine_telemetry::Counter;
+
+use crate::engine::ServeEngine;
+use crate::protocol::{self, Request};
+
+/// How long a worker blocks on an idle connection before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Socket-side configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before shedding starts.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 4, queue_depth: 64 }
+    }
+}
+
+/// The bounded hand-off between the accept thread and the workers.
+///
+/// `std`'s `Mutex`/`Condvar` rather than the vendored `parking_lot`
+/// shim, which has no condition variables.
+struct ConnQueue {
+    conns: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> Self {
+        ConnQueue { conns: Mutex::new(VecDeque::new()), ready: Condvar::new(), depth }
+    }
+
+    /// Queues a connection, or hands it back when the queue is full.
+    fn try_push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.conns.lock().expect("queue poisoned");
+        if q.len() >= self.depth {
+            return Err(conn);
+        }
+        q.push_back(conn);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once shutdown is flagged.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.conns.lock().expect("queue poisoned");
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            q = self.ready.wait(q).expect("queue poisoned");
+        }
+    }
+
+    fn wake_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// Everything a worker needs, shared across threads.
+struct Shared {
+    engine: Arc<ServeEngine>,
+    queue: ConnQueue,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flags shutdown and wakes every blocked thread: workers via the
+    /// queue's condvar, the accept thread via a throwaway connection to
+    /// its own listener (blocking `accept` has no other wake-up).
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue.wake_all();
+        if let Ok(conn) = TcpStream::connect(self.addr) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running server; dropping it stops the threads (without a clean
+/// stop — call [`ServerHandle::wait`] for that).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds and starts the daemon over a booted engine.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound.
+pub fn start(engine: Arc<ServeEngine>, cfg: &ServerConfig) -> Result<ServerHandle, String> {
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let shared = Arc::new(Shared {
+        engine,
+        queue: ConnQueue::new(cfg.queue_depth.max(1)),
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+
+    let workers = (0..cfg.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| format!("spawn worker: {e}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))
+            .map_err(|e| format!("spawn accept: {e}"))?
+    };
+
+    Ok(ServerHandle { shared, accept: Some(accept), workers })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.shared.engine
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until a client requests shutdown, then stops the threads
+    /// and runs [`ServeEngine::clean_stop`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates clean-stop I/O failures.
+    pub fn wait(mut self) -> Result<(), String> {
+        self.join_threads();
+        self.shared.engine.clean_stop()
+    }
+
+    /// Stops the threads *without* the clean stop: the data directory is
+    /// left as an abrupt process death would leave it — snapshot stale,
+    /// journal carrying every acknowledged batch. The next
+    /// [`ServeEngine::boot`] must recover through the journal.
+    pub fn abort(mut self) {
+        self.shared.begin_shutdown();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Accept exiting means shutdown was flagged; workers drain out.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.workers.is_empty() {
+            self.shared.begin_shutdown();
+            self.join_threads();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(conn) = conn else { continue };
+        if let Err(mut conn) = shared.queue.try_push(conn) {
+            // Shed: tell the client explicitly instead of timing out.
+            shared.engine.telemetry().counters().bump(Counter::ReqOverloaded);
+            let line = protocol::error_response("overloaded").to_json();
+            let _ = writeln!(conn, "{line}");
+            let _ = conn.shutdown(Shutdown::Write);
+        }
+    }
+    shared.queue.wake_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(conn) = shared.queue.pop(&shared.shutdown) {
+        serve_conn(conn, shared);
+    }
+}
+
+/// Serves one connection until EOF, error, or shutdown. The read
+/// timeout keeps an idle client from pinning the worker across a
+/// shutdown; partially read lines survive timeouts because the buffer
+/// is only cleared after a full line is handled.
+fn serve_conn(conn: TcpStream, shared: &Shared) {
+    let _ = conn.set_read_timeout(Some(READ_POLL));
+    let Ok(read_half) = conn.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = conn;
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let stop = respond(&line, &mut writer, shared);
+                    if stop {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line; returns `true` when the connection (and on
+/// `shutdown`, the server) should stop.
+fn respond(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
+    let counters = shared.engine.telemetry().counters();
+    let (response, stop) = match protocol::parse_request(line) {
+        Ok(Request::Shutdown) => (shared.engine.handle(&Request::Shutdown), true),
+        Ok(req) => (shared.engine.handle(&req), false),
+        Err(e) => {
+            counters.bump(Counter::ReqErrors);
+            (protocol::error_response(&e), false)
+        }
+    };
+    let sent = writeln!(writer, "{}", response.to_json()).and_then(|()| writer.flush());
+    if stop {
+        // Only begin the shutdown after the acknowledgement is on the
+        // wire so the requesting client sees its response.
+        shared.begin_shutdown();
+        return true;
+    }
+    sent.is_err()
+}

@@ -1,0 +1,169 @@
+//! Concurrency tests for the serving daemon: many client threads
+//! reading through an in-flight update, explicit load shedding when the
+//! bounded queue fills, and counter reconciliation against the exact
+//! number of issued requests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use graphmine_datagen::{generate, plan_updates, GenParams, UpdateKind, UpdateParams};
+use graphmine_graph::{DfsCode, DfsEdge, GraphDb};
+use graphmine_serve::{start, Client, EngineConfig, ServeEngine, ServerConfig};
+use graphmine_telemetry::JsonValue;
+
+fn test_db() -> GraphDb {
+    generate(&GenParams::new(24, 6, 4, 4, 3).with_seed(11))
+}
+
+fn booted(dir: &std::path::Path) -> Arc<ServeEngine> {
+    let db = test_db();
+    let cfg = EngineConfig { min_support: db.abs_support(0.3), k: 2, ..EngineConfig::default() };
+    let (engine, _) = ServeEngine::boot(Some(&db), dir, &cfg).unwrap();
+    Arc::new(engine)
+}
+
+/// Eight reader threads hammer `patterns` and `support` while an update
+/// lands mid-flight. Every response must carry a consistent epoch (0 or
+/// 1, never going backwards per thread) and the final counters must
+/// equal the exact number of requests issued.
+#[test]
+fn readers_stay_consistent_through_an_inflight_update() {
+    const READERS: usize = 8;
+    const ROUNDS: usize = 30;
+
+    let dir = tempfile::tempdir().unwrap();
+    let engine = booted(dir.path());
+    let handle = start(
+        engine,
+        &ServerConfig { workers: READERS + 2, queue_depth: 64, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let probe = DfsCode(vec![DfsEdge::new(0, 1, 0, 0, 0)]);
+    let readers: Vec<_> = (0..READERS)
+        .map(|i| {
+            let probe = probe.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut last_epoch = 0u64;
+                for round in 0..ROUNDS {
+                    let resp = if (round + i) % 2 == 0 {
+                        client.patterns(Some(1000), None).unwrap()
+                    } else {
+                        client.support(&probe).unwrap()
+                    };
+                    let epoch = resp.field("epoch").and_then(JsonValue::as_num).unwrap();
+                    assert!(epoch >= last_epoch, "epoch went backwards: {epoch} < {last_epoch}");
+                    assert!(epoch <= 1, "only one update is ever applied");
+                    last_epoch = epoch;
+                    if let Some(patterns) = resp.field("patterns").and_then(JsonValue::as_arr) {
+                        let returned = resp.field("returned").and_then(JsonValue::as_num).unwrap();
+                        assert_eq!(patterns.len() as u64, returned);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // One update lands while the readers are running.
+    let db = test_db();
+    let ops = plan_updates(&db, &UpdateParams::new(0.25, 2, UpdateKind::Mixed, 4).with_seed(5));
+    let mut writer = Client::connect(addr).unwrap();
+    let ack = writer.update(&ops).unwrap();
+    assert_eq!(ack.field("epoch").and_then(JsonValue::as_num), Some(1));
+
+    for r in readers {
+        r.join().expect("reader thread panicked (deadlock or bad response)");
+    }
+
+    // Reconcile the counters with exactly what was issued.
+    let status = writer.status(false).unwrap();
+    let counters = status.field("counters").expect("counters object");
+    let get = |name: &str| counters.field(name).and_then(JsonValue::as_num).unwrap();
+    let expected_patterns = (READERS * ROUNDS).div_ceil(2) as u64; // per-thread split is exact
+    assert_eq!(get("req_patterns"), expected_patterns);
+    assert_eq!(get("req_support"), (READERS * ROUNDS) as u64 - expected_patterns);
+    assert_eq!(get("req_update"), 1);
+    assert_eq!(get("req_status"), 1, "only this reconciliation status");
+    assert_eq!(get("req_errors"), 0);
+    assert_eq!(get("wal_batches_appended"), 1);
+    assert_eq!(get("epoch_swaps"), 1);
+
+    writer.shutdown().unwrap();
+    handle.wait().unwrap();
+}
+
+/// With one worker and a queue of one, a held connection plus a queued
+/// one force the next arrival to be shed with an explicit `overloaded`
+/// error instead of hanging.
+#[test]
+fn full_queue_sheds_with_overloaded() {
+    let dir = tempfile::tempdir().unwrap();
+    let engine = booted(dir.path());
+    let handle =
+        start(engine, &ServerConfig { workers: 1, queue_depth: 1, ..ServerConfig::default() })
+            .unwrap();
+    let addr = handle.addr();
+
+    // A completed request proves the single worker now owns this
+    // connection (it serves it until we close it).
+    let mut held = Client::connect(addr).unwrap();
+    held.status(false).unwrap();
+
+    // Fills the queue; no worker will ever pick it up while `held` is open.
+    let parked = TcpStream::connect(addr).unwrap();
+
+    // Third connection: must be shed immediately.
+    let shed = TcpStream::connect(addr).unwrap();
+    let mut line = String::new();
+    BufReader::new(&shed).read_line(&mut line).unwrap();
+    let resp = JsonValue::parse(line.trim_end()).unwrap();
+    assert_eq!(resp.field("status").and_then(JsonValue::as_str), Some("error"));
+    assert_eq!(resp.field("error").and_then(JsonValue::as_str), Some("overloaded"));
+
+    // The shed is visible in the counters, via the still-served connection.
+    let status = held.status(false).unwrap();
+    let shed_count = status
+        .field("counters")
+        .and_then(|c| c.field("req_overloaded"))
+        .and_then(JsonValue::as_num)
+        .unwrap();
+    assert!(shed_count >= 1);
+
+    drop(parked);
+    held.shutdown().unwrap();
+    handle.wait().unwrap();
+}
+
+/// Raw protocol errors: garbage lines get an error response (and count
+/// as `req_errors`) without killing the connection.
+#[test]
+fn malformed_lines_get_error_responses() {
+    let dir = tempfile::tempdir().unwrap();
+    let engine = booted(dir.path());
+    let handle = start(engine, &ServerConfig::default()).unwrap();
+
+    let mut conn = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    for bad in ["not json", r#"{"cmd":"warp"}"#, r#"{"cmd":"support","code":[[0,0,1,1,1]]}"#] {
+        writeln!(conn, "{bad}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = JsonValue::parse(line.trim_end()).unwrap();
+        assert_eq!(resp.field("status").and_then(JsonValue::as_str), Some("error"));
+    }
+    // The connection still works.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let status = client.status(false).unwrap();
+    let errors = status
+        .field("counters")
+        .and_then(|c| c.field("req_errors"))
+        .and_then(JsonValue::as_num)
+        .unwrap();
+    assert_eq!(errors, 3);
+
+    client.shutdown().unwrap();
+    handle.wait().unwrap();
+}

@@ -42,6 +42,32 @@ impl ByteStore {
         Ok(ByteStore { pool: BufferPool::new(file, pool_pages), cursor: 0 })
     }
 
+    /// Reopens an existing store at `path`, resuming appends at
+    /// `logical_len` (the number of valid bytes in the stream — callers
+    /// persist this out of band or rediscover it by scanning, as the
+    /// update journal does).
+    ///
+    /// # Errors
+    ///
+    /// File-system failures, a misaligned file, or a `logical_len` beyond
+    /// the file's capacity.
+    pub fn open(
+        path: &Path,
+        pool_pages: usize,
+        logical_len: u64,
+        io_latency: Duration,
+    ) -> Result<Self, StorageError> {
+        let mut file = PageFile::open(path)?;
+        file.set_io_latency(io_latency);
+        let capacity = file.page_count() * PAGE_SIZE as u64;
+        if logical_len > capacity {
+            return Err(StorageError::Corrupt(format!(
+                "logical length {logical_len} beyond file capacity {capacity}"
+            )));
+        }
+        Ok(ByteStore { pool: BufferPool::new(file, pool_pages), cursor: logical_len })
+    }
+
     /// Appends a record, returning its handle.
     ///
     /// # Errors
@@ -76,7 +102,8 @@ impl ByteStore {
         self.cursor
     }
 
-    /// Writes all dirty pages back.
+    /// Writes all dirty pages back and syncs them to stable storage (the
+    /// pool flush ends in [`PageFile::sync`], a real `fdatasync`).
     ///
     /// # Errors
     ///
@@ -176,5 +203,35 @@ mod tests {
         let mut s = store();
         let id = s.append(b"").unwrap();
         assert_eq!(s.read(id).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn reopen_resumes_appends() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("b.db");
+        let (a, len) = {
+            let mut s = ByteStore::create(&path, 4, Duration::ZERO).unwrap();
+            let a = s.append(b"persisted").unwrap();
+            s.flush().unwrap();
+            (a, s.len_bytes())
+        };
+        let mut s = ByteStore::open(&path, 4, len, Duration::ZERO).unwrap();
+        assert_eq!(s.read(a).unwrap(), b"persisted");
+        let b = s.append(b"appended-after-reopen").unwrap();
+        assert_eq!(s.read(b).unwrap(), b"appended-after-reopen");
+        assert_eq!(b.offset, len, "cursor resumed at the logical end");
+    }
+
+    #[test]
+    fn reopen_rejects_len_beyond_capacity() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("b.db");
+        {
+            let mut s = ByteStore::create(&path, 4, Duration::ZERO).unwrap();
+            s.append(b"x").unwrap();
+            s.flush().unwrap();
+        }
+        let r = ByteStore::open(&path, 4, 10 * PAGE_SIZE as u64, Duration::ZERO);
+        assert!(matches!(r, Err(StorageError::Corrupt(_))));
     }
 }

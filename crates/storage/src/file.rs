@@ -130,13 +130,16 @@ impl PageFile {
         Ok(())
     }
 
-    /// Flushes the file to the operating system.
+    /// Flushes buffered writes and forces them to stable storage
+    /// (`fdatasync`). Durability paths — the update journal, snapshot
+    /// writes — rely on this being a real sync, not just a library flush.
     ///
     /// # Errors
     ///
     /// Propagates `fsync` failures.
     pub fn sync(&mut self) -> Result<(), StorageError> {
         self.file.flush()?;
+        self.file.sync_data()?;
         Ok(())
     }
 }

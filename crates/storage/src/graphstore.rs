@@ -14,7 +14,12 @@ use std::time::Duration;
 use graphmine_graph::{Graph, GraphDb};
 
 use crate::bytestore::{read_stream, write_stream};
-use crate::{BufferPool, PageFile, PoolStats, StorageError};
+use crate::{BufferPool, PageFile, PoolStats, StorageError, PAGE_SIZE};
+
+/// Magic bytes at offset 0 of every store file.
+const MAGIC: [u8; 4] = *b"GMGS";
+/// On-disk format version.
+const VERSION: u32 = 1;
 
 /// A read-mostly, page-resident graph database.
 pub struct GraphStore {
@@ -52,7 +57,9 @@ impl GraphStore {
         let pool = BufferPool::new(file, pool_pages);
         let mut offsets = Vec::with_capacity(db.len());
         let mut lens = Vec::with_capacity(db.len());
-        let mut cursor = 0u64;
+        // Page 0 is the header; records start on the next page boundary so
+        // re-opening knows where to scan from.
+        let mut cursor = PAGE_SIZE as u64;
         for (_, g) in db.iter() {
             let bytes = encode(g);
             offsets.push(cursor);
@@ -60,9 +67,72 @@ impl GraphStore {
             write_stream(&pool, cursor, &bytes)?;
             cursor += bytes.len() as u64;
         }
+        let mut header = Vec::with_capacity(20);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&(db.len() as u32).to_le_bytes());
+        header.extend_from_slice(&(cursor - PAGE_SIZE as u64).to_le_bytes());
+        write_stream(&pool, 0, &header)?;
         pool.flush()?;
         let store = GraphStore { pool, offsets, lens };
         Ok(store)
+    }
+
+    /// Reopens a store previously written by [`GraphStore::create`],
+    /// rebuilding the in-memory offset directory by scanning the
+    /// self-delimiting records — the recovery path the serving daemon takes
+    /// to reload its snapshot.
+    ///
+    /// # Errors
+    ///
+    /// File-system failures, a missing/foreign header, or records that do
+    /// not span exactly the length the header declares.
+    pub fn open(path: &Path, pool_pages: usize) -> Result<Self, StorageError> {
+        let file = PageFile::open(path)?;
+        if file.page_count() == 0 {
+            return Err(StorageError::Corrupt("store file has no header page".into()));
+        }
+        let pool = BufferPool::new(file, pool_pages);
+        let mut header = [0u8; 20];
+        read_stream(&pool, 0, &mut header)?;
+        if header[..4] != MAGIC {
+            return Err(StorageError::Corrupt("not a graph store file (bad magic)".into()));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(StorageError::Corrupt(format!("unsupported store version {version}")));
+        }
+        let count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let data_len = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        let end = PAGE_SIZE as u64 + data_len;
+        if end > pool.page_count() * PAGE_SIZE as u64 {
+            return Err(StorageError::Corrupt(format!(
+                "header declares {data_len} data bytes beyond the file"
+            )));
+        }
+        let mut offsets = Vec::with_capacity(count as usize);
+        let mut lens = Vec::with_capacity(count as usize);
+        let mut cursor = PAGE_SIZE as u64;
+        for gid in 0..count {
+            let nv = read_u32_at(&pool, cursor, end)?;
+            let ne = read_u32_at(&pool, cursor + 4 + 4 * u64::from(nv), end)?;
+            let len = 8 + 4 * u64::from(nv) + 12 * u64::from(ne);
+            if cursor + len > end {
+                return Err(StorageError::Corrupt(format!(
+                    "record {gid} runs past the declared data length"
+                )));
+            }
+            offsets.push(cursor);
+            lens.push(len as u32);
+            cursor += len;
+        }
+        if cursor != end {
+            return Err(StorageError::Corrupt(format!(
+                "records cover {} bytes but the header declares {data_len}",
+                cursor - PAGE_SIZE as u64
+            )));
+        }
+        Ok(GraphStore { pool, offsets, lens })
     }
 
     /// Number of stored graphs.
@@ -113,6 +183,17 @@ impl GraphStore {
     pub fn page_count(&self) -> u64 {
         self.pool.page_count()
     }
+}
+
+/// Reads a little-endian `u32` at stream offset `off`, refusing to read
+/// past `end` (the declared end of record data).
+fn read_u32_at(pool: &BufferPool, off: u64, end: u64) -> Result<u32, StorageError> {
+    if off + 4 > end {
+        return Err(StorageError::Corrupt("record header runs past the data length".into()));
+    }
+    let mut buf = [0u8; 4];
+    read_stream(pool, off, &mut buf)?;
+    Ok(u32::from_le_bytes(buf))
 }
 
 fn encode(g: &Graph) -> Vec<u8> {
@@ -231,5 +312,47 @@ mod tests {
         let store = GraphStore::create(&dir.path().join("g.db"), &GraphDb::new(), 4).unwrap();
         assert!(store.is_empty());
         assert!(store.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn create_drop_open_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("g.db");
+        let db = sample_db(40);
+        {
+            let store = GraphStore::create(&path, &db, 8).unwrap();
+            assert_eq!(store.len(), 40);
+        } // dropped: only the file remains
+        let store = GraphStore::open(&path, 8).unwrap();
+        assert_eq!(store.len(), 40);
+        for gid in 0..40u32 {
+            assert_eq!(&store.read_graph(gid).unwrap(), db.graph(gid), "gid {gid}");
+        }
+        assert_eq!(store.read_all().unwrap().len(), db.len());
+    }
+
+    #[test]
+    fn open_empty_store() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("g.db");
+        drop(GraphStore::create(&path, &GraphDb::new(), 4).unwrap());
+        let store = GraphStore::open(&path, 4).unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn open_rejects_foreign_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("junk.db");
+        std::fs::write(&path, vec![0x5Au8; crate::PAGE_SIZE]).unwrap();
+        assert!(matches!(GraphStore::open(&path, 4), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn open_rejects_truncated_header() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("empty.db");
+        std::fs::write(&path, Vec::<u8>::new()).unwrap();
+        assert!(matches!(GraphStore::open(&path, 4), Err(StorageError::Corrupt(_))));
     }
 }

@@ -1,0 +1,361 @@
+//! Write-ahead journal for database update batches.
+//!
+//! The serving daemon acknowledges an `update` request only after the batch
+//! has reached stable storage. The journal provides that guarantee on top of
+//! [`ByteStore`]: each batch is framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! payload = [seq: u64 LE] [n: u32 LE] [n × op]
+//! op      = [gid: u32 LE] [tag: u8] [a: u32 LE] [b: u32 LE] [c: u32 LE]
+//! ```
+//!
+//! with a CRC-32 (IEEE) over the payload. `append_batch` flushes and
+//! fsyncs before returning, so a returned sequence number means the batch
+//! survives a crash. [`UpdateJournal::recover`] rebuilds the acknowledged
+//! prefix by scanning frames and stops at the first zero/oversized length or
+//! CRC mismatch — a torn tail from a crash mid-write is zeroed and ignored,
+//! never replayed.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use graphmine_graph::{DbUpdate, GraphUpdate};
+
+use crate::{ByteStore, StorageError, PAGE_SIZE};
+
+/// Frame header bytes: `len` + `crc32`.
+const FRAME_HEADER: usize = 8;
+/// Bytes per serialized op: gid + tag + three `u32` arguments.
+const OP_BYTES: usize = 17;
+/// Upper bound on a sane frame payload; larger lengths are treated as a
+/// torn/corrupt tail rather than attempted.
+const MAX_FRAME: u32 = 64 << 20;
+
+/// One recovered (or to-be-written) journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalBatch {
+    /// Monotonic batch sequence number (1-based).
+    pub seq: u64,
+    /// The updates of the batch, in application order.
+    pub updates: Vec<DbUpdate>,
+}
+
+/// An fsync-before-ack write-ahead log of [`DbUpdate`] batches.
+pub struct UpdateJournal {
+    store: ByteStore,
+    path: PathBuf,
+    pool_pages: usize,
+    next_seq: u64,
+}
+
+impl UpdateJournal {
+    /// Creates an empty journal at `path` (truncating any existing file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn create(path: &Path, pool_pages: usize) -> Result<Self, StorageError> {
+        let store = ByteStore::create(path, pool_pages, Duration::ZERO)?;
+        Ok(UpdateJournal { store, path: path.to_path_buf(), pool_pages, next_seq: 1 })
+    }
+
+    /// Opens the journal at `path`, replaying every intact frame. Returns
+    /// the journal (positioned after the last intact frame) and the
+    /// recovered batches in order. A torn tail — a partially written frame
+    /// left by a crash during `append_batch` — is zeroed and ignored. A
+    /// missing file yields an empty journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn recover(
+        path: &Path,
+        pool_pages: usize,
+    ) -> Result<(Self, Vec<JournalBatch>), StorageError> {
+        if !path.exists() {
+            return Ok((Self::create(path, pool_pages)?, Vec::new()));
+        }
+        let bytes = std::fs::read(path)?;
+        let (batches, valid_len) = scan_frames(&bytes);
+        let padded_len = (valid_len as u64).div_ceil(PAGE_SIZE as u64) * PAGE_SIZE as u64;
+        if bytes[valid_len..].iter().any(|&b| b != 0) || bytes.len() as u64 != padded_len {
+            // Zero the torn tail so a later scan cannot resurrect it, and
+            // restore page alignment for the page file.
+            let mut clean = bytes[..valid_len].to_vec();
+            clean.resize(padded_len as usize, 0);
+            std::fs::write(path, &clean)?;
+        }
+        let store = ByteStore::open(path, pool_pages, valid_len as u64, Duration::ZERO)?;
+        let next_seq = batches.last().map_or(1, |b| b.seq + 1);
+        Ok((UpdateJournal { store, path: path.to_path_buf(), pool_pages, next_seq }, batches))
+    }
+
+    /// Appends a batch and forces it to stable storage. The returned
+    /// sequence number is durable: after `append_batch` returns, a crash
+    /// and [`UpdateJournal::recover`] will replay this batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write and fsync failures.
+    pub fn append_batch(&mut self, updates: &[DbUpdate]) -> Result<u64, StorageError> {
+        let seq = self.next_seq;
+        let payload = encode_payload(seq, updates);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.store.append(&frame)?;
+        self.store.flush()?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Truncates the journal after its contents have been folded into a
+    /// snapshot. The next appended batch continues the sequence numbering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn reset(&mut self) -> Result<(), StorageError> {
+        self.store = ByteStore::create(&self.path, self.pool_pages, Duration::ZERO)?;
+        Ok(())
+    }
+
+    /// Sequence number the next batch will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Raises the next sequence number to `seq` (no-op when already higher).
+    ///
+    /// A snapshot folds the journal away ([`UpdateJournal::reset`]) but the
+    /// global batch numbering must keep counting across restarts; after
+    /// recovering an empty journal the caller restores the numbering from
+    /// its snapshot metadata with this.
+    pub fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
+    /// Bytes of journaled frames (excluding page padding).
+    pub fn len_bytes(&self) -> u64 {
+        self.store.len_bytes()
+    }
+}
+
+/// Scans `bytes` for intact frames; returns the decoded batches and the
+/// byte length of the valid prefix.
+fn scan_frames(bytes: &[u8]) -> (Vec<JournalBatch>, usize) {
+    let mut batches = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + FRAME_HEADER) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_FRAME {
+            break;
+        }
+        let Some(payload) = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len as usize) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some(batch) = decode_payload(payload) else { break };
+        batches.push(batch);
+        pos += FRAME_HEADER + len as usize;
+    }
+    (batches, pos)
+}
+
+fn encode_payload(seq: u64, updates: &[DbUpdate]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + OP_BYTES * updates.len());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+    for u in updates {
+        out.extend_from_slice(&u.gid.to_le_bytes());
+        let (tag, a, b, c): (u8, u32, u32, u32) = match u.update {
+            GraphUpdate::RelabelVertex { v, label } => (0, v, label, 0),
+            GraphUpdate::RelabelEdge { e, label } => (1, e, label, 0),
+            GraphUpdate::AddEdge { u, v, label } => (2, u, v, label),
+            GraphUpdate::AddVertex { label, attach_to, elabel } => (3, label, attach_to, elabel),
+        };
+        out.push(tag);
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> Option<JournalBatch> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().ok()?);
+    let n = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
+    if payload.len() != 12 + n * OP_BYTES {
+        return None;
+    }
+    let mut updates = Vec::with_capacity(n);
+    for i in 0..n {
+        let op = &payload[12 + i * OP_BYTES..12 + (i + 1) * OP_BYTES];
+        let gid = u32::from_le_bytes(op[..4].try_into().ok()?);
+        let a = u32::from_le_bytes(op[5..9].try_into().ok()?);
+        let b = u32::from_le_bytes(op[9..13].try_into().ok()?);
+        let c = u32::from_le_bytes(op[13..17].try_into().ok()?);
+        let update = match op[4] {
+            0 => GraphUpdate::RelabelVertex { v: a, label: b },
+            1 => GraphUpdate::RelabelEdge { e: a, label: b },
+            2 => GraphUpdate::AddEdge { u: a, v: b, label: c },
+            3 => GraphUpdate::AddVertex { label: a, attach_to: b, elabel: c },
+            _ => return None,
+        };
+        updates.push(DbUpdate { gid, update });
+    }
+    Some(JournalBatch { seq, updates })
+}
+
+/// CRC-32 (IEEE 802.3, reflected), computed bitwise — no table, no deps.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> Vec<DbUpdate> {
+        vec![
+            DbUpdate { gid: 3, update: GraphUpdate::RelabelVertex { v: 1, label: 9 } },
+            DbUpdate { gid: 0, update: GraphUpdate::RelabelEdge { e: 2, label: 4 } },
+            DbUpdate { gid: 7, update: GraphUpdate::AddEdge { u: 0, v: 5, label: 2 } },
+            DbUpdate {
+                gid: 1,
+                update: GraphUpdate::AddVertex { label: 6, attach_to: 2, elabel: 1 },
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_recover_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        {
+            let mut j = UpdateJournal::create(&path, 4).unwrap();
+            assert_eq!(j.append_batch(&sample_batch()).unwrap(), 1);
+            assert_eq!(j.append_batch(&sample_batch()[..2]).unwrap(), 2);
+        }
+        let (j, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].seq, 1);
+        assert_eq!(batches[0].updates, sample_batch());
+        assert_eq!(batches[1].seq, 2);
+        assert_eq!(batches[1].updates, sample_batch()[..2]);
+        assert_eq!(j.next_seq(), 3);
+    }
+
+    #[test]
+    fn recover_missing_file_is_empty() {
+        let dir = tempfile::tempdir().unwrap();
+        let (j, batches) = UpdateJournal::recover(&dir.path().join("none.db"), 4).unwrap();
+        assert!(batches.is_empty());
+        assert_eq!(j.next_seq(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_journal_stays_usable() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        let after_first = {
+            let mut j = UpdateJournal::create(&path, 4).unwrap();
+            j.append_batch(&sample_batch()).unwrap();
+            let after_first = j.len_bytes();
+            j.append_batch(&sample_batch()).unwrap();
+            let full = j.len_bytes();
+            drop(j);
+            // Simulate a crash mid-write of the second frame: truncate into
+            // the middle of its payload, leaving an unaligned raw length —
+            // recover must both drop the torn frame and restore alignment.
+            let bytes = std::fs::read(&path).unwrap();
+            let cut = (after_first + (full - after_first) / 2) as usize;
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            after_first
+        };
+        let (mut j, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 1, "only the fully written batch survives");
+        assert_eq!(batches[0].updates, sample_batch());
+        assert_eq!(j.len_bytes(), after_first);
+        // The journal keeps working: the next append lands after the intact
+        // prefix and recovers cleanly again.
+        assert_eq!(j.append_batch(&sample_batch()[..1]).unwrap(), 2);
+        drop(j);
+        let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[1].seq, 2);
+        assert_eq!(batches[1].updates, sample_batch()[..1]);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_the_scan() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        {
+            let mut j = UpdateJournal::create(&path, 4).unwrap();
+            j.append_batch(&sample_batch()).unwrap();
+            j.append_batch(&sample_batch()).unwrap();
+        }
+        // Flip a payload byte of the SECOND frame.
+        let first_len = {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let first = FRAME_HEADER + 12 + OP_BYTES * 4;
+            bytes[first + FRAME_HEADER + 3] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+            first as u64
+        };
+        let (j, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 1, "corrupt second frame dropped");
+        assert_eq!(j.len_bytes(), first_len);
+    }
+
+    #[test]
+    fn reset_truncates_but_keeps_sequence() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        let mut j = UpdateJournal::create(&path, 4).unwrap();
+        j.append_batch(&sample_batch()).unwrap();
+        j.reset().unwrap();
+        assert_eq!(j.len_bytes(), 0);
+        assert_eq!(j.append_batch(&sample_batch()).unwrap(), 2, "numbering continues");
+        drop(j);
+        let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].seq, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_journalable() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        let mut j = UpdateJournal::create(&path, 4).unwrap();
+        j.append_batch(&[]).unwrap();
+        drop(j);
+        let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 1);
+        assert!(batches[0].updates.is_empty());
+    }
+}

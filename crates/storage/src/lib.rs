@@ -10,7 +10,10 @@
 //!   experiments can report both wall-clock time and I/O volume;
 //! * [`GraphStore`] — a graph-database serialization format over pages,
 //!   with per-graph random access (the access pattern of index-backed
-//!   mining) and full scans.
+//!   mining), full scans, and reopen-from-disk for snapshot recovery;
+//! * [`UpdateJournal`] — an fsync-before-ack write-ahead log of update
+//!   batches with CRC-framed records and torn-tail recovery, the
+//!   durability substrate of the serving daemon.
 //!
 //! Everything returns [`StorageError`]; I/O failures are surfaced, never
 //! panicked on.
@@ -22,10 +25,12 @@ mod bytestore;
 mod error;
 mod file;
 mod graphstore;
+mod journal;
 mod pool;
 
 pub use bytestore::{ByteStore, RecordId};
 pub use error::StorageError;
 pub use file::{PageFile, PageId, PAGE_SIZE};
 pub use graphstore::GraphStore;
+pub use journal::{JournalBatch, UpdateJournal};
 pub use pool::{BufferPool, PoolStats};

@@ -51,11 +51,37 @@ pub enum Counter {
     /// Per-graph embedding searches skipped because an embedding list
     /// answered the support query instead.
     SearchCallsAvoided,
+    /// Serve: `status` requests handled.
+    ReqStatus,
+    /// Serve: `patterns` requests handled.
+    ReqPatterns,
+    /// Serve: `support` requests handled.
+    ReqSupport,
+    /// Serve: `update` requests handled (acknowledged batches).
+    ReqUpdate,
+    /// Serve: `shutdown` requests handled.
+    ReqShutdown,
+    /// Serve: requests rejected as malformed or failed while handled.
+    ReqErrors,
+    /// Serve: connections shed with `overloaded` (bounded queue full).
+    ReqOverloaded,
+    /// Serve: update batches appended (and fsynced) to the WAL.
+    WalBatchesAppended,
+    /// Serve: journaled batches replayed during startup recovery.
+    WalBatchesReplayed,
+    /// Serve: support queries answered from the warm result epoch `P(D)`.
+    SupportFromPatterns,
+    /// Serve: support queries answered by the embedding-list engine.
+    SupportFromEmbeddings,
+    /// Serve: support queries that fell back to isomorphism search.
+    SupportFromSearch,
+    /// Serve: result-epoch swaps installed after update re-mines.
+    EpochSwaps,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 32] = [
         Counter::CandidatesGenerated,
         Counter::IsoTestsRun,
         Counter::IsoTestsPruned,
@@ -75,6 +101,19 @@ impl Counter {
         Counter::EmbeddingsSpilled,
         Counter::SearchCalls,
         Counter::SearchCallsAvoided,
+        Counter::ReqStatus,
+        Counter::ReqPatterns,
+        Counter::ReqSupport,
+        Counter::ReqUpdate,
+        Counter::ReqShutdown,
+        Counter::ReqErrors,
+        Counter::ReqOverloaded,
+        Counter::WalBatchesAppended,
+        Counter::WalBatchesReplayed,
+        Counter::SupportFromPatterns,
+        Counter::SupportFromEmbeddings,
+        Counter::SupportFromSearch,
+        Counter::EpochSwaps,
     ];
 
     /// Stable snake_case identifier used in reports.
@@ -99,6 +138,19 @@ impl Counter {
             Counter::EmbeddingsSpilled => "embeddings_spilled",
             Counter::SearchCalls => "search_calls",
             Counter::SearchCallsAvoided => "search_calls_avoided",
+            Counter::ReqStatus => "req_status",
+            Counter::ReqPatterns => "req_patterns",
+            Counter::ReqSupport => "req_support",
+            Counter::ReqUpdate => "req_update",
+            Counter::ReqShutdown => "req_shutdown",
+            Counter::ReqErrors => "req_errors",
+            Counter::ReqOverloaded => "req_overloaded",
+            Counter::WalBatchesAppended => "wal_batches_appended",
+            Counter::WalBatchesReplayed => "wal_batches_replayed",
+            Counter::SupportFromPatterns => "support_from_patterns",
+            Counter::SupportFromEmbeddings => "support_from_embeddings",
+            Counter::SupportFromSearch => "support_from_search",
+            Counter::EpochSwaps => "epoch_swaps",
         }
     }
 
