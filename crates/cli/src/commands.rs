@@ -80,6 +80,17 @@ USAGE:
 
   graphmine diff PATTERNS_A PATTERNS_B
       Compare two pattern files written by `mine -o`.
+
+  graphmine check [--seed 42] [--cases 100] [--quick] [--out-dir DIR]
+                 [--replay FILE]
+      Run the differential correctness oracle: seeded adversarial
+      databases are mined with every engine (PartMiner across k ×
+      serial/parallel × embedding lists, gSpan, Gaston, Apriori,
+      brute-force enumeration) and the results cross-checked, together
+      with internal invariants, incremental UF/FI/IF consistency and the
+      serving daemon's epoch behaviour. Each failure writes a
+      self-contained repro file into --out-dir (default: oracle-repros);
+      --replay re-runs one repro file. See docs/CORRECTNESS.md.
 ";
 
 type CmdResult = Result<(), String>;
@@ -643,4 +654,52 @@ pub fn incremental(raw: &[String]) -> CmdResult {
         println!("run report written to {rp}");
     }
     Ok(())
+}
+
+/// `graphmine check` — the differential correctness oracle.
+pub fn check(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    if let Some(path) = args.value("--replay") {
+        return match graphmine_oracle::replay_file(Path::new(path)) {
+            Ok(()) => {
+                println!("replay of {path}: every check passed");
+                Ok(())
+            }
+            Err(f) => Err(format!("replay of {path} failed [{}]: {}", f.check, f.message)),
+        };
+    }
+
+    let cfg = graphmine_oracle::OracleConfig {
+        seed: args.parsed("--seed")?.unwrap_or(42),
+        cases: args.parsed("--cases")?.unwrap_or(100),
+        quick: args.flag("--quick"),
+        out_dir: Some(args.value("--out-dir").unwrap_or("oracle-repros").into()),
+    };
+    let t = Instant::now();
+    let summary = graphmine_oracle::run(&cfg);
+    if summary.ok() {
+        println!(
+            "oracle: {} cases clean in {:.1?} (seed {}{})",
+            summary.cases,
+            t.elapsed(),
+            cfg.seed,
+            if cfg.quick { ", quick" } else { "" }
+        );
+        return Ok(());
+    }
+    for f in &summary.failures {
+        let repro =
+            f.repro.as_ref().map(|p| format!(" (repro: {})", p.display())).unwrap_or_default();
+        eprintln!("FAIL {} [{}]{repro}\n     {}", f.case_name, f.check, repro_first_line(f));
+    }
+    Err(format!(
+        "oracle: {}/{} cases failed (seed {}) — repros in the configured --out-dir",
+        summary.failures.len(),
+        summary.cases,
+        cfg.seed
+    ))
+}
+
+fn repro_first_line(f: &graphmine_oracle::FailureRecord) -> &str {
+    f.message.lines().next().unwrap_or("")
 }

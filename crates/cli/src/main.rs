@@ -15,6 +15,7 @@ fn main() {
         Some("client") => commands::client(&args[1..]),
         Some("stats") => commands::stats(&args[1..]),
         Some("diff") => commands::diff(&args[1..]),
+        Some("check") => commands::check(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             Ok(())

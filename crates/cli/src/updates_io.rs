@@ -1,113 +1,4 @@
-//! Text format for update batches, one update per line:
-//!
-//! ```text
-//! # gid  kind            args...
-//! 3      relabel-vertex  5 9        # vertex 5 -> label 9
-//! 3      relabel-edge    2 7        # edge 2 -> label 7
-//! 4      add-edge        0 6 2      # edge (0,6) with label 2
-//! 4      add-vertex      1 0 3      # new vertex (label 1) attached to 0 via label 3
-//! ```
+//! Update-batch text I/O — now shared via `graphmine_graph::update_io` so
+//! the oracle's repro files use the same format as the CLI.
 
-use std::io::{BufRead, Write};
-
-use graphmine_graph::{DbUpdate, GraphUpdate};
-
-/// Parses an update batch.
-pub fn read_updates(reader: impl BufRead) -> Result<Vec<DbUpdate>, String> {
-    let mut out = Vec::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
-        let trimmed = line.split('#').next().unwrap_or("").trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let mut parts = trimmed.split_whitespace();
-        let bad = |what: &str| format!("line {}: {what}", i + 1);
-        let mut num = |what: &str| -> Result<u32, String> {
-            parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| bad(&format!("missing or invalid {what}")))
-        };
-        let gid = num("gid")?;
-        let kind = parts.next().ok_or_else(|| bad("missing update kind"))?.to_string();
-        let mut num = |what: &str| -> Result<u32, String> {
-            parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| format!("line {}: missing or invalid {what}", i + 1))
-        };
-        let update = match kind.as_str() {
-            "relabel-vertex" => {
-                GraphUpdate::RelabelVertex { v: num("vertex")?, label: num("label")? }
-            }
-            "relabel-edge" => GraphUpdate::RelabelEdge { e: num("edge")?, label: num("label")? },
-            "add-edge" => GraphUpdate::AddEdge { u: num("u")?, v: num("v")?, label: num("label")? },
-            "add-vertex" => GraphUpdate::AddVertex {
-                label: num("label")?,
-                attach_to: num("attach vertex")?,
-                elabel: num("edge label")?,
-            },
-            other => return Err(format!("line {}: unknown update kind `{other}`", i + 1)),
-        };
-        out.push(DbUpdate { gid, update });
-    }
-    Ok(out)
-}
-
-/// Writes an update batch in the text format.
-pub fn write_updates(mut writer: impl Write, updates: &[DbUpdate]) -> std::io::Result<()> {
-    for u in updates {
-        match u.update {
-            GraphUpdate::RelabelVertex { v, label } => {
-                writeln!(writer, "{} relabel-vertex {v} {label}", u.gid)?;
-            }
-            GraphUpdate::RelabelEdge { e, label } => {
-                writeln!(writer, "{} relabel-edge {e} {label}", u.gid)?;
-            }
-            GraphUpdate::AddEdge { u: a, v, label } => {
-                writeln!(writer, "{} add-edge {a} {v} {label}", u.gid)?;
-            }
-            GraphUpdate::AddVertex { label, attach_to, elabel } => {
-                writeln!(writer, "{} add-vertex {label} {attach_to} {elabel}", u.gid)?;
-            }
-        }
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trip() {
-        let updates = vec![
-            DbUpdate { gid: 3, update: GraphUpdate::RelabelVertex { v: 5, label: 9 } },
-            DbUpdate { gid: 3, update: GraphUpdate::RelabelEdge { e: 2, label: 7 } },
-            DbUpdate { gid: 4, update: GraphUpdate::AddEdge { u: 0, v: 6, label: 2 } },
-            DbUpdate {
-                gid: 4,
-                update: GraphUpdate::AddVertex { label: 1, attach_to: 0, elabel: 3 },
-            },
-        ];
-        let mut bytes = Vec::new();
-        write_updates(&mut bytes, &updates).unwrap();
-        let back = read_updates(&bytes[..]).unwrap();
-        assert_eq!(back, updates);
-    }
-
-    #[test]
-    fn comments_and_blanks_are_ignored() {
-        let text = "# header\n\n1 relabel-vertex 0 2  # trailing\n";
-        let ups = read_updates(text.as_bytes()).unwrap();
-        assert_eq!(ups.len(), 1);
-    }
-
-    #[test]
-    fn malformed_lines_error_with_position() {
-        assert!(read_updates("1 relabel-vertex x 2\n".as_bytes()).unwrap_err().contains("line 1"));
-        assert!(read_updates("1 explode 1 2\n".as_bytes()).unwrap_err().contains("explode"));
-        assert!(read_updates("1\n".as_bytes()).unwrap_err().contains("kind"));
-    }
-}
+pub use graphmine_graph::update_io::{read_updates, write_updates};

@@ -185,8 +185,10 @@ pub(crate) fn frequent_edges(db: &GraphDb, min_support: Support) -> PatternSet {
 }
 
 /// All connected `(k-1)`-edge subgraphs of `g` obtained by deleting one
-/// edge — the "partner" subgraphs the Paper join policy checks.
-pub(crate) fn one_edge_deletions(g: &Graph) -> Vec<graphmine_graph::DfsCode> {
+/// edge — the "partner" subgraphs the Paper join policy checks, and the
+/// parent links along which the correctness oracle asserts support
+/// anti-monotonicity.
+pub fn one_edge_deletions(g: &Graph) -> Vec<graphmine_graph::DfsCode> {
     let m = g.edge_count();
     let mut out = Vec::new();
     if m < 2 {

@@ -121,16 +121,26 @@ impl IncPartMiner {
         }
 
         // 2. Prune set from the frequent 1-edge diff (Fig. 12 lines 1-2).
+        #[cfg(feature = "fault-injection")]
+        let skip_prune = graphmine_graph::fault::armed(graphmine_graph::fault::Fault::SkipPruneSet);
+        #[cfg(not(feature = "fault-injection"))]
+        let skip_prune = false;
         let p1_new = frequent_edges(&state.partition.root().db, state.min_support);
         let mut prune = PatternSet::new();
-        for p in old_pd.of_size(1) {
-            if !p1_new.contains(&p.code) {
-                prune.insert(p.clone());
+        if !skip_prune {
+            for p in old_pd.of_size(1) {
+                if !p1_new.contains(&p.code) {
+                    prune.insert(p.clone());
+                }
             }
         }
 
         // 3. Re-mine the touched units (lines 3-9), extending the prune set
-        // with patterns that vanished from a unit and exist in no other.
+        // with every pattern that vanished from a touched unit. Surviving
+        // in *another* unit is no alibi: a pattern's global support can
+        // fall below the threshold the moment one unit stops carrying it,
+        // so anything in a unit diff must be re-verified (or it would keep
+        // its stale pre-update support in trust mode and never land in FI).
         let unit_nodes: Vec<(usize, NodeId)> = (0..state.partition.unit_count())
             .map(|j| {
                 let n = (0..state.partition.node_count())
@@ -193,15 +203,12 @@ impl IncPartMiner {
             let new_ref = &state.node_results[&n];
             unit_diffs.push(old_result.difference(new_ref));
         }
-        for diff in &unit_diffs {
-            for p in diff.iter() {
-                if prune.contains(&p.code) {
-                    continue;
-                }
-                let elsewhere =
-                    unit_nodes.iter().any(|&(_, n)| state.node_results[&n].contains(&p.code));
-                if !elsewhere {
-                    prune.insert(p.clone());
+        if !skip_prune {
+            for diff in &unit_diffs {
+                for p in diff.iter() {
+                    if !prune.contains(&p.code) {
+                        prune.insert(p.clone());
+                    }
                 }
             }
         }

@@ -76,7 +76,7 @@ mod incremental;
 mod merge_join;
 mod partminer;
 
-pub use config::{JoinPolicy, PartMinerConfig, PartitionerKind, UnitMinerKind};
+pub use config::{one_edge_deletions, JoinPolicy, PartMinerConfig, PartitionerKind, UnitMinerKind};
 pub use incremental::{IncOutcome, IncPartMiner, IncStats};
 pub use merge_join::{merge_join, MergeContext, MergeStats};
 pub use partminer::{MineOutcome, MineStats, PartMiner, PartMinerState};

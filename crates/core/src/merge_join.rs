@@ -373,45 +373,48 @@ fn verify_batch(
             .collect();
     }
     let chunk = work.len().div_ceil(threads);
-    let results: Vec<(Vec<VerifiedWork>, MergeStats)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = work
-            .chunks(chunk)
-            .map(|part| {
-                let part: Vec<_> = part.to_vec();
-                scope.spawn(move |_| {
-                    let mut local_stats = MergeStats::default();
-                    let out: Vec<_> = part
-                        .into_iter()
-                        .map(|(code, restrict)| {
-                            let v = verify(
-                                ctx,
-                                index,
-                                estore,
-                                seeds,
-                                &code,
-                                restrict.as_ref(),
-                                &mut local_stats,
-                            );
-                            (code, restrict, v)
-                        })
-                        .collect();
-                    (out, local_stats)
+    // Each worker tags its chunk with the chunk index, and the fold below
+    // sorts on it before absorbing stats and concatenating results, so the
+    // merged report and the candidate order are identical to the serial
+    // walk no matter how the collection of finished workers is ordered.
+    let mut results: Vec<(usize, Vec<VerifiedWork>, MergeStats)> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk)
+                .enumerate()
+                .map(|(idx, part)| {
+                    let part: Vec<_> = part.to_vec();
+                    scope.spawn(move |_| {
+                        let mut local_stats = MergeStats::default();
+                        let out: Vec<_> = part
+                            .into_iter()
+                            .map(|(code, restrict)| {
+                                let v = verify(
+                                    ctx,
+                                    index,
+                                    estore,
+                                    seeds,
+                                    &code,
+                                    restrict.as_ref(),
+                                    &mut local_stats,
+                                );
+                                (code, restrict, v)
+                            })
+                            .collect();
+                        (idx, out, local_stats)
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("verify worker")).collect()
-    })
-    .expect("verification scope");
-    let mut out = Vec::with_capacity(work_capacity(&results));
-    for (part, local) in results {
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("verify worker")).collect()
+        })
+        .expect("verification scope");
+    results.sort_by_key(|&(idx, ..)| idx);
+    let mut out = Vec::with_capacity(results.iter().map(|(_, v, _)| v.len()).sum());
+    for (_, part, local) in results {
         stats.absorb(local);
         out.extend(part);
     }
     out
-}
-
-fn work_capacity(results: &[(Vec<VerifiedWork>, MergeStats)]) -> usize {
-    results.iter().map(|(v, _)| v.len()).sum()
 }
 
 /// `Paper` policy: the joins exactly as Fig. 11 writes them. Unit-local

@@ -356,6 +356,8 @@ mod tests {
         let parallel = PartMiner::new(cfg).mine(&db, &uf, 2);
         assert!(serial.patterns.same_codes_and_supports(&parallel.patterns));
         assert_eq!(parallel.stats.unit_times.len(), 4);
+        // The merged MergeStats must not depend on the thread schedule.
+        assert_eq!(serial.stats.merge, parallel.stats.merge);
     }
 
     #[test]

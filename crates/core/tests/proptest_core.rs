@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use graphmine_core::{
     merge_join, IncPartMiner, JoinPolicy, MergeContext, PartMiner, PartMinerConfig,
 };
-use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate, PatternSet};
+use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate};
 use graphmine_miner::{GSpan, MemoryMiner};
 use graphmine_partition::{split_by_sides, Bipartitioner, Criteria, GraphPart};
 use graphmine_telemetry::Telemetry;
@@ -89,8 +89,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The parallel merge-join is a pure scheduling change: it must produce
-    /// the same pattern set *and* the same telemetry counter totals as the
-    /// serial run.
+    /// the same pattern set, the same telemetry counter totals *and* the
+    /// same `MergeStats` as the serial run — the per-chunk stats fold is
+    /// order-independent, so no thread-completion schedule may show through.
     #[test]
     fn parallel_merge_join_matches_serial(
         db in db_strategy(),
@@ -104,7 +105,7 @@ proptest! {
         let p0 = GSpan::new().mine(&d0, unit_sup);
         let p1 = GSpan::new().mine(&d1, unit_sup);
         let policy = if paper_policy { JoinPolicy::Paper } else { JoinPolicy::Complete };
-        let run = |parallel: bool| -> (PatternSet, Vec<(&'static str, u64)>) {
+        let run = |parallel: bool| {
             let tel = Telemetry::new();
             let ctx = MergeContext {
                 db: &db,
@@ -123,16 +124,17 @@ proptest! {
                 embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
                 telemetry: Some(&tel),
             };
-            let (merged, _) = merge_join(&ctx, &p0, &p1);
-            (merged, tel.counters().snapshot())
+            let (merged, stats) = merge_join(&ctx, &p0, &p1);
+            (merged, stats, tel.counters().snapshot())
         };
-        let (serial, serial_counts) = run(false);
-        let (parallel, parallel_counts) = run(true);
+        let (serial, serial_stats, serial_counts) = run(false);
+        let (parallel, parallel_stats, parallel_counts) = run(true);
         prop_assert!(
             serial.same_codes_and_supports(&parallel),
             "sup={} exact={} policy={:?}: serial {} parallel {}",
             sup, exact, policy, serial.len(), parallel.len()
         );
+        prop_assert_eq!(serial_stats, parallel_stats);
         prop_assert_eq!(serial_counts, parallel_counts);
     }
 

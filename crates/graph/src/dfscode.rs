@@ -476,10 +476,76 @@ fn search(g: &Graph, reference: Option<&DfsCode>) -> SearchOutcome {
 ///
 /// Panics (debug builds) if the graph is empty or disconnected.
 pub fn min_dfs_code(g: &Graph) -> DfsCode {
+    #[cfg(feature = "fault-injection")]
+    if crate::fault::armed(crate::fault::Fault::DfsTieBreak) {
+        return any_dfs_code(g);
+    }
     match search(g, None) {
         SearchOutcome::Min(code) => code,
         SearchOutcome::SmallerThanReference => unreachable!(),
     }
+}
+
+/// Mutant body for [`crate::fault::Fault::DfsTieBreak`]: a *valid* DFS code
+/// of `g` built by plain depth-first traversal from the lexicographically
+/// largest start vertex, with no canonical tie-breaking — usually not the
+/// minimum code, so canonical-form deduplication silently splinters.
+///
+/// Validity rests on the classic fact that undirected DFS produces no cross
+/// edges: every non-tree edge connects the current vertex to an ancestor on
+/// the rightmost path, so emitting back edges at discovery time (ascending
+/// by discovery id) always yields a well-formed rightmost-extension code.
+#[cfg(feature = "fault-injection")]
+fn any_dfs_code(g: &Graph) -> DfsCode {
+    use crate::EdgeId;
+
+    fn visit(
+        g: &Graph,
+        v: VertexId,
+        disc: &mut [u32],
+        by_disc: &mut Vec<VertexId>,
+        emitted: &mut [bool],
+        code: &mut Vec<DfsEdge>,
+    ) {
+        let dv = disc[v as usize];
+        let mut backs: Vec<(u32, ELabel, EdgeId)> = g
+            .neighbors(v)
+            .iter()
+            .filter(|a| disc[a.to as usize] != u32::MAX && !emitted[a.eid as usize])
+            .map(|a| (disc[a.to as usize], a.elabel, a.eid))
+            .collect();
+        backs.sort_unstable();
+        for (dw, el, eid) in backs {
+            emitted[eid as usize] = true;
+            code.push(DfsEdge::new(dv, dw, g.vlabel(v), el, g.vlabel(by_disc[dw as usize])));
+        }
+        for a in g.neighbors(v) {
+            if disc[a.to as usize] == u32::MAX {
+                disc[a.to as usize] = by_disc.len() as u32;
+                by_disc.push(a.to);
+                emitted[a.eid as usize] = true;
+                code.push(DfsEdge::new(
+                    dv,
+                    disc[a.to as usize],
+                    g.vlabel(v),
+                    a.elabel,
+                    g.vlabel(a.to),
+                ));
+                visit(g, a.to, disc, by_disc, emitted, code);
+            }
+        }
+    }
+
+    let start = (0..g.vertex_count() as VertexId)
+        .max_by_key(|&v| (g.vlabel(v), v))
+        .expect("non-empty graph");
+    let mut disc = vec![u32::MAX; g.vertex_count()];
+    let mut by_disc = vec![start];
+    disc[start as usize] = 0;
+    let mut emitted = vec![false; g.edge_count()];
+    let mut code = Vec::with_capacity(g.edge_count());
+    visit(g, start, &mut disc, &mut by_disc, &mut emitted, &mut code);
+    DfsCode(code)
 }
 
 /// Checks whether `code` is the minimum DFS code of the pattern it encodes.

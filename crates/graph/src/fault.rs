@@ -1,0 +1,72 @@
+//! Process-global fault registry for oracle mutation testing.
+//!
+//! The correctness oracle (`graphmine-oracle`) proves its own teeth by
+//! arming one of three hand-written mutants and checking that the oracle
+//! matrix catches it with a replayable repro. The hooks live in the
+//! production crates but compile only under the `fault-injection` cargo
+//! feature, and even then stay inert — a single relaxed atomic load —
+//! until a test arms one through [`arm`].
+//!
+//! The registry is process-global (mining fans out over threads, so a
+//! thread-local would miss the workers); tests that arm faults must
+//! serialize themselves around a shared lock.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The hand-written mutants the oracle must be able to catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Fault {
+    /// [`crate::dfscode::min_dfs_code`] returns a valid but non-minimal
+    /// DFS code (the canonical-form tie-break is broken).
+    DfsTieBreak = 1,
+    /// The graph splitter forgets to copy one connective edge into the
+    /// pieces (it is recorded as connective but lands in neither side).
+    DropConnectiveEdge = 2,
+    /// `IncPartMiner` skips building the prune set, so trust-mode
+    /// recombination accepts stale pre-update patterns unconditionally.
+    SkipPruneSet = 3,
+}
+
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Arms `fault` until the returned guard is dropped.
+///
+/// Only one fault can be armed at a time; arming replaces the previous
+/// one. The registry is process-global, so tests arming faults must hold
+/// a common mutex for the guard's lifetime.
+#[must_use = "the fault is disarmed when the guard drops"]
+pub fn arm(fault: Fault) -> FaultGuard {
+    ACTIVE.store(fault as u8, Ordering::SeqCst);
+    FaultGuard(())
+}
+
+/// `true` when `fault` is currently armed.
+pub fn armed(fault: Fault) -> bool {
+    ACTIVE.load(Ordering::Relaxed) == fault as u8
+}
+
+/// RAII guard returned by [`arm`]; disarms the registry on drop.
+pub struct FaultGuard(());
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ACTIVE.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_is_scoped_to_the_guard() {
+        assert!(!armed(Fault::DfsTieBreak));
+        {
+            let _g = arm(Fault::DfsTieBreak);
+            assert!(armed(Fault::DfsTieBreak));
+            assert!(!armed(Fault::SkipPruneSet));
+        }
+        assert!(!armed(Fault::DfsTieBreak));
+    }
+}

@@ -60,6 +60,8 @@ pub mod dfscode;
 pub mod embeddings;
 pub mod enumerate;
 mod error;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod graph;
 #[cfg(feature = "petgraph")]
 pub mod interop;
@@ -68,6 +70,7 @@ pub mod iso;
 pub mod pattern;
 pub mod pattern_io;
 pub mod update;
+pub mod update_io;
 
 pub use database::{GraphDb, GraphId};
 pub use dfscode::{DfsCode, DfsEdge};

@@ -1,0 +1,236 @@
+//! Adversarial test-case generation.
+//!
+//! A [`Case`] is one self-contained oracle input: a database, a support
+//! threshold, a pattern-size cap, and an update batch. Cases come from the
+//! paper's synthetic generator plus targeted mutators that steer the data
+//! into the corners where partition-based mining historically breaks:
+//! label symmetry (DFS-code tie-breaks), single-graph databases, isolated
+//! vertices and edgeless graphs (degenerate splits), support thresholds at
+//! `1`, `|D|` and `|D| + 1`, and relabel storms that can delete a unit's
+//! entire edge set.
+
+use graphmine_datagen::{generate, plan_updates, GenParams, UpdateKind, UpdateParams};
+use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate, Support};
+
+/// One oracle input, replayable from a repro file.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Stable human-readable identity, e.g. `symmetry-0013`.
+    pub name: String,
+    /// Seed the case was derived from (recorded for repro files).
+    pub seed: u64,
+    /// Absolute support threshold.
+    pub min_support: Support,
+    /// Pattern-size cap (edges) applied to every miner in the matrix.
+    pub max_edges: usize,
+    /// The database under test.
+    pub db: GraphDb,
+    /// Update batch for the incremental/serving checks (may be empty).
+    pub updates: Vec<DbUpdate>,
+}
+
+/// Tiny splitmix64 generator so case derivation needs no external RNG and
+/// is bit-stable across platforms.
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Number of case variants [`generate_case`] cycles through.
+pub const VARIANTS: usize = 8;
+
+/// Derives the `index`-th case of the run seeded with `seed`. The variant
+/// cycles with the index so every run covers the whole adversarial zoo;
+/// `quick` shrinks the databases for smoke runs.
+pub fn generate_case(seed: u64, index: u64, quick: bool) -> Case {
+    let mut rng = Rng::new(seed ^ index.wrapping_mul(0xa076_1d64_78bd_642f));
+    let variant = (index as usize) % VARIANTS;
+    let (d_lo, d_span, t_lo, t_span) = if quick { (6, 4, 3, 2) } else { (8, 8, 4, 3) };
+    let d = d_lo + rng.below(d_span) as usize;
+    let t = t_lo + rng.below(t_span) as usize;
+    let n_labels = 4 + rng.below(4) as u32;
+    let params = GenParams::new(d, t, n_labels, 6, 3).with_seed(rng.next());
+
+    match variant {
+        0 => {
+            let db = generate(&params);
+            let updates = planned(&db, &mut rng, UpdateKind::Mixed, n_labels, 0.4, 2);
+            named("datagen-mixed", index, seed, 2 + rng.below(2) as Support, db, updates)
+        }
+        1 => {
+            // Relabel storm: a large fraction of the graphs is hammered
+            // with relabels — the workload that can empty a unit's piece
+            // of every pattern occurrence at once.
+            let db = generate(&params);
+            let updates = planned(&db, &mut rng, UpdateKind::Relabel, n_labels, 0.8, 4);
+            named("relabel-storm", index, seed, 2, db, updates)
+        }
+        2 => {
+            // Label symmetry: every vertex label collapsed to 0 and edge
+            // labels to {0, 1}; DFS-code construction is all tie-breaks.
+            let db: GraphDb =
+                generate(&params).iter().map(|(_, g)| relabel(g, |_| 0, |el| el % 2)).collect();
+            let sup = (db.len() as Support / 2).max(2);
+            let updates = planned(&db, &mut rng, UpdateKind::Mixed, 2, 0.3, 1);
+            named("symmetry", index, seed, sup, db, updates)
+        }
+        3 => {
+            // Single-graph database at min_support 1: every connected
+            // subgraph (up to the cap) is frequent.
+            let mut db = GraphDb::new();
+            db.push(generate(&params).graph(0).clone());
+            let updates = planned(&db, &mut rng, UpdateKind::Mixed, n_labels, 1.0, 2);
+            named("single-graph", index, seed, 1, db, updates)
+        }
+        4 => {
+            // Degenerate shapes: single-edge graphs, a graph with isolated
+            // vertices around one edge, and a fully edgeless graph.
+            let db = tiny_structures(&mut rng);
+            let sup = 1 + rng.below(2) as Support;
+            named("tiny-structures", index, seed, sup, db, Vec::new())
+        }
+        5 => {
+            // Support floor: everything that occurs anywhere is frequent.
+            let small = GenParams::new(5 + rng.below(3) as usize, 3, 4, 6, 2).with_seed(rng.next());
+            let db = generate(&small);
+            let updates = planned(&db, &mut rng, UpdateKind::Mixed, 4, 0.5, 1);
+            named("minsup-floor", index, seed, 1, db, updates)
+        }
+        6 => {
+            // Support ceiling: min_support == |D| (only patterns in every
+            // graph) or |D| + 1 (the frequent set must be empty, not a
+            // panic).
+            let db = generate(&params);
+            let bump = rng.below(2) as Support;
+            let sup = db.len() as Support + bump;
+            let updates = planned(&db, &mut rng, UpdateKind::Mixed, n_labels, 0.4, 2);
+            named("minsup-ceiling", index, seed, sup, db, updates)
+        }
+        _ => {
+            // Relabel-to-symmetry: updates collapse labels toward 0,
+            // creating new automorphisms mid-flight.
+            let db = generate(&params);
+            let mut updates = Vec::new();
+            for (gid, g) in db.iter() {
+                if rng.below(2) == 0 {
+                    let v = rng.below(g.vertex_count() as u64) as u32;
+                    updates
+                        .push(DbUpdate { gid, update: GraphUpdate::RelabelVertex { v, label: 0 } });
+                }
+            }
+            named("relabel-to-symmetry", index, seed, 2, db, updates)
+        }
+    }
+}
+
+fn named(
+    kind: &str,
+    index: u64,
+    seed: u64,
+    min_support: Support,
+    db: GraphDb,
+    updates: Vec<DbUpdate>,
+) -> Case {
+    Case { name: format!("{kind}-{index:04}"), seed, min_support, max_edges: 4, db, updates }
+}
+
+fn planned(
+    db: &GraphDb,
+    rng: &mut Rng,
+    kind: UpdateKind,
+    n_labels: u32,
+    fraction: f64,
+    per_graph: usize,
+) -> Vec<DbUpdate> {
+    let params = UpdateParams::new(fraction, per_graph, kind, n_labels).with_seed(rng.next());
+    plan_updates(db, &params)
+}
+
+/// A structurally faithful copy of `g` with mapped labels.
+fn relabel(g: &Graph, vmap: impl Fn(u32) -> u32, emap: impl Fn(u32) -> u32) -> Graph {
+    let mut out = Graph::with_capacity(g.vertex_count(), g.edge_count());
+    for v in 0..g.vertex_count() as u32 {
+        out.add_vertex(vmap(g.vlabel(v)));
+    }
+    for (_, u, v, el) in g.edges() {
+        out.add_edge(u, v, emap(el)).expect("copy of a simple graph is simple");
+    }
+    out
+}
+
+fn tiny_structures(rng: &mut Rng) -> GraphDb {
+    let mut db = GraphDb::new();
+    // Several copies of the same labeled edge, so something is frequent.
+    for _ in 0..3 {
+        let mut g = Graph::new();
+        g.add_vertex(1);
+        g.add_vertex(2);
+        g.add_edge(0, 1, 7).expect("fresh edge");
+        db.push(g);
+    }
+    // One edge surrounded by isolated vertices (degenerate split fodder).
+    let mut g = Graph::new();
+    g.add_vertex(1);
+    g.add_vertex(2);
+    for _ in 0..2 + rng.below(3) {
+        g.add_vertex(3);
+    }
+    g.add_edge(0, 1, 7).expect("fresh edge");
+    db.push(g);
+    // A fully edgeless graph.
+    let mut g = Graph::new();
+    for _ in 0..1 + rng.below(3) {
+        g.add_vertex(4);
+    }
+    db.push(g);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_case(42, 5, false);
+        let b = generate_case(42, 5, false);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.min_support, b.min_support);
+        assert_eq!(a.db.len(), b.db.len());
+        assert_eq!(a.db.total_edges(), b.db.total_edges());
+        assert_eq!(a.updates, b.updates);
+    }
+
+    #[test]
+    fn variants_cover_the_adversarial_zoo() {
+        let cases: Vec<Case> =
+            (0..2 * VARIANTS as u64).map(|i| generate_case(9, i, true)).collect();
+        assert!(cases.iter().any(|c| c.min_support == 1), "support floor covered");
+        assert!(
+            cases.iter().any(|c| c.min_support as usize > c.db.len()),
+            "support above |D| covered"
+        );
+        assert!(cases.iter().any(|c| c.db.len() == 1), "single-graph database covered");
+        assert!(
+            cases.iter().any(|c| c.db.iter().any(|(_, g)| g.edge_count() == 0)),
+            "edgeless graph covered"
+        );
+        assert!(cases.iter().any(|c| c.updates.is_empty()), "update-free case covered");
+        assert!(cases.iter().any(|c| c.updates.len() > 4), "update storm covered");
+    }
+}

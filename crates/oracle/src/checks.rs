@@ -1,0 +1,593 @@
+//! The oracle's check battery.
+//!
+//! Every check is differential (two independent computations must agree)
+//! or metamorphic (a transformed input must produce a predictably
+//! transformed output). The full battery for one [`Case`]:
+//!
+//! 1. **edge-rejection** — self-loops and duplicate edges are rejected by
+//!    the graph, and a rejected update leaves the partition intact.
+//! 2. **reference-matrix** — gSpan vs Gaston vs Apriori (embedding lists
+//!    off and on) vs brute-force enumeration on small databases.
+//! 3. **pattern-invariants** — every prefix of a reported minimum DFS code
+//!    is itself minimal, and support is anti-monotone along one-edge
+//!    deletion parent links.
+//! 4. **partminer-matrix** — PartMiner for `k ∈ {2, 3, 4}` × serial /
+//!    parallel × embedding lists off / on / auto, with exact supports,
+//!    against the gSpan reference; serial and parallel merge stats fold to
+//!    identical totals.
+//! 5. **partition-invariants** — `DbPartition::check_invariants`, lossless
+//!    graph recovery, and the one-split law: each edge lands in exactly
+//!    one side, or in both sides and the connective set.
+//! 6. **incremental-verify** — IncPartMiner (verify mode) equals a
+//!    from-scratch mine of the mirrored database; the UF/FI/IF classes
+//!    partition the change space; the run-report counters reconcile with
+//!    the returned sets.
+//! 7. **incremental-trust** — the paper-literal pruning mode is checked
+//!    against its actual guarantee: no frequent pattern is lost, every
+//!    false positive is inherited from the old result, and patterns that
+//!    dropped out of a touched unit have exact membership.
+//! 8. **serve** — a booted [`ServeEngine`] serves the reference set,
+//!    answers support probes exactly (including from an old epoch's
+//!    `Arc` after a swap), and swaps epochs once per batch.
+
+use graphmine_core::{one_edge_deletions, IncPartMiner, PartMiner, PartMinerConfig};
+use graphmine_graph::{
+    enumerate::frequent_bruteforce, iso, update::apply_all, DfsCode, EmbeddingMode, Graph, GraphDb,
+    GraphUpdate, PatternSet,
+};
+use graphmine_miner::{Apriori, GSpan, Gaston, MemoryMiner};
+use graphmine_partition::{
+    split_by_sides, Bipartitioner, Criteria, DbPartition, GraphPart, NodeId,
+};
+use graphmine_serve::{EngineConfig, ServeEngine};
+use graphmine_telemetry::{Counter, RunReport, Telemetry};
+
+use crate::case::Case;
+
+/// One failed check: which oracle tripped, and a message precise enough to
+/// debug from (set sizes, the first disagreeing code, counter values).
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// Stable check identifier (used in repro files and CI summaries).
+    pub check: &'static str,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+fn fail(check: &'static str, message: String) -> CheckFailure {
+    CheckFailure { check, message }
+}
+
+/// Runs the whole battery on one case. The first failing check aborts the
+/// case and is reported; a clean case returns `Ok(())`.
+pub fn run_case(case: &Case) -> Result<(), CheckFailure> {
+    let reference = GSpan::capped(case.max_edges).mine(&case.db, case.min_support);
+    check_edge_rejection(case)?;
+    check_reference_matrix(case, &reference)?;
+    check_pattern_invariants(case, &reference)?;
+    check_partminer_matrix(case, &reference)?;
+    check_partition_invariants(case)?;
+    let mirror = validated_mirror(case);
+    if let Some(mirror) = &mirror {
+        check_incremental_verify(case, mirror)?;
+        check_incremental_trust(case, mirror)?;
+    }
+    check_serve(case, &reference, mirror.as_ref())?;
+    Ok(())
+}
+
+/// The post-update database, or `None` when the batch is empty or not
+/// applicable (a planned batch is always applicable; hand-written repro
+/// files may carry anything).
+fn validated_mirror(case: &Case) -> Option<GraphDb> {
+    if case.updates.is_empty() {
+        return None;
+    }
+    let mut mirror = case.db.clone();
+    apply_all(&mut mirror, &case.updates).ok().map(|()| mirror)
+}
+
+fn zeros(db: &GraphDb) -> Vec<Vec<f64>> {
+    db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect()
+}
+
+/// First code in `a` missing from `b`, or carrying a different support —
+/// the payload of every set-mismatch message.
+fn first_disagreement(a: &PatternSet, b: &PatternSet) -> String {
+    for code in a.codes_sorted() {
+        match (a.support(&code), b.support(&code)) {
+            (Some(sa), Some(sb)) if sa != sb => {
+                return format!("support of {code:?}: {sa} vs {sb}");
+            }
+            (Some(sa), None) => return format!("{code:?} (support {sa}) missing from the other"),
+            _ => {}
+        }
+    }
+    for code in b.codes_sorted() {
+        if !a.contains(&code) {
+            return format!("{code:?} only in the other set");
+        }
+    }
+    "sets agree".to_string()
+}
+
+fn expect_same(
+    check: &'static str,
+    label: &str,
+    got: &PatternSet,
+    reference: &PatternSet,
+) -> Result<(), CheckFailure> {
+    if got.same_codes_and_supports(reference) {
+        return Ok(());
+    }
+    Err(fail(
+        check,
+        format!(
+            "{label}: {} patterns vs reference {}; {}",
+            got.len(),
+            reference.len(),
+            first_disagreement(got, reference)
+        ),
+    ))
+}
+
+/// Metamorphic rejection: mutating a graph into a non-simple one must be
+/// refused at every layer, and the refusal must not corrupt state.
+fn check_edge_rejection(case: &Case) -> Result<(), CheckFailure> {
+    const CHECK: &str = "edge-rejection";
+    let Some((gid, g)) = case.db.iter().find(|(_, g)| g.edge_count() > 0) else {
+        return Ok(());
+    };
+    let (_, u, v, el) = g.edges().next().expect("graph has an edge");
+
+    let mut copy = g.clone();
+    if copy.add_edge(u, u, el).is_ok() {
+        return Err(fail(CHECK, format!("graph {gid}: self-loop {u}-{u} was accepted")));
+    }
+    if copy.add_edge(v, u, el + 1).is_ok() {
+        return Err(fail(CHECK, format!("graph {gid}: duplicate edge {v}-{u} was accepted")));
+    }
+
+    let uf = zeros(&case.db);
+    let mut part = DbPartition::build(&case.db, &uf, &GraphPart::new(Criteria::COMBINED), 2);
+    for (what, update) in [
+        ("self-loop", GraphUpdate::AddEdge { u, v: u, label: el }),
+        ("duplicate edge", GraphUpdate::AddEdge { u: v, v: u, label: el + 1 }),
+    ] {
+        if part.apply_update(graphmine_graph::DbUpdate { gid, update }).is_ok() {
+            return Err(fail(CHECK, format!("partition accepted a {what} update on graph {gid}")));
+        }
+    }
+    part.check_invariants()
+        .map_err(|e| fail(CHECK, format!("partition corrupted by rejected updates: {e}")))
+}
+
+fn check_reference_matrix(case: &Case, reference: &PatternSet) -> Result<(), CheckFailure> {
+    const CHECK: &str = "reference-matrix";
+    let (db, sup, cap) = (&case.db, case.min_support, case.max_edges);
+
+    let gaston = Gaston::capped(cap).mine(db, sup);
+    expect_same(CHECK, "Gaston vs gSpan", &gaston, reference)?;
+
+    for lists in [EmbeddingMode::Off, EmbeddingMode::On] {
+        let apriori = Apriori { max_edges: Some(cap), embedding_lists: lists }.mine(db, sup);
+        expect_same(CHECK, &format!("Apriori (lists {lists}) vs gSpan"), &apriori, reference)?;
+    }
+
+    if db.len() <= 10 && db.total_edges() <= 60 && sup >= 1 {
+        let brute = frequent_bruteforce(db, sup, cap);
+        expect_same(CHECK, "brute-force enumeration vs gSpan", &brute, reference)?;
+    }
+    Ok(())
+}
+
+fn check_pattern_invariants(_case: &Case, reference: &PatternSet) -> Result<(), CheckFailure> {
+    const CHECK: &str = "pattern-invariants";
+    for p in reference.iter() {
+        for l in 1..p.code.len() {
+            let prefix = DfsCode(p.code.0[..l].to_vec());
+            if !graphmine_graph::dfscode::is_min(&prefix) {
+                return Err(fail(
+                    CHECK,
+                    format!("prefix {prefix:?} of minimal code {:?} is not minimal", p.code),
+                ));
+            }
+        }
+        // Anti-monotonicity: every connected one-edge-deletion parent is at
+        // least as frequent, hence also in the reported set.
+        for parent in one_edge_deletions(&p.graph) {
+            match reference.support(&parent) {
+                None => {
+                    return Err(fail(
+                        CHECK,
+                        format!(
+                            "parent {parent:?} of frequent {:?} (support {}) is not reported",
+                            p.code, p.support
+                        ),
+                    ));
+                }
+                Some(ps) if ps < p.support => {
+                    return Err(fail(
+                        CHECK,
+                        format!(
+                            "anti-monotonicity violated: {parent:?} support {ps} < child {:?} \
+                             support {}",
+                            p.code, p.support
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_partminer_matrix(case: &Case, reference: &PatternSet) -> Result<(), CheckFailure> {
+    const CHECK: &str = "partminer-matrix";
+    let uf = zeros(&case.db);
+    for k in [2usize, 3, 4] {
+        for lists in [EmbeddingMode::Off, EmbeddingMode::On, EmbeddingMode::Auto] {
+            let run = |parallel: bool| {
+                let mut cfg = PartMinerConfig::with_k(k);
+                cfg.exact_supports = true;
+                cfg.max_edges = Some(case.max_edges);
+                cfg.parallel = parallel;
+                cfg.embedding_lists = lists;
+                PartMiner::new(cfg).mine(&case.db, &uf, case.min_support)
+            };
+            let serial = run(false);
+            let parallel = run(true);
+            let label = format!("PartMiner k={k} lists={lists}");
+            expect_same(CHECK, &format!("{label} serial vs gSpan"), &serial.patterns, reference)?;
+            expect_same(
+                CHECK,
+                &format!("{label} parallel vs gSpan"),
+                &parallel.patterns,
+                reference,
+            )?;
+            if serial.stats.merge != parallel.stats.merge {
+                return Err(fail(
+                    CHECK,
+                    format!(
+                        "{label}: merge stats diverge between schedules: {:?} vs {:?}",
+                        serial.stats.merge, parallel.stats.merge
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Counter reconciliation on one instrumented run: the run report must
+    // account for exactly one unit mine per partition unit.
+    let tel = Telemetry::new();
+    let mut cfg = PartMinerConfig::with_k(2);
+    cfg.exact_supports = true;
+    cfg.max_edges = Some(case.max_edges);
+    let outcome = PartMiner::new(cfg).mine_instrumented(&case.db, &uf, case.min_support, &tel);
+    let report = RunReport::capture("oracle-partminer", &tel);
+    let units = outcome.state.partition.unit_count() as u64;
+    if report.counter(Counter::UnitsMined) != units {
+        return Err(fail(
+            CHECK,
+            format!(
+                "run report counts {} unit mines, partition has {units} units",
+                report.counter(Counter::UnitsMined)
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn check_partition_invariants(case: &Case) -> Result<(), CheckFailure> {
+    const CHECK: &str = "partition-invariants";
+    let uf = zeros(&case.db);
+    let partitioner = GraphPart::new(Criteria::COMBINED);
+    for k in [2usize, 3] {
+        let part = DbPartition::build(&case.db, &uf, &partitioner, k);
+        part.check_invariants().map_err(|e| fail(CHECK, format!("k={k}: {e}")))?;
+        for (gid, g) in case.db.iter() {
+            let recovered = part.recovered_graph(gid);
+            if let Err(e) = same_graph(g, &recovered) {
+                return Err(fail(CHECK, format!("k={k} graph {gid} not recovered: {e}")));
+            }
+        }
+    }
+
+    // One-split law on the raw bi-partitioner output: every edge is in
+    // exactly one side, or in both sides and the connective set.
+    for (gid, g) in case.db.iter() {
+        let per_graph = &uf[gid as usize];
+        let sides = partitioner.assign(g, per_graph);
+        let split = split_by_sides(g, per_graph, &sides);
+        for (eid, u, v, _) in g.edges() {
+            let in1 = split.side1.edge_map.contains(&eid);
+            let in2 = split.side2.edge_map.contains(&eid);
+            let conn = split.connective.contains(&eid);
+            let ok = if conn { in1 && in2 } else { in1 ^ in2 };
+            if !ok {
+                return Err(fail(
+                    CHECK,
+                    format!(
+                        "graph {gid} edge {eid} ({u}-{v}): side1={in1} side2={in2} \
+                         connective={conn} violates the one-split law"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Structural equality on original vertex/edge ids (label-preserving, both
+/// edge orientations accepted).
+fn same_graph(a: &Graph, b: &Graph) -> Result<(), String> {
+    if a.vertex_count() != b.vertex_count() {
+        return Err(format!("vertex count {} vs {}", a.vertex_count(), b.vertex_count()));
+    }
+    if a.edge_count() != b.edge_count() {
+        return Err(format!("edge count {} vs {}", a.edge_count(), b.edge_count()));
+    }
+    for v in 0..a.vertex_count() as u32 {
+        if a.vlabel(v) != b.vlabel(v) {
+            return Err(format!("vertex {v} label {} vs {}", a.vlabel(v), b.vlabel(v)));
+        }
+    }
+    for (eid, u, v, el) in a.edges() {
+        let (bu, bv, bl) = b.edge(eid);
+        if bl != el || (bu, bv) != (u, v) && (bv, bu) != (u, v) {
+            return Err(format!("edge {eid}: {u}-{v} label {el} vs {bu}-{bv} label {bl}"));
+        }
+    }
+    Ok(())
+}
+
+fn check_incremental_verify(case: &Case, mirror: &GraphDb) -> Result<(), CheckFailure> {
+    const CHECK: &str = "incremental-verify";
+    let uf = graphmine_datagen::ufreq_from_updates(&case.db, &case.updates);
+    for k in [2usize, 3] {
+        let mut cfg = PartMinerConfig::with_k(k);
+        cfg.exact_supports = true;
+        cfg.max_edges = Some(case.max_edges);
+        let outcome = PartMiner::new(cfg).mine(&case.db, &uf, case.min_support);
+        let old_pd = outcome.patterns;
+        let mut state = outcome.state;
+
+        let tel = Telemetry::new();
+        let inc = IncPartMiner::update_instrumented(&mut state, &case.updates, &tel)
+            .map_err(|e| fail(CHECK, format!("k={k}: applicable batch rejected: {e}")))?;
+
+        let direct = GSpan::capped(case.max_edges).mine(mirror, case.min_support);
+        expect_same(CHECK, &format!("k={k} incremental vs from-scratch"), &inc.patterns, &direct)?;
+
+        // UF ∪ IF partitions the new result; FI is exactly the loss.
+        let classes_ok = inc.uf.len() + inc.if_new.len() == inc.patterns.len()
+            && inc.uf.iter().all(|p| old_pd.contains(&p.code) && inc.patterns.contains(&p.code))
+            && inc.if_new.iter().all(|p| !old_pd.contains(&p.code))
+            && inc.fi.iter().all(|p| old_pd.contains(&p.code) && !inc.patterns.contains(&p.code))
+            && old_pd.difference(&inc.patterns).len() == inc.fi.len();
+        if !classes_ok {
+            return Err(fail(
+                CHECK,
+                format!(
+                    "k={k}: UF({}) ∪ IF({}) ∪ FI({}) does not partition the change space \
+                     (old {} new {})",
+                    inc.uf.len(),
+                    inc.if_new.len(),
+                    inc.fi.len(),
+                    old_pd.len(),
+                    inc.patterns.len()
+                ),
+            ));
+        }
+
+        // The run report must reconcile with the returned sets.
+        let report = RunReport::capture("oracle-incremental", &tel);
+        for (counter, expect) in [
+            (Counter::IncUnchangedFrequent, inc.uf.len() as u64),
+            (Counter::IncFrequentToInfrequent, inc.fi.len() as u64),
+            (Counter::IncInfrequentToFrequent, inc.if_new.len() as u64),
+            (Counter::UnitsMined, inc.stats.units_remined as u64),
+        ] {
+            if report.counter(counter) != expect {
+                return Err(fail(
+                    CHECK,
+                    format!(
+                        "k={k}: counter {} = {} does not reconcile with returned sets ({expect})",
+                        counter.name(),
+                        report.counter(counter)
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The paper-literal trust mode re-verifies nothing it believes unchanged,
+/// so it is *not* equivalent to a from-scratch mine. Its actual contract,
+/// asserted here:
+///
+/// 1. nothing frequent is lost (`new ⊇ direct` by code);
+/// 2. every false positive was inherited from the pre-update result;
+/// 3. a pattern that dropped out of a touched unit's result is in the
+///    prune set, hence re-verified: its membership in `new` must match
+///    `direct` exactly.
+fn check_incremental_trust(case: &Case, mirror: &GraphDb) -> Result<(), CheckFailure> {
+    const CHECK: &str = "incremental-trust";
+    let uf = zeros(&case.db);
+    let mut cfg = PartMinerConfig::with_k(2);
+    cfg.max_edges = Some(case.max_edges);
+    cfg.verify_unchanged = false;
+    let outcome = PartMiner::new(cfg).mine(&case.db, &uf, case.min_support);
+    let old_pd = outcome.patterns;
+    let mut state = outcome.state;
+
+    let unit_nodes: Vec<NodeId> = (0..state.partition.node_count())
+        .filter(|&n| state.partition.node(n).unit.is_some())
+        .collect();
+    let old_units: Vec<PatternSet> =
+        unit_nodes.iter().map(|n| state.node_results[n].clone()).collect();
+
+    let inc = IncPartMiner::update(&mut state, &case.updates)
+        .map_err(|e| fail(CHECK, format!("applicable batch rejected: {e}")))?;
+    let direct = GSpan::capped(case.max_edges).mine(mirror, case.min_support);
+
+    for p in direct.iter() {
+        if !inc.patterns.contains(&p.code) {
+            return Err(fail(
+                CHECK,
+                format!("trust mode lost {:?} (true support {})", p.code, p.support),
+            ));
+        }
+    }
+    for p in inc.patterns.iter() {
+        if !direct.contains(&p.code) && !old_pd.contains(&p.code) {
+            return Err(fail(CHECK, format!("trust mode invented {:?} out of nowhere", p.code)));
+        }
+    }
+    for (j, old_unit) in old_units.iter().enumerate() {
+        let new_unit = &state.node_results[&unit_nodes[j]];
+        for p in old_unit.difference(new_unit).iter() {
+            if inc.patterns.contains(&p.code) != direct.contains(&p.code) {
+                return Err(fail(
+                    CHECK,
+                    format!(
+                        "{:?} dropped out of unit {j} but kept a stale verdict: \
+                         reported {} truly {}",
+                        p.code,
+                        inc.patterns.contains(&p.code),
+                        direct.contains(&p.code)
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_serve(
+    case: &Case,
+    reference: &PatternSet,
+    mirror: Option<&GraphDb>,
+) -> Result<(), CheckFailure> {
+    const CHECK: &str = "serve";
+    // The serving engine mines uncapped; only run it where the cap is
+    // provably not binding and the unit-level threshold stays above the
+    // enumerate-everything floor.
+    if case.min_support < 2
+        || case.db.is_empty()
+        || case.db.total_edges() > 120
+        || reference.max_size() >= case.max_edges
+    {
+        return Ok(());
+    }
+    let dir = tempfile::tempdir()
+        .map_err(|e| fail(CHECK, format!("cannot create a scratch dir: {e}")))?;
+    let cfg = EngineConfig { min_support: case.min_support, k: 2, ..EngineConfig::default() };
+    let (engine, boot) = ServeEngine::boot(Some(&case.db), dir.path(), &cfg)
+        .map_err(|e| fail(CHECK, format!("boot failed: {e}")))?;
+    if boot.epoch != 0 {
+        return Err(fail(CHECK, format!("fresh boot starts at epoch {}", boot.epoch)));
+    }
+    let ep0 = engine.current();
+    expect_same(CHECK, "served P(D) vs gSpan", &ep0.patterns, reference)?;
+
+    // Support probes: frequent patterns, and one absent edge.
+    for p in reference.iter().take(2) {
+        let (support, source) = engine.support_of(&ep0, &p.graph);
+        if support != p.support {
+            return Err(fail(
+                CHECK,
+                format!(
+                    "support probe for {:?}: served {support} (from {source:?}), mined {}",
+                    p.code, p.support
+                ),
+            ));
+        }
+    }
+    let absent = {
+        let mut g = Graph::new();
+        g.add_vertex(0);
+        g.add_vertex(1);
+        g.add_edge(0, 1, 1_000_000).expect("fresh edge");
+        g
+    };
+    let (support, _) = engine.support_of(&ep0, &absent);
+    if support != 0 {
+        return Err(fail(CHECK, format!("absent pattern served with support {support}")));
+    }
+
+    let Some(mirror) = mirror else { return Ok(()) };
+    let direct = GSpan::capped(case.max_edges).mine(mirror, case.min_support);
+    if direct.max_size() >= case.max_edges {
+        return Ok(()); // cap would bind after the update; stop here
+    }
+    let probe = reference.iter().next().map(|p| (p.graph.clone(), p.support));
+    let summary = engine
+        .apply_update(&case.updates)
+        .map_err(|e| fail(CHECK, format!("applicable batch rejected: {e}")))?;
+    if summary.seq != 1 {
+        return Err(fail(CHECK, format!("first batch acked with seq {}", summary.seq)));
+    }
+    let ep1 = engine.current();
+    if ep1.epoch != 1 {
+        return Err(fail(CHECK, format!("epoch after one batch is {}", ep1.epoch)));
+    }
+    expect_same(CHECK, "served P(D') vs from-scratch gSpan", &ep1.patterns, &direct)?;
+    if summary.pattern_count != ep1.patterns.len() {
+        return Err(fail(
+            CHECK,
+            format!(
+                "update summary claims {} patterns, epoch serves {}",
+                summary.pattern_count,
+                ep1.patterns.len()
+            ),
+        ));
+    }
+    let report = RunReport::capture("oracle-serve", engine.telemetry());
+    if report.counter(Counter::EpochSwaps) != 1 {
+        return Err(fail(
+            CHECK,
+            format!("{} epoch swaps recorded for one batch", report.counter(Counter::EpochSwaps)),
+        ));
+    }
+
+    // New-epoch probes answer from the new data; the old epoch's Arc must
+    // still answer from its own generation (the memo is epoch-keyed).
+    for p in direct.iter().take(2) {
+        let (support, _) = engine.support_of(&ep1, &p.graph);
+        if support != p.support {
+            return Err(fail(
+                CHECK,
+                format!(
+                    "post-update probe for {:?}: served {support}, mined {}",
+                    p.code, p.support
+                ),
+            ));
+        }
+    }
+    if let Some((graph, old_support)) = probe {
+        let (support, _) = engine.support_of(&ep0, &graph);
+        if support != old_support {
+            return Err(fail(
+                CHECK,
+                format!(
+                    "old epoch answered {support} after the swap, its generation had {old_support}"
+                ),
+            ));
+        }
+        let code = graphmine_graph::dfscode::min_dfs_code(&graph);
+        let truth = iso::support(mirror, &code);
+        let (support, _) = engine.support_of(&ep1, &graph);
+        if support != truth {
+            return Err(fail(
+                CHECK,
+                format!(
+                    "new epoch answered {support} for the probe, isomorphism search says {truth}"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}

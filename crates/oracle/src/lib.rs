@@ -1,0 +1,38 @@
+//! `graphmine-oracle` — the differential + metamorphic correctness
+//! harness for the PartMiner pipeline.
+//!
+//! Frequent-subgraph miners fail quietly: a wrong tie-break in DFS-code
+//! canonicalization, a dropped connective edge, or an over-eager
+//! incremental prune does not crash — it silently changes the mined set.
+//! This crate turns that failure mode into a first-class test target:
+//!
+//! * [`generate_case`] derives adversarial databases (label symmetry,
+//!   single-graph databases, isolated vertices, support thresholds at `1`,
+//!   `|D|` and `|D| + 1`, relabel storms) from a seed;
+//! * [`run_case`] cross-checks every engine in the workspace against
+//!   every other — PartMiner (all `k` × scheduling × embedding-list
+//!   settings) vs gSpan vs Gaston vs Apriori vs brute-force enumeration —
+//!   and asserts the pipeline's internal invariants (minimal-prefix codes,
+//!   support anti-monotonicity, partition coverage, UF/FI/IF laws,
+//!   run-report counter reconciliation, epoch-keyed serving);
+//! * [`run`] drives a whole seeded run, catching panics, and writes every
+//!   failure as a self-contained repro file ([`write_repro`]) that
+//!   [`replay_file`] — or `graphmine check --replay` — re-runs verbatim.
+//!
+//! The harness's own teeth are tested by mutation: with the
+//! `fault-injection` feature armed (see `graphmine_graph::fault`), known
+//! bug classes are re-introduced at runtime and the oracle must flag each
+//! one. See `docs/CORRECTNESS.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod case;
+mod checks;
+mod repro;
+mod runner;
+
+pub use case::{generate_case, Case, VARIANTS};
+pub use checks::{run_case, CheckFailure};
+pub use repro::{read_repro, replay_file, write_repro, write_repro_file};
+pub use runner::{run, run_single, FailureRecord, OracleConfig, RunSummary};

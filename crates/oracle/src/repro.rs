@@ -1,0 +1,206 @@
+//! Self-contained repro files.
+//!
+//! A failing case is serialized to a single text file that carries
+//! everything needed to replay it: the case metadata (`!key value`
+//! header lines), the database in the standard gSpan text format, and the
+//! update batch in the `plan-updates` line format. `graphmine check
+//! --replay FILE` re-runs the full check battery on it.
+//!
+//! ```text
+//! !name symmetry-0013
+//! !seed 42
+//! !minsup 3
+//! !maxedges 4
+//! !check partminer-matrix
+//! !message PartMiner k=3 ... (newlines escaped as \n)
+//! !db
+//! t # 0
+//! v 0 1
+//! ...
+//! t # -1
+//! !updates
+//! 0 relabel-vertex 2 0
+//! !end
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Cursor, Write};
+use std::path::{Path, PathBuf};
+
+use graphmine_graph::{io as gio, update_io};
+
+use crate::case::Case;
+use crate::checks::{run_case, CheckFailure};
+
+/// Writes `case` (and, when present, the failure that produced it) to `w`.
+pub fn write_repro(
+    mut w: impl Write,
+    case: &Case,
+    failure: Option<&CheckFailure>,
+) -> io::Result<()> {
+    writeln!(w, "# graphmine-oracle repro — replay with `graphmine check --replay FILE`")?;
+    writeln!(w, "!name {}", case.name)?;
+    writeln!(w, "!seed {}", case.seed)?;
+    writeln!(w, "!minsup {}", case.min_support)?;
+    writeln!(w, "!maxedges {}", case.max_edges)?;
+    if let Some(f) = failure {
+        writeln!(w, "!check {}", f.check)?;
+        writeln!(w, "!message {}", escape(&f.message))?;
+    }
+    writeln!(w, "!db")?;
+    gio::write_db(&mut w, &case.db)?;
+    writeln!(w, "!updates")?;
+    update_io::write_updates(&mut w, &case.updates)?;
+    writeln!(w, "!end")?;
+    Ok(())
+}
+
+/// Writes the repro for `case` into `dir` (created if needed), returning
+/// the file path.
+pub fn write_repro_file(
+    dir: &Path,
+    case: &Case,
+    failure: Option<&CheckFailure>,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.repro", case.name));
+    write_repro(io::BufWriter::new(File::create(&path)?), case, failure)?;
+    Ok(path)
+}
+
+/// Parses a repro back into the case it carries. The recorded check name
+/// and message (absent in hand-written files) are returned alongside.
+pub fn read_repro(r: impl BufRead) -> Result<(Case, Option<(String, String)>), String> {
+    let mut name = String::from("replay");
+    let mut seed = 0u64;
+    let mut min_support = None;
+    let mut max_edges = 4usize;
+    let mut check = None;
+    let mut message = None;
+    let mut db_text = String::new();
+    let mut update_text = String::new();
+    #[derive(PartialEq)]
+    enum Section {
+        Header,
+        Db,
+        Updates,
+        Done,
+    }
+    let mut section = Section::Header;
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        let bad = |what: &str| format!("line {}: invalid {what}: `{line}`", i + 1);
+        match line.trim() {
+            "!db" => section = Section::Db,
+            "!updates" => section = Section::Updates,
+            "!end" => section = Section::Done,
+            _ => match section {
+                Section::Header => {
+                    let Some(rest) = line.strip_prefix('!') else { continue };
+                    let (key, value) = rest.split_once(' ').unwrap_or((rest, ""));
+                    match key {
+                        "name" => name = value.to_string(),
+                        "seed" => seed = value.parse().map_err(|_| bad("seed"))?,
+                        "minsup" => {
+                            min_support = Some(value.parse().map_err(|_| bad("minsup"))?);
+                        }
+                        "maxedges" => max_edges = value.parse().map_err(|_| bad("maxedges"))?,
+                        "check" => check = Some(value.to_string()),
+                        "message" => message = Some(unescape(value)),
+                        _ => return Err(bad("header key")),
+                    }
+                }
+                Section::Db => {
+                    db_text.push_str(&line);
+                    db_text.push('\n');
+                }
+                Section::Updates => {
+                    update_text.push_str(&line);
+                    update_text.push('\n');
+                }
+                Section::Done => {}
+            },
+        }
+    }
+    if section != Section::Done {
+        return Err("truncated repro: missing `!end`".to_string());
+    }
+    let db = gio::read_db(Cursor::new(db_text)).map_err(|e| format!("db section: {e}"))?;
+    let updates =
+        update_io::read_updates(Cursor::new(update_text)).map_err(|e| format!("updates: {e}"))?;
+    let min_support = min_support.ok_or("missing `!minsup` header")?;
+    let case = Case { name, seed, min_support, max_edges, db, updates };
+    let meta = check.map(|c| (c, message.unwrap_or_default()));
+    Ok((case, meta))
+}
+
+/// Replays a repro file through the full check battery.
+pub fn replay_file(path: &Path) -> Result<(), CheckFailure> {
+    let file = File::open(path).map_err(|e| CheckFailure {
+        check: "replay-io",
+        message: format!("{}: {e}", path.display()),
+    })?;
+    let (case, _) = read_repro(BufReader::new(file)).map_err(|e| CheckFailure {
+        check: "replay-io",
+        message: format!("{}: {e}", path.display()),
+    })?;
+    run_case(&case)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::generate_case;
+
+    #[test]
+    fn repro_round_trips() {
+        let case = generate_case(7, 1, true);
+        let mut buf = Vec::new();
+        let failure = CheckFailure {
+            check: "partminer-matrix",
+            message: "line one\nline two \\ backslash".to_string(),
+        };
+        write_repro(&mut buf, &case, Some(&failure)).unwrap();
+        let (back, meta) = read_repro(Cursor::new(buf)).unwrap();
+        assert_eq!(back.name, case.name);
+        assert_eq!(back.seed, case.seed);
+        assert_eq!(back.min_support, case.min_support);
+        assert_eq!(back.max_edges, case.max_edges);
+        assert_eq!(back.db.len(), case.db.len());
+        assert_eq!(back.db.total_edges(), case.db.total_edges());
+        assert_eq!(back.updates, case.updates);
+        let (check, message) = meta.unwrap();
+        assert_eq!(check, "partminer-matrix");
+        assert_eq!(message, "line one\nline two \\ backslash");
+    }
+
+    #[test]
+    fn truncated_repro_is_rejected() {
+        let case = generate_case(7, 2, true);
+        let mut buf = Vec::new();
+        write_repro(&mut buf, &case, None).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_repro(Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Mutation testing of the oracle itself: re-introduce known bug classes
+//! at runtime (the `fault-injection` hooks in `graphmine_graph::fault`)
+//! and require that the oracle (a) flags each one, (b) writes a repro
+//! file, (c) keeps failing when the repro is replayed with the mutant
+//! still armed, and (d) passes the very same repro once disarmed.
+//!
+//! The fault registry is process-global (the mining pipeline spawns
+//! threads), so every test takes `FAULT_LOCK` for its whole body.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use graphmine_graph::fault::{arm, Fault};
+use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate};
+use graphmine_oracle::{replay_file, run, run_single, Case, OracleConfig};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Arms `fault`, runs a small seeded batch, and requires a detected
+/// failure whose repro file fails armed and passes disarmed.
+fn assert_detected_by_batch(fault: Fault) {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tempfile::tempdir().unwrap();
+    let cfg =
+        OracleConfig { seed: 42, cases: 8, quick: true, out_dir: Some(dir.path().to_path_buf()) };
+
+    let guard = arm(fault);
+    let summary = run(&cfg);
+    assert!(
+        !summary.ok(),
+        "armed mutant {fault:?} survived {} oracle cases undetected",
+        summary.cases
+    );
+    let repro: PathBuf = summary.failures[0]
+        .repro
+        .clone()
+        .unwrap_or_else(|| panic!("no repro written for {:?}", summary.failures[0]));
+    assert!(
+        replay_file(&repro).is_err(),
+        "repro {} stopped failing while the mutant is still armed",
+        repro.display()
+    );
+    drop(guard);
+
+    replay_file(&repro).unwrap_or_else(|f| {
+        panic!("repro {} fails disarmed [{}]: {}", repro.display(), f.check, f.message)
+    });
+}
+
+#[test]
+fn dfs_tie_break_mutant_is_detected() {
+    assert_detected_by_batch(Fault::DfsTieBreak);
+}
+
+#[test]
+fn drop_connective_edge_mutant_is_detected() {
+    assert_detected_by_batch(Fault::DropConnectiveEdge);
+}
+
+/// A database engineered so that one relabel batch deletes every
+/// occurrence of the path `(0)-5-(1)-6-(2)` from the touched unit while
+/// the pattern survives in the other unit's cached result — exactly the
+/// shape where a skipped prune set leaves a stale "frequent" verdict.
+fn crafted_prune_case() -> Case {
+    let mut db = GraphDb::new();
+    for _ in 0..2 {
+        let mut g = Graph::new();
+        for l in [3u32, 0, 1, 2] {
+            g.add_vertex(l);
+        }
+        g.add_edge(0, 1, 7).unwrap();
+        g.add_edge(1, 2, 5).unwrap();
+        g.add_edge(2, 3, 6).unwrap();
+        db.push(g);
+    }
+    for _ in 0..2 {
+        let mut g = Graph::new();
+        for l in [0u32, 1, 2, 3] {
+            g.add_vertex(l);
+        }
+        g.add_edge(0, 1, 5).unwrap();
+        g.add_edge(1, 2, 6).unwrap();
+        g.add_edge(2, 3, 7).unwrap();
+        db.push(g);
+    }
+    // Disjoint edges keep the 1-edge patterns frequent, so the prune set
+    // is built from the unit diffs, not the cheap 1-edge screen.
+    let mut g = Graph::new();
+    for l in [0u32, 1, 1, 2] {
+        g.add_vertex(l);
+    }
+    g.add_edge(0, 1, 5).unwrap();
+    g.add_edge(2, 3, 6).unwrap();
+    db.push(g);
+
+    let updates = vec![
+        DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 3, label: 9 } },
+        DbUpdate { gid: 1, update: GraphUpdate::RelabelVertex { v: 3, label: 9 } },
+    ];
+    Case {
+        name: "crafted-prune-set".to_string(),
+        seed: 0,
+        min_support: 3,
+        max_edges: 4,
+        db,
+        updates,
+    }
+}
+
+#[test]
+fn skip_prune_set_mutant_is_detected() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tempfile::tempdir().unwrap();
+    let case = crafted_prune_case();
+
+    let guard = arm(Fault::SkipPruneSet);
+    let record = run_single(&case, Some(dir.path()))
+        .expect_err("a skipped prune set must leave a detectable stale verdict");
+    let repro = record.repro.clone().expect("repro written");
+    assert!(replay_file(&repro).is_err(), "repro keeps failing while armed");
+    drop(guard);
+
+    replay_file(&repro)
+        .unwrap_or_else(|f| panic!("repro fails disarmed [{}]: {}", f.check, f.message));
+    run_single(&case, None).expect("the crafted case is clean without the mutant");
+}

@@ -1,0 +1,46 @@
+//! The oracle run against the real pipeline: a seeded batch of
+//! adversarial cases must come back clean, and clean repro files must
+//! replay clean.
+
+use graphmine_oracle::{generate_case, replay_file, run, write_repro_file, OracleConfig};
+
+#[test]
+fn seeded_run_is_clean() {
+    let summary = run(&OracleConfig { seed: 42, cases: 32, quick: true, out_dir: None });
+    assert_eq!(summary.cases, 32);
+    assert!(
+        summary.ok(),
+        "oracle found {} failure(s); first: [{}] {} — {}",
+        summary.failures.len(),
+        summary.failures[0].check,
+        summary.failures[0].case_name,
+        summary.failures[0].message
+    );
+}
+
+#[test]
+fn full_size_cases_are_clean_too() {
+    let summary = run(&OracleConfig { seed: 7, cases: 8, quick: false, out_dir: None });
+    assert!(
+        summary.ok(),
+        "oracle found {} failure(s); first: [{}] {} — {}",
+        summary.failures.len(),
+        summary.failures[0].check,
+        summary.failures[0].case_name,
+        summary.failures[0].message
+    );
+}
+
+#[test]
+fn written_repro_replays_clean() {
+    let dir = tempfile::tempdir().unwrap();
+    let case = generate_case(42, 0, true);
+    let path = write_repro_file(dir.path(), &case, None).unwrap();
+    replay_file(&path).unwrap_or_else(|f| panic!("replay tripped [{}]: {}", f.check, f.message));
+}
+
+#[test]
+fn replay_of_missing_file_reports_io() {
+    let err = replay_file(std::path::Path::new("/nonexistent/x.repro")).unwrap_err();
+    assert_eq!(err.check, "replay-io");
+}

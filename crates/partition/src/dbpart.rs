@@ -128,16 +128,28 @@ impl DbPartition {
         };
         let mut part = DbPartition { nodes: vec![root], root: 0, unit_nodes: Vec::new() };
 
-        // Level-by-level, left-to-right splitting (Fig. 6).
+        // Level-by-level, left-to-right splitting (Fig. 6). Leaves whose
+        // database holds no edge at all are frozen as units instead of
+        // being split further: an edgeless piece carries no mining
+        // information, so splitting it can only mint more empty units for
+        // the merge-join to churn through. A fully edgeless database may
+        // therefore yield fewer than `k` units.
         let mut leaves: VecDeque<NodeId> = VecDeque::from([0]);
-        while leaves.len() < k {
-            let node_id = leaves.pop_front().expect("non-empty leaf queue");
+        let mut exhausted: Vec<NodeId> = Vec::new();
+        while exhausted.len() + leaves.len() < k {
+            let Some(node_id) = leaves.pop_front() else {
+                break;
+            };
+            if part.nodes[node_id].db.total_edges() == 0 {
+                exhausted.push(node_id);
+                continue;
+            }
             let _span = tel.span_node("partition_split", node_id as u64);
             let (a, b) = part.split_node(node_id, partitioner);
             leaves.push_back(a);
             leaves.push_back(b);
         }
-        for (unit, &node_id) in leaves.iter().enumerate() {
+        for (unit, &node_id) in exhausted.iter().chain(leaves.iter()).enumerate() {
             part.nodes[node_id].unit = Some(unit);
             part.unit_nodes.push(node_id);
         }
@@ -161,7 +173,8 @@ impl DbPartition {
             let node = &self.nodes[node_id];
             let g = node.db.graph(gid);
             let uf = &node.ufreq[gid as usize];
-            let sides = partitioner.assign(g, uf);
+            let mut sides = partitioner.assign(g, uf);
+            clamp_sides(g, &mut sides);
             let split = split_by_sides(g, uf, &sides);
             for (child, piece) in [(&mut child1, split.side1), (&mut child2, split.side2)] {
                 // Compose piece->node maps with node->original maps.
@@ -264,6 +277,107 @@ impl DbPartition {
             g.add_edge(e.0, e.1, e.2).expect("unique original edges");
         }
         g
+    }
+
+    /// Structural self-check used by the correctness oracle after builds
+    /// and updates.
+    ///
+    /// Verifies, for every unit and every gid:
+    ///
+    /// * gid alignment — each unit database has exactly one (possibly
+    ///   empty) piece per root graph;
+    /// * unit non-emptiness — if the root database has any edge, every
+    ///   unit database has at least one edge (the degenerate-split clamp
+    ///   guarantees this);
+    /// * provenance — vertex/edge maps are the same length as the piece
+    ///   graph, point at in-range root elements, and piece labels agree
+    ///   with the root labels they map to;
+    /// * edge coverage — every root edge appears in at least one unit
+    ///   (connective edges appear in several);
+    /// * vertex coverage — every root vertex appears in at least one unit,
+    ///   including isolated vertices (which live in exactly one piece per
+    ///   split so relabels and recovery can reach them).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let root = &self.nodes[self.root];
+        let n_graphs = root.db.len();
+        for (j, &nid) in self.unit_nodes.iter().enumerate() {
+            let node = &self.nodes[nid];
+            if node.db.len() != n_graphs {
+                return Err(format!(
+                    "unit {j}: {} piece graphs for {n_graphs} root graphs",
+                    node.db.len()
+                ));
+            }
+            if root.db.total_edges() > 0 && node.db.total_edges() == 0 {
+                return Err(format!("unit {j} is edgeless while the root database has edges"));
+            }
+        }
+        for gid in 0..n_graphs as GraphId {
+            let g = root.db.graph(gid);
+            let mut covered = vec![false; g.edge_count()];
+            let mut v_covered = vec![false; g.vertex_count()];
+            for (j, &nid) in self.unit_nodes.iter().enumerate() {
+                let node = &self.nodes[nid];
+                let pg = node.db.graph(gid);
+                let vmap = &node.vertex_maps[gid as usize];
+                let emap = &node.edge_maps[gid as usize];
+                if vmap.len() != pg.vertex_count() || emap.len() != pg.edge_count() {
+                    return Err(format!(
+                        "unit {j} gid {gid}: provenance maps ({}, {}) disagree with piece ({}, {})",
+                        vmap.len(),
+                        emap.len(),
+                        pg.vertex_count(),
+                        pg.edge_count()
+                    ));
+                }
+                for (pv, &ov) in vmap.iter().enumerate() {
+                    if ov as usize >= g.vertex_count() {
+                        return Err(format!("unit {j} gid {gid}: vertex map points at {ov}"));
+                    }
+                    v_covered[ov as usize] = true;
+                    if pg.vlabel(pv as VertexId) != g.vlabel(ov) {
+                        return Err(format!(
+                            "unit {j} gid {gid}: piece vertex {pv} label {} != root vertex {ov} \
+                             label {}",
+                            pg.vlabel(pv as VertexId),
+                            g.vlabel(ov)
+                        ));
+                    }
+                }
+                for (pe, &oe) in emap.iter().enumerate() {
+                    if oe as usize >= g.edge_count() {
+                        return Err(format!("unit {j} gid {gid}: edge map points at {oe}"));
+                    }
+                    covered[oe as usize] = true;
+                    let (pu, pv, pel) = pg.edge(pe as EdgeId);
+                    let (ou, ov, oel) = g.edge(oe);
+                    if pel != oel {
+                        return Err(format!(
+                            "unit {j} gid {gid}: piece edge {pe} label {pel} != root edge {oe} \
+                             label {oel}"
+                        ));
+                    }
+                    let (mu, mv) = (vmap[pu as usize], vmap[pv as usize]);
+                    if (mu, mv) != (ou, ov) && (mu, mv) != (ov, ou) {
+                        return Err(format!(
+                            "unit {j} gid {gid}: piece edge {pe} maps to ({mu},{mv}), root edge \
+                             {oe} joins ({ou},{ov})"
+                        ));
+                    }
+                }
+            }
+            if let Some(missing) = covered.iter().position(|&c| !c) {
+                return Err(format!("gid {gid}: root edge {missing} appears in no unit"));
+            }
+            if let Some(missing) = v_covered.iter().position(|&c| !c) {
+                return Err(format!("gid {gid}: root vertex {missing} appears in no unit"));
+            }
+        }
+        Ok(())
     }
 
     /// Applies one update to the partitioned database: the root database
@@ -539,6 +653,28 @@ impl DbPartition {
     }
 }
 
+/// Clamps a degenerate side assignment of an edge-bearing graph.
+///
+/// A bi-partitioner optimising for update frequency may park all the
+/// weight on isolated (edgeless) vertices, leaving one side with no edge
+/// endpoint at all — its piece would then be empty, and an empty unit
+/// would flow into the merge-join. When that happens, one endpoint of the
+/// first edge is moved onto the empty side, turning that edge connective
+/// so both pieces keep at least one edge.
+fn clamp_sides(g: &Graph, sides: &mut [bool]) {
+    let Some((_, u, _, _)) = g.edges().next() else {
+        return; // Edgeless graphs have nothing to clamp.
+    };
+    for flag in [true, false] {
+        let side_has_edge =
+            g.edges().any(|(_, a, b, _)| sides[a as usize] == flag || sides[b as usize] == flag);
+        if !side_has_edge {
+            sides[u as usize] = flag;
+            return; // Only one side can be edge-empty when edges exist.
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,5 +858,55 @@ mod tests {
             let rec = part.recovered_graph(gid);
             assert_eq!(rec.edge_count(), db.graph(gid).edge_count());
         }
+    }
+
+    #[test]
+    fn invariants_hold_on_sample_builds() {
+        for k in 1..=6 {
+            build_k(k).check_invariants().unwrap();
+        }
+    }
+
+    /// Regression: all update weight on isolated vertices must not yield an
+    /// empty unit. Each graph is a single labeled edge plus two isolated
+    /// vertices with enormous ufreq — without the clamp, `GraphPart` parks
+    /// the isolated pair alone on side 1 and the whole side-1 unit database
+    /// is empty.
+    #[test]
+    fn degenerate_split_produces_no_empty_unit() {
+        let mut graphs = Vec::new();
+        let mut ufreq = Vec::new();
+        for _ in 0..3 {
+            let mut g = Graph::new();
+            g.add_vertex(0);
+            g.add_vertex(1);
+            g.add_vertex(2); // isolated
+            g.add_vertex(2); // isolated
+            g.add_edge(0, 1, 5).unwrap();
+            graphs.push(g);
+            ufreq.push(vec![0.0, 0.0, 100.0, 100.0]);
+        }
+        let db = GraphDb::from_graphs(graphs);
+        for k in [2, 3, 4] {
+            let part = DbPartition::build(&db, &ufreq, &GraphPart::new(Criteria::COMBINED), k);
+            part.check_invariants().unwrap();
+            for j in 0..part.unit_count() {
+                assert!(part.unit_node(j).db.total_edges() > 0, "k={k} unit {j} is empty");
+            }
+        }
+    }
+
+    /// An entirely edgeless database cannot fill `k` units; the build must
+    /// freeze instead of splitting emptiness forever (and must not panic).
+    #[test]
+    fn edgeless_database_builds_without_empty_splits() {
+        let mut g = Graph::new();
+        g.add_vertex(0);
+        g.add_vertex(1);
+        let db = GraphDb::from_graphs(vec![g]);
+        let uf = vec![vec![3.0, 4.0]];
+        let part = DbPartition::build(&db, &uf, &GraphPart::new(Criteria::COMBINED), 4);
+        assert_eq!(part.unit_count(), 1, "edgeless root is frozen as the only unit");
+        part.check_invariants().unwrap();
     }
 }

@@ -5,11 +5,16 @@
 //! recovered: piece 1 holds the edges inside `V*` plus the connective
 //! edges, piece 2 the edges outside `V*` plus the connective edges.
 //!
-//! Vertices that end up with no incident edge in a piece are dropped from
-//! it (patterns have at least one edge, so isolated vertices carry no
-//! mining information); the vertex/edge maps record where every piece
-//! element came from.
+//! A vertex with at least one incident edge always lands in the piece(s)
+//! holding its edges. A vertex with *no* incident edge carries no mining
+//! information (patterns have at least one edge), but it still has a label
+//! that updates and lossless recovery must be able to reach — so isolated
+//! vertices are copied into the piece of their assigned side, keeping every
+//! parent vertex present in exactly one piece. The vertex/edge maps record
+//! where every piece element came from.
 
+#[cfg(feature = "fault-injection")]
+use graphmine_graph::fault;
 use graphmine_graph::{EdgeId, Graph, VertexId};
 
 /// One piece of a split graph, with provenance maps back to the parent.
@@ -56,15 +61,37 @@ pub fn split_by_sides(g: &Graph, ufreq: &[f64], sides: &[bool]) -> Split {
     let mut side1 = PieceBuilder::new(g, ufreq);
     let mut side2 = PieceBuilder::new(g, ufreq);
     let mut connective = Vec::new();
+    let mut has_edge = vec![false; g.vertex_count()];
+    #[cfg(feature = "fault-injection")]
+    let mut drop_budget = 1usize;
     for (eid, u, v, el) in g.edges() {
+        has_edge[u as usize] = true;
+        has_edge[v as usize] = true;
         match (sides[u as usize], sides[v as usize]) {
             (true, true) => side1.add_edge(eid, u, v, el),
             (false, false) => side2.add_edge(eid, u, v, el),
             _ => {
                 connective.push(eid);
+                #[cfg(feature = "fault-injection")]
+                if drop_budget > 0 && fault::armed(fault::Fault::DropConnectiveEdge) {
+                    // Mutant: the edge is recorded as connective but copied
+                    // into neither piece, so it vanishes from the units.
+                    drop_budget -= 1;
+                    continue;
+                }
                 side1.add_edge(eid, u, v, el);
                 side2.add_edge(eid, u, v, el);
             }
+        }
+    }
+    // Isolated vertices join the piece of their side: they contribute no
+    // patterns, but dropping them would strand their labels outside every
+    // unit — relabel updates could not reach them and recovery would lose
+    // them.
+    for v in 0..g.vertex_count() as VertexId {
+        if !has_edge[v as usize] {
+            let side = if sides[v as usize] { &mut side1 } else { &mut side2 };
+            side.vertex(v);
         }
     }
     Split { side1: side1.finish(), side2: side2.finish(), connective }
@@ -170,6 +197,30 @@ mod tests {
         assert_eq!(split.side1.graph.edge_count(), 3);
         assert!(split.side2.graph.is_empty());
         assert!(split.connective.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_land_in_their_side_piece() {
+        let mut g = Graph::new();
+        g.add_vertex(1);
+        g.add_vertex(2);
+        g.add_edge(0, 1, 5).unwrap();
+        let iso1 = g.add_vertex(30); // isolated, side 1
+        let iso2 = g.add_vertex(40); // isolated, side 2
+        let uf = vec![0.0, 0.0, 9.0, 0.25];
+        let split = split_by_sides(&g, &uf, &[true, true, true, false]);
+        assert_eq!(split.side1.vertex_of(iso1), Some(2));
+        assert!(split.side2.vertex_of(iso1).is_none());
+        assert_eq!(split.side2.vertex_of(iso2), Some(0));
+        assert!(split.side1.vertex_of(iso2).is_none());
+        // Labels and ufreq travel with the isolated vertices.
+        assert_eq!(split.side1.graph.vlabel(2), 30);
+        assert_eq!(split.side1.ufreq[2], 9.0);
+        assert_eq!(split.side2.graph.vlabel(0), 40);
+        assert_eq!(split.side2.ufreq[0], 0.25);
+        // The edge-bearing vertices are unaffected.
+        assert_eq!(split.side1.graph.edge_count(), 1);
+        assert_eq!(split.side2.graph.edge_count(), 0);
     }
 
     #[test]

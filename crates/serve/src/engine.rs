@@ -116,23 +116,20 @@ pub struct ResultEpoch {
     pub db: Arc<GraphDb>,
     /// `P(D)` at this epoch.
     pub patterns: Arc<PatternSet>,
-    /// Memoized exact supports of infrequent query patterns.
-    cache: Mutex<FxHashMap<DfsCode, (Support, SupportSource)>>,
 }
 
 impl ResultEpoch {
     fn new(epoch: u64, db: GraphDb, patterns: PatternSet) -> Self {
-        ResultEpoch {
-            epoch,
-            db: Arc::new(db),
-            patterns: Arc::new(patterns),
-            cache: Mutex::new(FxHashMap::default()),
-        }
+        ResultEpoch { epoch, db: Arc::new(db), patterns: Arc::new(patterns) }
     }
 
     /// Exact support of `pattern` in this epoch's database, cheapest
     /// source first: the frequent set, then embedding lists, then plain
-    /// isomorphism search. Repeated queries hit a per-epoch memo.
+    /// isomorphism search.
+    ///
+    /// This is a pure computation against the epoch's immutable data —
+    /// memoization lives in [`ServeEngine::support_of`], keyed by epoch
+    /// id, so a memo can never answer for the wrong generation.
     pub fn support_of(
         &self,
         pattern: &Graph,
@@ -140,23 +137,26 @@ impl ResultEpoch {
         budget: usize,
     ) -> (Support, SupportSource) {
         let code = min_dfs_code(pattern);
-        if let Some(s) = self.patterns.support(&code) {
-            tel.counters().bump(SupportSource::Patterns.counter());
-            return (s, SupportSource::Patterns);
-        }
-        let cached = self.cache.lock().get(&code).copied();
-        if let Some((s, src)) = cached {
-            tel.counters().bump(src.counter());
-            return (s, src);
-        }
-        let (support, source) =
-            match EmbeddingStore::new(&self.db, budget).support(&code, tel.counters()) {
-                Some((s, _gids)) => (s, SupportSource::Embeddings),
-                None => (graphmine_graph::iso::support(&self.db, &code), SupportSource::Search),
-            };
-        self.cache.lock().insert(code, (support, source));
+        let (support, source) = self.support_of_code(&code, tel, budget);
         tel.counters().bump(source.counter());
         (support, source)
+    }
+
+    /// Counting core shared by [`ResultEpoch::support_of`] and the
+    /// engine-level memo; bumps no source counters.
+    fn support_of_code(
+        &self,
+        code: &DfsCode,
+        tel: &Telemetry,
+        budget: usize,
+    ) -> (Support, SupportSource) {
+        if let Some(s) = self.patterns.support(code) {
+            return (s, SupportSource::Patterns);
+        }
+        match EmbeddingStore::new(&self.db, budget).support(code, tel.counters()) {
+            Some((s, _gids)) => (s, SupportSource::Embeddings),
+            None => (graphmine_graph::iso::support(&self.db, code), SupportSource::Search),
+        }
     }
 }
 
@@ -203,6 +203,12 @@ pub struct ServeEngine {
     pool_pages: usize,
     current: RwLock<Arc<ResultEpoch>>,
     inner: Mutex<EngineInner>,
+    /// Memoized exact supports of infrequent query patterns, keyed by
+    /// `(epoch, code)`: a reader that grabbed its `Arc<ResultEpoch>`
+    /// right before an epoch swap looks up under *its* epoch id and can
+    /// never be answered from another generation's memo. Entries of
+    /// superseded epochs are evicted on swap.
+    support_memo: Mutex<FxHashMap<(u64, DfsCode), (Support, SupportSource)>>,
 }
 
 impl ServeEngine {
@@ -318,6 +324,7 @@ impl ServeEngine {
             pool_pages: cfg.pool_pages,
             current: RwLock::new(Arc::new(current)),
             inner: Mutex::new(EngineInner { state, journal }),
+            support_memo: Mutex::new(FxHashMap::default()),
         };
         Ok((engine, BootReport { from_snapshot, replayed, epoch }))
     }
@@ -335,6 +342,32 @@ impl ServeEngine {
     /// The absolute support threshold the result is maintained at.
     pub fn min_support(&self) -> Support {
         self.min_support
+    }
+
+    /// Exact support of `pattern` in epoch `ep`, memoized engine-wide
+    /// under the `(epoch, code)` key.
+    ///
+    /// The caller passes the epoch it is answering from (usually
+    /// [`ServeEngine::current`], grabbed once per request), so a reader
+    /// racing an epoch swap still gets the answer for the snapshot it
+    /// holds — the epoch id in the key makes a cross-generation memo hit
+    /// impossible by construction.
+    pub fn support_of(&self, ep: &ResultEpoch, pattern: &Graph) -> (Support, SupportSource) {
+        let code = min_dfs_code(pattern);
+        if let Some(s) = ep.patterns.support(&code) {
+            self.tel.counters().bump(SupportSource::Patterns.counter());
+            return (s, SupportSource::Patterns);
+        }
+        let key = (ep.epoch, code);
+        let cached = self.support_memo.lock().get(&key).copied();
+        if let Some((s, src)) = cached {
+            self.tel.counters().bump(src.counter());
+            return (s, src);
+        }
+        let (support, source) = ep.support_of_code(&key.1, &self.tel, self.embedding_budget);
+        self.support_memo.lock().insert(key, (support, source));
+        self.tel.counters().bump(source.counter());
+        (support, source)
     }
 
     /// Validates, journals (fsync), applies, and publishes an update
@@ -359,6 +392,10 @@ impl ServeEngine {
         );
         *self.current.write() = Arc::new(next);
         self.tel.counters().bump(Counter::EpochSwaps);
+        // Superseded memo entries are dead weight (readers of the old
+        // epoch may transiently re-add a few; the next swap collects
+        // those too).
+        self.support_memo.lock().retain(|&(epoch, _), _| epoch >= seq);
         Ok(UpdateSummary {
             seq,
             uf: inc.uf.len(),
@@ -498,7 +535,7 @@ impl ServeEngine {
     fn handle_support(&self, pattern: &Graph) -> JsonValue {
         self.tel.counters().bump(Counter::ReqSupport);
         let ep = self.current();
-        let (support, source) = ep.support_of(pattern, &self.tel, self.embedding_budget);
+        let (support, source) = self.support_of(&ep, pattern);
         ok_response(vec![
             ("epoch", JsonValue::Num(ep.epoch)),
             ("support", JsonValue::Num(u64::from(support))),
@@ -643,8 +680,9 @@ mod tests {
         let (s, src) = ep.support_of(&rare, tel, DEFAULT_EMBEDDING_BUDGET);
         assert_eq!(s, 2);
         assert_eq!(src, SupportSource::Embeddings);
-        // Second ask hits the memo but reports the same source.
-        assert_eq!(ep.support_of(&rare, tel, DEFAULT_EMBEDDING_BUDGET), (2, src));
+        // The engine-level memoized path agrees and keeps the source.
+        assert_eq!(engine.support_of(&ep, &rare), (2, src));
+        assert_eq!(engine.support_of(&ep, &rare), (2, src), "memo hit answers identically");
 
         // Zero embedding budget: the triangle's root edge list has
         // occurrences, so it cannot be admitted and the query falls back

@@ -122,6 +122,67 @@ fn miners_agree_at_low_support_with_cap() {
     assert!(disk.same_codes_and_supports(&reference));
 }
 
+/// Support boundaries: `min_support = 1` (everything connected up to the
+/// cap is frequent), `= |D|` (only patterns occurring in every graph) and
+/// `= |D| + 1` (the empty set — not a panic), across the miner ×
+/// embedding-list × scheduling matrix.
+#[test]
+fn support_boundaries_across_the_miner_matrix() {
+    let params = GenParams::new(8, 5, 4, 6, 3).with_seed(99);
+    let db = generate(&params);
+    let ufreq: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+    let cap = 4;
+    let d = db.len() as u32;
+
+    for sup in [1, d, d + 1] {
+        let reference = GSpan::capped(cap).mine(&db, sup);
+        let repro = format!(
+            "repro: let db = generate(&GenParams::new(8, 5, 4, 6, 3).with_seed(99)); \
+             let sup = {sup}; let cap = {cap};"
+        );
+        if sup == 1 {
+            assert!(!reference.is_empty(), "support 1 finds every edge — {repro}");
+        }
+        if sup > d {
+            assert!(reference.is_empty(), "support above |D| must yield the empty set — {repro}");
+        }
+        for p in reference.iter() {
+            assert!(p.support >= sup, "reported support below threshold — {repro}");
+        }
+
+        let gaston = Gaston::capped(cap).mine(&db, sup);
+        assert!(gaston.same_codes_and_supports(&reference), "Gaston at sup {sup} — {repro}");
+
+        for lists in [EmbeddingMode::Off, EmbeddingMode::On] {
+            let apriori = Apriori { max_edges: Some(cap), embedding_lists: lists }.mine(&db, sup);
+            assert!(
+                apriori.same_codes_and_supports(&reference),
+                "Apriori (lists {lists}) at sup {sup}: {} vs {} — {repro}",
+                apriori.len(),
+                reference.len()
+            );
+
+            for k in [2usize, 3, 4] {
+                for parallel in [false, true] {
+                    let mut cfg = PartMinerConfig::with_k(k);
+                    cfg.exact_supports = true;
+                    cfg.max_edges = Some(cap);
+                    cfg.parallel = parallel;
+                    cfg.embedding_lists = lists;
+                    let pm = PartMiner::new(cfg).mine(&db, &ufreq, sup);
+                    assert!(
+                        pm.patterns.same_codes_and_supports(&reference),
+                        "PartMiner (k={k}, lists {lists}, parallel {parallel}) at sup {sup}: \
+                         {} vs {} — {repro}",
+                        pm.patterns.len(),
+                        reference.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn pattern_supports_shrink_as_threshold_rises() {
     let db = synthetic_db();

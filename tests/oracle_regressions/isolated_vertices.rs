@@ -1,0 +1,65 @@
+//! Regression: isolated vertices vanished from every partition unit.
+//!
+//! `split_by_sides` only copied a vertex into a piece when one of its
+//! edges landed there, so a vertex with no incident edge was dropped from
+//! *both* pieces. It then existed in no unit: `recovered_graph` could not
+//! restore its label (the oracle's partition-invariants check saw a
+//! `u32::MAX` placeholder), and a `RelabelVertex` update aimed at it
+//! propagated to no piece. The fix copies each isolated vertex into the
+//! piece of its assigned side, and `check_invariants` now enforces vertex
+//! coverage alongside edge coverage.
+
+use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate};
+use graphmine_partition::{Criteria, DbPartition, GraphPart};
+
+/// One edge plus an isolated vertex, plus a fully edgeless graph — the
+/// two shapes that lost vertices.
+fn db() -> (GraphDb, Vec<Vec<f64>>) {
+    let mut g0 = Graph::new();
+    g0.add_vertex(1);
+    g0.add_vertex(2);
+    g0.add_edge(0, 1, 5).unwrap();
+    g0.add_vertex(3); // isolated
+    let mut g1 = Graph::new();
+    g1.add_vertex(4);
+    g1.add_vertex(4); // entirely edgeless graph
+    let ufreq = vec![vec![0.0; 3], vec![0.0; 2]];
+    (GraphDb::from_graphs(vec![g0, g1]), ufreq)
+}
+
+#[test]
+fn isolated_vertices_survive_partition_and_recovery() {
+    let (db, ufreq) = db();
+    for k in [2usize, 3] {
+        let part = DbPartition::build(&db, &ufreq, &GraphPart::new(Criteria::COMBINED), k);
+        part.check_invariants().unwrap_or_else(|e| panic!("k={k}: {e}"));
+        for (gid, g) in db.iter() {
+            let rec = part.recovered_graph(gid);
+            assert_eq!(rec.vertex_count(), g.vertex_count(), "k={k} gid {gid}");
+            for v in 0..g.vertex_count() as u32 {
+                assert_eq!(
+                    rec.vlabel(v),
+                    g.vlabel(v),
+                    "k={k} gid {gid}: vertex {v} label lost in recovery"
+                );
+            }
+        }
+        // Each isolated vertex lives in exactly one unit.
+        for (gid, v) in [(0u32, 2u32), (1, 0), (1, 1)] {
+            let units = part.units_containing_vertex(gid, v);
+            assert_eq!(units.len(), 1, "k={k}: gid {gid} vertex {v} in units {units:?}");
+        }
+    }
+}
+
+#[test]
+fn relabeling_an_isolated_vertex_reaches_its_unit() {
+    let (db, ufreq) = db();
+    let mut part = DbPartition::build(&db, &ufreq, &GraphPart::new(Criteria::COMBINED), 2);
+    let touched = part
+        .apply_update(DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 2, label: 9 } })
+        .unwrap();
+    assert_eq!(touched.len(), 1, "exactly one unit holds the isolated vertex");
+    part.check_invariants().unwrap();
+    assert_eq!(part.recovered_graph(0).vlabel(2), 9, "relabel lost before reaching the unit");
+}

@@ -1,0 +1,9 @@
+//! Minimized regression tests for the bugs the correctness oracle
+//! (`graphmine-oracle`, see docs/CORRECTNESS.md) flushed out. Each module
+//! is one bug, reduced to the smallest database that reproduces it, and
+//! exercises the *fixed* production code directly — no fault injection.
+
+mod empty_unit;
+mod isolated_vertices;
+mod merge_stats;
+mod prune_set_fi;

@@ -1,0 +1,76 @@
+//! Regression: the parallel merge-join folded `MergeStats` in thread
+//! *completion* order and could drop or double-absorb a chunk's counters
+//! under racy schedules. The fold is now indexed by chunk, so the totals
+//! are a pure function of the work list — serial and parallel runs must
+//! report identical stats, not just identical pattern sets.
+
+use graphmine_core::{merge_join, JoinPolicy, MergeContext};
+use graphmine_datagen::{generate, GenParams};
+use graphmine_graph::{EmbeddingMode, GraphDb, DEFAULT_EMBEDDING_BUDGET};
+use graphmine_miner::{GSpan, MemoryMiner};
+use graphmine_partition::{split_by_sides, Bipartitioner, Criteria, GraphPart};
+use graphmine_telemetry::Telemetry;
+
+/// Splits every graph in two with the paper's partitioner, producing the
+/// unit databases a 2-unit PartMiner would mine.
+fn split_db(db: &GraphDb) -> (GraphDb, GraphDb) {
+    let part = GraphPart::new(Criteria::MIN_CONNECTIVITY);
+    let mut d0 = GraphDb::new();
+    let mut d1 = GraphDb::new();
+    for (_, g) in db.iter() {
+        let uf = vec![0.0; g.vertex_count()];
+        let sides = part.assign(g, &uf);
+        let split = split_by_sides(g, &uf, &sides);
+        d0.push(split.side1.graph);
+        d1.push(split.side2.graph);
+    }
+    (d0, d1)
+}
+
+/// A few-label database mined at low unit support produces hundreds of
+/// candidates per level — enough to cross the parallel batching floor so
+/// the threaded fold really runs.
+#[test]
+fn parallel_merge_stats_match_serial_on_a_large_batch() {
+    let db = generate(&GenParams::new(24, 9, 3, 8, 4).with_seed(1234));
+    let (d0, d1) = split_db(&db);
+    let p0 = GSpan::new().mine(&d0, 1);
+    let p1 = GSpan::new().mine(&d1, 1);
+    assert!(
+        p0.len() + p1.len() > 128,
+        "workload too small to engage the parallel path: {} + {}",
+        p0.len(),
+        p1.len()
+    );
+
+    for exact in [false, true] {
+        let run = |parallel: bool| {
+            let tel = Telemetry::new();
+            let ctx = MergeContext {
+                db: &db,
+                min_support: 2,
+                policy: JoinPolicy::Complete,
+                max_edges: Some(4),
+                exact_supports: exact,
+                known: None,
+                trust_known: false,
+                parallel,
+                embedding_lists: EmbeddingMode::Auto,
+                embedding_budget: DEFAULT_EMBEDDING_BUDGET,
+                telemetry: Some(&tel),
+            };
+            let (merged, stats) = merge_join(&ctx, &p0, &p1);
+            (merged, stats, tel.counters().snapshot())
+        };
+        let (serial, serial_stats, serial_counts) = run(false);
+        let (parallel, parallel_stats, parallel_counts) = run(true);
+        assert!(
+            serial.same_codes_and_supports(&parallel),
+            "exact={exact}: serial {} vs parallel {} patterns",
+            serial.len(),
+            parallel.len()
+        );
+        assert_eq!(serial_stats, parallel_stats, "exact={exact}: merge stats diverged");
+        assert_eq!(serial_counts, parallel_counts, "exact={exact}: counters diverged");
+    }
+}
