@@ -1,0 +1,147 @@
+//! Benchmark: work-stealing executor vs the old fixed-chunk fan-out.
+//!
+//! Reproduces the scheduling shape of `verify_batch` before and after the
+//! shared executor: the baseline splits the work list into `div_ceil`
+//! contiguous chunks (one thread each, with the old per-chunk `to_vec`
+//! copy), the executor deals one job per item onto the stealing pool.
+//! Uniform workloads should tie; skewed workloads — a few heavy
+//! candidates clustered at the front, exactly the shape that stalled a
+//! whole chunk — are where stealing pays. The run writes a
+//! machine-readable summary to `BENCH_exec.json` (override with
+//! `BENCH_EXEC_OUT`; set `BENCH_QUICK=1` for the CI smoke configuration).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_core::{Executor, Job};
+use graphmine_telemetry::JsonValue;
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+/// Deterministic CPU-bound stand-in for one candidate verification.
+fn verify_stand_in(cost: u64) -> u64 {
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..cost {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        acc ^= acc >> 29;
+    }
+    std::hint::black_box(acc)
+}
+
+/// Every candidate costs the same.
+fn uniform_workload(items: usize, base: u64) -> Vec<u64> {
+    vec![base; items]
+}
+
+/// The first sixteenth of the candidates carry almost all the work — the
+/// contiguous-chunk splitter hands them all to thread 0.
+fn skewed_workload(items: usize, base: u64) -> Vec<u64> {
+    (0..items).map(|i| if i < items / 16 { base * 64 } else { base }).collect()
+}
+
+/// The pre-executor `verify_batch` schedule: `div_ceil` contiguous chunks,
+/// one scoped thread per chunk, each chunk copied out first (the
+/// `part.to_vec()` the executor removed is kept here on purpose — it is
+/// part of the baseline being measured).
+fn run_fixed_chunks(costs: &[u64], threads: usize) -> u64 {
+    let chunk = costs.len().div_ceil(threads.max(1));
+    let mut total = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = costs
+            .chunks(chunk)
+            .map(|part| {
+                let part = part.to_vec();
+                s.spawn(move || part.iter().map(|&c| verify_stand_in(c)).sum::<u64>())
+            })
+            .collect();
+        total = handles.into_iter().map(|h| h.join().expect("chunk worker")).sum();
+    });
+    total
+}
+
+/// The executor schedule: one labeled job per candidate on a shared pool.
+fn run_executor(costs: &[u64], exec: &Executor) -> u64 {
+    let jobs: Vec<Job<'_, u64>> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| Job::new(format!("verify:{i}"), move || verify_stand_in(c)))
+        .collect();
+    exec.map_indexed(jobs).expect("no panics in the stand-in").into_iter().sum()
+}
+
+/// Median wall time of several samples of `f`.
+fn measure(f: &mut dyn FnMut() -> u64) -> Duration {
+    let samples = if quick() { 3 } else { 7 };
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed());
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn thread_counts() -> Vec<usize> {
+    let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8);
+    let mut counts = vec![1, 2, machine];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn bench(c: &mut Criterion) {
+    let items = if quick() { 256 } else { 2048 };
+    let base = if quick() { 2_000 } else { 8_000 };
+    let workloads =
+        [("uniform", uniform_workload(items, base)), ("skewed", skewed_workload(items, base))];
+
+    // Criterion console comparison on the most interesting cell.
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(if quick() { 10 } else { 20 });
+    for (name, costs) in &workloads {
+        let exec = Executor::new(2);
+        g.bench_function(format!("{name}_fixed_t2"), |b| b.iter(|| run_fixed_chunks(costs, 2)));
+        g.bench_function(format!("{name}_stealing_t2"), |b| b.iter(|| run_executor(costs, &exec)));
+    }
+    g.finish();
+
+    // Machine-readable summary for CI artifacts and regression tracking.
+    let mut entries = Vec::new();
+    for (name, costs) in &workloads {
+        for &threads in &thread_counts() {
+            let fixed = measure(&mut || run_fixed_chunks(costs, threads));
+            let exec = Executor::new(threads);
+            let before = exec.counters();
+            let stealing = measure(&mut || run_executor(costs, &exec));
+            let steals = exec.counters().steals - before.steals;
+            for (scheduler, median) in [("fixed_chunks", fixed), ("stealing", stealing)] {
+                entries.push(JsonValue::Obj(vec![
+                    ("bench".into(), JsonValue::Str(format!("{name}_{scheduler}_t{threads}"))),
+                    ("workload".into(), JsonValue::Str((*name).to_string())),
+                    ("scheduler".into(), JsonValue::Str(scheduler.to_string())),
+                    ("threads".into(), JsonValue::Num(threads as u64)),
+                    ("median_ns".into(), JsonValue::Num(median.as_nanos() as u64)),
+                    (
+                        "steals".into(),
+                        JsonValue::Num(if scheduler == "stealing" { steals } else { 0 }),
+                    ),
+                ]));
+            }
+        }
+    }
+    let doc = JsonValue::Obj(vec![
+        ("suite".into(), JsonValue::Str("executor".into())),
+        ("quick".into(), JsonValue::Str(quick().to_string())),
+        ("items".into(), JsonValue::Num(items as u64)),
+        ("results".into(), JsonValue::Arr(entries)),
+    ]);
+    let out = std::env::var("BENCH_EXEC_OUT").unwrap_or_else(|_| "BENCH_exec.json".to_string());
+    std::fs::write(&out, doc.to_json()).expect("write bench summary");
+    println!("bench summary written to {out}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -31,12 +31,15 @@ USAGE:
       text format.
 
   graphmine mine FILE --minsup FRAC [--algo ALGO] [--k K] [--parallel]
-                 [--criteria 1|2|3|metis] [--unit-miner gspan|gaston]
-                 [--max-edges M] [--embedding-lists on|off|auto]
-                 [--embedding-budget BYTES] [--closed | --maximal]
-                 [-o PATTERNS] [--report REPORT]
+                 [--threads T] [--criteria 1|2|3|metis]
+                 [--unit-miner gspan|gaston] [--max-edges M]
+                 [--embedding-lists on|off|auto] [--embedding-budget BYTES]
+                 [--closed | --maximal] [-o PATTERNS] [--report REPORT]
       Mine frequent subgraphs. ALGO: partminer (default), gspan, gaston,
       apriori, fsg, adimine. FRAC is relative (0.04 = 4%).
+      --threads sets the work-stealing pool budget for parallel runs
+      (0 = auto: GRAPHMINE_THREADS, then the machine); a value above 1
+      implies --parallel.
       --embedding-lists controls the embedding-list support engine in
       candidate counting (partminer merge-join and apriori); `auto`
       (default) sizes its cache from the database, `off` always
@@ -49,12 +52,13 @@ USAGE:
                  [--per-graph 2] [--seed S] -o UPDATES
       Plan an update workload against a database.
 
-  graphmine incremental FILE UPDATES --minsup FRAC [--k K]
+  graphmine incremental FILE UPDATES --minsup FRAC [--k K] [--threads T]
                  [--criteria 1|2|3|metis] [--embedding-lists on|off|auto]
                  [--embedding-budget BYTES] [--report REPORT]
       Mine, apply the updates incrementally, and report the UF/FI/IF
-      pattern classes. --report writes the incremental round's run
-      report as JSON.
+      pattern classes. --threads above 1 re-mines touched units on a
+      work-stealing pool of that size. --report writes the incremental
+      round's run report as JSON.
 
   graphmine serve FILE --minsup FRAC [--data-dir DIR] [--addr 127.0.0.1:7878]
                  [--k K] [--workers W] [--queue-depth Q] [--parallel]
@@ -82,7 +86,7 @@ USAGE:
       Compare two pattern files written by `mine -o`.
 
   graphmine check [--seed 42] [--cases 100] [--quick] [--out-dir DIR]
-                 [--replay FILE]
+                 [--threads T] [--replay FILE]
       Run the differential correctness oracle: seeded adversarial
       databases are mined with every engine (PartMiner across k ×
       serial/parallel × embedding lists, gSpan, Gaston, Apriori,
@@ -90,7 +94,9 @@ USAGE:
       with internal invariants, incremental UF/FI/IF consistency and the
       serving daemon's epoch behaviour. Each failure writes a
       self-contained repro file into --out-dir (default: oracle-repros);
-      --replay re-runs one repro file. See docs/CORRECTNESS.md.
+      --replay re-runs one repro file. --threads sizes the shared
+      work-stealing pool the parallel legs run on. See
+      docs/CORRECTNESS.md.
 ";
 
 type CmdResult = Result<(), String>;
@@ -167,6 +173,17 @@ fn embedding_args(args: &mut Args<'_>) -> Result<(EmbeddingMode, usize), String>
     let budget: usize =
         args.parsed("--embedding-budget")?.unwrap_or(graphmine_graph::DEFAULT_EMBEDDING_BUDGET);
     Ok((mode, budget))
+}
+
+/// Parses `--threads` and validates the budget it would resolve to, so a
+/// misconfiguration (absurd value, bad `GRAPHMINE_THREADS`) fails before
+/// any mining starts instead of panicking mid-run. `0` (the default)
+/// resolves from `GRAPHMINE_THREADS`, then the machine.
+fn threads_arg(args: &mut Args<'_>) -> Result<usize, String> {
+    let threads: usize = args.parsed("--threads")?.unwrap_or(0);
+    let cfg = PartMinerConfig { threads, ..PartMinerConfig::default() };
+    cfg.thread_budget().map_err(|e| e.to_string())?;
+    Ok(threads)
 }
 
 fn criteria_arg(args: &mut Args<'_>) -> Result<PartitionerKind, String> {
@@ -331,6 +348,7 @@ pub fn mine(raw: &[String]) -> CmdResult {
     let algo = args.value("--algo").unwrap_or("partminer").to_string();
     let k: usize = args.parsed("--k")?.unwrap_or(2);
     let parallel = args.flag("--parallel");
+    let threads = threads_arg(&mut args)?;
     let partitioner = criteria_arg(&mut args)?;
     let unit_miner = match args.value("--unit-miner") {
         None | Some("gspan") => UnitMinerKind::GSpan,
@@ -397,7 +415,9 @@ pub fn mine(raw: &[String]) -> CmdResult {
                 k,
                 partitioner,
                 unit_miner,
-                parallel,
+                // An explicit multi-thread budget implies parallel mode.
+                parallel: parallel || threads > 1,
+                threads,
                 max_edges,
                 embedding_lists,
                 embedding_budget_bytes,
@@ -594,6 +614,7 @@ pub fn incremental(raw: &[String]) -> CmdResult {
     let mut args = Args::new(raw);
     let minsup: f64 = args.require("--minsup")?;
     let k: usize = args.parsed("--k")?.unwrap_or(2);
+    let threads = threads_arg(&mut args)?;
     let partitioner = criteria_arg(&mut args)?;
     let (embedding_lists, embedding_budget_bytes) = embedding_args(&mut args)?;
     let report_path: Option<String> = args.parsed("--report")?;
@@ -611,6 +632,10 @@ pub fn incremental(raw: &[String]) -> CmdResult {
     let cfg = PartMinerConfig {
         k,
         partitioner,
+        // `incremental` has no --parallel flag; asking for more than one
+        // thread is the opt-in.
+        parallel: threads > 1,
+        threads,
         embedding_lists,
         embedding_budget_bytes,
         ..PartMinerConfig::default()
@@ -659,8 +684,12 @@ pub fn incremental(raw: &[String]) -> CmdResult {
 /// `graphmine check` — the differential correctness oracle.
 pub fn check(raw: &[String]) -> CmdResult {
     let mut args = Args::new(raw);
+    let threads = threads_arg(&mut args)?;
     if let Some(path) = args.value("--replay") {
-        return match graphmine_oracle::replay_file(Path::new(path)) {
+        let exec = graphmine_oracle::OracleConfig { threads, ..Default::default() }
+            .executor()
+            .map_err(|e| e.to_string())?;
+        return match graphmine_oracle::replay_file(Path::new(path), &exec) {
             Ok(()) => {
                 println!("replay of {path}: every check passed");
                 Ok(())
@@ -674,6 +703,7 @@ pub fn check(raw: &[String]) -> CmdResult {
         cases: args.parsed("--cases")?.unwrap_or(100),
         quick: args.flag("--quick"),
         out_dir: Some(args.value("--out-dir").unwrap_or("oracle-repros").into()),
+        threads,
     };
     let t = Instant::now();
     let summary = graphmine_oracle::run(&cfg);

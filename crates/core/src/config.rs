@@ -122,6 +122,11 @@ pub struct PartMinerConfig {
     /// Memory budget (bytes) for cached embedding lists; lists that would
     /// exceed it spill and their candidates fall back to the search path.
     pub embedding_budget_bytes: usize,
+    /// Thread budget for the shared executor in parallel mode. `0` means
+    /// auto: the `GRAPHMINE_THREADS` environment variable if set, else
+    /// `std::thread::available_parallelism()`. Resolved once per run via
+    /// [`PartMinerConfig::thread_budget`], never per batch.
+    pub threads: usize,
 }
 
 impl Default for PartMinerConfig {
@@ -137,14 +142,78 @@ impl Default for PartMinerConfig {
             verify_unchanged: true,
             embedding_lists: EmbeddingMode::default(),
             embedding_budget_bytes: DEFAULT_EMBEDDING_BUDGET,
+            threads: 0,
         }
     }
 }
+
+/// A rejected configuration value, reported instead of panicking deep in
+/// the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threads` (or `GRAPHMINE_THREADS`) exceeds the sanity cap.
+    ThreadsOutOfRange {
+        /// The rejected value.
+        requested: usize,
+        /// The largest accepted budget.
+        max: usize,
+    },
+    /// `GRAPHMINE_THREADS` is set but not a non-negative integer.
+    ThreadsEnvInvalid {
+        /// The unparsable value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ThreadsOutOfRange { requested, max } => {
+                write!(f, "thread budget {requested} exceeds the maximum of {max}")
+            }
+            ConfigError::ThreadsEnvInvalid { value } => {
+                write!(f, "GRAPHMINE_THREADS is not a non-negative integer: `{value}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Sanity cap on the thread budget — anything larger is a unit mix-up
+/// (e.g. a byte budget landing in `threads`), not a real machine.
+pub const MAX_THREADS: usize = 1024;
 
 impl PartMinerConfig {
     /// A configuration with `k` units and defaults elsewhere.
     pub fn with_k(k: usize) -> Self {
         PartMinerConfig { k, ..Default::default() }
+    }
+
+    /// Resolves the executor's thread budget, once per run:
+    /// `self.threads` if nonzero, else `GRAPHMINE_THREADS` if set, else
+    /// `std::thread::available_parallelism()`, else 1. Rejects budgets
+    /// above [`MAX_THREADS`] and unparsable environment values.
+    pub fn thread_budget(&self) -> Result<usize, ConfigError> {
+        let resolved = if self.threads != 0 {
+            self.threads
+        } else if let Ok(value) = std::env::var("GRAPHMINE_THREADS") {
+            let parsed: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| ConfigError::ThreadsEnvInvalid { value: value.clone() })?;
+            if parsed == 0 {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            } else {
+                parsed
+            }
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        };
+        if resolved > MAX_THREADS {
+            return Err(ConfigError::ThreadsOutOfRange { requested: resolved, max: MAX_THREADS });
+        }
+        Ok(resolved)
     }
 
     /// The unit-level support threshold for a node at `depth` in the split
@@ -215,6 +284,36 @@ mod tests {
         assert_eq!(PartMinerConfig::depth_support(100, 2), 25);
         assert_eq!(PartMinerConfig::depth_support(101, 1), 51, "rounds up");
         assert_eq!(PartMinerConfig::depth_support(1, 5), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn thread_budget_resolution_order() {
+        // Explicit nonzero config wins without consulting the environment.
+        let cfg = PartMinerConfig { threads: 3, ..Default::default() };
+        assert_eq!(cfg.thread_budget(), Ok(3));
+
+        // Out-of-range budgets are rejected, not clamped or panicked on.
+        let cfg = PartMinerConfig { threads: MAX_THREADS + 1, ..Default::default() };
+        assert_eq!(
+            cfg.thread_budget(),
+            Err(ConfigError::ThreadsOutOfRange { requested: MAX_THREADS + 1, max: MAX_THREADS })
+        );
+
+        // 0 → auto: env var, then available_parallelism. One test owns the
+        // env var to avoid cross-test races.
+        let auto = PartMinerConfig::default();
+        std::env::set_var("GRAPHMINE_THREADS", "5");
+        assert_eq!(auto.thread_budget(), Ok(5));
+        std::env::set_var("GRAPHMINE_THREADS", "bogus");
+        assert_eq!(
+            auto.thread_budget(),
+            Err(ConfigError::ThreadsEnvInvalid { value: "bogus".to_string() })
+        );
+        std::env::set_var("GRAPHMINE_THREADS", "0");
+        let detected = auto.thread_budget().unwrap();
+        assert!(detected >= 1);
+        std::env::remove_var("GRAPHMINE_THREADS");
+        assert!(auto.thread_budget().unwrap() >= 1);
     }
 
     #[test]

@@ -14,13 +14,16 @@ use std::time::{Duration, Instant};
 
 use rustc_hash::FxHashSet;
 
+use graphmine_exec::{Executor, Job};
 use graphmine_graph::{iso, DbUpdate, GraphError, PatternSet};
 use graphmine_partition::NodeId;
 use graphmine_telemetry::{Counter, ReportSource, StageTotal, Telemetry};
 
 use crate::config::frequent_edges;
 use crate::merge_join::MergeStats;
-use crate::partminer::{merge_subtree, PartMinerState};
+use crate::partminer::{
+    executor_for, fault_panic_hook, merge_subtree, mirror_exec_counters, PartMinerState,
+};
 use crate::PartMinerConfig;
 
 /// Work counters of one incremental update round.
@@ -108,8 +111,23 @@ impl IncPartMiner {
         updates: &[DbUpdate],
         tel: &Telemetry,
     ) -> Result<IncOutcome, GraphError> {
+        let exec = executor_for(&state.config);
+        IncPartMiner::update_on(state, updates, &exec, tel)
+    }
+
+    /// [`IncPartMiner::update_instrumented`] on a caller-provided
+    /// executor: touched-unit re-mining and candidate verification fan
+    /// out over `exec`'s budget regardless of `config.parallel`, so one
+    /// pool serves initial mining, verification, and update rounds alike.
+    pub fn update_on(
+        state: &mut PartMinerState,
+        updates: &[DbUpdate],
+        exec: &Executor,
+        tel: &Telemetry,
+    ) -> Result<IncOutcome, GraphError> {
         let start = Instant::now();
         let cfg = state.config;
+        let exec_before = exec.counters();
         let root = state.partition.root_id();
         let old_pd = state.node_results[&root].clone();
 
@@ -141,62 +159,37 @@ impl IncPartMiner {
         // fall below the threshold the moment one unit stops carrying it,
         // so anything in a unit diff must be re-verified (or it would keep
         // its stale pre-update support in trust mode and never land in FI).
-        let unit_nodes: Vec<(usize, NodeId)> = (0..state.partition.unit_count())
-            .map(|j| {
-                let n = (0..state.partition.node_count())
-                    .find(|&n| state.partition.node(n).unit == Some(j))
-                    .expect("every unit has a node");
-                (j, n)
-            })
-            .collect();
+        let unit_nodes: Vec<NodeId> =
+            (0..state.partition.unit_count()).map(|j| state.partition.unit_node_id(j)).collect();
         let t_units = Instant::now();
-        let touched_units: Vec<graphmine_partition::NodeId> =
-            unit_nodes.iter().map(|&(_, n)| n).filter(|n| touched.contains(n)).collect();
+        let touched_units: Vec<NodeId> =
+            unit_nodes.into_iter().filter(|n| touched.contains(n)).collect();
         let units_remined = touched_units.len();
-        // Re-mine the touched units — concurrently in parallel mode, the
-        // same way the initial mining fans out over units.
-        let new_results: Vec<(graphmine_partition::NodeId, PatternSet)> = if cfg.parallel
-            && touched_units.len() > 1
-        {
-            let partition = &state.partition;
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = touched_units
-                    .iter()
-                    .map(|&n| {
-                        let node = partition.node(n);
-                        let sup = PartMinerConfig::depth_support(state.min_support, node.depth);
-                        scope.spawn(move |_| {
-                            let span = tel.span_node("inc_remine", n as u64);
-                            let res = cfg.unit_miner.mine_counted(
-                                &node.db,
-                                sup,
-                                cfg.max_edges,
-                                tel.counters(),
-                            );
-                            drop(span);
-                            tel.counters().bump(Counter::UnitsMined);
-                            (n, res)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("unit re-miner")).collect()
-            })
-            .expect("re-mining scope")
-        } else {
-            touched_units
-                .iter()
-                .map(|&n| {
-                    let node = state.partition.node(n);
-                    let sup = PartMinerConfig::depth_support(state.min_support, node.depth);
+        // Re-mine the touched units on the shared executor, one labeled
+        // job per unit — the same fan-out shape as the initial mining
+        // (inline when the budget is a single thread).
+        let partition = &state.partition;
+        let jobs: Vec<Job<'_, PatternSet>> = touched_units
+            .iter()
+            .map(|&n| {
+                let node = partition.node(n);
+                let unit = node.unit.expect("leaf");
+                let sup = PartMinerConfig::depth_support(state.min_support, node.depth);
+                Job::new(format!("inc-remine:{unit}"), move || {
                     let span = tel.span_node("inc_remine", n as u64);
+                    fault_panic_hook(unit);
                     let res =
                         cfg.unit_miner.mine_counted(&node.db, sup, cfg.max_edges, tel.counters());
                     drop(span);
                     tel.counters().bump(Counter::UnitsMined);
-                    (n, res)
+                    res
                 })
-                .collect()
-        };
+            })
+            .collect();
+        let remined =
+            exec.map_indexed(jobs).unwrap_or_else(|e| panic!("incremental re-mining failed: {e}"));
+        let new_results: Vec<(NodeId, PatternSet)> =
+            touched_units.iter().copied().zip(remined).collect();
         let mut unit_diffs: Vec<PatternSet> = Vec::new();
         for (n, new_result) in new_results {
             let old_result = state.node_results.insert(n, new_result).expect("mined before");
@@ -251,9 +244,11 @@ impl IncPartMiner {
             &mut state.node_results,
             &mut merge,
             Some(&known),
+            exec,
             tel,
         );
         let merge_time = t_merge.elapsed();
+        mirror_exec_counters(tel, exec, exec_before);
 
         // 6. Classify (lines 13-15).
         let new_pd = state.node_results[&root].clone();

@@ -76,7 +76,15 @@ mod incremental;
 mod merge_join;
 mod partminer;
 
-pub use config::{one_edge_deletions, JoinPolicy, PartMinerConfig, PartitionerKind, UnitMinerKind};
+pub use config::{
+    one_edge_deletions, ConfigError, JoinPolicy, PartMinerConfig, PartitionerKind, UnitMinerKind,
+    MAX_THREADS,
+};
 pub use incremental::{IncOutcome, IncPartMiner, IncStats};
 pub use merge_join::{merge_join, MergeContext, MergeStats};
 pub use partminer::{MineOutcome, MineStats, PartMiner, PartMinerState};
+
+// The shared work-stealing pool, re-exported so pipeline callers (CLI,
+// oracle, serving daemon) can build one pool and thread it through
+// [`PartMiner::mine_on`] / [`IncPartMiner::update_on`].
+pub use graphmine_exec::{ExecCounters, ExecError, Executor, Job};

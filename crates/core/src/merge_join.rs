@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 
 use rustc_hash::FxHashMap;
 
+use graphmine_exec::{Executor, Job};
 use graphmine_graph::iso::SupportIndex;
 use graphmine_graph::{
     DfsCode, EmbeddingMode, EmbeddingStore, GraphDb, GraphId, Pattern, PatternSet, Support,
@@ -49,9 +50,11 @@ pub struct MergeContext<'a> {
     pub known: Option<&'a PatternSet>,
     /// Whether `known` members may be accepted without recounting.
     pub trust_known: bool,
-    /// Verify candidates on multiple threads (PartMiner's parallel mode
-    /// extends to `CheckFrequency`: candidate counts are independent).
-    pub parallel: bool,
+    /// The shared executor verifying candidates on multiple threads
+    /// (PartMiner's parallel mode extends to `CheckFrequency`: candidate
+    /// counts are independent). `None` runs serially; the thread budget
+    /// was resolved once when the executor was built, never per batch.
+    pub executor: Option<&'a Executor>,
     /// Whether `CheckFrequency` keeps embedding lists: candidates are then
     /// resolved by extending their parent's occurrence list instead of
     /// re-running the embedding search per graph.
@@ -350,8 +353,8 @@ type CandidateWork = (DfsCode, Option<Arc<Vec<GraphId>>>);
 /// A verified candidate: the work item plus the verdict.
 type VerifiedWork = (DfsCode, Option<Arc<Vec<GraphId>>>, Verdict);
 
-/// Verifies a batch of candidates, fanning out over threads when the
-/// context asks for parallel mode and the batch is worth it.
+/// Verifies a batch of candidates, fanning out over the shared executor
+/// when the context carries one and the batch is worth it.
 fn verify_batch(
     ctx: &MergeContext<'_>,
     index: &SupportIndex,
@@ -362,8 +365,8 @@ fn verify_batch(
 ) -> Vec<VerifiedWork> {
     const MIN_PARALLEL_BATCH: usize = 64;
     let _check_span = ctx.telemetry.map(|t| t.span("check_frequency"));
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    if !ctx.parallel || threads < 2 || work.len() < MIN_PARALLEL_BATCH {
+    let threads = ctx.executor.map_or(1, Executor::threads);
+    if threads < 2 || work.len() < MIN_PARALLEL_BATCH {
         return work
             .into_iter()
             .map(|(code, restrict)| {
@@ -372,47 +375,30 @@ fn verify_batch(
             })
             .collect();
     }
-    let chunk = work.len().div_ceil(threads);
-    // Each worker tags its chunk with the chunk index, and the fold below
-    // sorts on it before absorbing stats and concatenating results, so the
-    // merged report and the candidate order are identical to the serial
-    // walk no matter how the collection of finished workers is ordered.
-    let mut results: Vec<(usize, Vec<VerifiedWork>, MergeStats)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .chunks(chunk)
-                .enumerate()
-                .map(|(idx, part)| {
-                    let part: Vec<_> = part.to_vec();
-                    scope.spawn(move |_| {
-                        let mut local_stats = MergeStats::default();
-                        let out: Vec<_> = part
-                            .into_iter()
-                            .map(|(code, restrict)| {
-                                let v = verify(
-                                    ctx,
-                                    index,
-                                    estore,
-                                    seeds,
-                                    &code,
-                                    restrict.as_ref(),
-                                    &mut local_stats,
-                                );
-                                (code, restrict, v)
-                            })
-                            .collect();
-                        (idx, out, local_stats)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("verify worker")).collect()
+    // One job per candidate: a single expensive candidate occupies one
+    // worker while the rest steal the remaining work, and the results come
+    // back in submission order, so folding each job's local stats in that
+    // order reproduces the serial walk exactly.
+    let exec = ctx.executor.expect("threads >= 2 implies an executor");
+    let jobs: Vec<Job<'_, (VerifiedWork, MergeStats)>> = work
+        .into_iter()
+        .map(|(code, restrict)| {
+            let label = format!("verify:{code}");
+            Job::new(label, move || {
+                let mut local = MergeStats::default();
+                let v = verify(ctx, index, estore, seeds, &code, restrict.as_ref(), &mut local);
+                ((code, restrict, v), local)
+            })
         })
-        .expect("verification scope");
-    results.sort_by_key(|&(idx, ..)| idx);
-    let mut out = Vec::with_capacity(results.iter().map(|(_, v, _)| v.len()).sum());
-    for (_, part, local) in results {
+        .collect();
+    let verified = match exec.map_indexed(jobs) {
+        Ok(v) => v,
+        Err(e) => panic!("merge-join verification failed: {e}"),
+    };
+    let mut out = Vec::with_capacity(verified.len());
+    for (item, local) in verified {
         stats.absorb(local);
-        out.extend(part);
+        out.push(item);
     }
     out
 }
@@ -621,7 +607,7 @@ mod tests {
                 exact_supports: true,
                 known: None,
                 trust_known: false,
-                parallel: false,
+                executor: None,
                 embedding_lists: graphmine_graph::EmbeddingMode::Auto,
                 embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
                 telemetry: None,
@@ -652,7 +638,7 @@ mod tests {
             exact_supports: false,
             known: None,
             trust_known: false,
-            parallel: false,
+            executor: None,
             embedding_lists: graphmine_graph::EmbeddingMode::Auto,
             embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
             telemetry: None,
@@ -684,7 +670,7 @@ mod tests {
                 exact_supports: true,
                 known: None,
                 trust_known: false,
-                parallel: false,
+                executor: None,
                 embedding_lists: graphmine_graph::EmbeddingMode::Auto,
                 embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
                 telemetry: None,
@@ -719,7 +705,7 @@ mod tests {
             exact_supports: false,
             known: Some(&direct),
             trust_known: true,
-            parallel: false,
+            executor: None,
             embedding_lists: graphmine_graph::EmbeddingMode::Auto,
             embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
             telemetry: None,
@@ -743,7 +729,7 @@ mod tests {
             exact_supports: true,
             known: None,
             trust_known: false,
-            parallel: false,
+            executor: None,
             embedding_lists: graphmine_graph::EmbeddingMode::Auto,
             embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
             telemetry: None,
@@ -782,7 +768,7 @@ mod tests {
                 exact_supports: true,
                 known: None,
                 trust_known: false,
-                parallel: false,
+                executor: None,
                 embedding_lists: graphmine_graph::EmbeddingMode::Auto,
                 embedding_budget: graphmine_graph::DEFAULT_EMBEDDING_BUDGET,
                 telemetry: None,

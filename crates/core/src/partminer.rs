@@ -4,12 +4,58 @@ use std::time::{Duration, Instant};
 
 use rustc_hash::FxHashMap;
 
+use graphmine_exec::{ExecCounters, Executor, Job};
 use graphmine_graph::{GraphDb, PatternSet, Support};
 use graphmine_partition::{DbPartition, NodeId};
 use graphmine_telemetry::{Counter, ReportSource, StageTotal, Telemetry};
 
 use crate::merge_join::{merge_join, MergeContext, MergeStats};
 use crate::PartMinerConfig;
+
+/// Oracle mutant hook: a unit-mining job that dies mid-run, proving the
+/// executor's labeled panic carries the unit id into the error. Inert (a
+/// relaxed atomic load) unless the `fault-injection` feature is on and the
+/// fault is armed.
+#[inline]
+pub(crate) fn fault_panic_hook(unit: usize) {
+    #[cfg(feature = "fault-injection")]
+    if graphmine_graph::fault::armed(graphmine_graph::fault::Fault::PanicUnitMiner) {
+        panic!("injected unit-miner fault in unit {unit}");
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = unit;
+}
+
+/// Builds the executor a `config.parallel`-driven entry point runs on: the
+/// budget from [`PartMinerConfig::thread_budget`] in parallel mode, a
+/// single inline worker otherwise.
+///
+/// # Panics
+///
+/// Panics with the [`crate::ConfigError`] message on a rejected `threads`
+/// setting — user-facing callers (the CLI) validate with `thread_budget()`
+/// first and report the error properly.
+pub(crate) fn executor_for(cfg: &PartMinerConfig) -> Executor {
+    if !cfg.parallel {
+        return Executor::new(1);
+    }
+    let budget =
+        cfg.thread_budget().unwrap_or_else(|e| panic!("invalid thread configuration: {e}"));
+    Executor::new(budget)
+}
+
+/// Mirrors the executor's scheduling-counter deltas for one run into the
+/// telemetry table. The pool may be shared across runs (the oracle reuses
+/// one for its whole matrix), so only the delta belongs to this report;
+/// the queue peak is a high-water mark and is folded with `max`.
+pub(crate) fn mirror_exec_counters(tel: &Telemetry, exec: &Executor, before: ExecCounters) {
+    let after = exec.counters();
+    let c = tel.counters();
+    c.add(Counter::ExecJobs, after.jobs - before.jobs);
+    c.add(Counter::ExecSteals, after.steals - before.steals);
+    c.add(Counter::ExecPanics, after.panics - before.panics);
+    c.max(Counter::ExecQueuePeak, after.queue_peak);
+}
 
 /// Timings and work counters of one PartMiner run.
 #[derive(Debug, Clone, Default)]
@@ -154,8 +200,38 @@ impl PartMiner {
         known: Option<&PatternSet>,
         tel: &Telemetry,
     ) -> MineOutcome {
+        let exec = executor_for(&self.config);
+        self.mine_inner(db, ufreq, min_support, known, &exec, tel)
+    }
+
+    /// [`PartMiner::mine_instrumented`] on a caller-provided executor:
+    /// unit mining and candidate verification fan out over `exec`'s
+    /// budget regardless of `config.parallel`, and the same pool can be
+    /// shared across runs (the oracle reuses one for its whole PartMiner
+    /// matrix) instead of re-resolving a parallelism degree per batch.
+    pub fn mine_on(
+        &self,
+        db: &GraphDb,
+        ufreq: &[Vec<f64>],
+        min_support: Support,
+        exec: &Executor,
+        tel: &Telemetry,
+    ) -> MineOutcome {
+        self.mine_inner(db, ufreq, min_support, None, exec, tel)
+    }
+
+    fn mine_inner(
+        &self,
+        db: &GraphDb,
+        ufreq: &[Vec<f64>],
+        min_support: Support,
+        known: Option<&PatternSet>,
+        exec: &Executor,
+        tel: &Telemetry,
+    ) -> MineOutcome {
         let start = Instant::now();
         let cfg = &self.config;
+        let exec_before = exec.counters();
 
         // Phase 1: divide the database into units (Fig. 6).
         let t = Instant::now();
@@ -166,60 +242,37 @@ impl PartMiner {
         drop(span);
         let partition_time = t.elapsed();
 
-        // Phase 2a: mine the units at the reduced support sup/2^depth.
-        let unit_nodes: Vec<NodeId> = (0..partition.unit_count())
-            .map(|j| {
-                // Find the node id backing unit j.
-                (0..partition.node_count())
-                    .find(|&n| partition.node(n).unit == Some(j))
-                    .expect("every unit has a node")
-            })
-            .collect();
+        // Phase 2a: mine the units at the reduced support sup/2^depth, one
+        // executor job per unit (inline on a single-thread budget). The
+        // precomputed unit→node map replaces the old per-unit scan over
+        // every tree node.
+        let unit_nodes: Vec<NodeId> =
+            (0..partition.unit_count()).map(|j| partition.unit_node_id(j)).collect();
         let mut node_results: FxHashMap<NodeId, PatternSet> = FxHashMap::default();
         let mut unit_times = vec![Duration::default(); unit_nodes.len()];
 
-        if cfg.parallel && unit_nodes.len() > 1 {
-            let results: Vec<(NodeId, PatternSet, Duration)> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = unit_nodes
-                    .iter()
-                    .map(|&n| {
-                        let node = partition.node(n);
-                        let sup = PartMinerConfig::depth_support(min_support, node.depth);
-                        scope.spawn(move |_| {
-                            let t = Instant::now();
-                            let span = tel.span_node("unit_mine", n as u64);
-                            let res = cfg.unit_miner.mine_counted(
-                                &node.db,
-                                sup,
-                                cfg.max_edges,
-                                tel.counters(),
-                            );
-                            drop(span);
-                            tel.counters().bump(Counter::UnitsMined);
-                            (n, res, t.elapsed())
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("unit miner panicked")).collect()
-            })
-            .expect("mining scope");
-            for (n, res, dt) in results {
-                let unit = partition.node(n).unit.expect("leaf");
-                unit_times[unit] = dt;
-                node_results.insert(n, res);
-            }
-        } else {
-            for &n in &unit_nodes {
+        let jobs: Vec<Job<'_, (PatternSet, Duration)>> = unit_nodes
+            .iter()
+            .map(|&n| {
                 let node = partition.node(n);
+                let unit = node.unit.expect("leaf");
                 let sup = PartMinerConfig::depth_support(min_support, node.depth);
-                let t = Instant::now();
-                let span = tel.span_node("unit_mine", n as u64);
-                let res = cfg.unit_miner.mine_counted(&node.db, sup, cfg.max_edges, tel.counters());
-                drop(span);
-                tel.counters().bump(Counter::UnitsMined);
-                unit_times[node.unit.expect("leaf")] = t.elapsed();
-                node_results.insert(n, res);
-            }
+                Job::new(format!("unit-mine:{unit}"), move || {
+                    let t = Instant::now();
+                    let span = tel.span_node("unit_mine", n as u64);
+                    fault_panic_hook(unit);
+                    let res =
+                        cfg.unit_miner.mine_counted(&node.db, sup, cfg.max_edges, tel.counters());
+                    drop(span);
+                    tel.counters().bump(Counter::UnitsMined);
+                    (res, t.elapsed())
+                })
+            })
+            .collect();
+        let results = exec.map_indexed(jobs).unwrap_or_else(|e| panic!("unit mining failed: {e}"));
+        for (&n, (res, dt)) in unit_nodes.iter().zip(results) {
+            unit_times[partition.node(n).unit.expect("leaf")] = dt;
+            node_results.insert(n, res);
         }
 
         // Phase 2b: combine bottom-up with the merge-join.
@@ -233,9 +286,11 @@ impl PartMiner {
             &mut node_results,
             &mut merge,
             known,
+            exec,
             tel,
         );
         let merge_time = t.elapsed();
+        mirror_exec_counters(tel, exec, exec_before);
 
         let patterns = node_results[&partition.root_id()].clone();
         let stats =
@@ -257,6 +312,7 @@ pub(crate) fn merge_subtree(
     node_results: &mut FxHashMap<NodeId, PatternSet>,
     stats: &mut MergeStats,
     known_at_root: Option<&PatternSet>,
+    exec: &Executor,
     tel: &Telemetry,
 ) {
     if node_results.contains_key(&node_id) {
@@ -264,8 +320,8 @@ pub(crate) fn merge_subtree(
     }
     let _span = tel.span_node("merge_join", node_id as u64);
     let (a, b) = partition.node(node_id).children.expect("leaf results are mined, not merged");
-    merge_subtree(cfg, partition, a, min_support, node_results, stats, known_at_root, tel);
-    merge_subtree(cfg, partition, b, min_support, node_results, stats, known_at_root, tel);
+    merge_subtree(cfg, partition, a, min_support, node_results, stats, known_at_root, exec, tel);
+    merge_subtree(cfg, partition, b, min_support, node_results, stats, known_at_root, exec, tel);
     let node = partition.node(node_id);
     let sup = PartMinerConfig::depth_support(min_support, node.depth);
     let at_root = node_id == partition.root_id();
@@ -277,7 +333,7 @@ pub(crate) fn merge_subtree(
         exact_supports: cfg.exact_supports,
         known: if at_root { known_at_root } else { None },
         trust_known: at_root && known_at_root.is_some() && !cfg.verify_unchanged,
-        parallel: cfg.parallel,
+        executor: (exec.threads() > 1).then_some(exec),
         embedding_lists: cfg.embedding_lists,
         embedding_budget: cfg.embedding_budget_bytes,
         telemetry: Some(tel),

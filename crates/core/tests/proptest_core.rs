@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use graphmine_core::{
-    merge_join, IncPartMiner, JoinPolicy, MergeContext, PartMiner, PartMinerConfig,
+    merge_join, Executor, IncPartMiner, JoinPolicy, MergeContext, PartMiner, PartMinerConfig,
 };
 use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate};
 use graphmine_miner::{GSpan, MemoryMiner};
@@ -88,10 +88,10 @@ fn split_db(db: &GraphDb) -> (GraphDb, GraphDb) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The parallel merge-join is a pure scheduling change: it must produce
-    /// the same pattern set, the same telemetry counter totals *and* the
-    /// same `MergeStats` as the serial run — the per-chunk stats fold is
-    /// order-independent, so no thread-completion schedule may show through.
+    /// The executor-backed merge-join is a pure scheduling change: it must
+    /// produce the same pattern set, the same telemetry counter totals
+    /// *and* the same `MergeStats` as the serial run — per-job stats fold
+    /// in submission order, so no steal schedule may show through.
     #[test]
     fn parallel_merge_join_matches_serial(
         db in db_strategy(),
@@ -105,7 +105,8 @@ proptest! {
         let p0 = GSpan::new().mine(&d0, unit_sup);
         let p1 = GSpan::new().mine(&d1, unit_sup);
         let policy = if paper_policy { JoinPolicy::Paper } else { JoinPolicy::Complete };
-        let run = |parallel: bool| {
+        let exec = Executor::new(4);
+        let run = |executor: Option<&Executor>| {
             let tel = Telemetry::new();
             let ctx = MergeContext {
                 db: &db,
@@ -115,7 +116,7 @@ proptest! {
                 exact_supports: exact,
                 known: None,
                 trust_known: false,
-                parallel,
+                executor,
                 embedding_lists: if lists {
                     graphmine_graph::EmbeddingMode::Auto
                 } else {
@@ -127,8 +128,8 @@ proptest! {
             let (merged, stats) = merge_join(&ctx, &p0, &p1);
             (merged, stats, tel.counters().snapshot())
         };
-        let (serial, serial_stats, serial_counts) = run(false);
-        let (parallel, parallel_stats, parallel_counts) = run(true);
+        let (serial, serial_stats, serial_counts) = run(None);
+        let (parallel, parallel_stats, parallel_counts) = run(Some(&exec));
         prop_assert!(
             serial.same_codes_and_supports(&parallel),
             "sup={} exact={} policy={:?}: serial {} parallel {}",
@@ -136,6 +137,31 @@ proptest! {
         );
         prop_assert_eq!(serial_stats, parallel_stats);
         prop_assert_eq!(serial_counts, parallel_counts);
+    }
+
+    /// A whole executor-backed run ([`PartMiner::mine_on`]) is a pure
+    /// scheduling change over the serial [`PartMiner::mine`]: identical
+    /// pattern sets and identical `MergeStats`, whatever the pool size.
+    #[test]
+    fn executor_backed_mine_matches_serial(
+        db in db_strategy(),
+        k in 1usize..5,
+        sup in 1u32..4,
+        threads in 2usize..5,
+    ) {
+        let uf: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+        let mut cfg = PartMinerConfig::with_k(k);
+        cfg.exact_supports = true;
+        let miner = PartMiner::new(cfg);
+        let serial = miner.mine(&db, &uf, sup);
+        let exec = Executor::new(threads);
+        let pooled = miner.mine_on(&db, &uf, sup, &exec, &Telemetry::new());
+        prop_assert!(
+            serial.patterns.same_codes_and_supports(&pooled.patterns),
+            "k={} sup={} threads={}: serial {} pooled {}",
+            k, sup, threads, serial.patterns.len(), pooled.patterns.len()
+        );
+        prop_assert_eq!(serial.stats.merge, pooled.stats.merge);
     }
 
     #[test]

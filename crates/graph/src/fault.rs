@@ -1,7 +1,7 @@
 //! Process-global fault registry for oracle mutation testing.
 //!
 //! The correctness oracle (`graphmine-oracle`) proves its own teeth by
-//! arming one of three hand-written mutants and checking that the oracle
+//! arming one of the hand-written mutants and checking that the oracle
 //! matrix catches it with a replayable repro. The hooks live in the
 //! production crates but compile only under the `fault-injection` cargo
 //! feature, and even then stay inert — a single relaxed atomic load —
@@ -26,6 +26,10 @@ pub enum Fault {
     /// `IncPartMiner` skips building the prune set, so trust-mode
     /// recombination accepts stale pre-update patterns unconditionally.
     SkipPruneSet = 3,
+    /// A unit-mining job panics mid-run — proves the shared executor's
+    /// labeled panic (`ExecError { label, .. }`) carries the failing
+    /// unit id all the way into the reported error.
+    PanicUnitMiner = 4,
 }
 
 static ACTIVE: AtomicU8 = AtomicU8::new(0);

@@ -14,10 +14,13 @@
 //! 4. **partminer-matrix** — PartMiner for `k ∈ {2, 3, 4}` × serial /
 //!    parallel × embedding lists off / on / auto, with exact supports,
 //!    against the gSpan reference; serial and parallel merge stats fold to
-//!    identical totals.
+//!    identical totals. The parallel legs all fan out over one run-wide
+//!    work-stealing [`Executor`], so pool reuse across cases is exercised
+//!    for free.
 //! 5. **partition-invariants** — `DbPartition::check_invariants`, lossless
-//!    graph recovery, and the one-split law: each edge lands in exactly
-//!    one side, or in both sides and the connective set.
+//!    graph recovery, the one-split law (each edge lands in exactly one
+//!    side, or in both sides and the connective set), and the precomputed
+//!    unit→node map against a linear scan of the tree.
 //! 6. **incremental-verify** — IncPartMiner (verify mode) equals a
 //!    from-scratch mine of the mirrored database; the UF/FI/IF classes
 //!    partition the change space; the run-report counters reconcile with
@@ -30,7 +33,7 @@
 //!    answers support probes exactly (including from an old epoch's
 //!    `Arc` after a swap), and swaps epochs once per batch.
 
-use graphmine_core::{one_edge_deletions, IncPartMiner, PartMiner, PartMinerConfig};
+use graphmine_core::{one_edge_deletions, Executor, IncPartMiner, PartMiner, PartMinerConfig};
 use graphmine_graph::{
     enumerate::frequent_bruteforce, iso, update::apply_all, DfsCode, EmbeddingMode, Graph, GraphDb,
     GraphUpdate, PatternSet,
@@ -60,12 +63,16 @@ fn fail(check: &'static str, message: String) -> CheckFailure {
 
 /// Runs the whole battery on one case. The first failing check aborts the
 /// case and is reported; a clean case returns `Ok(())`.
-pub fn run_case(case: &Case) -> Result<(), CheckFailure> {
+///
+/// `exec` is the work-stealing pool the parallel PartMiner legs fan out
+/// on; the runner builds one per oracle run and reuses it across every
+/// case, so pool reuse itself is under test here.
+pub fn run_case(case: &Case, exec: &Executor) -> Result<(), CheckFailure> {
     let reference = GSpan::capped(case.max_edges).mine(&case.db, case.min_support);
     check_edge_rejection(case)?;
     check_reference_matrix(case, &reference)?;
     check_pattern_invariants(case, &reference)?;
-    check_partminer_matrix(case, &reference)?;
+    check_partminer_matrix(case, &reference, exec)?;
     check_partition_invariants(case)?;
     let mirror = validated_mirror(case);
     if let Some(mirror) = &mirror {
@@ -223,21 +230,29 @@ fn check_pattern_invariants(_case: &Case, reference: &PatternSet) -> Result<(), 
     Ok(())
 }
 
-fn check_partminer_matrix(case: &Case, reference: &PatternSet) -> Result<(), CheckFailure> {
+fn check_partminer_matrix(
+    case: &Case,
+    reference: &PatternSet,
+    exec: &Executor,
+) -> Result<(), CheckFailure> {
     const CHECK: &str = "partminer-matrix";
     let uf = zeros(&case.db);
     for k in [2usize, 3, 4] {
         for lists in [EmbeddingMode::Off, EmbeddingMode::On, EmbeddingMode::Auto] {
-            let run = |parallel: bool| {
+            let miner = || {
                 let mut cfg = PartMinerConfig::with_k(k);
                 cfg.exact_supports = true;
                 cfg.max_edges = Some(case.max_edges);
-                cfg.parallel = parallel;
                 cfg.embedding_lists = lists;
-                PartMiner::new(cfg).mine(&case.db, &uf, case.min_support)
+                PartMiner::new(cfg)
             };
-            let serial = run(false);
-            let parallel = run(true);
+            let serial = miner().mine(&case.db, &uf, case.min_support);
+            // The parallel leg fans out over the run-wide shared pool —
+            // the same `Executor` every other case (and every other
+            // `(k, lists)` cell) uses, so a pool poisoned or corrupted by
+            // an earlier batch would surface here.
+            let parallel =
+                miner().mine_on(&case.db, &uf, case.min_support, exec, &Telemetry::new());
             let label = format!("PartMiner k={k} lists={lists}");
             expect_same(CHECK, &format!("{label} serial vs gSpan"), &serial.patterns, reference)?;
             expect_same(
@@ -290,6 +305,20 @@ fn check_partition_invariants(case: &Case) -> Result<(), CheckFailure> {
             let recovered = part.recovered_graph(gid);
             if let Err(e) = same_graph(g, &recovered) {
                 return Err(fail(CHECK, format!("k={k} graph {gid} not recovered: {e}")));
+            }
+        }
+        // The O(1) unit→node map must agree with the linear tree scan it
+        // replaced in the mining and incremental paths.
+        for j in 0..part.unit_count() {
+            let scanned = (0..part.node_count()).find(|&n| part.node(n).unit == Some(j));
+            if scanned != Some(part.unit_node_id(j)) {
+                return Err(fail(
+                    CHECK,
+                    format!(
+                        "k={k}: unit {j} maps to node {}, the tree scan finds {scanned:?}",
+                        part.unit_node_id(j)
+                    ),
+                ));
             }
         }
     }

@@ -27,6 +27,7 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, Cursor, Write};
 use std::path::{Path, PathBuf};
 
+use graphmine_core::Executor;
 use graphmine_graph::{io as gio, update_io};
 
 use crate::case::Case;
@@ -134,8 +135,9 @@ pub fn read_repro(r: impl BufRead) -> Result<(Case, Option<(String, String)>), S
     Ok((case, meta))
 }
 
-/// Replays a repro file through the full check battery.
-pub fn replay_file(path: &Path) -> Result<(), CheckFailure> {
+/// Replays a repro file through the full check battery; the parallel
+/// check legs fan out on `exec`.
+pub fn replay_file(path: &Path, exec: &Executor) -> Result<(), CheckFailure> {
     let file = File::open(path).map_err(|e| CheckFailure {
         check: "replay-io",
         message: format!("{}: {e}", path.display()),
@@ -144,7 +146,7 @@ pub fn replay_file(path: &Path) -> Result<(), CheckFailure> {
         check: "replay-io",
         message: format!("{}: {e}", path.display()),
     })?;
-    run_case(&case)
+    run_case(&case, exec)
 }
 
 fn escape(s: &str) -> String {

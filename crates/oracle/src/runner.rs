@@ -3,6 +3,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
+use graphmine_core::{ConfigError, Executor, PartMinerConfig};
+
 use crate::case::{generate_case, Case};
 use crate::checks::{run_case, CheckFailure};
 use crate::repro::write_repro_file;
@@ -18,11 +20,25 @@ pub struct OracleConfig {
     pub quick: bool,
     /// Where failing cases are written as repro files (`None` disables).
     pub out_dir: Option<PathBuf>,
+    /// Thread budget of the shared pool the parallel check legs fan out
+    /// on; `0` resolves like the mining pipeline (`GRAPHMINE_THREADS`,
+    /// then the machine).
+    pub threads: usize,
 }
 
 impl Default for OracleConfig {
     fn default() -> Self {
-        OracleConfig { seed: 42, cases: 100, quick: false, out_dir: None }
+        OracleConfig { seed: 42, cases: 100, quick: false, out_dir: None, threads: 0 }
+    }
+}
+
+impl OracleConfig {
+    /// Builds the run-wide work-stealing pool. The budget resolves exactly
+    /// like [`PartMinerConfig::thread_budget`], so `graphmine check` and
+    /// `graphmine mine` read the same knobs.
+    pub fn executor(&self) -> Result<Executor, ConfigError> {
+        let cfg = PartMinerConfig { threads: self.threads, ..PartMinerConfig::default() };
+        Ok(Executor::new(cfg.thread_budget()?))
     }
 }
 
@@ -60,20 +76,28 @@ impl RunSummary {
 /// checks are caught and reported like failing ones, so a crashing bug
 /// still produces a repro file instead of killing the run.
 pub fn run(cfg: &OracleConfig) -> RunSummary {
+    // One pool for the whole run: every case's parallel legs share it, so
+    // state leaking between batches would fail a later case.
+    let exec =
+        cfg.executor().unwrap_or_else(|e| panic!("invalid oracle thread configuration: {e}"));
     let mut failures = Vec::new();
     for index in 0..cfg.cases {
         let case = generate_case(cfg.seed, index as u64, cfg.quick);
-        if let Err(record) = run_single(&case, cfg.out_dir.as_deref()) {
+        if let Err(record) = run_single(&case, &exec, cfg.out_dir.as_deref()) {
             failures.push(record);
         }
     }
     RunSummary { cases: cfg.cases, failures }
 }
 
-/// Checks one case, converting panics into failures and writing a repro
-/// into `out_dir` when the case fails.
-pub fn run_single(case: &Case, out_dir: Option<&Path>) -> Result<(), FailureRecord> {
-    let failure = match catch_unwind(AssertUnwindSafe(|| run_case(case))) {
+/// Checks one case on the given pool, converting panics into failures and
+/// writing a repro into `out_dir` when the case fails.
+pub fn run_single(
+    case: &Case,
+    exec: &Executor,
+    out_dir: Option<&Path>,
+) -> Result<(), FailureRecord> {
+    let failure = match catch_unwind(AssertUnwindSafe(|| run_case(case, exec))) {
         Ok(Ok(())) => return Ok(()),
         Ok(Err(failure)) => failure,
         Err(payload) => CheckFailure { check: "panic", message: panic_message(payload) },

@@ -10,9 +10,10 @@
 use std::path::PathBuf;
 use std::sync::Mutex;
 
+use graphmine_core::Executor;
 use graphmine_graph::fault::{arm, Fault};
 use graphmine_graph::{DbUpdate, Graph, GraphDb, GraphUpdate};
-use graphmine_oracle::{replay_file, run, run_single, Case, OracleConfig};
+use graphmine_oracle::{generate_case, replay_file, run, run_single, Case, OracleConfig};
 
 static FAULT_LOCK: Mutex<()> = Mutex::new(());
 
@@ -21,8 +22,14 @@ static FAULT_LOCK: Mutex<()> = Mutex::new(());
 fn assert_detected_by_batch(fault: Fault) {
     let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let dir = tempfile::tempdir().unwrap();
-    let cfg =
-        OracleConfig { seed: 42, cases: 8, quick: true, out_dir: Some(dir.path().to_path_buf()) };
+    let cfg = OracleConfig {
+        seed: 42,
+        cases: 8,
+        quick: true,
+        out_dir: Some(dir.path().to_path_buf()),
+        ..OracleConfig::default()
+    };
+    let exec = cfg.executor().expect("default thread budget resolves");
 
     let guard = arm(fault);
     let summary = run(&cfg);
@@ -36,13 +43,13 @@ fn assert_detected_by_batch(fault: Fault) {
         .clone()
         .unwrap_or_else(|| panic!("no repro written for {:?}", summary.failures[0]));
     assert!(
-        replay_file(&repro).is_err(),
+        replay_file(&repro, &exec).is_err(),
         "repro {} stopped failing while the mutant is still armed",
         repro.display()
     );
     drop(guard);
 
-    replay_file(&repro).unwrap_or_else(|f| {
+    replay_file(&repro, &exec).unwrap_or_else(|f| {
         panic!("repro {} fails disarmed [{}]: {}", repro.display(), f.check, f.message)
     });
 }
@@ -112,15 +119,56 @@ fn skip_prune_set_mutant_is_detected() {
     let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let dir = tempfile::tempdir().unwrap();
     let case = crafted_prune_case();
+    let exec = Executor::new(2);
 
     let guard = arm(Fault::SkipPruneSet);
-    let record = run_single(&case, Some(dir.path()))
+    let record = run_single(&case, &exec, Some(dir.path()))
         .expect_err("a skipped prune set must leave a detectable stale verdict");
     let repro = record.repro.clone().expect("repro written");
-    assert!(replay_file(&repro).is_err(), "repro keeps failing while armed");
+    assert!(replay_file(&repro, &exec).is_err(), "repro keeps failing while armed");
     drop(guard);
 
-    replay_file(&repro)
+    replay_file(&repro, &exec)
         .unwrap_or_else(|f| panic!("repro fails disarmed [{}]: {}", f.check, f.message));
-    run_single(&case, None).expect("the crafted case is clean without the mutant");
+    run_single(&case, &exec, None).expect("the crafted case is clean without the mutant");
+}
+
+/// The labeled-panic path end to end: a panic injected inside one unit's
+/// mining job must surface as a failure that names the exact job
+/// (`unit-mine:{j}`) and carries the payload — and the unit id in the
+/// label must match the one in the payload. Before the shared executor,
+/// this was an anonymous `expect` on a poisoned scope.
+#[test]
+fn unit_miner_panic_carries_the_unit_label() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let case = generate_case(42, 0, true);
+    let exec = Executor::new(2);
+
+    let guard = arm(Fault::PanicUnitMiner);
+    let record =
+        run_single(&case, &exec, None).expect_err("an armed unit-miner panic must fail the case");
+    assert_eq!(record.check, "panic", "panics are reported under the `panic` pseudo-check");
+    assert!(
+        record.message.contains("unit mining failed: job `unit-mine:"),
+        "panic lost the job label: {}",
+        record.message
+    );
+    let label_unit = record
+        .message
+        .split("unit-mine:")
+        .nth(1)
+        .and_then(|s| s.split('`').next())
+        .expect("label names a unit");
+    let payload_unit = record
+        .message
+        .split("injected unit-miner fault in unit ")
+        .nth(1)
+        .map(str::trim)
+        .expect("payload names a unit");
+    assert_eq!(label_unit, payload_unit, "label and payload disagree: {}", record.message);
+    drop(guard);
+
+    // The pool survives the poisoned batch: the same executor runs the
+    // case clean once the fault is disarmed.
+    run_single(&case, &exec, None).expect("the case is clean without the mutant");
 }

@@ -2,11 +2,13 @@
 //! adversarial cases must come back clean, and clean repro files must
 //! replay clean.
 
+use graphmine_core::Executor;
 use graphmine_oracle::{generate_case, replay_file, run, write_repro_file, OracleConfig};
 
 #[test]
 fn seeded_run_is_clean() {
-    let summary = run(&OracleConfig { seed: 42, cases: 32, quick: true, out_dir: None });
+    let summary =
+        run(&OracleConfig { seed: 42, cases: 32, quick: true, ..OracleConfig::default() });
     assert_eq!(summary.cases, 32);
     assert!(
         summary.ok(),
@@ -20,7 +22,7 @@ fn seeded_run_is_clean() {
 
 #[test]
 fn full_size_cases_are_clean_too() {
-    let summary = run(&OracleConfig { seed: 7, cases: 8, quick: false, out_dir: None });
+    let summary = run(&OracleConfig { seed: 7, cases: 8, quick: false, ..OracleConfig::default() });
     assert!(
         summary.ok(),
         "oracle found {} failure(s); first: [{}] {} — {}",
@@ -36,11 +38,14 @@ fn written_repro_replays_clean() {
     let dir = tempfile::tempdir().unwrap();
     let case = generate_case(42, 0, true);
     let path = write_repro_file(dir.path(), &case, None).unwrap();
-    replay_file(&path).unwrap_or_else(|f| panic!("replay tripped [{}]: {}", f.check, f.message));
+    let exec = Executor::new(2);
+    replay_file(&path, &exec)
+        .unwrap_or_else(|f| panic!("replay tripped [{}]: {}", f.check, f.message));
 }
 
 #[test]
 fn replay_of_missing_file_reports_io() {
-    let err = replay_file(std::path::Path::new("/nonexistent/x.repro")).unwrap_err();
+    let exec = Executor::new(1);
+    let err = replay_file(std::path::Path::new("/nonexistent/x.repro"), &exec).unwrap_err();
     assert_eq!(err.check, "replay-io");
 }

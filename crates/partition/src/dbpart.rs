@@ -234,6 +234,13 @@ impl DbPartition {
         &self.nodes[self.unit_nodes[j]]
     }
 
+    /// The tree-node id backing unit `j`, from the precomputed unit→node
+    /// map — O(1), replacing the `O(units × nodes)` scan over
+    /// `node_count()` the mining and incremental paths used to do.
+    pub fn unit_node_id(&self, j: usize) -> NodeId {
+        self.unit_nodes[j]
+    }
+
     /// The databases of all units, in unit order.
     pub fn unit_dbs(&self) -> Vec<&GraphDb> {
         self.unit_nodes.iter().map(|&n| &self.nodes[n].db).collect()
@@ -713,6 +720,19 @@ mod tests {
             assert_eq!(part.unit_count(), k);
             for j in 0..k {
                 assert_eq!(part.unit_node(j).db.len(), 4, "unit {j} gid-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_node_id_matches_the_linear_scan() {
+        for k in 1..=6 {
+            let part = build_k(k);
+            for j in 0..part.unit_count() {
+                let scanned = (0..part.node_count())
+                    .find(|&n| part.node(n).unit == Some(j))
+                    .expect("every unit has a node");
+                assert_eq!(part.unit_node_id(j), scanned, "k={k} unit {j}");
             }
         }
     }

@@ -77,11 +77,20 @@ pub enum Counter {
     SupportFromSearch,
     /// Serve: result-epoch swaps installed after update re-mines.
     EpochSwaps,
+    /// Executor: jobs run through the shared work-stealing pool.
+    ExecJobs,
+    /// Executor: jobs a worker took from another worker's queue.
+    ExecSteals,
+    /// Executor: peak batch size submitted to the pool (a high-water
+    /// gauge maintained with [`Counters::max`], not a sum).
+    ExecQueuePeak,
+    /// Executor: jobs whose closure panicked (surfaced as `ExecError`).
+    ExecPanics,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 36] = [
         Counter::CandidatesGenerated,
         Counter::IsoTestsRun,
         Counter::IsoTestsPruned,
@@ -114,6 +123,10 @@ impl Counter {
         Counter::SupportFromEmbeddings,
         Counter::SupportFromSearch,
         Counter::EpochSwaps,
+        Counter::ExecJobs,
+        Counter::ExecSteals,
+        Counter::ExecQueuePeak,
+        Counter::ExecPanics,
     ];
 
     /// Stable snake_case identifier used in reports.
@@ -151,6 +164,10 @@ impl Counter {
             Counter::SupportFromEmbeddings => "support_from_embeddings",
             Counter::SupportFromSearch => "support_from_search",
             Counter::EpochSwaps => "epoch_swaps",
+            Counter::ExecJobs => "exec_jobs",
+            Counter::ExecSteals => "exec_steals",
+            Counter::ExecQueuePeak => "exec_queue_peak",
+            Counter::ExecPanics => "exec_panics",
         }
     }
 
@@ -161,9 +178,16 @@ impl Counter {
 }
 
 /// A fixed table of relaxed atomic event counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Counters {
     slots: [AtomicU64; Counter::ALL.len()],
+}
+
+// `[AtomicU64; N]: Default` stops at N = 32, so spell it out.
+impl Default for Counters {
+    fn default() -> Self {
+        Counters::new()
+    }
 }
 
 /// A point-in-time copy of a [`Counters`] table.
@@ -194,6 +218,13 @@ impl Counters {
     #[inline]
     pub fn bump(&self, c: Counter) {
         self.add(c, 1);
+    }
+
+    /// Raises a counter to at least `v` (relaxed `fetch_max`), for
+    /// high-water gauges like `exec_queue_peak`.
+    #[inline]
+    pub fn max(&self, c: Counter, v: u64) {
+        self.slots[c as usize].fetch_max(v, Ordering::Relaxed);
     }
 
     /// Reads a counter (relaxed).
@@ -238,6 +269,16 @@ mod tests {
         assert!(snap.contains(&("iso_tests_run", 5)));
         assert!(snap.contains(&("prune_set_hits", 2)));
         assert!(snap.contains(&("candidates_generated", 0)));
+    }
+
+    #[test]
+    fn max_is_a_high_water_mark() {
+        let t = Counters::new();
+        t.max(Counter::ExecQueuePeak, 5);
+        t.max(Counter::ExecQueuePeak, 3);
+        assert_eq!(t.get(Counter::ExecQueuePeak), 5);
+        t.max(Counter::ExecQueuePeak, 9);
+        assert_eq!(t.get(Counter::ExecQueuePeak), 9);
     }
 
     #[test]

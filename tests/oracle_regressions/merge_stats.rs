@@ -1,10 +1,11 @@
 //! Regression: the parallel merge-join folded `MergeStats` in thread
 //! *completion* order and could drop or double-absorb a chunk's counters
-//! under racy schedules. The fold is now indexed by chunk, so the totals
-//! are a pure function of the work list — serial and parallel runs must
-//! report identical stats, not just identical pattern sets.
+//! under racy schedules. The executor now returns per-job results in
+//! submission order, so the totals are a pure function of the work list —
+//! serial and executor-backed runs must report identical stats, not just
+//! identical pattern sets.
 
-use graphmine_core::{merge_join, JoinPolicy, MergeContext};
+use graphmine_core::{merge_join, Executor, JoinPolicy, MergeContext};
 use graphmine_datagen::{generate, GenParams};
 use graphmine_graph::{EmbeddingMode, GraphDb, DEFAULT_EMBEDDING_BUDGET};
 use graphmine_miner::{GSpan, MemoryMiner};
@@ -43,8 +44,9 @@ fn parallel_merge_stats_match_serial_on_a_large_batch() {
         p1.len()
     );
 
+    let exec = Executor::new(4);
     for exact in [false, true] {
-        let run = |parallel: bool| {
+        let run = |executor: Option<&Executor>| {
             let tel = Telemetry::new();
             let ctx = MergeContext {
                 db: &db,
@@ -54,7 +56,7 @@ fn parallel_merge_stats_match_serial_on_a_large_batch() {
                 exact_supports: exact,
                 known: None,
                 trust_known: false,
-                parallel,
+                executor,
                 embedding_lists: EmbeddingMode::Auto,
                 embedding_budget: DEFAULT_EMBEDDING_BUDGET,
                 telemetry: Some(&tel),
@@ -62,8 +64,8 @@ fn parallel_merge_stats_match_serial_on_a_large_batch() {
             let (merged, stats) = merge_join(&ctx, &p0, &p1);
             (merged, stats, tel.counters().snapshot())
         };
-        let (serial, serial_stats, serial_counts) = run(false);
-        let (parallel, parallel_stats, parallel_counts) = run(true);
+        let (serial, serial_stats, serial_counts) = run(None);
+        let (parallel, parallel_stats, parallel_counts) = run(Some(&exec));
         assert!(
             serial.same_codes_and_supports(&parallel),
             "exact={exact}: serial {} vs parallel {} patterns",
