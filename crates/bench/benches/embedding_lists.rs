@@ -108,6 +108,22 @@ fn bench(c: &mut Criterion) {
     ] {
         for (label, mode) in [("off", EmbeddingMode::Off), ("on", EmbeddingMode::On)] {
             let (median, counters) = measure(&db, mode, f);
+            if mode.enabled() {
+                // CI smoke gate: a lists-on run that never avoids a search
+                // or never extends an embedding is silently running the
+                // search path — the intersection engine has been unplugged.
+                let get = |c: Counter| {
+                    counters.iter().find(|(n, _)| *n == c.name()).map_or(0, |&(_, v)| v)
+                };
+                assert!(
+                    get(Counter::SearchCallsAvoided) > 0,
+                    "{name}_lists_{label}: embedding lists avoided no searches"
+                );
+                assert!(
+                    get(Counter::EmbeddingsExtended) > 0,
+                    "{name}_lists_{label}: intersection path extended no embeddings"
+                );
+            }
             entries.push(JsonValue::Obj(vec![
                 ("bench".into(), JsonValue::Str(format!("{name}_lists_{label}"))),
                 ("median_ns".into(), JsonValue::Num(median.as_nanos() as u64)),

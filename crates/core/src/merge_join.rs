@@ -3,13 +3,16 @@
 //! `S0` and `S1`.
 //!
 //! Candidate frequencies are verified against `S` itself (`CheckFrequency`)
-//! through a histogram-screened embedding search. Three optimisations carry
+//! through a triple-screened embedding search. Three optimisations carry
 //! the paper's cost model:
 //!
 //! * **supporter-list restriction** — every accepted pattern carries a
 //!   superset of its supporting gids (exact when it was counted, inherited
-//!   from its parent otherwise); a candidate is only ever tested against
-//!   its parent's supporters, the Apriori TID-list idea;
+//!   from its parents otherwise); a candidate is only ever tested against
+//!   the *sorted-set intersection* of its parents' supporter lists (support
+//!   is anti-monotone, so every parent list is a superset of the child's
+//!   true supporters), the Apriori TID-list idea sharpened into
+//!   `CheckFrequency`-as-intersection;
 //! * **unit-support shortcut** — every occurrence inside a piece is an
 //!   occurrence in the original graph, so a candidate whose support within
 //!   one piece already reaches the threshold is frequent in `S` without
@@ -25,9 +28,10 @@ use rustc_hash::FxHashMap;
 use graphmine_exec::{Executor, Job};
 use graphmine_graph::iso::SupportIndex;
 use graphmine_graph::{
-    DfsCode, EmbeddingMode, EmbeddingStore, GraphDb, GraphId, Pattern, PatternSet, Support,
+    intersect_sorted, DfsCode, EmbeddingMode, EmbeddingStore, GraphDb, GraphId, Pattern,
+    PatternSet, Support,
 };
-use graphmine_miner::extend::{one_edge_extensions, EdgeVocab};
+use graphmine_miner::extend::{canonical_extensions, one_edge_extensions, EdgeVocab};
 use graphmine_telemetry::{Counter, Counters, ReportSource, Telemetry};
 
 use crate::config::one_edge_deletions;
@@ -167,28 +171,25 @@ pub fn merge_join(
 /// The shared embedding-list store of one merge-join invocation.
 type SharedStore<'s, 'a> = Option<&'s Mutex<EmbeddingStore<'a>>>;
 
-/// Exact frequent single edges with their supporter lists.
+/// Exact frequent single edges with their supporter lists, read straight off
+/// each graph's incrementally-maintained edge-triple index — no per-graph
+/// edge scan or dedup set. Iterating gids in ascending order makes every
+/// supporter list sorted, which the intersection-based restriction relies on.
 fn frequent_edges_with_gids(db: &GraphDb, min_support: Support) -> Vec<Live> {
-    let mut gids: FxHashMap<DfsCode, Vec<GraphId>> = FxHashMap::default();
+    let mut gids: FxHashMap<(u32, u32, u32), Vec<GraphId>> = FxHashMap::default();
     for (gid, g) in db.iter() {
-        let mut in_graph: rustc_hash::FxHashSet<DfsCode> = rustc_hash::FxHashSet::default();
-        for (_, u, v, el) in g.edges() {
-            let (la, lb) = if g.vlabel(u) <= g.vlabel(v) {
-                (g.vlabel(u), g.vlabel(v))
-            } else {
-                (g.vlabel(v), g.vlabel(u))
-            };
-            in_graph.insert(DfsCode(vec![graphmine_graph::DfsEdge::new(0, 1, la, el, lb)]));
-        }
-        for code in in_graph {
-            gids.entry(code).or_default().push(gid);
+        for &((la, el, lb), _) in g.triples() {
+            gids.entry((la, el, lb)).or_default().push(gid);
         }
     }
     gids.into_iter()
         .filter(|(_, g)| g.len() as Support >= min_support)
-        .map(|(code, g)| Live {
-            pattern: Pattern::from_code(code, g.len() as Support),
-            supporters: Some(Arc::new(g)),
+        .map(|((la, el, lb), g)| {
+            let code = DfsCode(vec![graphmine_graph::DfsEdge::new(0, 1, la, el, lb)]);
+            Live {
+                pattern: Pattern::from_code(code, g.len() as Support),
+                supporters: Some(Arc::new(g)),
+            }
         })
         .collect()
 }
@@ -258,10 +259,7 @@ fn verify(
     }
     let (sup, gids) = match restrict {
         Some(list) => index.support_over_counted(ctx.db, list, code, ctx.min_support, counters),
-        None => {
-            let all: Vec<GraphId> = (0..ctx.db.len() as GraphId).collect();
-            index.support_over_counted(ctx.db, &all, code, ctx.min_support, counters)
-        }
+        None => index.support_all_counted(ctx.db, code, ctx.min_support, counters),
     };
     if sup >= ctx.min_support {
         counters.bump(Counter::VerifiedFrequent);
@@ -276,14 +274,24 @@ fn within_cap(ctx: &MergeContext<'_>, size: usize) -> bool {
     ctx.max_edges.is_none_or(|cap| size <= cap)
 }
 
-/// Picks the shorter of two optional supporter lists (both are supersets of
-/// the candidate's true supporters, so the shorter bound is tighter).
-fn tighter(
+/// Combines two optional parent supporter lists into the tightest sound
+/// restriction for a shared child candidate: their sorted-set intersection.
+/// Both lists are supersets of the child's true supporters (support is
+/// anti-monotone), so the intersection still is — and it is never longer
+/// than either input, where the old heuristic could only pick the shorter
+/// list. Supporter lists are ascending by construction, so the kernels in
+/// [`graphmine_graph::intersect`] apply directly.
+fn combine_restrict(
     a: Option<Arc<Vec<GraphId>>>,
     b: Option<Arc<Vec<GraphId>>>,
 ) -> Option<Arc<Vec<GraphId>>> {
     match (a, b) {
-        (Some(x), Some(y)) => Some(if x.len() <= y.len() { x } else { y }),
+        (Some(x), Some(y)) => {
+            if Arc::ptr_eq(&x, &y) {
+                return Some(x);
+            }
+            Some(Arc::new(intersect_sorted(&x, &y)))
+        }
         (Some(x), None) | (None, Some(x)) => Some(x),
         (None, None) => None,
     }
@@ -313,15 +321,18 @@ fn complete_levels(
         if let Some(store) = estore {
             store.lock().expect("embedding store lock").evict_below(next_size - 1);
         }
-        // Candidate -> tightest parent supporter list.
+        // Candidate -> parent supporter list. The frontier holds *all*
+        // frequent patterns of the current size with their canonical codes,
+        // so rightmost extension generates each child exactly once, from
+        // its canonical parent.
         let mut candidates: FxHashMap<DfsCode, Option<Arc<Vec<GraphId>>>> = FxHashMap::default();
         for live in &frontier {
-            for code in one_edge_extensions(&live.pattern.graph, vocab) {
+            for code in canonical_extensions(&live.pattern.code, &live.pattern.graph, vocab) {
                 if out.contains(&code) {
                     continue;
                 }
                 let entry = candidates.entry(code).or_insert_with(|| live.supporters.clone());
-                *entry = tighter(entry.take(), live.supporters.clone());
+                *entry = combine_restrict(entry.take(), live.supporters.clone());
             }
         }
         stats.candidates += candidates.len();
@@ -518,7 +529,7 @@ fn paper_levels(
                     continue;
                 }
                 let entry = candidates.entry(code).or_insert_with(|| live.supporters.clone());
-                *entry = tighter(entry.take(), live.supporters.clone());
+                *entry = combine_restrict(entry.take(), live.supporters.clone());
             }
         }
         stats.candidates += candidates.len();

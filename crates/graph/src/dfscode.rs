@@ -252,6 +252,29 @@ impl FromIterator<DfsEdge> for DfsCode {
     }
 }
 
+/// The operations the canonical search needs from a partial embedding of
+/// the code prefix into the subject graph. Two implementations exist: a
+/// packed, allocation-free [`SmallEmb`] for the pattern-sized graphs that
+/// dominate mining (the hot path — `is_min` runs once per generated
+/// candidate), and the general [`Emb`] for arbitrary graphs.
+trait EmbState: Clone {
+    /// Hashable identity for de-duplicating equivalent embeddings: the
+    /// (code vertex -> graph vertex) map plus the set of emitted edges.
+    type Key: std::hash::Hash + Eq;
+
+    fn initial(g: &Graph, gu: VertexId, gv: VertexId, eid: u32) -> Self;
+    /// Graph vertex a code vertex is mapped to.
+    fn mapped(&self, code_v: u32) -> VertexId;
+    /// Number of mapped code vertices (the next forward index).
+    fn mapped_len(&self) -> u32;
+    /// Code vertex a graph vertex is mapped from (`u32::MAX` if unmapped).
+    fn code_of(&self, gv: VertexId) -> u32;
+    fn is_used(&self, eid: u32) -> bool;
+    fn extend_backward(&self, eid: u32) -> Self;
+    fn extend_forward(&self, eid: u32, gv: VertexId) -> Self;
+    fn key(&self) -> Self::Key;
+}
+
 /// A partial embedding of the code prefix into the subject graph.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Emb {
@@ -263,7 +286,9 @@ struct Emb {
     used: Vec<bool>,
 }
 
-impl Emb {
+impl EmbState for Emb {
+    type Key = (Vec<VertexId>, Vec<bool>);
+
     fn initial(g: &Graph, gu: VertexId, gv: VertexId, eid: u32) -> Self {
         let mut inv = vec![u32::MAX; g.vertex_count()];
         inv[gu as usize] = 0;
@@ -271,6 +296,26 @@ impl Emb {
         let mut used = vec![false; g.edge_count()];
         used[eid as usize] = true;
         Emb { map: vec![gu, gv], inv, used }
+    }
+
+    #[inline]
+    fn mapped(&self, code_v: u32) -> VertexId {
+        self.map[code_v as usize]
+    }
+
+    #[inline]
+    fn mapped_len(&self) -> u32 {
+        self.map.len() as u32
+    }
+
+    #[inline]
+    fn code_of(&self, gv: VertexId) -> u32 {
+        self.inv[gv as usize]
+    }
+
+    #[inline]
+    fn is_used(&self, eid: u32) -> bool {
+        self.used[eid as usize]
     }
 
     fn extend_backward(&self, eid: u32) -> Self {
@@ -286,6 +331,93 @@ impl Emb {
         next.map.push(gv);
         next
     }
+
+    fn key(&self) -> Self::Key {
+        (self.map.clone(), self.used.clone())
+    }
+}
+
+/// Vertex capacity of [`SmallEmb`] (graph and code vertex ids fit in a
+/// nibble-indexed byte array).
+const SMALL_VERTS: usize = 16;
+/// Edge capacity of [`SmallEmb`] (edge ids index a `u64` bitmask).
+const SMALL_EDGES: usize = 64;
+
+/// Packed embedding state for graphs with at most [`SMALL_VERTS`] vertices
+/// and [`SMALL_EDGES`] edges — every candidate pattern a miner
+/// canonicalises. `Copy`-sized with a bitmask edge set, so extending an
+/// embedding and de-duplicating the frontier allocate nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SmallEmb {
+    /// code vertex -> graph vertex (`0xFF` beyond `len`).
+    map: [u8; SMALL_VERTS],
+    /// graph vertex -> code vertex (`0xFF` when unmapped).
+    inv: [u8; SMALL_VERTS],
+    /// Bitmask of emitted graph edge ids.
+    used: u64,
+    /// Number of mapped code vertices.
+    len: u8,
+}
+
+impl EmbState for SmallEmb {
+    // `inv` and `len` are functions of `map`, so hashing the whole struct
+    // is a sound (if slightly redundant) identity.
+    type Key = SmallEmb;
+
+    fn initial(_g: &Graph, gu: VertexId, gv: VertexId, eid: u32) -> Self {
+        let mut map = [0xFFu8; SMALL_VERTS];
+        let mut inv = [0xFFu8; SMALL_VERTS];
+        map[0] = gu as u8;
+        map[1] = gv as u8;
+        inv[gu as usize] = 0;
+        inv[gv as usize] = 1;
+        SmallEmb { map, inv, used: 1u64 << eid, len: 2 }
+    }
+
+    #[inline]
+    fn mapped(&self, code_v: u32) -> VertexId {
+        self.map[code_v as usize] as VertexId
+    }
+
+    #[inline]
+    fn mapped_len(&self) -> u32 {
+        self.len as u32
+    }
+
+    #[inline]
+    fn code_of(&self, gv: VertexId) -> u32 {
+        let c = self.inv[gv as usize];
+        if c == 0xFF {
+            u32::MAX
+        } else {
+            c as u32
+        }
+    }
+
+    #[inline]
+    fn is_used(&self, eid: u32) -> bool {
+        self.used & (1u64 << eid) != 0
+    }
+
+    fn extend_backward(&self, eid: u32) -> Self {
+        let mut next = *self;
+        next.used |= 1u64 << eid;
+        next
+    }
+
+    fn extend_forward(&self, eid: u32, gv: VertexId) -> Self {
+        let mut next = *self;
+        next.used |= 1u64 << eid;
+        next.inv[gv as usize] = next.len;
+        next.map[next.len as usize] = gv as u8;
+        next.len += 1;
+        next
+    }
+
+    #[inline]
+    fn key(&self) -> Self::Key {
+        *self
+    }
 }
 
 /// One admissible next move of an embedding.
@@ -297,12 +429,21 @@ struct Move {
     target: VertexId,
 }
 
-/// Generates the admissible next moves of `emb` under genuine-DFS
-/// semantics. Returns `None` if the embedding cannot lead to a complete
-/// code (a cross edge has appeared).
-fn moves(g: &Graph, emb: &Emb, path: &[u32]) -> Option<Vec<Move>> {
+/// Invokes `each` with every admissible next move of `emb` under
+/// genuine-DFS semantics. Returns `false` if the embedding cannot lead to a
+/// complete code (a cross edge has appeared), without calling `each`.
+///
+/// A callback (instead of a returned `Vec`) keeps the canonical search's
+/// inner loop allocation-free: candidate generation calls this once per
+/// embedding per level, and the moves are consumed immediately.
+fn for_each_move<E: EmbState>(
+    g: &Graph,
+    emb: &E,
+    path: &[u32],
+    each: &mut impl FnMut(Move),
+) -> bool {
     let rightmost = *path.last().expect("non-empty path");
-    let g_rm = emb.map[rightmost as usize];
+    let g_rm = emb.mapped(rightmost);
 
     // Pending backward edges: unused edges from the rightmost vertex to
     // mapped vertices. In a valid DFS state every such target is an ancestor
@@ -310,15 +451,15 @@ fn moves(g: &Graph, emb: &Emb, path: &[u32]) -> Option<Vec<Move>> {
     // embedding.
     let mut pending: Option<(u32, u32, ELabel)> = None; // (code target, eid, elabel)
     for a in g.neighbors(g_rm) {
-        if emb.used[a.eid as usize] {
+        if emb.is_used(a.eid) {
             continue;
         }
-        let code_target = emb.inv[a.to as usize];
+        let code_target = emb.code_of(a.to);
         if code_target == u32::MAX {
             continue; // forward candidate, handled below
         }
         if !path.contains(&code_target) {
-            return None; // cross edge: unreachable under DFS semantics
+            return false; // cross edge: unreachable under DFS semantics
         }
         // Backward edges must be emitted in increasing ancestor order.
         if pending.is_none_or(|(t, _, _)| code_target < t) {
@@ -326,31 +467,26 @@ fn moves(g: &Graph, emb: &Emb, path: &[u32]) -> Option<Vec<Move>> {
         }
     }
     if let Some((code_target, eid, elabel)) = pending {
-        let edge = DfsEdge::new(
-            rightmost,
-            code_target,
-            g.vlabel(g_rm),
-            elabel,
-            g.vlabel(emb.map[code_target as usize]),
-        );
-        return Some(vec![Move { edge, eid, target: emb.map[code_target as usize] }]);
+        let target = emb.mapped(code_target);
+        let edge = DfsEdge::new(rightmost, code_target, g.vlabel(g_rm), elabel, g.vlabel(target));
+        each(Move { edge, eid, target });
+        return true;
     }
 
     // Forward moves: walk the rightmost path top-down; we may only backtrack
     // past *finished* vertices (no unused incident edges), otherwise the
     // prefix would skip an edge it can never emit later.
-    let new_code_vertex = emb.map.len() as u32;
-    let mut out = Vec::new();
+    let new_code_vertex = emb.mapped_len();
     for &p in path.iter().rev() {
-        let gp = emb.map[p as usize];
+        let gp = emb.mapped(p);
         let mut unfinished = false;
         for a in g.neighbors(gp) {
-            if emb.used[a.eid as usize] {
+            if emb.is_used(a.eid) {
                 continue;
             }
             unfinished = true;
-            if emb.inv[a.to as usize] == u32::MAX {
-                out.push(Move {
+            if emb.code_of(a.to) == u32::MAX {
+                each(Move {
                     edge: DfsEdge::new(p, new_code_vertex, g.vlabel(gp), a.elabel, g.vlabel(a.to)),
                     eid: a.eid,
                     target: a.to,
@@ -361,7 +497,7 @@ fn moves(g: &Graph, emb: &Emb, path: &[u32]) -> Option<Vec<Move>> {
             break;
         }
     }
-    Some(out)
+    true
 }
 
 /// Outcome of [`search`]: either the minimum code, or early proof that the
@@ -373,8 +509,17 @@ enum SearchOutcome {
 
 /// Core canonical search. When `reference` is given, the search stops as
 /// soon as the minimal extension differs from the reference (it can only be
-/// smaller), which is all [`is_min`] needs.
+/// smaller), which is all [`is_min`] needs. Dispatches to the packed
+/// embedding representation whenever the graph fits it.
 fn search(g: &Graph, reference: Option<&DfsCode>) -> SearchOutcome {
+    if g.vertex_count() <= SMALL_VERTS && g.edge_count() <= SMALL_EDGES {
+        search_impl::<SmallEmb>(g, reference)
+    } else {
+        search_impl::<Emb>(g, reference)
+    }
+}
+
+fn search_impl<E: EmbState>(g: &Graph, reference: Option<&DfsCode>) -> SearchOutcome {
     debug_assert!(g.edge_count() > 0, "canonical search requires at least one edge");
     debug_assert!(g.is_connected(), "canonical search requires a connected graph");
 
@@ -398,11 +543,11 @@ fn search(g: &Graph, reference: Option<&DfsCode>) -> SearchOutcome {
         }
     }
 
-    let mut embs: Vec<Emb> = Vec::new();
+    let mut embs: Vec<E> = Vec::new();
     for (eid, u, v, el) in g.edges() {
         for (a, b) in [(u, v), (v, u)] {
             if (g.vlabel(a), el, g.vlabel(b)) == (lu, le, lv) {
-                embs.push(Emb::initial(g, a, b, eid));
+                embs.push(E::initial(g, a, b, eid));
             }
         }
     }
@@ -411,46 +556,58 @@ fn search(g: &Graph, reference: Option<&DfsCode>) -> SearchOutcome {
     let mut path = vec![0u32, 1u32];
 
     while code.len() < g.edge_count() {
-        // Gather each embedding's admissible moves and the global minimum.
-        let mut min_edge: Option<DfsEdge> = None;
-        let mut all_moves: Vec<(usize, Vec<Move>)> = Vec::new();
-        for (i, emb) in embs.iter().enumerate() {
-            if let Some(ms) = moves(g, emb, &path) {
-                for m in &ms {
-                    if min_edge.is_none_or(|cur| m.edge.dfs_cmp(&cur) == Ordering::Less) {
-                        min_edge = Some(m.edge);
-                    }
+        // The edge every surviving embedding must realize next: with a
+        // reference, its next entry (any strictly smaller move disproves
+        // minimality on the spot); without one, the global minimum over
+        // every embedding's admissible moves, found in a first pass.
+        let min_edge = match reference {
+            Some(r) => r.0[code.len()],
+            None => {
+                let mut min: Option<DfsEdge> = None;
+                for emb in &embs {
+                    for_each_move(g, emb, &path, &mut |m| {
+                        if min.is_none_or(|cur| m.edge.dfs_cmp(&cur) == Ordering::Less) {
+                            min = Some(m.edge);
+                        }
+                    });
                 }
-                all_moves.push((i, ms));
+                min.expect("connected graph always has a continuing DFS move")
             }
-        }
-        let min_edge = min_edge.expect("connected graph always has a continuing DFS move");
-
-        if let Some(r) = reference {
-            // A genuine reference code's next edge is always among the
-            // offered moves, so `min_edge <= reference`; `Greater` means a
-            // non-genuine hand-built code, which is not minimal either way.
-            if min_edge.dfs_cmp(&r.0[code.len()]) != Ordering::Equal {
-                return SearchOutcome::SmallerThanReference;
-            }
-        }
+        };
 
         // Keep exactly the embeddings that can realize the minimal edge.
         let mut next_embs = Vec::new();
         let mut seen = FxHashSet::default();
-        for (i, ms) in &all_moves {
-            for m in ms {
-                if m.edge.dfs_cmp(&min_edge) == Ordering::Equal {
-                    let next = if min_edge.is_forward() {
-                        embs[*i].extend_forward(m.eid, m.target)
-                    } else {
-                        embs[*i].extend_backward(m.eid)
-                    };
-                    if seen.insert((next.map.clone(), next.used.clone())) {
-                        next_embs.push(next);
+        let mut smaller = false;
+        for emb in &embs {
+            for_each_move(g, emb, &path, &mut |m| {
+                match m.edge.dfs_cmp(&min_edge) {
+                    Ordering::Equal => {
+                        let next = if min_edge.is_forward() {
+                            emb.extend_forward(m.eid, m.target)
+                        } else {
+                            emb.extend_backward(m.eid)
+                        };
+                        if seen.insert(next.key()) {
+                            next_embs.push(next);
+                        }
                     }
+                    // Only reachable with a reference: the unconstrained
+                    // pass already starts from the true minimum.
+                    Ordering::Less => smaller = true,
+                    Ordering::Greater => {}
                 }
+            });
+            if smaller {
+                return SearchOutcome::SmallerThanReference;
             }
+        }
+        if next_embs.is_empty() {
+            // With a reference: its next edge was not an admissible move of
+            // any embedding — a non-genuine hand-built code, which the true
+            // minimum (some strictly smaller continuation) undercuts.
+            debug_assert!(reference.is_some());
+            return SearchOutcome::SmallerThanReference;
         }
         embs = next_embs;
 
@@ -556,8 +713,21 @@ pub fn is_min(code: &DfsCode) -> bool {
     if code.is_empty() {
         return true;
     }
-    let g = code.to_graph();
-    match search(&g, Some(code)) {
+    is_min_with(code, &code.to_graph())
+}
+
+/// [`is_min`] with the code's graph supplied by the caller.
+///
+/// Candidate generation probes many one-edge extensions of one pattern; a
+/// single build-test-undo scratch graph amortises what would otherwise be a
+/// [`DfsCode::to_graph`] materialisation per probe. `g` must be exactly the
+/// graph `code.to_graph()` would build (vertex ids = discovery ids).
+pub fn is_min_with(code: &DfsCode, g: &Graph) -> bool {
+    if code.is_empty() {
+        return true;
+    }
+    debug_assert_eq!(g.edge_count(), code.len(), "graph must match the code");
+    match search(g, Some(code)) {
         SearchOutcome::Min(min) => min == *code,
         SearchOutcome::SmallerThanReference => false,
     }

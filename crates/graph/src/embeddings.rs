@@ -61,6 +61,11 @@ impl EmbeddingList {
         debug_assert!(edge.is_forward() && edge.from == 0 && edge.to == 1, "not a root edge");
         let mut list = EmbeddingList::empty(2, 1);
         for (gid, g) in db.iter() {
+            // Triple screen: skip graphs without the root's edge triple at
+            // all before scanning their edge lists.
+            if g.triple_count(edge.from_label, edge.edge_label, edge.to_label) == 0 {
+                continue;
+            }
             for (eid, u, v, el) in g.edges() {
                 if el != edge.edge_label {
                     continue;
@@ -113,7 +118,12 @@ impl EmbeddingList {
             let vs = self.vertices(row);
             if e.is_forward() {
                 let gu = vs[e.from as usize];
-                for a in g.neighbors(gu) {
+                // On a frozen graph the range is exactly the candidates with
+                // matching labels; unfrozen it is the full list, so the
+                // label filters stay load-bearing.
+                let run = g.neighbors(gu);
+                for ai in g.neighbor_range(gu, e.to_label, e.edge_label) {
+                    let a = run[ai];
                     if a.elabel != e.edge_label
                         || g.vlabel(a.to) != e.to_label
                         || self.uses_edge(row, a.eid)

@@ -30,6 +30,10 @@ pub enum Fault {
     /// labeled panic (`ExecError { label, .. }`) carries the failing
     /// unit id all the way into the reported error.
     PanicUnitMiner = 4,
+    /// [`crate::Graph::freeze`] leaves one per-vertex CSR run unsorted
+    /// (the first run with ≥ 2 entries is reversed), breaking the
+    /// binary-search contracts of `edge_between` and `neighbor_range`.
+    CsrDrift = 5,
 }
 
 static ACTIVE: AtomicU8 = AtomicU8::new(0);

@@ -22,6 +22,18 @@ pub struct Adjacency {
     pub eid: EdgeId,
 }
 
+/// Normalised edge triple `(min label, edge label, max label)` — orientation
+/// independent, the key of the per-graph triple index used by the support
+/// screens.
+#[inline]
+pub fn edge_triple(lu: VLabel, le: ELabel, lv: VLabel) -> (VLabel, ELabel, VLabel) {
+    if lu <= lv {
+        (lu, le, lv)
+    } else {
+        (lv, le, lu)
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Edge {
     u: VertexId,
@@ -29,21 +41,75 @@ struct Edge {
     label: ELabel,
 }
 
+/// Run length at or below which the frozen-graph query paths scan linearly
+/// instead of binary-searching: on short sorted runs (sparse transaction
+/// graphs hover around degree 2–4) the branch-predictable walk is cheaper
+/// than two `partition_point` probes.
+const LINEAR_RUN_CUTOFF: usize = 16;
+
+/// The adjacency sort key. Grouping a vertex's neighbours by the neighbour's
+/// vertex label first and the edge label second makes every
+/// `(to_label, elabel)` query a contiguous run, resolvable by binary search.
+#[inline]
+fn adj_key(vlabels: &[VLabel], a: &Adjacency) -> (VLabel, ELabel, VertexId) {
+    (vlabels[a.to as usize], a.elabel, a.to)
+}
+
+/// Adjacency storage: nested lists while a graph is under construction,
+/// one flat CSR arena once frozen.
+#[derive(Debug, Clone)]
+enum AdjStore {
+    /// Construction representation: per-vertex vectors in insertion order.
+    Lists(Vec<Vec<Adjacency>>),
+    /// Frozen representation: `offsets.len() == vertex_count() + 1` and
+    /// vertex `v`'s neighbours are `packed[offsets[v]..offsets[v + 1]]`,
+    /// sorted by `(vlabel(to), elabel, to)`.
+    Csr { offsets: Vec<u32>, packed: Vec<Adjacency> },
+}
+
+impl Default for AdjStore {
+    fn default() -> Self {
+        AdjStore::Lists(Vec::new())
+    }
+}
+
 /// An undirected, labeled, simple graph `G = (V, E, L_V, L_E)` (Section 3 of
 /// the paper).
 ///
 /// Vertices are added with [`Graph::add_vertex`] and identified by dense
 /// `u32` ids; edges with [`Graph::add_edge`]. The structure is optimised for
-/// the read-mostly access pattern of subgraph mining: adjacency lists are
-/// flat vectors and every accessor is `O(1)` or `O(degree)`.
+/// the read-mostly access pattern of subgraph mining: a graph under
+/// construction keeps plain per-vertex adjacency vectors, and
+/// [`Graph::freeze`] (applied automatically when a graph enters a
+/// [`crate::GraphDb`]) packs them into a flat CSR arena whose per-vertex
+/// runs are sorted by `(vlabel(to), elabel, to)`. The sorted order turns
+/// labeled-neighbour queries ([`Graph::neighbor_range`]) and edge lookup
+/// ([`Graph::edge_between`]) into binary searches, and a per-graph
+/// `(vlabel, elabel, vlabel)` triple index ([`Graph::triple_count`]) answers
+/// the support screens without rescanning edges. Mutation stays legal after
+/// freezing — the update workloads relabel and add edges in place — and
+/// every mutator maintains the sorted-run and triple-index invariants.
 ///
 /// The *size* of a graph is its number of edges, per the paper.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     vlabels: Vec<VLabel>,
     edges: Vec<Edge>,
-    adj: Vec<Vec<Adjacency>>,
+    adj: AdjStore,
+    /// Sorted `(triple, multiplicity)` pairs over all edges.
+    triples: Vec<((VLabel, ELabel, VLabel), u32)>,
 }
+
+/// Graphs are equal when they have the same vertices (ids and labels) and
+/// the same edges (ids, endpoints, labels). The adjacency representation is
+/// derived data: a frozen graph equals its unfrozen twin.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.vlabels == other.vlabels && self.edges == other.edges
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Creates an empty graph.
@@ -57,7 +123,8 @@ impl Graph {
         Graph {
             vlabels: Vec::with_capacity(vertices),
             edges: Vec::with_capacity(edges),
-            adj: Vec::with_capacity(vertices),
+            adj: AdjStore::Lists(Vec::with_capacity(vertices)),
+            triples: Vec::new(),
         }
     }
 
@@ -65,7 +132,13 @@ impl Graph {
     pub fn add_vertex(&mut self, label: VLabel) -> VertexId {
         let id = self.vlabels.len() as VertexId;
         self.vlabels.push(label);
-        self.adj.push(Vec::new());
+        match &mut self.adj {
+            AdjStore::Lists(lists) => lists.push(Vec::new()),
+            AdjStore::Csr { offsets, .. } => {
+                let end = *offsets.last().expect("frozen offsets start at [0]");
+                offsets.push(end);
+            }
+        }
         id
     }
 
@@ -97,9 +170,106 @@ impl Graph {
         }
         let eid = self.edges.len() as EdgeId;
         self.edges.push(Edge { u, v, label });
-        self.adj[u as usize].push(Adjacency { to: v, elabel: label, eid });
-        self.adj[v as usize].push(Adjacency { to: u, elabel: label, eid });
+        self.bump_triple(edge_triple(self.vlabels[u as usize], label, self.vlabels[v as usize]), 1);
+        match &mut self.adj {
+            AdjStore::Lists(lists) => {
+                lists[u as usize].push(Adjacency { to: v, elabel: label, eid });
+                lists[v as usize].push(Adjacency { to: u, elabel: label, eid });
+            }
+            AdjStore::Csr { .. } => {
+                self.csr_insert(u, Adjacency { to: v, elabel: label, eid });
+                self.csr_insert(v, Adjacency { to: u, elabel: label, eid });
+            }
+        }
         Ok(eid)
+    }
+
+    /// Removes the most recently added edge, undoing the matching
+    /// [`Graph::add_edge`], and returns its `(u, v, label)`. Together with
+    /// [`Graph::pop_vertex`] this supports the build-test-undo loop of
+    /// candidate generation, which probes many one-edge extensions of one
+    /// pattern without materialising a graph per candidate.
+    pub fn pop_edge(&mut self) -> Option<(VertexId, VertexId, ELabel)> {
+        let Edge { u, v, label } = self.edges.pop()?;
+        let eid = self.edges.len() as EdgeId;
+        self.bump_triple(
+            edge_triple(self.vlabels[u as usize], label, self.vlabels[v as usize]),
+            -1,
+        );
+        match &mut self.adj {
+            AdjStore::Lists(lists) => {
+                // The newest edge's entries sit at (or near) the list tails.
+                for w in [u, v] {
+                    let list = &mut lists[w as usize];
+                    let pos = list
+                        .iter()
+                        .rposition(|a| a.eid == eid)
+                        .expect("edge present in its endpoint's list");
+                    list.remove(pos);
+                }
+            }
+            AdjStore::Csr { .. } => {
+                self.csr_remove(u, eid);
+                self.csr_remove(v, eid);
+            }
+        }
+        Some((u, v, label))
+    }
+
+    /// Removes the most recently added vertex and returns its label. The
+    /// vertex must be isolated — pop its incident edges first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last vertex still has incident edges.
+    pub fn pop_vertex(&mut self) -> Option<VLabel> {
+        let v = self.vlabels.len().checked_sub(1)?;
+        match &mut self.adj {
+            AdjStore::Lists(lists) => {
+                assert!(lists[v].is_empty(), "pop_vertex requires an isolated vertex");
+                lists.pop();
+            }
+            AdjStore::Csr { offsets, .. } => {
+                assert_eq!(offsets[v], offsets[v + 1], "pop_vertex requires an isolated vertex");
+                offsets.pop();
+            }
+        }
+        self.vlabels.pop()
+    }
+
+    /// Packs the adjacency lists into the flat CSR arena with per-vertex
+    /// runs sorted by `(vlabel(to), elabel, to)`. Idempotent; `O(V + E)`
+    /// plus the per-run sorts. [`crate::GraphDb`] freezes every graph on
+    /// insertion, so mining always sees the CSR form.
+    pub fn freeze(&mut self) {
+        let AdjStore::Lists(lists) = &mut self.adj else { return };
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut packed = Vec::with_capacity(2 * self.edges.len());
+        offsets.push(0u32);
+        for run in lists.iter_mut() {
+            run.sort_unstable_by_key(|a| adj_key(&self.vlabels, a));
+            packed.extend_from_slice(run);
+            offsets.push(packed.len() as u32);
+        }
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::armed(crate::fault::Fault::CsrDrift) {
+            // Reverse the first run with at least two entries: `to` is
+            // unique within a run, so the reversal is never sorted.
+            for v in 0..offsets.len() - 1 {
+                let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+                if e - s >= 2 {
+                    packed[s..e].reverse();
+                    break;
+                }
+            }
+        }
+        self.adj = AdjStore::Csr { offsets, packed };
+    }
+
+    /// `true` once [`Graph::freeze`] has packed the adjacency into CSR form.
+    #[inline]
+    pub fn is_frozen(&self) -> bool {
+        matches!(self.adj, AdjStore::Csr { .. })
     }
 
     /// Number of vertices.
@@ -137,27 +307,68 @@ impl Graph {
     }
 
     /// Re-labels vertex `v` (used by the update workloads).
+    ///
+    /// On a frozen graph this repositions `v`'s entry inside each
+    /// neighbour's sorted run (the sort key leads with the neighbour's
+    /// vertex label) and rewrites the triple index for every incident edge.
     pub fn set_vlabel(&mut self, v: VertexId, label: VLabel) -> Result<(), GraphError> {
         let n = self.vlabels.len() as u32;
-        let slot = self
-            .vlabels
-            .get_mut(v as usize)
-            .ok_or(GraphError::VertexOutOfRange { vertex: v, len: n })?;
-        *slot = label;
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, len: n });
+        }
+        let old = self.vlabels[v as usize];
+        if old == label {
+            return Ok(());
+        }
+        let incident: Vec<Adjacency> = self.neighbors(v).to_vec();
+        for a in &incident {
+            let nl = self.vlabels[a.to as usize];
+            self.bump_triple(edge_triple(old, a.elabel, nl), -1);
+            self.bump_triple(edge_triple(label, a.elabel, nl), 1);
+        }
+        self.vlabels[v as usize] = label;
+        if self.is_frozen() {
+            for a in &incident {
+                let entry = self.csr_remove(a.to, a.eid);
+                self.csr_insert(a.to, entry);
+            }
+        }
         Ok(())
     }
 
     /// Re-labels edge `e` (used by the update workloads).
+    ///
+    /// On a frozen graph this repositions the edge's entry inside both
+    /// endpoints' sorted runs (the sort key includes the edge label), so the
+    /// sorted-adjacency invariant survives incremental relabel storms.
     pub fn set_elabel(&mut self, e: EdgeId, label: ELabel) -> Result<(), GraphError> {
         let m = self.edges.len() as u32;
         let edge =
             self.edges.get_mut(e as usize).ok_or(GraphError::EdgeOutOfRange { edge: e, len: m })?;
+        let old = edge.label;
         edge.label = label;
         let (u, v) = (edge.u, edge.v);
-        for half in [u, v] {
-            for a in &mut self.adj[half as usize] {
-                if a.eid == e {
-                    a.elabel = label;
+        if old == label {
+            return Ok(());
+        }
+        let (lu, lv) = (self.vlabels[u as usize], self.vlabels[v as usize]);
+        self.bump_triple(edge_triple(lu, old, lv), -1);
+        self.bump_triple(edge_triple(lu, label, lv), 1);
+        match &mut self.adj {
+            AdjStore::Lists(lists) => {
+                for half in [u, v] {
+                    for a in &mut lists[half as usize] {
+                        if a.eid == e {
+                            a.elabel = label;
+                        }
+                    }
+                }
+            }
+            AdjStore::Csr { .. } => {
+                for half in [u, v] {
+                    let mut entry = self.csr_remove(half, e);
+                    entry.elabel = label;
+                    self.csr_insert(half, entry);
                 }
             }
         }
@@ -180,26 +391,110 @@ impl Graph {
         self.edges.iter().enumerate().map(|(i, e)| (i as EdgeId, e.u, e.v, e.label))
     }
 
-    /// Adjacency list of vertex `v`.
+    /// Adjacency list of vertex `v`. On a frozen graph the slice is a run of
+    /// the CSR arena, sorted by `(vlabel(to), elabel, to)`.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[Adjacency] {
-        &self.adj[v as usize]
+        match &self.adj {
+            AdjStore::Lists(lists) => &lists[v as usize],
+            AdjStore::Csr { offsets, packed } => {
+                &packed[offsets[v as usize] as usize..offsets[v as usize + 1] as usize]
+            }
+        }
+    }
+
+    /// The index range within [`Graph::neighbors`]`(v)` that holds every
+    /// neighbour reached over an `elabel`-labeled edge and carrying vertex
+    /// label `to_label`.
+    ///
+    /// On a frozen graph the run is located by binary search and contains
+    /// *exactly* the matching entries; on an unfrozen graph the full list is
+    /// returned, so callers must keep filtering by label — the range is a
+    /// narrowing, not a guarantee.
+    pub fn neighbor_range(
+        &self,
+        v: VertexId,
+        to_label: VLabel,
+        elabel: ELabel,
+    ) -> std::ops::Range<usize> {
+        match &self.adj {
+            AdjStore::Lists(lists) => 0..lists[v as usize].len(),
+            AdjStore::Csr { .. } => {
+                let run = self.neighbors(v);
+                // The matching entries are contiguous either way; on the
+                // short runs typical of sparse transaction graphs a linear
+                // walk beats the two binary probes.
+                if run.len() <= LINEAR_RUN_CUTOFF {
+                    let mut lo = 0;
+                    while lo < run.len()
+                        && (self.vlabels[run[lo].to as usize], run[lo].elabel) < (to_label, elabel)
+                    {
+                        lo += 1;
+                    }
+                    let mut hi = lo;
+                    while hi < run.len()
+                        && (self.vlabels[run[hi].to as usize], run[hi].elabel) == (to_label, elabel)
+                    {
+                        hi += 1;
+                    }
+                    return lo..hi;
+                }
+                let lo = run.partition_point(|a| {
+                    (self.vlabels[a.to as usize], a.elabel) < (to_label, elabel)
+                });
+                let hi = lo
+                    + run[lo..].partition_point(|a| {
+                        (self.vlabels[a.to as usize], a.elabel) == (to_label, elabel)
+                    });
+                lo..hi
+            }
+        }
     }
 
     /// Degree of vertex `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj[v as usize].len()
+        self.neighbors(v).len()
     }
 
-    /// Looks up the edge between `u` and `v`, if present.
+    /// Looks up the edge between `u` and `v`, if present. On a frozen graph
+    /// the probe endpoint's run is binary-searched down to the block of
+    /// neighbours sharing the other endpoint's vertex label.
     pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
         let (probe, other) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.adj[probe as usize].iter().find(|a| a.to == other).map(|a| a.eid)
+        let run = self.neighbors(probe);
+        match &self.adj {
+            AdjStore::Csr { .. } if run.len() > LINEAR_RUN_CUTOFF => {
+                let tl = self.vlabels[other as usize];
+                let lo = run.partition_point(|a| self.vlabels[a.to as usize] < tl);
+                let hi = lo + run[lo..].partition_point(|a| self.vlabels[a.to as usize] == tl);
+                run[lo..hi].iter().find(|a| a.to == other).map(|a| a.eid)
+            }
+            _ => run.iter().find(|a| a.to == other).map(|a| a.eid),
+        }
+    }
+
+    /// Multiplicity of the normalised edge triple `(lu, le, lv)` — how many
+    /// edges carry label `le` between vertices labeled `lu` and `lv`. `O(log
+    /// t)` over the incrementally maintained per-graph triple index.
+    #[inline]
+    pub fn triple_count(&self, lu: VLabel, le: ELabel, lv: VLabel) -> u32 {
+        let t = edge_triple(lu, le, lv);
+        match self.triples.binary_search_by_key(&t, |&(k, _)| k) {
+            Ok(i) => self.triples[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// The sorted `(triple, multiplicity)` index over all edges; every entry
+    /// has a positive count.
+    #[inline]
+    pub fn triples(&self) -> &[((VLabel, ELabel, VLabel), u32)] {
+        &self.triples
     }
 
     /// `true` when a path exists between every pair of vertices (and the
@@ -213,7 +508,7 @@ impl Graph {
         seen[0] = true;
         let mut count = 1usize;
         while let Some(v) = stack.pop() {
-            for a in &self.adj[v as usize] {
+            for a in self.neighbors(v) {
                 if !seen[a.to as usize] {
                     seen[a.to as usize] = true;
                     count += 1;
@@ -237,7 +532,7 @@ impl Graph {
             comp[start] = id;
             let mut stack = vec![start as VertexId];
             while let Some(v) = stack.pop() {
-                for a in &self.adj[v as usize] {
+                for a in self.neighbors(v) {
                     if comp[a.to as usize] == usize::MAX {
                         comp[a.to as usize] = id;
                         members.push(a.to);
@@ -286,6 +581,140 @@ impl Graph {
     pub fn size_key(&self) -> (usize, usize) {
         (self.vertex_count(), self.edge_count())
     }
+
+    /// Verifies every structural invariant of the representation:
+    /// offset monotonicity and coverage of the CSR arena, sorted per-vertex
+    /// runs, exact adjacency/edge mirroring, and triple-index consistency.
+    /// Cheap enough for test and oracle use (`O(V + E log E + t)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if let AdjStore::Csr { offsets, packed } = &self.adj {
+            if offsets.len() != self.vlabels.len() + 1 {
+                return Err(format!(
+                    "offsets has {} entries for {} vertices (want V + 1)",
+                    offsets.len(),
+                    self.vlabels.len()
+                ));
+            }
+            if offsets.first() != Some(&0) || *offsets.last().unwrap() as usize != packed.len() {
+                return Err("offsets do not span the packed arena".into());
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err("offsets are not monotone".into());
+            }
+            if packed.len() != 2 * self.edges.len() {
+                return Err(format!(
+                    "packed arena has {} entries for {} edges (want 2E)",
+                    packed.len(),
+                    self.edges.len()
+                ));
+            }
+        }
+        let mut half_edges = 0usize;
+        for v in 0..self.vlabels.len() as u32 {
+            let run = self.neighbors(v);
+            half_edges += run.len();
+            if self.is_frozen() {
+                for w in run.windows(2) {
+                    if adj_key(&self.vlabels, &w[0]) >= adj_key(&self.vlabels, &w[1]) {
+                        return Err(format!(
+                            "vertex {v}: run not strictly sorted at ({} e{} #{}) >= \
+                             ({} e{} #{})",
+                            w[0].to, w[0].elabel, w[0].eid, w[1].to, w[1].elabel, w[1].eid
+                        ));
+                    }
+                }
+            }
+            for a in run {
+                let Some(&Edge { u: eu, v: ev, label }) = self.edges.get(a.eid as usize) else {
+                    return Err(format!("vertex {v}: adjacency names unknown edge {}", a.eid));
+                };
+                if a.elabel != label || (eu, ev) != (v, a.to) && (ev, eu) != (v, a.to) {
+                    return Err(format!(
+                        "vertex {v}: adjacency ({} e{} #{}) disagrees with edge \
+                         {eu}-{ev} label {label}",
+                        a.to, a.elabel, a.eid
+                    ));
+                }
+            }
+        }
+        if half_edges != 2 * self.edges.len() {
+            return Err(format!(
+                "{half_edges} adjacency entries for {} edges (want 2E)",
+                self.edges.len()
+            ));
+        }
+        let mut recount: Vec<((VLabel, ELabel, VLabel), u32)> = Vec::new();
+        for e in &self.edges {
+            let t = edge_triple(self.vlabels[e.u as usize], e.label, self.vlabels[e.v as usize]);
+            match recount.binary_search_by_key(&t, |&(k, _)| k) {
+                Ok(i) => recount[i].1 += 1,
+                Err(i) => recount.insert(i, (t, 1)),
+            }
+        }
+        if recount != self.triples {
+            return Err(format!(
+                "triple index diverged: maintained {:?} vs recounted {:?}",
+                self.triples, recount
+            ));
+        }
+        Ok(())
+    }
+
+    /// Inserts `a` at its sorted position in frozen vertex `v`'s run.
+    fn csr_insert(&mut self, v: VertexId, a: Adjacency) {
+        let AdjStore::Csr { offsets, packed } = &mut self.adj else {
+            unreachable!("csr_insert on an unfrozen graph")
+        };
+        let start = offsets[v as usize] as usize;
+        let end = offsets[v as usize + 1] as usize;
+        let k = adj_key(&self.vlabels, &a);
+        let pos = packed[start..end].partition_point(|x| adj_key(&self.vlabels, x) < k);
+        packed.insert(start + pos, a);
+        for o in &mut offsets[v as usize + 1..] {
+            *o += 1;
+        }
+    }
+
+    /// Removes the entry for edge `e` from frozen vertex `v`'s run.
+    fn csr_remove(&mut self, v: VertexId, e: EdgeId) -> Adjacency {
+        let AdjStore::Csr { offsets, packed } = &mut self.adj else {
+            unreachable!("csr_remove on an unfrozen graph")
+        };
+        let start = offsets[v as usize] as usize;
+        let end = offsets[v as usize + 1] as usize;
+        let pos = packed[start..end]
+            .iter()
+            .position(|a| a.eid == e)
+            .expect("edge present in its endpoint's run");
+        let entry = packed.remove(start + pos);
+        for o in &mut offsets[v as usize + 1..] {
+            *o -= 1;
+        }
+        entry
+    }
+
+    /// Adjusts the triple index by `delta` (entries never go negative).
+    fn bump_triple(&mut self, t: (VLabel, ELabel, VLabel), delta: i64) {
+        match self.triples.binary_search_by_key(&t, |&(k, _)| k) {
+            Ok(i) => {
+                let next = self.triples[i].1 as i64 + delta;
+                debug_assert!(next >= 0, "triple multiplicity went negative");
+                if next <= 0 {
+                    self.triples.remove(i);
+                } else {
+                    self.triples[i].1 = next as u32;
+                }
+            }
+            Err(i) => {
+                debug_assert!(delta > 0, "decrementing an absent triple");
+                self.triples.insert(i, (t, delta as u32));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +742,43 @@ mod tests {
         assert_eq!(g.degree(0), 2);
         assert!(g.edge_between(0, 2).is_some());
         assert!(g.is_connected());
+    }
+
+    #[test]
+    fn frozen_graph_answers_identically() {
+        let mut f = triangle();
+        f.freeze();
+        let g = triangle();
+        assert!(f.is_frozen() && !g.is_frozen());
+        assert_eq!(f, g);
+        assert_eq!(f.edge(1), g.edge(1));
+        for v in 0..3 {
+            assert_eq!(f.degree(v), g.degree(v));
+            let mut fs: Vec<_> = f.neighbors(v).to_vec();
+            let mut gs: Vec<_> = g.neighbors(v).to_vec();
+            fs.sort_by_key(|a| a.eid);
+            gs.sort_by_key(|a| a.eid);
+            assert_eq!(fs, gs);
+            for w in 0..3 {
+                assert_eq!(f.edge_between(v, w), g.edge_between(v, w));
+            }
+        }
+        f.check_invariants().unwrap();
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn freeze_is_idempotent_and_mutation_after_freeze_keeps_invariants() {
+        let mut g = triangle();
+        g.freeze();
+        g.freeze();
+        let d = g.add_vertex(1);
+        g.add_edge(d, 0, 10).unwrap();
+        g.set_vlabel(2, 0).unwrap();
+        g.set_elabel(1, 99).unwrap();
+        g.check_invariants().unwrap();
+        assert_eq!(g.edge_between(3, 0), Some(3));
+        assert_eq!(g.triple_count(0, 10, 1), 2);
     }
 
     #[test]
@@ -349,6 +815,22 @@ mod tests {
         // adjacency mirrors the new label on both endpoints
         assert!(g.neighbors(0).iter().any(|a| a.eid == 0 && a.elabel == 77));
         assert!(g.neighbors(1).iter().any(|a| a.eid == 0 && a.elabel == 77));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn triple_index_tracks_mutation() {
+        let mut g = triangle();
+        assert_eq!(g.triple_count(0, 10, 1), 1);
+        assert_eq!(g.triple_count(1, 10, 0), 1, "orientation-normalised");
+        assert_eq!(g.triple_count(0, 10, 2), 0);
+        g.set_elabel(0, 11).unwrap();
+        assert_eq!(g.triple_count(0, 10, 1), 0);
+        assert_eq!(g.triple_count(0, 11, 1), 1);
+        g.set_vlabel(0, 1).unwrap();
+        assert_eq!(g.triple_count(1, 11, 1), 1);
+        assert_eq!(g.triple_count(1, 12, 2), 1);
+        g.check_invariants().unwrap();
     }
 
     #[test]

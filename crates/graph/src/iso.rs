@@ -7,23 +7,33 @@
 //! always drawn from the neighbourhood of the current image — the classic
 //! cheap-and-effective search order for sparse labeled graphs.
 //!
-//! [`SupportIndex`] adds a per-graph edge-triple histogram screen so that
-//! candidates are only matched against graphs that contain every edge triple
-//! the pattern needs.
+//! [`SupportIndex`] adds an edge-triple screen (backed by each graph's
+//! incrementally-maintained triple index) so that candidates are only
+//! matched against graphs that contain every edge triple the pattern needs.
 
 use graphmine_telemetry::{Counter, Counters};
-use rustc_hash::FxHashMap;
 
+use crate::graph::edge_triple;
 use crate::{DfsCode, ELabel, Graph, GraphDb, GraphId, Support, VLabel, VertexId};
 
-/// Normalised edge triple `(min label, edge label, max label)` — orientation
-/// independent, used for the pre-match screen.
-#[inline]
-fn edge_triple(lu: VLabel, le: ELabel, lv: VLabel) -> (VLabel, ELabel, VLabel) {
-    if lu <= lv {
-        (lu, le, lv)
-    } else {
-        (lv, le, lu)
+/// Reusable backtracking-search scratch: one allocation per counting pass
+/// instead of one per `contains` call. Every search leaves the buffers
+/// all-false (the recursion restores flags on backtrack, seed flags are
+/// reset manually), so reuse is a clear-and-resize, not a refill.
+#[derive(Debug, Default)]
+struct MatchScratch {
+    map: Vec<VertexId>,
+    mapped: Vec<bool>,
+    used: Vec<bool>,
+}
+
+impl MatchScratch {
+    fn reset_for(&mut self, target: &Graph) {
+        self.map.clear();
+        self.mapped.clear();
+        self.mapped.resize(target.vertex_count(), false);
+        self.used.clear();
+        self.used.resize(target.edge_count(), false);
     }
 }
 
@@ -31,11 +41,11 @@ struct MatchState<'a> {
     target: &'a Graph,
     code: &'a [crate::DfsEdge],
     /// code vertex -> target vertex
-    map: Vec<VertexId>,
+    map: &'a mut Vec<VertexId>,
     /// target vertex mapped?
-    mapped: Vec<bool>,
+    mapped: &'a mut Vec<bool>,
     /// target edge used?
-    used: Vec<bool>,
+    used: &'a mut Vec<bool>,
 }
 
 impl<'a> MatchState<'a> {
@@ -45,8 +55,11 @@ impl<'a> MatchState<'a> {
         };
         if e.is_forward() {
             let gu = self.map[e.from as usize];
+            // On a frozen graph this range is exactly the neighbours with
+            // the required vertex and edge labels; unfrozen it is the full
+            // list, so the label filters below stay load-bearing.
             // Iterate indices to sidestep borrowing `self` across recursion.
-            for ai in 0..self.target.neighbors(gu).len() {
+            for ai in self.target.neighbor_range(gu, e.to_label, e.edge_label) {
                 let a = self.target.neighbors(gu)[ai];
                 if self.used[a.eid as usize]
                     || self.mapped[a.to as usize]
@@ -97,6 +110,18 @@ pub fn contains(target: &Graph, code: &DfsCode) -> bool {
 /// [`contains`] with telemetry: tallies [`Counter::SearchCalls`] once per
 /// seeded backtracking search attempt (each `MatchState::search` entry).
 pub fn contains_counted(target: &Graph, code: &DfsCode, counters: &Counters) -> bool {
+    contains_with_scratch(target, code, counters, &mut MatchScratch::default())
+}
+
+/// [`contains_counted`] over caller-owned scratch buffers, so batch callers
+/// ([`SupportIndex::support_core`]) pay one allocation per pass rather than
+/// one per tested graph.
+fn contains_with_scratch(
+    target: &Graph,
+    code: &DfsCode,
+    counters: &Counters,
+    scratch: &mut MatchScratch,
+) -> bool {
     if code.is_empty() {
         return target.vertex_count() > 0;
     }
@@ -107,13 +132,9 @@ pub fn contains_counted(target: &Graph, code: &DfsCode, counters: &Counters) -> 
     // One set of scratch buffers reused across seed edges: the recursive
     // search restores every flag it sets on backtrack, so only the seed
     // flags need manual reset between attempts.
-    let mut st = MatchState {
-        target,
-        code: &code.0,
-        map: Vec::with_capacity(code.vertex_count()),
-        mapped: vec![false; target.vertex_count()],
-        used: vec![false; target.edge_count()],
-    };
+    scratch.reset_for(target);
+    let MatchScratch { map, mapped, used } = scratch;
+    let mut st = MatchState { target, code: &code.0, map, mapped, used };
     for (eid, u, v, el) in target.edges() {
         if el != first.edge_label {
             continue;
@@ -162,28 +183,25 @@ pub fn supporting_gids(db: &GraphDb, code: &DfsCode) -> Vec<GraphId> {
     db.iter().filter(|(_, g)| contains(g, code)).map(|(gid, _)| gid).collect()
 }
 
-/// A per-graph edge-triple histogram over a database, used to screen out
-/// graphs that cannot possibly contain a candidate before running the
-/// (much more expensive) embedding search.
+/// The edge-triple screen over a database, used to rule out graphs that
+/// cannot possibly contain a candidate before running the (much more
+/// expensive) embedding search.
+///
+/// Since the CSR rewrite every [`Graph`] maintains its own sorted triple
+/// index incrementally ([`Graph::triple_count`]), so this type carries no
+/// data of its own — it keeps the batch-counting API (`support_*`) and the
+/// screen-then-search logic, and stays valid across in-place database
+/// updates that the old build-once histogram copy went stale under.
 #[derive(Debug, Clone)]
 pub struct SupportIndex {
-    per_graph: Vec<FxHashMap<(VLabel, ELabel, VLabel), u32>>,
+    graphs: usize,
 }
 
 impl SupportIndex {
-    /// Builds the histogram index for `db` in one pass.
+    /// Creates the screen for `db` (constant-time — the per-graph triple
+    /// indexes are maintained by [`Graph`] itself).
     pub fn build(db: &GraphDb) -> Self {
-        let per_graph = db
-            .iter()
-            .map(|(_, g)| {
-                let mut h: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
-                for (_, u, v, el) in g.edges() {
-                    *h.entry(edge_triple(g.vlabel(u), el, g.vlabel(v))).or_insert(0) += 1;
-                }
-                h
-            })
-            .collect();
-        SupportIndex { per_graph }
+        SupportIndex { graphs: db.len() }
     }
 
     /// Counts the support of `code` in `db` (which must be the database the
@@ -244,8 +262,21 @@ impl SupportIndex {
         self.support_core(db, candidates.iter().copied(), code, min_needed, counters)
     }
 
+    /// Counts the support of `code` over the whole database, returning the
+    /// exact supporter list — [`SupportIndex::support_over_counted`] without
+    /// having to materialize a `0..len` candidate vector first.
+    pub fn support_all_counted(
+        &self,
+        db: &GraphDb,
+        code: &DfsCode,
+        min_needed: Support,
+        counters: &Counters,
+    ) -> (Support, Vec<GraphId>) {
+        self.support_core(db, 0..db.len() as GraphId, code, min_needed, counters)
+    }
+
     /// The one counted implementation behind every `support_*` variant:
-    /// histogram screen, embedding search, and threshold early-abort over an
+    /// triple screen, embedding search, and threshold early-abort over an
     /// arbitrary gid sequence. Returns the supporters seen before any abort.
     fn support_core<I>(
         &self,
@@ -258,20 +289,27 @@ impl SupportIndex {
     where
         I: ExactSizeIterator<Item = GraphId>,
     {
-        debug_assert_eq!(self.per_graph.len(), db.len(), "index built from another database");
-        let mut needed: FxHashMap<(VLabel, ELabel, VLabel), u32> = FxHashMap::default();
+        debug_assert_eq!(self.graphs, db.len(), "index built from another database");
+        // The pattern's required triple multiset, as a small sorted vec —
+        // DFS codes have at most a few dozen edges, so this beats hashing.
+        let mut needed: Vec<((VLabel, ELabel, VLabel), u32)> = Vec::with_capacity(code.len());
         for e in &code.0 {
-            *needed.entry(edge_triple(e.from_label, e.edge_label, e.to_label)).or_insert(0) += 1;
+            let t = edge_triple(e.from_label, e.edge_label, e.to_label);
+            match needed.binary_search_by_key(&t, |&(k, _)| k) {
+                Ok(i) => needed[i].1 += 1,
+                Err(i) => needed.insert(i, (t, 1)),
+            }
         }
+        let mut scratch = MatchScratch::default();
         let mut supporters = Vec::new();
         let mut remaining = gids.len() as Support;
         for gid in gids {
             remaining -= 1;
-            let hist = &self.per_graph[gid as usize];
-            let feasible = needed.iter().all(|(t, n)| hist.get(t).copied().unwrap_or(0) >= *n);
+            let g = db.graph(gid);
+            let feasible = needed.iter().all(|&((lu, le, lv), n)| g.triple_count(lu, le, lv) >= n);
             if feasible {
                 counters.bump(Counter::IsoTestsRun);
-                if contains_counted(db.graph(gid), code, counters) {
+                if contains_with_scratch(g, code, counters, &mut scratch) {
                     supporters.push(gid);
                 }
             } else {

@@ -18,10 +18,13 @@
 //!   correctness oracle by the miners' test suites.
 //!
 //! The representation favours the access patterns of frequent-subgraph
-//! mining: transaction graphs are small (tens of edges), immutable during a
-//! mining pass, and probed millions of times by embedding searches, so
-//! adjacency is a flat `Vec<Vec<Adjacency>>` and all identifiers are `u32`
-//! newtypes.
+//! mining: transaction graphs are small (tens of edges), read-mostly during
+//! a mining pass, and probed millions of times by embedding searches, so a
+//! graph entering a [`GraphDb`] is *frozen* into a flat CSR arena with
+//! per-vertex neighbour runs sorted by `(vlabel(to), elabel, to)` — labeled
+//! neighbour queries and `edge_between` become binary searches, and a
+//! per-graph `(vlabel, elabel, vlabel)` triple index answers the support
+//! screens — while all identifiers stay `u32` newtypes.
 //!
 //! # Example
 //!
@@ -65,6 +68,7 @@ pub mod fault;
 mod graph;
 #[cfg(feature = "petgraph")]
 pub mod interop;
+pub mod intersect;
 pub mod io;
 pub mod iso;
 pub mod pattern;
@@ -76,7 +80,8 @@ pub use database::{GraphDb, GraphId};
 pub use dfscode::{DfsCode, DfsEdge};
 pub use embeddings::{EmbeddingList, EmbeddingMode, EmbeddingStore, DEFAULT_EMBEDDING_BUDGET};
 pub use error::GraphError;
-pub use graph::{Adjacency, ELabel, EdgeId, Graph, VLabel, VertexId};
+pub use graph::{edge_triple, Adjacency, ELabel, EdgeId, Graph, VLabel, VertexId};
+pub use intersect::intersect_sorted;
 pub use pattern::{Pattern, PatternSet};
 pub use update::{DbUpdate, GraphUpdate};
 

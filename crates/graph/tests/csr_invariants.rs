@@ -1,0 +1,243 @@
+//! Structural invariants of the frozen CSR graph core, checked from the
+//! public API: sorted-neighbor order, offset monotonicity, binary-search
+//! `edge_between` against a linear reference, exact `neighbor_range`
+//! boundaries (absent labels, single-label graphs, relabel-after-freeze),
+//! the intersection kernels against a naive `Vec::retain` reference, and a
+//! relabel-storm regression for the sorted-adjacency repair in
+//! `set_elabel`/`set_vlabel`.
+
+use graphmine_graph::intersect::{gallop_intersect, intersect_sorted, merge_intersect};
+use graphmine_graph::{Graph, VertexId};
+
+/// Deterministic splitmix64 stream for reproducible storms.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pseudo-random simple graph over `n` vertices with
+/// `vlabels` vertex labels and `elabels` edge labels, about `edges` edges.
+fn random_graph(seed: u64, n: u32, vlabels: u32, elabels: u32, edges: usize) -> Graph {
+    let mut s = seed;
+    let mut g = Graph::new();
+    for _ in 0..n {
+        let l = (splitmix(&mut s) % u64::from(vlabels)) as u32;
+        g.add_vertex(l);
+    }
+    let mut added = 0;
+    while added < edges {
+        let u = (splitmix(&mut s) % u64::from(n)) as u32;
+        let v = (splitmix(&mut s) % u64::from(n)) as u32;
+        let el = (splitmix(&mut s) % u64::from(elabels)) as u32;
+        if u != v && g.add_edge(u, v, el).is_ok() {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// Every `(to_label, elabel)` pair that could index a neighbor run.
+fn label_universe(vlabels: u32, elabels: u32) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for vl in 0..vlabels {
+        for el in 0..elabels {
+            out.push((vl, el));
+        }
+    }
+    // Plus labels outside the generated universe: ranges must come back
+    // empty, not wrong.
+    out.push((vlabels + 7, 0));
+    out.push((0, elabels + 7));
+    out
+}
+
+/// `neighbor_range` answers must contain exactly the entries a label filter
+/// over the whole run selects — frozen or not.
+fn assert_ranges_exact(g: &Graph, vlabels: u32, elabels: u32) {
+    for v in 0..g.vertex_count() as VertexId {
+        let run = g.neighbors(v);
+        for &(tl, el) in &label_universe(vlabels, elabels) {
+            let range = g.neighbor_range(v, tl, el);
+            let expected: Vec<u32> = run
+                .iter()
+                .filter(|a| g.vlabel(a.to) == tl && a.elabel == el)
+                .map(|a| a.eid)
+                .collect();
+            let got: Vec<u32> = run[range.clone()]
+                .iter()
+                .filter(|a| g.vlabel(a.to) == tl && a.elabel == el)
+                .map(|a| a.eid)
+                .collect();
+            assert_eq!(got, expected, "vertex {v} range {range:?} for ({tl},{el})");
+            if g.is_frozen() {
+                // On a frozen graph the range is exact: no foreign entries.
+                assert_eq!(
+                    range.len(),
+                    expected.len(),
+                    "frozen range for vertex {v} ({tl},{el}) is not tight"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn frozen_runs_are_sorted_and_offsets_monotone() {
+    let mut g = random_graph(11, 30, 4, 3, 80);
+    g.freeze();
+    assert!(g.is_frozen());
+    g.check_invariants().expect("freshly frozen graph is coherent");
+    for v in 0..g.vertex_count() as VertexId {
+        let run = g.neighbors(v);
+        for w in run.windows(2) {
+            let a = (g.vlabel(w[0].to), w[0].elabel, w[0].to);
+            let b = (g.vlabel(w[1].to), w[1].elabel, w[1].to);
+            assert!(a < b, "vertex {v} run not strictly sorted: {a:?} !< {b:?}");
+        }
+    }
+}
+
+#[test]
+fn edge_between_binary_matches_linear_reference() {
+    let unfrozen = random_graph(23, 24, 3, 4, 60);
+    let mut frozen = unfrozen.clone();
+    frozen.freeze();
+    // The linear reference: scan the edge list itself.
+    let reference = |u: VertexId, v: VertexId| {
+        unfrozen
+            .edges()
+            .find(|&(_, a, b, _)| (a, b) == (u, v) || (a, b) == (v, u))
+            .map(|(eid, ..)| eid)
+    };
+    for u in 0..unfrozen.vertex_count() as VertexId {
+        for v in 0..unfrozen.vertex_count() as VertexId {
+            if u == v {
+                continue;
+            }
+            let want = reference(u, v);
+            assert_eq!(unfrozen.edge_between(u, v), want, "unfrozen {u}-{v}");
+            assert_eq!(frozen.edge_between(u, v), want, "frozen {u}-{v}");
+        }
+    }
+}
+
+#[test]
+fn neighbor_range_boundaries_hold() {
+    let mut g = random_graph(37, 26, 4, 3, 70);
+    assert_ranges_exact(&g, 4, 3); // unfrozen: narrowing only
+    g.freeze();
+    assert_ranges_exact(&g, 4, 3); // frozen: exact
+}
+
+#[test]
+fn single_label_graph_ranges_cover_whole_runs() {
+    // One vertex label, one edge label: every frozen run is one giant
+    // matching block, and any other label must come back empty.
+    let mut g = random_graph(41, 20, 1, 1, 40);
+    g.freeze();
+    for v in 0..g.vertex_count() as VertexId {
+        assert_eq!(g.neighbor_range(v, 0, 0), 0..g.degree(v), "vertex {v} full run");
+        assert!(g.neighbor_range(v, 1, 0).is_empty(), "absent vertex label");
+        assert!(g.neighbor_range(v, 0, 1).is_empty(), "absent edge label");
+    }
+}
+
+#[test]
+fn relabel_after_freeze_keeps_ranges_exact() {
+    let mut g = random_graph(53, 22, 4, 3, 55);
+    g.freeze();
+    g.set_vlabel(3, 9).unwrap();
+    g.set_vlabel(7, 0).unwrap();
+    let (eid, ..) = g.edges().next().expect("graph has edges");
+    g.set_elabel(eid, 8).unwrap();
+    g.check_invariants().expect("relabel kept the CSR coherent");
+    assert_ranges_exact(&g, 10, 9);
+}
+
+/// Regression for the stale-sort bug class `set_elabel` fixes: a storm of
+/// incremental relabels on a frozen graph must keep every run sorted (and
+/// the twin that applies the same storm unfrozen, then freezes, must agree
+/// on every query).
+#[test]
+fn relabel_storm_keeps_sorted_adjacency() {
+    let mut frozen = random_graph(67, 28, 4, 3, 70);
+    let mut twin = frozen.clone();
+    frozen.freeze();
+
+    let mut s = 0xC5_u64;
+    let edge_count = frozen.edge_count() as u64;
+    let vertex_count = frozen.vertex_count() as u64;
+    for step in 0..200 {
+        if splitmix(&mut s) % 2 == 0 {
+            let e = (splitmix(&mut s) % edge_count) as u32;
+            let el = (splitmix(&mut s) % 6) as u32;
+            frozen.set_elabel(e, el).unwrap();
+            twin.set_elabel(e, el).unwrap();
+        } else {
+            let v = (splitmix(&mut s) % vertex_count) as u32;
+            let vl = (splitmix(&mut s) % 6) as u32;
+            frozen.set_vlabel(v, vl).unwrap();
+            twin.set_vlabel(v, vl).unwrap();
+        }
+        frozen
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("storm step {step} broke the CSR: {e}"));
+    }
+
+    assert_eq!(frozen, twin, "relabel storm diverged from the unfrozen twin");
+    twin.freeze();
+    for u in 0..frozen.vertex_count() as VertexId {
+        for v in 0..frozen.vertex_count() as VertexId {
+            if u != v {
+                assert_eq!(frozen.edge_between(u, v), twin.edge_between(u, v), "{u}-{v}");
+            }
+        }
+    }
+    assert_ranges_exact(&frozen, 6, 6);
+}
+
+#[test]
+fn pop_edge_and_pop_vertex_undo_additions() {
+    for freeze_first in [false, true] {
+        let mut g = random_graph(71, 12, 3, 3, 20);
+        if freeze_first {
+            g.freeze();
+        }
+        let snapshot = g.clone();
+        let leaf = g.add_vertex(2);
+        g.add_edge(0, leaf, 1).unwrap();
+        assert_ne!(g, snapshot);
+        assert_eq!(g.pop_edge(), Some((0, leaf, 1)));
+        assert_eq!(g.pop_vertex(), Some(2));
+        assert_eq!(g, snapshot, "undo must restore the graph (frozen: {freeze_first})");
+        g.check_invariants().expect("undo kept the representation coherent");
+    }
+}
+
+#[test]
+fn intersection_kernels_match_retain_reference() {
+    let naive = |a: &[u32], b: &[u32]| {
+        let mut out: Vec<u32> = a.to_vec();
+        out.retain(|x| b.binary_search(x).is_ok());
+        out
+    };
+    let mut s = 0xABCDu64;
+    // Size skews exercise both kernels: balanced (merge) and lopsided
+    // (galloping past the adaptivity cutoff).
+    for (na, nb) in [(0, 9), (5, 5), (40, 40), (4, 400), (400, 4), (1, 1000)] {
+        let mut a: Vec<u32> = (0..na).map(|_| (splitmix(&mut s) % 600) as u32).collect();
+        let mut b: Vec<u32> = (0..nb).map(|_| (splitmix(&mut s) % 600) as u32).collect();
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let want = naive(&a, &b);
+        assert_eq!(merge_intersect(&a, &b), want, "merge {na}x{nb}");
+        assert_eq!(intersect_sorted(&a, &b), want, "adaptive {na}x{nb}");
+        let (small, large) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+        assert_eq!(gallop_intersect(small, large), want, "gallop {na}x{nb}");
+    }
+}

@@ -1,6 +1,5 @@
-//! One-edge pattern extension: the candidate-generation machinery shared by
-//! the [`Apriori`](crate::Apriori) miner and by PartMiner's merge-join
-//! (`Complete` join policy).
+//! One-edge pattern extension: the candidate-generation machinery behind
+//! the level-wise miners.
 //!
 //! Every connected `(k+1)`-edge graph contains a connected `k`-edge subgraph
 //! obtained by removing either a pendant edge or a cycle edge, so extending
@@ -8,13 +7,20 @@
 //! vertex, or a closing edge between existing vertices — over the *frequent
 //! edge vocabulary* generates a complete candidate set (the FSG downward-
 //! closure argument).
+//!
+//! Two generators implement it: [`canonical_extensions`] (rightmost-path
+//! extension of the canonical parent code — used by the
+//! [`Apriori`](crate::Apriori) miner and PartMiner's `Complete` join, whose
+//! frontiers are complete) and the brute-force [`one_edge_extensions`]
+//! (used by the `Paper` join policy, whose `F^k` chain is not a complete
+//! frontier).
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
-use graphmine_graph::dfscode::min_dfs_code;
+use graphmine_graph::dfscode::{is_min_with, min_dfs_code};
 use graphmine_graph::iso::SupportIndex;
 use graphmine_graph::{
-    DfsCode, ELabel, EmbeddingStore, Graph, GraphDb, PatternSet, Support, VLabel,
+    DfsCode, DfsEdge, ELabel, EmbeddingStore, Graph, GraphDb, PatternSet, Support, VLabel,
 };
 use graphmine_telemetry::{Counter, Counters};
 
@@ -57,20 +63,12 @@ impl EdgeVocab {
     }
 
     /// Builds the vocabulary from the edges with support at least
-    /// `min_support` in `db`.
+    /// `min_support` in `db`, read off each graph's edge-triple index
+    /// instead of rescanning and deduplicating edge lists.
     pub fn frequent_in(db: &GraphDb, min_support: Support) -> Self {
         let mut per_triple: FxHashMap<(VLabel, ELabel, VLabel), Support> = FxHashMap::default();
         for (_, g) in db.iter() {
-            let mut in_graph: FxHashSet<(VLabel, ELabel, VLabel)> = FxHashSet::default();
-            for (_, u, v, el) in g.edges() {
-                let (a, b) = if g.vlabel(u) <= g.vlabel(v) {
-                    (g.vlabel(u), g.vlabel(v))
-                } else {
-                    (g.vlabel(v), g.vlabel(u))
-                };
-                in_graph.insert((a, el, b));
-            }
-            for t in in_graph {
+            for &(t, _) in g.triples() {
                 *per_triple.entry(t).or_insert(0) += 1;
             }
         }
@@ -131,6 +129,80 @@ pub fn one_edge_extensions(g: &Graph, vocab: &EdgeVocab) -> Vec<DfsCode> {
         }
     }
     out.into_iter().collect()
+}
+
+/// All *canonical* one-edge extensions of a pattern given by its minimum
+/// DFS code: rightmost-path extensions of `code` over the vocabulary,
+/// filtered to the ones that are themselves minimum codes.
+///
+/// This is the gSpan enumeration argument turned into level-wise candidate
+/// generation. The prefix of a minimum DFS code is the minimum code of the
+/// subgraph it encodes, so *every* frequent `(k+1)`-edge pattern's canonical
+/// code arises as exactly one rightmost extension of exactly one frequent
+/// `k`-edge parent's canonical code. Extending a complete frontier of
+/// canonical `k`-codes therefore generates each child at most once — no
+/// per-candidate graph clone, and [`is_min_with`]'s reference-guided search
+/// rejects non-canonical extensions with an early exit instead of the full
+/// canonical search [`one_edge_extensions`] pays per candidate.
+///
+/// Requires the frontier to contain **all** frequent `k`-patterns (true for
+/// the Apriori level loop and PartMiner's `Complete` join); a partial
+/// frontier may miss children whose canonical parent is absent, which is
+/// why the paper-faithful `F^k` chain keeps [`one_edge_extensions`].
+///
+/// `g` must be the graph encoded by `code` with vertex ids equal to code
+/// (discovery) ids — exactly what [`DfsCode::to_graph`] builds and
+/// `Pattern::from_code` stores.
+pub fn canonical_extensions(code: &DfsCode, g: &Graph, vocab: &EdgeVocab) -> Vec<DfsCode> {
+    debug_assert!(!code.is_empty(), "canonical extension needs a non-empty parent code");
+    let path = code.rightmost_path();
+    let rm = *path.last().expect("non-empty code has a rightmost vertex");
+    let n = g.vertex_count() as u32;
+    let mut out = Vec::new();
+    // One scratch child graph and code, extended and undone per probe, so
+    // the whole enumeration materialises no per-candidate graph.
+    let mut child = g.clone();
+    let mut cand = code.clone();
+    // Backward closings: rightmost vertex to a non-adjacent rightmost-path
+    // ancestor. Backward edges from one vertex must close to ancestors in
+    // increasing order, so a backward last entry floors the targets.
+    let back_floor = match code.0.last() {
+        Some(e) if !e.is_forward() => e.to + 1,
+        _ => 0,
+    };
+    for &v in &path {
+        if v >= rm {
+            break;
+        }
+        if v < back_floor || g.edge_between(rm, v).is_some() {
+            continue;
+        }
+        for &el in vocab.closable(g.vlabel(rm), g.vlabel(v)) {
+            child.add_edge(rm, v, el).expect("closing edge is fresh");
+            cand.push(DfsEdge::new(rm, v, g.vlabel(rm), el, g.vlabel(v)));
+            if is_min_with(&cand, &child) {
+                out.push(cand.clone());
+            }
+            cand.pop();
+            child.pop_edge();
+        }
+    }
+    // Forward pendants: a new vertex hung off any rightmost-path vertex.
+    for &u in &path {
+        let lu = g.vlabel(u);
+        for &(el, vl) in vocab.attachable(lu) {
+            child.add_vertex(vl);
+            child.add_edge(u, n, el).expect("fresh pendant edge");
+            cand.push(DfsEdge::new(u, n, lu, el, vl));
+            if is_min_with(&cand, &child) {
+                out.push(cand.clone());
+            }
+            cand.pop();
+            child.pop_edge();
+            child.pop_vertex();
+        }
+    }
+    out
 }
 
 /// Counts one candidate's support, preferring the embedding-list engine and

@@ -4,6 +4,12 @@
 //! or metamorphic (a transformed input must produce a predictably
 //! transformed output). The full battery for one [`Case`]:
 //!
+//! 0. **csr-invariants** — every database graph (and the post-update
+//!    mirror) passes [`Graph::check_invariants`]: CSR offsets monotone and
+//!    spanning, per-vertex runs sorted, adjacency mirroring the edge list,
+//!    triple index consistent. Every later check leans on the sorted-run
+//!    binary-search contracts, so a drifted run is caught by name here
+//!    first.
 //! 1. **edge-rejection** — self-loops and duplicate edges are rejected by
 //!    the graph, and a rejected update leaves the partition intact.
 //! 2. **reference-matrix** — gSpan vs Gaston vs Apriori (embedding lists
@@ -68,6 +74,7 @@ fn fail(check: &'static str, message: String) -> CheckFailure {
 /// on; the runner builds one per oracle run and reuses it across every
 /// case, so pool reuse itself is under test here.
 pub fn run_case(case: &Case, exec: &Executor) -> Result<(), CheckFailure> {
+    check_csr_invariants(case)?;
     let reference = GSpan::capped(case.max_edges).mine(&case.db, case.min_support);
     check_edge_rejection(case)?;
     check_reference_matrix(case, &reference)?;
@@ -136,6 +143,30 @@ fn expect_same(
             first_disagreement(got, reference)
         ),
     ))
+}
+
+/// Structural audit of the frozen CSR representation: every database graph
+/// (and, when the case carries updates, every post-update graph) must
+/// satisfy [`Graph::check_invariants`] — monotone offsets, per-vertex runs
+/// strictly sorted by `(vlabel, elabel, to)`, adjacency/edge mirroring, and
+/// an edge-triple index that matches a recount. This is the check that
+/// catches representation drift *before* it shows up as a wrong answer in a
+/// downstream miner comparison.
+fn check_csr_invariants(case: &Case) -> Result<(), CheckFailure> {
+    const CHECK: &str = "csr-invariants";
+    for (gid, g) in case.db.iter() {
+        if let Err(e) = g.check_invariants() {
+            return Err(fail(CHECK, format!("graph {gid}: {e}")));
+        }
+    }
+    if let Some(mirror) = validated_mirror(case) {
+        for (gid, g) in mirror.iter() {
+            if let Err(e) = g.check_invariants() {
+                return Err(fail(CHECK, format!("post-update graph {gid}: {e}")));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Metamorphic rejection: mutating a graph into a non-simple one must be

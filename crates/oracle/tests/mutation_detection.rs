@@ -64,6 +64,15 @@ fn drop_connective_edge_mutant_is_detected() {
     assert_detected_by_batch(Fault::DropConnectiveEdge);
 }
 
+/// Representation drift: [`Fault::CsrDrift`] makes `Graph::freeze` leave
+/// one per-vertex CSR run unsorted, silently voiding the binary-search
+/// contracts of `edge_between` and `neighbor_range`. The `csr-invariants`
+/// check must flag it before any miner comparison can be poisoned by it.
+#[test]
+fn csr_drift_mutant_is_detected() {
+    assert_detected_by_batch(Fault::CsrDrift);
+}
+
 /// A database engineered so that one relabel batch deletes every
 /// occurrence of the path `(0)-5-(1)-6-(2)` from the touched unit while
 /// the pattern survives in the other unit's cached result — exactly the
