@@ -1,0 +1,272 @@
+//! Benchmark: the streaming update pipeline under sustained write load.
+//!
+//! Three sections, all summarized into `BENCH_stream.json` (override the
+//! path with `BENCH_STREAM_OUT`; `BENCH_QUICK=1` selects the CI smoke
+//! configuration):
+//!
+//! 1. **WAL group commit vs per-batch fsync** — concurrent writers hammer
+//!    one journal; the baseline serializes `append_batch` (one fsync per
+//!    window) behind a mutex, the group-committed journal shares one
+//!    fsync barrier across every window in flight. Reported as acked
+//!    windows/s per writer count; the speedup at 8 writers is the
+//!    headline number (target: >= 3x).
+//! 2. **Sustained engine ingest** — writers stream durable-acked windows
+//!    through a booted `ServeEngine` while a reader samples support-query
+//!    latency from the live epoch (p50/p99), proving re-mines never stall
+//!    the read path.
+//! 3. **Forced abort** — the engine from (2) is dropped with *no* clean
+//!    stop mid-stream, and the journal is recovered raw: every
+//!    durably-acked window must replay, none may be invented. The bench
+//!    (and the CI `stream-smoke` job) fails on any mismatch.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_datagen::{generate, GenParams};
+use graphmine_graph::{DbUpdate, GraphDb, GraphUpdate};
+use graphmine_serve::{EngineConfig, ServeEngine};
+use graphmine_storage::{GroupCommitJournal, UpdateJournal};
+use graphmine_telemetry::{JsonValue, Telemetry};
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+const POOL_PAGES: usize = 16;
+
+/// One small relabel window; `tag` varies the payload so frames differ.
+fn window(gid: u32, tag: u32) -> Vec<DbUpdate> {
+    vec![DbUpdate { gid, update: GraphUpdate::RelabelVertex { v: 0, label: 10 + (tag % 5) } }]
+}
+
+/// Acked windows/s with every writer fsyncing its own window (the
+/// pre-group-commit discipline: one `append_batch` per window, serialized
+/// behind a mutex).
+fn per_batch_rate(dir: &std::path::Path, writers: usize, per_writer: usize) -> f64 {
+    let journal =
+        Mutex::new(UpdateJournal::create(&dir.join("per-batch.wal"), POOL_PAGES).unwrap());
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let journal = &journal;
+            s.spawn(move || {
+                for r in 0..per_writer {
+                    journal.lock().unwrap().append_batch(&window(w as u32, r as u32)).unwrap();
+                }
+            });
+        }
+    });
+    (writers * per_writer) as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Acked windows/s through the group-committed journal: every writer
+/// blocks on the shared fsync barrier instead of issuing its own.
+fn group_commit_rate(dir: &std::path::Path, writers: usize, per_writer: usize) -> (f64, u64, u64) {
+    let journal = GroupCommitJournal::new(
+        UpdateJournal::create(&dir.join("grouped.wal"), POOL_PAGES).unwrap(),
+    );
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let journal = &journal;
+            s.spawn(move || {
+                for r in 0..per_writer {
+                    journal.submit(&window(w as u32, r as u32)).unwrap();
+                }
+            });
+        }
+    });
+    let rate = (writers * per_writer) as f64 / t.elapsed().as_secs_f64();
+    let stats = journal.stats();
+    (rate, stats.groups, stats.frames)
+}
+
+struct EngineRun {
+    acked: u64,
+    acked_per_s: f64,
+    reader_p50_ns: u64,
+    reader_p99_ns: u64,
+    replayed: u64,
+    pending_at_abort: u64,
+}
+
+/// Sustained ingest through a booted engine, then a forced abort and a
+/// raw journal recovery. Panics (failing the bench and the CI job) if
+/// the replayed frame count does not exactly match the acked count.
+fn engine_sustained(db: &GraphDb, writers: usize, per_writer: usize) -> EngineRun {
+    let dir = tempfile::tempdir().unwrap();
+    let cfg = EngineConfig { min_support: db.abs_support(0.3), k: 2, ..EngineConfig::default() };
+    let (engine, _) = ServeEngine::boot(Some(db), dir.path(), &cfg).unwrap();
+    let engine = Arc::new(engine);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let tel = Telemetry::new();
+    let t = Instant::now();
+    let (acked, mut latencies) = std::thread::scope(|s| {
+        let writer_handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    let mut acked = 0u64;
+                    for r in 0..per_writer {
+                        let ops = window(w as u32, r as u32);
+                        // Back-pressure sheds retry immediately: the bench
+                        // wants the pipeline saturated.
+                        loop {
+                            match engine.submit_window(&ops) {
+                                Ok(_) => break,
+                                Err(graphmine_serve::UpdateError::Backpressure { .. }) => {
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("writer {w}: {e}"),
+                            }
+                        }
+                        acked += 1;
+                    }
+                    acked
+                })
+            })
+            .collect();
+        let reader = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let tel = &tel;
+            s.spawn(move || {
+                let mut lat = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let ep = engine.current();
+                    if let Some(p) = ep.patterns.iter().next() {
+                        let q = Instant::now();
+                        std::hint::black_box(ep.support_of(&p.graph, tel, 1 << 20));
+                        lat.push(q.elapsed().as_nanos() as u64);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                lat
+            })
+        };
+        let acked: u64 = writer_handles.into_iter().map(|h| h.join().unwrap()).sum();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (acked, reader.join().unwrap())
+    });
+    let acked_per_s = acked as f64 / t.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let pct = |p: f64| {
+        latencies.get(((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)).copied()
+    };
+    let (p50, p99) =
+        if latencies.is_empty() { (0, 0) } else { (pct(0.50).unwrap(), pct(0.99).unwrap()) };
+
+    // The forced abort: no clean stop — the snapshot is stale and every
+    // acked window lives only in the journal.
+    let pending = engine.pending_windows() as u64;
+    drop(engine);
+    let (_, batches) = UpdateJournal::recover(&dir.path().join("journal.wal"), POOL_PAGES).unwrap();
+    let replayed = batches.len() as u64;
+    assert_eq!(
+        replayed, acked,
+        "forced abort lost acked windows: {acked} acked, {replayed} replayed"
+    );
+    for (i, b) in batches.iter().enumerate() {
+        assert_eq!(b.seq, i as u64 + 1, "replay sequence gap at {i}");
+    }
+    EngineRun {
+        acked,
+        acked_per_s,
+        reader_p50_ns: p50,
+        reader_p99_ns: p99,
+        replayed,
+        pending_at_abort: pending,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let per_writer = if quick() { 24 } else { 100 };
+
+    // Criterion console cell: the headline 8-writer comparison, sampled
+    // lightly (each iteration is hundreds of fsyncs).
+    let mut g = c.benchmark_group("wal_commit");
+    g.sample_size(10);
+    g.bench_function("per_batch_w8", |b| {
+        b.iter(|| {
+            let dir = tempfile::tempdir().unwrap();
+            per_batch_rate(dir.path(), 8, if quick() { 4 } else { 8 })
+        })
+    });
+    g.bench_function("grouped_w8", |b| {
+        b.iter(|| {
+            let dir = tempfile::tempdir().unwrap();
+            group_commit_rate(dir.path(), 8, if quick() { 4 } else { 8 })
+        })
+    });
+    g.finish();
+
+    // Machine-readable summary.
+    let mut wal_entries = Vec::new();
+    let mut speedup_at_8 = 0.0f64;
+    for writers in [1usize, 2, 8] {
+        let dir = tempfile::tempdir().unwrap();
+        let base = per_batch_rate(dir.path(), writers, per_writer);
+        let (grouped, groups, frames) = group_commit_rate(dir.path(), writers, per_writer);
+        let speedup = grouped / base;
+        if writers == 8 {
+            speedup_at_8 = speedup;
+        }
+        wal_entries.push(JsonValue::Obj(vec![
+            ("writers".into(), JsonValue::Num(writers as u64)),
+            ("per_batch_acked_per_s".into(), JsonValue::Num(base as u64)),
+            ("grouped_acked_per_s".into(), JsonValue::Num(grouped as u64)),
+            ("speedup_x100".into(), JsonValue::Num((speedup * 100.0) as u64)),
+            ("group_commits".into(), JsonValue::Num(groups)),
+            ("group_frames".into(), JsonValue::Num(frames)),
+        ]));
+        println!(
+            "wal writers={writers}: per-batch {base:.0}/s, grouped {grouped:.0}/s \
+             ({speedup:.1}x, {frames} frames in {groups} fsyncs)"
+        );
+    }
+
+    let db = generate(&GenParams::new(24, 6, 4, 4, 3).with_seed(11));
+    let (writers, win) = if quick() { (4, 10) } else { (8, 40) };
+    let run = engine_sustained(&db, writers, win);
+    println!(
+        "engine: {} windows acked at {:.0}/s, reader p50 {}ns p99 {}ns; \
+         abort with {} pending -> {} replayed (exact)",
+        run.acked,
+        run.acked_per_s,
+        run.reader_p50_ns,
+        run.reader_p99_ns,
+        run.pending_at_abort,
+        run.replayed
+    );
+
+    let doc = JsonValue::Obj(vec![
+        ("suite".into(), JsonValue::Str("stream".into())),
+        ("quick".into(), JsonValue::Str(quick().to_string())),
+        ("per_writer".into(), JsonValue::Num(per_writer as u64)),
+        ("wal".into(), JsonValue::Arr(wal_entries)),
+        (
+            "engine".into(),
+            JsonValue::Obj(vec![
+                ("writers".into(), JsonValue::Num(writers as u64)),
+                ("acked".into(), JsonValue::Num(run.acked)),
+                ("acked_per_s".into(), JsonValue::Num(run.acked_per_s as u64)),
+                ("reader_p50_ns".into(), JsonValue::Num(run.reader_p50_ns)),
+                ("reader_p99_ns".into(), JsonValue::Num(run.reader_p99_ns)),
+                ("pending_at_abort".into(), JsonValue::Num(run.pending_at_abort)),
+                ("replayed".into(), JsonValue::Num(run.replayed)),
+            ]),
+        ),
+        ("recovery_ok".into(), JsonValue::Str((run.replayed == run.acked).to_string())),
+    ]);
+    let out = std::env::var("BENCH_STREAM_OUT").unwrap_or_else(|_| "BENCH_stream.json".to_string());
+    std::fs::write(&out, doc.to_json()).expect("write bench summary");
+    println!("bench summary written to {out}");
+    if speedup_at_8 < 3.0 {
+        eprintln!("WARNING: group-commit speedup at 8 writers is {speedup_at_8:.1}x (target 3x)");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -62,10 +62,15 @@ USAGE:
 
   graphmine serve FILE --minsup FRAC [--data-dir DIR] [--addr 127.0.0.1:7878]
                  [--k K] [--workers W] [--queue-depth Q] [--parallel]
+                 [--ingest-capacity N] [--no-coalesce]
       Run the resident pattern-serving daemon on FILE. Mines at boot,
       keeps P(D) warm, and answers queries over a newline-delimited JSON
-      protocol while `update` batches stream in (journaled and fsynced
-      before each ack). --data-dir holds the snapshot, journal and meta
+      protocol while `update` windows stream in (group-committed to the
+      journal; one fsync barrier covers concurrent windows).
+      --ingest-capacity bounds the acked-but-unapplied windows (the
+      staleness bound, default 8) — beyond it updates are shed with a
+      `backpressure` reply. --no-coalesce disables per-window update
+      coalescing. --data-dir holds the snapshot, journal and meta
       (default: FILE + \".serve\"); on restart the snapshot pins
       minsup/k and the journal is replayed. See docs/SERVICE.md.
 
@@ -501,6 +506,8 @@ pub fn serve(raw: &[String]) -> CmdResult {
     let addr = args.value("--addr").unwrap_or("127.0.0.1:7878").to_string();
     let k: usize = args.parsed("--k")?.unwrap_or(4);
     let parallel = args.flag("--parallel");
+    let ingest_capacity: Option<usize> = args.parsed("--ingest-capacity")?;
+    let no_coalesce = args.flag("--no-coalesce");
     let data_dir: Option<String> = args.parsed("--data-dir")?;
     let mut server_cfg = ServerConfig { addr, ..ServerConfig::default() };
     if let Some(w) = args.parsed("--workers")? {
@@ -517,12 +524,16 @@ pub fn serve(raw: &[String]) -> CmdResult {
     let db = load_db(path)?;
     let dir = data_dir.unwrap_or_else(|| format!("{path}.serve"));
     std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
-    let cfg = EngineConfig {
+    let mut cfg = EngineConfig {
         min_support: db.abs_support(minsup),
         k,
         parallel,
         ..EngineConfig::default()
     };
+    if let Some(cap) = ingest_capacity {
+        cfg.ingest.max_pending = cap;
+    }
+    cfg.ingest.coalesce = !no_coalesce;
     let (engine, boot) = ServeEngine::boot(Some(&db), Path::new(&dir), &cfg)?;
     println!(
         "booted epoch {} from {} ({} journal batches replayed): {} patterns at minsup {}",

@@ -34,6 +34,10 @@ pub enum Fault {
     /// (the first run with ≥ 2 entries is reversed), breaking the
     /// binary-search contracts of `edge_between` and `neighbor_range`.
     CsrDrift = 5,
+    /// The serving daemon's ingest coalescer treats every superseding
+    /// relabel as a cancelled chain and drops the final write, silently
+    /// losing an update that should have landed.
+    SkipCancelledUpdate = 6,
 }
 
 static ACTIVE: AtomicU8 = AtomicU8::new(0);

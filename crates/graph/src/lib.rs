@@ -83,7 +83,7 @@ pub use error::GraphError;
 pub use graph::{edge_triple, Adjacency, ELabel, EdgeId, Graph, VLabel, VertexId};
 pub use intersect::intersect_sorted;
 pub use pattern::{Pattern, PatternSet};
-pub use update::{DbUpdate, GraphUpdate};
+pub use update::{apply_all, DbUpdate, GraphUpdate};
 
 /// Absolute support count (number of database graphs containing a pattern).
 pub type Support = u32;

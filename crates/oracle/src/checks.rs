@@ -35,7 +35,12 @@
 //!    against its actual guarantee: no frequent pattern is lost, every
 //!    false positive is inherited from the old result, and patterns that
 //!    dropped out of a touched unit have exact membership.
-//! 8. **serve** — a booted [`ServeEngine`] serves the reference set,
+//! 8. **coalesce-equivalence** — the serving daemon's ingest coalescer
+//!    rewrites the update batch into a minimal window; applying the
+//!    window must land on the *identical* database (and the same mined
+//!    pattern set) as applying the raw batch, and the window must be
+//!    rejected exactly when the raw batch would be.
+//! 9. **serve** — a booted [`ServeEngine`] serves the reference set,
 //!    answers support probes exactly (including from an old epoch's
 //!    `Arc` after a swap), and swaps epochs once per batch.
 
@@ -48,7 +53,7 @@ use graphmine_miner::{Apriori, GSpan, Gaston, MemoryMiner};
 use graphmine_partition::{
     split_by_sides, Bipartitioner, Criteria, DbPartition, GraphPart, NodeId,
 };
-use graphmine_serve::{EngineConfig, ServeEngine};
+use graphmine_serve::{coalesce_window, EngineConfig, ServeEngine};
 use graphmine_telemetry::{Counter, RunReport, Telemetry};
 
 use crate::case::Case;
@@ -81,6 +86,7 @@ pub fn run_case(case: &Case, exec: &Executor) -> Result<(), CheckFailure> {
     check_pattern_invariants(case, &reference)?;
     check_partminer_matrix(case, &reference, exec)?;
     check_partition_invariants(case)?;
+    check_coalesce_equivalence(case)?;
     let mirror = validated_mirror(case);
     if let Some(mirror) = &mirror {
         check_incremental_verify(case, mirror)?;
@@ -524,6 +530,54 @@ fn check_incremental_trust(case: &Case, mirror: &GraphDb) -> Result<(), CheckFai
         }
     }
     Ok(())
+}
+
+/// Differential check of the ingest coalescer: applying the coalesced
+/// window and applying the raw batch must be indistinguishable — same
+/// acceptance verdict, identical database graph by graph, and (as a
+/// belt-and-braces pass through the mining stack) the same mined
+/// pattern set.
+fn check_coalesce_equivalence(case: &Case) -> Result<(), CheckFailure> {
+    const CHECK: &str = "coalesce-equivalence";
+    if case.updates.is_empty() {
+        return Ok(());
+    }
+    let window = coalesce_window(&case.db, &case.updates);
+    let mut raw = case.db.clone();
+    let raw_verdict = apply_all(&mut raw, &case.updates);
+    let mut co = case.db.clone();
+    let co_verdict = apply_all(&mut co, &window);
+    match (&raw_verdict, &co_verdict) {
+        (Ok(()), Ok(())) => {}
+        (Err(_), Err(_)) => return Ok(()), // both rejected: verdicts agree
+        (Ok(()), Err(e)) => {
+            return Err(fail(
+                CHECK,
+                format!("coalesced window rejected ({e}) but the raw batch applies"),
+            ));
+        }
+        (Err(e), Ok(())) => {
+            return Err(fail(
+                CHECK,
+                format!("raw batch rejected ({e}) but the coalesced window applies"),
+            ));
+        }
+    }
+    for (gid, g) in raw.iter() {
+        if let Err(e) = same_graph(g, co.graph(gid)) {
+            return Err(fail(
+                CHECK,
+                format!(
+                    "graph {gid} diverges after coalescing ({} raw ops -> {} window ops): {e}",
+                    case.updates.len(),
+                    window.len()
+                ),
+            ));
+        }
+    }
+    let mined_raw = GSpan::capped(case.max_edges).mine(&raw, case.min_support);
+    let mined_co = GSpan::capped(case.max_edges).mine(&co, case.min_support);
+    expect_same(CHECK, "mined coalesced-applied vs raw-applied", &mined_co, &mined_raw)
 }
 
 fn check_serve(

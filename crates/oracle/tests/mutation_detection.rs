@@ -142,6 +142,56 @@ fn skip_prune_set_mutant_is_detected() {
     run_single(&case, &exec, None).expect("the crafted case is clean without the mutant");
 }
 
+/// A relabel chain whose final write matters: `v0: 0 → 7 → 8`. The armed
+/// [`Fault::SkipCancelledUpdate`] mutant makes the ingest coalescer treat
+/// every superseding relabel as a cancelled chain, dropping the final
+/// write — the coalesced window then lands on a different database than
+/// the raw batch, which `coalesce-equivalence` must flag.
+fn crafted_coalesce_case() -> Case {
+    let mut db = GraphDb::new();
+    for _ in 0..3 {
+        let mut g = Graph::new();
+        g.add_vertex(0);
+        g.add_vertex(1);
+        g.add_vertex(2);
+        g.add_edge(0, 1, 5).unwrap();
+        g.add_edge(1, 2, 6).unwrap();
+        db.push(g);
+    }
+    let updates = vec![
+        DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } },
+        DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 8 } },
+    ];
+    Case {
+        name: "crafted-coalesce-chain".to_string(),
+        seed: 0,
+        min_support: 2,
+        max_edges: 3,
+        db,
+        updates,
+    }
+}
+
+#[test]
+fn skip_cancelled_update_mutant_is_detected() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tempfile::tempdir().unwrap();
+    let case = crafted_coalesce_case();
+    let exec = Executor::new(2);
+
+    let guard = arm(Fault::SkipCancelledUpdate);
+    let record = run_single(&case, &exec, Some(dir.path()))
+        .expect_err("a dropped final relabel must leave a detectable divergence");
+    assert_eq!(record.check, "coalesce-equivalence", "wrong check tripped: {}", record.message);
+    let repro = record.repro.clone().expect("repro written");
+    assert!(replay_file(&repro, &exec).is_err(), "repro keeps failing while armed");
+    drop(guard);
+
+    replay_file(&repro, &exec)
+        .unwrap_or_else(|f| panic!("repro fails disarmed [{}]: {}", f.check, f.message));
+    run_single(&case, &exec, None).expect("the crafted case is clean without the mutant");
+}
+
 /// The labeled-panic path end to end: a panic injected inside one unit's
 /// mining job must surface as a failure that names the exact job
 /// (`unit-mine:{j}`) and carries the payload — and the unit id in the

@@ -1,19 +1,81 @@
 //! A small blocking client for the daemon's NDJSON protocol — used by
 //! the `graphmine client` subcommand, the CI smoke test, and the
 //! integration tests.
+//!
+//! Updates retry on `backpressure` shedding with jittered exponential
+//! backoff ([`RetryPolicy`]); everything else is one request, one reply.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use graphmine_graph::{DbUpdate, DfsCode, Support};
 use graphmine_telemetry::JsonValue;
 
-use crate::protocol::{code_to_json, ops_to_json};
+use crate::protocol::{code_to_json, ops_to_json, AckMode};
+
+/// Backoff schedule for updates shed with `backpressure`.
+///
+/// Attempt `k` (0-based) sleeps a uniform-jittered interval in
+/// `[full/2, full]` where `full = min(cap_ms, base_ms << k)` — the
+/// classic "equal jitter" scheme: enough spread that a herd of shed
+/// writers does not retry in lockstep, while keeping a floor so the
+/// server is not hammered immediately. The jitter source is a seeded
+/// SplitMix64, so tests get a deterministic schedule.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries (1 = no retries).
+    pub attempts: u32,
+    /// First backoff interval, milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed; fixed seed → reproducible schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 6, base_ms: 10, cap_ms: 640, seed: 0x9e3779b97f4a7c15 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The full (pre-jitter) backoff for 0-based attempt `k`.
+    fn full_ms(&self, k: u32) -> u64 {
+        let shifted = self.base_ms.checked_shl(k).unwrap_or(u64::MAX);
+        shifted.min(self.cap_ms)
+    }
+
+    /// The jittered sleep before retrying after 0-based attempt `k`,
+    /// uniform in `[full/2, full]`.
+    pub fn backoff(&self, k: u32) -> Duration {
+        let full = self.full_ms(k);
+        let half = full / 2;
+        let span = full - half + 1;
+        Duration::from_millis(half + splitmix64(self.seed.wrapping_add(u64::from(k))) % span)
+    }
+}
+
+/// SplitMix64: a tiny stateless PRNG step — plenty for backoff jitter,
+/// and dependency-free.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
 
 /// One connection to a serving daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    retry: RetryPolicy,
 }
 
 impl Client {
@@ -26,7 +88,17 @@ impl Client {
     pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<Client, String> {
         let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr:?}: {e}"))?;
         let read_half = stream.try_clone().map_err(|e| e.to_string())?;
-        Ok(Client { reader: BufReader::new(read_half), writer: stream })
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: stream,
+            retry: RetryPolicy::default(),
+        })
+    }
+
+    /// Replaces the backoff policy updates retry under.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Client {
+        self.retry = retry;
+        self
     }
 
     /// Sends one raw request line and returns the parsed response.
@@ -109,16 +181,58 @@ impl Client {
         ]))
     }
 
-    /// An `update` request; `Ok` means the batch is durable and served.
+    /// An `update` request with `ack: applied`; `Ok` means the window is
+    /// durable *and* served. Retries `backpressure` shedding under the
+    /// client's [`RetryPolicy`].
     ///
     /// # Errors
     ///
-    /// As [`Client::request_line`].
+    /// As [`Client::request_line`]; a window still shed after the last
+    /// attempt surfaces the final `backpressure…` message.
     pub fn update(&mut self, ops: &[DbUpdate]) -> Result<JsonValue, String> {
-        self.request(&JsonValue::Obj(vec![
+        self.update_acked(ops, AckMode::Applied)
+    }
+
+    /// An `update` request with `ack: durable`: the reply arrives at the
+    /// fsync barrier, before the window is folded into the served epoch.
+    /// Retries `backpressure` like [`Client::update`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::update`].
+    pub fn update_durable(&mut self, ops: &[DbUpdate]) -> Result<JsonValue, String> {
+        self.update_acked(ops, AckMode::Durable)
+    }
+
+    fn update_acked(&mut self, ops: &[DbUpdate], ack: AckMode) -> Result<JsonValue, String> {
+        let retry = self.retry.clone();
+        let mut attempt = 0u32;
+        loop {
+            match self.update_once(ops, ack) {
+                Err(e) if e.starts_with("backpressure") && attempt + 1 < retry.attempts => {
+                    std::thread::sleep(retry.backoff(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One `update` attempt, no retries — the raw building block.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`]; `backpressure` shedding surfaces as
+    /// an `Err` whose message starts with `backpressure`.
+    pub fn update_once(&mut self, ops: &[DbUpdate], ack: AckMode) -> Result<JsonValue, String> {
+        let mut fields = vec![
             ("cmd".to_string(), JsonValue::Str("update".to_string())),
             ("ops".to_string(), ops_to_json(ops)),
-        ]))
+        ];
+        if ack == AckMode::Durable {
+            fields.push(("ack".to_string(), JsonValue::Str("durable".to_string())));
+        }
+        self.request(&JsonValue::Obj(fields))
     }
 
     /// A `shutdown` request.
@@ -131,5 +245,46 @@ impl Client {
             "cmd".to_string(),
             JsonValue::Str("shutdown".to_string()),
         )]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered_within_bounds() {
+        let p = RetryPolicy { attempts: 8, base_ms: 10, cap_ms: 160, seed: 42 };
+        for k in 0..8 {
+            let full = (10u64 << k).min(160);
+            let ms = p.backoff(k).as_millis() as u64;
+            assert!(
+                ms >= full / 2 && ms <= full,
+                "attempt {k}: {ms}ms outside [{}, {full}]",
+                full / 2
+            );
+        }
+        // The cap actually bites: attempts 4.. all draw from [80, 160].
+        assert!(p.backoff(7).as_millis() as u64 <= 160);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_for_a_fixed_seed() {
+        let a = RetryPolicy { attempts: 5, base_ms: 10, cap_ms: 640, seed: 7 };
+        let b = a.clone();
+        let sched_a: Vec<_> = (0..5).map(|k| a.backoff(k)).collect();
+        let sched_b: Vec<_> = (0..5).map(|k| b.backoff(k)).collect();
+        assert_eq!(sched_a, sched_b);
+        // A different seed jitters differently somewhere in the schedule.
+        let c = RetryPolicy { seed: 8, ..a };
+        let sched_c: Vec<_> = (0..5).map(|k| c.backoff(k)).collect();
+        assert_ne!(sched_a, sched_c);
+    }
+
+    #[test]
+    fn shift_overflow_saturates_at_the_cap() {
+        let p = RetryPolicy { attempts: 80, base_ms: 10, cap_ms: 500, seed: 1 };
+        let ms = p.backoff(70).as_millis() as u64;
+        assert!((250..=500).contains(&ms), "{ms}ms outside [250, 500]");
     }
 }

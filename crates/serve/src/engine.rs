@@ -1,51 +1,78 @@
-//! The serving engine: durable state, epoch-swapped results, and request
-//! handling — everything except sockets.
+//! The serving engine: durable state, epoch-swapped results, a streaming
+//! ingest pipeline, and request handling — everything except sockets.
 //!
 //! # Data directory
 //!
 //! ```text
 //! <dir>/snapshot.<E>.gs    GraphDb snapshot at epoch E (GraphStore)
 //! <dir>/patterns.<E>.pat   P(D) at epoch E, for warm restarts
-//! <dir>/journal.wal        fsync-before-ack update journal (UpdateJournal)
+//! <dir>/journal.wal        group-committed update journal (WAL)
 //! <dir>/meta.json          commit record naming the current pair
 //! ```
 //!
 //! The **epoch** of a result is the sequence number of the last update
-//! batch folded into it; epoch 0 is the freshly mined snapshot. On boot
+//! window folded into it; epoch 0 is the freshly mined snapshot. On boot
 //! the engine mines the snapshot (warm-started from its pattern file),
 //! replays the journal, and serves from an [`Arc`]-swapped
 //! [`ResultEpoch`] — readers grab the current `Arc` and never block
-//! behind a writer. An update is acknowledged only after its batch is
-//! fsynced to the journal; a crash (or [`kill -9`]) at any point
-//! recovers to exactly the acknowledged prefix.
+//! behind a writer.
 //!
-//! A clean stop folds the journal into a fresh snapshot. The snapshot
-//! and pattern files are epoch-named and `meta.json` — renamed into
-//! place — is the commit point, so a crash *during* the stop leaves
-//! either the old consistent pair or the new one. Journal batches with
-//! `seq <= base_epoch` are already folded into the committed snapshot
-//! and are skipped on replay, which makes the journal truncation pure
-//! garbage collection.
+//! # Streaming ingest
+//!
+//! Updates flow through a pipeline (see `docs/SERVICE.md`):
+//!
+//! 1. **Admission** (under the queue lock): the window is
+//!    [coalesced](crate::ingest::coalesce_window), dry-run validated
+//!    against the *tail mirror* — the database with every admitted
+//!    window applied — applied to the tail, and handed to the WAL with
+//!    its sequence number assigned. Admission is refused with
+//!    `backpressure` when `max_pending` windows are already waiting.
+//! 2. **Durability** (outside the lock): the submitter blocks on the
+//!    [`GroupCommitJournal`]'s shared fsync barrier; concurrent windows
+//!    share one fsync.
+//! 3. **Application**: a dedicated applier thread folds durable windows
+//!    into the mining state strictly in sequence order, re-mining on the
+//!    shared `graphmine-exec` pool, and swaps one [`ResultEpoch`] per
+//!    window. Readers are served by the worker pool and never wait on a
+//!    re-mine.
+//!
+//! An `ack: applied` update (the default) is acknowledged after its
+//! epoch is visible; an `ack: durable` update is acknowledged at the
+//! fsync barrier, with application bounded by `max_pending`. Either
+//! way a crash (or [`kill -9`]) after the ack recovers the window:
+//! frames are journaled in sequence order, so recovery replays exactly
+//! a clean prefix covering every acknowledged window.
+//!
+//! A clean stop drains the pipeline, folds the journal into a fresh
+//! snapshot, and truncates it. The snapshot and pattern files are
+//! epoch-named and `meta.json` — renamed into place — is the commit
+//! point, so a crash *during* the stop leaves either the old consistent
+//! pair or the new one. Journal batches with `seq <= base_epoch` are
+//! already folded into the committed snapshot and are skipped on
+//! replay, which makes the journal truncation pure garbage collection.
 //!
 //! [`kill -9`]: crate::ServerHandle::abort
 
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
-use graphmine_core::{IncPartMiner, PartMiner, PartMinerConfig, PartMinerState};
+use graphmine_core::{Executor, IncPartMiner, PartMiner, PartMinerConfig, PartMinerState};
 use graphmine_graph::dfscode::min_dfs_code;
 use graphmine_graph::pattern_io::{read_patterns, write_patterns};
 use graphmine_graph::{
-    DbUpdate, DfsCode, EmbeddingStore, Graph, GraphDb, GraphId, PatternSet, Support,
+    apply_all, DbUpdate, DfsCode, EmbeddingStore, Graph, GraphDb, GraphId, PatternSet, Support,
     DEFAULT_EMBEDDING_BUDGET,
 };
-use graphmine_storage::{GraphStore, UpdateJournal};
+use graphmine_storage::{GraphStore, GroupCommitJournal, UpdateJournal};
 use graphmine_telemetry::{Counter, JsonValue, RunReport, Telemetry};
 use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
 
-use crate::protocol::{error_response, ok_response, pattern_to_json, Request};
+use crate::ingest::{coalesce_window, IngestConfig, IngestQueue};
+use crate::protocol::{error_response, ok_response, pattern_to_json, AckMode, Request};
 
 /// Engine configuration. `min_support` and `k` are only honored when the
 /// data directory is fresh; an existing snapshot pins both (a serving
@@ -62,6 +89,8 @@ pub struct EngineConfig {
     pub pool_pages: usize,
     /// Byte budget for per-query embedding lists on the support path.
     pub embedding_budget: usize,
+    /// Streaming-ingest knobs (staleness bound, coalescing).
+    pub ingest: IngestConfig,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +101,7 @@ impl Default for EngineConfig {
             parallel: false,
             pool_pages: 64,
             embedding_budget: DEFAULT_EMBEDDING_BUDGET,
+            ingest: IngestConfig::default(),
         }
     }
 }
@@ -160,7 +190,7 @@ impl ResultEpoch {
     }
 }
 
-/// What an acknowledged update batch did.
+/// What an acknowledged update window did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UpdateSummary {
     /// Durable journal sequence number (= the new epoch).
@@ -173,6 +203,46 @@ pub struct UpdateSummary {
     pub if_new: usize,
     /// Size of the new `P(D)`.
     pub pattern_count: usize,
+}
+
+/// A durability acknowledgement from [`ServeEngine::submit_window`]: the
+/// window survives any crash, but may not be folded into the served
+/// epoch yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamAck {
+    /// Durable journal sequence number of the window.
+    pub seq: u64,
+    /// Windows (including this one) awaiting application at ack time.
+    pub pending: usize,
+}
+
+/// Why an update window was not acknowledged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// Shed by the staleness bound: `pending` windows already await
+    /// application. Retry after backing off; nothing was admitted.
+    Backpressure {
+        /// Acked-but-unapplied windows at shed time.
+        pending: usize,
+    },
+    /// The window failed validation; nothing was journaled and the
+    /// served state is unchanged.
+    Rejected(String),
+    /// The pipeline failed (journal or apply error) — the engine no
+    /// longer accepts updates.
+    Failed(String),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Backpressure { pending } => {
+                write!(f, "backpressure: {pending} windows pending")
+            }
+            UpdateError::Rejected(msg) => write!(f, "{msg}"),
+            UpdateError::Failed(msg) => write!(f, "ingest pipeline failed: {msg}"),
+        }
+    }
 }
 
 /// What [`ServeEngine::boot`] found on disk.
@@ -188,12 +258,11 @@ pub struct BootReport {
 
 struct EngineInner {
     state: PartMinerState,
-    journal: UpdateJournal,
 }
 
-/// The socket-free core of the daemon: owns the mining state, the
-/// journal, and the current [`ResultEpoch`]; thread-safe throughout.
-pub struct ServeEngine {
+/// State shared between request workers, the applier thread, and the
+/// WAL committer.
+struct EngineShared {
     tel: Telemetry,
     started: Instant,
     dir: PathBuf,
@@ -201,6 +270,7 @@ pub struct ServeEngine {
     k: usize,
     embedding_budget: usize,
     pool_pages: usize,
+    ingest_cfg: IngestConfig,
     current: RwLock<Arc<ResultEpoch>>,
     inner: Mutex<EngineInner>,
     /// Memoized exact supports of infrequent query patterns, keyed by
@@ -209,6 +279,39 @@ pub struct ServeEngine {
     /// never be answered from another generation's memo. Entries of
     /// superseded epochs are evicted on swap.
     support_memo: Mutex<FxHashMap<(u64, DfsCode), (Support, SupportSource)>>,
+    /// The shared work-stealing pool re-mines run on. Sized once at
+    /// boot; the applier submits labeled jobs here, so epoch rebuilds
+    /// never occupy a request worker.
+    exec: Executor,
+    /// Group-committing WAL: one fsync barrier covers every window
+    /// submitted while the previous barrier was in flight.
+    journal: GroupCommitJournal,
+    /// Pending-window queue; guarded by a std mutex because the applier
+    /// and `ack: applied` waiters need condition variables (the vendored
+    /// `parking_lot` shim has none).
+    queue: std::sync::Mutex<IngestQueue>,
+    /// Signals the applier: a window was admitted (or stop was flagged).
+    submitted: std::sync::Condvar,
+    /// Signals waiters: a window was applied (or the pipeline failed).
+    applied: std::sync::Condvar,
+}
+
+impl EngineShared {
+    /// Mirrors the WAL committer's monotone group totals into the
+    /// telemetry table (`fetch_max`, so concurrent mirrors are safe).
+    fn mirror_group_stats(&self) {
+        let stats = self.journal.stats();
+        self.tel.counters().max(Counter::WalGroupCommits, stats.groups);
+        self.tel.counters().max(Counter::WalGroupFrames, stats.frames);
+    }
+}
+
+/// The socket-free core of the daemon: owns the mining state, the
+/// group-committed journal, the ingest pipeline, and the current
+/// [`ResultEpoch`]; thread-safe throughout.
+pub struct ServeEngine {
+    shared: Arc<EngineShared>,
+    applier: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ServeEngine {
@@ -312,9 +415,18 @@ impl ServeEngine {
         journal.set_next_seq(base_epoch + 1);
         let epoch = journal.next_seq() - 1;
 
+        // One pool for every re-mine; sized like the mining config would
+        // size its own.
+        let budget = if mining.parallel {
+            mining.thread_budget().map_err(|e| format!("threads: {e}"))?
+        } else {
+            1
+        };
+
+        let tail = state.partition.root().db.clone();
         let current =
             ResultEpoch::new(epoch, state.partition.root().db.clone(), state.patterns().clone());
-        let engine = ServeEngine {
+        let shared = Arc::new(EngineShared {
             tel,
             started: Instant::now(),
             dir: dir.to_path_buf(),
@@ -322,26 +434,40 @@ impl ServeEngine {
             k,
             embedding_budget: cfg.embedding_budget,
             pool_pages: cfg.pool_pages,
+            ingest_cfg: cfg.ingest.clone(),
             current: RwLock::new(Arc::new(current)),
-            inner: Mutex::new(EngineInner { state, journal }),
+            inner: Mutex::new(EngineInner { state }),
             support_memo: Mutex::new(FxHashMap::default()),
+            exec: Executor::new(budget),
+            journal: GroupCommitJournal::new(journal),
+            queue: std::sync::Mutex::new(IngestQueue::new(tail, epoch)),
+            submitted: std::sync::Condvar::new(),
+            applied: std::sync::Condvar::new(),
+        });
+        let applier = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ingest-applier".to_string())
+                .spawn(move || applier_loop(&shared))
+                .map_err(|e| format!("spawn applier: {e}"))?
         };
+        let engine = ServeEngine { shared, applier: Mutex::new(Some(applier)) };
         Ok((engine, BootReport { from_snapshot, replayed, epoch }))
     }
 
     /// The epoch currently being served.
     pub fn current(&self) -> Arc<ResultEpoch> {
-        Arc::clone(&self.current.read())
+        Arc::clone(&self.shared.current.read())
     }
 
     /// The engine's telemetry (request counters, mining spans).
     pub fn telemetry(&self) -> &Telemetry {
-        &self.tel
+        &self.shared.tel
     }
 
     /// The absolute support threshold the result is maintained at.
     pub fn min_support(&self) -> Support {
-        self.min_support
+        self.shared.min_support
     }
 
     /// Exact support of `pattern` in epoch `ep`, memoized engine-wide
@@ -355,58 +481,134 @@ impl ServeEngine {
     pub fn support_of(&self, ep: &ResultEpoch, pattern: &Graph) -> (Support, SupportSource) {
         let code = min_dfs_code(pattern);
         if let Some(s) = ep.patterns.support(&code) {
-            self.tel.counters().bump(SupportSource::Patterns.counter());
+            self.shared.tel.counters().bump(SupportSource::Patterns.counter());
             return (s, SupportSource::Patterns);
         }
         let key = (ep.epoch, code);
-        let cached = self.support_memo.lock().get(&key).copied();
+        let cached = self.shared.support_memo.lock().get(&key).copied();
         if let Some((s, src)) = cached {
-            self.tel.counters().bump(src.counter());
+            self.shared.tel.counters().bump(src.counter());
             return (s, src);
         }
-        let (support, source) = ep.support_of_code(&key.1, &self.tel, self.embedding_budget);
-        self.support_memo.lock().insert(key, (support, source));
-        self.tel.counters().bump(source.counter());
+        let (support, source) =
+            ep.support_of_code(&key.1, &self.shared.tel, self.shared.embedding_budget);
+        self.shared.support_memo.lock().insert(key, (support, source));
+        self.shared.tel.counters().bump(source.counter());
         (support, source)
     }
 
-    /// Validates, journals (fsync), applies, and publishes an update
-    /// batch. On success the returned sequence number is durable *and*
-    /// the new epoch is visible to readers.
+    /// Admits one window into the streaming pipeline and blocks until it
+    /// is **durable** (its group's fsync barrier passed). Application to
+    /// the served epoch happens asynchronously, bounded by the
+    /// `max_pending` staleness bound.
     ///
     /// # Errors
     ///
-    /// An invalid batch (bad gid, duplicate edge, …) is rejected as a
-    /// whole — nothing is journaled and the served state is unchanged.
-    pub fn apply_update(&self, ops: &[DbUpdate]) -> Result<UpdateSummary, String> {
-        let mut inner = self.inner.lock();
-        validate_batch(&inner.state.partition.root().db, ops)?;
-        let seq = inner.journal.append_batch(ops).map_err(|e| format!("journal: {e}"))?;
-        self.tel.counters().bump(Counter::WalBatchesAppended);
-        let inc = IncPartMiner::update_instrumented(&mut inner.state, ops, &self.tel)
-            .map_err(|e| format!("apply: {e}"))?;
-        let next = ResultEpoch::new(
-            seq,
-            inner.state.partition.root().db.clone(),
-            inner.state.patterns().clone(),
-        );
-        *self.current.write() = Arc::new(next);
-        self.tel.counters().bump(Counter::EpochSwaps);
-        // Superseded memo entries are dead weight (readers of the old
-        // epoch may transiently re-add a few; the next swap collects
-        // those too).
-        self.support_memo.lock().retain(|&(epoch, _), _| epoch >= seq);
-        Ok(UpdateSummary {
-            seq,
-            uf: inc.uf.len(),
-            fi: inc.fi.len(),
-            if_new: inc.if_new.len(),
-            pattern_count: inc.patterns.len(),
-        })
+    /// [`UpdateError::Backpressure`] when the staleness bound is hit
+    /// (nothing admitted — retry after a backoff);
+    /// [`UpdateError::Rejected`] when validation fails (nothing
+    /// journaled, served state unchanged); [`UpdateError::Failed`] when
+    /// the pipeline is poisoned.
+    pub fn submit_window(&self, ops: &[DbUpdate]) -> Result<StreamAck, UpdateError> {
+        let shared = &self.shared;
+        let counters = shared.tel.counters();
+        let (seq, pending) = {
+            let mut q = shared.queue.lock().expect("ingest queue poisoned");
+            if let Some(msg) = &q.failed {
+                return Err(UpdateError::Failed(msg.clone()));
+            }
+            if q.windows.len() >= shared.ingest_cfg.max_pending.max(1) {
+                counters.bump(Counter::IngestBackpressure);
+                return Err(UpdateError::Backpressure { pending: q.windows.len() });
+            }
+            let window = if shared.ingest_cfg.coalesce {
+                coalesce_window(&q.tail, ops)
+            } else {
+                ops.to_vec()
+            };
+            counters.add(Counter::IngestOpsIn, ops.len() as u64);
+            counters.add(Counter::IngestOpsCoalesced, (ops.len() - window.len()) as u64);
+            validate_batch(&q.tail, &window).map_err(UpdateError::Rejected)?;
+            // Seq assignment and tail application happen under the queue
+            // lock, so validation order, tail order, and journal order
+            // all agree.
+            let seq = shared
+                .journal
+                .enqueue(&window)
+                .map_err(|e| UpdateError::Failed(format!("journal: {e}")))?;
+            if let Err(e) = apply_all(&mut q.tail, &window) {
+                // Validation passed but the tail refused: the pipeline's
+                // tail no longer mirrors the journal — poison it.
+                let msg = format!("tail apply (seq {seq}): {e}");
+                q.failed = Some(msg.clone());
+                shared.applied.notify_all();
+                return Err(UpdateError::Failed(msg));
+            }
+            q.windows.insert(seq, window);
+            counters.max(Counter::IngestPendingPeak, q.windows.len() as u64);
+            (seq, q.windows.len())
+        };
+        shared.submitted.notify_all();
+        // Durability wait happens *outside* the queue lock: the next
+        // group forms (and further windows are admitted) while this
+        // one's fsync barrier is in flight.
+        shared
+            .journal
+            .wait_durable(seq)
+            .map_err(|e| UpdateError::Failed(format!("journal: {e}")))?;
+        counters.bump(Counter::WalBatchesAppended);
+        counters.bump(Counter::IngestWindows);
+        shared.mirror_group_stats();
+        Ok(StreamAck { seq, pending })
     }
 
-    /// Folds the journal into a fresh snapshot and truncates it. The
-    /// next boot warm-starts from the persisted `P(D)`.
+    /// Blocks until window `seq` is folded into the served epoch and
+    /// returns its summary.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::Failed`] when the pipeline fails before `seq` is
+    /// applied.
+    pub fn wait_applied(&self, seq: u64) -> Result<UpdateSummary, UpdateError> {
+        let shared = &self.shared;
+        let mut q = shared.queue.lock().expect("ingest queue poisoned");
+        while q.applied_seq < seq {
+            if let Some(msg) = &q.failed {
+                return Err(UpdateError::Failed(msg.clone()));
+            }
+            q = shared.applied.wait(q).expect("ingest queue poisoned");
+        }
+        Ok(q.summaries.remove(&seq).unwrap_or(UpdateSummary {
+            seq,
+            uf: 0,
+            fi: 0,
+            if_new: 0,
+            pattern_count: self.current().patterns.len(),
+        }))
+    }
+
+    /// Validates, journals (group-committed fsync), applies, and waits
+    /// for the new epoch: on success the returned sequence number is
+    /// durable *and* visible to readers — the synchronous path the
+    /// `ack: applied` protocol mode and the CLI use.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit_window`].
+    pub fn apply_update(&self, ops: &[DbUpdate]) -> Result<UpdateSummary, UpdateError> {
+        let ack = self.submit_window(ops)?;
+        self.wait_applied(ack.seq)
+    }
+
+    /// Acked-but-unapplied windows right now (the served epoch's
+    /// staleness in windows).
+    pub fn pending_windows(&self) -> usize {
+        self.shared.queue.lock().expect("ingest queue poisoned").windows.len()
+    }
+
+    /// Drains the pipeline, folds the journal into a fresh snapshot, and
+    /// truncates it. The next boot warm-starts from the persisted
+    /// `P(D)`.
     ///
     /// Crash-safe: the new snapshot and pattern files are written under
     /// epoch-suffixed names, then `meta.json` is atomically renamed to
@@ -416,32 +618,48 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// Propagates I/O failures and a poisoned pipeline.
     pub fn clean_stop(&self) -> Result<(), String> {
-        let mut inner = self.inner.lock();
-        let base_epoch = inner.journal.next_seq() - 1;
+        let shared = &self.shared;
+        // Drain: every admitted window must be folded in before the
+        // snapshot, or acked windows would be lost with the truncation.
+        let mut q = shared.queue.lock().expect("ingest queue poisoned");
+        while !q.windows.is_empty() {
+            if let Some(msg) = &q.failed {
+                return Err(format!("ingest pipeline failed: {msg}"));
+            }
+            q = shared.applied.wait(q).expect("ingest queue poisoned");
+        }
+        // Keep holding the queue lock: no window can be admitted while
+        // the fold runs, and the applier is idle (nothing pending).
+        let inner = shared.inner.lock();
+        let base_epoch = shared.journal.next_seq() - 1;
         let snap_name = format!("snapshot.{base_epoch}.gs");
         let pat_name = format!("patterns.{base_epoch}.pat");
 
         let db = inner.state.partition.root().db.clone();
-        GraphStore::create(&self.dir.join(&snap_name), &db, self.pool_pages)
+        GraphStore::create(&shared.dir.join(&snap_name), &db, shared.pool_pages)
             .map_err(|e| format!("snapshot: {e}"))?;
         let mut buf = Vec::new();
         write_patterns(&mut buf, inner.state.patterns()).map_err(|e| format!("patterns: {e}"))?;
-        write_durable(&self.dir.join(&pat_name), &buf).map_err(|e| format!("patterns: {e}"))?;
+        write_durable(&shared.dir.join(&pat_name), &buf).map_err(|e| format!("patterns: {e}"))?;
         // Commit point: once the rename lands, boots use the new pair.
         write_meta(
-            &self.dir.join("meta.json"),
-            self.min_support,
-            self.k,
+            &shared.dir.join("meta.json"),
+            shared.min_support,
+            shared.k,
             base_epoch,
             Some((&snap_name, &pat_name)),
         )?;
 
         // Everything below is garbage collection; the directory is
         // already consistent.
-        inner.journal.reset().map_err(|e| format!("journal: {e}"))?;
-        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+        shared
+            .journal
+            .with_journal(|j| j.reset())
+            .map_err(|e| format!("journal: {e}"))?
+            .map_err(|e| format!("journal: {e}"))?;
+        if let Ok(entries) = std::fs::read_dir(&shared.dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
                 let name = name.to_string_lossy();
@@ -464,35 +682,64 @@ impl ServeEngine {
             Request::Status { report } => self.handle_status(*report),
             Request::Patterns { top, min_support } => self.handle_patterns(*top, *min_support),
             Request::Support { graph } => self.handle_support(graph),
-            Request::Update { ops } => match self.apply_update(ops) {
-                Ok(s) => {
-                    self.tel.counters().bump(Counter::ReqUpdate);
-                    ok_response(vec![
-                        ("epoch", JsonValue::Num(s.seq)),
-                        ("seq", JsonValue::Num(s.seq)),
-                        ("uf", JsonValue::Num(s.uf as u64)),
-                        ("fi", JsonValue::Num(s.fi as u64)),
-                        ("if", JsonValue::Num(s.if_new as u64)),
-                        ("pattern_count", JsonValue::Num(s.pattern_count as u64)),
-                    ])
-                }
-                Err(e) => {
-                    self.tel.counters().bump(Counter::ReqErrors);
-                    error_response(&e)
-                }
-            },
+            Request::Update { ops, ack } => self.handle_update(ops, *ack),
             Request::Shutdown => {
-                self.tel.counters().bump(Counter::ReqShutdown);
+                self.shared.tel.counters().bump(Counter::ReqShutdown);
                 ok_response(vec![("stopping", JsonValue::Num(1))])
             }
         }
     }
 
+    fn handle_update(&self, ops: &[DbUpdate], ack: AckMode) -> JsonValue {
+        let counters = self.shared.tel.counters();
+        let result = match ack {
+            AckMode::Applied => self.apply_update(ops).map(|s| {
+                ok_response(vec![
+                    ("epoch", JsonValue::Num(s.seq)),
+                    ("seq", JsonValue::Num(s.seq)),
+                    ("uf", JsonValue::Num(s.uf as u64)),
+                    ("fi", JsonValue::Num(s.fi as u64)),
+                    ("if", JsonValue::Num(s.if_new as u64)),
+                    ("pattern_count", JsonValue::Num(s.pattern_count as u64)),
+                ])
+            }),
+            AckMode::Durable => self.submit_window(ops).map(|a| {
+                ok_response(vec![
+                    ("seq", JsonValue::Num(a.seq)),
+                    ("durable", JsonValue::Num(1)),
+                    ("pending", JsonValue::Num(a.pending as u64)),
+                    ("epoch", JsonValue::Num(self.current().epoch)),
+                ])
+            }),
+        };
+        match result {
+            Ok(resp) => {
+                counters.bump(Counter::ReqUpdate);
+                resp
+            }
+            // Back-pressure is shedding, not failure: it gets its own
+            // reply (and its own counter, bumped at the shed site) and
+            // does not count as a request error.
+            Err(UpdateError::Backpressure { pending }) => JsonValue::Obj(vec![
+                ("status".to_string(), JsonValue::Str("error".to_string())),
+                ("error".to_string(), JsonValue::Str("backpressure".to_string())),
+                ("pending".to_string(), JsonValue::Num(pending as u64)),
+            ]),
+            Err(e) => {
+                counters.bump(Counter::ReqErrors);
+                error_response(&e.to_string())
+            }
+        }
+    }
+
     fn handle_status(&self, report: bool) -> JsonValue {
-        self.tel.counters().bump(Counter::ReqStatus);
+        let shared = &self.shared;
+        shared.tel.counters().bump(Counter::ReqStatus);
+        shared.mirror_group_stats();
         let ep = self.current();
         let counters = JsonValue::Obj(
-            self.tel
+            shared
+                .tel
                 .counters()
                 .snapshot()
                 .into_iter()
@@ -501,15 +748,16 @@ impl ServeEngine {
         );
         let mut fields = vec![
             ("epoch", JsonValue::Num(ep.epoch)),
-            ("uptime_ms", JsonValue::Num(self.started.elapsed().as_millis() as u64)),
+            ("uptime_ms", JsonValue::Num(shared.started.elapsed().as_millis() as u64)),
             ("db_graphs", JsonValue::Num(ep.db.len() as u64)),
             ("db_edges", JsonValue::Num(ep.db.total_edges() as u64)),
             ("pattern_count", JsonValue::Num(ep.patterns.len() as u64)),
-            ("min_support", JsonValue::Num(u64::from(self.min_support))),
+            ("min_support", JsonValue::Num(u64::from(shared.min_support))),
+            ("pending_windows", JsonValue::Num(self.pending_windows() as u64)),
             ("counters", counters),
         ];
         if report {
-            let dump = RunReport::capture("serve", &self.tel).to_json();
+            let dump = RunReport::capture("serve", &shared.tel).to_json();
             let parsed = JsonValue::parse(&dump).unwrap_or(JsonValue::Null);
             fields.push(("report", parsed));
         }
@@ -517,7 +765,7 @@ impl ServeEngine {
     }
 
     fn handle_patterns(&self, top: usize, min_support: Option<Support>) -> JsonValue {
-        self.tel.counters().bump(Counter::ReqPatterns);
+        self.shared.tel.counters().bump(Counter::ReqPatterns);
         let ep = self.current();
         let floor = min_support.unwrap_or(0);
         let mut hits: Vec<_> = ep.patterns.iter().filter(|p| p.support >= floor).collect();
@@ -533,7 +781,7 @@ impl ServeEngine {
     }
 
     fn handle_support(&self, pattern: &Graph) -> JsonValue {
-        self.tel.counters().bump(Counter::ReqSupport);
+        self.shared.tel.counters().bump(Counter::ReqSupport);
         let ep = self.current();
         let (support, source) = self.support_of(&ep, pattern);
         ok_response(vec![
@@ -544,9 +792,96 @@ impl ServeEngine {
     }
 }
 
-/// Rejects a batch that would fail mid-application: the incremental
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("ingest queue poisoned");
+            q.stop = true;
+        }
+        self.shared.submitted.notify_all();
+        self.shared.applied.notify_all();
+        if let Some(h) = self.applier.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The applier: folds durable windows into the mining state strictly in
+/// sequence order, one [`ResultEpoch`] swap per window. Runs until the
+/// engine drops; a failed window poisons the pipeline (the tail mirror
+/// and the mining state would diverge otherwise).
+fn applier_loop(shared: &Arc<EngineShared>) {
+    loop {
+        let (seq, window) = {
+            let mut q = shared.queue.lock().expect("ingest queue poisoned");
+            loop {
+                if q.stop {
+                    return;
+                }
+                let next = q.applied_seq + 1;
+                if let Some(w) = q.windows.get(&next) {
+                    break (next, w.clone());
+                }
+                q = shared.submitted.wait(q).expect("ingest queue poisoned");
+            }
+        };
+        // The window must be durable before it becomes visible in an
+        // epoch: an acked reader answer must never describe state a
+        // crash could lose.
+        if let Err(e) = shared.journal.wait_durable(seq) {
+            fail_pipeline(shared, format!("journal (seq {seq}): {e}"));
+            return;
+        }
+        let summary = {
+            let mut inner = shared.inner.lock();
+            let inc =
+                match IncPartMiner::update_on(&mut inner.state, &window, &shared.exec, &shared.tel)
+                {
+                    Ok(inc) => inc,
+                    Err(e) => {
+                        drop(inner);
+                        fail_pipeline(shared, format!("apply (seq {seq}): {e}"));
+                        return;
+                    }
+                };
+            let next = ResultEpoch::new(
+                seq,
+                inner.state.partition.root().db.clone(),
+                inner.state.patterns().clone(),
+            );
+            *shared.current.write() = Arc::new(next);
+            shared.tel.counters().bump(Counter::EpochSwaps);
+            // Superseded memo entries are dead weight (readers of the old
+            // epoch may transiently re-add a few; the next swap collects
+            // those too).
+            shared.support_memo.lock().retain(|&(epoch, _), _| epoch >= seq);
+            UpdateSummary {
+                seq,
+                uf: inc.uf.len(),
+                fi: inc.fi.len(),
+                if_new: inc.if_new.len(),
+                pattern_count: inc.patterns.len(),
+            }
+        };
+        let mut q = shared.queue.lock().expect("ingest queue poisoned");
+        q.windows.remove(&seq);
+        q.applied_seq = seq;
+        q.record_summary(summary);
+        drop(q);
+        shared.applied.notify_all();
+    }
+}
+
+fn fail_pipeline(shared: &EngineShared, msg: String) {
+    let mut q = shared.queue.lock().expect("ingest queue poisoned");
+    q.failed = Some(msg);
+    drop(q);
+    shared.applied.notify_all();
+}
+
+/// Rejects a window that would fail mid-application: the incremental
 /// miner applies updates one by one and an error would leave it half
-/// applied, so the whole batch is dry-run against clones of the touched
+/// applied, so the whole window is dry-run against clones of the touched
 /// graphs first.
 fn validate_batch(db: &GraphDb, ops: &[DbUpdate]) -> Result<(), String> {
     let mut scratch: FxHashMap<GraphId, Graph> = FxHashMap::default();
@@ -643,7 +978,7 @@ mod tests {
             DbUpdate { gid: 1, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } },
             DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 0, v: 99, label: 1 } },
         ];
-        assert!(engine.apply_update(&bad).is_err());
+        assert!(matches!(engine.apply_update(&bad), Err(UpdateError::Rejected(_))));
         assert_eq!(engine.current().epoch, 0);
         assert_eq!(engine.telemetry().counters().get(Counter::WalBatchesAppended), 0);
 
@@ -654,6 +989,58 @@ mod tests {
         assert_eq!(ep.epoch, 1);
         assert_eq!(ep.patterns.len(), summary.pattern_count);
         assert!(summary.fi > 0, "relabeling a shared vertex demotes patterns");
+        assert_eq!(engine.telemetry().counters().get(Counter::IngestWindows), 1);
+        assert_eq!(engine.telemetry().counters().get(Counter::EpochSwaps), 1);
+    }
+
+    #[test]
+    fn coalesced_window_keeps_update_semantics() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &cfg()).unwrap();
+        // A relabel storm that folds to a single op plus a full cancel.
+        let ops = vec![
+            DbUpdate { gid: 1, update: GraphUpdate::RelabelVertex { v: 0, label: 5 } },
+            DbUpdate { gid: 1, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } },
+            DbUpdate { gid: 2, update: GraphUpdate::RelabelVertex { v: 1, label: 9 } },
+            DbUpdate { gid: 2, update: GraphUpdate::RelabelVertex { v: 1, label: 1 } },
+        ];
+        let summary = engine.apply_update(&ops).unwrap();
+        assert_eq!(summary.seq, 1);
+        let counters = engine.telemetry().counters();
+        assert_eq!(counters.get(Counter::IngestOpsIn), 4);
+        assert_eq!(counters.get(Counter::IngestOpsCoalesced), 3, "one survivor out of four");
+        assert_eq!(engine.current().db.graph(1).vlabel(0), 7);
+        assert_eq!(engine.current().db.graph(2).vlabel(1), 1, "cancelled chain left alone");
+    }
+
+    #[test]
+    fn backpressure_rejects_without_admitting() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let mut config = cfg();
+        config.ingest.max_pending = 1;
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &config).unwrap();
+        // Fill the bound from underneath: park a window in the queue by
+        // stopping the applier first.
+        {
+            let mut q = engine.shared.queue.lock().unwrap();
+            q.windows.insert(1, Vec::new());
+        }
+        let ops = vec![DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 3 } }];
+        match engine.submit_window(&ops) {
+            Err(UpdateError::Backpressure { pending }) => assert_eq!(pending, 1),
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        assert_eq!(engine.telemetry().counters().get(Counter::IngestBackpressure), 1);
+        assert_eq!(engine.telemetry().counters().get(Counter::WalBatchesAppended), 0);
+        // Unpark and confirm the pipeline still works.
+        {
+            let mut q = engine.shared.queue.lock().unwrap();
+            q.windows.remove(&1);
+        }
+        let summary = engine.apply_update(&ops).unwrap();
+        assert_eq!(summary.seq, 1);
     }
 
     #[test]
@@ -728,5 +1115,29 @@ mod tests {
         assert!(engine.current().patterns.same_codes_and_supports(&served.patterns));
         // Warm restart actually consumed the persisted pattern set.
         assert!(engine.telemetry().counters().get(Counter::KnownSkipped) > 0);
+    }
+
+    #[test]
+    fn durable_ack_windows_apply_in_order() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &cfg()).unwrap();
+        let mut seqs = Vec::new();
+        for round in 0..3u32 {
+            let ops = vec![DbUpdate {
+                gid: 0,
+                update: GraphUpdate::RelabelVertex { v: 0, label: 20 + round },
+            }];
+            seqs.push(engine.submit_window(&ops).unwrap().seq);
+        }
+        assert_eq!(seqs, vec![1, 2, 3]);
+        let summary = engine.wait_applied(3).unwrap();
+        assert_eq!(summary.seq, 3);
+        assert_eq!(engine.current().epoch, 3);
+        assert_eq!(engine.current().db.graph(0).vlabel(0), 22);
+        let counters = engine.telemetry().counters();
+        assert_eq!(counters.get(Counter::EpochSwaps), 3);
+        assert_eq!(counters.get(Counter::IngestWindows), 3);
+        assert_eq!(counters.get(Counter::WalBatchesAppended), 3);
     }
 }

@@ -1,0 +1,383 @@
+//! Streaming-ingest building blocks: window coalescing and the bounded
+//! pending-window queue with back-pressure.
+//!
+//! # Coalescing laws
+//!
+//! An ingest *window* is one submitted update batch. Before the window is
+//! validated and journaled, [`coalesce_window`] rewrites it into a
+//! minimal equivalent sequence — the re-mine then sees the smallest diff:
+//!
+//! 1. **Last write wins** — relabel-after-relabel on the same vertex or
+//!    edge keeps only the final write (at the later position).
+//! 2. **Fold into the creator** — a relabel of a vertex/edge *created
+//!    inside the window* is folded into the creating `add-vertex` /
+//!    `add-edge` op's label field.
+//! 3. **Cancellation** — a relabel chain whose final label equals the
+//!    label the target entered the window with collapses to nothing
+//!    (the add-then-revert of a vocabulary without deletes).
+//!
+//! Only relabels are ever dropped or folded, and only when their target
+//! is verifiably in range, so ids are never renumbered (`add-*` ops stay
+//! at their positions) and a window is rejected by the dry-run validator
+//! exactly when the raw window would have been. Ops addressing invalid
+//! targets are kept untouched for the validator to reject.
+//!
+//! # Back-pressure
+//!
+//! The pipeline bounds the number of *acked-but-unapplied* windows (the
+//! staleness bound): once `max_pending` windows sit between the durable
+//! WAL tip and the served epoch, new submissions are shed with a
+//! `backpressure` protocol reply — distinct from the connection-level
+//! `overloaded` shed — and counted under `ingest_backpressure`.
+
+use std::collections::BTreeMap;
+
+use graphmine_graph::{DbUpdate, GraphDb, GraphUpdate};
+use rustc_hash::FxHashMap;
+
+use crate::engine::UpdateSummary;
+
+/// Knobs of the streaming ingest pipeline.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Staleness bound: maximum acked-but-unapplied windows before new
+    /// submissions are shed with `backpressure`.
+    pub max_pending: usize,
+    /// Coalesce each window before validation (see module docs).
+    pub coalesce: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig { max_pending: 8, coalesce: true }
+    }
+}
+
+/// Which op created a window-local vertex/edge, and which label field of
+/// that op a later relabel folds into.
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)]
+enum Creator {
+    /// `add-vertex` at this index created the vertex (fold into `label`).
+    VertexOp(usize),
+    /// `add-edge` at this index created the edge (fold into `label`).
+    EdgeOp(usize),
+    /// `add-vertex` at this index created the attaching edge (fold into
+    /// `elabel`).
+    AttachOp(usize),
+}
+
+/// Per-target coalescing state.
+struct TargetState {
+    /// Label the target carries entering the window (base label, or the
+    /// creating op's current label after folds).
+    origin: u32,
+    /// Index of the currently kept relabel of this target, if any.
+    last_relabel: Option<usize>,
+    /// Creating op for window-local targets.
+    creator: Option<Creator>,
+}
+
+impl TargetState {
+    fn base(origin: u32) -> Self {
+        TargetState { origin, last_relabel: None, creator: None }
+    }
+
+    fn created(origin: u32, creator: Creator) -> Self {
+        TargetState { origin, last_relabel: None, creator: Some(creator) }
+    }
+}
+
+/// Rewrites one ingest window into a minimal equivalent op sequence
+/// against base database `db` (see the module docs for the laws).
+///
+/// Applying the returned sequence to `db` yields the same database as
+/// applying `ops`, and it is rejected by validation exactly when `ops`
+/// would be.
+pub fn coalesce_window(db: &GraphDb, ops: &[DbUpdate]) -> Vec<DbUpdate> {
+    let mut kept: Vec<Option<DbUpdate>> = ops.iter().map(|op| Some(*op)).collect();
+    // Window-local vertex/edge counts per touched graph.
+    let mut vcount: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut ecount: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut verts: FxHashMap<(u32, u32), TargetState> = FxHashMap::default();
+    let mut edges: FxHashMap<(u32, u32), TargetState> = FxHashMap::default();
+
+    for (i, op) in ops.iter().enumerate() {
+        let gid = op.gid;
+        if gid as usize >= db.len() {
+            continue; // kept untouched; validation rejects the window
+        }
+        let g = db.graph(gid);
+        let base_vc = g.vertex_count() as u32;
+        let base_ec = g.edge_count() as u32;
+        let vc = *vcount.entry(gid).or_insert(base_vc);
+        let ec = *ecount.entry(gid).or_insert(base_ec);
+        match op.update {
+            GraphUpdate::RelabelVertex { v, label } => {
+                if v >= vc {
+                    continue; // out of range: validator's business
+                }
+                let st = verts.entry((gid, v)).or_insert_with(|| TargetState::base(g.vlabel(v)));
+                coalesce_relabel(&mut kept, st, i, label);
+            }
+            GraphUpdate::RelabelEdge { e, label } => {
+                if e >= ec {
+                    continue;
+                }
+                let st = edges.entry((gid, e)).or_insert_with(|| TargetState::base(g.edge(e).2));
+                coalesce_relabel(&mut kept, st, i, label);
+            }
+            GraphUpdate::AddEdge { u, v, label } => {
+                // Structurally plausible adds claim their id; anything the
+                // validator would reject (range, self-loop, duplicate)
+                // rejects the whole window with the op kept in place.
+                if u >= vc || v >= vc || u == v {
+                    continue;
+                }
+                edges.insert((gid, ec), TargetState::created(label, Creator::EdgeOp(i)));
+                ecount.insert(gid, ec + 1);
+            }
+            GraphUpdate::AddVertex { label, attach_to, elabel } => {
+                if attach_to >= vc {
+                    continue;
+                }
+                verts.insert((gid, vc), TargetState::created(label, Creator::VertexOp(i)));
+                edges.insert((gid, ec), TargetState::created(elabel, Creator::AttachOp(i)));
+                vcount.insert(gid, vc + 1);
+                ecount.insert(gid, ec + 1);
+            }
+        }
+    }
+
+    kept.into_iter().flatten().collect()
+}
+
+/// Applies the three coalescing laws to one relabel op (vertex or edge —
+/// the target's [`TargetState`] disambiguates) at index `i` writing
+/// `label`.
+fn coalesce_relabel(kept: &mut [Option<DbUpdate>], st: &mut TargetState, i: usize, label: u32) {
+    // Law 1: an earlier relabel of the same target is superseded.
+    let superseded = st.last_relabel.take();
+    if let Some(j) = superseded {
+        kept[j] = None;
+    }
+    // Armed mutant: treat every superseding write as if the whole chain
+    // cancelled, dropping a meaningful final write. The oracle's
+    // coalesce-equivalence check must catch the divergence.
+    #[cfg(feature = "fault-injection")]
+    if superseded.is_some()
+        && graphmine_graph::fault::armed(graphmine_graph::fault::Fault::SkipCancelledUpdate)
+    {
+        kept[i] = None;
+        return;
+    }
+    if label == st.origin {
+        // Law 3: the chain lands back on the origin label — nothing to do.
+        kept[i] = None;
+    } else if let Some(creator) = st.creator {
+        // Law 2: fold into the creating add op's label field.
+        kept[i] = None;
+        let (idx, slot) = match creator {
+            Creator::VertexOp(c) | Creator::EdgeOp(c) => (c, false),
+            Creator::AttachOp(c) => (c, true),
+        };
+        let created = kept[idx].as_mut().expect("creating add ops are never dropped");
+        match &mut created.update {
+            GraphUpdate::AddVertex { label: l, elabel, .. } => {
+                *(if slot { elabel } else { l }) = label;
+            }
+            GraphUpdate::AddEdge { label: l, .. } => *l = label,
+            _ => unreachable!("creator is always an add op"),
+        }
+        st.origin = label;
+    } else {
+        st.last_relabel = Some(i);
+    }
+}
+
+/// The pending-window queue between submitters and the applier thread.
+///
+/// Windows are admitted (validated against `tail`, applied to it, and
+/// handed to the WAL) under the queue lock, then applied to the mining
+/// state strictly in sequence order by the applier.
+pub(crate) struct IngestQueue {
+    /// The database with every *admitted* window applied — ahead of the
+    /// served epoch by the windows still in `windows`. Admission
+    /// validates against this, so seq order equals validation order.
+    pub tail: GraphDb,
+    /// Admitted windows not yet applied to the mining state, by seq.
+    pub windows: BTreeMap<u64, Vec<DbUpdate>>,
+    /// Highest seq folded into the served epoch.
+    pub applied_seq: u64,
+    /// Per-window outcomes for `ack: applied` waiters (bounded; see
+    /// [`IngestQueue::record_summary`]).
+    pub summaries: BTreeMap<u64, UpdateSummary>,
+    /// Sticky pipeline failure (journal or apply); set once, fatal.
+    pub failed: Option<String>,
+    /// Applier shutdown flag.
+    pub stop: bool,
+}
+
+impl IngestQueue {
+    pub(crate) fn new(tail: GraphDb, applied_seq: u64) -> Self {
+        IngestQueue {
+            tail,
+            windows: BTreeMap::new(),
+            applied_seq,
+            summaries: BTreeMap::new(),
+            failed: None,
+            stop: false,
+        }
+    }
+
+    /// Records a window's outcome, keeping the map bounded: durable-ack
+    /// submitters never collect their summaries, so old entries are
+    /// pruned from the front.
+    pub(crate) fn record_summary(&mut self, s: UpdateSummary) {
+        self.summaries.insert(s.seq, s);
+        while self.summaries.len() > 256 {
+            let oldest = *self.summaries.keys().next().expect("non-empty");
+            self.summaries.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmine_graph::{apply_all, Graph};
+
+    fn base_db() -> GraphDb {
+        (0..2)
+            .map(|_| {
+                let mut g = Graph::new();
+                let a = g.add_vertex(0);
+                let b = g.add_vertex(1);
+                let c = g.add_vertex(2);
+                g.add_edge(a, b, 10).unwrap();
+                g.add_edge(b, c, 11).unwrap();
+                g
+            })
+            .collect()
+    }
+
+    fn rv(gid: u32, v: u32, label: u32) -> DbUpdate {
+        DbUpdate { gid, update: GraphUpdate::RelabelVertex { v, label } }
+    }
+
+    fn re(gid: u32, e: u32, label: u32) -> DbUpdate {
+        DbUpdate { gid, update: GraphUpdate::RelabelEdge { e, label } }
+    }
+
+    /// Raw and coalesced application end on identical databases.
+    fn assert_equivalent(db: &GraphDb, ops: &[DbUpdate]) -> Vec<DbUpdate> {
+        let coalesced = coalesce_window(db, ops);
+        let mut raw = db.clone();
+        apply_all(&mut raw, ops).unwrap();
+        let mut co = db.clone();
+        apply_all(&mut co, &coalesced).unwrap();
+        for gid in 0..raw.len() as u32 {
+            let (a, b) = (raw.graph(gid), co.graph(gid));
+            assert_eq!(a.vlabels(), b.vlabels(), "graph {gid} vertex labels");
+            assert_eq!(a.edge_count(), b.edge_count(), "graph {gid} edge count");
+            for e in 0..a.edge_count() as u32 {
+                assert_eq!(a.edge(e), b.edge(e), "graph {gid} edge {e}");
+            }
+        }
+        coalesced
+    }
+
+    #[test]
+    fn last_write_wins_on_vertices_and_edges() {
+        let db = base_db();
+        let ops = [rv(0, 1, 7), rv(0, 1, 8), rv(0, 1, 9), re(1, 0, 20), re(1, 0, 21)];
+        let co = assert_equivalent(&db, &ops);
+        assert_eq!(co, vec![rv(0, 1, 9), re(1, 0, 21)]);
+    }
+
+    #[test]
+    fn relabel_chain_back_to_origin_cancels() {
+        let db = base_db();
+        let ops = [rv(0, 2, 9), rv(0, 2, 2), re(0, 1, 99), re(0, 1, 11)];
+        let co = assert_equivalent(&db, &ops);
+        assert!(co.is_empty(), "chains landing on the origin label vanish: {co:?}");
+    }
+
+    #[test]
+    fn noop_relabel_is_dropped() {
+        let db = base_db();
+        let co = assert_equivalent(&db, &[rv(0, 0, 0), re(1, 1, 11)]);
+        assert!(co.is_empty());
+    }
+
+    #[test]
+    fn relabel_folds_into_creating_add_ops() {
+        let db = base_db();
+        let ops = [
+            DbUpdate {
+                gid: 0,
+                update: GraphUpdate::AddVertex { label: 5, attach_to: 0, elabel: 7 },
+            },
+            rv(0, 3, 6), // relabel the window-created vertex
+            re(0, 2, 8), // relabel the window-created attach edge
+            DbUpdate { gid: 0, update: GraphUpdate::AddEdge { u: 1, v: 3, label: 30 } },
+            re(0, 3, 31), // relabel the window-created edge
+        ];
+        let co = assert_equivalent(&db, &ops);
+        assert_eq!(
+            co,
+            vec![
+                DbUpdate {
+                    gid: 0,
+                    update: GraphUpdate::AddVertex { label: 6, attach_to: 0, elabel: 8 }
+                },
+                DbUpdate { gid: 0, update: GraphUpdate::AddEdge { u: 1, v: 3, label: 31 } },
+            ]
+        );
+    }
+
+    #[test]
+    fn fold_then_revert_to_creation_label_cancels() {
+        let db = base_db();
+        let ops = [
+            DbUpdate {
+                gid: 1,
+                update: GraphUpdate::AddVertex { label: 5, attach_to: 2, elabel: 7 },
+            },
+            rv(1, 3, 6),
+            rv(1, 3, 5), // back to the creation label — both relabels vanish
+        ];
+        let co = assert_equivalent(&db, &ops);
+        assert_eq!(
+            co,
+            vec![DbUpdate {
+                gid: 1,
+                update: GraphUpdate::AddVertex { label: 5, attach_to: 2, elabel: 7 }
+            }]
+        );
+    }
+
+    #[test]
+    fn invalid_targets_are_kept_for_the_validator() {
+        let db = base_db();
+        // Out-of-range graph, vertex, and edge: nothing is dropped, so the
+        // dry-run validator rejects the window exactly as it would raw.
+        for ops in [
+            vec![rv(9, 0, 1), rv(0, 1, 7)],
+            vec![rv(0, 99, 1)],
+            vec![re(0, 99, 1)],
+            vec![DbUpdate { gid: 0, update: GraphUpdate::AddEdge { u: 0, v: 0, label: 1 } }],
+        ] {
+            let co = coalesce_window(&db, &ops);
+            assert_eq!(co, ops, "invalid window must pass through untouched");
+        }
+    }
+
+    #[test]
+    fn interleaved_targets_keep_relative_order() {
+        let db = base_db();
+        let ops = [rv(0, 0, 5), rv(1, 0, 6), rv(0, 0, 7), re(0, 0, 20)];
+        let co = assert_equivalent(&db, &ops);
+        assert_eq!(co, vec![rv(1, 0, 6), rv(0, 0, 7), re(0, 0, 20)]);
+    }
+}

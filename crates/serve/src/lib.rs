@@ -10,28 +10,37 @@
 //!   journal on `graphmine-storage`, warm-restart mining, and
 //!   epoch-swapped immutable results ([`ResultEpoch`]) so readers never
 //!   block behind an update;
+//! * [`ingest`] — the streaming update pipeline: window
+//!   [coalescing](ingest::coalesce_window), a bounded admission queue
+//!   with `backpressure` shedding, group-committed durability, and an
+//!   applier thread re-mining on the shared `graphmine-exec` pool;
 //! * [`start`] / [`ServerHandle`] — the TCP front end: accept thread,
 //!   bounded connection queue with explicit `overloaded` shedding, and
 //!   a fixed worker pool (std threads only — no async runtime);
 //! * [`protocol`] — the wire format;
-//! * [`Client`] — a small blocking client for tools and tests.
+//! * [`Client`] — a small blocking client for tools and tests, with
+//!   jittered-backoff [`RetryPolicy`] retries on `backpressure`.
 //!
-//! An `update` is acknowledged only after its batch is fsynced to the
-//! journal, so `kill -9` after an ack never loses it: the next boot
-//! replays the journal on top of the snapshot. See `docs/SERVICE.md`
-//! for the protocol and operational details.
+//! An `update` is acknowledged only after its window is fsynced to the
+//! journal (one group-commit barrier covers every concurrent window),
+//! so `kill -9` after an ack never loses it: the next boot replays the
+//! journal on top of the snapshot. See `docs/SERVICE.md` for the
+//! protocol and operational details.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod client;
 mod engine;
+pub mod ingest;
 pub mod protocol;
 mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use engine::{
-    BootReport, EngineConfig, ResultEpoch, ServeEngine, SupportSource, UpdateSummary,
+    BootReport, EngineConfig, ResultEpoch, ServeEngine, StreamAck, SupportSource, UpdateError,
+    UpdateSummary,
 };
-pub use protocol::Request;
+pub use ingest::{coalesce_window, IngestConfig};
+pub use protocol::{AckMode, Request};
 pub use server::{start, ServerConfig, ServerHandle};

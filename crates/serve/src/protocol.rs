@@ -14,6 +14,7 @@
 //! {"cmd":"support","code":[[0,1,0,5,1],[1,2,1,5,0]]}
 //! {"cmd":"support","graph":{"vertices":[0,1,0],"edges":[[0,1,5],[1,2,5]]}}
 //! {"cmd":"update","ops":[{"gid":3,"op":"add-edge","u":0,"v":6,"label":2}]}
+//! {"cmd":"update","ack":"durable","ops":[...]}   // stream: ack at the fsync barrier
 //! {"cmd":"shutdown"}
 //! ```
 //!
@@ -21,12 +22,31 @@
 //! edge_label, to_label]`; it does not have to be minimal — the server
 //! canonicalizes. Update ops mirror the CLI text format
 //! (`relabel-vertex`, `relabel-edge`, `add-edge`, `add-vertex`).
+//!
+//! An update with `"ack":"applied"` (the default) is answered once the
+//! window is folded into the served epoch; `"ack":"durable"` answers at
+//! the group-commit fsync barrier, before application. When the ingest
+//! queue is full the server sheds the window with
+//! `{"status":"error","error":"backpressure","pending":N}` — distinct
+//! from `overloaded` (connection queue full) and from real errors:
+//! nothing was admitted and the client should retry after a backoff.
 
 use graphmine_graph::{DbUpdate, DfsCode, Graph, GraphUpdate, Pattern, VLabel};
 use graphmine_telemetry::JsonValue;
 
 /// Patterns returned by a `patterns` request when `top` is omitted.
 pub const DEFAULT_TOP: usize = 50;
+
+/// When an `update` request is acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// Answer once the window is folded into the served epoch.
+    #[default]
+    Applied,
+    /// Answer at the group-commit fsync barrier; application follows
+    /// asynchronously, bounded by the server's staleness bound.
+    Durable,
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +72,8 @@ pub enum Request {
     Update {
         /// The updates, in application order.
         ops: Vec<DbUpdate>,
+        /// Whether to ack at durability or after application.
+        ack: AckMode,
     },
     /// Stop the daemon (snapshot + journal truncation on the way out).
     Shutdown,
@@ -95,7 +117,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "update" => {
             let ops = value.field("ops").ok_or("missing field `ops`")?;
-            Ok(Request::Update { ops: ops_from_json(ops)? })
+            let ack = match value.field("ack") {
+                None | Some(JsonValue::Null) => AckMode::Applied,
+                Some(JsonValue::Str(s)) if s == "applied" => AckMode::Applied,
+                Some(JsonValue::Str(s)) if s == "durable" => AckMode::Durable,
+                Some(_) => return Err("field `ack` must be \"applied\" or \"durable\"".to_string()),
+            };
+            Ok(Request::Update { ops: ops_from_json(ops)?, ack })
         }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown command `{other}`")),
@@ -352,9 +380,16 @@ mod tests {
                 ops: vec![DbUpdate {
                     gid: 3,
                     update: GraphUpdate::AddEdge { u: 0, v: 6, label: 2 }
-                }]
+                }],
+                ack: AckMode::Applied,
             }
         );
+        let durable = parse_request(
+            r#"{"cmd":"update","ack":"durable","ops":[{"gid":3,"op":"add-edge","u":0,"v":6,"label":2}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(durable, Request::Update { ack: AckMode::Durable, .. }));
+        assert!(parse_request(r#"{"cmd":"update","ack":"never","ops":[{"gid":0,"op":"relabel-vertex","v":0,"label":1}]}"#).is_err());
     }
 
     #[test]
@@ -430,7 +465,7 @@ mod tests {
             ("ops".to_string(), ops_to_json(&ops)),
         ])
         .to_json();
-        assert_eq!(parse_request(&line).unwrap(), Request::Update { ops });
+        assert_eq!(parse_request(&line).unwrap(), Request::Update { ops, ack: AckMode::Applied });
     }
 
     #[test]

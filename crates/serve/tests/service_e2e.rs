@@ -160,6 +160,66 @@ fn torn_journal_tail_recovers_to_last_acked_batch() {
     assert!(engine.current().patterns.same_codes_and_supports(&reference));
 }
 
+/// Group-commit durability end to end: windows streamed concurrently
+/// with `ack: durable` share fsync barriers (grouped frames in the WAL),
+/// the process dies without a clean stop, and recovery must replay every
+/// acked window — the torn-tail contract extended from single
+/// `append_batch` frames to grouped ones.
+#[test]
+fn grouped_durable_acks_survive_abort() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = test_db();
+    let cfg = engine_cfg(&db);
+
+    const WRITERS: usize = 4;
+    const WINDOWS: usize = 2;
+    // Disjoint relabel targets per writer: any admission order lands on
+    // the same final database, so the reference is order-free.
+    let window = |w: usize, r: usize| {
+        vec![DbUpdate {
+            gid: (w * WINDOWS + r) as u32,
+            update: graphmine_graph::GraphUpdate::RelabelVertex {
+                v: 0,
+                label: 100 + (w * WINDOWS + r) as u32,
+            },
+        }]
+    };
+
+    {
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &cfg).unwrap();
+        let engine = Arc::new(engine);
+        let acked: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..WRITERS)
+                .map(|w| {
+                    let engine = Arc::clone(&engine);
+                    s.spawn(move || {
+                        (0..WINDOWS)
+                            .map(|r| engine.submit_window(&window(w, r)).unwrap().seq)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut seqs = acked.clone();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (1..=(WRITERS * WINDOWS) as u64).collect::<Vec<_>>());
+        // Durable acks only — the kill may land before application.
+        drop(engine);
+    }
+
+    let (engine, boot) = ServeEngine::boot(None, dir.path(), &cfg).unwrap();
+    assert_eq!(boot.replayed, WRITERS * WINDOWS, "every durable ack must replay");
+    assert_eq!(boot.epoch, (WRITERS * WINDOWS) as u64);
+    let all_ops: Vec<DbUpdate> =
+        (0..WRITERS).flat_map(|w| (0..WINDOWS).flat_map(move |r| window(w, r))).collect();
+    let reference = batch_incremental(&db, cfg.min_support, &[all_ops]);
+    assert!(
+        engine.current().patterns.same_codes_and_supports(&reference),
+        "recovered result diverges from the batch pipeline on the same windows"
+    );
+}
+
 #[test]
 fn clean_shutdown_then_crash_replays_nothing_twice() {
     let dir = tempfile::tempdir().unwrap();

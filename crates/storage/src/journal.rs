@@ -17,7 +17,10 @@
 //! CRC mismatch — a torn tail from a crash mid-write is zeroed and ignored,
 //! never replayed.
 
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use graphmine_graph::{DbUpdate, GraphUpdate};
@@ -99,6 +102,21 @@ impl UpdateJournal {
     ///
     /// Propagates write and fsync failures.
     pub fn append_batch(&mut self, updates: &[DbUpdate]) -> Result<u64, StorageError> {
+        let seq = self.append_unsynced(updates)?;
+        self.sync()?;
+        Ok(seq)
+    }
+
+    /// Appends a batch frame *without* forcing it to disk. The returned
+    /// sequence number is **not** durable until a following
+    /// [`UpdateJournal::sync`] — the group-commit building block: many
+    /// frames appended, one shared fsync barrier. A crash before the
+    /// barrier leaves a torn tail that recovery drops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn append_unsynced(&mut self, updates: &[DbUpdate]) -> Result<u64, StorageError> {
         let seq = self.next_seq;
         let payload = encode_payload(seq, updates);
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
@@ -106,9 +124,19 @@ impl UpdateJournal {
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         self.store.append(&frame)?;
-        self.store.flush()?;
         self.next_seq = seq + 1;
         Ok(seq)
+    }
+
+    /// The fsync barrier: forces every frame appended so far to stable
+    /// storage. After `sync` returns, all sequence numbers handed out by
+    /// [`UpdateJournal::append_unsynced`] are durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write and fsync failures.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.store.flush()
     }
 
     /// Truncates the journal after its contents have been folded into a
@@ -140,6 +168,281 @@ impl UpdateJournal {
     /// Bytes of journaled frames (excluding page padding).
     pub fn len_bytes(&self) -> u64 {
         self.store.len_bytes()
+    }
+}
+
+/// Lifetime totals of a [`GroupCommitJournal`]'s committer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Fsync barriers executed (each covers one commit group).
+    pub groups: u64,
+    /// Frames made durable across all groups.
+    pub frames: u64,
+}
+
+/// State shared between submitters and the committer thread.
+struct GroupState {
+    /// The journal, absent while the committer holds it for an
+    /// append+fsync round (so the next group forms during the barrier).
+    journal: Option<UpdateJournal>,
+    /// Frames assigned a sequence number but not yet durable.
+    pending: VecDeque<(u64, Vec<DbUpdate>)>,
+    /// Mirror of the journal's next sequence number, valid even while the
+    /// journal is out with the committer.
+    next_seq: u64,
+    /// Highest sequence number known durable.
+    durable_seq: u64,
+    /// Sticky first commit failure: once an append or fsync fails the
+    /// acked-prefix invariant can no longer be promised, so every waiter
+    /// and every later submission gets this error.
+    failed: Option<String>,
+    stop: bool,
+    stats: GroupStats,
+}
+
+struct GroupShared {
+    state: Mutex<GroupState>,
+    /// Wakes the committer: frames pending or stop requested.
+    work: Condvar,
+    /// Wakes waiters: `durable_seq` advanced, journal returned to its
+    /// slot, or the committer failed.
+    done: Condvar,
+}
+
+/// A group-committing front end over [`UpdateJournal`].
+///
+/// Concurrently submitted frames are drained by a dedicated committer
+/// thread into one append run followed by a **single** fsync barrier;
+/// every waiter is acknowledged after the shared barrier. The crash
+/// contract is unchanged from `append_batch`: a sequence number returned
+/// by [`GroupCommitJournal::submit`] is durable, and recovery replays
+/// exactly a clean prefix of the submitted order (frames are written in
+/// sequence order, so no later frame can be durable without its
+/// predecessors).
+pub struct GroupCommitJournal {
+    shared: Arc<GroupShared>,
+    committer: Option<JoinHandle<()>>,
+}
+
+impl GroupCommitJournal {
+    /// Wraps `journal` and spawns the committer thread.
+    pub fn new(journal: UpdateJournal) -> Self {
+        let next_seq = journal.next_seq();
+        let shared = Arc::new(GroupShared {
+            state: Mutex::new(GroupState {
+                journal: Some(journal),
+                pending: VecDeque::new(),
+                next_seq,
+                durable_seq: next_seq - 1,
+                failed: None,
+                stop: false,
+                stats: GroupStats::default(),
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let committer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wal-committer".to_string())
+                .spawn(move || committer_loop(&shared))
+                .expect("spawn wal-committer")
+        };
+        GroupCommitJournal { shared, committer: Some(committer) }
+    }
+
+    /// Assigns the next sequence number to `updates` and queues the frame
+    /// for the committer. Returns immediately — the sequence number is
+    /// **not** durable until [`GroupCommitJournal::wait_durable`] returns
+    /// for it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a previous commit round failed (sticky).
+    pub fn enqueue(&self, updates: &[DbUpdate]) -> Result<u64, StorageError> {
+        let mut st = self.shared.state.lock().expect("journal state poisoned");
+        if let Some(msg) = &st.failed {
+            return Err(commit_failed(msg));
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.pending.push_back((seq, updates.to_vec()));
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(seq)
+    }
+
+    /// Blocks until `seq` is durable (its group's fsync barrier passed).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the committer failed before making `seq` durable.
+    pub fn wait_durable(&self, seq: u64) -> Result<(), StorageError> {
+        let mut st = self.shared.state.lock().expect("journal state poisoned");
+        loop {
+            if st.durable_seq >= seq {
+                return Ok(());
+            }
+            if let Some(msg) = &st.failed {
+                return Err(commit_failed(msg));
+            }
+            st = self.shared.done.wait(st).expect("journal state poisoned");
+        }
+    }
+
+    /// Submits a frame and blocks until it is durable — the group-commit
+    /// equivalent of [`UpdateJournal::append_batch`]. The returned
+    /// sequence number survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enqueue and commit failures.
+    pub fn submit(&self, updates: &[DbUpdate]) -> Result<u64, StorageError> {
+        let seq = self.enqueue(updates)?;
+        self.wait_durable(seq)?;
+        Ok(seq)
+    }
+
+    /// Highest sequence number known durable.
+    pub fn durable_seq(&self) -> u64 {
+        self.shared.state.lock().expect("journal state poisoned").durable_seq
+    }
+
+    /// Sequence number the next submitted frame will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.shared.state.lock().expect("journal state poisoned").next_seq
+    }
+
+    /// Lifetime group-commit totals (barriers executed, frames grouped).
+    pub fn stats(&self) -> GroupStats {
+        self.shared.state.lock().expect("journal state poisoned").stats
+    }
+
+    /// Runs `f` with exclusive access to the quiesced inner journal:
+    /// waits until every pending frame is durable and the committer has
+    /// returned the journal to its slot. Used for maintenance that must
+    /// not race a commit round (snapshot-time [`UpdateJournal::reset`],
+    /// [`UpdateJournal::set_next_seq`]); the sequence mirror is re-read
+    /// from the journal afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the committer failed (the journal may hold a torn
+    /// group; maintenance on it would be unsound).
+    pub fn with_journal<R>(
+        &self,
+        f: impl FnOnce(&mut UpdateJournal) -> R,
+    ) -> Result<R, StorageError> {
+        let mut st = self.shared.state.lock().expect("journal state poisoned");
+        loop {
+            if let Some(msg) = &st.failed {
+                return Err(commit_failed(msg));
+            }
+            if st.pending.is_empty() && st.journal.is_some() {
+                break;
+            }
+            st = self.shared.done.wait(st).expect("journal state poisoned");
+        }
+        let journal = st.journal.as_mut().expect("journal in slot");
+        let out = f(journal);
+        st.next_seq = journal.next_seq();
+        st.durable_seq = st.next_seq - 1;
+        Ok(out)
+    }
+
+    /// Stops the committer (after it drains every pending frame) and
+    /// returns the inner journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a commit failure; the journal is lost with it.
+    pub fn close(mut self) -> Result<UpdateJournal, StorageError> {
+        self.begin_stop();
+        if let Some(h) = self.committer.take() {
+            let _ = h.join();
+        }
+        let mut st = self.shared.state.lock().expect("journal state poisoned");
+        if let Some(msg) = &st.failed {
+            return Err(commit_failed(msg));
+        }
+        Ok(st.journal.take().expect("journal in slot after committer exit"))
+    }
+
+    fn begin_stop(&self) {
+        let mut st = self.shared.state.lock().expect("journal state poisoned");
+        st.stop = true;
+        drop(st);
+        self.shared.work.notify_one();
+    }
+}
+
+impl Drop for GroupCommitJournal {
+    fn drop(&mut self) {
+        self.begin_stop();
+        if let Some(h) = self.committer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn commit_failed(msg: &str) -> StorageError {
+    StorageError::Io(std::io::Error::other(format!("group commit failed: {msg}")))
+}
+
+/// The committer: drains all pending frames into one append run and one
+/// fsync. The state lock is **released** during the append+fsync — the
+/// journal travels out of its slot — so the next group forms while the
+/// barrier is in flight; that overlap is where the fsync amortization
+/// comes from.
+fn committer_loop(shared: &GroupShared) {
+    loop {
+        let (mut journal, group) = {
+            let mut st = shared.state.lock().expect("journal state poisoned");
+            while st.pending.is_empty() && !st.stop {
+                st = shared.work.wait(st).expect("journal state poisoned");
+            }
+            if st.pending.is_empty() {
+                // Stop with nothing left to flush.
+                shared.done.notify_all();
+                return;
+            }
+            if st.failed.is_some() {
+                // Poisoned: drop the group, tell any waiters.
+                st.pending.clear();
+                shared.done.notify_all();
+                continue;
+            }
+            let group: Vec<(u64, Vec<DbUpdate>)> = st.pending.drain(..).collect();
+            let journal = st.journal.take().expect("journal in slot");
+            (journal, group)
+        };
+
+        let mut result = Ok(());
+        for (seq, updates) in &group {
+            match journal.append_unsynced(updates) {
+                Ok(got) => debug_assert_eq!(got, *seq, "frames written in submit order"),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        if result.is_ok() {
+            result = journal.sync();
+        }
+
+        let mut st = shared.state.lock().expect("journal state poisoned");
+        st.journal = Some(journal);
+        match result {
+            Ok(()) => {
+                st.durable_seq = group.last().expect("non-empty group").0;
+                st.stats.groups += 1;
+                st.stats.frames += group.len() as u64;
+            }
+            Err(e) => st.failed = Some(e.to_string()),
+        }
+        drop(st);
+        shared.done.notify_all();
     }
 }
 
@@ -345,6 +648,79 @@ mod tests {
         let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].seq, 2);
+    }
+
+    #[test]
+    fn unsynced_appends_are_made_durable_by_one_sync() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        let mut j = UpdateJournal::create(&path, 4).unwrap();
+        assert_eq!(j.append_unsynced(&sample_batch()).unwrap(), 1);
+        assert_eq!(j.append_unsynced(&sample_batch()[..1]).unwrap(), 2);
+        j.sync().unwrap();
+        drop(j);
+        let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[1].seq, 2);
+    }
+
+    #[test]
+    fn group_commit_acks_concurrent_submitters() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        let gj =
+            std::sync::Arc::new(GroupCommitJournal::new(UpdateJournal::create(&path, 4).unwrap()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let gj = std::sync::Arc::clone(&gj);
+            handles.push(std::thread::spawn(move || {
+                (0..5).map(|_| gj.submit(&sample_batch()[..1]).unwrap()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut seqs: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (1..=20).collect::<Vec<u64>>());
+        let stats = gj.stats();
+        assert_eq!(stats.frames, 20);
+        assert!(stats.groups >= 1 && stats.groups <= 20);
+        assert_eq!(gj.durable_seq(), 20);
+        let journal = std::sync::Arc::try_unwrap(gj).ok().unwrap().close().unwrap();
+        drop(journal);
+        let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 20, "every acked frame replays");
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.seq, i as u64 + 1, "clean contiguous prefix");
+        }
+    }
+
+    #[test]
+    fn group_commit_with_journal_quiesces_for_maintenance() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        let gj = GroupCommitJournal::new(UpdateJournal::create(&path, 4).unwrap());
+        gj.submit(&sample_batch()).unwrap();
+        gj.submit(&sample_batch()).unwrap();
+        // Snapshot-style maintenance: truncate but keep numbering.
+        gj.with_journal(|j| j.reset()).unwrap().unwrap();
+        assert_eq!(gj.next_seq(), 3, "numbering continues across reset");
+        assert_eq!(gj.submit(&sample_batch()[..2]).unwrap(), 3);
+        drop(gj);
+        let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].seq, 3);
+    }
+
+    #[test]
+    fn group_commit_drop_flushes_pending_frames() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        let gj = GroupCommitJournal::new(UpdateJournal::create(&path, 4).unwrap());
+        // Enqueue without waiting: Drop must still drain the group.
+        gj.enqueue(&sample_batch()).unwrap();
+        gj.enqueue(&sample_batch()[..1]).unwrap();
+        drop(gj);
+        let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 2);
     }
 
     #[test]

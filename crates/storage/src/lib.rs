@@ -13,7 +13,11 @@
 //!   mining), full scans, and reopen-from-disk for snapshot recovery;
 //! * [`UpdateJournal`] — an fsync-before-ack write-ahead log of update
 //!   batches with CRC-framed records and torn-tail recovery, the
-//!   durability substrate of the serving daemon.
+//!   durability substrate of the serving daemon;
+//! * [`GroupCommitJournal`] — a group-committing front end over the
+//!   journal: a committer thread batches concurrently submitted frames
+//!   into one fsync barrier and acks every waiter after it, amortizing
+//!   the fsync under write load without weakening the crash contract.
 //!
 //! Everything returns [`StorageError`]; I/O failures are surfaced, never
 //! panicked on.
@@ -32,5 +36,5 @@ pub use bytestore::{ByteStore, RecordId};
 pub use error::StorageError;
 pub use file::{PageFile, PageId, PAGE_SIZE};
 pub use graphstore::GraphStore;
-pub use journal::{JournalBatch, UpdateJournal};
+pub use journal::{GroupCommitJournal, GroupStats, JournalBatch, UpdateJournal};
 pub use pool::{BufferPool, PoolStats};

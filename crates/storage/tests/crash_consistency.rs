@@ -1,0 +1,148 @@
+//! Crash-consistency property test for the group-committed WAL.
+//!
+//! The group-commit contract: frames are appended unsynced, a shared
+//! fsync barrier makes a whole group durable at once, and submitters are
+//! acked only after their group's barrier. This test simulates that
+//! timeline at the journal level over random update streams and kills
+//! the process at every interesting point:
+//!
+//! * **at a barrier** — the disk holds exactly the acked frames;
+//! * **after appends, before the next barrier** — unsynced frames may
+//!   have partially reached disk (any prefix, ending at a frame
+//!   boundary or torn mid-frame), optionally followed by garbage;
+//! * **after everything** — the full stream plus optional garbage.
+//!
+//! The invariant asserted for every cut: recovery replays a contiguous
+//! sequence prefix of the submitted stream that **contains every acked
+//! frame** — and at a barrier cut, *exactly* the acked frames. Frames
+//! past the acked prefix are a bonus the crash happened to preserve;
+//! they must still be byte-exact copies of what was submitted, never an
+//! invention. Afterwards the journal must stay writable with the
+//! numbering continuing from the recovered tip.
+
+use proptest::prelude::*;
+
+use graphmine_graph::{DbUpdate, GraphUpdate};
+use graphmine_storage::UpdateJournal;
+
+const POOL_PAGES: usize = 4;
+
+/// The submitted stream: `group_sizes[g]` windows share barrier `g`;
+/// window `i` carries `ops_per_frame` ops tagged with `i` so a replayed
+/// frame is attributable byte-for-byte.
+fn windows_for(group_sizes: &[usize], ops_per_frame: usize) -> Vec<Vec<DbUpdate>> {
+    let total: usize = group_sizes.iter().sum();
+    (0..total)
+        .map(|i| {
+            (0..ops_per_frame)
+                .map(|j| DbUpdate {
+                    gid: i as u32,
+                    update: GraphUpdate::RelabelVertex { v: j as u32, label: (i * 7 + j) as u32 },
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Byte offset of the end of each frame, by walking the on-disk headers
+/// (`[len u32][crc u32][payload]`), independent of the writer's own
+/// bookkeeping.
+fn frame_ends(bytes: &[u8], frames: usize) -> Vec<usize> {
+    let mut ends = Vec::with_capacity(frames);
+    let mut at = 0usize;
+    for _ in 0..frames {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        at += 8 + len;
+        ends.push(at);
+    }
+    ends
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(220))]
+
+    #[test]
+    fn replay_equals_acked_prefix_at_every_kill_point(
+        group_sizes in proptest::collection::vec(1usize..5, 1..8),
+        ops_per_frame in 1usize..4,
+        kill_kind in 0u8..4,
+        selector in any::<u64>(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("journal.wal");
+        let windows = windows_for(&group_sizes, ops_per_frame);
+        let total = windows.len();
+
+        // Build the full stream with its real barrier structure, then
+        // close the journal so the file can be cut underneath it.
+        {
+            let mut journal = UpdateJournal::create(&path, POOL_PAGES).unwrap();
+            let mut next = 0usize;
+            for &gs in &group_sizes {
+                for _ in 0..gs {
+                    let seq = journal.append_unsynced(&windows[next]).unwrap();
+                    prop_assert_eq!(seq, next as u64 + 1);
+                    next += 1;
+                }
+                journal.sync().unwrap();
+            }
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let ends = frame_ends(&bytes, total);
+
+        // The kill: the crash happens around group `g`'s barrier. Groups
+        // before `g` are acked; of group `g` itself, `appended` frames
+        // had been handed to the OS (none of them acked).
+        let g = (selector as usize) % (group_sizes.len() + 1);
+        let acked: usize = group_sizes[..g.min(group_sizes.len())].iter().sum();
+        let appended = if g < group_sizes.len() {
+            1 + (selector / 7) as usize % group_sizes[g]
+        } else {
+            0
+        };
+        let acked_len = if acked == 0 { 0 } else { ends[acked - 1] };
+        let cut = match kill_kind {
+            // Exactly at the barrier: the OS wrote nothing further.
+            0 => acked_len,
+            // A whole number of unsynced frames reached disk.
+            1 if appended > 0 => ends[acked + appended - 1],
+            // The last unsynced frame is torn mid-write.
+            2 if appended > 0 => {
+                let start = if acked + appended == 1 { 0 } else { ends[acked + appended - 2] };
+                let end = ends[acked + appended - 1];
+                start + 1 + (selector / 13) as usize % (end - start - 1).max(1)
+            }
+            // Everything (including later groups) made it down.
+            _ => *ends.last().unwrap(),
+        };
+        let mut disk = bytes[..cut].to_vec();
+        disk.extend_from_slice(&garbage);
+        std::fs::write(&path, &disk).unwrap();
+
+        let (mut journal, batches) = UpdateJournal::recover(&path, POOL_PAGES).unwrap();
+
+        // Contiguous prefix, superset of the acked frames, never invented.
+        prop_assert!(batches.len() >= acked,
+            "lost acked frames: {} acked, {} replayed (cut {cut}, kind {kill_kind})",
+            acked, batches.len());
+        prop_assert!(batches.len() <= total, "replayed more frames than were ever submitted");
+        for (i, batch) in batches.iter().enumerate() {
+            prop_assert_eq!(batch.seq, i as u64 + 1, "sequence gap at replay index {}", i);
+            prop_assert_eq!(&batch.updates, &windows[i], "frame {} diverged on replay", i);
+        }
+        // At a barrier cut the replay is *exactly* the acked prefix: no
+        // torn half-group may survive, garbage or not.
+        if kill_kind == 0 {
+            prop_assert_eq!(batches.len(), acked,
+                "barrier cut must replay exactly the acked prefix");
+        }
+
+        // The journal stays writable and the numbering continues.
+        let next = journal.append_batch(&windows[0]).unwrap();
+        prop_assert_eq!(next, batches.len() as u64 + 1);
+        drop(journal);
+        let (_, again) = UpdateJournal::recover(&path, POOL_PAGES).unwrap();
+        prop_assert_eq!(again.len(), batches.len() + 1, "post-recovery append lost");
+    }
+}

@@ -77,6 +77,24 @@ pub enum Counter {
     SupportFromSearch,
     /// Serve: result-epoch swaps installed after update re-mines.
     EpochSwaps,
+    /// Ingest: update windows acknowledged through the streaming
+    /// pipeline (admitted, journaled, and made durable).
+    IngestWindows,
+    /// Ingest: raw update ops received before coalescing.
+    IngestOpsIn,
+    /// Ingest: ops removed by window coalescing (folded last-writes and
+    /// cancelled no-op relabels).
+    IngestOpsCoalesced,
+    /// Ingest: windows shed with a `backpressure` reply (pending-window
+    /// bound hit).
+    IngestBackpressure,
+    /// Ingest: peak number of acked-but-unapplied windows (a high-water
+    /// gauge maintained with [`Counters::max`], not a sum).
+    IngestPendingPeak,
+    /// WAL group commit: fsync barriers executed by the committer.
+    WalGroupCommits,
+    /// WAL group commit: frames made durable across all barriers.
+    WalGroupFrames,
     /// Executor: jobs run through the shared work-stealing pool.
     ExecJobs,
     /// Executor: jobs a worker took from another worker's queue.
@@ -90,7 +108,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 43] = [
         Counter::CandidatesGenerated,
         Counter::IsoTestsRun,
         Counter::IsoTestsPruned,
@@ -123,6 +141,13 @@ impl Counter {
         Counter::SupportFromEmbeddings,
         Counter::SupportFromSearch,
         Counter::EpochSwaps,
+        Counter::IngestWindows,
+        Counter::IngestOpsIn,
+        Counter::IngestOpsCoalesced,
+        Counter::IngestBackpressure,
+        Counter::IngestPendingPeak,
+        Counter::WalGroupCommits,
+        Counter::WalGroupFrames,
         Counter::ExecJobs,
         Counter::ExecSteals,
         Counter::ExecQueuePeak,
@@ -164,6 +189,13 @@ impl Counter {
             Counter::SupportFromEmbeddings => "support_from_embeddings",
             Counter::SupportFromSearch => "support_from_search",
             Counter::EpochSwaps => "epoch_swaps",
+            Counter::IngestWindows => "ingest_windows",
+            Counter::IngestOpsIn => "ingest_ops_in",
+            Counter::IngestOpsCoalesced => "ingest_ops_coalesced",
+            Counter::IngestBackpressure => "ingest_backpressure",
+            Counter::IngestPendingPeak => "ingest_pending_peak",
+            Counter::WalGroupCommits => "wal_group_commits",
+            Counter::WalGroupFrames => "wal_group_frames",
             Counter::ExecJobs => "exec_jobs",
             Counter::ExecSteals => "exec_steals",
             Counter::ExecQueuePeak => "exec_queue_peak",
