@@ -1,0 +1,106 @@
+//! `bench-gate` — the bench regression gate.
+//!
+//! Compares a freshly produced bench summary (`BENCH_*.json`, written by
+//! the `embedding_lists` / `executor` benches) against a blessed baseline
+//! checked in under `bench/baselines/`, matching entries by their
+//! `results[].bench` name and comparing `median_ns`. A benchmark whose
+//! median regressed by more than the tolerance (default 15%) fails the
+//! gate, as does a benchmark that vanished from the current run; new
+//! benchmarks (present only in the current summary) are reported and
+//! allowed — they get blessed when the baseline is next refreshed.
+//!
+//! ```text
+//! bench-gate BASELINE.json CURRENT.json [--tolerance 15]
+//! ```
+//!
+//! Exit status: 0 when every shared benchmark is within tolerance,
+//! 1 on any regression or lost benchmark, 2 on usage/parse errors.
+
+use std::process::exit;
+
+use graphmine_telemetry::JsonValue;
+
+fn medians(path: &str) -> Result<Vec<(String, u64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let results =
+        doc.field("results").and_then(JsonValue::as_arr).ok_or(format!("{path}: no `results`"))?;
+    let mut out = Vec::with_capacity(results.len());
+    for (i, entry) in results.iter().enumerate() {
+        let name = entry
+            .field("bench")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("{path}: results[{i}] has no `bench` name"))?;
+        let median = entry
+            .field("median_ns")
+            .and_then(JsonValue::as_num)
+            .ok_or(format!("{path}: results[{i}] ({name}) has no `median_ns`"))?;
+        out.push((name.to_string(), median));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance: u64 = 15;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let v = it.next().ok_or("--tolerance needs a percentage")?;
+            tolerance = v.parse().map_err(|_| format!("invalid tolerance `{v}`"))?;
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err("usage: bench-gate BASELINE.json CURRENT.json [--tolerance PCT]".to_string());
+    };
+
+    let baseline = medians(baseline_path)?;
+    let current = medians(current_path)?;
+    let mut failed = false;
+    for (name, base) in &baseline {
+        match current.iter().find(|(n, _)| n == name) {
+            None => {
+                println!("FAIL  {name}: present in the baseline, missing from the current run");
+                failed = true;
+            }
+            Some((_, now)) => {
+                // Integer-only budget check: now > base * (100 + tol) / 100.
+                let budget = base.saturating_mul(100 + tolerance) / 100;
+                let delta = *now as i128 * 100 / (*base).max(1) as i128 - 100;
+                let verdict = if *now > budget {
+                    failed = true;
+                    "FAIL "
+                } else {
+                    "ok   "
+                };
+                println!("{verdict} {name}: {base}ns -> {now}ns ({delta:+}%)");
+            }
+        }
+    }
+    for (name, now) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("new   {name}: {now}ns (not in the baseline; bless to start gating)");
+        }
+    }
+    Ok(!failed)
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => {
+            eprintln!(
+                "bench-gate: regression beyond tolerance — refresh bench/baselines/ only \
+                       with an explanation"
+            );
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            exit(2);
+        }
+    }
+}

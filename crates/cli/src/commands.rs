@@ -16,6 +16,7 @@ use graphmine_miner::{
     closed_patterns, maximal_patterns, Apriori, Fsg, GSpan, Gaston, MemoryMiner,
 };
 use graphmine_partition::Criteria;
+use graphmine_router::{plan_shards, PlanConfig, Router, RouterConfig, ShardTopology};
 use graphmine_serve::{Client, EngineConfig, ServeEngine, ServerConfig};
 use graphmine_telemetry::{RunReport, Telemetry};
 
@@ -74,7 +75,34 @@ USAGE:
       (default: FILE + \".serve\"); on restart the snapshot pins
       minsup/k and the journal is replayed. See docs/SERVICE.md.
 
-  graphmine client [--addr 127.0.0.1:7878] COMMAND
+  graphmine shard-plan FILE --shards N --minsup FRAC [--k K] [--replicas R]
+                 [--policy units|hub] [--hub-threshold T] [--host H]
+                 [--base-port P] -o DIR
+      Split FILE into a serving fleet plan: DIR/topology.json plus one
+      gid-aligned DIR/shard-<i>.txt database per shard. Units come from
+      the paper's partitioner (K defaults to max(4, 2*N)); each graph
+      gets a unique owner shard so gathered counts stay exact, and
+      shards mine at the pigeonhole bound ceil(s/N) so no globally
+      frequent pattern can hide. See docs/SHARDING.md.
+
+  graphmine serve --shard-from TOPOLOGY --shard-id I [--replica R]
+                 [--data-dir DIR] [--workers W] [--queue-depth Q]
+                 [--parallel] [--k K]
+      Boot one shard (replica R, default 0) of a planned fleet: loads
+      the shard database next to TOPOLOGY, mines at the topology's
+      local_min_support restricted to the shard's owned gids, and binds
+      the replica address from the file. --data-dir defaults to
+      TOPOLOGY's directory + \"/shard-I-rR.serve\".
+
+  graphmine router TOPOLOGY
+      Run the scatter/gather front end at the topology's router_addr.
+      Speaks the same NDJSON protocol as a shard; fans `patterns`,
+      `support` and `status` out to every shard, routes `update`
+      windows to owner shards under a three-phase epoch swap, hedges
+      reads across replicas, and tags degraded answers with
+      \"partial\":1 when a shard is down.
+
+  graphmine client [--addr 127.0.0.1:7878 | --via-router TOPOLOGY] COMMAND
       Talk to a running daemon. COMMAND is one of:
         status [--report]                    server and counter snapshot
         patterns [--top K] [--min-support S] top patterns by support
@@ -82,7 +110,9 @@ USAGE:
         update UPDATES_FILE                  apply a planned update batch
         shutdown                             stop the daemon cleanly
         raw JSON_LINE                        send one raw request line
-      Prints the server's JSON response.
+      Prints the server's JSON response. --via-router reads the target
+      address from a topology file and talks to the router instead of a
+      single daemon.
 
   graphmine stats FILE
       Print database statistics (sizes, labels, connectivity).
@@ -502,34 +532,83 @@ pub fn plan_updates_cmd(raw: &[String]) -> CmdResult {
 /// `graphmine serve`
 pub fn serve(raw: &[String]) -> CmdResult {
     let mut args = Args::new(raw);
-    let minsup: f64 = args.require("--minsup")?;
-    let addr = args.value("--addr").unwrap_or("127.0.0.1:7878").to_string();
-    let k: usize = args.parsed("--k")?.unwrap_or(4);
+    let shard_from: Option<String> = args.parsed("--shard-from")?;
     let parallel = args.flag("--parallel");
     let ingest_capacity: Option<usize> = args.parsed("--ingest-capacity")?;
     let no_coalesce = args.flag("--no-coalesce");
     let data_dir: Option<String> = args.parsed("--data-dir")?;
-    let mut server_cfg = ServerConfig { addr, ..ServerConfig::default() };
-    if let Some(w) = args.parsed("--workers")? {
-        server_cfg.workers = w;
-    }
-    if let Some(q) = args.parsed("--queue-depth")? {
-        server_cfg.queue_depth = q;
-    }
-    let pos = args.positionals();
-    let [path] = pos.as_slice() else {
-        return Err("serve needs exactly one database file".into());
+    let workers: Option<usize> = args.parsed("--workers")?;
+    let queue_depth: Option<usize> = args.parsed("--queue-depth")?;
+
+    // Resolve what to serve: a standalone database, or one shard replica
+    // of a planned fleet (addresses and thresholds come from the
+    // topology file then).
+    let (db, addr, dir, mut cfg) = if let Some(topo_path) = shard_from {
+        let shard_id: usize = args.require("--shard-id")?;
+        let replica: usize = args.parsed("--replica")?.unwrap_or(0);
+        let k: usize = args.parsed("--k")?.unwrap_or(4);
+        let topo = ShardTopology::load(Path::new(&topo_path))?;
+        let spec = topo.shards.get(shard_id).ok_or_else(|| {
+            format!("topology has {} shards, no shard {shard_id}", topo.n_shards())
+        })?;
+        let addr = spec.replicas.get(replica).cloned().ok_or_else(|| {
+            format!("shard {shard_id} has {} replicas, no replica {replica}", spec.replicas.len())
+        })?;
+        let topo_dir = Path::new(&topo_path).parent().unwrap_or(Path::new(".")).to_path_buf();
+        let db_path = topo_dir.join(&spec.data);
+        let db = load_db(&db_path.display().to_string())?;
+        if db.len() != topo.n_graphs {
+            return Err(format!(
+                "{}: {} graphs but the topology plans {} (shard dbs are gid-aligned)",
+                db_path.display(),
+                db.len(),
+                topo.n_graphs
+            ));
+        }
+        let dir = data_dir.unwrap_or_else(|| {
+            topo_dir.join(format!("shard-{shard_id}-r{replica}.serve")).display().to_string()
+        });
+        let cfg = EngineConfig {
+            min_support: topo.local_min_support,
+            k,
+            parallel,
+            owned: Some(spec.owned.clone()),
+            ..EngineConfig::default()
+        };
+        println!(
+            "shard {shard_id} replica {replica}: {} owned graphs, {} units, local minsup {}",
+            spec.owned.len(),
+            spec.units.len(),
+            topo.local_min_support
+        );
+        (db, addr, dir, cfg)
+    } else {
+        let minsup: f64 = args.require("--minsup")?;
+        let addr = args.value("--addr").unwrap_or("127.0.0.1:7878").to_string();
+        let k: usize = args.parsed("--k")?.unwrap_or(4);
+        let pos = args.positionals();
+        let [path] = pos.as_slice() else {
+            return Err("serve needs exactly one database file".into());
+        };
+        let db = load_db(path)?;
+        let dir = data_dir.unwrap_or_else(|| format!("{path}.serve"));
+        let cfg = EngineConfig {
+            min_support: db.abs_support(minsup),
+            k,
+            parallel,
+            ..EngineConfig::default()
+        };
+        (db, addr, dir, cfg)
     };
 
-    let db = load_db(path)?;
-    let dir = data_dir.unwrap_or_else(|| format!("{path}.serve"));
+    let mut server_cfg = ServerConfig { addr, ..ServerConfig::default() };
+    if let Some(w) = workers {
+        server_cfg.workers = w;
+    }
+    if let Some(q) = queue_depth {
+        server_cfg.queue_depth = q;
+    }
     std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
-    let mut cfg = EngineConfig {
-        min_support: db.abs_support(minsup),
-        k,
-        parallel,
-        ..EngineConfig::default()
-    };
     if let Some(cap) = ingest_capacity {
         cfg.ingest.max_pending = cap;
     }
@@ -545,6 +624,85 @@ pub fn serve(raw: &[String]) -> CmdResult {
     );
     let handle = graphmine_serve::start(Arc::new(engine), &server_cfg)?;
     println!("serving on {}", handle.addr());
+    handle.wait()
+}
+
+/// `graphmine shard-plan`
+pub fn shard_plan(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let n_shards: usize = args.require("--shards")?;
+    let minsup: f64 = args.require("--minsup")?;
+    let k: Option<usize> = args.parsed("--k")?;
+    let replicas: usize = args.parsed("--replicas")?.unwrap_or(1);
+    let policy = args.value("--policy").unwrap_or("units").to_string();
+    let hub_threshold: usize = args.parsed("--hub-threshold")?.unwrap_or(100);
+    let host = args.value("--host").unwrap_or("127.0.0.1").to_string();
+    let base_port: u16 = args.parsed("--base-port")?.unwrap_or(7870);
+    let out: String = args.require("-o")?;
+    let pos = args.positionals();
+    let [path] = pos.as_slice() else {
+        return Err("shard-plan needs exactly one database file".into());
+    };
+
+    let db = load_db(path)?;
+    let cfg = PlanConfig {
+        // Enough units that every shard hosts at least two by default.
+        k: k.unwrap_or_else(|| 4.max(2 * n_shards)),
+        n_shards,
+        replicas,
+        policy,
+        hub_threshold,
+        min_support: db.abs_support(minsup),
+        host,
+        base_port,
+    };
+    let plan = plan_shards(&db, &cfg)?;
+
+    let dir = Path::new(&out);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{out}: {e}"))?;
+    for (s, sdb) in plan.shard_dbs.iter().enumerate() {
+        let p = dir.join(&plan.topology.shards[s].data);
+        let f = File::create(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+        gio::write_db(BufWriter::new(f), sdb).map_err(|e| e.to_string())?;
+    }
+    let topo_path = dir.join("topology.json");
+    plan.topology.save(&topo_path)?;
+    println!(
+        "planned {} shards x {} replicas over {} units: router at {}, global minsup {} -> local {}",
+        n_shards,
+        cfg.replicas,
+        cfg.k,
+        plan.topology.router_addr,
+        plan.topology.min_support,
+        plan.topology.local_min_support
+    );
+    for s in &plan.topology.shards {
+        println!(
+            "  shard {}: units {:?}, {} owned graphs, replicas {:?} ({})",
+            s.id,
+            s.units,
+            s.owned.len(),
+            s.replicas,
+            s.data
+        );
+    }
+    println!("topology written to {}", topo_path.display());
+    Ok(())
+}
+
+/// `graphmine router`
+pub fn router(raw: &[String]) -> CmdResult {
+    let mut args = Args::new(raw);
+    let pos = args.positionals();
+    let [topo_path] = pos.as_slice() else {
+        return Err("router needs exactly one topology file".into());
+    };
+    let topo = ShardTopology::load(Path::new(topo_path))?;
+    let addr = topo.router_addr.clone();
+    let n = topo.n_shards();
+    let router = Router::new(topo, RouterConfig::default())?;
+    let handle = graphmine_router::start(Arc::new(router), &addr)?;
+    println!("routing {n} shards, serving on {}", handle.addr());
     handle.wait()
 }
 
@@ -578,7 +736,11 @@ fn parse_code(text: &str) -> Result<DfsCode, String> {
 /// `graphmine client`
 pub fn client(raw: &[String]) -> CmdResult {
     let mut args = Args::new(raw);
-    let addr = args.value("--addr").unwrap_or("127.0.0.1:7878").to_string();
+    let via_router: Option<String> = args.parsed("--via-router")?;
+    let addr = match via_router {
+        Some(topo_path) => ShardTopology::load(Path::new(&topo_path))?.router_addr,
+        None => args.value("--addr").unwrap_or("127.0.0.1:7878").to_string(),
+    };
     let report = args.flag("--report");
     let top: Option<usize> = args.parsed("--top")?;
     let min_support: Option<Support> = args.parsed("--min-support")?;

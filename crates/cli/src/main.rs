@@ -12,6 +12,8 @@ fn main() {
         Some("plan-updates") => commands::plan_updates_cmd(&args[1..]),
         Some("incremental") => commands::incremental(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),
+        Some("shard-plan") => commands::shard_plan(&args[1..]),
+        Some("router") => commands::router(&args[1..]),
         Some("client") => commands::client(&args[1..]),
         Some("stats") => commands::stats(&args[1..]),
         Some("diff") => commands::diff(&args[1..]),

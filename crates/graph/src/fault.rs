@@ -38,6 +38,10 @@ pub enum Fault {
     /// relabel as a cancelled chain and drops the final write, silently
     /// losing an update that should have landed.
     SkipCancelledUpdate = 6,
+    /// The scatter/gather router silently discards one shard's reply
+    /// while summing owner-restricted supports, undercounting every
+    /// pattern whose supporters include that shard's owned graphs.
+    DropShardReply = 7,
 }
 
 static ACTIVE: AtomicU8 = AtomicU8::new(0);

@@ -43,6 +43,12 @@
 //! 9. **serve** — a booted [`ServeEngine`] serves the reference set,
 //!    answers support probes exactly (including from an old epoch's
 //!    `Arc` after a swap), and swaps epochs once per batch.
+//! 10. **router-equivalence** — a planned two-shard fleet (real TCP
+//!     servers on ephemeral ports) behind a scatter/gather [`Router`]
+//!     answers `patterns` and `support` bit-identically to one
+//!     single-process server over the whole database, before and after
+//!     the case's update window goes through the router's three-phase
+//!     epoch swap. A healthy fleet must never tag answers `partial`.
 
 use graphmine_core::{one_edge_deletions, Executor, IncPartMiner, PartMiner, PartMinerConfig};
 use graphmine_graph::{
@@ -53,8 +59,10 @@ use graphmine_miner::{Apriori, GSpan, Gaston, MemoryMiner};
 use graphmine_partition::{
     split_by_sides, Bipartitioner, Criteria, DbPartition, GraphPart, NodeId,
 };
-use graphmine_serve::{coalesce_window, EngineConfig, ServeEngine};
-use graphmine_telemetry::{Counter, RunReport, Telemetry};
+use graphmine_router::{plan_shards, PlanConfig, Router, RouterConfig};
+use graphmine_serve::protocol::Request;
+use graphmine_serve::{coalesce_window, EngineConfig, ServeEngine, ServerConfig};
+use graphmine_telemetry::{Counter, JsonValue, RunReport, Telemetry};
 
 use crate::case::Case;
 
@@ -93,6 +101,7 @@ pub fn run_case(case: &Case, exec: &Executor) -> Result<(), CheckFailure> {
         check_incremental_trust(case, mirror)?;
     }
     check_serve(case, &reference, mirror.as_ref())?;
+    check_router_equivalence(case, &reference, mirror.as_ref())?;
     Ok(())
 }
 
@@ -704,4 +713,159 @@ fn check_serve(
         }
     }
     Ok(())
+}
+
+/// Differential check of the sharded serving tier: a planned two-shard
+/// fleet — real `ServeEngine`s behind real sockets, mining at the
+/// pigeonhole-lowered threshold over their owned gid sets — fronted by a
+/// scatter/gather [`Router`] must answer exactly like one single-process
+/// server over the whole database. `patterns` (the SON two-phase query)
+/// and `support` are compared before and after the case's update window
+/// is routed through the three-phase epoch swap; a healthy fleet must
+/// never tag an answer `"partial"`.
+fn check_router_equivalence(
+    case: &Case,
+    reference: &PatternSet,
+    mirror: Option<&GraphDb>,
+) -> Result<(), CheckFailure> {
+    const CHECK: &str = "router-equivalence";
+    // Same uncapped-mining guards as the serve check, plus one more: the
+    // shards mine at ceil(s / 2), which must itself stay >= 2 or a shard
+    // would enumerate at the everything-is-frequent floor.
+    if case.min_support < 3
+        || case.db.is_empty()
+        || case.db.total_edges() > 120
+        || reference.max_size() >= case.max_edges
+    {
+        return Ok(());
+    }
+
+    let plan_cfg = PlanConfig { n_shards: 2, min_support: case.min_support, ..Default::default() };
+    let plan =
+        plan_shards(&case.db, &plan_cfg).map_err(|e| fail(CHECK, format!("planning: {e}")))?;
+    let mut topo = plan.topology;
+
+    // Boot the shards on ephemeral ports and point the topology at them.
+    let mut fleet = Vec::with_capacity(topo.n_shards());
+    for (s, sdb) in plan.shard_dbs.iter().enumerate() {
+        let dir = tempfile::tempdir()
+            .map_err(|e| fail(CHECK, format!("cannot create a scratch dir: {e}")))?;
+        let cfg = EngineConfig {
+            min_support: topo.local_min_support,
+            k: 2,
+            owned: Some(topo.shards[s].owned.clone()),
+            ..EngineConfig::default()
+        };
+        let (engine, _) = ServeEngine::boot(Some(sdb), dir.path(), &cfg)
+            .map_err(|e| fail(CHECK, format!("shard {s} boot: {e}")))?;
+        let server_cfg = ServerConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() };
+        let handle = graphmine_serve::start(std::sync::Arc::new(engine), &server_cfg)
+            .map_err(|e| fail(CHECK, format!("shard {s} start: {e}")))?;
+        topo.shards[s].replicas = vec![handle.addr().to_string()];
+        fleet.push((dir, handle));
+    }
+    let router =
+        Router::new(topo, RouterConfig::default()).map_err(|e| fail(CHECK, e.to_string()))?;
+
+    // The single-process truth: one engine over the whole database at the
+    // global threshold.
+    let ref_dir = tempfile::tempdir()
+        .map_err(|e| fail(CHECK, format!("cannot create a scratch dir: {e}")))?;
+    let ref_cfg = EngineConfig { min_support: case.min_support, k: 2, ..EngineConfig::default() };
+    let (ref_engine, _) = ServeEngine::boot(Some(&case.db), ref_dir.path(), &ref_cfg)
+        .map_err(|e| fail(CHECK, format!("reference boot: {e}")))?;
+
+    let rows = |reply: &JsonValue| -> Vec<(u64, String)> {
+        reply
+            .field("patterns")
+            .and_then(JsonValue::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|p| {
+                (
+                    p.field("support").and_then(JsonValue::as_num).unwrap_or(0),
+                    p.field("code").map(JsonValue::to_json).unwrap_or_default(),
+                )
+            })
+            .collect()
+    };
+    let compare = |phase: &str| -> Result<(), CheckFailure> {
+        let got = router.handle(&Request::Patterns { top: usize::MAX, min_support: None });
+        if got.field("status").and_then(JsonValue::as_str) != Some("ok") {
+            return Err(fail(CHECK, format!("{phase}: router patterns failed: {}", got.to_json())));
+        }
+        if got.field("partial").is_some() {
+            return Err(fail(CHECK, format!("{phase}: healthy fleet tagged patterns partial")));
+        }
+        let want = ref_engine.handle(&Request::Patterns { top: usize::MAX, min_support: None });
+        let (got_rows, want_rows) = (rows(&got), rows(&want));
+        if got_rows != want_rows {
+            let diverge = got_rows
+                .iter()
+                .zip(&want_rows)
+                .find(|(a, b)| a != b)
+                .map(|(a, b)| format!("first divergence {a:?} vs {b:?}"))
+                .unwrap_or_else(|| "one is a prefix of the other".to_string());
+            return Err(fail(
+                CHECK,
+                format!(
+                    "{phase}: gathered {} patterns, single-process serves {}; {diverge}",
+                    got_rows.len(),
+                    want_rows.len()
+                ),
+            ));
+        }
+        let total = |r: &JsonValue| r.field("total").and_then(JsonValue::as_num);
+        if total(&got) != total(&want) {
+            return Err(fail(
+                CHECK,
+                format!("{phase}: totals diverge: {:?} vs {:?}", total(&got), total(&want)),
+            ));
+        }
+        // Support probes through the gather path (owner-restricted sums).
+        for p in reference.iter().take(3) {
+            let probe = router.support(&p.graph);
+            let got_sup = probe.field("support").and_then(JsonValue::as_num);
+            let truth = ref_engine.support_of(&ref_engine.current(), &p.graph).0;
+            if probe.field("partial").is_some() || got_sup != Some(u64::from(truth)) {
+                return Err(fail(
+                    CHECK,
+                    format!(
+                        "{phase}: gathered support {got_sup:?} for {:?}, single-process says \
+                         {truth} ({})",
+                        p.code,
+                        probe.to_json()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    };
+
+    compare("fresh fleet")?;
+
+    // Route the case's window through the 2PC path and re-compare.
+    let Some(mirror) = mirror else { return Ok(()) };
+    let direct = GSpan::capped(case.max_edges).mine(mirror, case.min_support);
+    if direct.max_size() >= case.max_edges {
+        return Ok(()); // cap would bind after the update; stop here
+    }
+    let reply = router.update(&case.updates, false);
+    if reply.field("status").and_then(JsonValue::as_str) != Some("ok") {
+        return Err(fail(CHECK, format!("routed update failed: {}", reply.to_json())));
+    }
+    if reply.field("partial").is_some() || router.global_epoch() != 1 {
+        return Err(fail(
+            CHECK,
+            format!(
+                "routed update did not commit cleanly (global epoch {}): {}",
+                router.global_epoch(),
+                reply.to_json()
+            ),
+        ));
+    }
+    ref_engine
+        .apply_update(&case.updates)
+        .map_err(|e| fail(CHECK, format!("reference rejected the routed window: {e}")))?;
+    compare("post-update")
 }

@@ -192,6 +192,55 @@ fn skip_cancelled_update_mutant_is_detected() {
     run_single(&case, &exec, None).expect("the crafted case is clean without the mutant");
 }
 
+/// A database every router-equivalence shard owns a slice of: five
+/// copies of the path `(0)-5-(1)-6-(2)`, mined at min_support 3. With
+/// the armed [`Fault::DropShardReply`] mutant the router's gather phase
+/// silently discards shard 0's owner-restricted counts — no error, no
+/// `"partial"` tag — so every gathered support is short by shard 0's
+/// owned graphs and the scatter/gather answers stop matching the
+/// single-process server.
+fn crafted_router_case() -> Case {
+    let mut db = GraphDb::new();
+    for _ in 0..5 {
+        let mut g = Graph::new();
+        g.add_vertex(0);
+        g.add_vertex(1);
+        g.add_vertex(2);
+        g.add_edge(0, 1, 5).unwrap();
+        g.add_edge(1, 2, 6).unwrap();
+        db.push(g);
+    }
+    let updates = vec![DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 2, label: 4 } }];
+    Case {
+        name: "crafted-router-gather".to_string(),
+        seed: 0,
+        min_support: 3,
+        max_edges: 3,
+        db,
+        updates,
+    }
+}
+
+#[test]
+fn drop_shard_reply_mutant_is_detected() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tempfile::tempdir().unwrap();
+    let case = crafted_router_case();
+    let exec = Executor::new(2);
+
+    let guard = arm(Fault::DropShardReply);
+    let record = run_single(&case, &exec, Some(dir.path()))
+        .expect_err("a silently dropped shard reply must break gather exactness");
+    assert_eq!(record.check, "router-equivalence", "wrong check tripped: {}", record.message);
+    let repro = record.repro.clone().expect("repro written");
+    assert!(replay_file(&repro, &exec).is_err(), "repro keeps failing while armed");
+    drop(guard);
+
+    replay_file(&repro, &exec)
+        .unwrap_or_else(|f| panic!("repro fails disarmed [{}]: {}", f.check, f.message));
+    run_single(&case, &exec, None).expect("the crafted case is clean without the mutant");
+}
+
 /// The labeled-panic path end to end: a panic injected inside one unit's
 /// mining job must surface as a failure that names the exact job
 /// (`unit-mine:{j}`) and carries the payload — and the unit id in the

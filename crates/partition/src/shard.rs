@@ -1,0 +1,335 @@
+//! Shard planning over a [`DbPartition`]: pluggable policies that place
+//! mining units on serving shards and assign every graph a unique owner
+//! shard.
+//!
+//! A shard plan has two independent maps:
+//!
+//! * **unit placement** — each of the `k` units is placed on one or more
+//!   shards. A shard's static mining substrate is the merge of its units'
+//!   pieces ([`merged_unit_graph`]), so placement decides which structure
+//!   each shard can see locally.
+//! * **graph ownership** — every gid is owned by exactly one shard. The
+//!   owner holds the *full* graph and is the only shard whose counts for
+//!   that gid feed a gathered answer, which is what makes scatter/gather
+//!   support sums exact: the owner sets are disjoint, so a cross-unit
+//!   pattern is counted once no matter how many shards see a piece of it.
+//!
+//! Policies mirror the sharding strategies surveyed for partitioned
+//! mining services: a balanced round-robin placement, and a
+//! hub-replication variant that copies units containing high-degree hub
+//! vertices onto every shard (the classic mitigation for power-law
+//! degree skew, where hub structure is needed by most local candidates).
+
+use graphmine_graph::{EdgeId, Graph, GraphDb, GraphId, VertexId};
+
+use crate::dbpart::DbPartition;
+
+/// A shard plan produced by a [`ShardPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// `unit_shards[j]` — the shards unit `j` is placed on (sorted,
+    /// non-empty, duplicate-free).
+    pub unit_shards: Vec<Vec<usize>>,
+    /// `owners[gid]` — the unique owner shard of each graph.
+    pub owners: Vec<usize>,
+}
+
+impl ShardAssignment {
+    /// Units placed on shard `s`, in ascending unit order.
+    pub fn units_of(&self, s: usize) -> Vec<usize> {
+        (0..self.unit_shards.len()).filter(|&j| self.unit_shards[j].contains(&s)).collect()
+    }
+
+    /// Gids owned by shard `s`, ascending.
+    pub fn owned_by(&self, s: usize) -> Vec<GraphId> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o == s)
+            .map(|(g, _)| g as GraphId)
+            .collect()
+    }
+
+    /// Structural sanity check: every unit placed at least once, every
+    /// placement and owner in `0..n_shards`, one owner per root gid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self, part: &DbPartition, n_shards: usize) -> Result<(), String> {
+        if self.unit_shards.len() != part.unit_count() {
+            return Err(format!(
+                "plan covers {} units, partition has {}",
+                self.unit_shards.len(),
+                part.unit_count()
+            ));
+        }
+        for (j, shards) in self.unit_shards.iter().enumerate() {
+            if shards.is_empty() {
+                return Err(format!("unit {j} is placed on no shard"));
+            }
+            if shards.iter().any(|&s| s >= n_shards) {
+                return Err(format!("unit {j} placed on out-of-range shard"));
+            }
+            if shards.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("unit {j} placement not sorted/unique"));
+            }
+        }
+        if self.owners.len() != part.root().db.len() {
+            return Err(format!(
+                "plan owns {} gids, database has {}",
+                self.owners.len(),
+                part.root().db.len()
+            ));
+        }
+        if let Some(gid) = self.owners.iter().position(|&o| o >= n_shards) {
+            return Err(format!("gid {gid} owned by out-of-range shard"));
+        }
+        Ok(())
+    }
+}
+
+/// A pluggable unit-placement + graph-ownership policy.
+pub trait ShardPolicy {
+    /// Computes the plan for `part` over `n_shards` shards.
+    fn assign(&self, part: &DbPartition, n_shards: usize) -> ShardAssignment;
+
+    /// Stable identifier recorded in topology files.
+    fn name(&self) -> &'static str;
+}
+
+/// Owner assignment shared by the built-in policies: greedy min-load by
+/// edge count (each gid weighs `edges + 1` so edgeless graphs still
+/// spread), iterating gids in ascending order and breaking ties toward
+/// the lowest shard id. Deterministic for a given database.
+fn greedy_owners(db: &GraphDb, n_shards: usize) -> Vec<usize> {
+    let mut load = vec![0u64; n_shards.max(1)];
+    let mut owners = Vec::with_capacity(db.len());
+    for (_, g) in db.iter() {
+        let s = (0..load.len()).min_by_key(|&s| (load[s], s)).expect("at least one shard");
+        load[s] += g.edge_count() as u64 + 1;
+        owners.push(s);
+    }
+    owners
+}
+
+/// Balanced placement: unit `j` lands on shard `j % n_shards`; owners by
+/// [`greedy_owners`]. The default policy (`"units"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitRoundRobin;
+
+impl ShardPolicy for UnitRoundRobin {
+    fn assign(&self, part: &DbPartition, n_shards: usize) -> ShardAssignment {
+        let unit_shards = (0..part.unit_count()).map(|j| vec![j % n_shards.max(1)]).collect();
+        ShardAssignment { unit_shards, owners: greedy_owners(&part.root().db, n_shards) }
+    }
+
+    fn name(&self) -> &'static str {
+        "units"
+    }
+}
+
+/// Hub replication: a unit whose pieces contain a vertex of root degree
+/// ≥ `degree_threshold` is replicated onto *every* shard; the remaining
+/// units are placed round-robin. Owners by [`greedy_owners`].
+///
+/// Replication only widens each shard's local view — exactness is
+/// unaffected because gathered counts are owner-restricted and owner
+/// sets stay disjoint.
+#[derive(Debug, Clone, Copy)]
+pub struct HubReplication {
+    /// Root-graph degree at which a vertex counts as a hub.
+    pub degree_threshold: usize,
+}
+
+impl Default for HubReplication {
+    fn default() -> Self {
+        HubReplication { degree_threshold: 100 }
+    }
+}
+
+impl HubReplication {
+    fn unit_has_hub(&self, part: &DbPartition, j: usize) -> bool {
+        let node = part.unit_node(j);
+        let root = &part.root().db;
+        for (gid, _) in node.db.iter() {
+            let root_g = root.graph(gid);
+            for &ov in &node.vertex_maps[gid as usize] {
+                if root_g.degree(ov) >= self.degree_threshold {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl ShardPolicy for HubReplication {
+    fn assign(&self, part: &DbPartition, n_shards: usize) -> ShardAssignment {
+        let n = n_shards.max(1);
+        let unit_shards = (0..part.unit_count())
+            .map(|j| if self.unit_has_hub(part, j) { (0..n).collect() } else { vec![j % n] })
+            .collect();
+        ShardAssignment { unit_shards, owners: greedy_owners(&part.root().db, n_shards) }
+    }
+
+    fn name(&self) -> &'static str {
+        "hub"
+    }
+}
+
+/// Looks a policy up by its topology-file name.
+///
+/// `hub_threshold` parameterizes the `"hub"` policy and is ignored by
+/// the others.
+pub fn shard_policy_by_name(name: &str, hub_threshold: usize) -> Option<Box<dyn ShardPolicy>> {
+    match name {
+        "units" => Some(Box::new(UnitRoundRobin)),
+        "hub" => Some(Box::new(HubReplication { degree_threshold: hub_threshold })),
+        _ => None,
+    }
+}
+
+/// Merges the listed units' pieces of `gid` into one compact graph.
+///
+/// Vertices are the union of the units' covered root vertices, compacted
+/// in ascending root-id order; edges are the union of covered root edges
+/// (connective edges shared by several units dedupe to one copy), added
+/// in ascending root-edge-id order. Labels come from the root graph, with
+/// which piece labels agree by the partition invariants. With *all* units
+/// listed this reproduces the root graph structurally.
+pub fn merged_unit_graph(part: &DbPartition, units: &[usize], gid: GraphId) -> Graph {
+    let root_g = part.root().db.graph(gid);
+    let mut verts: Vec<VertexId> = Vec::new();
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for &j in units {
+        let node = part.unit_node(j);
+        verts.extend_from_slice(&node.vertex_maps[gid as usize]);
+        edges.extend_from_slice(&node.edge_maps[gid as usize]);
+    }
+    verts.sort_unstable();
+    verts.dedup();
+    edges.sort_unstable();
+    edges.dedup();
+    let mut g = Graph::with_capacity(verts.len(), edges.len());
+    for &ov in &verts {
+        g.add_vertex(root_g.vlabel(ov));
+    }
+    for &oe in &edges {
+        let (u, v, el) = root_g.edge(oe);
+        let cu = verts.binary_search(&u).expect("covered endpoint") as VertexId;
+        let cv = verts.binary_search(&v).expect("covered endpoint") as VertexId;
+        g.add_edge(cu, cv, el).expect("unique original edges");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphpart::{Criteria, GraphPart};
+
+    fn star_db() -> GraphDb {
+        // Graph 0: a 6-spoke star (hub degree 6) plus a pendant chain.
+        // Graph 1: a triangle. Graph 2: a single edge.
+        let mut db = GraphDb::new();
+        let mut g = Graph::new();
+        let hub = g.add_vertex(9);
+        for i in 0..6 {
+            let v = g.add_vertex(i);
+            g.add_edge(hub, v, 0).unwrap();
+        }
+        let a = g.add_vertex(7);
+        g.add_edge(1, a, 1).unwrap();
+        db.push(g);
+        let mut t = Graph::new();
+        let (x, y, z) = (t.add_vertex(1), t.add_vertex(2), t.add_vertex(3));
+        t.add_edge(x, y, 0).unwrap();
+        t.add_edge(y, z, 0).unwrap();
+        t.add_edge(x, z, 0).unwrap();
+        db.push(t);
+        let mut e = Graph::new();
+        let (p, q) = (e.add_vertex(4), e.add_vertex(5));
+        e.add_edge(p, q, 2).unwrap();
+        db.push(e);
+        db
+    }
+
+    fn partition(db: &GraphDb, k: usize) -> DbPartition {
+        let ufreq: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+        DbPartition::build(db, &ufreq, &GraphPart::new(Criteria::COMBINED), k)
+    }
+
+    #[test]
+    fn round_robin_covers_all_units_and_owners() {
+        let db = star_db();
+        let part = partition(&db, 4);
+        let plan = UnitRoundRobin.assign(&part, 3);
+        plan.validate(&part, 3).unwrap();
+        for j in 0..part.unit_count() {
+            assert_eq!(plan.unit_shards[j], vec![j % 3]);
+        }
+        // Every gid owned exactly once, and union of owned_by is all gids.
+        let mut all: Vec<GraphId> = (0..3).flat_map(|s| plan.owned_by(s)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..db.len() as GraphId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn greedy_owners_balance_by_edges() {
+        let db = star_db();
+        let owners = greedy_owners(&db, 2);
+        // Heaviest graph (gid 0) goes to shard 0; the rest pile onto the
+        // lighter shard 1.
+        assert_eq!(owners, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn hub_units_are_replicated_everywhere() {
+        let db = star_db();
+        let part = partition(&db, 3);
+        let plan = HubReplication { degree_threshold: 4 }.assign(&part, 3);
+        plan.validate(&part, 3).unwrap();
+        // The star hub has degree 6 >= 4 and its vertex is covered by at
+        // least one unit; that unit must be on every shard.
+        let replicated = (0..part.unit_count()).any(|j| plan.unit_shards[j] == vec![0, 1, 2]);
+        assert!(replicated, "no unit replicated to all shards: {:?}", plan.unit_shards);
+        // With an impossible threshold the policy degrades to round-robin.
+        let rr = HubReplication { degree_threshold: usize::MAX }.assign(&part, 3);
+        assert_eq!(rr.unit_shards, UnitRoundRobin.assign(&part, 3).unit_shards);
+    }
+
+    #[test]
+    fn merged_graph_over_all_units_recovers_root() {
+        let db = star_db();
+        let part = partition(&db, 3);
+        let all_units: Vec<usize> = (0..part.unit_count()).collect();
+        for (gid, root_g) in db.iter() {
+            let m = merged_unit_graph(&part, &all_units, gid);
+            assert_eq!(m.vertex_count(), root_g.vertex_count());
+            assert_eq!(m.edge_count(), root_g.edge_count());
+            assert_eq!(m.vlabels(), root_g.vlabels());
+            let got: Vec<_> = m.edges().collect();
+            let want: Vec<_> = root_g.edges().collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn merged_graph_subset_is_a_subgraph() {
+        let db = star_db();
+        let part = partition(&db, 3);
+        let m = merged_unit_graph(&part, &[0], 0);
+        let root_g = db.graph(0);
+        assert!(m.vertex_count() <= root_g.vertex_count());
+        assert!(m.edge_count() <= root_g.edge_count());
+        assert!(m.edge_count() >= 1, "unit pieces of an edged graph keep at least one edge");
+    }
+
+    #[test]
+    fn policy_lookup() {
+        assert_eq!(shard_policy_by_name("units", 0).unwrap().name(), "units");
+        assert_eq!(shard_policy_by_name("hub", 50).unwrap().name(), "hub");
+        assert!(shard_policy_by_name("nope", 0).is_none());
+    }
+}

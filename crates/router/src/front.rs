@@ -1,0 +1,158 @@
+//! The router's TCP front end: same NDJSON protocol as a shard, one
+//! handler thread per client connection.
+//!
+//! The router is a pure fan-out tier — each client request already costs
+//! a thread-per-shard scatter, so connection handling stays simple:
+//! accept, spawn, serve lines until the client leaves. A `shutdown`
+//! request stops the front end (the shards keep running; they are owned
+//! by their own processes).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use graphmine_serve::protocol::{self, Request};
+
+use crate::router::Router;
+
+/// How long a handler blocks on an idle connection before re-checking
+/// the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+struct Shared {
+    router: Arc<Router>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flags shutdown and wakes the accept thread with a throwaway
+    /// connection (a blocking `accept` has no other wake-up).
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Ok(conn) = TcpStream::connect(self.addr) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running router front end; dropping it stops the accept thread.
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The router behind this front end.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.shared.router
+    }
+
+    /// Blocks until a client `shutdown` stops the front end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an accept-thread panic as a message.
+    pub fn wait(mut self) -> Result<(), String> {
+        match self.accept.take() {
+            Some(h) => h.join().map_err(|_| "router accept thread panicked".to_string()),
+            None => Ok(()),
+        }
+    }
+
+    /// Stops the front end without waiting for a client request.
+    pub fn abort(mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts serving scatter/gather requests.
+///
+/// # Errors
+///
+/// Bind failures, with the address in the message.
+pub fn start(router: Arc<Router>, addr: &str) -> Result<RouterHandle, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| format!("bind {addr}: {e}"))?;
+    let shared = Arc::new(Shared { router, shutdown: AtomicBool::new(false), addr: bound });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || serve_connection(&shared, conn));
+            }
+        })
+    };
+    Ok(RouterHandle { shared, accept: Some(accept) })
+}
+
+fn serve_connection(shared: &Shared, conn: TcpStream) {
+    let _ = conn.set_read_timeout(Some(READ_POLL));
+    let Ok(write_half) = conn.try_clone() else { return };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::parse_request(line.trim_end()) {
+            Ok(Request::Shutdown) => {
+                let reply = protocol::ok_response(vec![(
+                    "stopping",
+                    graphmine_telemetry::JsonValue::Num(1),
+                )]);
+                let _ = writeln!(writer, "{}", reply.to_json());
+                shared.begin_shutdown();
+                return;
+            }
+            Ok(req) => shared.router.handle(&req),
+            Err(e) => protocol::error_response(&e),
+        };
+        if writeln!(writer, "{}", response.to_json()).is_err() {
+            return;
+        }
+    }
+}

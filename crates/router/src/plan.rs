@@ -1,0 +1,208 @@
+//! Shard planning: from one database to a [`ShardTopology`] plus the
+//! per-shard databases the `graphmine shard-plan` subcommand writes out.
+//!
+//! Every shard database is **gid-aligned with the root database** — it
+//! has exactly `|D|` slots, so update windows route to a shard without
+//! any gid renumbering:
+//!
+//! * an **owned** gid holds a full copy of the root graph (the shard is
+//!   the authority for that graph — updates land here, and the shard's
+//!   owner-restricted counts for it are exact forever);
+//! * a **non-owned** gid holds the merge of the shard's units' pieces of
+//!   that graph ([`merged_unit_graph`]) — a static local accelerator
+//!   that widens the shard's mining view. It may go stale as updates
+//!   land on other shards' owned copies; that is harmless, because
+//!   completeness only relies on owned slots (the pigeonhole bound runs
+//!   over owner sets) and exact answers are always owner-filtered.
+
+use graphmine_graph::{GraphDb, Support};
+use graphmine_partition::{
+    merged_unit_graph, shard_policy_by_name, Criteria, DbPartition, GraphPart,
+};
+
+use crate::topology::{local_min_support, ShardSpec, ShardTopology};
+
+/// Knobs for [`plan_shards`].
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Partition units (PartMiner `k`); must be `>= n_shards`.
+    pub k: usize,
+    /// Number of shards.
+    pub n_shards: usize,
+    /// Replica processes per shard.
+    pub replicas: usize,
+    /// Placement policy name (`"units"` or `"hub"`).
+    pub policy: String,
+    /// Hub degree threshold for the `"hub"` policy.
+    pub hub_threshold: usize,
+    /// Global support threshold the router will answer at.
+    pub min_support: Support,
+    /// Host the generated addresses live on.
+    pub host: String,
+    /// The router gets `base_port`; shard `s` replica `r` gets
+    /// `base_port + 1 + s * replicas + r`.
+    pub base_port: u16,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            k: 4,
+            n_shards: 2,
+            replicas: 1,
+            policy: "units".to_string(),
+            hub_threshold: 100,
+            min_support: 2,
+            host: "127.0.0.1".to_string(),
+            base_port: 7870,
+        }
+    }
+}
+
+/// A finished plan: the topology plus the shard databases, indexed by
+/// shard id.
+#[derive(Debug)]
+pub struct ShardPlan {
+    /// The topology to persist and hand to the router and shards.
+    pub topology: ShardTopology,
+    /// `shard_dbs[s]` — shard `s`'s gid-aligned database.
+    pub shard_dbs: Vec<GraphDb>,
+}
+
+/// Partitions `db` into `cfg.k` units, runs the placement policy, and
+/// materializes the per-shard databases.
+///
+/// # Errors
+///
+/// Rejects empty databases, `n_shards == 0`, `k < n_shards` (some shard
+/// would host no unit), more planned ports than fit in a `u16`, and
+/// unknown policy names.
+pub fn plan_shards(db: &GraphDb, cfg: &PlanConfig) -> Result<ShardPlan, String> {
+    if db.is_empty() {
+        return Err("cannot shard an empty database".to_string());
+    }
+    if cfg.n_shards == 0 || cfg.replicas == 0 {
+        return Err("need at least one shard and one replica".to_string());
+    }
+    if cfg.k < cfg.n_shards {
+        return Err(format!(
+            "k = {} units cannot cover {} shards (need k >= n_shards)",
+            cfg.k, cfg.n_shards
+        ));
+    }
+    let ports = 1 + cfg.n_shards * cfg.replicas;
+    if u16::try_from(cfg.base_port as usize + ports - 1).is_err() {
+        return Err(format!("port range {}+{} overflows", cfg.base_port, ports));
+    }
+    let policy = shard_policy_by_name(&cfg.policy, cfg.hub_threshold)
+        .ok_or_else(|| format!("unknown shard policy `{}`", cfg.policy))?;
+
+    let ufreq: Vec<Vec<f64>> = db.iter().map(|(_, g)| vec![0.0; g.vertex_count()]).collect();
+    let part = DbPartition::build(db, &ufreq, &GraphPart::new(Criteria::COMBINED), cfg.k);
+    let plan = policy.assign(&part, cfg.n_shards);
+    plan.validate(&part, cfg.n_shards)?;
+
+    let mut shards = Vec::with_capacity(cfg.n_shards);
+    let mut shard_dbs = Vec::with_capacity(cfg.n_shards);
+    for s in 0..cfg.n_shards {
+        let units = plan.units_of(s);
+        let owned = plan.owned_by(s);
+        let mut sdb = GraphDb::new();
+        for (gid, g) in db.iter() {
+            if plan.owners[gid as usize] == s {
+                sdb.push(g.clone());
+            } else {
+                sdb.push(merged_unit_graph(&part, &units, gid));
+            }
+        }
+        let replicas = (0..cfg.replicas)
+            .map(|r| {
+                let port = cfg.base_port as usize + 1 + s * cfg.replicas + r;
+                format!("{}:{port}", cfg.host)
+            })
+            .collect();
+        shards.push(ShardSpec { id: s, units, owned, replicas, data: format!("shard-{s}.txt") });
+        shard_dbs.push(sdb);
+    }
+
+    let topology = ShardTopology {
+        min_support: cfg.min_support,
+        local_min_support: local_min_support(cfg.min_support, cfg.n_shards),
+        k: cfg.k,
+        policy: policy.name().to_string(),
+        n_graphs: db.len(),
+        router_addr: format!("{}:{}", cfg.host, cfg.base_port),
+        shards,
+    };
+    topology.validate()?;
+    Ok(ShardPlan { topology, shard_dbs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmine_graph::Graph;
+
+    pub(crate) fn chain_db(n: usize) -> GraphDb {
+        // n small labeled path graphs with some shared structure.
+        let mut db = GraphDb::new();
+        for i in 0..n {
+            let mut g = Graph::new();
+            let a = g.add_vertex(0);
+            let b = g.add_vertex(1);
+            let c = g.add_vertex(2);
+            g.add_edge(a, b, 5).unwrap();
+            g.add_edge(b, c, 6).unwrap();
+            if i % 2 == 0 {
+                let d = g.add_vertex(3);
+                g.add_edge(c, d, 7).unwrap();
+            }
+            db.push(g);
+        }
+        db
+    }
+
+    #[test]
+    fn plan_produces_aligned_dbs_with_full_owned_copies() {
+        let db = chain_db(6);
+        let cfg = PlanConfig { k: 4, n_shards: 2, min_support: 4, ..PlanConfig::default() };
+        let plan = plan_shards(&db, &cfg).unwrap();
+        assert_eq!(plan.shard_dbs.len(), 2);
+        assert_eq!(plan.topology.local_min_support, 2);
+        for s in 0..2 {
+            let sdb = &plan.shard_dbs[s];
+            assert_eq!(sdb.len(), db.len(), "shard dbs stay gid-aligned");
+            for &gid in &plan.topology.shards[s].owned {
+                let (own, root) = (sdb.graph(gid), db.graph(gid));
+                assert_eq!(own.vlabels(), root.vlabels());
+                assert_eq!(own.edges().collect::<Vec<_>>(), root.edges().collect::<Vec<_>>());
+            }
+        }
+        // Owner sets partition the gid space (validate() checked too).
+        let mut all: Vec<_> =
+            plan.topology.shards.iter().flat_map(|s| s.owned.iter().copied()).collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), db.len());
+    }
+
+    #[test]
+    fn plan_rejects_degenerate_configs() {
+        let db = chain_db(3);
+        let bad_k = PlanConfig { k: 2, n_shards: 3, ..PlanConfig::default() };
+        assert!(plan_shards(&db, &bad_k).unwrap_err().contains("n_shards"));
+        let bad_policy = PlanConfig { policy: "nope".to_string(), ..PlanConfig::default() };
+        assert!(plan_shards(&db, &bad_policy).unwrap_err().contains("policy"));
+        assert!(plan_shards(&GraphDb::new(), &PlanConfig::default()).is_err());
+    }
+
+    #[test]
+    fn planned_addresses_are_dense_and_disjoint() {
+        let db = chain_db(4);
+        let cfg =
+            PlanConfig { k: 4, n_shards: 2, replicas: 2, base_port: 9000, ..PlanConfig::default() };
+        let plan = plan_shards(&db, &cfg).unwrap();
+        assert_eq!(plan.topology.router_addr, "127.0.0.1:9000");
+        assert_eq!(plan.topology.shards[0].replicas, vec!["127.0.0.1:9001", "127.0.0.1:9002"]);
+        assert_eq!(plan.topology.shards[1].replicas, vec!["127.0.0.1:9003", "127.0.0.1:9004"]);
+    }
+}

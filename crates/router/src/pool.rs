@@ -1,0 +1,374 @@
+//! Per-shard connection state: lazy pooled [`Client`]s to each replica,
+//! sequential hedged reads, all-replica writes, and dead-shard marking
+//! with probe-based re-admission.
+//!
+//! Reads walk the replica list: every replica but the last is given the
+//! short `hedge_after` read budget, so a slow primary is abandoned and
+//! the request *hedges* to the next replica ([`Counter::HedgedReads`]);
+//! the last replica gets the full `read_timeout`. Transport failures
+//! (connect refused, broken pipe, desynced stream) drop the pooled
+//! connection and fail over the same way ([`Counter::ShardRetries`]).
+//! Only when every replica has failed is the shard marked **dead** —
+//! the router then answers degraded (`"partial":1`) without it until a
+//! `status` probe succeeds again.
+//!
+//! Server-reported errors (a `{"status":"error",...}` reply) are *not*
+//! failover events: the replica is healthy and answered; the error goes
+//! back to the caller untouched.
+
+use std::time::Duration;
+
+use graphmine_serve::{Client, RetryPolicy};
+use graphmine_telemetry::{Counter, Counters, JsonValue};
+
+/// Socket-side knobs for the router's shard connections.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-replica connect budget.
+    pub connect_timeout: Duration,
+    /// Reply budget on the *last* replica tried.
+    pub read_timeout: Duration,
+    /// Latency threshold after which a read abandons a non-final replica
+    /// and hedges to the next one.
+    pub hedge_after: Duration,
+    /// Backoff policy for `backpressure`-shed writes, applied per replica.
+    pub retry: RetryPolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(30),
+            hedge_after: Duration::from_millis(250),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// `true` for the transport-phase errors [`Client`] produces (as opposed
+/// to a server-sent `error` reply, which arrives on a healthy
+/// connection). The client crate's error grammar is pinned by its own
+/// tests: every transport message starts with the failing phase.
+fn is_transport(err: &str) -> bool {
+    err.starts_with("connect to ")
+        || err.starts_with("send to ")
+        || err.starts_with("read from ")
+        || err.starts_with("malformed response")
+}
+
+/// One shard's replicas and their pooled connections.
+pub(crate) struct ShardState {
+    /// Replica addresses, primary first.
+    pub addrs: Vec<String>,
+    /// Lazily established connection per replica.
+    clients: Vec<Option<Client>>,
+    /// Set when every replica failed; cleared by [`ShardState::probe`].
+    pub dead: bool,
+}
+
+impl ShardState {
+    pub fn new(addrs: Vec<String>) -> ShardState {
+        let clients = addrs.iter().map(|_| None).collect();
+        ShardState { addrs, clients, dead: false }
+    }
+
+    /// The read budget replica `r` gets: short for replicas that still
+    /// have a fallback behind them, full for the last one.
+    fn read_budget(&self, r: usize, cfg: &RouterConfig) -> Duration {
+        if r + 1 < self.addrs.len() {
+            cfg.hedge_after
+        } else {
+            cfg.read_timeout
+        }
+    }
+
+    /// The pooled connection to replica `r`, connecting if needed.
+    fn client(&mut self, r: usize, cfg: &RouterConfig) -> Result<&mut Client, String> {
+        if self.clients[r].is_none() {
+            let c = Client::connect_with(
+                self.addrs[r].as_str(),
+                Some(cfg.connect_timeout),
+                Some(self.read_budget(r, cfg)),
+            )?
+            .with_retry(cfg.retry.clone());
+            self.clients[r] = Some(c);
+        }
+        Ok(self.clients[r].as_mut().expect("just connected"))
+    }
+
+    /// One read-path request with hedging and failover down the replica
+    /// list; marks the shard dead when every replica fails.
+    ///
+    /// # Errors
+    ///
+    /// A server-sent error from the first replica that answered, or the
+    /// last transport error once the shard is exhausted (and now dead).
+    pub fn read_request(
+        &mut self,
+        line: &str,
+        cfg: &RouterConfig,
+        counters: &Counters,
+    ) -> Result<JsonValue, String> {
+        let mut last_err = String::new();
+        for r in 0..self.addrs.len() {
+            let attempt = match self.client(r, cfg) {
+                Ok(c) => c.request_line(line),
+                Err(e) => Err(e),
+            };
+            match attempt {
+                Ok(reply) => {
+                    self.dead = false;
+                    return Ok(reply);
+                }
+                Err(e) if is_transport(&e) => {
+                    // The stream may hold a late reply now — never reuse it.
+                    self.clients[r] = None;
+                    if e.contains("timed out") && r + 1 < self.addrs.len() {
+                        counters.bump(Counter::HedgedReads);
+                    } else {
+                        counters.bump(Counter::ShardRetries);
+                    }
+                    last_err = e;
+                }
+                Err(server_error) => {
+                    self.dead = false;
+                    return Err(server_error);
+                }
+            }
+        }
+        self.dead = true;
+        Err(last_err)
+    }
+
+    /// One write-path request that must succeed on **every** replica
+    /// (the all-replicas-durable rule). Each replica gets one reconnect
+    /// retry for transport faults; the first definitive failure aborts.
+    ///
+    /// # Errors
+    ///
+    /// Names the replica that failed. Does not mark the shard dead: the
+    /// surviving replicas still serve reads.
+    pub fn write_all_replicas(
+        &mut self,
+        line: &str,
+        cfg: &RouterConfig,
+        counters: &Counters,
+    ) -> Result<Vec<JsonValue>, String> {
+        let mut replies = Vec::with_capacity(self.addrs.len());
+        for r in 0..self.addrs.len() {
+            let mut attempt = match self.client(r, cfg) {
+                Ok(c) => c.request_line(line),
+                Err(e) => Err(e),
+            };
+            if matches!(&attempt, Err(e) if is_transport(e)) {
+                self.clients[r] = None;
+                counters.bump(Counter::ShardRetries);
+                attempt = match self.client(r, cfg) {
+                    Ok(c) => c.request_line(line),
+                    Err(e) => Err(e),
+                };
+            }
+            match attempt {
+                Ok(reply) => replies.push(reply),
+                Err(e) => {
+                    if is_transport(&e) {
+                        self.clients[r] = None;
+                    }
+                    return Err(format!("replica {}: {e}", self.addrs[r]));
+                }
+            }
+        }
+        Ok(replies)
+    }
+
+    /// One request pinned to replica `r` (2PC commit sends a different
+    /// `seq` to each replica), with a single reconnect retry on
+    /// transport faults.
+    ///
+    /// # Errors
+    ///
+    /// Names the replica on transport failure; server errors pass through.
+    pub fn request_replica(
+        &mut self,
+        r: usize,
+        line: &str,
+        cfg: &RouterConfig,
+        counters: &Counters,
+    ) -> Result<JsonValue, String> {
+        let mut attempt = match self.client(r, cfg) {
+            Ok(c) => c.request_line(line),
+            Err(e) => Err(e),
+        };
+        if matches!(&attempt, Err(e) if is_transport(e)) {
+            self.clients[r] = None;
+            counters.bump(Counter::ShardRetries);
+            attempt = match self.client(r, cfg) {
+                Ok(c) => c.request_line(line),
+                Err(e) => Err(e),
+            };
+        }
+        attempt.map_err(|e| {
+            if is_transport(&e) {
+                self.clients[r] = None;
+                format!("replica {}: {e}", self.addrs[r])
+            } else {
+                e
+            }
+        })
+    }
+
+    /// Probes a dead shard with a cheap `status` on fresh connections;
+    /// on success the shard is re-admitted.
+    pub fn probe(&mut self, cfg: &RouterConfig) -> bool {
+        for r in 0..self.addrs.len() {
+            self.clients[r] = None;
+            if let Ok(mut c) = Client::connect_with(
+                self.addrs[r].as_str(),
+                Some(cfg.connect_timeout),
+                Some(self.read_budget(r, cfg)),
+            ) {
+                if c.status(false).is_ok() {
+                    self.clients[r] = Some(c.with_retry(cfg.retry.clone()));
+                    self.dead = false;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+
+    fn counters() -> Counters {
+        Counters::default()
+    }
+
+    /// A replica that answers every request with a canned reply.
+    fn echo_replica(reply: &'static str) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            // One connection is enough for these tests.
+            if let Ok((conn, _)) = listener.accept() {
+                let mut w = conn.try_clone().unwrap();
+                let mut r = BufReader::new(conn);
+                let mut line = String::new();
+                while r.read_line(&mut line).unwrap_or(0) > 0 {
+                    writeln!(w, "{reply}").unwrap();
+                    line.clear();
+                }
+            }
+        });
+        (addr, h)
+    }
+
+    fn quick_cfg() -> RouterConfig {
+        RouterConfig {
+            connect_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_millis(500),
+            hedge_after: Duration::from_millis(60),
+            retry: RetryPolicy::none(),
+        }
+    }
+
+    #[test]
+    fn failover_skips_a_refused_replica_and_counts_the_retry() {
+        // Replica 0: nobody listening. Replica 1: answers.
+        let dead_port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let (live, h) = echo_replica(r#"{"status":"ok","support":7}"#);
+        let mut st = ShardState::new(vec![format!("127.0.0.1:{dead_port}"), live]);
+        let c = counters();
+        let reply = st.read_request(r#"{"cmd":"status"}"#, &quick_cfg(), &c).unwrap();
+        assert_eq!(reply.field("support").and_then(JsonValue::as_num), Some(7));
+        assert!(!st.dead);
+        assert!(c.get(Counter::ShardRetries) >= 1);
+        drop(st);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn slow_primary_hedges_to_the_second_replica() {
+        // Replica 0 accepts but never answers; replica 1 answers.
+        let silent = TcpListener::bind("127.0.0.1:0").unwrap();
+        let silent_addr = silent.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || silent.accept().map(|(s, _)| s));
+        let (live, h) = echo_replica(r#"{"status":"ok","epoch":3}"#);
+        let mut st = ShardState::new(vec![silent_addr, live]);
+        let c = counters();
+        let reply = st.read_request(r#"{"cmd":"status"}"#, &quick_cfg(), &c).unwrap();
+        assert_eq!(reply.field("epoch").and_then(JsonValue::as_num), Some(3));
+        assert_eq!(c.get(Counter::HedgedReads), 1);
+        drop(hold.join().unwrap());
+        drop(st);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_replicas_mark_the_shard_dead_and_probe_readmits() {
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let mut st = ShardState::new(vec![addr.clone()]);
+        let c = counters();
+        let err = st.read_request(r#"{"cmd":"status"}"#, &quick_cfg(), &c).unwrap_err();
+        assert!(st.dead, "all replicas down must mark the shard dead");
+        assert!(err.contains(&addr));
+        assert!(!st.probe(&quick_cfg()), "probe must fail while the port is closed");
+        // Bring a server up on the very same port: probe re-admits.
+        let listener = TcpListener::bind(&addr).unwrap();
+        let h = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            let mut w = conn.try_clone().unwrap();
+            let mut r = BufReader::new(conn);
+            let mut line = String::new();
+            if r.read_line(&mut line).unwrap_or(0) > 0 {
+                writeln!(w, r#"{{"status":"ok","epoch":0}}"#).unwrap();
+            }
+        });
+        assert!(st.probe(&quick_cfg()));
+        assert!(!st.dead);
+        drop(st);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn server_errors_are_not_failover_events() {
+        let (addr, h) = echo_replica(r#"{"status":"error","error":"unknown seq 9"}"#);
+        let mut st = ShardState::new(vec![addr]);
+        let c = counters();
+        let err = st.read_request(r#"{"cmd":"status"}"#, &quick_cfg(), &c).unwrap_err();
+        assert_eq!(err, "unknown seq 9");
+        assert!(!st.dead);
+        assert_eq!(c.get(Counter::ShardRetries), 0);
+        drop(st);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn writes_require_every_replica() {
+        let (a, ha) = echo_replica(r#"{"status":"ok","seq":1,"durable":1}"#);
+        let dead_port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut st = ShardState::new(vec![a, format!("127.0.0.1:{dead_port}")]);
+        let c = counters();
+        let err =
+            st.write_all_replicas(r#"{"cmd":"update","ops":[]}"#, &quick_cfg(), &c).unwrap_err();
+        assert!(err.contains(&format!("127.0.0.1:{dead_port}")), "{err}");
+        assert!(!st.dead, "a failed write must not kill the read path");
+        drop(st);
+        ha.join().unwrap();
+    }
+}

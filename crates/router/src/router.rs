@@ -1,0 +1,502 @@
+//! The scatter/gather core: one [`Router`] owns the shard map and the
+//! pooled connections, scatters each request across the shards, and
+//! gathers answers that are **exact** — every graph counted exactly once
+//! — because all gathered counts are restricted to each shard's disjoint
+//! owned-gid set.
+//!
+//! * `support` — scatter the pattern to every shard with `"owned":1`,
+//!   sum the counts.
+//! * `patterns` — the SON two-phase query: phase 1 unions the shards'
+//!   locally frequent patterns (each shard mines at the lowered
+//!   `local_min_support = ceil(s / n_shards)`, so by pigeonhole over the
+//!   owned sets no globally frequent pattern is missing from every
+//!   shard); phase 2 re-counts every candidate owner-restricted on all
+//!   shards and filters at the global threshold. The result is
+//!   bit-identical to a single-process server over the whole database.
+//! * `update` — serialized, three phases: *validate* (dry-run the
+//!   per-owner sub-windows), *prepare* (durable-ack the window on every
+//!   replica of every touched shard), *commit* (publish the next global
+//!   epoch once each replica has applied its prepared seq, then
+//!   republish to the untouched shards).
+//!
+//! A shard whose replicas are all unreachable is marked dead; read
+//! answers are then degraded and tagged `"partial":1` (the wire dialect
+//! has no booleans) until a `status` probe re-admits the shard, at which
+//! point the router republishes the committed global epoch to it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use graphmine_graph::dfscode::min_dfs_code;
+use graphmine_graph::{DbUpdate, DfsCode, Graph, Support};
+use graphmine_serve::protocol::{
+    code_from_json, code_to_json, error_response, ok_response, ops_to_json, Request,
+};
+use graphmine_telemetry::{Counter, Counters, JsonValue, Telemetry};
+
+use crate::pool::{RouterConfig, ShardState};
+use crate::topology::ShardTopology;
+
+/// Phase-1 `top` — effectively "all mined patterns"; the SON union must
+/// not be truncated or completeness is lost.
+const ALL_PATTERNS: u64 = 1_000_000_000;
+
+/// `true` when the armed [`DropShardReply`](graphmine_graph::fault::Fault)
+/// mutant should silently discard shard `i`'s gather contribution.
+#[cfg(feature = "fault-injection")]
+fn drop_shard_reply(i: usize) -> bool {
+    i == 0 && graphmine_graph::fault::armed(graphmine_graph::fault::Fault::DropShardReply)
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn drop_shard_reply(_i: usize) -> bool {
+    false
+}
+
+/// The front-end router process state (socket handling lives in
+/// [`crate::front`]).
+pub struct Router {
+    topo: ShardTopology,
+    cfg: RouterConfig,
+    shards: Vec<Mutex<ShardState>>,
+    /// `owners[gid]` — owner shard per gid, flattened from the topology.
+    owners: Vec<usize>,
+    /// Last committed global epoch; starts at 0.
+    global_epoch: AtomicU64,
+    /// Serializes update windows — 2PC is single-writer by design.
+    update_lock: Mutex<()>,
+    tel: Telemetry,
+}
+
+impl Router {
+    /// Builds a router over a validated topology. No connections are
+    /// opened until the first request.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a topology that fails [`ShardTopology::validate`].
+    pub fn new(topo: ShardTopology, cfg: RouterConfig) -> Result<Router, String> {
+        topo.validate()?;
+        let shards: Vec<_> =
+            topo.shards.iter().map(|s| Mutex::new(ShardState::new(s.replicas.clone()))).collect();
+        let mut owners = vec![0usize; topo.n_graphs];
+        for s in &topo.shards {
+            for &gid in &s.owned {
+                owners[gid as usize] = s.id;
+            }
+        }
+        Ok(Router {
+            topo,
+            cfg,
+            shards,
+            owners,
+            global_epoch: AtomicU64::new(0),
+            update_lock: Mutex::new(()),
+            tel: Telemetry::new(),
+        })
+    }
+
+    /// The topology this router serves.
+    pub fn topology(&self) -> &ShardTopology {
+        &self.topo
+    }
+
+    /// The router's telemetry (scatter/gather counters).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Last committed global epoch.
+    pub fn global_epoch(&self) -> u64 {
+        self.global_epoch.load(Ordering::SeqCst)
+    }
+
+    fn counters(&self) -> &Counters {
+        self.tel.counters()
+    }
+
+    /// Runs `f` against every target shard concurrently (one thread per
+    /// shard, each under its own shard lock). Dead shards are probed
+    /// first and — on re-admission — handed the committed global epoch
+    /// before serving; shards that stay dead yield `Err`.
+    fn scatter<T, F>(&self, targets: &[usize], f: F) -> Vec<(usize, Result<T, String>)>
+    where
+        T: Send,
+        F: Fn(usize, &mut ShardState) -> Result<T, String> + Sync,
+    {
+        self.counters().add(Counter::ScatterFanout, targets.len() as u64);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = targets
+                .iter()
+                .map(|&i| {
+                    scope.spawn(move || {
+                        let mut st = self.shards[i].lock().expect("shard state poisoned");
+                        if st.dead {
+                            if !st.probe(&self.cfg) {
+                                return (i, Err(format!("shard {i}: all replicas unreachable")));
+                            }
+                            // Re-admitted: hand it the committed epoch.
+                            let line = commit_line(self.global_epoch(), 0);
+                            let _ = st.read_request(&line, &self.cfg, self.counters());
+                            if st.dead {
+                                return (i, Err(format!("shard {i}: lost during re-admission")));
+                            }
+                        }
+                        (i, f(i, &mut st))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scatter thread panicked")).collect()
+        })
+    }
+
+    /// Owner-restricted supports of `codes`, summed across all shards.
+    /// Returns the per-code sums and whether the answer is partial
+    /// (some shard was down and its owned graphs went uncounted).
+    fn gather_supports(&self, codes: &[DfsCode]) -> (Vec<u64>, bool) {
+        let line = JsonValue::Obj(vec![
+            ("cmd".to_string(), JsonValue::Str("support-batch".to_string())),
+            ("codes".to_string(), JsonValue::Arr(codes.iter().map(code_to_json).collect())),
+            ("owned".to_string(), JsonValue::Num(1)),
+        ])
+        .to_json();
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        let replies =
+            self.scatter(&all, |_i, st| st.read_request(&line, &self.cfg, self.counters()));
+        let mut sums = vec![0u64; codes.len()];
+        let mut partial = false;
+        for (i, reply) in replies {
+            match reply {
+                Ok(reply) => {
+                    if drop_shard_reply(i) {
+                        continue;
+                    }
+                    let supports = reply.field("supports").and_then(JsonValue::as_arr);
+                    match supports {
+                        Some(arr) if arr.len() == codes.len() => {
+                            for (j, v) in arr.iter().enumerate() {
+                                sums[j] += v.as_num().unwrap_or(0);
+                            }
+                        }
+                        _ => partial = true,
+                    }
+                }
+                Err(_) => partial = true,
+            }
+        }
+        if partial {
+            self.counters().bump(Counter::GatherPartial);
+        }
+        (sums, partial)
+    }
+
+    /// Exact global support of one pattern graph.
+    pub fn support(&self, pattern: &Graph) -> JsonValue {
+        let code = min_dfs_code(pattern);
+        let (sums, partial) = self.gather_supports(std::slice::from_ref(&code));
+        let mut fields = vec![
+            ("global_epoch", JsonValue::Num(self.global_epoch())),
+            ("support", JsonValue::Num(sums[0])),
+            ("source", JsonValue::Str("gather".to_string())),
+        ];
+        if partial {
+            fields.push(("partial", JsonValue::Num(1)));
+        }
+        ok_response(fields)
+    }
+
+    /// Exact global supports of several pattern graphs in one fan-out.
+    pub fn support_batch(&self, patterns: &[Graph]) -> JsonValue {
+        let codes: Vec<DfsCode> = patterns.iter().map(min_dfs_code).collect();
+        let (sums, partial) = self.gather_supports(&codes);
+        let mut fields = vec![
+            ("global_epoch", JsonValue::Num(self.global_epoch())),
+            ("supports", JsonValue::Arr(sums.into_iter().map(JsonValue::Num).collect())),
+        ];
+        if partial {
+            fields.push(("partial", JsonValue::Num(1)));
+        }
+        ok_response(fields)
+    }
+
+    /// The SON two-phase `patterns` query; answers exactly like a
+    /// single-process server at the topology's global `min_support`
+    /// (optionally raised by the query's own floor).
+    pub fn patterns(&self, top: usize, min_support: Option<Support>) -> JsonValue {
+        // Phase 1: union of the shards' locally frequent patterns.
+        let line = JsonValue::Obj(vec![
+            ("cmd".to_string(), JsonValue::Str("patterns".to_string())),
+            ("top".to_string(), JsonValue::Num(ALL_PATTERNS)),
+        ])
+        .to_json();
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        let replies =
+            self.scatter(&all, |_i, st| st.read_request(&line, &self.cfg, self.counters()));
+        let mut candidates: Vec<DfsCode> = Vec::new();
+        let mut partial = false;
+        for (_, reply) in replies {
+            match reply {
+                Ok(reply) => {
+                    for p in reply.field("patterns").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+                        if let Some(code) = p.field("code") {
+                            match code_from_json(code) {
+                                Ok(c) => candidates.push(c),
+                                Err(_) => partial = true,
+                            }
+                        }
+                    }
+                }
+                Err(_) => partial = true,
+            }
+        }
+        candidates.sort();
+        candidates.dedup();
+
+        // Phase 2: exact owner-restricted recount of every candidate.
+        let floor = u64::from(self.topo.min_support.max(min_support.unwrap_or(0)));
+        let (sums, gather_partial) = if candidates.is_empty() {
+            (Vec::new(), false)
+        } else {
+            self.gather_supports(&candidates)
+        };
+        partial |= gather_partial;
+
+        let mut hits: Vec<(DfsCode, u64)> =
+            candidates.into_iter().zip(sums).filter(|&(_, s)| s >= floor).collect();
+        hits.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let total = hits.len();
+        hits.truncate(top);
+        let patterns = hits
+            .into_iter()
+            .map(|(code, support)| {
+                JsonValue::Obj(vec![
+                    ("support".to_string(), JsonValue::Num(support)),
+                    ("size".to_string(), JsonValue::Num(code.0.len() as u64)),
+                    ("code".to_string(), code_to_json(&code)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        if partial {
+            self.counters().bump(Counter::GatherPartial);
+        }
+        let mut fields = vec![
+            ("global_epoch", JsonValue::Num(self.global_epoch())),
+            ("total", JsonValue::Num(total as u64)),
+            ("returned", JsonValue::Num(patterns.len() as u64)),
+            ("patterns", JsonValue::Arr(patterns)),
+        ];
+        if partial {
+            fields.push(("partial", JsonValue::Num(1)));
+        }
+        ok_response(fields)
+    }
+
+    /// Aggregated deployment status: the committed global epoch, the
+    /// dead-shard list, per-shard epochs and queue depths, and the
+    /// router's own counters.
+    pub fn status(&self) -> JsonValue {
+        let line = r#"{"cmd":"status"}"#;
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        let replies =
+            self.scatter(&all, |_i, st| st.read_request(line, &self.cfg, self.counters()));
+        let mut shards = Vec::with_capacity(replies.len());
+        let mut dead = Vec::new();
+        for (i, reply) in replies {
+            match reply {
+                Ok(r) => {
+                    let pick = |key: &str| {
+                        JsonValue::Num(r.field(key).and_then(JsonValue::as_num).unwrap_or(0))
+                    };
+                    shards.push(JsonValue::Obj(vec![
+                        ("id".to_string(), JsonValue::Num(i as u64)),
+                        ("epoch".to_string(), pick("epoch")),
+                        ("global_epoch".to_string(), pick("global_epoch")),
+                        ("pending_windows".to_string(), pick("pending_windows")),
+                        ("owned_graphs".to_string(), pick("owned_graphs")),
+                    ]));
+                }
+                Err(e) => {
+                    dead.push(JsonValue::Num(i as u64));
+                    shards.push(JsonValue::Obj(vec![
+                        ("id".to_string(), JsonValue::Num(i as u64)),
+                        ("error".to_string(), JsonValue::Str(e)),
+                    ]));
+                }
+            }
+        }
+        let partial = !dead.is_empty();
+        if partial {
+            self.counters().bump(Counter::GatherPartial);
+        }
+        let counters = JsonValue::Obj(
+            self.counters()
+                .snapshot()
+                .into_iter()
+                .map(|(name, v)| (name.to_string(), JsonValue::Num(v)))
+                .collect(),
+        );
+        let mut fields = vec![
+            ("global_epoch", JsonValue::Num(self.global_epoch())),
+            ("n_shards", JsonValue::Num(self.topo.n_shards() as u64)),
+            ("db_graphs", JsonValue::Num(self.topo.n_graphs as u64)),
+            ("min_support", JsonValue::Num(u64::from(self.topo.min_support))),
+            ("local_min_support", JsonValue::Num(u64::from(self.topo.local_min_support))),
+            ("dead", JsonValue::Arr(dead)),
+            ("shards", JsonValue::Arr(shards)),
+            ("counters", counters),
+        ];
+        if partial {
+            fields.push(("partial", JsonValue::Num(1)));
+        }
+        ok_response(fields)
+    }
+
+    /// Routes an update window: split by gid owner, then the three-phase
+    /// commit described in the module docs. `dry_run` stops after the
+    /// validate phase.
+    pub fn update(&self, ops: &[DbUpdate], dry_run: bool) -> JsonValue {
+        let _serialize = self.update_lock.lock().expect("update lock poisoned");
+
+        // Split into per-owner sub-windows, preserving per-gid op order —
+        // all ops for one gid go to one shard, so each shard sees its
+        // slice of the window in exactly the global order.
+        let mut windows: Vec<Vec<DbUpdate>> = vec![Vec::new(); self.topo.n_shards()];
+        for op in ops {
+            let gid = op.gid as usize;
+            let Some(&owner) = self.owners.get(gid) else {
+                return error_response(&format!("gid {gid} out of range"));
+            };
+            windows[owner].push(*op);
+        }
+        let touched: Vec<usize> = (0..windows.len()).filter(|&s| !windows[s].is_empty()).collect();
+        if touched.is_empty() {
+            return error_response("empty update window");
+        }
+
+        // Phase 0: validate each sub-window on its owner shard.
+        let dry = self.scatter(&touched, |i, st| {
+            let line = JsonValue::Obj(vec![
+                ("cmd".to_string(), JsonValue::Str("update".to_string())),
+                ("dry_run".to_string(), JsonValue::Num(1)),
+                ("ops".to_string(), ops_to_json(&windows[i])),
+            ])
+            .to_json();
+            st.read_request(&line, &self.cfg, self.counters())
+        });
+        for (i, reply) in &dry {
+            if let Err(e) = reply {
+                self.counters().bump(Counter::Epoch2pcAborts);
+                return error_response(&format!("validate on shard {i}: {e}"));
+            }
+        }
+        if dry_run {
+            return ok_response(vec![
+                ("valid", JsonValue::Num(1)),
+                ("global_epoch", JsonValue::Num(self.global_epoch())),
+            ]);
+        }
+
+        // Phase 1 (prepare): durable-ack the sub-window on every replica
+        // of every touched shard; collect each replica's journal seq.
+        let prepared = self.scatter(&touched, |i, st| {
+            let line = JsonValue::Obj(vec![
+                ("cmd".to_string(), JsonValue::Str("update".to_string())),
+                ("ack".to_string(), JsonValue::Str("durable".to_string())),
+                ("ops".to_string(), ops_to_json(&windows[i])),
+            ])
+            .to_json();
+            let replies = st.write_all_replicas(&line, &self.cfg, self.counters())?;
+            let seqs: Vec<u64> = replies
+                .iter()
+                .map(|r| r.field("seq").and_then(JsonValue::as_num).unwrap_or(0))
+                .collect();
+            Ok(seqs)
+        });
+        let mut shard_seqs: Vec<(usize, Vec<u64>)> = Vec::with_capacity(prepared.len());
+        for (i, reply) in prepared {
+            match reply {
+                Ok(seqs) => shard_seqs.push((i, seqs)),
+                Err(e) => {
+                    // Prepare is redo-only: replicas that did ack keep the
+                    // durable window and will apply it locally, but the
+                    // global epoch never advances for this window.
+                    self.counters().bump(Counter::Epoch2pcAborts);
+                    return error_response(&format!("prepare on shard {i}: {e}"));
+                }
+            }
+        }
+
+        // Phase 2 (commit): publish the next global epoch to the touched
+        // shards (each replica waits until its prepared seq is applied)…
+        let global = self.global_epoch() + 1;
+        let seq_of: std::collections::HashMap<usize, Vec<u64>> = shard_seqs.into_iter().collect();
+        let committed = self.scatter(&touched, |i, st| {
+            let seqs = &seq_of[&i];
+            for (r, &seq) in seqs.iter().enumerate() {
+                st.request_replica(r, &commit_line(global, seq), &self.cfg, self.counters())?;
+            }
+            Ok(())
+        });
+        let mut stragglers = Vec::new();
+        for (i, reply) in committed {
+            if reply.is_err() {
+                // Prepared everywhere, so the window is durable; the shard
+                // just could not confirm application. It re-syncs through
+                // probe + epoch republish.
+                stragglers.push(i);
+                self.shards[i].lock().expect("shard state poisoned").dead = true;
+            }
+        }
+        self.global_epoch.store(global, Ordering::SeqCst);
+
+        // …then republish to the untouched shards so a later `status`
+        // shows one converged global epoch (best effort: a shard that
+        // misses it picks the epoch up on re-admission).
+        let untouched: Vec<usize> =
+            (0..self.topo.n_shards()).filter(|s| !touched.contains(s)).collect();
+        if !untouched.is_empty() {
+            let line = commit_line(global, 0);
+            let _ = self
+                .scatter(&untouched, |_i, st| st.read_request(&line, &self.cfg, self.counters()));
+        }
+
+        let mut fields = vec![
+            ("global_epoch", JsonValue::Num(global)),
+            ("touched", JsonValue::Num(touched.len() as u64)),
+            ("ops", JsonValue::Num(ops.len() as u64)),
+        ];
+        if !stragglers.is_empty() {
+            self.counters().bump(Counter::GatherPartial);
+            fields.push(("partial", JsonValue::Num(1)));
+        }
+        ok_response(fields)
+    }
+
+    /// Serves one parsed protocol request — the front end's dispatcher.
+    /// `Shutdown` is the front end's business and answered with an error
+    /// here; `epoch-commit` is a shard-side verb.
+    pub fn handle(&self, req: &Request) -> JsonValue {
+        match req {
+            Request::Status { .. } => self.status(),
+            Request::Patterns { top, min_support } => self.patterns(*top, *min_support),
+            Request::Support { graph, .. } => self.support(graph),
+            Request::SupportBatch { graphs, .. } => self.support_batch(graphs),
+            Request::Update { ops, dry_run, .. } => self.update(ops, *dry_run),
+            Request::EpochCommit { .. } => {
+                error_response("epoch-commit is shard-side; the router publishes epochs itself")
+            }
+            Request::Shutdown => error_response("shutdown is handled by the front end"),
+        }
+    }
+}
+
+/// The `epoch-commit` request line.
+fn commit_line(global: u64, seq: u64) -> String {
+    JsonValue::Obj(vec![
+        ("cmd".to_string(), JsonValue::Str("epoch-commit".to_string())),
+        ("global".to_string(), JsonValue::Num(global)),
+        ("seq".to_string(), JsonValue::Num(seq)),
+    ])
+    .to_json()
+}

@@ -62,6 +62,12 @@ impl RetryPolicy {
     }
 }
 
+/// `true` for the error kinds a socket timeout surfaces as (platform
+/// dependent: `WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
 /// SplitMix64: a tiny stateless PRNG step — plenty for backoff jitter,
 /// and dependency-free.
 fn splitmix64(x: u64) -> u64 {
@@ -72,27 +78,97 @@ fn splitmix64(x: u64) -> u64 {
 }
 
 /// One connection to a serving daemon.
+///
+/// Every transport error names the peer address and the phase it failed
+/// in — `connect to <addr>` vs `send to <addr>` vs `read from <addr>`,
+/// with timeouts called out explicitly — so a failure among N shards is
+/// attributable from the message alone.
+#[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     retry: RetryPolicy,
+    addr: String,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon with no timeouts (blocking reads).
     ///
     /// # Errors
     ///
     /// Fails when the address does not resolve or the connection is
-    /// refused.
+    /// refused; the message names the target address.
     pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<Client, String> {
-        let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr:?}: {e}"))?;
-        let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+        Client::connect_with(addr, None, None)
+    }
+
+    /// Connects with an optional connect timeout and an optional read
+    /// timeout applied to every reply wait.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address does not resolve, the connection is
+    /// refused, or the connect timeout elapses — the message names the
+    /// target address and distinguishes a connect timeout from a refusal
+    /// (and, later, from a read timeout).
+    pub fn connect_with<A: ToSocketAddrs + std::fmt::Debug>(
+        addr: A,
+        connect_timeout: Option<Duration>,
+        read_timeout: Option<Duration>,
+    ) -> Result<Client, String> {
+        let stream = match connect_timeout {
+            None => TcpStream::connect(&addr).map_err(|e| format!("connect to {addr:?}: {e}"))?,
+            Some(t) => {
+                let addrs = addr
+                    .to_socket_addrs()
+                    .map_err(|e| format!("connect to {addr:?}: {e}"))?
+                    .collect::<Vec<_>>();
+                if addrs.is_empty() {
+                    return Err(format!("connect to {addr:?}: no addresses resolved"));
+                }
+                let mut last: Option<std::io::Error> = None;
+                let mut connected = None;
+                for sa in addrs {
+                    match TcpStream::connect_timeout(&sa, t) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match connected {
+                    Some(s) => s,
+                    None => {
+                        let e = last.expect("at least one address was tried");
+                        return Err(if is_timeout(&e) {
+                            format!("connect to {addr:?}: timed out after {t:?}")
+                        } else {
+                            format!("connect to {addr:?}: {e}")
+                        });
+                    }
+                }
+            }
+        };
+        let peer =
+            stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| format!("{addr:?}"));
+        stream
+            .set_read_timeout(read_timeout)
+            .map_err(|e| format!("connect to {peer}: set read timeout: {e}"))?;
+        let read_half = stream.try_clone().map_err(|e| format!("connect to {peer}: {e}"))?;
         Ok(Client {
             reader: BufReader::new(read_half),
             writer: stream,
             retry: RetryPolicy::default(),
+            addr: peer,
+            read_timeout,
         })
+    }
+
+    /// The peer address requests go to, as reported by the socket.
+    pub fn peer(&self) -> &str {
+        &self.addr
     }
 
     /// Replaces the backoff policy updates retry under.
@@ -108,14 +184,25 @@ impl Client {
     /// Fails on I/O errors, an unparsable response, or a response whose
     /// `status` is not `"ok"` (the server's `error` message is returned).
     pub fn request_line(&mut self, line: &str) -> Result<JsonValue, String> {
-        writeln!(self.writer, "{}", line.trim_end()).map_err(|e| format!("send: {e}"))?;
-        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        writeln!(self.writer, "{}", line.trim_end())
+            .map_err(|e| format!("send to {}: {e}", self.addr))?;
+        self.writer.flush().map_err(|e| format!("send to {}: {e}", self.addr))?;
         let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply).map_err(|e| format!("recv: {e}"))?;
+        let n = self.reader.read_line(&mut reply).map_err(|e| {
+            if is_timeout(&e) {
+                match self.read_timeout {
+                    Some(t) => format!("read from {}: timed out after {t:?}", self.addr),
+                    None => format!("read from {}: timed out", self.addr),
+                }
+            } else {
+                format!("read from {}: {e}", self.addr)
+            }
+        })?;
         if n == 0 {
-            return Err("server closed the connection".to_string());
+            return Err(format!("read from {}: server closed the connection", self.addr));
         }
-        let value = JsonValue::parse(reply.trim_end()).map_err(|e| format!("recv: {e}"))?;
+        let value = JsonValue::parse(reply.trim_end())
+            .map_err(|e| format!("read from {}: {e}", self.addr))?;
         match value.field("status").and_then(JsonValue::as_str) {
             Some("ok") => Ok(value),
             Some("error") => Err(value
@@ -235,6 +322,36 @@ impl Client {
         self.request(&JsonValue::Obj(fields))
     }
 
+    /// A `support-batch` request: exact supports of several codes in one
+    /// round trip, owner-restricted when `owned` is set (router gather).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn support_batch(&mut self, codes: &[DfsCode], owned: bool) -> Result<JsonValue, String> {
+        let mut fields = vec![
+            ("cmd".to_string(), JsonValue::Str("support-batch".to_string())),
+            ("codes".to_string(), JsonValue::Arr(codes.iter().map(code_to_json).collect())),
+        ];
+        if owned {
+            fields.push(("owned".to_string(), JsonValue::Num(1)));
+        }
+        self.request(&JsonValue::Obj(fields))
+    }
+
+    /// An `epoch-commit` request (router 2PC commit).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn epoch_commit(&mut self, global: u64, seq: u64) -> Result<JsonValue, String> {
+        self.request(&JsonValue::Obj(vec![
+            ("cmd".to_string(), JsonValue::Str("epoch-commit".to_string())),
+            ("global".to_string(), JsonValue::Num(global)),
+            ("seq".to_string(), JsonValue::Num(seq)),
+        ]))
+    }
+
     /// A `shutdown` request.
     ///
     /// # Errors
@@ -286,5 +403,40 @@ mod tests {
         let p = RetryPolicy { attempts: 80, base_ms: 10, cap_ms: 500, seed: 1 };
         let ms = p.backoff(70).as_millis() as u64;
         assert!((250..=500).contains(&ms), "{ms}ms outside [250, 500]");
+    }
+
+    #[test]
+    fn connect_errors_name_the_target_address() {
+        // Bind-then-drop reserves a port nobody listens on.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let err = Client::connect(addr.as_str()).unwrap_err();
+        assert!(err.contains("connect to"), "missing phase: {err}");
+        assert!(err.contains(&addr), "missing address: {err}");
+        let err = Client::connect_with(addr.as_str(), Some(Duration::from_millis(200)), None)
+            .unwrap_err();
+        assert!(err.contains("connect to") && err.contains(&addr), "{err}");
+    }
+
+    #[test]
+    fn read_timeouts_are_distinguished_from_connect_failures() {
+        // A listener that accepts and then goes silent.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut client = Client::connect_with(
+            addr.as_str(),
+            Some(Duration::from_secs(5)),
+            Some(Duration::from_millis(50)),
+        )
+        .unwrap();
+        let err = client.status(false).unwrap_err();
+        assert!(err.contains("read from"), "missing phase: {err}");
+        assert!(err.contains(&addr), "missing address: {err}");
+        assert!(err.contains("timed out after"), "missing timeout marker: {err}");
+        drop(hold.join().unwrap());
     }
 }

@@ -55,6 +55,7 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -91,6 +92,10 @@ pub struct EngineConfig {
     pub embedding_budget: usize,
     /// Streaming-ingest knobs (staleness bound, coalescing).
     pub ingest: IngestConfig,
+    /// Gids this shard owns, for owner-restricted counts (`None` =
+    /// single-process mode, every gid owned). The router's gathered
+    /// sums are exact because owner sets are disjoint across shards.
+    pub owned: Option<Vec<GraphId>>,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +107,7 @@ impl Default for EngineConfig {
             pool_pages: 64,
             embedding_budget: DEFAULT_EMBEDDING_BUDGET,
             ingest: IngestConfig::default(),
+            owned: None,
         }
     }
 }
@@ -279,6 +285,13 @@ struct EngineShared {
     /// never be answered from another generation's memo. Entries of
     /// superseded epochs are evicted on swap.
     support_memo: Mutex<FxHashMap<(u64, DfsCode), (Support, SupportSource)>>,
+    /// Gids this shard owns (sorted), `None` in single-process mode.
+    owned: Option<Vec<GraphId>>,
+    /// Owner-restricted support memo, keyed like `support_memo`.
+    owned_memo: Mutex<FxHashMap<(u64, DfsCode), Support>>,
+    /// Last router-committed global epoch (0 until a commit arrives).
+    /// In-memory only — the router republishes it on re-admission.
+    global_epoch: AtomicU64,
     /// The shared work-stealing pool re-mines run on. Sized once at
     /// boot; the applier submits labeled jobs here, so epoch rebuilds
     /// never occupy a request worker.
@@ -438,6 +451,13 @@ impl ServeEngine {
             current: RwLock::new(Arc::new(current)),
             inner: Mutex::new(EngineInner { state }),
             support_memo: Mutex::new(FxHashMap::default()),
+            owned: cfg.owned.clone().map(|mut o| {
+                o.sort_unstable();
+                o.dedup();
+                o
+            }),
+            owned_memo: Mutex::new(FxHashMap::default()),
+            global_epoch: AtomicU64::new(0),
             exec: Executor::new(budget),
             journal: GroupCommitJournal::new(journal),
             queue: std::sync::Mutex::new(IngestQueue::new(tail, epoch)),
@@ -495,6 +515,91 @@ impl ServeEngine {
         self.shared.support_memo.lock().insert(key, (support, source));
         self.shared.tel.counters().bump(source.counter());
         (support, source)
+    }
+
+    /// Owner-restricted exact support of `pattern` in epoch `ep`: only
+    /// supporter gids in the shard's owned set count. Falls back to the
+    /// full count in single-process mode (no owned set — every gid
+    /// owned).
+    ///
+    /// The warm `patterns` fast path is unusable here — `P(D)` stores
+    /// totals without supporter lists — so the count always goes through
+    /// the embedding-list engine (or isomorphism search on spill), both
+    /// of which report *which* gids support the pattern. Memoized like
+    /// [`ServeEngine::support_of`], keyed by `(epoch, code)`.
+    pub fn owned_support_of(&self, ep: &ResultEpoch, pattern: &Graph) -> Support {
+        let Some(owned) = &self.shared.owned else {
+            return self.support_of(ep, pattern).0;
+        };
+        let code = min_dfs_code(pattern);
+        let key = (ep.epoch, code);
+        if let Some(&s) = self.shared.owned_memo.lock().get(&key) {
+            return s;
+        }
+        let counters = self.shared.tel.counters();
+        let gids = match EmbeddingStore::new(&ep.db, self.shared.embedding_budget)
+            .support(&key.1, counters)
+        {
+            Some((_, gids)) => {
+                counters.bump(SupportSource::Embeddings.counter());
+                gids
+            }
+            None => {
+                counters.bump(SupportSource::Search.counter());
+                graphmine_graph::iso::supporting_gids(&ep.db, &key.1)
+            }
+        };
+        let support = gids.iter().filter(|g| owned.binary_search(g).is_ok()).count() as Support;
+        self.shared.owned_memo.lock().insert(key, support);
+        support
+    }
+
+    /// The gids this shard owns, when booted in sharded mode.
+    pub fn owned_gids(&self) -> Option<&[GraphId]> {
+        self.shared.owned.as_deref()
+    }
+
+    /// The last router-committed global epoch (0 before any commit).
+    pub fn global_epoch(&self) -> u64 {
+        self.shared.global_epoch.load(Ordering::SeqCst)
+    }
+
+    /// 2PC commit: waits until the window acked as local `seq` is folded
+    /// into the served epoch (`seq` 0 waits for nothing), then adopts
+    /// `global` as the last-committed global epoch (monotone: an older
+    /// commit can never roll the epoch back). Returns the resulting
+    /// global epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::Rejected`] for a `seq` the journal never assigned
+    /// (waiting on it would hang forever); [`UpdateError::Failed`] when
+    /// the pipeline fails before `seq` applies.
+    pub fn commit_epoch(&self, global: u64, seq: u64) -> Result<u64, UpdateError> {
+        if seq > 0 {
+            if seq >= self.shared.journal.next_seq() {
+                return Err(UpdateError::Rejected(format!("unknown seq {seq}")));
+            }
+            self.wait_applied(seq)?;
+        }
+        let prev = self.shared.global_epoch.fetch_max(global, Ordering::SeqCst);
+        Ok(prev.max(global))
+    }
+
+    /// Dry-run validation of a window against the journal tail (2PC
+    /// phase 0): exactly the verdict [`ServeEngine::submit_window`]
+    /// would reach, with nothing admitted, journaled, or applied.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::Rejected`] with the first failing op,
+    /// [`UpdateError::Failed`] on a poisoned pipeline.
+    pub fn validate_window(&self, ops: &[DbUpdate]) -> Result<(), UpdateError> {
+        let q = self.shared.queue.lock().expect("ingest queue poisoned");
+        if let Some(msg) = &q.failed {
+            return Err(UpdateError::Failed(msg.clone()));
+        }
+        validate_batch(&q.tail, ops).map_err(UpdateError::Rejected)
     }
 
     /// Admits one window into the streaming pipeline and blocks until it
@@ -681,8 +786,10 @@ impl ServeEngine {
         match req {
             Request::Status { report } => self.handle_status(*report),
             Request::Patterns { top, min_support } => self.handle_patterns(*top, *min_support),
-            Request::Support { graph } => self.handle_support(graph),
-            Request::Update { ops, ack } => self.handle_update(ops, *ack),
+            Request::Support { graph, owned } => self.handle_support(graph, *owned),
+            Request::SupportBatch { graphs, owned } => self.handle_support_batch(graphs, *owned),
+            Request::Update { ops, ack, dry_run } => self.handle_update(ops, *ack, *dry_run),
+            Request::EpochCommit { global, seq } => self.handle_epoch_commit(*global, *seq),
             Request::Shutdown => {
                 self.shared.tel.counters().bump(Counter::ReqShutdown);
                 ok_response(vec![("stopping", JsonValue::Num(1))])
@@ -690,8 +797,36 @@ impl ServeEngine {
         }
     }
 
-    fn handle_update(&self, ops: &[DbUpdate], ack: AckMode) -> JsonValue {
+    fn handle_epoch_commit(&self, global: u64, seq: u64) -> JsonValue {
+        match self.commit_epoch(global, seq) {
+            Ok(g) => ok_response(vec![
+                ("global_epoch", JsonValue::Num(g)),
+                ("epoch", JsonValue::Num(self.current().epoch)),
+            ]),
+            Err(e) => {
+                self.shared.tel.counters().bump(Counter::ReqErrors);
+                error_response(&e.to_string())
+            }
+        }
+    }
+
+    fn handle_update(&self, ops: &[DbUpdate], ack: AckMode, dry_run: bool) -> JsonValue {
         let counters = self.shared.tel.counters();
+        if dry_run {
+            return match self.validate_window(ops) {
+                Ok(()) => {
+                    counters.bump(Counter::ReqUpdate);
+                    ok_response(vec![
+                        ("valid", JsonValue::Num(1)),
+                        ("epoch", JsonValue::Num(self.current().epoch)),
+                    ])
+                }
+                Err(e) => {
+                    counters.bump(Counter::ReqErrors);
+                    error_response(&e.to_string())
+                }
+            };
+        }
         let result = match ack {
             AckMode::Applied => self.apply_update(ops).map(|s| {
                 ok_response(vec![
@@ -748,12 +883,20 @@ impl ServeEngine {
         );
         let mut fields = vec![
             ("epoch", JsonValue::Num(ep.epoch)),
+            ("global_epoch", JsonValue::Num(self.global_epoch())),
             ("uptime_ms", JsonValue::Num(shared.started.elapsed().as_millis() as u64)),
             ("db_graphs", JsonValue::Num(ep.db.len() as u64)),
             ("db_edges", JsonValue::Num(ep.db.total_edges() as u64)),
             ("pattern_count", JsonValue::Num(ep.patterns.len() as u64)),
             ("min_support", JsonValue::Num(u64::from(shared.min_support))),
             ("pending_windows", JsonValue::Num(self.pending_windows() as u64)),
+            (
+                "owned_graphs",
+                JsonValue::Num(match &shared.owned {
+                    Some(o) => o.len() as u64,
+                    None => ep.db.len() as u64,
+                }),
+            ),
             ("counters", counters),
         ];
         if report {
@@ -780,14 +923,39 @@ impl ServeEngine {
         ])
     }
 
-    fn handle_support(&self, pattern: &Graph) -> JsonValue {
+    fn handle_support(&self, pattern: &Graph, owned: bool) -> JsonValue {
         self.shared.tel.counters().bump(Counter::ReqSupport);
         let ep = self.current();
+        if owned {
+            let support = self.owned_support_of(&ep, pattern);
+            return ok_response(vec![
+                ("epoch", JsonValue::Num(ep.epoch)),
+                ("support", JsonValue::Num(u64::from(support))),
+                ("source", JsonValue::Str("owned".to_string())),
+            ]);
+        }
         let (support, source) = self.support_of(&ep, pattern);
         ok_response(vec![
             ("epoch", JsonValue::Num(ep.epoch)),
             ("support", JsonValue::Num(u64::from(support))),
             ("source", JsonValue::Str(source.name().to_string())),
+        ])
+    }
+
+    fn handle_support_batch(&self, graphs: &[Graph], owned: bool) -> JsonValue {
+        self.shared.tel.counters().bump(Counter::ReqSupport);
+        let ep = self.current();
+        let supports = graphs
+            .iter()
+            .map(|g| {
+                let s =
+                    if owned { self.owned_support_of(&ep, g) } else { self.support_of(&ep, g).0 };
+                JsonValue::Num(u64::from(s))
+            })
+            .collect();
+        ok_response(vec![
+            ("epoch", JsonValue::Num(ep.epoch)),
+            ("supports", JsonValue::Arr(supports)),
         ])
     }
 }
@@ -855,6 +1023,7 @@ fn applier_loop(shared: &Arc<EngineShared>) {
             // epoch may transiently re-add a few; the next swap collects
             // those too).
             shared.support_memo.lock().retain(|&(epoch, _), _| epoch >= seq);
+            shared.owned_memo.lock().retain(|&(epoch, _), _| epoch >= seq);
             UpdateSummary {
                 seq,
                 uf: inc.uf.len(),
@@ -1115,6 +1284,122 @@ mod tests {
         assert!(engine.current().patterns.same_codes_and_supports(&served.patterns));
         // Warm restart actually consumed the persisted pattern set.
         assert!(engine.telemetry().counters().get(Counter::KnownSkipped) > 0);
+    }
+
+    #[test]
+    fn owned_support_restricts_to_the_owned_set() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let mut config = cfg();
+        config.owned = Some(vec![3, 1]); // unsorted on purpose
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &config).unwrap();
+        let ep = engine.current();
+
+        // The (0)-10-(1) edge is in all four graphs; two are owned.
+        let mut frequent = Graph::new();
+        let a = frequent.add_vertex(0);
+        let b = frequent.add_vertex(1);
+        frequent.add_edge(a, b, 10).unwrap();
+        assert_eq!(engine.owned_support_of(&ep, &frequent), 2);
+        assert_eq!(engine.support_of(&ep, &frequent).0, 4, "full count unaffected");
+        assert_eq!(engine.owned_support_of(&ep, &frequent), 2, "memo hit agrees");
+
+        // The triangle edge lives in gids 0 and 2 — neither owned.
+        let mut rare = Graph::new();
+        let a = rare.add_vertex(2);
+        let b = rare.add_vertex(0);
+        rare.add_edge(a, b, 12).unwrap();
+        assert_eq!(engine.owned_support_of(&ep, &rare), 0);
+        assert_eq!(engine.support_of(&ep, &rare).0, 2);
+
+        assert_eq!(engine.owned_gids(), Some(&[1, 3][..]));
+        let status = engine.handle(&Request::Status { report: false });
+        assert_eq!(status.field("owned_graphs").and_then(JsonValue::as_num), Some(2));
+
+        // Single-process mode: no owned set means every gid counts.
+        let dir2 = tempfile::tempdir().unwrap();
+        let (single, _) = ServeEngine::boot(Some(&db), dir2.path(), &cfg()).unwrap();
+        let ep2 = single.current();
+        assert_eq!(single.owned_support_of(&ep2, &frequent), 4);
+        assert_eq!(single.owned_gids(), None);
+    }
+
+    #[test]
+    fn epoch_commit_waits_for_the_seq_and_is_monotone() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &cfg()).unwrap();
+        assert_eq!(engine.global_epoch(), 0);
+        let ops = vec![DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 5 } }];
+        let seq = engine.submit_window(&ops).unwrap().seq;
+        assert_eq!(engine.commit_epoch(5, seq), Ok(5));
+        assert!(engine.current().epoch >= seq, "commit waited for application");
+        // An older commit can never roll the epoch back.
+        assert_eq!(engine.commit_epoch(3, 0), Ok(5));
+        assert_eq!(engine.global_epoch(), 5);
+        // A seq the journal never assigned is rejected, not hung on.
+        assert!(matches!(engine.commit_epoch(9, 99), Err(UpdateError::Rejected(_))));
+        let status = engine.handle(&Request::Status { report: false });
+        assert_eq!(status.field("global_epoch").and_then(JsonValue::as_num), Some(5));
+    }
+
+    #[test]
+    fn dry_run_validates_without_admitting() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &cfg()).unwrap();
+        let bad = vec![DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 0, v: 99, label: 1 } }];
+        assert!(matches!(engine.validate_window(&bad), Err(UpdateError::Rejected(_))));
+        let good = vec![DbUpdate { gid: 1, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } }];
+        engine.validate_window(&good).unwrap();
+        // Nothing admitted, journaled, or applied by either verdict.
+        assert_eq!(engine.current().epoch, 0);
+        assert_eq!(engine.telemetry().counters().get(Counter::WalBatchesAppended), 0);
+        let resp =
+            engine.handle(&Request::Update { ops: good, ack: AckMode::Applied, dry_run: true });
+        assert_eq!(resp.field("valid").and_then(JsonValue::as_num), Some(1));
+        assert_eq!(engine.current().epoch, 0);
+    }
+
+    #[test]
+    fn support_batch_answers_in_request_order() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let mut config = cfg();
+        config.owned = Some(vec![0, 2]);
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &config).unwrap();
+        let mut frequent = Graph::new();
+        let a = frequent.add_vertex(0);
+        let b = frequent.add_vertex(1);
+        frequent.add_edge(a, b, 10).unwrap();
+        let mut rare = Graph::new();
+        let a = rare.add_vertex(2);
+        let b = rare.add_vertex(0);
+        rare.add_edge(a, b, 12).unwrap();
+        let resp = engine.handle(&Request::SupportBatch {
+            graphs: vec![frequent.clone(), rare.clone()],
+            owned: true,
+        });
+        let supports: Vec<u64> = resp
+            .field("supports")
+            .and_then(JsonValue::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_num().unwrap())
+            .collect();
+        // Owned gids are 0 and 2: both hold the frequent edge and both
+        // hold the triangle edge.
+        assert_eq!(supports, vec![2, 2]);
+        let full =
+            engine.handle(&Request::SupportBatch { graphs: vec![frequent, rare], owned: false });
+        let full: Vec<u64> = full
+            .field("supports")
+            .and_then(JsonValue::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_num().unwrap())
+            .collect();
+        assert_eq!(full, vec![4, 2]);
     }
 
     #[test]

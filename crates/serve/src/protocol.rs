@@ -13,8 +13,12 @@
 //! {"cmd":"patterns","top":10,"min_support":3}      // both fields optional
 //! {"cmd":"support","code":[[0,1,0,5,1],[1,2,1,5,0]]}
 //! {"cmd":"support","graph":{"vertices":[0,1,0],"edges":[[0,1,5],[1,2,5]]}}
+//! {"cmd":"support","code":[...],"owned":1}        // count owned gids only
+//! {"cmd":"support-batch","codes":[[...],[...]],"owned":1}
 //! {"cmd":"update","ops":[{"gid":3,"op":"add-edge","u":0,"v":6,"label":2}]}
 //! {"cmd":"update","ack":"durable","ops":[...]}   // stream: ack at the fsync barrier
+//! {"cmd":"update","dry_run":1,"ops":[...]}       // router 2PC: validate only
+//! {"cmd":"epoch-commit","global":3,"seq":2}      // router 2PC: publish global epoch
 //! {"cmd":"shutdown"}
 //! ```
 //!
@@ -30,6 +34,15 @@
 //! `{"status":"error","error":"backpressure","pending":N}` — distinct
 //! from `overloaded` (connection queue full) and from real errors:
 //! nothing was admitted and the client should retry after a backoff.
+//!
+//! The `owned`/`support-batch`/`dry_run`/`epoch-commit` extensions serve
+//! the scatter/gather router (`graphmine-router`): shards booted with an
+//! owned-gid set answer owner-restricted counts (so gathered sums count
+//! every graph exactly once), a dry-run update validates a window against
+//! the journal tail without admitting it (2PC phase 0), and
+//! `epoch-commit` waits for a prepared window to apply and then adopts
+//! the router's published global epoch, which `status` reports alongside
+//! the local one.
 
 use graphmine_graph::{DbUpdate, DfsCode, Graph, GraphUpdate, Pattern, VLabel};
 use graphmine_telemetry::JsonValue;
@@ -67,6 +80,16 @@ pub enum Request {
     Support {
         /// The pattern, already materialized and validated.
         graph: Graph,
+        /// Restrict the count to the shard's owned gids.
+        owned: bool,
+    },
+    /// Exact supports of several patterns in one round trip (router
+    /// gather phase 2).
+    SupportBatch {
+        /// The patterns, in request order.
+        graphs: Vec<Graph>,
+        /// Restrict the counts to the shard's owned gids.
+        owned: bool,
     },
     /// Apply an update batch through the incremental miner.
     Update {
@@ -74,9 +97,26 @@ pub enum Request {
         ops: Vec<DbUpdate>,
         /// Whether to ack at durability or after application.
         ack: AckMode,
+        /// Validate against the journal tail without admitting (2PC
+        /// phase 0); `ack` is ignored.
+        dry_run: bool,
+    },
+    /// Adopt a router-published global epoch once the window acked as
+    /// `seq` has been applied (2PC commit). `seq` 0 waits for nothing —
+    /// used to republish the epoch to untouched or re-admitted shards.
+    EpochCommit {
+        /// The router's new global epoch.
+        global: u64,
+        /// Local journal seq the commit must wait for.
+        seq: u64,
     },
     /// Stop the daemon (snapshot + journal truncation on the way out).
     Shutdown,
+}
+
+/// `true` when an optional `0`/`1` flag field is present and non-zero.
+fn flag_field(value: &JsonValue, name: &str) -> bool {
+    matches!(value.field(name), Some(JsonValue::Num(n)) if *n != 0)
 }
 
 /// Parses one request line.
@@ -92,10 +132,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .and_then(JsonValue::as_str)
         .ok_or_else(|| "missing string field `cmd`".to_string())?;
     match cmd {
-        "status" => {
-            let report = matches!(value.field("report"), Some(JsonValue::Num(n)) if *n != 0);
-            Ok(Request::Status { report })
-        }
+        "status" => Ok(Request::Status { report: flag_field(&value, "report") }),
         "patterns" => {
             let top = match value.field("top") {
                 None | Some(JsonValue::Null) => DEFAULT_TOP,
@@ -113,7 +150,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 (None, Some(spec)) => pattern_from_graph_json(spec)?,
                 _ => return Err("`support` needs exactly one of `code` or `graph`".to_string()),
             };
-            Ok(Request::Support { graph })
+            Ok(Request::Support { graph, owned: flag_field(&value, "owned") })
+        }
+        "support-batch" => {
+            let codes = value
+                .field("codes")
+                .and_then(JsonValue::as_arr)
+                .ok_or("`support-batch` needs an array field `codes`")?;
+            let graphs =
+                codes.iter().map(pattern_from_code_json).collect::<Result<Vec<_>, String>>()?;
+            Ok(Request::SupportBatch { graphs, owned: flag_field(&value, "owned") })
         }
         "update" => {
             let ops = value.field("ops").ok_or("missing field `ops`")?;
@@ -123,7 +169,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Some(JsonValue::Str(s)) if s == "durable" => AckMode::Durable,
                 Some(_) => return Err("field `ack` must be \"applied\" or \"durable\"".to_string()),
             };
-            Ok(Request::Update { ops: ops_from_json(ops)?, ack })
+            Ok(Request::Update {
+                ops: ops_from_json(ops)?,
+                ack,
+                dry_run: flag_field(&value, "dry_run"),
+            })
+        }
+        "epoch-commit" => {
+            let global = value
+                .field("global")
+                .and_then(JsonValue::as_num)
+                .ok_or("`epoch-commit` needs an integer field `global`")?;
+            let seq = match value.field("seq") {
+                None | Some(JsonValue::Null) => 0,
+                Some(v) => v.as_num().ok_or("field `seq` must be an integer")?,
+            };
+            Ok(Request::EpochCommit { global, seq })
         }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown command `{other}`")),
@@ -161,6 +222,63 @@ pub fn code_to_json(code: &DfsCode) -> JsonValue {
             })
             .collect(),
     )
+}
+
+/// Decodes a wire code (list of 5-tuples) back into a [`DfsCode`].
+///
+/// Shape-checks only — no minimality or connectivity validation. The
+/// router uses this on codes produced by its own shards, where the graph
+/// round trip of [`parse_request`]'s `support` arm would be wasted work;
+/// anything structurally off still comes back as an error, never a panic.
+///
+/// # Errors
+///
+/// Returns a message for non-array input or malformed tuples.
+pub fn code_from_json(value: &JsonValue) -> Result<DfsCode, String> {
+    let edges = value.as_arr().ok_or("code must be an array of 5-tuples")?;
+    let mut out = Vec::with_capacity(edges.len());
+    for (i, e) in edges.iter().enumerate() {
+        let t = e
+            .as_arr()
+            .filter(|t| t.len() == 5)
+            .ok_or_else(|| format!("code edge {i}: expected a 5-tuple"))?;
+        let mut nums = [0u32; 5];
+        for (j, v) in t.iter().enumerate() {
+            nums[j] = v
+                .as_num()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("code edge {i}: field {j} is not a u32"))?;
+        }
+        out.push(graphmine_graph::DfsEdge {
+            from: nums[0],
+            to: nums[1],
+            from_label: nums[2],
+            edge_label: nums[3],
+            to_label: nums[4],
+        });
+    }
+    Ok(DfsCode(out))
+}
+
+/// Serializes a pattern graph as the wire's `graph` spec
+/// (`{"vertices":[label,...],"edges":[[u,v,label],...]}`), the client
+/// side of the `support` request's `graph` form.
+pub fn graph_to_json(g: &Graph) -> JsonValue {
+    let vertices = g.vlabels().iter().map(|&l| JsonValue::Num(u64::from(l))).collect();
+    let edges = g
+        .edges()
+        .map(|(_, u, v, l)| {
+            JsonValue::Arr(vec![
+                JsonValue::Num(u64::from(u)),
+                JsonValue::Num(u64::from(v)),
+                JsonValue::Num(u64::from(l)),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("vertices".to_string(), JsonValue::Arr(vertices)),
+        ("edges".to_string(), JsonValue::Arr(edges)),
+    ])
 }
 
 /// Serializes a pattern as `{"support":s,"size":edges,"code":[...]}`.
@@ -382,6 +500,7 @@ mod tests {
                     update: GraphUpdate::AddEdge { u: 0, v: 6, label: 2 }
                 }],
                 ack: AckMode::Applied,
+                dry_run: false,
             }
         );
         let durable = parse_request(
@@ -406,7 +525,8 @@ mod tests {
     fn support_code_round_trips_through_min_code() {
         // A labeled path 0-1-2; the wire code is NOT minimal (edges reversed).
         let req = parse_request(r#"{"cmd":"support","code":[[1,2,1,11,2],[0,1,0,10,1]]}"#).unwrap();
-        let Request::Support { graph } = req else { panic!("not a support request") };
+        let Request::Support { graph, owned } = req else { panic!("not a support request") };
+        assert!(!owned);
         assert_eq!(graph.vertex_count(), 3);
         assert_eq!(graph.edge_count(), 2);
         let code = min_dfs_code(&graph);
@@ -442,7 +562,7 @@ mod tests {
             r#"{"cmd":"support","graph":{"vertices":[0,1,0],"edges":[[0,1,5],[1,2,5]]}}"#,
         )
         .unwrap();
-        let Request::Support { graph } = req else { panic!("not a support request") };
+        let Request::Support { graph, .. } = req else { panic!("not a support request") };
         assert_eq!(graph.vertex_count(), 3);
         assert_eq!(graph.vlabel(2), 0);
         assert!(parse_request(r#"{"cmd":"support","graph":{"vertices":[0,1],"edges":[[0,5,1]]}}"#)
@@ -465,7 +585,72 @@ mod tests {
             ("ops".to_string(), ops_to_json(&ops)),
         ])
         .to_json();
-        assert_eq!(parse_request(&line).unwrap(), Request::Update { ops, ack: AckMode::Applied });
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Update { ops, ack: AckMode::Applied, dry_run: false }
+        );
+    }
+
+    #[test]
+    fn parses_router_extensions() {
+        let req = parse_request(r#"{"cmd":"support","code":[[0,1,0,5,1]],"owned":1}"#).unwrap();
+        assert!(matches!(req, Request::Support { owned: true, .. }));
+        let batch = parse_request(
+            r#"{"cmd":"support-batch","codes":[[[0,1,0,5,1]],[[0,1,2,5,3],[1,2,3,5,2]]],"owned":1}"#,
+        )
+        .unwrap();
+        let Request::SupportBatch { graphs, owned } = batch else { panic!("not a batch") };
+        assert!(owned);
+        assert_eq!(graphs.len(), 2);
+        assert_eq!(graphs[1].edge_count(), 2);
+        assert!(parse_request(r#"{"cmd":"support-batch","codes":[[]]}"#).is_err());
+        let dry = parse_request(
+            r#"{"cmd":"update","dry_run":1,"ops":[{"gid":0,"op":"relabel-vertex","v":0,"label":1}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(dry, Request::Update { dry_run: true, .. }));
+        assert_eq!(
+            parse_request(r#"{"cmd":"epoch-commit","global":7,"seq":2}"#).unwrap(),
+            Request::EpochCommit { global: 7, seq: 2 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"epoch-commit","global":1}"#).unwrap(),
+            Request::EpochCommit { global: 1, seq: 0 }
+        );
+        assert!(parse_request(r#"{"cmd":"epoch-commit"}"#).is_err());
+    }
+
+    #[test]
+    fn code_json_round_trips_without_validation() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(0);
+        let b = g.add_vertex(1);
+        let c = g.add_vertex(2);
+        g.add_edge(a, b, 10).unwrap();
+        g.add_edge(b, c, 11).unwrap();
+        let code = min_dfs_code(&g);
+        let back = code_from_json(&code_to_json(&code)).unwrap();
+        assert_eq!(back, code);
+        assert!(code_from_json(&JsonValue::Num(3)).is_err());
+        assert!(code_from_json(&JsonValue::parse("[[1,2,3]]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn graph_json_round_trips_through_support_parse() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(4);
+        let b = g.add_vertex(5);
+        g.add_edge(a, b, 9).unwrap();
+        let line = JsonValue::Obj(vec![
+            ("cmd".to_string(), JsonValue::Str("support".to_string())),
+            ("graph".to_string(), graph_to_json(&g)),
+        ])
+        .to_json();
+        let Request::Support { graph, .. } = parse_request(&line).unwrap() else {
+            panic!("not a support request")
+        };
+        assert_eq!(graph.vlabels(), g.vlabels());
+        assert_eq!(graph.edge_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Table-driven contract test for [`RetryPolicy`] × `backpressure` ×
+//! `overloaded` replies arriving interleaved from different shards.
+//!
+//! The router fans one logical update out to several shard backends;
+//! each backend independently sheds with `backpressure` (ingest bound,
+//! retryable after a backoff) or `overloaded` (connection-queue bound,
+//! reply-then-close, NOT retried by [`Client`] — reconnect/failover is
+//! the pool layer's job). Each table row scripts a reply sequence per
+//! fake shard and drives a real [`Client`] against each concurrently,
+//! pinning:
+//!
+//! * `backpressure` is retried up to `attempts`, then surfaces;
+//! * `overloaded` surfaces immediately — even mid-retry-loop after a
+//!   `backpressure`, and even while the *other* shard is retrying;
+//! * a shard's verdict only consumes that shard's attempts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::thread;
+
+use graphmine_graph::{DbUpdate, GraphUpdate};
+use graphmine_serve::{Client, RetryPolicy};
+
+#[derive(Debug, Clone, Copy)]
+enum Reply {
+    /// `{"status":"error","error":"backpressure","pending":N}` — retryable.
+    Backpressure,
+    /// `{"status":"error","error":"overloaded"}` then close, like the
+    /// accept thread shedding a connection.
+    Overloaded,
+    /// A durable-ack success.
+    Ok,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Ok,
+    BackpressureErr,
+    OverloadedErr,
+}
+
+/// One scripted fake shard: accepts a single connection and answers each
+/// request line with the next scripted reply. Returns the number of
+/// requests it actually served.
+fn fake_shard(script: Vec<Reply>) -> (String, thread::JoinHandle<usize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = thread::spawn(move || {
+        let (conn, _) = listener.accept().unwrap();
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut served = 0usize;
+        for reply in script {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            served += 1;
+            match reply {
+                Reply::Backpressure => {
+                    writeln!(writer, r#"{{"status":"error","error":"backpressure","pending":4}}"#)
+                        .unwrap()
+                }
+                Reply::Overloaded => {
+                    writeln!(writer, r#"{{"status":"error","error":"overloaded"}}"#).unwrap();
+                    break; // close the connection, like the real shed path
+                }
+                Reply::Ok => writeln!(
+                    writer,
+                    r#"{{"status":"ok","seq":1,"durable":1,"pending":0,"epoch":1}}"#
+                )
+                .unwrap(),
+            }
+        }
+        served
+    });
+    (addr, handle)
+}
+
+struct ShardCase {
+    script: Vec<Reply>,
+    attempts: u32,
+    expect: Outcome,
+    expect_served: usize,
+}
+
+fn run_case(name: &str, shards: Vec<ShardCase>) {
+    let ops = vec![DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 1 } }];
+    let mut drivers = Vec::new();
+    for (i, shard) in shards.into_iter().enumerate() {
+        let (addr, server) = fake_shard(shard.script);
+        let ops = ops.clone();
+        // One thread per shard so replies really interleave in time.
+        let driver = thread::spawn(move || {
+            let retry = RetryPolicy { attempts: shard.attempts, base_ms: 1, cap_ms: 4, seed: 7 };
+            let mut client = Client::connect(addr.as_str()).unwrap().with_retry(retry);
+            let got = match client.update(&ops) {
+                Ok(_) => Outcome::Ok,
+                Err(e) if e.starts_with("backpressure") => Outcome::BackpressureErr,
+                Err(e) if e == "overloaded" => Outcome::OverloadedErr,
+                Err(e) => panic!("shard {i}: unexpected error: {e}"),
+            };
+            drop(client); // let the fake server's read_line return 0
+            (got, server.join().unwrap())
+        });
+        drivers.push((i, shard.expect, shard.expect_served, driver));
+    }
+    for (i, expect, expect_served, driver) in drivers {
+        let (got, served) = driver.join().unwrap();
+        assert_eq!(got, expect, "{name}: shard {i} outcome");
+        assert_eq!(served, expect_served, "{name}: shard {i} requests served");
+    }
+}
+
+#[test]
+fn retry_policy_vs_interleaved_shard_replies() {
+    // (name, per-shard scripts) — each row drives all its shards
+    // concurrently against one logical update.
+    let table: Vec<(&str, Vec<ShardCase>)> = vec![
+        (
+            "backpressure retries until ok while the other shard acks at once",
+            vec![
+                ShardCase {
+                    script: vec![Reply::Backpressure, Reply::Backpressure, Reply::Ok],
+                    attempts: 6,
+                    expect: Outcome::Ok,
+                    expect_served: 3,
+                },
+                ShardCase {
+                    script: vec![Reply::Ok],
+                    attempts: 6,
+                    expect: Outcome::Ok,
+                    expect_served: 1,
+                },
+            ],
+        ),
+        (
+            "attempts bound exhausts and the final backpressure surfaces",
+            vec![
+                ShardCase {
+                    script: vec![Reply::Backpressure; 3],
+                    attempts: 3,
+                    expect: Outcome::BackpressureErr,
+                    expect_served: 3,
+                },
+                ShardCase {
+                    script: vec![Reply::Backpressure, Reply::Ok],
+                    attempts: 3,
+                    expect: Outcome::Ok,
+                    expect_served: 2,
+                },
+            ],
+        ),
+        (
+            "overloaded is not retried even with attempts left",
+            vec![
+                ShardCase {
+                    script: vec![Reply::Overloaded],
+                    attempts: 6,
+                    expect: Outcome::OverloadedErr,
+                    expect_served: 1,
+                },
+                ShardCase {
+                    script: vec![Reply::Backpressure, Reply::Backpressure, Reply::Ok],
+                    attempts: 6,
+                    expect: Outcome::Ok,
+                    expect_served: 3,
+                },
+            ],
+        ),
+        (
+            "overloaded mid-retry-loop stops the backpressure retries cold",
+            vec![
+                ShardCase {
+                    script: vec![Reply::Backpressure, Reply::Overloaded],
+                    attempts: 6,
+                    expect: Outcome::OverloadedErr,
+                    expect_served: 2,
+                },
+                ShardCase {
+                    script: vec![
+                        Reply::Backpressure,
+                        Reply::Backpressure,
+                        Reply::Backpressure,
+                        Reply::Ok,
+                    ],
+                    attempts: 6,
+                    expect: Outcome::Ok,
+                    expect_served: 4,
+                },
+            ],
+        ),
+    ];
+    for (name, shards) in table {
+        run_case(name, shards);
+    }
+}
+
+#[test]
+fn a_shard_that_shed_overloaded_is_gone_until_reconnect() {
+    // After the reply-then-close shed, the same Client cannot be reused —
+    // the pool layer must reconnect. The error names the dead peer.
+    let (addr, server) = fake_shard(vec![Reply::Overloaded]);
+    let mut client = Client::connect(addr.as_str()).unwrap().with_retry(RetryPolicy::none());
+    let ops = vec![DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 1 } }];
+    assert_eq!(client.update(&ops).unwrap_err(), "overloaded");
+    let err = client.status(false).unwrap_err();
+    assert!(
+        err.contains(&addr) || err.contains("closed") || err.contains("send to"),
+        "reuse after close should fail attributably: {err}"
+    );
+    assert_eq!(server.join().unwrap(), 1);
+}

@@ -104,11 +104,23 @@ pub enum Counter {
     ExecQueuePeak,
     /// Executor: jobs whose closure panicked (surfaced as `ExecError`).
     ExecPanics,
+    /// Router: per-shard requests fanned out by scatter/gather reads.
+    ScatterFanout,
+    /// Router: gathered answers served degraded (at least one dead shard).
+    GatherPartial,
+    /// Router: per-shard request retries after a transport failure.
+    ShardRetries,
+    /// Router: reads hedged to a secondary replica after the primary
+    /// missed the latency threshold.
+    HedgedReads,
+    /// Router: two-phase update windows aborted before the global epoch
+    /// advanced (prepare failed on some touched shard).
+    Epoch2pcAborts,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 43] = [
+    pub const ALL: [Counter; 48] = [
         Counter::CandidatesGenerated,
         Counter::IsoTestsRun,
         Counter::IsoTestsPruned,
@@ -152,6 +164,11 @@ impl Counter {
         Counter::ExecSteals,
         Counter::ExecQueuePeak,
         Counter::ExecPanics,
+        Counter::ScatterFanout,
+        Counter::GatherPartial,
+        Counter::ShardRetries,
+        Counter::HedgedReads,
+        Counter::Epoch2pcAborts,
     ];
 
     /// Stable snake_case identifier used in reports.
@@ -200,6 +217,11 @@ impl Counter {
             Counter::ExecSteals => "exec_steals",
             Counter::ExecQueuePeak => "exec_queue_peak",
             Counter::ExecPanics => "exec_panics",
+            Counter::ScatterFanout => "scatter_fanout",
+            Counter::GatherPartial => "gather_partial",
+            Counter::ShardRetries => "shard_retries",
+            Counter::HedgedReads => "hedged_reads",
+            Counter::Epoch2pcAborts => "epoch_2pc_aborts",
         }
     }
 
