@@ -118,7 +118,10 @@ fn serve_connection(shared: &Shared, conn: TcpStream) {
     let mut reader = BufReader::new(conn);
     let mut line = String::new();
     loop {
-        line.clear();
+        // Partially read lines survive the poll timeout: the buffer is
+        // only cleared after a full line is handled, so a request split
+        // across READ_POLL windows reassembles instead of parsing its
+        // tail as garbage (same contract as the serve crate's server).
         match reader.read_line(&mut line) {
             Ok(0) => return,
             Ok(_) => {}
@@ -136,6 +139,7 @@ fn serve_connection(shared: &Shared, conn: TcpStream) {
             Err(_) => return,
         }
         if line.trim().is_empty() {
+            line.clear();
             continue;
         }
         let response = match protocol::parse_request(line.trim_end()) {
@@ -151,8 +155,61 @@ fn serve_connection(shared: &Shared, conn: TcpStream) {
             Ok(req) => shared.router.handle(&req),
             Err(e) => protocol::error_response(&e),
         };
+        line.clear();
         if writeln!(writer, "{}", response.to_json()).is_err() {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::RouterConfig;
+    use crate::topology::{ShardSpec, ShardTopology};
+
+    /// A valid one-shard topology whose replica is never contacted by
+    /// the requests these tests send.
+    fn tiny_topology() -> ShardTopology {
+        ShardTopology {
+            min_support: 1,
+            local_min_support: 1,
+            k: 1,
+            policy: "units".to_string(),
+            n_graphs: 1,
+            router_addr: "127.0.0.1:0".to_string(),
+            shards: vec![ShardSpec {
+                id: 0,
+                units: vec![0],
+                owned: vec![0],
+                replicas: vec!["127.0.0.1:1".to_string()],
+                data: "shard-0.txt".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn a_request_split_across_the_poll_timeout_reassembles() {
+        let router = Arc::new(Router::new(tiny_topology(), RouterConfig::default()).unwrap());
+        let handle = start(router, "127.0.0.1:0").unwrap();
+        let conn = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        // `epoch-commit` is answered by the router itself (no shard
+        // fan-out), so the reply is deterministic. Send it in two
+        // chunks with a pause longer than READ_POLL between them: the
+        // partial line must survive the handler's poll timeout.
+        writer.write_all(br#"{"cmd":"epoch-co"#).unwrap();
+        writer.flush().unwrap();
+        std::thread::sleep(READ_POLL * 3);
+        writer.write_all(b"mmit\",\"global\":1}\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.contains("epoch-commit is shard-side"),
+            "split request parsed as garbage: {reply}"
+        );
+        handle.abort();
     }
 }

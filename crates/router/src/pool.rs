@@ -5,7 +5,12 @@
 //! Reads walk the replica list: every replica but the last is given the
 //! short `hedge_after` read budget, so a slow primary is abandoned and
 //! the request *hedges* to the next replica ([`Counter::HedgedReads`]);
-//! the last replica gets the full `read_timeout`. Transport failures
+//! the last replica gets the full `read_timeout`. The budget is set per
+//! request, not per connection: writes and 2PC verbs on the same pooled
+//! connection always run under the full `read_timeout` (a durable
+//! prepare blocks on the fsync group commit; an epoch-commit blocks
+//! until the window is applied) and are only ever resent after faults
+//! that provably precede admission (connect/send). Transport failures
 //! (connect refused, broken pipe, desynced stream) drop the pooled
 //! connection and fail over the same way ([`Counter::ShardRetries`]).
 //! Only when every replica has failed is the shard marked **dead** —
@@ -57,6 +62,16 @@ fn is_transport(err: &str) -> bool {
         || err.starts_with("malformed response")
 }
 
+/// `true` for transport errors that provably happen *before* the server
+/// could have admitted the request: connect and send failures. A read
+/// error — timeout, reset, closed connection, garbled reply — arrives
+/// after the request line was flushed, so the replica may already have
+/// admitted and journaled it; resending a non-idempotent write after one
+/// of those would duplicate the window.
+fn is_pre_admission(err: &str) -> bool {
+    err.starts_with("connect to ") || err.starts_with("send to ")
+}
+
 /// One shard's replicas and their pooled connections.
 pub(crate) struct ShardState {
     /// Replica addresses, primary first.
@@ -73,8 +88,12 @@ impl ShardState {
         ShardState { addrs, clients, dead: false }
     }
 
-    /// The read budget replica `r` gets: short for replicas that still
-    /// have a fallback behind them, full for the last one.
+    /// The **read-path** budget replica `r` gets: short for replicas
+    /// that still have a fallback behind them, full for the last one.
+    /// Writes and 2PC verbs always get the full `read_timeout` — a
+    /// durable prepare blocks on the fsync group commit and an
+    /// epoch-commit blocks until the window is applied, so the hedge
+    /// threshold would time them out near-deterministically.
     fn read_budget(&self, r: usize, cfg: &RouterConfig) -> Duration {
         if r + 1 < self.addrs.len() {
             cfg.hedge_after
@@ -83,18 +102,35 @@ impl ShardState {
         }
     }
 
-    /// The pooled connection to replica `r`, connecting if needed.
+    /// The pooled connection to replica `r`, connecting if needed. The
+    /// connection carries no request-specific state: every request sets
+    /// its own read budget via [`ShardState::request_with_budget`].
     fn client(&mut self, r: usize, cfg: &RouterConfig) -> Result<&mut Client, String> {
         if self.clients[r].is_none() {
             let c = Client::connect_with(
                 self.addrs[r].as_str(),
                 Some(cfg.connect_timeout),
-                Some(self.read_budget(r, cfg)),
+                Some(cfg.read_timeout),
             )?
             .with_retry(cfg.retry.clone());
             self.clients[r] = Some(c);
         }
         Ok(self.clients[r].as_mut().expect("just connected"))
+    }
+
+    /// One request to replica `r` under the given reply budget. The
+    /// budget is (re)applied per request because the pooled connection
+    /// is shared between hedged reads and full-budget writes.
+    fn request_with_budget(
+        &mut self,
+        r: usize,
+        line: &str,
+        budget: Duration,
+        cfg: &RouterConfig,
+    ) -> Result<JsonValue, String> {
+        let c = self.client(r, cfg)?;
+        c.set_read_timeout(Some(budget))?;
+        c.request_line(line)
     }
 
     /// One read-path request with hedging and failover down the replica
@@ -112,10 +148,7 @@ impl ShardState {
     ) -> Result<JsonValue, String> {
         let mut last_err = String::new();
         for r in 0..self.addrs.len() {
-            let attempt = match self.client(r, cfg) {
-                Ok(c) => c.request_line(line),
-                Err(e) => Err(e),
-            };
+            let attempt = self.request_with_budget(r, line, self.read_budget(r, cfg), cfg);
             match attempt {
                 Ok(reply) => {
                     self.dead = false;
@@ -142,12 +175,20 @@ impl ShardState {
     }
 
     /// One write-path request that must succeed on **every** replica
-    /// (the all-replicas-durable rule). Each replica gets one reconnect
-    /// retry for transport faults; the first definitive failure aborts.
+    /// (the all-replicas-durable rule), under the full `read_timeout`
+    /// budget. Each replica gets one reconnect retry, but **only** for
+    /// pre-admission faults (connect/send): once the line was flushed,
+    /// the replica may have journaled it, and resending a durable
+    /// window would re-validate a duplicate against the new tail —
+    /// silent cross-shard divergence for non-idempotent ops. Those
+    /// indeterminate faults abort with a distinct `indeterminate:`
+    /// error instead.
     ///
     /// # Errors
     ///
-    /// Names the replica that failed. Does not mark the shard dead: the
+    /// Names the replica that failed and says whether the fault was
+    /// definitive (the window is nowhere) or indeterminate (it may be
+    /// durable on that replica). Does not mark the shard dead: the
     /// surviving replicas still serve reads.
     pub fn write_all_replicas(
         &mut self,
@@ -157,23 +198,24 @@ impl ShardState {
     ) -> Result<Vec<JsonValue>, String> {
         let mut replies = Vec::with_capacity(self.addrs.len());
         for r in 0..self.addrs.len() {
-            let mut attempt = match self.client(r, cfg) {
-                Ok(c) => c.request_line(line),
-                Err(e) => Err(e),
-            };
-            if matches!(&attempt, Err(e) if is_transport(e)) {
+            let mut attempt = self.request_with_budget(r, line, cfg.read_timeout, cfg);
+            if matches!(&attempt, Err(e) if is_pre_admission(e)) {
                 self.clients[r] = None;
                 counters.bump(Counter::ShardRetries);
-                attempt = match self.client(r, cfg) {
-                    Ok(c) => c.request_line(line),
-                    Err(e) => Err(e),
-                };
+                attempt = self.request_with_budget(r, line, cfg.read_timeout, cfg);
             }
             match attempt {
                 Ok(reply) => replies.push(reply),
                 Err(e) => {
                     if is_transport(&e) {
                         self.clients[r] = None;
+                        if !is_pre_admission(&e) {
+                            return Err(format!(
+                                "replica {}: indeterminate: {e} (the window may be durable \
+                                 there; not resent)",
+                                self.addrs[r]
+                            ));
+                        }
                     }
                     return Err(format!("replica {}: {e}", self.addrs[r]));
                 }
@@ -183,8 +225,13 @@ impl ShardState {
     }
 
     /// One request pinned to replica `r` (2PC commit sends a different
-    /// `seq` to each replica), with a single reconnect retry on
-    /// transport faults.
+    /// `seq` to each replica), under the full `read_timeout` budget,
+    /// with a single reconnect retry on pre-admission (connect/send)
+    /// faults only — the same no-resend-after-flush rule as
+    /// [`ShardState::write_all_replicas`]. `epoch-commit` itself is
+    /// idempotent, but a post-send fault still means the commit may be
+    /// in flight on a connection we are abandoning, so the caller
+    /// handles it via the straggler path rather than a blind resend.
     ///
     /// # Errors
     ///
@@ -196,17 +243,11 @@ impl ShardState {
         cfg: &RouterConfig,
         counters: &Counters,
     ) -> Result<JsonValue, String> {
-        let mut attempt = match self.client(r, cfg) {
-            Ok(c) => c.request_line(line),
-            Err(e) => Err(e),
-        };
-        if matches!(&attempt, Err(e) if is_transport(e)) {
+        let mut attempt = self.request_with_budget(r, line, cfg.read_timeout, cfg);
+        if matches!(&attempt, Err(e) if is_pre_admission(e)) {
             self.clients[r] = None;
             counters.bump(Counter::ShardRetries);
-            attempt = match self.client(r, cfg) {
-                Ok(c) => c.request_line(line),
-                Err(e) => Err(e),
-            };
+            attempt = self.request_with_budget(r, line, cfg.read_timeout, cfg);
         }
         attempt.map_err(|e| {
             if is_transport(&e) {
@@ -353,6 +394,91 @@ mod tests {
         assert_eq!(c.get(Counter::ShardRetries), 0);
         drop(st);
         h.join().unwrap();
+    }
+
+    /// A replica that answers every request, each after `delay`.
+    fn slow_replica(reply: &'static str, delay: Duration) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            if let Ok((conn, _)) = listener.accept() {
+                let mut w = conn.try_clone().unwrap();
+                let mut r = BufReader::new(conn);
+                let mut line = String::new();
+                while r.read_line(&mut line).unwrap_or(0) > 0 {
+                    std::thread::sleep(delay);
+                    if writeln!(w, "{reply}").is_err() {
+                        break;
+                    }
+                    line.clear();
+                }
+            }
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn writes_outlive_the_hedge_budget_on_a_non_final_replica() {
+        // Replica 0 answers slower than hedge_after (60ms) but well
+        // within read_timeout; a write must wait it out — the hedge
+        // budget is for reads only — while a read on the same pooled
+        // connection still hedges.
+        let (slow, hs) = slow_replica(r#"{"status":"ok","seq":4}"#, Duration::from_millis(150));
+        let (fast, hf) = echo_replica(r#"{"status":"ok","seq":9}"#);
+        let mut st = ShardState::new(vec![slow, fast]);
+        let c = counters();
+        let cfg = quick_cfg();
+        let replies = st.write_all_replicas(r#"{"cmd":"update","ops":[]}"#, &cfg, &c).unwrap();
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].field("seq").and_then(JsonValue::as_num), Some(4));
+        assert_eq!(c.get(Counter::HedgedReads), 0);
+        assert_eq!(c.get(Counter::ShardRetries), 0);
+        // The same slow replica is now too slow for the read path: the
+        // per-request budget drops back to hedge_after and the read
+        // hedges to replica 1.
+        let reply = st.read_request(r#"{"cmd":"status"}"#, &cfg, &c).unwrap();
+        assert_eq!(reply.field("seq").and_then(JsonValue::as_num), Some(9));
+        assert_eq!(c.get(Counter::HedgedReads), 1);
+        drop(st);
+        hs.join().unwrap();
+        hf.join().unwrap();
+    }
+
+    #[test]
+    fn indeterminate_write_faults_are_surfaced_and_never_resent() {
+        // A replica that admits the request line but never answers: the
+        // read times out after the line was flushed, so the write may be
+        // durable there — the pool must not resend it.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let received = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&received);
+        let h = std::thread::spawn(move || {
+            if let Ok((conn, _)) = listener.accept() {
+                let mut r = BufReader::new(conn);
+                let mut line = String::new();
+                while r.read_line(&mut line).unwrap_or(0) > 0 {
+                    counted.fetch_add(1, Ordering::SeqCst);
+                    line.clear();
+                }
+            }
+        });
+        let mut st = ShardState::new(vec![addr.clone()]);
+        let c = counters();
+        let err =
+            st.write_all_replicas(r#"{"cmd":"update","ops":[]}"#, &quick_cfg(), &c).unwrap_err();
+        assert!(err.contains("indeterminate"), "{err}");
+        assert!(err.contains(&addr), "{err}");
+        assert_eq!(c.get(Counter::ShardRetries), 0, "a post-send fault must not retry");
+        drop(st); // closes the connection so the replica thread exits
+        h.join().unwrap();
+        assert_eq!(
+            received.load(Ordering::SeqCst),
+            1,
+            "the durable line must reach the replica exactly once"
+        );
     }
 
     #[test]

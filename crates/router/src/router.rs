@@ -260,6 +260,12 @@ impl Router {
         } else {
             self.gather_supports(&candidates)
         };
+        // One degraded query, one GatherPartial bump: gather_supports
+        // already counted a partial phase 2, so only a phase-1-only
+        // degradation is counted here.
+        if partial && !gather_partial {
+            self.counters().bump(Counter::GatherPartial);
+        }
         partial |= gather_partial;
 
         let mut hits: Vec<(DfsCode, u64)> =
@@ -277,9 +283,6 @@ impl Router {
                 ])
             })
             .collect::<Vec<_>>();
-        if partial {
-            self.counters().bump(Counter::GatherPartial);
-        }
         let mut fields = vec![
             ("global_epoch", JsonValue::Num(self.global_epoch())),
             ("total", JsonValue::Num(total as u64)),
@@ -407,10 +410,19 @@ impl Router {
             ])
             .to_json();
             let replies = st.write_all_replicas(&line, &self.cfg, self.counters())?;
-            let seqs: Vec<u64> = replies
-                .iter()
-                .map(|r| r.field("seq").and_then(JsonValue::as_num).unwrap_or(0))
-                .collect();
+            let mut seqs = Vec::with_capacity(replies.len());
+            for (r, reply) in replies.iter().enumerate() {
+                // A reply without a journal seq cannot anchor the
+                // commit barrier (seq 0 would wait for nothing and let
+                // the epoch publish before the replica applied the
+                // window) — treat it as a failed prepare.
+                match reply.field("seq").and_then(JsonValue::as_num) {
+                    Some(seq) => seqs.push(seq),
+                    None => {
+                        return Err(format!("replica {}: prepare reply missing `seq`", st.addrs[r]))
+                    }
+                }
+            }
             Ok(seqs)
         });
         let mut shard_seqs: Vec<(usize, Vec<u64>)> = Vec::with_capacity(prepared.len());

@@ -38,7 +38,10 @@ fn quick_router_cfg() -> RouterConfig {
     RouterConfig {
         connect_timeout: Duration::from_millis(500),
         read_timeout: Duration::from_secs(20),
-        hedge_after: Duration::from_secs(2),
+        // Aggressive on purpose: 2PC prepare (fsync group commit) and
+        // epoch-commit (window application) on a non-final replica must
+        // run under the full read_timeout, not this hedge budget.
+        hedge_after: Duration::from_millis(100),
         retry: RetryPolicy { attempts: 3, base_ms: 5, cap_ms: 40, seed: 1 },
     }
 }

@@ -171,6 +171,28 @@ impl Client {
         &self.addr
     }
 
+    /// Replaces the read timeout applied to subsequent reply waits — a
+    /// pooled connection can serve short-budget hedged reads and
+    /// full-budget writes over its lifetime. No-op when the timeout is
+    /// already `t`.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the socket option failure; the message names the peer
+    /// and starts with the `connect to` phase (the connection is not in
+    /// a usable state for the caller's intended budget).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<(), String> {
+        if self.read_timeout == t {
+            return Ok(());
+        }
+        self.reader
+            .get_ref()
+            .set_read_timeout(t)
+            .map_err(|e| format!("connect to {}: set read timeout: {e}", self.addr))?;
+        self.read_timeout = t;
+        Ok(())
+    }
+
     /// Replaces the backoff policy updates retry under.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Client {
         self.retry = retry;
