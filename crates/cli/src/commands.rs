@@ -49,7 +49,7 @@ USAGE:
       --report writes a machine-readable run report (stage wall times,
       pipeline counters, span log) as JSON.
 
-  graphmine plan-updates FILE --fraction FRAC [--kind mixed|relabel|add]
+  graphmine plan-updates FILE --fraction FRAC [--kind mixed|relabel|add|churn]
                  [--per-graph 2] [--seed S] -o UPDATES
       Plan an update workload against a database.
 
@@ -63,7 +63,7 @@ USAGE:
 
   graphmine serve FILE --minsup FRAC [--data-dir DIR] [--addr 127.0.0.1:7878]
                  [--k K] [--workers W] [--queue-depth Q] [--parallel]
-                 [--ingest-capacity N] [--no-coalesce]
+                 [--ingest-capacity N] [--no-coalesce] [--window N]
       Run the resident pattern-serving daemon on FILE. Mines at boot,
       keeps P(D) warm, and answers queries over a newline-delimited JSON
       protocol while `update` windows stream in (group-committed to the
@@ -71,9 +71,11 @@ USAGE:
       --ingest-capacity bounds the acked-but-unapplied windows (the
       staleness bound, default 8) — beyond it updates are shed with a
       `backpressure` reply. --no-coalesce disables per-window update
-      coalescing. --data-dir holds the snapshot, journal and meta
-      (default: FILE + \".serve\"); on restart the snapshot pins
-      minsup/k and the journal is replayed. See docs/SERVICE.md.
+      coalescing. --window N serves the sliding-window result: only the
+      newest N update windows stay live; older ones are expired by a
+      journaled inverse batch (see docs/SERVICE.md). --data-dir holds
+      the snapshot, journal and meta (default: FILE + \".serve\"); on
+      restart the snapshot pins minsup/k and the journal is replayed.
 
   graphmine shard-plan FILE --shards N --minsup FRAC [--k K] [--replicas R]
                  [--policy units|hub] [--hub-threshold T] [--host H]
@@ -500,6 +502,7 @@ pub fn plan_updates_cmd(raw: &[String]) -> CmdResult {
         None | Some("mixed") => UpdateKind::Mixed,
         Some("relabel") => UpdateKind::Relabel,
         Some("add") => UpdateKind::AddStructure,
+        Some("churn") => UpdateKind::Churn,
         Some(other) => return Err(format!("unknown update kind `{other}`")),
     };
     let per_graph: usize = args.parsed("--per-graph")?.unwrap_or(2);
@@ -536,6 +539,7 @@ pub fn serve(raw: &[String]) -> CmdResult {
     let parallel = args.flag("--parallel");
     let ingest_capacity: Option<usize> = args.parsed("--ingest-capacity")?;
     let no_coalesce = args.flag("--no-coalesce");
+    let window: Option<usize> = args.parsed("--window")?;
     let data_dir: Option<String> = args.parsed("--data-dir")?;
     let workers: Option<usize> = args.parsed("--workers")?;
     let queue_depth: Option<usize> = args.parsed("--queue-depth")?;
@@ -613,6 +617,12 @@ pub fn serve(raw: &[String]) -> CmdResult {
         cfg.ingest.max_pending = cap;
     }
     cfg.ingest.coalesce = !no_coalesce;
+    if let Some(n) = window {
+        if n == 0 {
+            return Err("--window must be at least 1".into());
+        }
+        cfg.window = Some(n);
+    }
     let (engine, boot) = ServeEngine::boot(Some(&db), Path::new(&dir), &cfg)?;
     println!(
         "booted epoch {} from {} ({} journal batches replayed): {} patterns at minsup {}",

@@ -334,6 +334,63 @@ mod tests {
     }
 
     #[test]
+    fn incremental_handles_deletes() {
+        let (db, uf) = sample_db();
+        let mut cfg = PartMinerConfig::with_k(3);
+        cfg.exact_supports = true;
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 2);
+        let mut state = outcome.state;
+        let mut mirror = db.clone();
+
+        // Shrinking batches: a plain edge delete, a cascade that drops a
+        // vertex with two incident edges, and a delete chained after an
+        // add in the same batch (ids resolve against the running state).
+        let batches: Vec<Vec<DbUpdate>> = vec![
+            vec![DbUpdate { gid: 0, update: GraphUpdate::DeleteEdge { e: 1 } }],
+            vec![DbUpdate { gid: 1, update: GraphUpdate::DeleteVertex { v: 3 } }],
+            vec![
+                DbUpdate {
+                    gid: 2,
+                    update: GraphUpdate::AddVertex { label: 9, attach_to: 0, elabel: 7 },
+                },
+                DbUpdate { gid: 2, update: GraphUpdate::DeleteVertex { v: 5 } },
+            ],
+        ];
+        for (round, updates) in batches.iter().enumerate() {
+            graphmine_graph::update::apply_all(&mut mirror, updates).unwrap();
+            let inc = IncPartMiner::update(&mut state, updates).unwrap();
+            assert!(inc.stats.units_remined >= 1, "round {round} touched no unit");
+            let direct = GSpan::new().mine(&mirror, 2);
+            assert!(
+                inc.patterns.same_codes_and_supports(&direct),
+                "round {round}: incremental {} vs direct {}",
+                inc.patterns.len(),
+                direct.len()
+            );
+        }
+    }
+
+    #[test]
+    fn delete_drops_support_into_fi() {
+        // Graphs 0, 2, 4 carry the closing edge (5,0); deleting it from
+        // graph 0 drops cycle-dependent patterns' support below their
+        // pre-update count, so the prune set must route them into FI
+        // rather than letting stale supports survive.
+        let (db, uf) = sample_db();
+        let mut cfg = PartMinerConfig::with_k(3);
+        cfg.exact_supports = true;
+        let outcome = PartMiner::new(cfg).mine(&db, &uf, 3);
+        let mut state = outcome.state;
+        let updates = vec![DbUpdate { gid: 0, update: GraphUpdate::DeleteEdge { e: 5 } }];
+        let inc = IncPartMiner::update(&mut state, &updates).unwrap();
+        let mut db2 = db.clone();
+        graphmine_graph::update::apply_all(&mut db2, &updates).unwrap();
+        let direct = GSpan::new().mine(&db2, 3);
+        assert!(inc.patterns.same_codes_and_supports(&direct));
+        assert!(!inc.fi.is_empty(), "losing a closing edge must demote some pattern");
+    }
+
+    #[test]
     fn classification_is_exhaustive_and_disjoint() {
         let (db, uf) = sample_db();
         let mut cfg = PartMinerConfig::with_k(2);

@@ -21,4 +21,4 @@ mod gen;
 mod updates;
 
 pub use gen::{generate, GenParams};
-pub use updates::{plan_updates, ufreq_from_updates, UpdateKind, UpdateParams};
+pub use updates::{plan_updates, plan_windows, ufreq_from_updates, UpdateKind, UpdateParams};

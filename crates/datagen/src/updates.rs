@@ -3,6 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
 
 use graphmine_graph::{DbUpdate, GraphDb, GraphUpdate};
 
@@ -17,6 +18,10 @@ pub enum UpdateKind {
     AddStructure,
     /// A 50/50 mix of the above.
     Mixed,
+    /// The full evolving-graph vocabulary: relabels and additions mixed
+    /// with connectivity-safe deletions (leaf vertices and cycle edges),
+    /// exercising the delete path of the incremental miner.
+    Churn,
 }
 
 /// Parameters of an update workload.
@@ -96,23 +101,33 @@ pub fn plan_updates(db: &GraphDb, params: &UpdateParams) -> Vec<DbUpdate> {
         // updates cluster around it with probability `locality`.
         let mut hot: Vec<u32> = Vec::new();
         for _ in 0..params.updates_per_graph {
-            let structural = match params.kind {
-                UpdateKind::Relabel => false,
-                UpdateKind::AddStructure => true,
-                UpdateKind::Mixed => rng.random::<bool>(),
-            };
-            let update = if structural {
-                plan_structural(&mut rng, &scratch, gid, params, &hot)
-            } else {
-                plan_relabel(&mut rng, &scratch, gid, params, &hot)
+            let update = match params.kind {
+                UpdateKind::Relabel => plan_relabel(&mut rng, &scratch, gid, params, &hot),
+                UpdateKind::AddStructure => plan_structural(&mut rng, &scratch, gid, params, &hot),
+                UpdateKind::Mixed => {
+                    if rng.random::<bool>() {
+                        plan_structural(&mut rng, &scratch, gid, params, &hot)
+                    } else {
+                        plan_relabel(&mut rng, &scratch, gid, params, &hot)
+                    }
+                }
+                UpdateKind::Churn => match rng.random_range(0..4u32) {
+                    0 => plan_relabel(&mut rng, &scratch, gid, params, &hot),
+                    1 => plan_structural(&mut rng, &scratch, gid, params, &hot),
+                    // Deletes fall back to additions when the graph has
+                    // no connectivity-safe target left.
+                    _ => plan_delete(&mut rng, &scratch, gid)
+                        .or_else(|| plan_structural(&mut rng, &scratch, gid, params, &hot)),
+                },
             };
             if let Some(u) = update {
-                u.apply(scratch.graph_mut(gid)).expect("planned against scratch state");
-                for v in u.touched_vertices() {
+                // Touched vertices resolve against the pre-update graph.
+                for v in u.touched_vertices(scratch.graph(gid)) {
                     if !hot.contains(&v) {
                         hot.push(v);
                     }
                 }
+                u.apply(scratch.graph_mut(gid)).expect("planned against scratch state");
                 plan.push(DbUpdate { gid, update: u });
             }
         }
@@ -211,6 +226,126 @@ fn plan_structural(
     })
 }
 
+/// Plans a connectivity-safe deletion: a leaf vertex (its cascade removes
+/// exactly the attaching edge) or an edge on a cycle (checked by BFS
+/// without it). Returns `None` when the graph has no safe target.
+fn plan_delete(rng: &mut StdRng, db: &GraphDb, gid: u32) -> Option<GraphUpdate> {
+    let g = db.graph(gid);
+    let n = g.vertex_count() as u32;
+    let leaf_first = rng.random::<bool>();
+    if leaf_first && n > 2 {
+        let leaves: Vec<u32> = (0..n).filter(|&v| g.neighbors(v).len() == 1).collect();
+        if !leaves.is_empty() {
+            return Some(GraphUpdate::DeleteVertex {
+                v: leaves[rng.random_range(0..leaves.len())],
+            });
+        }
+    }
+    // Sample edges and keep the first whose removal leaves the graph
+    // connected (an edge on a cycle).
+    let m = g.edge_count() as u32;
+    if m > 1 {
+        for _ in 0..8 {
+            let e = rng.random_range(0..m);
+            if connected_without(g, e) {
+                return Some(GraphUpdate::DeleteEdge { e });
+            }
+        }
+    }
+    None
+}
+
+/// `true` when `g` minus edge `skip` is still connected (isolated-vertex
+/// free databases only have connected graphs to begin with).
+fn connected_without(g: &graphmine_graph::Graph, skip: u32) -> bool {
+    let n = g.vertex_count();
+    if n == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0u32];
+    seen[0] = true;
+    let mut visited = 1usize;
+    while let Some(v) = stack.pop() {
+        for adj in g.neighbors(v) {
+            if adj.eid != skip && !seen[adj.to as usize] {
+                seen[adj.to as usize] = true;
+                visited += 1;
+                stack.push(adj.to);
+            }
+        }
+    }
+    visited == n
+}
+
+/// Plans a stream of `n_windows` update windows for the serving tier's
+/// *sliding-window* mode. Every op targets only base entities (present in
+/// `db`), planned edges are unique across the whole stream and absent
+/// from `db`, and added vertices are never referenced again — so any
+/// contiguous sub-sequence of the returned windows applies cleanly in
+/// order, no matter which prefix the server has already expired.
+pub fn plan_windows(db: &GraphDb, params: &UpdateParams, n_windows: usize) -> Vec<Vec<DbUpdate>> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n_graphs = db.len() as u32;
+    let mut used_edges: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+    (0..n_windows)
+        .map(|_| {
+            let mut window = Vec::new();
+            for _ in 0..params.updates_per_graph.max(1) {
+                if n_graphs == 0 {
+                    break;
+                }
+                let gid = rng.random_range(0..n_graphs);
+                let g = db.graph(gid);
+                let n = g.vertex_count() as u32;
+                if n == 0 {
+                    continue;
+                }
+                let update = match rng.random_range(0..4u32) {
+                    0 => GraphUpdate::RelabelVertex {
+                        v: rng.random_range(0..n),
+                        label: pick_label(&mut rng, params),
+                    },
+                    1 if g.edge_count() > 0 => GraphUpdate::RelabelEdge {
+                        e: rng.random_range(0..g.edge_count() as u32),
+                        label: pick_label(&mut rng, params),
+                    },
+                    2 if n >= 2 => {
+                        let mut planned = None;
+                        for _ in 0..8 {
+                            let a = rng.random_range(0..n);
+                            let b = rng.random_range(0..n);
+                            let (u, v) = (a.min(b), a.max(b));
+                            if u != v
+                                && g.edge_between(u, v).is_none()
+                                && used_edges.insert((gid, u, v))
+                            {
+                                planned = Some(GraphUpdate::AddEdge {
+                                    u,
+                                    v,
+                                    label: pick_label(&mut rng, params),
+                                });
+                                break;
+                            }
+                        }
+                        match planned {
+                            Some(p) => p,
+                            None => continue,
+                        }
+                    }
+                    _ => GraphUpdate::AddVertex {
+                        label: pick_label(&mut rng, params),
+                        attach_to: rng.random_range(0..n),
+                        elabel: pick_label(&mut rng, params),
+                    },
+                };
+                window.push(DbUpdate { gid, update });
+            }
+            window
+        })
+        .collect()
+}
+
 /// Derives per-vertex update frequencies from a planned workload: the count
 /// of planned updates touching each vertex. This is the `v.ufreq` knowledge
 /// of Section 4.1 — the partitioner knows which vertices the workload will
@@ -224,13 +359,7 @@ pub fn ufreq_from_updates(db: &GraphDb, plan: &[DbUpdate]) -> Vec<Vec<f64>> {
     let mut scratch = db.clone();
     for up in plan {
         let per_graph = &mut ufreq[up.gid as usize];
-        let touched = match up.update {
-            GraphUpdate::RelabelEdge { e, .. } => {
-                let (u, v, _) = scratch.graph(up.gid).edge(e);
-                vec![u, v]
-            }
-            ref other => other.touched_vertices(),
-        };
+        let touched = up.update.touched_vertices(scratch.graph(up.gid));
         for v in touched {
             // Vertices added by *earlier planned updates* are beyond the
             // pre-update vertex count; they have no pre-update slot.
@@ -350,6 +479,70 @@ mod tests {
             hot < uniform,
             "locality 1.0 touched {hot} distinct vertices, uniform touched {uniform}"
         );
+    }
+
+    #[test]
+    fn churn_plans_deletes_and_applies_cleanly() {
+        let db = small_db();
+        let plan = plan_updates(&db, &UpdateParams::new(0.8, 6, UpdateKind::Churn, 6));
+        assert!(!plan.is_empty());
+        assert!(
+            plan.iter().any(|u| matches!(
+                u.update,
+                GraphUpdate::DeleteEdge { .. } | GraphUpdate::DeleteVertex { .. }
+            )),
+            "churn workloads must exercise the delete vocabulary"
+        );
+        let mut copy = db.clone();
+        apply_all(&mut copy, &plan).expect("churn plan applies in order");
+    }
+
+    #[test]
+    fn churn_deletes_never_disconnect() {
+        let db = small_db();
+        let plan = plan_updates(&db, &UpdateParams::new(1.0, 8, UpdateKind::Churn, 6));
+        let mut copy = db.clone();
+        apply_all(&mut copy, &plan).unwrap();
+        // Relative invariant: the generator does not promise connected
+        // seeds, but churn must never disconnect a graph that was.
+        for (gid, g) in copy.iter() {
+            if db.graph(gid).is_connected() {
+                assert!(g.is_connected(), "graph {gid} disconnected by churn");
+            }
+        }
+    }
+
+    #[test]
+    fn window_plans_apply_from_any_suffix() {
+        let db = small_db();
+        let params = UpdateParams::new(1.0, 4, UpdateKind::Mixed, 6);
+        let windows = plan_windows(&db, &params, 8);
+        assert_eq!(windows.len(), 8);
+        assert!(windows.iter().flatten().count() > 0);
+        // The sliding-window contract: any contiguous sub-sequence of
+        // windows applies cleanly to the base database in order.
+        for start in 0..windows.len() {
+            let mut copy = db.clone();
+            for w in &windows[start..] {
+                apply_all(&mut copy, w)
+                    .unwrap_or_else(|e| panic!("suffix from window {start} failed: {e}"));
+            }
+        }
+        // Ops only ever target base entities, so expiry on the serving
+        // side can never invalidate a later window.
+        for w in &windows {
+            for up in w {
+                let g = db.graph(up.gid);
+                let (nv, ne) = (g.vertex_count() as u32, g.edge_count() as u32);
+                match up.update {
+                    GraphUpdate::RelabelVertex { v, .. } => assert!(v < nv),
+                    GraphUpdate::RelabelEdge { e, .. } => assert!(e < ne),
+                    GraphUpdate::AddEdge { u, v, .. } => assert!(u < nv && v < nv),
+                    GraphUpdate::AddVertex { attach_to, .. } => assert!(attach_to < nv),
+                    _ => panic!("window plans never delete"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub enum GraphError {
         /// Second endpoint.
         v: u32,
     },
+    /// A graph identifier was out of range for the database it was used
+    /// with (a bad *gid* is a database-level error, not a vertex error).
+    GraphOutOfRange {
+        /// The offending graph id.
+        graph: u32,
+        /// Number of graphs in the database.
+        len: u32,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -45,6 +53,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::DuplicateEdge { u, v } => {
                 write!(f, "edge ({u}, {v}) already exists")
+            }
+            GraphError::GraphOutOfRange { graph, len } => {
+                write!(f, "graph id {graph} out of range (database has {len} graphs)")
             }
         }
     }

@@ -42,6 +42,10 @@ pub enum Fault {
     /// while summing owner-restricted supports, undercounting every
     /// pattern whose supporters include that shard's owned graphs.
     DropShardReply = 7,
+    /// The sliding-window serving engine skips synthesizing the inverse
+    /// batch for a window past the retention horizon, so expired updates
+    /// keep contributing to the served patterns forever.
+    SkipExpiry = 8,
 }
 
 static ACTIVE: AtomicU8 = AtomicU8::new(0);

@@ -1,8 +1,14 @@
 use crate::GraphError;
 
-/// Vertex identifier, dense in `0..vertex_count()`.
+/// Vertex identifier, dense in `0..vertex_count()`. Insertion assigns
+/// increasing ids; deletion ([`Graph::delete_vertex`]) renumbers the highest
+/// id into the freed slot (swap-remove), so ids are stable only between
+/// deletions — the remap is reported in [`VertexRemoval`].
 pub type VertexId = u32;
-/// Edge identifier, dense in `0..edge_count()`, in insertion order.
+/// Edge identifier, dense in `0..edge_count()`. Insertion assigns increasing
+/// ids; deletion ([`Graph::delete_edge`]) renumbers the highest id into the
+/// freed slot (swap-remove), so ids are stable only between deletions — the
+/// remap is reported in [`EdgeRemoval`].
 pub type EdgeId = u32;
 /// Vertex label. The paper's generator draws labels from `0..N`.
 pub type VLabel = u32;
@@ -39,6 +45,37 @@ struct Edge {
     u: VertexId,
     v: VertexId,
     label: ELabel,
+}
+
+/// Record of one [`Graph::delete_edge`]: the removed edge's endpoints and
+/// label, plus the id-remap it caused. Deletion is a swap-remove — when
+/// `moved` is `Some(old)`, the edge previously identified by `old` (the
+/// highest id at the time of the call) now carries the deleted edge's id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRemoval {
+    /// First endpoint of the removed edge (id at the time of the call).
+    pub u: VertexId,
+    /// Second endpoint of the removed edge (id at the time of the call).
+    pub v: VertexId,
+    /// Label of the removed edge.
+    pub label: ELabel,
+    /// Old id of the edge renumbered into the freed slot, if any.
+    pub moved: Option<EdgeId>,
+}
+
+/// Record of one [`Graph::delete_vertex`]: the removed vertex's label, the
+/// cascade of incident-edge removals (in application order), and the vertex
+/// id-remap. When `moved_vertex` is `Some(old)`, the vertex previously
+/// identified by `old` (the highest id at the time of the call) now carries
+/// the deleted vertex's id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexRemoval {
+    /// Label of the removed vertex.
+    pub label: VLabel,
+    /// Incident edges removed by the cascade, highest edge id first.
+    pub removed_edges: Vec<EdgeRemoval>,
+    /// Old id of the vertex renumbered into the freed slot, if any.
+    pub moved_vertex: Option<VertexId>,
 }
 
 /// Run length at or below which the frozen-graph query paths scan linearly
@@ -155,13 +192,8 @@ impl Graph {
         v: VertexId,
         label: ELabel,
     ) -> Result<EdgeId, GraphError> {
-        let n = self.vlabels.len() as u32;
-        if u >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, len: n });
-        }
-        if v >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, len: n });
-        }
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
         }
@@ -237,6 +269,175 @@ impl Graph {
         self.vlabels.pop()
     }
 
+    /// Deletes edge `e` — any edge, not just the newest — and returns a
+    /// removal record describing the id-remap it caused.
+    ///
+    /// Edge ids stay dense: the deletion is a swap-remove, so the edge with
+    /// the highest id is renumbered to `e` (recorded as `moved:
+    /// Some(old_id)`); deleting the highest id itself leaves every other id
+    /// untouched (`moved: None`). Contrast with [`Graph::pop_edge`], which
+    /// only undoes the newest insertion. Works frozen or unfrozen; all
+    /// representation invariants are maintained.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `e` is out of range.
+    pub fn delete_edge(&mut self, e: EdgeId) -> Result<EdgeRemoval, GraphError> {
+        let m = self.edges.len() as u32;
+        let Some(&Edge { u, v, label }) = self.edges.get(e as usize) else {
+            return Err(GraphError::EdgeOutOfRange { edge: e, len: m });
+        };
+        self.bump_triple(
+            edge_triple(self.vlabels[u as usize], label, self.vlabels[v as usize]),
+            -1,
+        );
+        match &mut self.adj {
+            AdjStore::Lists(lists) => {
+                for w in [u, v] {
+                    let list = &mut lists[w as usize];
+                    let pos = list
+                        .iter()
+                        .position(|a| a.eid == e)
+                        .expect("edge present in its endpoint's list");
+                    list.remove(pos);
+                }
+            }
+            AdjStore::Csr { .. } => {
+                self.csr_remove(u, e);
+                self.csr_remove(v, e);
+            }
+        }
+        let last = m - 1;
+        let moved = if e != last {
+            // Swap-remove: the highest-id edge takes the freed slot. Its
+            // adjacency entries are rewritten in place — `eid` is not part
+            // of the sort key, so run positions do not change.
+            self.edges.swap_remove(e as usize);
+            let Edge { u: mu, v: mv, .. } = self.edges[e as usize];
+            match &mut self.adj {
+                AdjStore::Lists(lists) => {
+                    for w in [mu, mv] {
+                        for a in &mut lists[w as usize] {
+                            if a.eid == last {
+                                a.eid = e;
+                            }
+                        }
+                    }
+                }
+                AdjStore::Csr { offsets, packed } => {
+                    for w in [mu, mv] {
+                        let run = &mut packed
+                            [offsets[w as usize] as usize..offsets[w as usize + 1] as usize];
+                        let a = run
+                            .iter_mut()
+                            .find(|a| a.eid == last)
+                            .expect("moved edge present in its endpoint's run");
+                        a.eid = e;
+                    }
+                }
+            }
+            Some(last)
+        } else {
+            self.edges.pop();
+            None
+        };
+        Ok(EdgeRemoval { u, v, label, moved })
+    }
+
+    /// Deletes vertex `v`, cascading to its incident edges, and returns a
+    /// removal record describing every id-remap the cascade caused.
+    ///
+    /// Incident edges are deleted highest id first — each one a
+    /// [`Graph::delete_edge`] swap-remove, recorded in order in
+    /// `removed_edges`; the descending order guarantees the swap partner is
+    /// never another not-yet-deleted incident edge. Then the vertex with the
+    /// highest id is renumbered to `v` (`moved_vertex: Some(old_id)`) unless
+    /// `v` already was the highest id. Vertex and edge ids stay dense
+    /// throughout. Works frozen or unfrozen.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `v` is out of range.
+    pub fn delete_vertex(&mut self, v: VertexId) -> Result<VertexRemoval, GraphError> {
+        self.check_vertex(v)?;
+        let label = self.vlabels[v as usize];
+        let mut incident: Vec<EdgeId> = self.neighbors(v).iter().map(|a| a.eid).collect();
+        incident.sort_unstable_by(|a, b| b.cmp(a));
+        let mut removed_edges = Vec::with_capacity(incident.len());
+        for e in incident {
+            removed_edges.push(self.delete_edge(e).expect("incident edge in range"));
+        }
+        let w = self.vlabels.len() as u32 - 1;
+        let moved_vertex = if v != w {
+            // Swap-remove: the highest-id vertex `w` takes the freed slot.
+            // Labels are preserved, so the triple index is untouched; the
+            // adjacency entries naming `w` are re-pointed at `v` (`to` is
+            // part of the sort key, so frozen entries are re-inserted).
+            let saved: Vec<Adjacency> = self.neighbors(w).to_vec();
+            if self.is_frozen() {
+                for a in &saved {
+                    self.csr_remove(w, a.eid);
+                    self.csr_remove(a.to, a.eid);
+                }
+                let AdjStore::Csr { offsets, .. } = &mut self.adj else { unreachable!() };
+                debug_assert_eq!(
+                    offsets[v as usize],
+                    offsets[v as usize + 1],
+                    "cascade left v isolated"
+                );
+                offsets.pop();
+            } else {
+                let AdjStore::Lists(lists) = &mut self.adj else { unreachable!() };
+                debug_assert!(lists[v as usize].is_empty(), "cascade left v isolated");
+                let run = std::mem::take(&mut lists[w as usize]);
+                lists.pop();
+                lists[v as usize] = run;
+                for a in &saved {
+                    for entry in &mut lists[a.to as usize] {
+                        if entry.eid == a.eid {
+                            entry.to = v;
+                        }
+                    }
+                }
+            }
+            for a in &saved {
+                let edge = &mut self.edges[a.eid as usize];
+                if edge.u == w {
+                    edge.u = v;
+                }
+                if edge.v == w {
+                    edge.v = v;
+                }
+            }
+            self.vlabels.swap_remove(v as usize);
+            if self.is_frozen() {
+                for a in &saved {
+                    self.csr_insert(v, Adjacency { to: a.to, elabel: a.elabel, eid: a.eid });
+                    self.csr_insert(a.to, Adjacency { to: v, elabel: a.elabel, eid: a.eid });
+                }
+            }
+            Some(w)
+        } else {
+            match &mut self.adj {
+                AdjStore::Lists(lists) => {
+                    debug_assert!(lists[v as usize].is_empty(), "cascade left v isolated");
+                    lists.pop();
+                }
+                AdjStore::Csr { offsets, .. } => {
+                    debug_assert_eq!(
+                        offsets[v as usize],
+                        offsets[v as usize + 1],
+                        "cascade left v isolated"
+                    );
+                    offsets.pop();
+                }
+            }
+            self.vlabels.pop();
+            None
+        };
+        Ok(VertexRemoval { label, removed_edges, moved_vertex })
+    }
+
     /// Packs the adjacency lists into the flat CSR arena with per-vertex
     /// runs sorted by `(vlabel(to), elabel, to)`. Idempotent; `O(V + E)`
     /// plus the per-run sorts. [`crate::GraphDb`] freezes every graph on
@@ -290,6 +491,22 @@ impl Graph {
         self.vlabels.is_empty()
     }
 
+    /// Bounds-checks a vertex id against this graph. The single shared
+    /// range check behind every vertex-referencing operation, so all of
+    /// them report the same [`GraphError::VertexOutOfRange`] shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] when `v >= vertex_count()`.
+    #[inline]
+    pub fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
+        let n = self.vlabels.len() as u32;
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, len: n });
+        }
+        Ok(())
+    }
+
     /// Label of vertex `v`.
     ///
     /// # Panics
@@ -312,10 +529,7 @@ impl Graph {
     /// neighbour's sorted run (the sort key leads with the neighbour's
     /// vertex label) and rewrites the triple index for every incident edge.
     pub fn set_vlabel(&mut self, v: VertexId, label: VLabel) -> Result<(), GraphError> {
-        let n = self.vlabels.len() as u32;
-        if v >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, len: n });
-        }
+        self.check_vertex(v)?;
         let old = self.vlabels[v as usize];
         if old == label {
             return Ok(());
@@ -870,5 +1084,106 @@ mod tests {
     fn edge_subgraph_rejects_bad_edge() {
         let g = triangle();
         assert!(g.edge_subgraph(&[9]).is_err());
+    }
+
+    /// A 5-vertex graph with enough edges that middle deletions exercise
+    /// both the swap-remove remap and the no-remap (last id) paths.
+    fn path5(frozen: bool) -> Graph {
+        let mut g = Graph::new();
+        for l in [0u32, 1, 2, 3, 4] {
+            g.add_vertex(l);
+        }
+        g.add_edge(0, 1, 10).unwrap();
+        g.add_edge(1, 2, 11).unwrap();
+        g.add_edge(2, 3, 12).unwrap();
+        g.add_edge(3, 4, 13).unwrap();
+        g.add_edge(0, 4, 14).unwrap();
+        if frozen {
+            g.freeze();
+        }
+        g
+    }
+
+    #[test]
+    fn delete_edge_swap_removes_and_remaps() {
+        for frozen in [false, true] {
+            let mut g = path5(frozen);
+            let rec = g.delete_edge(1).unwrap();
+            assert_eq!((rec.u, rec.v, rec.label), (1, 2, 11));
+            assert_eq!(rec.moved, Some(4), "edge 4 renumbered into slot 1");
+            assert_eq!(g.edge_count(), 4);
+            assert_eq!(g.edge(1), (0, 4, 14), "moved edge answers under its new id");
+            assert_eq!(g.edge_between(1, 2), None);
+            assert_eq!(g.edge_between(0, 4), Some(1));
+            assert_eq!(g.triple_count(1, 11, 2), 0);
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn delete_last_edge_does_not_remap() {
+        for frozen in [false, true] {
+            let mut g = path5(frozen);
+            let rec = g.delete_edge(4).unwrap();
+            assert_eq!(rec.moved, None);
+            assert_eq!(g.edge_count(), 4);
+            assert_eq!(g.edge_between(0, 4), None);
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn delete_edge_rejects_out_of_range() {
+        let mut g = path5(true);
+        assert_eq!(g.delete_edge(9), Err(GraphError::EdgeOutOfRange { edge: 9, len: 5 }));
+    }
+
+    #[test]
+    fn delete_vertex_cascades_and_remaps() {
+        for frozen in [false, true] {
+            let mut g = path5(frozen);
+            let rec = g.delete_vertex(1).unwrap();
+            assert_eq!(rec.label, 1);
+            assert_eq!(rec.removed_edges.len(), 2, "cascade removed both incident edges");
+            assert_eq!(rec.moved_vertex, Some(4), "vertex 4 renumbered into slot 1");
+            assert_eq!(g.vertex_count(), 4);
+            assert_eq!(g.edge_count(), 3);
+            assert_eq!(g.vlabel(1), 4, "moved vertex keeps its label");
+            // Survivors: 2-3 (was e2), 3-old4 and 0-old4 with old4 now id 1.
+            assert!(g.edge_between(2, 3).is_some());
+            assert!(g.edge_between(3, 1).is_some());
+            assert!(g.edge_between(0, 1).is_some());
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn delete_highest_vertex_does_not_remap() {
+        for frozen in [false, true] {
+            let mut g = path5(frozen);
+            let rec = g.delete_vertex(4).unwrap();
+            assert_eq!(rec.moved_vertex, None);
+            assert_eq!(rec.removed_edges.len(), 2);
+            assert_eq!(g.vertex_count(), 4);
+            assert_eq!(g.edge_count(), 3);
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn delete_vertex_rejects_out_of_range() {
+        let mut g = path5(false);
+        assert_eq!(g.delete_vertex(9), Err(GraphError::VertexOutOfRange { vertex: 9, len: 5 }));
+    }
+
+    #[test]
+    fn delete_then_mutate_keeps_invariants() {
+        let mut g = path5(true);
+        g.delete_vertex(2).unwrap();
+        let d = g.add_vertex(7);
+        g.add_edge(d, 0, 20).unwrap();
+        g.set_vlabel(1, 8).unwrap();
+        g.set_elabel(0, 21).unwrap();
+        g.check_invariants().unwrap();
     }
 }

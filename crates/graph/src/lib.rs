@@ -80,7 +80,9 @@ pub use database::{GraphDb, GraphId};
 pub use dfscode::{DfsCode, DfsEdge};
 pub use embeddings::{EmbeddingList, EmbeddingMode, EmbeddingStore, DEFAULT_EMBEDDING_BUDGET};
 pub use error::GraphError;
-pub use graph::{edge_triple, Adjacency, ELabel, EdgeId, Graph, VLabel, VertexId};
+pub use graph::{
+    edge_triple, Adjacency, ELabel, EdgeId, EdgeRemoval, Graph, VLabel, VertexId, VertexRemoval,
+};
 pub use intersect::intersect_sorted;
 pub use pattern::{Pattern, PatternSet};
 pub use update::{apply_all, DbUpdate, GraphUpdate};

@@ -6,6 +6,8 @@
 //! 3      relabel-edge    2 7        # edge 2 -> label 7
 //! 4      add-edge        0 6 2      # edge (0,6) with label 2
 //! 4      add-vertex      1 0 3      # new vertex (label 1) attached to 0 via label 3
+//! 5      delete-edge     2          # delete edge 2 (swap-remove renumbers the last edge)
+//! 5      delete-vertex   4          # delete vertex 4, cascading its incident edges
 //! ```
 //!
 //! Shared by the CLI's `incremental` command and the oracle's repro files.
@@ -50,6 +52,8 @@ pub fn read_updates(reader: impl BufRead) -> Result<Vec<DbUpdate>, String> {
                 attach_to: num("attach vertex")?,
                 elabel: num("edge label")?,
             },
+            "delete-edge" => GraphUpdate::DeleteEdge { e: num("edge")? },
+            "delete-vertex" => GraphUpdate::DeleteVertex { v: num("vertex")? },
             other => return Err(format!("line {}: unknown update kind `{other}`", i + 1)),
         };
         out.push(DbUpdate { gid, update });
@@ -73,6 +77,12 @@ pub fn write_updates(mut writer: impl Write, updates: &[DbUpdate]) -> std::io::R
             GraphUpdate::AddVertex { label, attach_to, elabel } => {
                 writeln!(writer, "{} add-vertex {label} {attach_to} {elabel}", u.gid)?;
             }
+            GraphUpdate::DeleteEdge { e } => {
+                writeln!(writer, "{} delete-edge {e}", u.gid)?;
+            }
+            GraphUpdate::DeleteVertex { v } => {
+                writeln!(writer, "{} delete-vertex {v}", u.gid)?;
+            }
         }
     }
     Ok(())
@@ -92,6 +102,8 @@ mod tests {
                 gid: 4,
                 update: GraphUpdate::AddVertex { label: 1, attach_to: 0, elabel: 3 },
             },
+            DbUpdate { gid: 5, update: GraphUpdate::DeleteEdge { e: 2 } },
+            DbUpdate { gid: 5, update: GraphUpdate::DeleteVertex { v: 4 } },
         ];
         let mut bytes = Vec::new();
         write_updates(&mut bytes, &updates).unwrap();

@@ -43,7 +43,15 @@
 //! 9. **serve** — a booted [`ServeEngine`] serves the reference set,
 //!    answers support probes exactly (including from an old epoch's
 //!    `Arc` after a swap), and swaps epochs once per batch.
-//! 10. **router-equivalence** — a planned two-shard fleet (real TCP
+//! 10. **window-equivalence** — a [`ServeEngine`] booted in sliding-window
+//!     mode (`window: Some(N)`) and fed `M > N` deterministically planned
+//!     update windows serves `patterns` and `support` exactly like a
+//!     from-scratch mine of the base database with only the last `N`
+//!     windows applied. The served epoch count and the
+//!     `ingest_windows_expired` counter pin the expiry machinery itself:
+//!     every admitted window and every synthesized expiry frame folds
+//!     exactly once.
+//! 11. **router-equivalence** — a planned two-shard fleet (real TCP
 //!     servers on ephemeral ports) behind a scatter/gather [`Router`]
 //!     answers `patterns` and `support` bit-identically to one
 //!     single-process server over the whole database, before and after
@@ -51,6 +59,7 @@
 //!     epoch swap. A healthy fleet must never tag answers `partial`.
 
 use graphmine_core::{one_edge_deletions, Executor, IncPartMiner, PartMiner, PartMinerConfig};
+use graphmine_datagen::{plan_windows, UpdateKind, UpdateParams};
 use graphmine_graph::{
     enumerate::frequent_bruteforce, iso, update::apply_all, DfsCode, EmbeddingMode, Graph, GraphDb,
     GraphUpdate, PatternSet,
@@ -101,6 +110,7 @@ pub fn run_case(case: &Case, exec: &Executor) -> Result<(), CheckFailure> {
         check_incremental_trust(case, mirror)?;
     }
     check_serve(case, &reference, mirror.as_ref())?;
+    check_window_equivalence(case, &reference)?;
     check_router_equivalence(case, &reference, mirror.as_ref())?;
     Ok(())
 }
@@ -711,6 +721,118 @@ fn check_serve(
                 ),
             ));
         }
+    }
+    Ok(())
+}
+
+/// Differential check of the sliding-window serving mode: a
+/// [`ServeEngine`] booted with `window: Some(N)` and fed `M > N` update
+/// windows must answer `patterns` and `support` exactly like a
+/// from-scratch mine of the base database with only the last `N`
+/// windows applied — the older windows have expired past the retention
+/// horizon and their effects must be fully unwound.
+///
+/// The window stream is derived deterministically from the case alone
+/// ([`plan_windows`] seeded from `case.seed`; base-entity-only ops), so
+/// a repro file replays the identical stream. The expiry machinery
+/// itself is pinned twice over: the served epoch must count one fold per
+/// admitted window *and* per synthesized expiry frame, and the
+/// `ingest_windows_expired` counter must equal `M - N`.
+fn check_window_equivalence(case: &Case, reference: &PatternSet) -> Result<(), CheckFailure> {
+    const CHECK: &str = "window-equivalence";
+    const WINDOWS: usize = 4;
+    const RETAIN: usize = 2;
+    // Same uncapped-mining guards as the serve check.
+    if case.min_support < 2
+        || case.db.is_empty()
+        || case.db.total_edges() > 120
+        || reference.max_size() >= case.max_edges
+    {
+        return Ok(());
+    }
+    let params = UpdateParams::new(0.3, 2, UpdateKind::Mixed, 6)
+        .with_seed(case.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let windows = plan_windows(&case.db, &params, WINDOWS);
+    if windows.iter().any(Vec::is_empty) {
+        return Ok(()); // degenerate database (all-empty graphs): nothing to stream
+    }
+    // The expected end state: base plus the last RETAIN windows, in order.
+    // Planned windows only target base entities, so any suffix applies
+    // cleanly no matter which prefix the server has expired.
+    let mut live = case.db.clone();
+    for w in &windows[WINDOWS - RETAIN..] {
+        apply_all(&mut live, w)
+            .map_err(|e| fail(CHECK, format!("planned window does not apply to base: {e}")))?;
+    }
+    let direct = GSpan::capped(case.max_edges).mine(&live, case.min_support);
+    if direct.max_size() >= case.max_edges {
+        return Ok(()); // cap would bind on the live set; stop here
+    }
+
+    let dir = tempfile::tempdir()
+        .map_err(|e| fail(CHECK, format!("cannot create a scratch dir: {e}")))?;
+    let cfg = EngineConfig {
+        min_support: case.min_support,
+        k: 2,
+        window: Some(RETAIN),
+        ..EngineConfig::default()
+    };
+    let (engine, boot) = ServeEngine::boot(Some(&case.db), dir.path(), &cfg)
+        .map_err(|e| fail(CHECK, format!("boot failed: {e}")))?;
+    if boot.epoch != 0 {
+        return Err(fail(CHECK, format!("fresh boot starts at epoch {}", boot.epoch)));
+    }
+    for (i, w) in windows.iter().enumerate() {
+        engine
+            .apply_update(w)
+            .map_err(|e| fail(CHECK, format!("window {i} rejected in windowed mode: {e}")))?;
+    }
+    // Expiry frames fold on the applier thread after the triggering
+    // window's ack; drain them before reading the served epoch.
+    for _ in 0..1000 {
+        if engine.pending_windows() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    if engine.pending_windows() != 0 {
+        return Err(fail(CHECK, "expiry frames did not drain".to_string()));
+    }
+    let ep = engine.current();
+    let frames = (WINDOWS + WINDOWS - RETAIN) as u64;
+    if ep.epoch != frames {
+        return Err(fail(
+            CHECK,
+            format!(
+                "served epoch is {} after {WINDOWS} windows at retention {RETAIN} \
+                 ({frames} expected: every admitted window and every expiry frame \
+                 folds exactly once)",
+                ep.epoch
+            ),
+        ));
+    }
+    expect_same(CHECK, "served windowed P vs gSpan over base+last-N", &ep.patterns, &direct)?;
+    for p in direct.iter().take(2) {
+        let (support, source) = engine.support_of(&ep, &p.graph);
+        if support != p.support {
+            return Err(fail(
+                CHECK,
+                format!(
+                    "windowed support probe for {:?}: served {support} (from {source:?}), mined {}",
+                    p.code, p.support
+                ),
+            ));
+        }
+    }
+    let report = RunReport::capture("oracle-window", engine.telemetry());
+    let expired = report.counter(Counter::IngestWindowsExpired);
+    if expired != (WINDOWS - RETAIN) as u64 {
+        return Err(fail(
+            CHECK,
+            format!(
+                "{expired} windows expired for a {WINDOWS}-window stream at retention {RETAIN}"
+            ),
+        ));
     }
     Ok(())
 }

@@ -241,6 +241,55 @@ fn drop_shard_reply_mutant_is_detected() {
     run_single(&case, &exec, None).expect("the crafted case is clean without the mutant");
 }
 
+/// A database the window-equivalence check runs on unguarded: three
+/// copies of the path `(0)-5-(1)-6-(2)` at min_support 2. The armed
+/// [`Fault::SkipExpiry`] mutant makes the serving engine's applier skip
+/// the retention sweep, so windows past the horizon are never unwound:
+/// the served epoch count stops matching one-fold-per-frame, zero
+/// windows expire, and the served pattern set drifts toward the union of
+/// *all* streamed windows instead of the last `N`.
+fn crafted_window_case() -> Case {
+    let mut db = GraphDb::new();
+    for _ in 0..3 {
+        let mut g = Graph::new();
+        g.add_vertex(0);
+        g.add_vertex(1);
+        g.add_vertex(2);
+        g.add_edge(0, 1, 5).unwrap();
+        g.add_edge(1, 2, 6).unwrap();
+        db.push(g);
+    }
+    let updates = vec![DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } }];
+    Case {
+        name: "crafted-window-expiry".to_string(),
+        seed: 0,
+        min_support: 2,
+        max_edges: 3,
+        db,
+        updates,
+    }
+}
+
+#[test]
+fn skip_expiry_mutant_is_detected() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tempfile::tempdir().unwrap();
+    let case = crafted_window_case();
+    let exec = Executor::new(2);
+
+    let guard = arm(Fault::SkipExpiry);
+    let record = run_single(&case, &exec, Some(dir.path()))
+        .expect_err("a skipped retention sweep must leave a detectable stale window");
+    assert_eq!(record.check, "window-equivalence", "wrong check tripped: {}", record.message);
+    let repro = record.repro.clone().expect("repro written");
+    assert!(replay_file(&repro, &exec).is_err(), "repro keeps failing while armed");
+    drop(guard);
+
+    replay_file(&repro, &exec)
+        .unwrap_or_else(|f| panic!("repro fails disarmed [{}]: {}", f.check, f.message));
+    run_single(&case, &exec, None).expect("the crafted case is clean without the mutant");
+}
+
 /// The labeled-panic path end to end: a panic injected inside one unit's
 /// mining job must surface as a failure that names the exact job
 /// (`unit-mine:{j}`) and carries the payload — and the unit id in the

@@ -77,6 +77,11 @@ pub struct DbPartition {
     nodes: Vec<PartNode>,
     root: NodeId,
     unit_nodes: Vec<NodeId>,
+    /// `true` once a delete update has been applied. Deletes can legally
+    /// empty a unit's piece (the build-time non-emptiness clamp only
+    /// governs splits), so [`DbPartition::check_invariants`] relaxes the
+    /// unit-non-emptiness rule on a shrunk partition.
+    deletes_applied: bool,
 }
 
 impl DbPartition {
@@ -126,7 +131,12 @@ impl DbPartition {
             unit: None,
             depth: 0,
         };
-        let mut part = DbPartition { nodes: vec![root], root: 0, unit_nodes: Vec::new() };
+        let mut part = DbPartition {
+            nodes: vec![root],
+            root: 0,
+            unit_nodes: Vec::new(),
+            deletes_applied: false,
+        };
 
         // Level-by-level, left-to-right splitting (Fig. 6). Leaves whose
         // database holds no edge at all are frozen as units instead of
@@ -319,7 +329,7 @@ impl DbPartition {
                     node.db.len()
                 ));
             }
-            if root.db.total_edges() > 0 && node.db.total_edges() == 0 {
+            if !self.deletes_applied && root.db.total_edges() > 0 && node.db.total_edges() == 0 {
                 return Err(format!("unit {j} is edgeless while the root database has edges"));
             }
         }
@@ -410,8 +420,8 @@ impl DbPartition {
     pub fn apply_update_impact(&mut self, up: DbUpdate) -> Result<UpdateImpact, GraphError> {
         let gid = up.gid;
         if gid as usize >= self.nodes[self.root].db.len() {
-            return Err(GraphError::VertexOutOfRange {
-                vertex: gid,
+            return Err(GraphError::GraphOutOfRange {
+                graph: gid,
                 len: self.nodes[self.root].db.len() as u32,
             });
         }
@@ -458,6 +468,36 @@ impl DbPartition {
                     &mut touched,
                 );
             }
+            GraphUpdate::DeleteEdge { e } => {
+                let last = self.nodes[self.root].db.graph(gid).edge_count() as EdgeId - 1;
+                self.delete_edge_rec(self.root, gid, e, &mut touched);
+                if e != last {
+                    self.remap_edge(gid, last, e);
+                }
+                self.deletes_applied = true;
+            }
+            GraphUpdate::DeleteVertex { v } => {
+                let root_g = self.nodes[self.root].db.graph(gid);
+                let last_v = root_g.vertex_count() as VertexId - 1;
+                // Cascade exactly like `Graph::delete_vertex`: incident
+                // edges highest original id first, each a swap-remove whose
+                // renumbering is mirrored into every node's edge map.
+                let mut incident: Vec<EdgeId> = root_g.neighbors(v).iter().map(|a| a.eid).collect();
+                incident.sort_unstable_by(|a, b| b.cmp(a));
+                let mut m = root_g.edge_count() as EdgeId;
+                for e in incident {
+                    self.delete_edge_rec(self.root, gid, e, &mut touched);
+                    m -= 1;
+                    if e != m {
+                        self.remap_edge(gid, m, e);
+                    }
+                }
+                self.delete_vertex_rec(self.root, gid, v, &mut touched);
+                if v != last_v {
+                    self.remap_vertex(gid, last_v, v);
+                }
+                self.deletes_applied = true;
+            }
         }
         touched.sort_unstable();
         touched.dedup();
@@ -501,6 +541,16 @@ impl DbPartition {
             GraphUpdate::AddVertex { attach_to, .. } => {
                 if attach_to >= n {
                     return Err(GraphError::VertexOutOfRange { vertex: attach_to, len: n });
+                }
+            }
+            GraphUpdate::DeleteEdge { e } => {
+                if e >= g.edge_count() as u32 {
+                    return Err(GraphError::EdgeOutOfRange { edge: e, len: g.edge_count() as u32 });
+                }
+            }
+            GraphUpdate::DeleteVertex { v } => {
+                if v >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, len: n });
                 }
             }
         }
@@ -550,6 +600,79 @@ impl DbPartition {
         if let Some((a, b)) = self.nodes[node_id].children {
             self.relabel_edge_rec(a, gid, orig_e, label, touched);
             self.relabel_edge_rec(b, gid, orig_e, label, touched);
+        }
+    }
+
+    /// Deletes original edge `orig_e` from every piece containing it,
+    /// recursing from `node_id`. The piece graph's swap-remove renumbering
+    /// is mirrored by `Vec::swap_remove` on the node's edge map — identical
+    /// movement, so provenance stays aligned. Any piece entries still
+    /// *naming* the root's highest edge id are left for the caller's
+    /// [`DbPartition::remap_edge`] pass (piece graphs do not change for
+    /// those nodes, so they are not marked touched).
+    fn delete_edge_rec(
+        &mut self,
+        node_id: NodeId,
+        gid: GraphId,
+        orig_e: EdgeId,
+        touched: &mut Vec<NodeId>,
+    ) {
+        let Some(pe) = self.nodes[node_id].position_of_edge(gid, orig_e) else {
+            return;
+        };
+        let node = &mut self.nodes[node_id];
+        node.db.graph_mut(gid).delete_edge(pe).expect("mapped edge in range");
+        node.edge_maps[gid as usize].swap_remove(pe as usize);
+        self.mark(node_id, touched);
+        if let Some((a, b)) = self.nodes[node_id].children {
+            self.delete_edge_rec(a, gid, orig_e, touched);
+            self.delete_edge_rec(b, gid, orig_e, touched);
+        }
+    }
+
+    /// Rewrites every node's edge map entry for original edge `old` to
+    /// `new` — the provenance mirror of the root graph's swap-remove.
+    fn remap_edge(&mut self, gid: GraphId, old: EdgeId, new: EdgeId) {
+        for node in &mut self.nodes {
+            if let Some(pe) = node.edge_maps[gid as usize].iter().position(|&e| e == old) {
+                node.edge_maps[gid as usize][pe] = new;
+            }
+        }
+    }
+
+    /// Deletes original vertex `orig_v` — already isolated by the cascade —
+    /// from every piece containing it, recursing from `node_id`. The piece
+    /// graph's vertex swap-remove is mirrored by `Vec::swap_remove` on the
+    /// node's vertex map and ufreq.
+    fn delete_vertex_rec(
+        &mut self,
+        node_id: NodeId,
+        gid: GraphId,
+        orig_v: VertexId,
+        touched: &mut Vec<NodeId>,
+    ) {
+        let Some(pv) = self.nodes[node_id].position_of_vertex(gid, orig_v) else {
+            return;
+        };
+        let node = &mut self.nodes[node_id];
+        let removal = node.db.graph_mut(gid).delete_vertex(pv).expect("mapped vertex in range");
+        debug_assert!(removal.removed_edges.is_empty(), "cascade already isolated the vertex");
+        node.vertex_maps[gid as usize].swap_remove(pv as usize);
+        node.ufreq[gid as usize].swap_remove(pv as usize);
+        self.mark(node_id, touched);
+        if let Some((a, b)) = self.nodes[node_id].children {
+            self.delete_vertex_rec(a, gid, orig_v, touched);
+            self.delete_vertex_rec(b, gid, orig_v, touched);
+        }
+    }
+
+    /// Rewrites every node's vertex map entry for original vertex `old` to
+    /// `new` — the provenance mirror of the root graph's swap-remove.
+    fn remap_vertex(&mut self, gid: GraphId, old: VertexId, new: VertexId) {
+        for node in &mut self.nodes {
+            if let Some(pv) = node.vertex_maps[gid as usize].iter().position(|&v| v == old) {
+                node.vertex_maps[gid as usize][pv] = new;
+            }
         }
     }
 
@@ -867,6 +990,93 @@ mod tests {
                 assert_eq!(rec.vlabel(v), root_g.vlabel(v), "vertex {v}");
             }
         }
+    }
+
+    #[test]
+    fn delete_edge_keeps_recovery_lossless() {
+        for k in [1, 2, 3, 4] {
+            let mut part = build_k(k);
+            // Delete a middle edge: the root's last edge (6) is renumbered
+            // to 1 and every unit's provenance must follow.
+            let touched = part
+                .apply_update(DbUpdate { gid: 0, update: GraphUpdate::DeleteEdge { e: 1 } })
+                .unwrap();
+            assert!(!touched.is_empty(), "k={k}");
+            part.check_invariants().unwrap();
+            let root_g = part.root().db.graph(0).clone();
+            assert_eq!(root_g.edge_count(), 6);
+            root_g.check_invariants().unwrap();
+            let rec = part.recovered_graph(0);
+            for (e, u, v, el) in root_g.edges() {
+                assert_eq!(rec.edge(e), (u, v, el), "k={k} edge {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_vertex_cascades_through_units() {
+        for k in [1, 2, 3, 4] {
+            let mut part = build_k(k);
+            // Vertex 2 has degree 3 in the sample graphs; its deletion
+            // cascades three edges and renumbers vertex 5 to 2.
+            let touched = part
+                .apply_update(DbUpdate { gid: 2, update: GraphUpdate::DeleteVertex { v: 2 } })
+                .unwrap();
+            assert!(!touched.is_empty(), "k={k}");
+            part.check_invariants().unwrap();
+            let root_g = part.root().db.graph(2).clone();
+            assert_eq!(root_g.vertex_count(), 5);
+            assert_eq!(root_g.edge_count(), 4);
+            root_g.check_invariants().unwrap();
+            let rec = part.recovered_graph(2);
+            for (e, u, v, el) in root_g.edges() {
+                assert_eq!(rec.edge(e), (u, v, el), "k={k} edge {e}");
+            }
+            // Other graphs are untouched.
+            assert_eq!(part.root().db.graph(0).vertex_count(), 6);
+        }
+    }
+
+    #[test]
+    fn deletes_chain_with_additions() {
+        let mut part = build_k(3);
+        let ups = [
+            GraphUpdate::DeleteEdge { e: 3 },
+            GraphUpdate::AddVertex { label: 5, attach_to: 0, elabel: 9 },
+            GraphUpdate::DeleteVertex { v: 1 },
+            GraphUpdate::AddEdge { u: 1, v: 2, label: 4 },
+            GraphUpdate::DeleteVertex { v: 0 },
+        ];
+        for u in ups {
+            part.apply_update(DbUpdate { gid: 1, update: u }).unwrap();
+            part.check_invariants().unwrap();
+        }
+        let root_g = part.root().db.graph(1).clone();
+        root_g.check_invariants().unwrap();
+        let rec = part.recovered_graph(1);
+        for (e, u, v, el) in root_g.edges() {
+            assert_eq!(rec.edge(e), (u, v, el), "edge {e}");
+        }
+        for v in 0..root_g.vertex_count() as u32 {
+            if root_g.degree(v) > 0 {
+                assert_eq!(rec.vlabel(v), root_g.vlabel(v), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_rejects_out_of_range() {
+        let mut part = build_k(2);
+        let before = part.root().db.graph(0).clone();
+        assert_eq!(
+            part.apply_update(DbUpdate { gid: 0, update: GraphUpdate::DeleteEdge { e: 99 } }),
+            Err(GraphError::EdgeOutOfRange { edge: 99, len: 7 })
+        );
+        assert_eq!(
+            part.apply_update(DbUpdate { gid: 0, update: GraphUpdate::DeleteVertex { v: 99 } }),
+            Err(GraphError::VertexOutOfRange { vertex: 99, len: 6 })
+        );
+        assert_eq!(part.root().db.graph(0), &before);
     }
 
     #[test]

@@ -72,7 +72,7 @@ use graphmine_telemetry::{Counter, JsonValue, RunReport, Telemetry};
 use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
 
-use crate::ingest::{coalesce_window, IngestConfig, IngestQueue};
+use crate::ingest::{coalesce_window, IngestConfig, IngestQueue, WindowTracker};
 use crate::protocol::{error_response, ok_response, pattern_to_json, AckMode, Request};
 
 /// Engine configuration. `min_support` and `k` are only honored when the
@@ -96,6 +96,14 @@ pub struct EngineConfig {
     /// single-process mode, every gid owned). The router's gathered
     /// sums are exact because owner sets are disjoint across shards.
     pub owned: Option<Vec<GraphId>>,
+    /// Sliding-window retention: keep only the newest `N` ingest windows
+    /// live; once an older window falls past the horizon the engine
+    /// synthesizes its inverse batch, journals it as a tagged WAL frame,
+    /// and folds it through the incremental miner. `None` = evolving
+    /// mode, every admitted window lives forever. Not persisted: a clean
+    /// stop freezes the surviving windows into the snapshot (they become
+    /// base data) and retention restarts over windows admitted since.
+    pub window: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +116,7 @@ impl Default for EngineConfig {
             embedding_budget: DEFAULT_EMBEDDING_BUDGET,
             ingest: IngestConfig::default(),
             owned: None,
+            window: None,
         }
     }
 }
@@ -277,6 +286,8 @@ struct EngineShared {
     embedding_budget: usize,
     pool_pages: usize,
     ingest_cfg: IngestConfig,
+    /// Sliding-window retention horizon (`None` = evolving mode).
+    window: Option<usize>,
     current: RwLock<Arc<ResultEpoch>>,
     inner: Mutex<EngineInner>,
     /// Memoized exact supports of infrequent query patterns, keyed by
@@ -410,6 +421,13 @@ impl ServeEngine {
         let (mut journal, batches) =
             UpdateJournal::recover(&dir.join("journal.wal"), cfg.pool_pages)
                 .map_err(|e| format!("journal: {e}"))?;
+        // Windowed mode rebuilds the retention bookkeeping by replaying
+        // the journal against a mirror of the snapshot database. Windows
+        // folded into the snapshot by a clean stop are base data (the
+        // journal below `base_epoch` is gone), so retention restarts
+        // over the windows admitted since.
+        let mut tracker = cfg.window.map(|_| WindowTracker::new(&db));
+        let mut mirror = tracker.as_ref().map(|_| db.clone());
         let mut replayed = 0usize;
         for batch in &batches {
             // Batches at or below the committed base epoch are already
@@ -420,12 +438,38 @@ impl ServeEngine {
             }
             IncPartMiner::update_instrumented(&mut state, &batch.updates, &tel)
                 .map_err(|e| format!("journal replay (batch {}): {e}", batch.seq))?;
+            if let (Some(tr), Some(mirror)) = (tracker.as_mut(), mirror.as_mut()) {
+                match batch.expiry {
+                    Some(w) => tr.apply_expiry(mirror, &batch.updates, w),
+                    None => tr.apply_and_track(batch.seq, mirror, &batch.updates),
+                }
+                .map_err(|e| format!("journal replay (batch {}): tracker: {e}", batch.seq))?;
+            }
             tel.counters().bump(Counter::WalBatchesReplayed);
             replayed += 1;
         }
         // After a clean stop the journal is empty but the numbering must
         // continue where the snapshot left off.
         journal.set_next_seq(base_epoch + 1);
+        // Catch up on retention before serving: a crash after a window
+        // fell due but before its expiry frame went durable leaves the
+        // replayed state over the horizon. Re-synthesize journal-first,
+        // so a crash inside this loop just repeats it next boot —
+        // replayed expiry frames above were already folded, so windows
+        // can never expire twice.
+        if let (Some(n), Some(tr), Some(mirror)) = (cfg.window, tracker.as_mut(), mirror.as_mut()) {
+            while tr.live_count() > n {
+                let (expired, ops) = tr.synthesize_expiry();
+                journal
+                    .append_unsynced(&ops, Some(expired))
+                    .map_err(|e| format!("journal: boot expiry: {e}"))?;
+                journal.sync().map_err(|e| format!("journal: boot expiry: {e}"))?;
+                IncPartMiner::update_instrumented(&mut state, &ops, &tel)
+                    .map_err(|e| format!("boot expiry (window {expired}): {e}"))?;
+                tr.apply_expiry(mirror, &ops, expired)
+                    .map_err(|e| format!("boot expiry (window {expired}): tracker: {e}"))?;
+            }
+        }
         let epoch = journal.next_seq() - 1;
 
         // One pool for every re-mine; sized like the mining config would
@@ -437,6 +481,8 @@ impl ServeEngine {
         };
 
         let tail = state.partition.root().db.clone();
+        let mut queue = IngestQueue::new(tail, epoch);
+        queue.tracker = tracker;
         let current =
             ResultEpoch::new(epoch, state.partition.root().db.clone(), state.patterns().clone());
         let shared = Arc::new(EngineShared {
@@ -448,6 +494,7 @@ impl ServeEngine {
             embedding_budget: cfg.embedding_budget,
             pool_pages: cfg.pool_pages,
             ingest_cfg: cfg.ingest.clone(),
+            window: cfg.window,
             current: RwLock::new(Arc::new(current)),
             inner: Mutex::new(EngineInner { state }),
             support_memo: Mutex::new(FxHashMap::default()),
@@ -460,7 +507,7 @@ impl ServeEngine {
             global_epoch: AtomicU64::new(0),
             exec: Executor::new(budget),
             journal: GroupCommitJournal::new(journal),
-            queue: std::sync::Mutex::new(IngestQueue::new(tail, epoch)),
+            queue: std::sync::Mutex::new(queue),
             submitted: std::sync::Condvar::new(),
             applied: std::sync::Condvar::new(),
         });
@@ -599,7 +646,10 @@ impl ServeEngine {
         if let Some(msg) = &q.failed {
             return Err(UpdateError::Failed(msg.clone()));
         }
-        validate_batch(&q.tail, ops).map_err(UpdateError::Rejected)
+        match &q.tracker {
+            Some(tr) => tr.validate_window(&q.tail, ops).map_err(UpdateError::Rejected),
+            None => validate_batch(&q.tail, ops).map_err(UpdateError::Rejected),
+        }
     }
 
     /// Admits one window into the streaming pipeline and blocks until it
@@ -633,7 +683,10 @@ impl ServeEngine {
             };
             counters.add(Counter::IngestOpsIn, ops.len() as u64);
             counters.add(Counter::IngestOpsCoalesced, (ops.len() - window.len()) as u64);
-            validate_batch(&q.tail, &window).map_err(UpdateError::Rejected)?;
+            match &q.tracker {
+                Some(tr) => tr.validate_window(&q.tail, &window).map_err(UpdateError::Rejected)?,
+                None => validate_batch(&q.tail, &window).map_err(UpdateError::Rejected)?,
+            }
             // Seq assignment and tail application happen under the queue
             // lock, so validation order, tail order, and journal order
             // all agree.
@@ -641,7 +694,15 @@ impl ServeEngine {
                 .journal
                 .enqueue(&window)
                 .map_err(|e| UpdateError::Failed(format!("journal: {e}")))?;
-            if let Err(e) = apply_all(&mut q.tail, &window) {
+            let applied = match q.tracker.as_mut() {
+                Some(_) => {
+                    // Split the borrow: the tracker applies to the tail.
+                    let IngestQueue { tail, tracker, .. } = &mut *q;
+                    tracker.as_mut().expect("checked above").apply_and_track(seq, tail, &window)
+                }
+                None => apply_all(&mut q.tail, &window),
+            };
+            if let Err(e) = applied {
                 // Validation passed but the tail refused: the pipeline's
                 // tail no longer mirrors the journal — poison it.
                 let msg = format!("tail apply (seq {seq}): {e}");
@@ -1036,6 +1097,42 @@ fn applier_loop(shared: &Arc<EngineShared>) {
         q.windows.remove(&seq);
         q.applied_seq = seq;
         q.record_summary(summary);
+        // Sliding-window retention: with the newest window now visible,
+        // expire windows past the horizon. Each expiry is journaled as a
+        // tagged frame *before* the tail moves (journal-first, still
+        // under the queue lock so its seq slots in order); the frame then
+        // rides the normal pipeline — durable before visible, exactly
+        // like a submitted window. A crash between enqueue and the fsync
+        // barrier just loses the frame, and boot re-synthesizes it.
+        if let Some(n) = shared.window {
+            while q.tracker.as_ref().is_some_and(|tr| tr.live_count() > n) {
+                #[cfg(feature = "fault-injection")]
+                if graphmine_graph::fault::armed(graphmine_graph::fault::Fault::SkipExpiry) {
+                    break;
+                }
+                let (expired, ops) = q.tracker.as_mut().expect("checked above").synthesize_expiry();
+                let eseq = match shared.journal.enqueue_expiry(&ops, expired) {
+                    Ok(eseq) => eseq,
+                    Err(e) => {
+                        q.failed = Some(format!("journal (expiry of window {expired}): {e}"));
+                        drop(q);
+                        shared.applied.notify_all();
+                        return;
+                    }
+                };
+                let IngestQueue { tail, tracker, .. } = &mut *q;
+                if let Err(e) =
+                    tracker.as_mut().expect("windowed mode").apply_expiry(tail, &ops, expired)
+                {
+                    q.failed = Some(format!("tail apply (expiry seq {eseq}): {e}"));
+                    drop(q);
+                    shared.applied.notify_all();
+                    return;
+                }
+                q.windows.insert(eseq, ops);
+                shared.tel.counters().bump(Counter::IngestWindowsExpired);
+            }
+        }
         drop(q);
         shared.applied.notify_all();
     }
@@ -1286,6 +1383,173 @@ mod tests {
         assert!(engine.telemetry().counters().get(Counter::KnownSkipped) > 0);
     }
 
+    /// Blocks until every pending window (including synthesized expiry
+    /// frames) has folded into the served epoch.
+    fn drain(engine: &ServeEngine) {
+        for _ in 0..1000 {
+            if engine.pending_windows() == 0 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("ingest pipeline failed to drain");
+    }
+
+    fn assert_same_db(a: &GraphDb, b: &GraphDb, ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: graph count");
+        for gid in 0..a.len() as u32 {
+            let (ga, gb) = (a.graph(gid), b.graph(gid));
+            assert_eq!(ga.vlabels(), gb.vlabels(), "{ctx}: graph {gid} vertex labels");
+            assert_eq!(ga.edge_count(), gb.edge_count(), "{ctx}: graph {gid} edge count");
+            for e in 0..ga.edge_count() as u32 {
+                assert_eq!(ga.edge(e), gb.edge(e), "{ctx}: graph {gid} edge {e}");
+            }
+        }
+    }
+
+    /// The four windows of the sliding-window tests: an edge + a relabel
+    /// that expire, then the same shapes again on other graphs.
+    fn window_stream() -> [Vec<DbUpdate>; 4] {
+        [
+            vec![DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 2, v: 0, label: 12 } }],
+            vec![DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 0, label: 5 } }],
+            vec![DbUpdate { gid: 3, update: GraphUpdate::AddEdge { u: 2, v: 0, label: 12 } }],
+            vec![DbUpdate { gid: 2, update: GraphUpdate::RelabelVertex { v: 0, label: 5 } }],
+        ]
+    }
+
+    /// Boots a throwaway engine over `db` and returns its mined epoch —
+    /// the from-scratch reference a windowed engine must match.
+    fn reference_epoch(db: &GraphDb) -> Arc<ResultEpoch> {
+        let dir = tempfile::tempdir().unwrap();
+        let (engine, _) = ServeEngine::boot(Some(db), dir.path(), &cfg()).unwrap();
+        engine.current()
+    }
+
+    #[test]
+    fn windowed_serving_expires_past_the_horizon() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let config = EngineConfig { window: Some(2), ..cfg() };
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &config).unwrap();
+        let windows = window_stream();
+        for w in &windows {
+            engine.apply_update(w).unwrap();
+        }
+        drain(&engine);
+        assert_eq!(engine.telemetry().counters().get(Counter::IngestWindowsExpired), 2);
+
+        // Served state must equal a from-scratch mine of base data plus
+        // the two live windows: window 1's edge is gone, window 2's
+        // relabel is restored.
+        let mut live = db.clone();
+        apply_all(&mut live, &windows[2]).unwrap();
+        apply_all(&mut live, &windows[3]).unwrap();
+        let served = engine.current();
+        assert_same_db(&served.db, &live, "served tail after two expiries");
+        let reference = reference_epoch(&live);
+        assert!(
+            served.patterns.same_codes_and_supports(&reference.patterns),
+            "windowed result diverged from a batch mine of the live windows"
+        );
+        // The expired edge really stopped counting: graphs 0 and 3 match
+        // edge (2)-12-(0) (window 4's relabel takes graph 2 out, window
+        // 1's expired copy on graph 1 no longer counts).
+        let mut closing = Graph::new();
+        let a = closing.add_vertex(2);
+        let b = closing.add_vertex(0);
+        closing.add_edge(a, b, 12).unwrap();
+        assert_eq!(engine.support_of(&served, &closing).0, 2);
+    }
+
+    #[test]
+    fn windowed_boot_replays_and_catches_up() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let config = EngineConfig { window: Some(2), ..cfg() };
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &config).unwrap();
+        let windows = window_stream();
+        for w in &windows {
+            engine.apply_update(w).unwrap();
+        }
+        drain(&engine);
+        drop(engine);
+
+        // Crash-style restart (no clean stop): the journal holds the four
+        // windows plus two expiry frames; replay must rebuild the tracker
+        // without double-expiring.
+        let mut live = db.clone();
+        apply_all(&mut live, &windows[2]).unwrap();
+        apply_all(&mut live, &windows[3]).unwrap();
+        let (engine, boot) = ServeEngine::boot(None, dir.path(), &config).unwrap();
+        assert_eq!(boot.replayed, 6, "four windows and two expiry frames");
+        assert_same_db(&engine.current().db, &live, "replayed windowed tail");
+        drop(engine);
+
+        // Rebooting with a tighter horizon expires the overhang at boot,
+        // journal-first: the catch-up frame lands before serving starts.
+        let shrunk = EngineConfig { window: Some(1), ..cfg() };
+        let (engine, boot) = ServeEngine::boot(None, dir.path(), &shrunk).unwrap();
+        let mut last = db.clone();
+        apply_all(&mut last, &windows[3]).unwrap();
+        assert_same_db(&engine.current().db, &last, "tail after boot catch-up");
+        let reference = reference_epoch(&last);
+        assert!(engine.current().patterns.same_codes_and_supports(&reference.patterns));
+        assert_eq!(boot.epoch, 7, "the catch-up expiry frame took a seq");
+
+        // Clean stop freezes the surviving window into the snapshot;
+        // retention restarts over windows admitted after the restart.
+        engine.clean_stop().unwrap();
+        drop(engine);
+        let (engine, boot) = ServeEngine::boot(None, dir.path(), &shrunk).unwrap();
+        assert_eq!(boot.replayed, 0, "clean stop folded the journal away");
+        assert_same_db(&engine.current().db, &last, "frozen snapshot serves unchanged");
+        assert_eq!(
+            engine.shared.queue.lock().unwrap().tracker.as_ref().unwrap().live_count(),
+            0,
+            "frozen windows are base data, not live windows"
+        );
+    }
+
+    #[test]
+    fn windowed_validation_spans_pending_windows() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = small_db();
+        let config = EngineConfig { window: Some(8), ..cfg() };
+        let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &config).unwrap();
+        // Window 1 grows a pendant vertex on graph 0 (vertex 3, edge 3).
+        engine
+            .apply_update(&[DbUpdate {
+                gid: 0,
+                update: GraphUpdate::AddVertex { label: 9, attach_to: 0, elabel: 13 },
+            }])
+            .unwrap();
+        // A later window may not reference or delete it...
+        let cross =
+            vec![DbUpdate { gid: 0, update: GraphUpdate::RelabelVertex { v: 3, label: 1 } }];
+        match engine.validate_window(&cross) {
+            Err(UpdateError::Rejected(msg)) => {
+                assert!(msg.contains("belongs to an earlier live window"), "{msg}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        let base_delete = vec![DbUpdate { gid: 0, update: GraphUpdate::DeleteEdge { e: 0 } }];
+        match engine.validate_window(&base_delete) {
+            Err(UpdateError::Rejected(msg)) => {
+                assert!(msg.contains("cannot delete base edge"), "{msg}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // ...while deleting its own creations stays legal.
+        engine
+            .apply_update(&[
+                DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 2, v: 0, label: 12 } },
+                DbUpdate { gid: 1, update: GraphUpdate::DeleteEdge { e: 2 } },
+            ])
+            .unwrap();
+        assert_eq!(engine.current().db.graph(1).edge_count(), 2);
+    }
+
     #[test]
     fn owned_support_restricts_to_the_owned_set() {
         let dir = tempfile::tempdir().unwrap();
@@ -1350,6 +1614,15 @@ mod tests {
         let (engine, _) = ServeEngine::boot(Some(&db), dir.path(), &cfg()).unwrap();
         let bad = vec![DbUpdate { gid: 1, update: GraphUpdate::AddEdge { u: 0, v: 99, label: 1 } }];
         assert!(matches!(engine.validate_window(&bad), Err(UpdateError::Rejected(_))));
+        // An out-of-range gid reports database bounds, not a vertex error.
+        let bad_gid =
+            vec![DbUpdate { gid: 9, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } }];
+        match engine.validate_window(&bad_gid) {
+            Err(UpdateError::Rejected(msg)) => {
+                assert_eq!(msg, "op 0: graph 9 out of range (4 graphs)");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
         let good = vec![DbUpdate { gid: 1, update: GraphUpdate::RelabelVertex { v: 0, label: 7 } }];
         engine.validate_window(&good).unwrap();
         // Nothing admitted, journaled, or applied by either verdict.

@@ -25,7 +25,8 @@
 //! A `code` is a list of DFS-code edges `[from, to, from_label,
 //! edge_label, to_label]`; it does not have to be minimal — the server
 //! canonicalizes. Update ops mirror the CLI text format
-//! (`relabel-vertex`, `relabel-edge`, `add-edge`, `add-vertex`).
+//! (`relabel-vertex`, `relabel-edge`, `add-edge`, `add-vertex`,
+//! `delete-edge`, `delete-vertex`).
 //!
 //! An update with `"ack":"applied"` (the default) is answered once the
 //! window is folded into the served epoch; `"ack":"durable"` answers at
@@ -322,6 +323,14 @@ pub fn ops_to_json(ops: &[DbUpdate]) -> JsonValue {
                         put("attach_to", num(attach_to));
                         put("elabel", num(elabel));
                     }
+                    GraphUpdate::DeleteEdge { e } => {
+                        put("op", JsonValue::Str("delete-edge".to_string()));
+                        put("e", num(e));
+                    }
+                    GraphUpdate::DeleteVertex { v } => {
+                        put("op", JsonValue::Str("delete-vertex".to_string()));
+                        put("v", num(v));
+                    }
                 }
                 JsonValue::Obj(obj)
             })
@@ -457,6 +466,8 @@ fn ops_from_json(value: &JsonValue) -> Result<Vec<DbUpdate>, String> {
                 attach_to: num("attach_to")?,
                 elabel: num("elabel")?,
             },
+            "delete-edge" => GraphUpdate::DeleteEdge { e: num("e")? },
+            "delete-vertex" => GraphUpdate::DeleteVertex { v: num("v")? },
             other => return Err(format!("op {i}: unknown op `{other}`")),
         };
         ops.push(DbUpdate { gid, update });
@@ -579,6 +590,8 @@ mod tests {
                 gid: 1,
                 update: GraphUpdate::AddVertex { label: 6, attach_to: 2, elabel: 1 },
             },
+            DbUpdate { gid: 2, update: GraphUpdate::DeleteEdge { e: 4 } },
+            DbUpdate { gid: 5, update: GraphUpdate::DeleteVertex { v: 3 } },
         ];
         let line = JsonValue::Obj(vec![
             ("cmd".to_string(), JsonValue::Str("update".to_string())),

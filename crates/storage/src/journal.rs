@@ -6,11 +6,18 @@
 //!
 //! ```text
 //! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
-//! payload = [seq: u64 LE] [n: u32 LE] [n × op]
+//! payload = [seq: u64 LE] [expiry: u64 LE] [n: u32 LE] [n × op]
 //! op      = [gid: u32 LE] [tag: u8] [a: u32 LE] [b: u32 LE] [c: u32 LE]
 //! ```
 //!
-//! with a CRC-32 (IEEE) over the payload. `append_batch` flushes and
+//! `expiry` is `0` for an ordinary batch; a non-zero value marks the frame
+//! as the synthesized inverse batch that expires the window whose sequence
+//! number it names (window sequence numbers are 1-based, so `0` is never a
+//! valid window). Journaling expiry as a normal frame keeps replay
+//! deterministic: recovery replays exactly the acked prefix, expiries
+//! included, and can never double-expire a window.
+//!
+//! Frames carry a CRC-32 (IEEE) over the payload. `append_batch` flushes and
 //! fsyncs before returning, so a returned sequence number means the batch
 //! survives a crash. [`UpdateJournal::recover`] rebuilds the acknowledged
 //! prefix by scanning frames and stops at the first zero/oversized length or
@@ -42,6 +49,9 @@ pub struct JournalBatch {
     pub seq: u64,
     /// The updates of the batch, in application order.
     pub updates: Vec<DbUpdate>,
+    /// `Some(w)` when this frame is the synthesized inverse batch expiring
+    /// window `w` from the sliding window; `None` for an ordinary batch.
+    pub expiry: Option<u64>,
 }
 
 /// An fsync-before-ack write-ahead log of [`DbUpdate`] batches.
@@ -102,7 +112,7 @@ impl UpdateJournal {
     ///
     /// Propagates write and fsync failures.
     pub fn append_batch(&mut self, updates: &[DbUpdate]) -> Result<u64, StorageError> {
-        let seq = self.append_unsynced(updates)?;
+        let seq = self.append_unsynced(updates, None)?;
         self.sync()?;
         Ok(seq)
     }
@@ -111,14 +121,19 @@ impl UpdateJournal {
     /// sequence number is **not** durable until a following
     /// [`UpdateJournal::sync`] — the group-commit building block: many
     /// frames appended, one shared fsync barrier. A crash before the
-    /// barrier leaves a torn tail that recovery drops.
+    /// barrier leaves a torn tail that recovery drops. A `Some(w)` expiry
+    /// marks the frame as the inverse batch expiring window `w`.
     ///
     /// # Errors
     ///
     /// Propagates write failures.
-    pub fn append_unsynced(&mut self, updates: &[DbUpdate]) -> Result<u64, StorageError> {
+    pub fn append_unsynced(
+        &mut self,
+        updates: &[DbUpdate],
+        expiry: Option<u64>,
+    ) -> Result<u64, StorageError> {
         let seq = self.next_seq;
-        let payload = encode_payload(seq, updates);
+        let payload = encode_payload(seq, updates, expiry);
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -185,8 +200,9 @@ struct GroupState {
     /// The journal, absent while the committer holds it for an
     /// append+fsync round (so the next group forms during the barrier).
     journal: Option<UpdateJournal>,
-    /// Frames assigned a sequence number but not yet durable.
-    pending: VecDeque<(u64, Vec<DbUpdate>)>,
+    /// Frames assigned a sequence number but not yet durable
+    /// (`(seq, updates, expiry)`).
+    pending: VecDeque<(u64, Vec<DbUpdate>, Option<u64>)>,
     /// Mirror of the journal's next sequence number, valid even while the
     /// journal is out with the committer.
     next_seq: u64,
@@ -260,13 +276,32 @@ impl GroupCommitJournal {
     ///
     /// Fails when a previous commit round failed (sticky).
     pub fn enqueue(&self, updates: &[DbUpdate]) -> Result<u64, StorageError> {
+        self.enqueue_frame(updates, None)
+    }
+
+    /// Like [`GroupCommitJournal::enqueue`], but marks the frame as the
+    /// synthesized inverse batch expiring window `window` — the marker
+    /// travels through the WAL so replay expires exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a previous commit round failed (sticky).
+    pub fn enqueue_expiry(&self, updates: &[DbUpdate], window: u64) -> Result<u64, StorageError> {
+        self.enqueue_frame(updates, Some(window))
+    }
+
+    fn enqueue_frame(
+        &self,
+        updates: &[DbUpdate],
+        expiry: Option<u64>,
+    ) -> Result<u64, StorageError> {
         let mut st = self.shared.state.lock().expect("journal state poisoned");
         if let Some(msg) = &st.failed {
             return Err(commit_failed(msg));
         }
         let seq = st.next_seq;
         st.next_seq += 1;
-        st.pending.push_back((seq, updates.to_vec()));
+        st.pending.push_back((seq, updates.to_vec(), expiry));
         drop(st);
         self.shared.work.notify_one();
         Ok(seq)
@@ -412,14 +447,14 @@ fn committer_loop(shared: &GroupShared) {
                 shared.done.notify_all();
                 continue;
             }
-            let group: Vec<(u64, Vec<DbUpdate>)> = st.pending.drain(..).collect();
+            let group: Vec<(u64, Vec<DbUpdate>, Option<u64>)> = st.pending.drain(..).collect();
             let journal = st.journal.take().expect("journal in slot");
             (journal, group)
         };
 
         let mut result = Ok(());
-        for (seq, updates) in &group {
-            match journal.append_unsynced(updates) {
+        for (seq, updates, expiry) in &group {
+            match journal.append_unsynced(updates, *expiry) {
                 Ok(got) => debug_assert_eq!(got, *seq, "frames written in submit order"),
                 Err(e) => {
                     result = Err(e);
@@ -470,9 +505,14 @@ fn scan_frames(bytes: &[u8]) -> (Vec<JournalBatch>, usize) {
     (batches, pos)
 }
 
-fn encode_payload(seq: u64, updates: &[DbUpdate]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12 + OP_BYTES * updates.len());
+/// Payload prefix bytes: `seq` + `expiry` + `n`.
+const PAYLOAD_PREFIX: usize = 20;
+
+fn encode_payload(seq: u64, updates: &[DbUpdate], expiry: Option<u64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PAYLOAD_PREFIX + OP_BYTES * updates.len());
     out.extend_from_slice(&seq.to_le_bytes());
+    // Window sequence numbers are 1-based, so 0 encodes "no expiry".
+    out.extend_from_slice(&expiry.unwrap_or(0).to_le_bytes());
     out.extend_from_slice(&(updates.len() as u32).to_le_bytes());
     for u in updates {
         out.extend_from_slice(&u.gid.to_le_bytes());
@@ -481,6 +521,8 @@ fn encode_payload(seq: u64, updates: &[DbUpdate]) -> Vec<u8> {
             GraphUpdate::RelabelEdge { e, label } => (1, e, label, 0),
             GraphUpdate::AddEdge { u, v, label } => (2, u, v, label),
             GraphUpdate::AddVertex { label, attach_to, elabel } => (3, label, attach_to, elabel),
+            GraphUpdate::DeleteEdge { e } => (4, e, 0, 0),
+            GraphUpdate::DeleteVertex { v } => (5, v, 0, 0),
         };
         out.push(tag);
         out.extend_from_slice(&a.to_le_bytes());
@@ -491,17 +533,21 @@ fn encode_payload(seq: u64, updates: &[DbUpdate]) -> Vec<u8> {
 }
 
 fn decode_payload(payload: &[u8]) -> Option<JournalBatch> {
-    if payload.len() < 12 {
+    if payload.len() < PAYLOAD_PREFIX {
         return None;
     }
     let seq = u64::from_le_bytes(payload[..8].try_into().ok()?);
-    let n = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
-    if payload.len() != 12 + n * OP_BYTES {
+    let expiry = match u64::from_le_bytes(payload[8..16].try_into().ok()?) {
+        0 => None,
+        w => Some(w),
+    };
+    let n = u32::from_le_bytes(payload[16..20].try_into().ok()?) as usize;
+    if payload.len() != PAYLOAD_PREFIX + n * OP_BYTES {
         return None;
     }
     let mut updates = Vec::with_capacity(n);
     for i in 0..n {
-        let op = &payload[12 + i * OP_BYTES..12 + (i + 1) * OP_BYTES];
+        let op = &payload[PAYLOAD_PREFIX + i * OP_BYTES..PAYLOAD_PREFIX + (i + 1) * OP_BYTES];
         let gid = u32::from_le_bytes(op[..4].try_into().ok()?);
         let a = u32::from_le_bytes(op[5..9].try_into().ok()?);
         let b = u32::from_le_bytes(op[9..13].try_into().ok()?);
@@ -511,11 +557,13 @@ fn decode_payload(payload: &[u8]) -> Option<JournalBatch> {
             1 => GraphUpdate::RelabelEdge { e: a, label: b },
             2 => GraphUpdate::AddEdge { u: a, v: b, label: c },
             3 => GraphUpdate::AddVertex { label: a, attach_to: b, elabel: c },
+            4 => GraphUpdate::DeleteEdge { e: a },
+            5 => GraphUpdate::DeleteVertex { v: a },
             _ => return None,
         };
         updates.push(DbUpdate { gid, update });
     }
-    Some(JournalBatch { seq, updates })
+    Some(JournalBatch { seq, updates, expiry })
 }
 
 /// CRC-32 (IEEE 802.3, reflected), computed bitwise — no table, no deps.
@@ -544,6 +592,8 @@ mod tests {
                 gid: 1,
                 update: GraphUpdate::AddVertex { label: 6, attach_to: 2, elabel: 1 },
             },
+            DbUpdate { gid: 2, update: GraphUpdate::DeleteEdge { e: 3 } },
+            DbUpdate { gid: 4, update: GraphUpdate::DeleteVertex { v: 6 } },
         ]
     }
 
@@ -625,7 +675,7 @@ mod tests {
         // Flip a payload byte of the SECOND frame.
         let first_len = {
             let mut bytes = std::fs::read(&path).unwrap();
-            let first = FRAME_HEADER + 12 + OP_BYTES * 4;
+            let first = FRAME_HEADER + PAYLOAD_PREFIX + OP_BYTES * sample_batch().len();
             bytes[first + FRAME_HEADER + 3] ^= 0xFF;
             std::fs::write(&path, &bytes).unwrap();
             first as u64
@@ -655,8 +705,8 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("wal.db");
         let mut j = UpdateJournal::create(&path, 4).unwrap();
-        assert_eq!(j.append_unsynced(&sample_batch()).unwrap(), 1);
-        assert_eq!(j.append_unsynced(&sample_batch()[..1]).unwrap(), 2);
+        assert_eq!(j.append_unsynced(&sample_batch(), None).unwrap(), 1);
+        assert_eq!(j.append_unsynced(&sample_batch()[..1], None).unwrap(), 2);
         j.sync().unwrap();
         drop(j);
         let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
@@ -733,5 +783,26 @@ mod tests {
         let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
         assert_eq!(batches.len(), 1);
         assert!(batches[0].updates.is_empty());
+        assert_eq!(batches[0].expiry, None);
+    }
+
+    /// The expiry marker survives the round trip through the group-commit
+    /// path and recovery — an expiry frame replays as exactly one expiry.
+    #[test]
+    fn expiry_marker_round_trips() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.db");
+        let gj = GroupCommitJournal::new(UpdateJournal::create(&path, 4).unwrap());
+        gj.submit(&sample_batch()).unwrap();
+        let inverse = vec![DbUpdate { gid: 2, update: GraphUpdate::DeleteEdge { e: 0 } }];
+        let seq = gj.enqueue_expiry(&inverse, 1).unwrap();
+        gj.wait_durable(seq).unwrap();
+        drop(gj);
+        let (_, batches) = UpdateJournal::recover(&path, 4).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].expiry, None);
+        assert_eq!(batches[1].seq, 2);
+        assert_eq!(batches[1].expiry, Some(1), "expiry frame names the expired window");
+        assert_eq!(batches[1].updates, inverse);
     }
 }

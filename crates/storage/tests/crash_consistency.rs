@@ -19,6 +19,14 @@
 //! they must still be byte-exact copies of what was submitted, never an
 //! invention. Afterwards the journal must stay writable with the
 //! numbering continuing from the recovered tip.
+//!
+//! The stream mixes relabels with delete ops and marks every third
+//! frame as a *window-expiry* frame (the sliding-window engine journals
+//! the synthesized inverse batch as a normal frame tagged with the
+//! expired window's seq). Expiry adds its own invariant, asserted at
+//! every kill point: a replayed expiry tag appears at most once per
+//! expired window, in increasing order — recovery can lose an unacked
+//! expiry (the engine re-synthesizes it) but can never double-expire.
 
 use proptest::prelude::*;
 
@@ -29,17 +37,27 @@ const POOL_PAGES: usize = 4;
 
 /// The submitted stream: `group_sizes[g]` windows share barrier `g`;
 /// window `i` carries `ops_per_frame` ops tagged with `i` so a replayed
-/// frame is attributable byte-for-byte.
-fn windows_for(group_sizes: &[usize], ops_per_frame: usize) -> Vec<Vec<DbUpdate>> {
+/// frame is attributable byte-for-byte. Ops cycle through relabels and
+/// both delete kinds, and every third frame is an expiry frame tagged
+/// with the seq of the window it expires.
+fn windows_for(group_sizes: &[usize], ops_per_frame: usize) -> Vec<(Vec<DbUpdate>, Option<u64>)> {
     let total: usize = group_sizes.iter().sum();
     (0..total)
         .map(|i| {
-            (0..ops_per_frame)
-                .map(|j| DbUpdate {
-                    gid: i as u32,
-                    update: GraphUpdate::RelabelVertex { v: j as u32, label: (i * 7 + j) as u32 },
+            let ops = (0..ops_per_frame)
+                .map(|j| {
+                    let update = match j % 3 {
+                        0 => GraphUpdate::RelabelVertex { v: j as u32, label: (i * 7 + j) as u32 },
+                        1 => GraphUpdate::DeleteEdge { e: (i + j) as u32 },
+                        _ => GraphUpdate::DeleteVertex { v: (i + j) as u32 },
+                    };
+                    DbUpdate { gid: i as u32, update }
                 })
-                .collect()
+                .collect();
+            // Expiry frames expire in submission order: frame at index i
+            // expires window seq i/3 + 1 (1-based, always < its own seq).
+            let expiry = if i % 3 == 2 { Some(i as u64 / 3 + 1) } else { None };
+            (ops, expiry)
         })
         .collect()
 }
@@ -81,7 +99,8 @@ proptest! {
             let mut next = 0usize;
             for &gs in &group_sizes {
                 for _ in 0..gs {
-                    let seq = journal.append_unsynced(&windows[next]).unwrap();
+                    let (ops, expiry) = &windows[next];
+                    let seq = journal.append_unsynced(ops, *expiry).unwrap();
                     prop_assert_eq!(seq, next as u64 + 1);
                     next += 1;
                 }
@@ -129,7 +148,16 @@ proptest! {
         prop_assert!(batches.len() <= total, "replayed more frames than were ever submitted");
         for (i, batch) in batches.iter().enumerate() {
             prop_assert_eq!(batch.seq, i as u64 + 1, "sequence gap at replay index {}", i);
-            prop_assert_eq!(&batch.updates, &windows[i], "frame {} diverged on replay", i);
+            prop_assert_eq!(&batch.updates, &windows[i].0, "frame {} diverged on replay", i);
+            prop_assert_eq!(batch.expiry, windows[i].1, "expiry tag {} diverged on replay", i);
+        }
+        // Never double-expire: each expired window seq appears at most
+        // once in the replay, in increasing order. A crash between apply
+        // and journal simply loses the frame (the prefix ends earlier),
+        // so replay never re-delivers an expiry the engine already saw.
+        let expired: Vec<u64> = batches.iter().filter_map(|b| b.expiry).collect();
+        for w in expired.windows(2) {
+            prop_assert!(w[0] < w[1], "expiry seqs replayed out of order or twice: {:?}", expired);
         }
         // At a barrier cut the replay is *exactly* the acked prefix: no
         // torn half-group may survive, garbage or not.
@@ -139,7 +167,7 @@ proptest! {
         }
 
         // The journal stays writable and the numbering continues.
-        let next = journal.append_batch(&windows[0]).unwrap();
+        let next = journal.append_batch(&windows[0].0).unwrap();
         prop_assert_eq!(next, batches.len() as u64 + 1);
         drop(journal);
         let (_, again) = UpdateJournal::recover(&path, POOL_PAGES).unwrap();

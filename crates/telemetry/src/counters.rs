@@ -91,6 +91,9 @@ pub enum Counter {
     /// Ingest: peak number of acked-but-unapplied windows (a high-water
     /// gauge maintained with [`Counters::max`], not a sum).
     IngestPendingPeak,
+    /// Ingest: windows expired past the sliding-window retention horizon
+    /// (one synthesized inverse batch journaled and folded per window).
+    IngestWindowsExpired,
     /// WAL group commit: fsync barriers executed by the committer.
     WalGroupCommits,
     /// WAL group commit: frames made durable across all barriers.
@@ -120,7 +123,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 48] = [
+    pub const ALL: [Counter; 49] = [
         Counter::CandidatesGenerated,
         Counter::IsoTestsRun,
         Counter::IsoTestsPruned,
@@ -158,6 +161,7 @@ impl Counter {
         Counter::IngestOpsCoalesced,
         Counter::IngestBackpressure,
         Counter::IngestPendingPeak,
+        Counter::IngestWindowsExpired,
         Counter::WalGroupCommits,
         Counter::WalGroupFrames,
         Counter::ExecJobs,
@@ -211,6 +215,7 @@ impl Counter {
             Counter::IngestOpsCoalesced => "ingest_ops_coalesced",
             Counter::IngestBackpressure => "ingest_backpressure",
             Counter::IngestPendingPeak => "ingest_pending_peak",
+            Counter::IngestWindowsExpired => "ingest_windows_expired",
             Counter::WalGroupCommits => "wal_group_commits",
             Counter::WalGroupFrames => "wal_group_frames",
             Counter::ExecJobs => "exec_jobs",

@@ -7,3 +7,4 @@ mod empty_unit;
 mod isolated_vertices;
 mod merge_stats;
 mod prune_set_fi;
+mod relabel_edge_touch;
