@@ -1,0 +1,188 @@
+//! Benchmark: the router's epoch-keyed result cache on the repeated-query
+//! hot path.
+//!
+//! Boots a real 3-shard fleet (one daemon per shard on ephemeral ports)
+//! and times the same `patterns` question asked over and over through two
+//! routers: one with the cache disabled (`cache_budget: 0`, every query
+//! scatters to every shard) and one with the default budget (the first
+//! query scatters, every repeat is answered from the epoch-keyed cache).
+//! Besides the criterion console output, the run writes a machine-readable
+//! summary — median wall times plus the routers' cache counters — to
+//! `BENCH_router.json` (override with `BENCH_ROUTER_OUT`; set
+//! `BENCH_QUICK=1` for the CI smoke configuration).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_datagen::{generate, GenParams};
+use graphmine_graph::GraphDb;
+use graphmine_router::{plan_shards, PlanConfig, Router, RouterConfig, ShardTopology};
+use graphmine_serve::{start, EngineConfig, RetryPolicy, ServeEngine, ServerConfig, ServerHandle};
+use graphmine_telemetry::{Counter, JsonValue};
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+fn bench_db() -> GraphDb {
+    let d = if quick() { 60 } else { 240 };
+    generate(&GenParams::new(d, 10, 6, 16, 5).with_seed(2006))
+}
+
+/// A booted 3-shard fleet; the handles and data dirs keep the daemons
+/// alive for the benchmark's lifetime.
+struct Fleet {
+    topo: ShardTopology,
+    _handles: Vec<ServerHandle>,
+    _dirs: Vec<tempfile::TempDir>,
+}
+
+fn boot_fleet(db: &GraphDb, n_shards: usize, min_support: u32) -> Fleet {
+    let cfg = PlanConfig { k: 4, n_shards, min_support, ..PlanConfig::default() };
+    let plan = plan_shards(db, &cfg).expect("plan shards");
+    let mut topo = plan.topology;
+    let mut handles = Vec::new();
+    let mut dirs = Vec::new();
+    for s in 0..n_shards {
+        let dir = tempfile::tempdir().expect("shard dir");
+        let ecfg = EngineConfig {
+            min_support: topo.local_min_support,
+            k: 2,
+            owned: Some(topo.shards[s].owned.clone()),
+            ..EngineConfig::default()
+        };
+        let (engine, _) =
+            ServeEngine::boot(Some(&plan.shard_dbs[s]), dir.path(), &ecfg).expect("boot shard");
+        let handle = start(Arc::new(engine), &ServerConfig::default()).expect("start shard");
+        topo.shards[s].replicas = vec![handle.addr().to_string()];
+        handles.push(handle);
+        dirs.push(dir);
+    }
+    Fleet { topo, _handles: handles, _dirs: dirs }
+}
+
+fn router_cfg(cache_budget: usize) -> RouterConfig {
+    RouterConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_secs(20),
+        hedge_after: Duration::from_millis(100),
+        retry: RetryPolicy { attempts: 3, base_ms: 5, cap_ms: 40, seed: 1 },
+        cache_budget,
+        ..RouterConfig::default()
+    }
+}
+
+const TOP: usize = 10;
+
+/// Asks the same `patterns` question `samples` times through `router`,
+/// returning per-call wall times. Every reply must be a whole (non-
+/// partial) `ok` answer, byte-identical to the first — the cache's
+/// exactness contract, asserted while timing it.
+fn repeated_patterns(router: &Router, samples: usize) -> Vec<Duration> {
+    let mut times = Vec::with_capacity(samples);
+    let mut first: Option<String> = None;
+    for _ in 0..samples {
+        let t = Instant::now();
+        let reply = router.patterns(TOP, None);
+        times.push(t.elapsed());
+        let json = reply.to_json();
+        assert_eq!(
+            reply.field("status").and_then(JsonValue::as_str),
+            Some("ok"),
+            "patterns failed: {json}"
+        );
+        assert!(reply.field("partial").is_none(), "degraded fleet during bench: {json}");
+        match &first {
+            None => first = Some(json),
+            Some(f) => assert_eq!(*f, json, "repeated answers must be byte-identical"),
+        }
+    }
+    times
+}
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn cache_counters(router: &Router) -> Vec<(String, JsonValue)> {
+    [Counter::RouterCacheHits, Counter::RouterCacheMisses, Counter::RouterCacheEvictions]
+        .iter()
+        .map(|&c| (c.name().to_string(), JsonValue::Num(router.telemetry().counters().get(c))))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let db = bench_db();
+    let fleet = boot_fleet(&db, 3, 3);
+    let cold = Router::new(fleet.topo.clone(), router_cfg(0)).expect("cold router");
+    let cached = Router::new(fleet.topo.clone(), router_cfg(RouterConfig::default().cache_budget))
+        .expect("cached router");
+
+    // Warm both once outside the timed region: connection pools fill, the
+    // shards' per-epoch memos populate, and the cached router takes its
+    // one compulsory miss. From here on the comparison is pure hot path.
+    repeated_patterns(&cold, 1);
+    repeated_patterns(&cached, 1);
+
+    // Criterion console comparison.
+    let mut g = c.benchmark_group("router");
+    g.sample_size(10);
+    g.bench_function("patterns_cold", |b| b.iter(|| repeated_patterns(&cold, 1)));
+    g.bench_function("patterns_cached", |b| b.iter(|| repeated_patterns(&cached, 1)));
+    g.finish();
+
+    // Machine-readable summary for CI artifacts and the bench gate.
+    let samples = if quick() { 20 } else { 60 };
+    let cold_median = median(repeated_patterns(&cold, samples));
+    let cached_median = median(repeated_patterns(&cached, samples));
+
+    // CI smoke gates: the cold router must never consult a cache, the
+    // cached router must answer every measured repeat from it, and the
+    // hot path must actually pay off — the issue's acceptance bar is a
+    // >=3x repeated-query latency improvement on a 3-shard fleet.
+    let hits = cached.telemetry().counters().get(Counter::RouterCacheHits);
+    assert_eq!(
+        cold.telemetry().counters().get(Counter::RouterCacheHits),
+        0,
+        "a zero-budget router must not serve cached answers"
+    );
+    assert!(hits >= samples as u64, "cached run hit only {hits} of {samples} repeats");
+    assert!(
+        cold_median >= cached_median.saturating_mul(3),
+        "cache hit path is not >=3x faster: cold {cold_median:?} vs cached {cached_median:?}"
+    );
+
+    let entries = vec![
+        JsonValue::Obj(vec![
+            ("bench".into(), JsonValue::Str("router_patterns_cold".into())),
+            ("median_ns".into(), JsonValue::Num(cold_median.as_nanos() as u64)),
+            ("counters".into(), JsonValue::Obj(cache_counters(&cold))),
+        ]),
+        JsonValue::Obj(vec![
+            ("bench".into(), JsonValue::Str("router_patterns_cached".into())),
+            ("median_ns".into(), JsonValue::Num(cached_median.as_nanos() as u64)),
+            ("counters".into(), JsonValue::Obj(cache_counters(&cached))),
+        ]),
+    ];
+    let doc = JsonValue::Obj(vec![
+        ("suite".into(), JsonValue::Str("router".into())),
+        ("quick".into(), JsonValue::Str(quick().to_string())),
+        ("graphs".into(), JsonValue::Num(db.len() as u64)),
+        ("shards".into(), JsonValue::Num(3)),
+        ("results".into(), JsonValue::Arr(entries)),
+    ]);
+    let out = std::env::var("BENCH_ROUTER_OUT").unwrap_or_else(|_| "BENCH_router.json".to_string());
+    std::fs::write(&out, doc.to_json()).expect("write bench summary");
+    println!("bench summary written to {out}");
+    println!(
+        "router_patterns cold {}us cached {}us ({:.1}x)",
+        cold_median.as_micros(),
+        cached_median.as_micros(),
+        cold_median.as_nanos() as f64 / cached_median.as_nanos().max(1) as f64
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

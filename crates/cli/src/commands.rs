@@ -96,13 +96,15 @@ USAGE:
       the replica address from the file. --data-dir defaults to
       TOPOLOGY's directory + \"/shard-I-rR.serve\".
 
-  graphmine router TOPOLOGY
+  graphmine router TOPOLOGY [--cache-budget BYTES]
       Run the scatter/gather front end at the topology's router_addr.
       Speaks the same NDJSON protocol as a shard; fans `patterns`,
       `support` and `status` out to every shard, routes `update`
       windows to owner shards under a three-phase epoch swap, hedges
       reads across replicas, and tags degraded answers with
-      \"partial\":1 when a shard is down.
+      \"partial\":1 when a shard is down. Exact read answers are cached
+      per committed epoch under a byte budget (--cache-budget, default
+      16 MiB; 0 disables caching).
 
   graphmine client [--addr 127.0.0.1:7878 | --via-router TOPOLOGY] COMMAND
       Talk to a running daemon. COMMAND is one of:
@@ -703,6 +705,7 @@ pub fn shard_plan(raw: &[String]) -> CmdResult {
 /// `graphmine router`
 pub fn router(raw: &[String]) -> CmdResult {
     let mut args = Args::new(raw);
+    let cache_budget: Option<usize> = args.parsed("--cache-budget")?;
     let pos = args.positionals();
     let [topo_path] = pos.as_slice() else {
         return Err("router needs exactly one topology file".into());
@@ -710,7 +713,11 @@ pub fn router(raw: &[String]) -> CmdResult {
     let topo = ShardTopology::load(Path::new(topo_path))?;
     let addr = topo.router_addr.clone();
     let n = topo.n_shards();
-    let router = Router::new(topo, RouterConfig::default())?;
+    let mut cfg = RouterConfig::default();
+    if let Some(budget) = cache_budget {
+        cfg.cache_budget = budget;
+    }
+    let router = Router::new(topo, cfg)?;
     let handle = graphmine_router::start(Arc::new(router), &addr)?;
     println!("routing {n} shards, serving on {}", handle.addr());
     handle.wait()

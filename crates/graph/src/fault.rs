@@ -46,6 +46,11 @@ pub enum Fault {
     /// batch for a window past the retention horizon, so expired updates
     /// keep contributing to the served patterns forever.
     SkipExpiry = 8,
+    /// The router's result cache ignores the global-epoch component of
+    /// its key, serving answers cached under an older epoch after an
+    /// update has committed — exactly the staleness the epoch-keyed
+    /// design is supposed to make impossible.
+    ServeStaleCache = 9,
 }
 
 static ACTIVE: AtomicU8 = AtomicU8::new(0);

@@ -919,6 +919,20 @@ fn check_router_equivalence(
         if got.field("partial").is_some() {
             return Err(fail(CHECK, format!("{phase}: healthy fleet tagged patterns partial")));
         }
+        // The cache leg: the identical query again must be served from
+        // the epoch-keyed result cache, byte-identical to the computed
+        // answer (the default RouterConfig runs with the cache on).
+        let again = router.handle(&Request::Patterns { top: usize::MAX, min_support: None });
+        if again.to_json() != got.to_json() {
+            return Err(fail(
+                CHECK,
+                format!(
+                    "{phase}: cached patterns answer diverges from the computed one:\n{}\nvs\n{}",
+                    again.to_json(),
+                    got.to_json()
+                ),
+            ));
+        }
         let want = ref_engine.handle(&Request::Patterns { top: usize::MAX, min_support: None });
         let (got_rows, want_rows) = (rows(&got), rows(&want));
         if got_rows != want_rows {
@@ -965,6 +979,12 @@ fn check_router_equivalence(
     };
 
     compare("fresh fleet")?;
+    // Each compare phase repeats the patterns query once, so the cache
+    // must have answered at least one hit by now — and every hit above
+    // passed the byte-identity gate.
+    if router.telemetry().counters().get(Counter::RouterCacheHits) == 0 {
+        return Err(fail(CHECK, "repeated patterns query never hit the result cache".to_string()));
+    }
 
     // Route the case's window through the 2PC path and re-compare.
     let Some(mirror) = mirror else { return Ok(()) };

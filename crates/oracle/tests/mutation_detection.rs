@@ -241,6 +241,33 @@ fn drop_shard_reply_mutant_is_detected() {
     run_single(&case, &exec, None).expect("the crafted case is clean without the mutant");
 }
 
+/// The same crafted fleet, attacked through the router's result cache:
+/// the armed [`Fault::ServeStaleCache`] mutant is a forgotten
+/// invalidation — the cache skips its commit-time flush and drops the
+/// global-epoch component from its lookup key — so after the routed
+/// update commits, the `patterns` answer cached under epoch 0 keeps
+/// being served. The post-update `router-equivalence` compare must catch
+/// the stale rows (the relabel drops the probe pattern's support 5 → 4).
+#[test]
+fn serve_stale_cache_mutant_is_detected() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tempfile::tempdir().unwrap();
+    let case = crafted_router_case();
+    let exec = Executor::new(2);
+
+    let guard = arm(Fault::ServeStaleCache);
+    let record = run_single(&case, &exec, Some(dir.path()))
+        .expect_err("a stale cached answer served across an epoch commit must be detected");
+    assert_eq!(record.check, "router-equivalence", "wrong check tripped: {}", record.message);
+    let repro = record.repro.clone().expect("repro written");
+    assert!(replay_file(&repro, &exec).is_err(), "repro keeps failing while armed");
+    drop(guard);
+
+    replay_file(&repro, &exec)
+        .unwrap_or_else(|f| panic!("repro fails disarmed [{}]: {}", f.check, f.message));
+    run_single(&case, &exec, None).expect("the crafted case is clean without the mutant");
+}
+
 /// A database the window-equivalence check runs on unguarded: three
 /// copies of the path `(0)-5-(1)-6-(2)` at min_support 2. The armed
 /// [`Fault::SkipExpiry`] mutant makes the serving engine's applier skip

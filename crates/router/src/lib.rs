@@ -21,7 +21,12 @@
 //!   prepare-durable-on-every-replica → commit global epoch);
 //! * robustness — per-shard timeouts, hedged reads across replicas,
 //!   dead-shard failover with `"partial":1`-tagged degraded answers, and
-//!   probe-based re-admission.
+//!   probe-based re-admission gated on a committed-seq catch-up;
+//! * hot-path economy — read answers are memoized in an epoch-keyed,
+//!   byte-budgeted result cache (flushed on commits and on dead-shard
+//!   transitions; a partial answer is never cached), and bounded
+//!   `patterns` queries cap the SON phase-1 union with an overprovisioned
+//!   cutoff merge (`"truncated":1` when the cap binds).
 //!
 //! `docs/SHARDING.md` covers the topology format, the 2PC protocol, and
 //! the partial-answer contract in operator terms.
@@ -29,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod cache;
 mod front;
 mod plan;
 mod pool;

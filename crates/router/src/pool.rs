@@ -38,6 +38,15 @@ pub struct RouterConfig {
     pub hedge_after: Duration,
     /// Backoff policy for `backpressure`-shed writes, applied per replica.
     pub retry: RetryPolicy,
+    /// Byte budget for the epoch-keyed result cache; `0` disables it.
+    pub cache_budget: usize,
+    /// SON phase-1 overprovision factor: a bounded `patterns` query for
+    /// the top `k` asks each shard for its top `k · overprovision`
+    /// candidates and re-counts that many merged survivors in phase 2.
+    /// The slack absorbs candidates that are locally mediocre everywhere
+    /// but globally frequent; when even the widened bound cuts the merge
+    /// the answer is tagged `"truncated":1`.
+    pub phase1_overprovision: usize,
 }
 
 impl Default for RouterConfig {
@@ -47,6 +56,8 @@ impl Default for RouterConfig {
             read_timeout: Duration::from_secs(30),
             hedge_after: Duration::from_millis(250),
             retry: RetryPolicy::default(),
+            cache_budget: crate::cache::DEFAULT_CACHE_BUDGET,
+            phase1_overprovision: 4,
         }
     }
 }
@@ -80,12 +91,18 @@ pub(crate) struct ShardState {
     clients: Vec<Option<Client>>,
     /// Set when every replica failed; cleared by [`ShardState::probe`].
     pub dead: bool,
+    /// Per-replica journal seq of the last committed epoch window — what
+    /// re-admission must republish so a restarted replica is forced to
+    /// catch up (or reject with "unknown seq") before serving again.
+    /// Zero until the first commit touches this shard.
+    pub committed_seqs: Vec<u64>,
 }
 
 impl ShardState {
     pub fn new(addrs: Vec<String>) -> ShardState {
         let clients = addrs.iter().map(|_| None).collect();
-        ShardState { addrs, clients, dead: false }
+        let committed_seqs = vec![0; addrs.len()];
+        ShardState { addrs, clients, dead: false, committed_seqs }
     }
 
     /// The **read-path** budget replica `r` gets: short for replicas
@@ -260,7 +277,11 @@ impl ShardState {
     }
 
     /// Probes a dead shard with a cheap `status` on fresh connections;
-    /// on success the shard is re-admitted.
+    /// on success the shard is re-admitted. Success drops **every**
+    /// pooled connection, not just the probed replica's: the shard died
+    /// with requests in flight, so surviving pooled streams may hold
+    /// late buffered replies that would answer the wrong request after
+    /// re-admission. Each replica reconnects lazily on first use.
     pub fn probe(&mut self, cfg: &RouterConfig) -> bool {
         for r in 0..self.addrs.len() {
             self.clients[r] = None;
@@ -270,6 +291,9 @@ impl ShardState {
                 Some(self.read_budget(r, cfg)),
             ) {
                 if c.status(false).is_ok() {
+                    for cl in self.clients.iter_mut() {
+                        *cl = None;
+                    }
                     self.clients[r] = Some(c.with_retry(cfg.retry.clone()));
                     self.dead = false;
                     return true;
@@ -315,6 +339,7 @@ mod tests {
             read_timeout: Duration::from_millis(500),
             hedge_after: Duration::from_millis(60),
             retry: RetryPolicy::none(),
+            ..RouterConfig::default()
         }
     }
 
@@ -479,6 +504,73 @@ mod tests {
             1,
             "the durable line must reach the replica exactly once"
         );
+    }
+
+    #[test]
+    fn probe_drops_poisoned_pooled_connections_on_readmission() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // Replica 1 delays only its very first reply beyond the read
+        // budget, leaving that reply buffered on the pooled stream after
+        // the client times out — a poisoned connection. Every reply
+        // carries a global request number so a stale read is
+        // distinguishable from a fresh one.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poison_addr = listener.local_addr().unwrap().to_string();
+        let reqs = Arc::new(AtomicUsize::new(0));
+        let server_reqs = Arc::clone(&reqs);
+        let hp = std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            for _ in 0..2 {
+                let Ok((conn, _)) = listener.accept() else { break };
+                let reqs = Arc::clone(&server_reqs);
+                conns.push(std::thread::spawn(move || {
+                    let mut w = conn.try_clone().unwrap();
+                    let mut r = BufReader::new(conn);
+                    let mut line = String::new();
+                    while r.read_line(&mut line).unwrap_or(0) > 0 {
+                        let n = reqs.fetch_add(1, Ordering::SeqCst) + 1;
+                        if n == 1 {
+                            std::thread::sleep(Duration::from_millis(200));
+                        }
+                        if writeln!(w, r#"{{"status":"ok","echo":{n}}}"#).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                }));
+            }
+            for c in conns {
+                c.join().unwrap();
+            }
+        });
+        let (healthy, hh) = echo_replica(r#"{"status":"ok","epoch":0}"#);
+        let mut st = ShardState::new(vec![healthy, poison_addr]);
+        let cfg = quick_cfg();
+        let c = counters();
+        // Poison the pooled connection: the direct per-replica request
+        // path (the one 2PC commit uses) times out without dropping the
+        // client.
+        let err = st
+            .request_with_budget(1, r#"{"cmd":"status"}"#, Duration::from_millis(50), &cfg)
+            .unwrap_err();
+        assert!(err.contains("timed out"), "{err}");
+        // The shard is then marked dead (as a commit straggler would be)
+        // while the late reply lands in the poisoned stream's buffer.
+        st.dead = true;
+        std::thread::sleep(Duration::from_millis(300));
+        // Probe succeeds via replica 0 and must drop replica 1's
+        // poisoned connection, not just the one it probed.
+        assert!(st.probe(&cfg));
+        let reply = st.request_replica(1, r#"{"cmd":"status"}"#, &cfg, &c).unwrap();
+        assert_eq!(
+            reply.field("echo").and_then(JsonValue::as_num),
+            Some(2),
+            "a post-readmission request must not read the stale buffered reply"
+        );
+        drop(st);
+        hp.join().unwrap();
+        hh.join().unwrap();
     }
 
     #[test]

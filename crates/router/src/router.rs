@@ -22,8 +22,19 @@
 //! A shard whose replicas are all unreachable is marked dead; read
 //! answers are then degraded and tagged `"partial":1` (the wire dialect
 //! has no booleans) until a `status` probe re-admits the shard, at which
-//! point the router republishes the committed global epoch to it.
+//! point the router republishes the committed global epoch **at each
+//! replica's last committed journal seq** — a restarted replica that has
+//! not replayed to the committed window rejects the seq and the shard
+//! stays dead, so stale owner-restricted counts can never slip back in
+//! untagged.
+//!
+//! Read answers are memoized in an epoch-keyed [`ResultCache`]
+//! (see [`crate::cache`]): exact (`partial`-free) `patterns`/`support`
+//! replies are stored under the committed global epoch and flushed on
+//! every commit and on every dead-shard transition.
 
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -34,11 +45,13 @@ use graphmine_serve::protocol::{
 };
 use graphmine_telemetry::{Counter, Counters, JsonValue, Telemetry};
 
+use crate::cache::{ReqKind, ResultCache};
 use crate::pool::{RouterConfig, ShardState};
 use crate::topology::ShardTopology;
 
-/// Phase-1 `top` — effectively "all mined patterns"; the SON union must
-/// not be truncated or completeness is lost.
+/// Phase-1 `top` — effectively "all mined patterns"; an unbounded query
+/// (`top >= ALL_PATTERNS`) keeps the untruncated SON union so the answer
+/// stays exact and complete.
 const ALL_PATTERNS: u64 = 1_000_000_000;
 
 /// `true` when the armed [`DropShardReply`](graphmine_graph::fault::Fault)
@@ -65,6 +78,9 @@ pub struct Router {
     global_epoch: AtomicU64,
     /// Serializes update windows — 2PC is single-writer by design.
     update_lock: Mutex<()>,
+    /// Epoch-keyed read-answer cache; flushed on commits and on
+    /// dead-shard transitions.
+    cache: Mutex<ResultCache>,
     tel: Telemetry,
 }
 
@@ -85,6 +101,7 @@ impl Router {
                 owners[gid as usize] = s.id;
             }
         }
+        let cache = Mutex::new(ResultCache::new(cfg.cache_budget));
         Ok(Router {
             topo,
             cfg,
@@ -92,6 +109,7 @@ impl Router {
             owners,
             global_epoch: AtomicU64::new(0),
             update_lock: Mutex::new(()),
+            cache,
             tel: Telemetry::new(),
         })
     }
@@ -115,10 +133,68 @@ impl Router {
         self.tel.counters()
     }
 
+    /// Cache lookup for the answer to `(kind, args)` under `epoch`.
+    fn cache_get(&self, epoch: u64, kind: ReqKind, args: &str) -> Option<JsonValue> {
+        self.cache.lock().expect("cache poisoned").get(epoch, kind, args, self.counters())
+    }
+
+    /// Admits a finished reply under the epoch its lookup missed at —
+    /// unless a commit raced with the computation, in which case the
+    /// answer may mix data from both epochs and is not cached at all.
+    /// (An insert that races the commit's flush is still harmless: its
+    /// key holds the superseded epoch, which no future lookup uses.)
+    fn cache_put(&self, epoch: u64, kind: ReqKind, args: &str, reply: &JsonValue) {
+        if self.global_epoch() != epoch {
+            return;
+        }
+        self.cache.lock().expect("cache poisoned").insert(
+            epoch,
+            kind,
+            args,
+            reply,
+            self.counters(),
+        );
+    }
+
+    /// Drops every cached answer — on epoch commits (the data changed)
+    /// and on dead-shard transitions in either direction (what the fleet
+    /// can answer changed, and a cache that keeps serving pre-death
+    /// answers would mask the `"partial":1` degradation contract).
+    fn flush_cache(&self) {
+        self.cache.lock().expect("cache poisoned").flush();
+    }
+
+    /// Probe + catch-up for a dead shard. The shard is re-admitted only
+    /// once every replica confirms the committed global epoch at its
+    /// last committed journal seq: `epoch-commit` blocks until that seq
+    /// is applied and a restarted replica whose journal has not replayed
+    /// that far rejects it as unknown — either way a lagging shard stays
+    /// dead (answers stay `"partial":1`) instead of serving stale
+    /// owner-restricted counts untagged.
+    fn readmit(&self, i: usize, st: &mut ShardState) -> Result<(), String> {
+        if !st.probe(&self.cfg) {
+            return Err(format!("shard {i}: all replicas unreachable"));
+        }
+        let global = self.global_epoch();
+        for r in 0..st.addrs.len() {
+            let seq = st.committed_seqs[r];
+            if let Err(e) =
+                st.request_replica(r, &commit_line(global, seq), &self.cfg, self.counters())
+            {
+                st.dead = true;
+                return Err(format!(
+                    "shard {i}: replica not caught up to epoch {global} seq {seq}: {e}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Runs `f` against every target shard concurrently (one thread per
-    /// shard, each under its own shard lock). Dead shards are probed
-    /// first and — on re-admission — handed the committed global epoch
-    /// before serving; shards that stay dead yield `Err`.
+    /// shard, each under its own shard lock). Dead shards go through
+    /// [`Router::readmit`] first; shards that stay dead yield `Err`. Any
+    /// dead-state transition observed during the scatter flushes the
+    /// result cache.
     fn scatter<T, F>(&self, targets: &[usize], f: F) -> Vec<(usize, Result<T, String>)>
     where
         T: Send,
@@ -126,29 +202,31 @@ impl Router {
     {
         self.counters().add(Counter::ScatterFanout, targets.len() as u64);
         let f = &f;
-        std::thread::scope(|scope| {
+        let results: Vec<(usize, bool, Result<T, String>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = targets
                 .iter()
                 .map(|&i| {
                     scope.spawn(move || {
                         let mut st = self.shards[i].lock().expect("shard state poisoned");
-                        if st.dead {
-                            if !st.probe(&self.cfg) {
-                                return (i, Err(format!("shard {i}: all replicas unreachable")));
+                        let was_dead = st.dead;
+                        let res = if st.dead {
+                            match self.readmit(i, &mut st) {
+                                Ok(()) => f(i, &mut st),
+                                Err(e) => Err(e),
                             }
-                            // Re-admitted: hand it the committed epoch.
-                            let line = commit_line(self.global_epoch(), 0);
-                            let _ = st.read_request(&line, &self.cfg, self.counters());
-                            if st.dead {
-                                return (i, Err(format!("shard {i}: lost during re-admission")));
-                            }
-                        }
-                        (i, f(i, &mut st))
+                        } else {
+                            f(i, &mut st)
+                        };
+                        (i, was_dead != st.dead, res)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("scatter thread panicked")).collect()
-        })
+        });
+        if results.iter().any(|&(_, transitioned, _)| transitioned) {
+            self.flush_cache();
+        }
+        results.into_iter().map(|(i, _, res)| (i, res)).collect()
     }
 
     /// Owner-restricted supports of `codes`, summed across all shards.
@@ -194,6 +272,13 @@ impl Router {
     /// Exact global support of one pattern graph.
     pub fn support(&self, pattern: &Graph) -> JsonValue {
         let code = min_dfs_code(pattern);
+        // The minimal DFS code is canonical, so isomorphic query graphs
+        // share one cache entry.
+        let args = code_to_json(&code).to_json();
+        let epoch = self.global_epoch();
+        if let Some(hit) = self.cache_get(epoch, ReqKind::Support, &args) {
+            return hit;
+        }
         let (sums, partial) = self.gather_supports(std::slice::from_ref(&code));
         let mut fields = vec![
             ("global_epoch", JsonValue::Num(self.global_epoch())),
@@ -203,12 +288,19 @@ impl Router {
         if partial {
             fields.push(("partial", JsonValue::Num(1)));
         }
-        ok_response(fields)
+        let reply = ok_response(fields);
+        self.cache_put(epoch, ReqKind::Support, &args, &reply);
+        reply
     }
 
     /// Exact global supports of several pattern graphs in one fan-out.
     pub fn support_batch(&self, patterns: &[Graph]) -> JsonValue {
         let codes: Vec<DfsCode> = patterns.iter().map(min_dfs_code).collect();
+        let args = codes.iter().map(|c| code_to_json(c).to_json()).collect::<Vec<_>>().join(",");
+        let epoch = self.global_epoch();
+        if let Some(hit) = self.cache_get(epoch, ReqKind::SupportBatch, &args) {
+            return hit;
+        }
         let (sums, partial) = self.gather_supports(&codes);
         let mut fields = vec![
             ("global_epoch", JsonValue::Num(self.global_epoch())),
@@ -217,31 +309,73 @@ impl Router {
         if partial {
             fields.push(("partial", JsonValue::Num(1)));
         }
-        ok_response(fields)
+        let reply = ok_response(fields);
+        self.cache_put(epoch, ReqKind::SupportBatch, &args, &reply);
+        reply
     }
 
     /// The SON two-phase `patterns` query; answers exactly like a
     /// single-process server at the topology's global `min_support`
     /// (optionally raised by the query's own floor).
+    ///
+    /// A bounded query (`top < ALL_PATTERNS`) caps the phase-1 union at
+    /// `top · phase1_overprovision` candidates per shard and after the
+    /// merge; when that cap actually cuts anything the answer is tagged
+    /// `"truncated":1` ([`Counter::RouterPhase1Truncated`]) because a
+    /// locally mediocre, globally frequent pattern may have been cut.
+    /// Unbounded queries keep the exact untruncated union.
     pub fn patterns(&self, top: usize, min_support: Option<Support>) -> JsonValue {
-        // Phase 1: union of the shards' locally frequent patterns.
+        let floor = u64::from(self.topo.min_support.max(min_support.unwrap_or(0)));
+        let args = format!("top={top};floor={floor}");
+        let epoch = self.global_epoch();
+        if let Some(hit) = self.cache_get(epoch, ReqKind::Patterns, &args) {
+            return hit;
+        }
+        let reply = self.patterns_uncached(top, floor);
+        self.cache_put(epoch, ReqKind::Patterns, &args, &reply);
+        reply
+    }
+
+    fn patterns_uncached(&self, top: usize, floor: u64) -> JsonValue {
+        // Phase 1: union of the shards' locally frequent patterns,
+        // bounded per shard when the query itself is bounded.
+        let bound = if top >= ALL_PATTERNS as usize {
+            ALL_PATTERNS
+        } else {
+            (top as u64).saturating_mul(self.cfg.phase1_overprovision.max(1) as u64)
+        };
         let line = JsonValue::Obj(vec![
             ("cmd".to_string(), JsonValue::Str("patterns".to_string())),
-            ("top".to_string(), JsonValue::Num(ALL_PATTERNS)),
+            ("top".to_string(), JsonValue::Num(bound)),
         ])
         .to_json();
         let all: Vec<usize> = (0..self.shards.len()).collect();
         let replies =
             self.scatter(&all, |_i, st| st.read_request(&line, &self.cfg, self.counters()));
-        let mut candidates: Vec<DfsCode> = Vec::new();
+        // Dedup the union, keeping each code's best *local* support as
+        // its merge rank. Shards order their rows (support desc, code
+        // asc) and say so with `"sorted":1`, so a shard-side cut keeps
+        // exactly its locally best candidates; a cut reply without the
+        // marker gives no such guarantee and also counts as truncation.
+        let mut by_code: BTreeMap<DfsCode, u64> = BTreeMap::new();
         let mut partial = false;
+        let mut truncated = false;
         for (_, reply) in replies {
             match reply {
                 Ok(reply) => {
+                    let returned = reply.field("returned").and_then(JsonValue::as_num).unwrap_or(0);
+                    let total = reply.field("total").and_then(JsonValue::as_num).unwrap_or(0);
+                    if returned < total {
+                        truncated = true;
+                    }
                     for p in reply.field("patterns").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+                        let local = p.field("support").and_then(JsonValue::as_num).unwrap_or(0);
                         if let Some(code) = p.field("code") {
                             match code_from_json(code) {
-                                Ok(c) => candidates.push(c),
+                                Ok(c) => {
+                                    let rank = by_code.entry(c).or_insert(0);
+                                    *rank = (*rank).max(local);
+                                }
                                 Err(_) => partial = true,
                             }
                         }
@@ -250,11 +384,26 @@ impl Router {
                 Err(_) => partial = true,
             }
         }
+        // Cutoff merge: a min-heap of the `bound` best candidates by
+        // (local support desc, code asc) — the merged union never grows
+        // past the bound even with many shards.
+        let mut candidates: Vec<DfsCode> = if (by_code.len() as u64) > bound {
+            truncated = true;
+            let mut heap: BinaryHeap<Reverse<(u64, Reverse<DfsCode>)>> =
+                BinaryHeap::with_capacity(bound as usize + 1);
+            for (code, local) in by_code {
+                heap.push(Reverse((local, Reverse(code))));
+                if heap.len() as u64 > bound {
+                    heap.pop();
+                }
+            }
+            heap.into_iter().map(|Reverse((_, Reverse(code)))| code).collect()
+        } else {
+            by_code.into_keys().collect()
+        };
         candidates.sort();
-        candidates.dedup();
 
         // Phase 2: exact owner-restricted recount of every candidate.
-        let floor = u64::from(self.topo.min_support.max(min_support.unwrap_or(0)));
         let (sums, gather_partial) = if candidates.is_empty() {
             (Vec::new(), false)
         } else {
@@ -267,6 +416,9 @@ impl Router {
             self.counters().bump(Counter::GatherPartial);
         }
         partial |= gather_partial;
+        if truncated {
+            self.counters().bump(Counter::RouterPhase1Truncated);
+        }
 
         let mut hits: Vec<(DfsCode, u64)> =
             candidates.into_iter().zip(sums).filter(|&(_, s)| s >= floor).collect();
@@ -287,8 +439,11 @@ impl Router {
             ("global_epoch", JsonValue::Num(self.global_epoch())),
             ("total", JsonValue::Num(total as u64)),
             ("returned", JsonValue::Num(patterns.len() as u64)),
-            ("patterns", JsonValue::Arr(patterns)),
         ];
+        if truncated {
+            fields.push(("truncated", JsonValue::Num(1)));
+        }
+        fields.push(("patterns", JsonValue::Arr(patterns)));
         if partial {
             fields.push(("partial", JsonValue::Num(1)));
         }
@@ -432,8 +587,11 @@ impl Router {
                 Err(e) => {
                     // Prepare is redo-only: replicas that did ack keep the
                     // durable window and will apply it locally, but the
-                    // global epoch never advances for this window.
+                    // global epoch never advances for this window. Their
+                    // local data still changed, so cached answers are no
+                    // longer reproducible — flush.
                     self.counters().bump(Counter::Epoch2pcAborts);
+                    self.flush_cache();
                     return error_response(&format!("prepare on shard {i}: {e}"));
                 }
             }
@@ -445,6 +603,11 @@ impl Router {
         let seq_of: std::collections::HashMap<usize, Vec<u64>> = shard_seqs.into_iter().collect();
         let committed = self.scatter(&touched, |i, st| {
             let seqs = &seq_of[&i];
+            // Remember each replica's committed seq before sending: a
+            // straggler that dies here is exactly the shard whose
+            // re-admission must republish these seqs as its catch-up
+            // barrier.
+            st.committed_seqs = seqs.clone();
             for (r, &seq) in seqs.iter().enumerate() {
                 st.request_replica(r, &commit_line(global, seq), &self.cfg, self.counters())?;
             }
@@ -461,6 +624,9 @@ impl Router {
             }
         }
         self.global_epoch.store(global, Ordering::SeqCst);
+        // The commit is the cache's invalidation point: every cached
+        // answer is keyed by a now-superseded epoch.
+        self.flush_cache();
 
         // …then republish to the untouched shards so a later `status`
         // shows one converged global epoch (best effort: a shard that

@@ -43,12 +43,23 @@ fn quick_router_cfg() -> RouterConfig {
         // run under the full read_timeout, not this hedge budget.
         hedge_after: Duration::from_millis(100),
         retry: RetryPolicy { attempts: 3, base_ms: 5, cap_ms: 40, seed: 1 },
+        ..RouterConfig::default()
     }
+}
+
+/// [`quick_router_cfg`] with the result cache off — for tests that
+/// assert on per-request scatter mechanics (partial tags, failover
+/// counters), where a cache hit would skip the scatter under test.
+fn uncached_router_cfg() -> RouterConfig {
+    RouterConfig { cache_budget: 0, ..quick_router_cfg() }
 }
 
 struct Fleet {
     topo: ShardTopology,
     handles: Vec<ServerHandle>,
+    /// Per-shard sub-databases, kept so a test can re-boot a shard from
+    /// its seed state (fresh data dir, unreplayed journal).
+    shard_dbs: Vec<GraphDb>,
     _dirs: Vec<tempfile::TempDir>,
 }
 
@@ -75,7 +86,7 @@ fn boot_fleet(db: &GraphDb, n_shards: usize, min_support: u32) -> Fleet {
         handles.push(handle);
         dirs.push(dir);
     }
-    Fleet { topo, handles, _dirs: dirs }
+    Fleet { topo, handles, shard_dbs: plan.shard_dbs, _dirs: dirs }
 }
 
 /// Extracts the comparable core of a `patterns` reply.
@@ -191,7 +202,7 @@ fn router_matches_a_single_process_server_across_an_update_window() {
 fn dead_shard_tags_partial_answers_and_readmits_with_the_epoch() {
     let db = mixed_db();
     let mut fleet = boot_fleet(&db, 2, 3);
-    let router = Router::new(fleet.topo.clone(), quick_router_cfg()).unwrap();
+    let router = Router::new(fleet.topo.clone(), uncached_router_cfg()).unwrap();
 
     // Commit one window so there is a non-zero epoch to republish later.
     let gid_a = fleet.topo.shards[0].owned[0];
@@ -233,6 +244,131 @@ fn dead_shard_tags_partial_answers_and_readmits_with_the_epoch() {
 }
 
 #[test]
+fn cache_serves_bit_identical_answers_and_flushes_on_commit_and_readmission() {
+    let db = mixed_db();
+    let mut fleet = boot_fleet(&db, 2, 3);
+    // Cache on (the default); a cache-off twin over the same fleet shows
+    // what a cold router computes.
+    let router = Router::new(fleet.topo.clone(), quick_router_cfg()).unwrap();
+    let cold = Router::new(fleet.topo.clone(), uncached_router_cfg()).unwrap();
+    let c = router.telemetry().counters();
+
+    // First query computes (miss), second is served from cache; all
+    // three byte-identical.
+    let computed = router.patterns(10, None).to_json();
+    assert_eq!(c.get(Counter::RouterCacheMisses), 1);
+    let cached = router.patterns(10, None).to_json();
+    assert_eq!(c.get(Counter::RouterCacheHits), 1);
+    assert_eq!(cached, computed);
+    assert_eq!(cached, cold.patterns(10, None).to_json());
+    assert_eq!(cold.telemetry().counters().get(Counter::RouterCacheHits), 0);
+
+    let pat = edge_pattern(1, 6, 2);
+    let s_computed = router.support(&pat).to_json();
+    let s_cached = router.support(&pat).to_json();
+    assert_eq!(s_cached, s_computed);
+    assert_eq!(s_cached, cold.support(&pat).to_json());
+    assert_eq!(c.get(Counter::RouterCacheHits), 2);
+
+    // A committed epoch invalidates: the same query misses, recomputes
+    // under epoch 1, and the recomputed answer caches again.
+    let gid_a = fleet.topo.shards[0].owned[0];
+    let up = router.update(
+        &[DbUpdate { gid: gid_a, update: GraphUpdate::RelabelVertex { v: 0, label: 9 } }],
+        false,
+    );
+    assert_eq!(up.field("status").and_then(JsonValue::as_str), Some("ok"), "{up:?}");
+    let post = router.patterns(10, None).to_json();
+    assert_eq!(c.get(Counter::RouterCacheHits), 2, "a commit must flush the cache");
+    assert_ne!(post, computed, "the recomputed answer describes the new epoch");
+    let post_cached = router.patterns(10, None).to_json();
+    assert_eq!(post_cached, post);
+    assert_eq!(c.get(Counter::RouterCacheHits), 3);
+
+    // Kill shard 1: degraded answers are tagged and never enter the
+    // cache — asking twice computes twice.
+    let dead = fleet.handles.remove(1);
+    let addr = dead.addr().to_string();
+    let engine = Arc::clone(dead.engine());
+    dead.abort();
+    let fresh = edge_pattern(0, 5, 1);
+    let degraded = router.support(&fresh);
+    assert_eq!(degraded.field("partial").and_then(JsonValue::as_num), Some(1));
+    let degraded_again = router.support(&fresh);
+    assert_eq!(
+        degraded_again.field("partial").and_then(JsonValue::as_num),
+        Some(1),
+        "a partial answer must never be served from cache"
+    );
+    assert_eq!(c.get(Counter::RouterCacheHits), 3, "no hit came from a degraded answer");
+
+    // Re-admission flushes again; the healed recompute is byte-identical
+    // to the pre-kill answer for the same committed epoch.
+    let revived = start(engine, &ServerConfig { addr, ..ServerConfig::default() }).unwrap();
+    let healed = router.patterns(10, None).to_json();
+    assert_eq!(healed, post, "kill/readmit must not change the committed answer");
+    drop(revived);
+}
+
+#[test]
+fn restarted_shard_stays_dead_until_it_catches_up_to_the_committed_seq() {
+    let db = mixed_db();
+    let mut fleet = boot_fleet(&db, 2, 3);
+    let router = Router::new(fleet.topo.clone(), uncached_router_cfg()).unwrap();
+
+    // Commit a window that lands on shard 1's journal as seq 1.
+    let gid_b = fleet.topo.shards[1].owned[0];
+    let ops = vec![DbUpdate { gid: gid_b, update: GraphUpdate::RelabelVertex { v: 1, label: 8 } }];
+    let up = router.update(&ops, false);
+    assert_eq!(up.field("status").and_then(JsonValue::as_str), Some("ok"), "{up:?}");
+    assert_eq!(router.global_epoch(), 1);
+    let probe = edge_pattern(0, 5, 1);
+    let full = num(&router.support(&probe), "support");
+    assert!((1..8).contains(&full), "the committed relabel must lower the probe's support");
+
+    // Kill shard 1 and notice the death.
+    let dead = fleet.handles.remove(1);
+    let addr = dead.addr().to_string();
+    dead.abort();
+    assert_eq!(router.support(&probe).field("partial").and_then(JsonValue::as_num), Some(1));
+
+    // Restart it from its *seed* database in a fresh data dir: the
+    // journal is empty, the committed window is not applied — exactly
+    // the restart that used to slip back in and serve the pre-update
+    // support 8 untagged (seq-0 republish waits for nothing).
+    let dir2 = tempfile::tempdir().unwrap();
+    let ecfg = EngineConfig {
+        min_support: fleet.topo.local_min_support,
+        k: 2,
+        owned: Some(fleet.topo.shards[1].owned.clone()),
+        ..EngineConfig::default()
+    };
+    let (engine2, _) = ServeEngine::boot(Some(&fleet.shard_dbs[1]), dir2.path(), &ecfg).unwrap();
+    let engine2 = Arc::new(engine2);
+    let revived =
+        start(Arc::clone(&engine2), &ServerConfig { addr, ..ServerConfig::default() }).unwrap();
+
+    // The shard is reachable but lagging: re-admission republishes the
+    // committed epoch at seq 1, the fresh journal rejects it, and the
+    // shard stays dead — answers stay tagged partial.
+    let lagging = router.support(&probe);
+    assert_eq!(
+        lagging.field("partial").and_then(JsonValue::as_num),
+        Some(1),
+        "a shard that has not replayed to the committed window must not serve: {lagging:?}"
+    );
+    assert!(num(&lagging, "support") < full);
+
+    // Apply the missing window (journal seq 1): the next request's
+    // catch-up succeeds and answers are exact again.
+    engine2.apply_update(&ops).unwrap();
+    let healed = router.support(&probe);
+    assert!(healed.field("partial").is_none(), "{healed:?}");
+    assert_eq!(num(&healed, "support"), full);
+    drop(revived);
+}
+
+#[test]
 fn replica_failover_keeps_reads_exact_and_write_failures_abort() {
     let db = mixed_db();
     // One shard, two replicas booted from the same plan.
@@ -255,7 +391,7 @@ fn replica_failover_keeps_reads_exact_and_write_failures_abort() {
         dirs.push(dir);
     }
     topo.shards[0].replicas = handles.iter().map(|h| h.addr().to_string()).collect();
-    let router = Router::new(topo.clone(), quick_router_cfg()).unwrap();
+    let router = Router::new(topo.clone(), uncached_router_cfg()).unwrap();
 
     // A write lands durably on both replicas.
     let gid = topo.shards[0].owned[0];

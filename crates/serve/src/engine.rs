@@ -606,6 +606,14 @@ impl ServeEngine {
         self.shared.owned.as_deref()
     }
 
+    /// Live entry counts of the two support memos `(support, owned)` —
+    /// observability for the epoch-swap eviction policy (each swap keeps
+    /// the current and previous generations only, so these stay bounded
+    /// under unbounded streaming ingest).
+    pub fn memo_sizes(&self) -> (usize, usize) {
+        (self.shared.support_memo.lock().len(), self.shared.owned_memo.lock().len())
+    }
+
     /// The last router-committed global epoch (0 before any commit).
     pub fn global_epoch(&self) -> u64 {
         self.shared.global_epoch.load(Ordering::SeqCst)
@@ -976,10 +984,16 @@ impl ServeEngine {
         hits.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.code.cmp(&b.code)));
         let total = hits.len();
         hits.truncate(top);
+        // `sorted:1` attests the candidate-reply contract the router's
+        // bounded SON phase 1 relies on: rows ordered by (support desc,
+        // code asc), so truncating at `top` keeps exactly the locally
+        // best candidates. A shard reply without this marker cannot be
+        // safely truncated and the router treats it as lossy.
         ok_response(vec![
             ("epoch", JsonValue::Num(ep.epoch)),
             ("total", JsonValue::Num(total as u64)),
             ("returned", JsonValue::Num(hits.len() as u64)),
+            ("sorted", JsonValue::Num(1)),
             ("patterns", JsonValue::Arr(hits.into_iter().map(pattern_to_json).collect())),
         ])
     }
@@ -1080,11 +1094,15 @@ fn applier_loop(shared: &Arc<EngineShared>) {
             );
             *shared.current.write() = Arc::new(next);
             shared.tel.counters().bump(Counter::EpochSwaps);
-            // Superseded memo entries are dead weight (readers of the old
-            // epoch may transiently re-add a few; the next swap collects
-            // those too).
-            shared.support_memo.lock().retain(|&(epoch, _), _| epoch >= seq);
-            shared.owned_memo.lock().retain(|&(epoch, _), _| epoch >= seq);
+            // Superseded memo entries are dead weight, but readers that
+            // grabbed the previous epoch's `Arc` before this swap are
+            // still answering from it — keep exactly one generation of
+            // slack (N-1) so those in-flight readers hit their memo
+            // instead of re-inserting evicted entries, and evict
+            // everything older so a long-running daemon under streaming
+            // ingest holds at most two generations at any time.
+            shared.support_memo.lock().retain(|&(epoch, _), _| epoch + 1 >= seq);
+            shared.owned_memo.lock().retain(|&(epoch, _), _| epoch + 1 >= seq);
             UpdateSummary {
                 seq,
                 uf: inc.uf.len(),

@@ -80,6 +80,46 @@ fn reader_holding_old_epoch_is_answered_from_its_own_generation() {
     assert_eq!(engine.support_of(&ep0, &probe).0, 4);
 }
 
+/// The `(epoch, code)` memos hold at most two generations — the served
+/// epoch plus N-1 for in-flight readers — no matter how many swaps a
+/// long-running daemon goes through. Before the swap-time eviction this
+/// was an unbounded leak: one entry per probed epoch, forever.
+#[test]
+fn memo_size_is_pinned_across_a_hundred_swaps() {
+    let dir = tempfile::tempdir().unwrap();
+    let engine = boot(dir.path());
+    let probe = probe();
+
+    // Prime epoch 0, swap once: the N-1 generation must survive the
+    // swap so a reader still holding epoch 0's Arc hits its memo.
+    let ep0 = engine.current();
+    assert_eq!(engine.support_of(&ep0, &probe).0, 4);
+    assert_eq!(engine.memo_sizes().0, 1);
+    engine.apply_update(&batch(0)).unwrap();
+    assert_eq!(engine.memo_sizes().0, 1, "the previous generation survives one swap");
+    assert_eq!(engine.support_of(&ep0, &probe).0, 4);
+
+    // A hundred more swaps, probing each epoch: the memo never holds
+    // more than the two live generations (one probed code per epoch).
+    let relabel =
+        |to| vec![DbUpdate { gid: 0, update: GraphUpdate::RelabelEdge { e: 0, label: to } }];
+    for i in 0..100u32 {
+        let to = if i % 2 == 0 { 10 } else { 99 };
+        engine.apply_update(&relabel(to)).unwrap();
+        let ep = engine.current();
+        let expect = if to == 10 { 4 } else { 3 };
+        assert_eq!(engine.support_of(&ep, &probe).0, expect);
+        let (support_len, owned_len) = engine.memo_sizes();
+        assert!(
+            support_len <= 2,
+            "support memo leaked: {support_len} entries at epoch {}",
+            ep.epoch
+        );
+        assert_eq!(owned_len, 0, "no owned probes were issued");
+    }
+    assert_eq!(engine.current().epoch, 101);
+}
+
 /// Reader threads hammer the support path while the main thread applies
 /// four epoch-stepping batches. Every observation must satisfy
 /// `support == 4 - epoch` — a cross-epoch memo hit breaks the equation.

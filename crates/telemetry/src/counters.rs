@@ -119,11 +119,21 @@ pub enum Counter {
     /// Router: two-phase update windows aborted before the global epoch
     /// advanced (prepare failed on some touched shard).
     Epoch2pcAborts,
+    /// Router: read answers served from the epoch-keyed result cache.
+    RouterCacheHits,
+    /// Router: cacheable read answers that had to be computed (not in
+    /// the cache for the current global epoch).
+    RouterCacheMisses,
+    /// Router: cached answers evicted to stay under the byte budget.
+    RouterCacheEvictions,
+    /// Router: SON phase-1 `patterns` unions cut by the candidate bound
+    /// (the answer carries `"truncated":1`).
+    RouterPhase1Truncated,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 49] = [
+    pub const ALL: [Counter; 53] = [
         Counter::CandidatesGenerated,
         Counter::IsoTestsRun,
         Counter::IsoTestsPruned,
@@ -173,6 +183,10 @@ impl Counter {
         Counter::ShardRetries,
         Counter::HedgedReads,
         Counter::Epoch2pcAborts,
+        Counter::RouterCacheHits,
+        Counter::RouterCacheMisses,
+        Counter::RouterCacheEvictions,
+        Counter::RouterPhase1Truncated,
     ];
 
     /// Stable snake_case identifier used in reports.
@@ -227,6 +241,10 @@ impl Counter {
             Counter::ShardRetries => "shard_retries",
             Counter::HedgedReads => "hedged_reads",
             Counter::Epoch2pcAborts => "epoch_2pc_aborts",
+            Counter::RouterCacheHits => "router_cache_hits",
+            Counter::RouterCacheMisses => "router_cache_misses",
+            Counter::RouterCacheEvictions => "router_cache_evictions",
+            Counter::RouterPhase1Truncated => "router_phase1_truncated",
         }
     }
 
